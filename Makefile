@@ -1,0 +1,28 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench bench-fast examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest --force
+
+bench:
+	dune exec bench/main.exe
+
+bench-fast:
+	dune exec bench/main.exe -- --fast
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/milestones.exe
+	dune exec examples/make_tool.exe
+	dune exec examples/flow_analysis.exe
+	dune exec examples/versions_demo.exe
+	dune exec examples/software_env.exe
+
+clean:
+	dune clean
