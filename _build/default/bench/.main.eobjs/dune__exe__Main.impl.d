@@ -1,0 +1,1 @@
+bench/main.ml: Array Bechamel Cactis Cactis_apps Cactis_cc Cactis_dist Cactis_storage Cactis_util Hashtbl List Printf Report Staged String Sys Test Workloads

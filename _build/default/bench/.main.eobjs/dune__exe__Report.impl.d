@@ -1,0 +1,1 @@
+bench/report.ml: Analyze Bechamel Benchmark Cactis Cactis_storage Cactis_util Hashtbl List Measure Printf String Time Toolkit

@@ -1,0 +1,1 @@
+bench/workloads.ml: Array Cactis Cactis_util List

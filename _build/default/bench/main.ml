@@ -1,0 +1,757 @@
+(* Experiment harness: one section per figure/claim of the paper (see
+   DESIGN.md §4 and EXPERIMENTS.md).  All measurements are event counts
+   from deterministic workloads; a short Bechamel wall-clock section
+   closes the run.
+
+   Run with: dune exec bench/main.exe            (full)
+             dune exec bench/main.exe -- --fast  (smaller sizes)
+             dune exec bench/main.exe -- E2 E5   (selected experiments) *)
+
+module Value = Cactis.Value
+module Db = Cactis.Db
+module Engine = Cactis.Engine
+module Sched = Cactis.Sched
+module Schema = Cactis.Schema
+module Rule = Cactis.Rule
+module Store = Cactis.Store
+module Errors = Cactis.Errors
+module Rng = Cactis_util.Rng
+module W = Workloads
+module R = Report
+
+let fast = ref false
+let selected : string list ref = ref []
+
+let wants id = !selected = [] || List.mem id !selected
+
+let int n = Value.Int n
+
+let scale l = if !fast then List.filteri (fun i _ -> i < 2) l else l
+
+(* ================================================================== *)
+(* F1: Figure 1 — milestone class through the DDL                      *)
+
+let f1 () =
+  R.section "F1" "Figure 1: milestone class (DDL)"
+    "milestone expected-completion dates ripple along dependencies; late flags derive";
+  let m = Cactis_apps.Milestone.create () in
+  let module M = Cactis_apps.Milestone in
+  let design = M.add m ~name:"design" ~scheduled:10.0 ~local_work:5.0 in
+  let code = M.add m ~name:"code" ~scheduled:30.0 ~local_work:10.0 in
+  let test = M.add m ~name:"test" ~scheduled:40.0 ~local_work:5.0 in
+  M.depends_on m code design;
+  M.depends_on m test code;
+  let row id = [ M.name m id; Printf.sprintf "%.0f" (M.scheduled m id);
+                 Printf.sprintf "%.0f" (M.expected m id);
+                 (if M.is_late m id then "LATE" else "on-time") ] in
+  print_endline "before slip:";
+  R.table ~headers:[ "milestone"; "sched"; "expected"; "status" ] (List.map row [ design; code; test ]);
+  M.slip m design 30.0;
+  print_endline "after design slips 30 days (one primitive update):";
+  R.table ~headers:[ "milestone"; "sched"; "expected"; "status" ] (List.map row [ design; code; test ])
+
+(* ================================================================== *)
+(* F2: Figures 2-4 — make facility                                     *)
+
+let f2 () =
+  R.section "F2" "Figures 2-4: make facility"
+    "dependency+modtime rules trigger exactly the necessary recompilations, in order";
+  let module Fs = Cactis_apps.Fs_sim in
+  let module Mk = Cactis_apps.Makefac in
+  let fs = Fs.create () in
+  List.iter (fun f -> Fs.write_file fs f "src") [ "a.c"; "b.c"; "util.h" ];
+  let mk = Mk.create fs in
+  let src f = Mk.add_rule mk ~file:f ~command:"" in
+  let a_c = src "a.c" and b_c = src "b.c" and util = src "util.h" in
+  let a_o = Mk.add_rule mk ~file:"a.o" ~command:"cc -c a.c -o a.o" in
+  let b_o = Mk.add_rule mk ~file:"b.o" ~command:"cc -c b.c -o b.o" in
+  let app = Mk.add_rule mk ~file:"app" ~command:"cc a.o b.o -o app" in
+  List.iter (fun (r, d) -> Mk.add_dependency mk ~rule:r ~on:d)
+    [ (a_o, a_c); (a_o, util); (b_o, b_c); (b_o, util); (app, a_o); (app, b_o) ];
+  let scenario (label, f) =
+    f ();
+    Mk.sync mk;
+    let ran = Mk.build mk app in
+    [ label; string_of_int (List.length ran); String.concat "; " ran ]
+  in
+  (* List.map sequences the scenarios left to right (a bare list literal
+     would evaluate them right to left). *)
+  let rows =
+    List.map scenario
+      [
+        ("initial build", fun () -> ());
+        ("no change", fun () -> ());
+        ("edit a.c", fun () -> Fs.touch fs "a.c");
+        ("edit util.h", fun () -> Fs.touch fs "util.h");
+        ("delete b.o", fun () -> Fs.remove fs "b.o");
+      ]
+  in
+  R.table ~headers:[ "scenario"; "cmds"; "commands run" ] rows
+
+(* ================================================================== *)
+(* E1: incremental vs full recomputation                               *)
+
+let e1 () =
+  R.section "E1" "incremental evaluation vs recompute-all"
+    "\"recompute all attribute values every time a change is made ... is clearly too \
+     expensive\"; the incremental algorithm evaluates only attributes that changed";
+  let sizes = scale [ 100; 1000; 4000 ] in
+  let rows =
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun (pos_label, pos) ->
+            let run strategy =
+              let db = W.make_db () in
+              let ids = W.chain db n in
+              Db.watch db ids.(0) "total";
+              ignore (Db.get db ids.(0) "total");
+              Engine.set_strategy (Db.engine db) strategy;
+              ignore (Db.get db ids.(0) "total");
+              let diff = R.measure db (fun () ->
+                  Db.set db ids.(pos) "local" (int 777);
+                  ignore (Db.get db ids.(0) "total"))
+              in
+              R.count diff "rule_evals"
+            in
+            let inc = run Engine.Cactis in
+            let full = run Engine.Recompute_all in
+            [ string_of_int n; pos_label; string_of_int inc; string_of_int full;
+              Cactis_util.Ascii_table.fmt_ratio (float_of_int full) (float_of_int inc) ])
+          [ ("near head (10%)", n / 10); ("at leaf (100%)", n - 1) ])
+      sizes
+  in
+  R.table ~headers:[ "chain n"; "change site"; "evals (Cactis)"; "evals (recompute-all)"; "speedup" ] rows
+
+(* ================================================================== *)
+(* E2: naive trigger blowup on diamond ladders                         *)
+
+let e2 () =
+  R.section "E2" "fixed-order triggers vs two-phase algorithm"
+    "\"[a fixed-order trigger mechanism] in the worst case can recompute an exponential \
+     number of values\"; Cactis \"will not evaluate any given attribute more than once\"";
+  let depths = scale [ 2; 4; 6; 8; 10; 12; 14 ] in
+  let rows =
+    List.map
+      (fun d ->
+        let run strategy =
+          let db = W.make_db () in
+          let top, bottom = W.diamond_ladder db d in
+          Db.watch db top "total";
+          ignore (Db.get db top "total");
+          Engine.set_strategy (Db.engine db) strategy;
+          ignore (Db.get db top "total");
+          let diff = R.measure db (fun () ->
+              Db.set db bottom "local" (int 9);
+              ignore (Db.get db top "total"))
+          in
+          R.count diff "rule_evals"
+        in
+        let cactis = run Engine.Cactis in
+        let eager = run Engine.Eager_triggers in
+        [ string_of_int d; string_of_int ((3 * d) + 1); string_of_int cactis; string_of_int eager ])
+      depths
+  in
+  R.table
+    ~headers:[ "ladder depth"; "attrs affected"; "evals (Cactis)"; "evals (eager trigger)" ]
+    rows
+
+(* ================================================================== *)
+(* E3: O(1) redundant change                                           *)
+
+let e3 () =
+  R.section "E3" "repeated assignment before propagation"
+    "\"if an attribute A were assigned 2 different values in a row ... the second \
+     assignment would only update A ... and hence incur only O(1) overhead\"";
+  let n = if !fast then 200 else 1000 in
+  let db = W.make_db () in
+  let ids = W.chain db n in
+  Db.watch db ids.(0) "total";
+  ignore (Db.get db ids.(0) "total");
+  let mark_cost k =
+    let diff = R.measure db (fun () -> Db.set db ids.(n - 1) "local" (int k)) in
+    R.count diff "mark_visits"
+  in
+  (* The repeated assignments happen inside one transaction, i.e. before
+     the system propagates — the paper's scenario. *)
+  Db.begin_txn db;
+  let rows =
+    List.map
+      (fun (label, k, note) -> [ label; string_of_int (mark_cost k); note ])
+      [
+        ("1st change", 101, "whole dependent chain marked");
+        ("2nd change", 102, "cut off: already out of date");
+        ("3rd change", 103, "cut off");
+        ("4th change", 104, "cut off");
+      ]
+  in
+  Db.commit db;
+  ignore (Db.get db ids.(0) "total");
+  let after_commit =
+    let diff = R.measure db (fun () ->
+        Db.begin_txn db;
+        Db.set db ids.(n - 1) "local" (int 105))
+    in
+    Db.commit db;
+    R.count diff "mark_visits"
+  in
+  R.table ~headers:[ "update"; "mark visits"; "note" ]
+    (rows
+    @ [ [ "after commit+query"; string_of_int after_commit; "chain up to date again: full marking" ] ])
+
+(* ================================================================== *)
+(* E4: laziness — only important attributes evaluated                  *)
+
+let e4 () =
+  R.section "E4" "deferred evaluation of unimportant attributes"
+    "\"the calculation of attribute values which are not important may be deferred, as \
+     they have no immediate affect on the database\"";
+  let fan = if !fast then 200 else 1000 in
+  let fractions = [ 0.0; 0.01; 0.1; 0.5; 1.0 ] in
+  let rows =
+    List.map
+      (fun frac ->
+        let db = W.make_db () in
+        let hub, points = W.star db fan in
+        let w = int_of_float (frac *. float_of_int fan) in
+        Array.iteri (fun i p -> if i < w then Db.watch db p "total") points;
+        (* Evaluate everything once so the change has a fully up-to-date
+           database to invalidate. *)
+        Array.iter (fun p -> ignore (Db.get db ~watch:false p "total")) points;
+        Engine.propagate (Db.engine db);
+        let diff = R.measure db (fun () -> Db.set db hub "local" (int 5)) in
+        [ Printf.sprintf "%.0f%%" (frac *. 100.0); string_of_int w;
+          string_of_int (R.count diff "rule_evals");
+          string_of_int (R.count diff "mark_visits") ])
+      fractions
+  in
+  R.table
+    ~headers:[ "watched fraction"; "watched attrs"; "evals on change"; "marks on change" ]
+    rows;
+  Printf.printf "(all %d dependent attrs are marked; only the watched ones are evaluated)\n" fan
+
+(* ================================================================== *)
+(* E5: usage-based clustering                                          *)
+
+let e5 () =
+  R.section "E5" "usage-count clustering"
+    "\"this algorithm attempts to place instances which are frequently referenced \
+     together, in the same block ... tighten[ing] the locality of reference\"";
+  let communities = if !fast then 16 else 32 in
+  let size = 8 in
+  let rounds = if !fast then 200 else 600 in
+  let run_workload db groups rng =
+    for _ = 1 to rounds do
+      let c = Rng.zipf rng communities 0.8 in
+      let group = groups.(c) in
+      let member = group.(Rng.int rng size) in
+      Db.set db member "local" (int (Rng.int rng 50));
+      ignore (Db.get db group.(0) "total")
+    done
+  in
+  let rows =
+    List.map
+      (fun buffer_capacity ->
+        let db = W.make_db ~block_capacity:8 ~buffer_capacity () in
+        let groups = W.community_graph db ~communities ~size in
+        Cactis_storage.Pager.reset_io (Store.pager (Db.store db));
+        run_workload db groups (Rng.create 42);
+        let unclustered = R.disk_reads db in
+        let blocks = Db.recluster db in
+        Cactis_storage.Pager.reset_io (Store.pager (Db.store db));
+        run_workload db groups (Rng.create 42);
+        let clustered = R.disk_reads db in
+        [ string_of_int buffer_capacity; string_of_int blocks; string_of_int unclustered;
+          string_of_int clustered;
+          Cactis_util.Ascii_table.fmt_ratio (float_of_int unclustered) (float_of_int clustered) ])
+      (scale [ 4; 8; 16 ])
+  in
+  R.table
+    ~headers:[ "buffer (blocks)"; "blocks"; "reads scattered"; "reads clustered"; "improvement" ]
+    rows
+
+(* ================================================================== *)
+(* E6: traversal scheduling                                            *)
+
+let e6 () =
+  R.section "E6" "greedy in-memory-first scheduling vs fixed order"
+    "\"sub-traversal processes which can be executed without disk access are given \
+     highest scheduling priority ... [then] smallest expected number of disk accesses\"";
+  let chains = if !fast then 8 else 12 in
+  let length = if !fast then 24 else 40 in
+  let rows =
+    List.map
+      (fun (label, sched) ->
+        let db = W.make_db ~sched ~block_capacity:8 ~buffer_capacity:4 () in
+        let root = W.comb db ~chains ~length in
+        Db.watch db root "total";
+        Engine.invalidate_all (Db.engine db);
+        Cactis_storage.Pager.reset_io (Store.pager (Db.store db));
+        ignore (Db.get db root "total");
+        let cold = R.disk_reads db in
+        Cactis_storage.Pager.reset_io (Store.pager (Db.store db));
+        Engine.invalidate_all (Db.engine db);
+        ignore (Db.get db root "total");
+        let again = R.disk_reads db in
+        [ label; string_of_int cold; string_of_int again ])
+      [
+        ("fifo", Sched.Fifo);
+        ("cost-only (no promotion)", Sched.Cost_only);
+        ("greedy-adaptive", Sched.Greedy);
+      ]
+  in
+  R.table ~headers:[ "scheduler"; "disk reads (cold)"; "disk reads (repeat)" ] rows;
+  Printf.printf "(%d chains x %d nodes, 8 instances/block, 4-block buffer)\n" chains length;
+  (* Marking traversal: one change fans out across every chain; the
+     worst-case cost estimate is binary (resident or not), so the
+     resident-first queue and block promotion are what separate the
+     schedulers. *)
+  let mark_rows =
+    List.map
+      (fun (label, sched) ->
+        let db = W.make_db ~sched ~block_capacity:8 ~buffer_capacity:4 () in
+        let shared, heads = W.inverted_comb db ~chains ~length in
+        Array.iter
+          (fun h ->
+            Db.watch db h "total";
+            ignore (Db.get db h "total"))
+          heads;
+        Cactis_storage.Pager.reset_io (Store.pager (Db.store db));
+        Db.begin_txn db;
+        Db.set db shared "local" (int 99);
+        let reads = R.disk_reads db in
+        Db.commit db;
+        [ label; string_of_int reads ])
+      [
+        ("fifo", Sched.Fifo);
+        ("cost-only (no promotion)", Sched.Cost_only);
+        ("greedy-adaptive", Sched.Greedy);
+      ]
+  in
+  print_endline "marking traversal (one change fanning out over all chains):";
+  R.table ~headers:[ "scheduler"; "disk reads (mark phase)" ] mark_rows
+
+(* ================================================================== *)
+(* E7: delta size vs derived ripple                                    *)
+
+let e7 () =
+  R.section "E7" "undo deltas proportional to primitive changes"
+    "\"the information needed to remember a delta is proportional in size to the initial \
+     changes made to the database rather than the total change ... because of derived data\"";
+  let rows =
+    List.map
+      (fun n ->
+        let db = W.make_db () in
+        let ids = W.chain db n in
+        Db.watch db ids.(0) "total";
+        ignore (Db.get db ids.(0) "total");
+        Db.with_txn db (fun () -> Db.set db ids.(n - 1) "local" (int 50));
+        let delta_ops = List.nth (Db.delta_sizes db) (List.length (Db.delta_sizes db) - 1) in
+        let diff = R.measure db (fun () ->
+            Db.undo_last db;
+            ignore (Db.get db ids.(0) "total"))
+        in
+        [ string_of_int n; string_of_int delta_ops; string_of_int n;
+          string_of_int (R.count diff "rule_evals") ])
+      (scale [ 10; 100; 1000 ])
+  in
+  R.table
+    ~headers:[ "chain n"; "delta ops stored"; "derived attrs affected"; "evals to undo" ]
+    rows
+
+(* ================================================================== *)
+(* E8: constraints and rollback                                        *)
+
+let e8 () =
+  R.section "E8" "constraint enforcement, rollback and recovery"
+    "\"whenever an attribute which is designated as testing a constraint evaluates to \
+     false, rollback of the current transaction is performed\" (or a recovery action runs)";
+  let build with_recovery =
+    let sch = Schema.create () in
+    Schema.add_type sch "node";
+    Schema.declare_relationship sch ~from_type:"node" ~rel:"deps" ~to_type:"node"
+      ~inverse:"rdeps" ~card:Schema.Multi ~inverse_card:Schema.Multi;
+    Schema.add_attr sch ~type_name:"node" (Rule.intrinsic "local" (int 1));
+    Schema.add_attr sch ~type_name:"node"
+      (Rule.derived "total"
+         (Rule.combine_self_rel "local" "deps" "total" ~f:(fun own totals ->
+              Value.add own (Value.sum totals))));
+    Schema.add_attr sch ~type_name:"node"
+      (Rule.constraint_attr "total_ok"
+         ?recovery:(if with_recovery then Some "clamp" else None)
+         ~message:"total exceeds budget"
+         (Rule.map1 "total" (fun v -> Value.Bool (Value.as_int v <= 500))));
+    let db = Db.create sch in
+    if with_recovery then
+      Db.register_recovery db "clamp" (fun _store id -> [ (id, "local", int 0) ]);
+    db
+  in
+  let run with_recovery =
+    let db = build with_recovery in
+    let ids = Array.init 20 (fun _ -> Db.create_instance db "node") in
+    for i = 0 to 18 do
+      Db.link db ~from_id:ids.(i) ~rel:"deps" ~to_id:ids.(i + 1)
+    done;
+    let rng = Rng.create 5 in
+    let commits = ref 0 and aborts = ref 0 in
+    for _ = 1 to 100 do
+      let i = Rng.int rng 20 in
+      let v = Rng.int rng 120 in
+      match Db.with_txn db (fun () -> Db.set db ids.(i) "local" (int v)) with
+      | () -> incr commits
+      | exception Errors.Constraint_violation _ -> incr aborts
+    done;
+    let c = Db.counters db in
+    let head_total = Value.as_int (Db.get db ids.(0) "total") in
+    [
+      (if with_recovery then "with recovery action" else "rollback only");
+      string_of_int !commits; string_of_int !aborts;
+      string_of_int (Cactis_util.Counters.get c "recoveries_run");
+      string_of_int head_total;
+      string_of_bool (head_total <= 500);
+    ]
+  in
+  R.table
+    ~headers:[ "mode"; "commits"; "rollbacks"; "recoveries"; "final total"; "invariant holds" ]
+    [ run false; run true ]
+
+(* ================================================================== *)
+(* E9: timestamp concurrency control                                   *)
+
+let e9 () =
+  R.section "E9" "multi-user operation (timestamp ordering)"
+    "Cactis \"uses a timestamping concurrency control technique\" (§1.1); committed \
+     schedules are serializable in timestamp order";
+  let module Cc = Cactis_cc.Timestamp_cc in
+  let module Wl = Cactis_cc.Workload in
+  let module Il = Cactis_cc.Interleave in
+  let module So = Cactis_cc.Serial_oracle in
+  let instances = 8 in
+  let txns = if !fast then 5 else 15 in
+  let rows =
+    List.concat_map
+      (fun clients ->
+        List.map
+          (fun hot ->
+            let db, accounts, _ = Wl.counters_db ~instances () in
+            let cc = Cc.create db in
+            let rng = Rng.create 31 in
+            let scripts =
+              List.init clients (fun _ ->
+                  Wl.generate (Rng.split rng) ~accounts ~txns ~ops_per_txn:4 ~hot_fraction:hot
+                    ~read_fraction:0.3)
+            in
+            let stats = Il.run ~rng ~cc ~clients:scripts () in
+            let oracle =
+              So.replay
+                ~setup:(fun () ->
+                  let db, _, _ = Wl.counters_db ~instances () in
+                  db)
+                ~committed:stats.Il.committed_scripts
+            in
+            let serializable = So.equivalent db oracle [ "balance" ] in
+            [
+              string_of_int clients;
+              Printf.sprintf "%.0f%%" (hot *. 100.0);
+              string_of_int stats.Il.committed;
+              string_of_int stats.Il.restarts;
+              Printf.sprintf "%.2f"
+                (float_of_int stats.Il.committed /. float_of_int (max 1 stats.Il.steps) *. 100.0);
+              string_of_bool serializable;
+            ])
+          [ 0.1; 0.9 ])
+      (scale [ 2; 4; 8 ])
+  in
+  R.table
+    ~headers:
+      [ "clients"; "hot-key traffic"; "commits"; "restarts"; "commits/100 steps"; "serializable" ]
+    rows
+
+(* ================================================================== *)
+(* E10: amortized overhead bound                                       *)
+
+let e10 () =
+  R.section "E10" "overhead bounded by the reachable dependency subgraph"
+    "\"the overhead of the algorithm ... is O(Nodes(Could_Change(A)) + \
+     Edges(Could_Change(A)))\"";
+  let n = if !fast then 100 else 400 in
+  let rows =
+    List.map
+      (fun seed ->
+        let rng = Rng.create seed in
+        let db = W.make_db () in
+        let ids = W.random_dag db rng n ~max_deps:3 in
+        Array.iteri (fun i id -> if i < 5 then Db.watch db id "total") ids;
+        Array.iter (fun id -> ignore (Db.get db ~watch:false id "total")) ids;
+        (* |Could_Change| by BFS over the dependents relation.  Sites in
+           the last tenth of the DAG have large dependent closures (many
+           earlier nodes transitively depend on them). *)
+        let site = ids.(Rng.int_in rng (9 * n / 10) (n - 1)) in
+        let visited = Hashtbl.create 64 in
+        let edges = ref 0 in
+        let rec bfs id =
+          if not (Hashtbl.mem visited id) then begin
+            Hashtbl.add visited id ();
+            let parents = Db.related db id "rdeps" in
+            edges := !edges + List.length parents;
+            List.iter bfs parents
+          end
+        in
+        bfs site;
+        let could_change = Hashtbl.length visited + !edges in
+        let diff = R.measure db (fun () ->
+            Db.set db site "local" (int 1234);
+            Db.with_txn db (fun () -> ()))
+        in
+        let overhead = R.count diff "mark_visits" + R.count diff "rule_evals" in
+        [
+          Printf.sprintf "seed %d" seed;
+          string_of_int (Hashtbl.length visited);
+          string_of_int !edges;
+          string_of_int could_change;
+          string_of_int overhead;
+          Printf.sprintf "%.2f" (float_of_int overhead /. float_of_int (max 1 could_change));
+        ])
+      [ 1; 2; 3; 4; 5; 6 ]
+  in
+  R.table
+    ~headers:
+      [ "trial"; "|nodes(CC)|"; "|edges(CC)|"; "N+E bound"; "marks+evals"; "ratio (<= ~1)" ]
+    rows
+
+(* ================================================================== *)
+(* E11: distributed placement (§5 prototype)                           *)
+
+let e11 () =
+  R.section "E11" "distributed placement (directions, §5)"
+    "\"different users at different machines ... share information\"; the usage-driven \
+     clustering doubles as a partitioner minimizing cross-site traversal messages";
+  let module P = Cactis_dist.Partition in
+  let communities = if !fast then 8 else 24 in
+  let size = 8 in
+  let db = W.make_db ~block_capacity:8 ~buffer_capacity:64 () in
+  let rng = Rng.create 7 in
+  let groups = W.community_graph ~shuffle:(Rng.split rng) db ~communities ~size in
+  for _ = 1 to (if !fast then 200 else 800) do
+    let g = groups.(Rng.zipf rng communities 0.6) in
+    Db.set db g.(Rng.int rng size) "local" (int (Rng.int rng 50));
+    ignore (Db.get db g.(0) "total")
+  done;
+  let store = Db.store db in
+  let ids = Db.instance_ids db in
+  let rows =
+    List.concat_map
+      (fun sites ->
+        let placements =
+          [
+            ("striped (round-robin)", P.round_robin ~ids ~sites);
+            ("random", P.random (Rng.create 3) ~ids ~sites);
+            ("usage-clustered", P.by_usage store ~sites);
+          ]
+        in
+        List.map
+          (fun (label, p) ->
+            let cross = P.cross_site_traffic store p in
+            let local = P.local_traffic store p in
+            [
+              string_of_int sites; label; string_of_int cross;
+              Printf.sprintf "%.1f%%" (100.0 *. float_of_int cross /. float_of_int (max 1 (cross + local)));
+            ])
+          placements)
+      (scale [ 2; 4; 8 ])
+  in
+  R.table ~headers:[ "sites"; "placement"; "cross-site msgs"; "remote share" ] rows
+
+(* ================================================================== *)
+(* E12: attribute index vs full scan                                   *)
+
+let e12 () =
+  R.section "E12" "attribute index vs scan (OODB indexing, cf. [MaS86])"
+    "an incremental hash index answers value lookups by touching only stale instances, \
+     where a scan touches the whole extent on every query";
+  let n = if !fast then 300 else 2000 in
+  let queries = 50 in
+  let updates_per_query = 3 in
+  let run use_index =
+    let db = W.make_db () in
+    let ids = Array.init n (fun _ -> Db.create_instance db "node") in
+    let rng = Rng.create 11 in
+    Array.iter (fun id -> Db.set db id "local" (int (Rng.int rng 10))) ids;
+    let idx =
+      if use_index then Some (Cactis.Index.create db ~type_name:"node" ~attr:"local") else None
+    in
+    let scan v =
+      Array.to_list ids
+      |> List.filter (fun id -> Value.equal (Db.get db ~watch:false id "local") v)
+    in
+    let c = Db.counters db in
+    let before = Cactis_util.Counters.get c "instance_touches" in
+    let total_hits = ref 0 in
+    for _ = 1 to queries do
+      for _ = 1 to updates_per_query do
+        Db.set db ids.(Rng.int rng n) "local" (int (Rng.int rng 10))
+      done;
+      let v = int (Rng.int rng 10) in
+      let hits = match idx with Some idx -> Cactis.Index.lookup idx v | None -> scan v in
+      total_hits := !total_hits + List.length hits
+    done;
+    (Cactis_util.Counters.get c "instance_touches" - before, !total_hits)
+  in
+  let scan_touches, scan_hits = run false in
+  let index_touches, index_hits = run true in
+  R.table
+    ~headers:[ "access path"; "instance touches"; "result rows" ]
+    [
+      [ "full scan"; string_of_int scan_touches; string_of_int scan_hits ];
+      [ "hash index"; string_of_int index_touches; string_of_int index_hits ];
+    ];
+  Printf.printf "(%d instances, %d queries, %d updates between queries; identical results)\n" n
+    queries updates_per_query
+
+(* ================================================================== *)
+(* E13: macro benchmark — the milestone manager under a realistic      *)
+(* editing workload                                                    *)
+
+let e13 () =
+  R.section "E13" "macro: project plan under a stream of slips and queries"
+    "the paper's motivating application — \"changing the expected completion date for one \
+     milestone may have effects that ripple throughout ... the system\" — end to end";
+  let module M = Cactis_apps.Milestone in
+  let layers = if !fast then 10 else 25 in
+  let width = if !fast then 8 else 20 in
+  let rounds = if !fast then 60 else 200 in
+  let run strategy =
+    let m = M.create ~strategy () in
+    let rng = Rng.create 17 in
+    (* Layered DAG: each milestone depends on 1-3 in the previous layer. *)
+    let prev = ref [] in
+    let final = M.add m ~name:"ship" ~scheduled:(float_of_int (10 * layers)) ~local_work:1.0 in
+    for l = 1 to layers do
+      let layer =
+        List.init width (fun i ->
+            M.add m
+              ~name:(Printf.sprintf "t%d_%d" l i)
+              ~scheduled:(float_of_int (10 * (layers - l)))
+              ~local_work:(1.0 +. Rng.float rng 3.0))
+      in
+      (* The ship milestone depends on the whole first layer; each node
+         of a layer depends on 1-2 nodes of the layer below it. *)
+      (match !prev with
+      | [] -> List.iter (fun id -> M.depends_on m final id) layer
+      | above ->
+        List.iter
+          (fun upper ->
+            let deps = 1 + Rng.int rng 2 in
+            for _ = 1 to deps do
+              let lower = Rng.pick_list rng layer in
+              if not (List.mem lower (Db.related (M.db m) upper "depends_on")) then
+                M.depends_on m upper lower
+            done)
+          above);
+      prev := layer
+    done;
+    let db = M.db m in
+    let c = Db.counters db in
+    ignore (M.expected m final);
+    let before_evals = Cactis_util.Counters.get c "rule_evals" in
+    let before_marks = Cactis_util.Counters.get c "mark_visits" in
+    let t0 = Sys.time () in
+    let all = Db.instances_of_type db "milestone" in
+    let all_arr = Array.of_list all in
+    for round = 1 to rounds do
+      (* A slip somewhere in the plan... *)
+      let victim = all_arr.(Rng.int rng (Array.length all_arr)) in
+      M.slip m victim (Rng.float rng 2.0);
+      (* ...the dashboard polls the ship date... *)
+      ignore (M.expected m final);
+      ignore (M.is_late m final);
+      (* ...and every tenth round someone pulls the full report. *)
+      if round mod 10 = 0 then ignore (M.report m)
+    done;
+    let elapsed = Sys.time () -. t0 in
+    ( Cactis_util.Counters.get c "rule_evals" - before_evals,
+      Cactis_util.Counters.get c "mark_visits" - before_marks,
+      elapsed )
+  in
+  let rows =
+    List.map
+      (fun (label, strategy) ->
+        let evals, marks, secs = run strategy in
+        [ label; string_of_int evals; string_of_int marks; Printf.sprintf "%.3f" secs ])
+      [
+        ("incremental (Cactis)", Engine.Cactis);
+        ("eager triggers", Engine.Eager_triggers);
+        ("recompute-all", Engine.Recompute_all);
+      ]
+  in
+  R.table ~headers:[ "strategy"; "rule evals"; "mark visits"; "cpu seconds" ] rows;
+  Printf.printf "(%d layers x %d milestones, %d slip+query rounds)\n" layers width rounds
+
+(* ================================================================== *)
+(* Timing (Bechamel)                                                   *)
+
+let timing () =
+  R.section "T" "wall-clock timing (Bechamel)"
+    "relative costs of the strategies on the headline workloads";
+  let mk_chain strategy n =
+    let db = W.make_db ~strategy () in
+    let ids = W.chain db n in
+    Db.watch db ids.(0) "total";
+    ignore (Db.get db ids.(0) "total");
+    let v = ref 0 in
+    fun () ->
+      incr v;
+      (* Change near the head (E1's 10% site): the incremental engine
+         re-evaluates ~n/10 attributes, recompute-all evaluates n. *)
+      Db.set db ids.(n / 10) "local" (int !v);
+      ignore (Db.get db ids.(0) "total")
+  in
+  let mk_ladder strategy d =
+    let db = W.make_db () in
+    let top, bottom = W.diamond_ladder db d in
+    Db.watch db top "total";
+    ignore (Db.get db top "total");
+    Engine.set_strategy (Db.engine db) strategy;
+    ignore (Db.get db top "total");
+    let v = ref 0 in
+    fun () ->
+      incr v;
+      Db.set db bottom "local" (int !v);
+      ignore (Db.get db top "total")
+  in
+  let n = if !fast then 100 else 500 in
+  let d = if !fast then 6 else 9 in
+  let open Bechamel in
+  let tests =
+    [
+      Test.make ~name:(Printf.sprintf "chain%d/incremental" n)
+        (Staged.stage (mk_chain Engine.Cactis n));
+      Test.make ~name:(Printf.sprintf "chain%d/recompute-all" n)
+        (Staged.stage (mk_chain Engine.Recompute_all n));
+      Test.make ~name:(Printf.sprintf "ladder%d/incremental" d)
+        (Staged.stage (mk_ladder Engine.Cactis d));
+      Test.make ~name:(Printf.sprintf "ladder%d/eager-triggers" d)
+        (Staged.stage (mk_ladder Engine.Eager_triggers d));
+    ]
+  in
+  R.run_timing ~quota:0.25 tests
+
+(* ================================================================== *)
+
+let () =
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--fast" -> fast := true
+        | id -> selected := id :: !selected)
+    Sys.argv;
+  print_endline "Cactis reproduction - experiment harness";
+  print_endline "(counts are deterministic; see EXPERIMENTS.md for the paper-vs-measured record)";
+  let experiments =
+    [
+      ("F1", f1); ("F2", f2); ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5);
+      ("E6", e6); ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13); ("T", timing);
+    ]
+  in
+  List.iter (fun (id, f) -> if wants id then f ()) experiments

@@ -1,0 +1,50 @@
+(* Reporting helpers shared by the experiment harness. *)
+
+module Counters = Cactis_util.Counters
+module Table = Cactis_util.Ascii_table
+
+let section id title claim =
+  Printf.printf "\n%s\n%s %s\n%s\n" (String.make 78 '=') id title (String.make 78 '-');
+  Printf.printf "paper claim: %s\n" claim
+
+let table ~headers rows = print_string (Table.render ~headers rows)
+
+(* [measure db f] runs [f] and returns the per-counter increase. *)
+let measure db f =
+  let c = Cactis.Db.counters db in
+  let before = Counters.snapshot c in
+  f ();
+  Counters.diff ~before ~after:(Counters.snapshot c)
+
+let count diff name = match List.assoc_opt name diff with Some v -> v | None -> 0
+
+(* Disk reads of a database's pager. *)
+let disk_reads db =
+  Cactis_storage.Disk.reads (Cactis_storage.Pager.disk (Cactis.Store.pager (Cactis.Db.store db)))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel timing                                                     *)
+
+let run_timing ~quota tests =
+  let open Bechamel in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let rows =
+    List.concat_map
+      (fun test ->
+        let raw = Benchmark.all cfg [ instance ] test in
+        let analyzed = Analyze.all ols instance raw in
+        Hashtbl.fold
+          (fun name result acc ->
+            let estimate =
+              match Analyze.OLS.estimates result with
+              | Some [ e ] -> Printf.sprintf "%.0f" e
+              | Some _ | None -> "-"
+            in
+            (name, estimate) :: acc)
+          analyzed [])
+      tests
+    |> List.sort compare
+  in
+  table ~headers:[ "benchmark"; "ns/run" ] (List.map (fun (n, e) -> [ n; e ]) rows)

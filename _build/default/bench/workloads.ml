@@ -1,0 +1,155 @@
+(* Workload generators for the experiment harness.  Every generator is
+   deterministic (seeded Rng where randomness is involved) so the tables
+   in EXPERIMENTS.md are reproducible. *)
+
+module Value = Cactis.Value
+module Schema = Cactis.Schema
+module Rule = Cactis.Rule
+module Db = Cactis.Db
+module Engine = Cactis.Engine
+module Sched = Cactis.Sched
+module Rng = Cactis_util.Rng
+
+let int n = Value.Int n
+
+(* The standard node class: intrinsic [local]; derived
+   [total] = local + sum over deps' totals. *)
+let node_schema () =
+  let sch = Schema.create () in
+  Schema.add_type sch "node";
+  Schema.declare_relationship sch ~from_type:"node" ~rel:"deps" ~to_type:"node" ~inverse:"rdeps"
+    ~card:Schema.Multi ~inverse_card:Schema.Multi;
+  Schema.add_attr sch ~type_name:"node" (Rule.intrinsic "local" (int 1));
+  Schema.add_attr sch ~type_name:"node"
+    (Rule.derived "total"
+       (Rule.combine_self_rel "local" "deps" "total" ~f:(fun own totals ->
+            Value.add own (Value.sum totals))));
+  sch
+
+let make_db ?strategy ?sched ?block_capacity ?buffer_capacity () =
+  Db.create ?strategy ?sched ?block_capacity ?buffer_capacity (node_schema ())
+
+(* Chain: node i depends on node i+1; returns ids head..tail. *)
+let chain db n =
+  let ids = Array.init n (fun _ -> Db.create_instance db "node") in
+  for i = 0 to n - 2 do
+    Db.link db ~from_id:ids.(i) ~rel:"deps" ~to_id:ids.(i + 1)
+  done;
+  ids
+
+(* Diamond ladder of depth d: t_i depends on m1_i and m2_i, both of which
+   depend on t_{i+1}.  A naive eager trigger fires the subtree below each
+   diamond twice -> 2^d rule executions; the two-phase algorithm touches
+   each attribute once.  Returns (top, bottom). *)
+let diamond_ladder db d =
+  let bottom = Db.create_instance db "node" in
+  let rec build depth lower =
+    if depth = 0 then lower
+    else begin
+      let m1 = Db.create_instance db "node" in
+      let m2 = Db.create_instance db "node" in
+      let top = Db.create_instance db "node" in
+      Db.link db ~from_id:m1 ~rel:"deps" ~to_id:lower;
+      Db.link db ~from_id:m2 ~rel:"deps" ~to_id:lower;
+      Db.link db ~from_id:top ~rel:"deps" ~to_id:m1;
+      Db.link db ~from_id:top ~rel:"deps" ~to_id:m2;
+      build (depth - 1) top
+    end
+  in
+  let top = build d bottom in
+  (top, bottom)
+
+(* Star: [fan] nodes each depending on one hub.  A hub change affects
+   every point; laziness means only watched points are re-evaluated. *)
+let star db fan =
+  let hub = Db.create_instance db "node" in
+  let points = Array.init fan (fun _ -> Db.create_instance db "node") in
+  Array.iter (fun p -> Db.link db ~from_id:p ~rel:"deps" ~to_id:hub) points;
+  (hub, points)
+
+(* Balanced tree of the given depth/fanout; parents depend on children.
+   Returns (root, leaves). *)
+let tree db ~depth ~fanout =
+  let leaves = ref [] in
+  let rec build d =
+    let id = Db.create_instance db "node" in
+    if d = 0 then leaves := id :: !leaves
+    else
+      for _ = 1 to fanout do
+        let child = build (d - 1) in
+        Db.link db ~from_id:id ~rel:"deps" ~to_id:child
+      done;
+    id
+  in
+  let root = build depth in
+  (root, Array.of_list !leaves)
+
+(* Random DAG over n nodes: node i may depend on up to [max_deps] nodes
+   with larger index (no cycles).  Returns the id array. *)
+let random_dag db rng n ~max_deps =
+  let ids = Array.init n (fun _ -> Db.create_instance db "node") in
+  for i = 0 to n - 2 do
+    let deps = Rng.int rng (max_deps + 1) in
+    for _ = 1 to deps do
+      let j = Rng.int_in rng (i + 1) (n - 1) in
+      if not (List.mem ids.(j) (Db.related db ids.(i) "deps")) then
+        Db.link db ~from_id:ids.(i) ~rel:"deps" ~to_id:ids.(j)
+    done
+  done;
+  ids
+
+(* K separate chains of length L, plus one root depending on every
+   chain's head.  Chains are created contiguously so each lives in its
+   own range of blocks: a breadth-first (FIFO) evaluation order cycles
+   across all K block ranges, while the greedy scheduler drains
+   same-block work first. *)
+let comb db ~chains ~length =
+  let heads =
+    Array.init chains (fun _ ->
+        let ids = chain db length in
+        ids.(0))
+  in
+  let root = Db.create_instance db "node" in
+  Array.iter (fun h -> Db.link db ~from_id:root ~rel:"deps" ~to_id:h) heads;
+  root
+
+(* Inverted comb: K chains whose tails all depend on one shared node, so
+   a single change to the shared node's intrinsic marks out-of-date
+   attributes up every chain in one traversal.  Exercises the marking
+   phase's scheduling (binary worst-case costs, where block promotion is
+   the discriminating mechanism).  Returns (shared, chain heads). *)
+let inverted_comb db ~chains ~length =
+  let shared = Db.create_instance db "node" in
+  let heads =
+    Array.init chains (fun _ ->
+        let ids = chain db length in
+        Db.link db ~from_id:ids.(length - 1) ~rel:"deps" ~to_id:shared;
+        ids.(0))
+  in
+  (shared, heads)
+
+(* Community graph for the clustering experiment: [communities] groups of
+   [size] members; each member's [total] depends on the next member in
+   its community (ring), so evaluating one community touches all its
+   members.  Instances are created in an interleaved order, so the
+   initial sequential layout scatters every community across blocks; the
+   usage-driven re-clustering should regroup them.  Returns the array of
+   communities (each an id array). *)
+let community_graph ?shuffle db ~communities ~size =
+  (* Interleaved creation: community c gets every c-th instance, so a
+     sequential (creation-order) layout scatters every community.  With
+     [shuffle], membership is a random permutation instead, so no
+     modular placement can accidentally align with it. *)
+  let all = Array.init (communities * size) (fun _ -> Db.create_instance db "node") in
+  (match shuffle with Some rng -> Rng.shuffle rng all | None -> ());
+  let groups =
+    Array.init communities (fun c -> Array.init size (fun k -> all.((k * communities) + c)))
+  in
+  Array.iter
+    (fun group ->
+      let n = Array.length group in
+      for k = 0 to n - 1 do
+        if k < n - 1 then Db.link db ~from_id:group.(k) ~rel:"deps" ~to_id:group.(k + 1)
+      done)
+    groups;
+  groups

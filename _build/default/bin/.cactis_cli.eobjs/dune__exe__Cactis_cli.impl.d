@@ -1,0 +1,1 @@
+bin/cactis_cli.ml: Arg Cactis Cactis_apps Cactis_ddl Cmd Cmdliner Fun List Printf Script String Term

@@ -1,0 +1,1 @@
+bin/cactis_cli.mli:

@@ -1,0 +1,1 @@
+bin/script.ml: Buffer Cactis Cactis_ddl Format Fun Hashtbl List String

@@ -1,0 +1,207 @@
+(* cactis — command-line front end.
+
+   Subcommands:
+     check  FILE.cactis            parse + elaborate a schema, report it
+     fmt    FILE.cactis            pretty-print the schema
+     run    FILE.cactis SCRIPT     load a schema and execute a script
+     demo   milestones|make|flow   run a built-in demonstration
+
+   Built with cmdliner; see `cactis --help`. *)
+
+module Schema = Cactis.Schema
+module Db = Cactis.Db
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_schema path =
+  let src = read_file path in
+  (Cactis_ddl.Parser.parse_schema src, Cactis_ddl.Elaborate.load_string src)
+
+let handle_errors f =
+  try f () with
+  | Cactis_ddl.Lexer.Error { line; col; message } ->
+    Printf.eprintf "lexical error at %d:%d: %s\n" line col message;
+    exit 1
+  | Cactis_ddl.Parser.Error { line; col; message } ->
+    Printf.eprintf "syntax error at %d:%d: %s\n" line col message;
+    exit 1
+  | Cactis_ddl.Elaborate.Error message ->
+    Printf.eprintf "schema error: %s\n" message;
+    exit 1
+  | Cactis.Errors.Unknown m | Cactis.Errors.Type_error m ->
+    Printf.eprintf "error: %s\n" m;
+    exit 1
+  | Script.Script_error (line, message) ->
+    Printf.eprintf "script error at line %d: %s\n" line message;
+    exit 1
+  | Sys_error m ->
+    Printf.eprintf "%s\n" m;
+    exit 1
+
+(* ---- check ---- *)
+
+let check_cmd path verbose =
+  handle_errors (fun () ->
+      let items, sch = load_schema path in
+      (match Cactis_ddl.Typecheck.check items with
+      | [] -> ()
+      | errors ->
+        List.iter (fun e -> Printf.eprintf "type error: %s\n" e) errors;
+        exit 1);
+      Printf.printf "%s: ok (parsed, type-checked, elaborated)\n" path;
+      if verbose then print_string (Schema.describe sch);
+      List.iter
+        (fun tn ->
+          let attrs = Schema.attrs sch ~type_name:tn in
+          let derived =
+            List.length
+              (List.filter
+                 (fun (d : Schema.attr_def) ->
+                   match d.Schema.kind with Schema.Derived _ -> true | _ -> false)
+                 attrs)
+          in
+          let cons =
+            List.length (List.filter (fun (d : Schema.attr_def) -> d.Schema.constraint_ <> None) attrs)
+          in
+          Printf.printf "  class %-20s %2d attrs (%d derived, %d constraints), %d relationships\n"
+            tn (List.length attrs) derived cons
+            (List.length (Schema.rels sch ~type_name:tn)))
+        (Schema.type_names sch);
+      List.iter (fun s -> Printf.printf "  subtype %s\n" s) (Schema.subtype_names sch))
+
+(* ---- fmt ---- *)
+
+let fmt_cmd path =
+  handle_errors (fun () ->
+      let items, _ = load_schema path in
+      print_string (Cactis_ddl.Pretty.schema_to_string items))
+
+(* ---- run ---- *)
+
+let run_cmd schema_path script_path snapshot =
+  handle_errors (fun () ->
+      let _, sch = load_schema schema_path in
+      let db =
+        match snapshot with
+        | Some path -> Cactis.Snapshot.load sch (read_file path)
+        | None -> Db.create sch
+      in
+      let output = Script.run db (read_file script_path) in
+      print_string output)
+
+(* ---- repl ---- *)
+
+let repl_cmd schema_path snapshot =
+  handle_errors (fun () ->
+      let _, sch = load_schema schema_path in
+      let db =
+        match snapshot with
+        | Some path -> Cactis.Snapshot.load sch (read_file path)
+        | None -> Db.create sch
+      in
+      print_endline "Cactis interactive session. Commands: new/set/get/link/unlink/delete,";
+      print_endline "begin/commit/abort, undo/redo, tag/checkout, select, members, dump, quit.";
+      Script.repl db ~input:stdin ~output:stdout)
+
+(* ---- demo ---- *)
+
+let demo_cmd which =
+  handle_errors (fun () ->
+      match which with
+      | "milestones" ->
+        let module M = Cactis_apps.Milestone in
+        let m = M.create () in
+        let a = M.add m ~name:"design" ~scheduled:10.0 ~local_work:5.0 in
+        let b = M.add m ~name:"build" ~scheduled:30.0 ~local_work:12.0 in
+        M.depends_on m b a;
+        print_string (M.report m);
+        print_endline "-- design slips 20 days --";
+        M.slip m a 20.0;
+        print_string (M.report m)
+      | "make" ->
+        let module Fs = Cactis_apps.Fs_sim in
+        let module Mk = Cactis_apps.Makefac in
+        let fs = Fs.create () in
+        Fs.write_file fs "main.c" "int main(){}";
+        let mk = Mk.create fs in
+        let src = Mk.add_rule mk ~file:"main.c" ~command:"" in
+        let exe = Mk.add_rule mk ~file:"main" ~command:"cc main.c -o main" in
+        Mk.add_dependency mk ~rule:exe ~on:src;
+        List.iter print_endline (Mk.build mk exe);
+        print_endline "-- rebuild (current) --";
+        (match Mk.build mk exe with
+        | [] -> print_endline "(nothing to do)"
+        | cmds -> List.iter print_endline cmds)
+      | "flow" ->
+        let module F = Cactis_apps.Flowan in
+        let p =
+          F.Seq
+            ( F.Assign { target = "x"; uses = [ "input" ]; label = "X" },
+              F.Assign { target = "y"; uses = [ "x" ]; label = "Y" } )
+        in
+        let t = F.analyze ~exit_live:[ "y" ] p in
+        List.iter
+          (fun n ->
+            Printf.printf "%-5s live_in={%s}\n" (F.label t n) (String.concat "," (F.live_in t n)))
+          (F.nodes t)
+      | other ->
+        Printf.eprintf "unknown demo %s (milestones|make|flow)\n" other;
+        exit 1)
+
+(* ---- cmdliner wiring ---- *)
+
+open Cmdliner
+
+let schema_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"SCHEMA" ~doc:"Schema (.cactis) file.")
+
+let check_t =
+  let doc = "Parse, type-check and elaborate a schema file, reporting its classes." in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the full elaborated schema.")
+  in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const check_cmd $ schema_arg $ verbose)
+
+let fmt_t =
+  let doc = "Pretty-print a schema file." in
+  Cmd.v (Cmd.info "fmt" ~doc) Term.(const fmt_cmd $ schema_arg)
+
+let run_t =
+  let doc = "Load a schema and execute a script of database primitives." in
+  let script_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"SCRIPT" ~doc:"Script file.")
+  in
+  let snapshot_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "snapshot" ] ~docv:"FILE" ~doc:"Load a data snapshot before running the script.")
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run_cmd $ schema_arg $ script_arg $ snapshot_arg)
+
+let demo_t =
+  let doc = "Run a built-in demo (milestones, make, flow)." in
+  let which = Arg.(required & pos 0 (some string) None & info [] ~docv:"DEMO" ~doc) in
+  Cmd.v (Cmd.info "demo" ~doc) Term.(const demo_cmd $ which)
+
+let repl_t =
+  let doc = "Interactive session against a schema (optionally over a snapshot)." in
+  let snapshot_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "snapshot" ] ~docv:"FILE" ~doc:"Load a data snapshot before starting.")
+  in
+  Cmd.v (Cmd.info "repl" ~doc) Term.(const repl_cmd $ schema_arg $ snapshot_arg)
+
+let main =
+  let doc = "Cactis: object-oriented database with functionally-defined data" in
+  Cmd.group
+    (Cmd.info "cactis" ~version:"1.0.0" ~doc)
+    [ check_t; fmt_t; run_t; repl_t; demo_t ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,157 @@
+(** Line-oriented script interpreter for the CLI.
+
+    Scripts drive a database loaded from a DDL file with the paper's
+    primitive operations:
+
+    {v
+    new   x milestone           -- create an instance, bind it to x
+    set   x.local_work = 5.0    -- replace an intrinsic (constant expr)
+    get   x.exp_compl           -- query (prints the value)
+    link  x.depends_on y        -- establish a relationship
+    unlink x.depends_on y
+    delete x
+    begin / commit / abort      -- explicit transactions
+    undo / redo                 -- the Undo meta-action
+    tag v1 / checkout v1        -- versions
+    members subtype_name        -- list instances in a subtype
+    select class where expr     -- ad-hoc predicate query
+    explain x.attr              -- dependency tree behind a derived value
+    dump path                   -- write a data snapshot
+    echo  text...               -- print
+    v}
+
+    Lines starting with [#] or [--] are comments. *)
+
+module Db = Cactis.Db
+module Value = Cactis.Value
+module Errors = Cactis.Errors
+
+exception Script_error of int * string
+
+let error line fmt = Format.kasprintf (fun s -> raise (Script_error (line, s))) fmt
+
+type env = {
+  db : Db.t;
+  vars : (string, int) Hashtbl.t;
+  out : Buffer.t;
+}
+
+let create db = { db; vars = Hashtbl.create 16; out = Buffer.create 256 }
+
+let lookup env line v =
+  match Hashtbl.find_opt env.vars v with
+  | Some id -> id
+  | None -> error line "unknown variable %s" v
+
+let split_dot line s =
+  match String.index_opt s '.' with
+  | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | None -> error line "expected var.attr, got %s" s
+
+let const_expr line src =
+  try Cactis_ddl.Elaborate.const_value (Cactis_ddl.Parser.parse_expr src)
+  with Cactis_ddl.Parser.Error { message; _ } -> error line "bad expression: %s" message
+
+let words s = String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let print env fmt = Format.kasprintf (fun s -> Buffer.add_string env.out (s ^ "\n")) fmt
+
+let exec_line env lineno raw =
+  let line = String.trim raw in
+  if line = "" || String.length line >= 1 && line.[0] = '#' then ()
+  else if String.length line >= 2 && String.sub line 0 2 = "--" then ()
+  else
+    match words line with
+    | [ "new"; var; class_name ] ->
+      let id = Db.create_instance env.db class_name in
+      Hashtbl.replace env.vars var id
+    | "set" :: target :: "=" :: rest ->
+      let var, attr = split_dot lineno target in
+      Db.set env.db (lookup env lineno var) attr (const_expr lineno (String.concat " " rest))
+    | [ "get"; target ] ->
+      let var, attr = split_dot lineno target in
+      let v = Db.get env.db (lookup env lineno var) attr in
+      print env "%s = %s" target (Value.to_string v)
+    | [ "link"; target; other ] ->
+      let var, rel = split_dot lineno target in
+      Db.link env.db ~from_id:(lookup env lineno var) ~rel ~to_id:(lookup env lineno other)
+    | [ "unlink"; target; other ] ->
+      let var, rel = split_dot lineno target in
+      Db.unlink env.db ~from_id:(lookup env lineno var) ~rel ~to_id:(lookup env lineno other)
+    | [ "delete"; var ] ->
+      Db.delete_instance env.db (lookup env lineno var);
+      Hashtbl.remove env.vars var
+    | [ "begin" ] -> Db.begin_txn env.db
+    | [ "commit" ] -> Db.commit env.db
+    | [ "abort" ] -> Db.abort env.db
+    | [ "undo" ] -> Db.undo_last env.db
+    | [ "redo" ] -> Db.redo env.db
+    | [ "tag"; name ] -> Db.tag env.db name
+    | [ "checkout"; name ] -> Db.checkout env.db name
+    | [ "members"; sub ] ->
+      let ids = Db.subtype_members env.db sub in
+      print env "%s members: [%s]" sub (String.concat "; " (List.map string_of_int ids))
+    | "echo" :: rest -> print env "%s" (String.concat " " rest)
+    | "select" :: type_name :: "where" :: rest -> (
+      let where = String.concat " " rest in
+      match Cactis_ddl.Query.select env.db ~type_name ~where with
+      | ids ->
+        print env "select %s where %s: [%s]" type_name where
+          (String.concat "; " (List.map string_of_int ids))
+      | exception Cactis_ddl.Query.Error m -> error lineno "%s" m)
+    | [ "explain"; target ] ->
+      let var, attr = split_dot lineno target in
+      print env "%s" (String.trim (Cactis.Explain.render env.db (lookup env lineno var) attr))
+    | [ "dump"; path ] ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Cactis.Snapshot.save env.db));
+      print env "dumped %d instances to %s" (List.length (Db.instance_ids env.db)) path
+    | cmd :: _ -> error lineno "unknown command %s" cmd
+    | [] -> ()
+
+(** [repl db ~input ~output] — interactive loop: one command per line,
+    errors reported and recovered from, [quit]/EOF ends the session. *)
+let repl db ~input ~output =
+  let env = create db in
+  let prompt () =
+    output_string output "cactis> ";
+    flush output
+  in
+  let show () =
+    let s = Buffer.contents env.out in
+    Buffer.clear env.out;
+    if s <> "" then output_string output s;
+    flush output
+  in
+  let rec loop n =
+    prompt ();
+    match input_line input with
+    | exception End_of_file -> ()
+    | "quit" | "exit" -> ()
+    | line ->
+      (try exec_line env n line with
+      | Script_error (_, m) -> print env "error: %s" m
+      | Errors.Constraint_violation { message; _ } ->
+        print env "constraint violation: %s (rolled back)" message
+      | Errors.Unknown m | Errors.Type_error m | Errors.Cardinality m -> print env "error: %s" m
+      | Errors.Cycle _ -> print env "error: circular attribute dependency");
+      show ();
+      loop (n + 1)
+  in
+  loop 1
+
+(** [run db source] executes a whole script; returns the printed
+    output.  @raise Script_error with a line number on bad input;
+    database errors (constraint violations etc.) propagate. *)
+let run db source =
+  let env = create db in
+  List.iteri
+    (fun i line ->
+      try exec_line env (i + 1) line with
+      | Script_error _ as e -> raise e
+      | Errors.Constraint_violation { message; _ } ->
+        print env "line %d: constraint violation: %s (transaction rolled back)" (i + 1) message)
+    (String.split_on_char '\n' source);
+  Buffer.contents env.out

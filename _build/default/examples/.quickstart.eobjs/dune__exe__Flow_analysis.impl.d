@@ -1,0 +1,1 @@
+examples/flow_analysis.ml: Cactis Cactis_apps List Printf String

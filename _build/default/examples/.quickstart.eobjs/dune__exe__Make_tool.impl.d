@@ -1,0 +1,1 @@
+examples/make_tool.ml: Cactis_apps List Printf

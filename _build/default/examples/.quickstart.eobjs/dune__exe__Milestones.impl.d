@@ -1,0 +1,1 @@
+examples/milestones.ml: Cactis Cactis_apps List Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cactis Cactis_util List Printf

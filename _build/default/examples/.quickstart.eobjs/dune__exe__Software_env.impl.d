@@ -1,0 +1,1 @@
+examples/software_env.ml: Cactis Cactis_apps Cactis_ddl List Printf String

@@ -1,0 +1,1 @@
+examples/versions_demo.ml: Cactis Cactis_apps List Printf String

@@ -1,0 +1,52 @@
+(* Program flow analysis as attribute evaluation (§4): live variables and
+   reaching definitions over a goto-less structured program, maintained
+   incrementally as the program is edited.
+
+   Run with: dune exec examples/flow_analysis.exe *)
+
+module F = Cactis_apps.Flowan
+module Db = Cactis.Db
+module Value = Cactis.Value
+
+let assign ?(uses = []) target label = F.Assign { target; uses; label }
+let seq = List.fold_left (fun a b -> F.Seq (a, b))
+
+let () =
+  (* x := input; y := x * 2; if (cond) t := y else t := 1;
+     scratch := 7; out := t
+     — 'scratch' is assigned but never read: a dead assignment. *)
+  let program =
+    seq
+      (assign "x" ~uses:[ "input" ] "X")
+      [
+        assign "y" ~uses:[ "x" ] "Y";
+        F.If
+          {
+            cond_uses = [ "cond" ];
+            then_ = assign "t" ~uses:[ "y" ] "T1";
+            else_ = assign "t" "T2";
+          };
+        assign "scratch" "SCR";
+        assign "out" ~uses:[ "t" ] "OUT";
+      ]
+  in
+  let t = F.analyze ~exit_live:[ "out" ] program in
+  print_endline "node  live_in              live_out             reaching defs (in)";
+  List.iter
+    (fun n ->
+      Printf.printf "%-5s %-20s %-20s %s\n" (F.label t n)
+        (String.concat "," (F.live_in t n))
+        (String.concat "," (F.live_out t n))
+        (String.concat "," (F.reaching_in t n)))
+    (F.nodes t);
+
+  Printf.printf "\ndead assignments: %s\n"
+    (String.concat ", " (List.map (F.label t) (F.dead_assignments t)));
+
+  (* Incremental edit: OUT starts using 'scratch' too — liveness updates
+     ripple backwards without reanalyzing the program, and the SCR
+     assignment stops being dead. *)
+  let out_node = List.find (fun n -> F.label t n = "OUT") (F.nodes t) in
+  Db.set (F.db t) out_node "use" (Value.Arr [| Value.Str "scratch"; Value.Str "t" |]);
+  Printf.printf "after OUT also reads 'scratch': dead assignments = [%s]\n"
+    (String.concat ", " (List.map (F.label t) (F.dead_assignments t)))

@@ -1,0 +1,61 @@
+(* Make facility (Figures 2-4): dependency-driven minimal recompilation
+   over a simulated filesystem, including the "keep constantly up to
+   date" subtype variant from §4.
+
+   Run with: dune exec examples/make_tool.exe *)
+
+module Fs = Cactis_apps.Fs_sim
+module Mk = Cactis_apps.Makefac
+
+let show_run label cmds =
+  Printf.printf "%s\n" label;
+  (match cmds with
+  | [] -> print_endline "  (nothing to do)"
+  | _ -> List.iter (fun c -> Printf.printf "  $ %s\n" c) cmds);
+  print_newline ()
+
+let () =
+  let fs = Fs.create () in
+  List.iter
+    (fun (f, c) -> Fs.write_file fs f c)
+    [
+      ("lexer.c", "...");
+      ("parser.c", "...");
+      ("eval.c", "...");
+      ("util.h", "...");
+    ];
+  let mk = Mk.create fs in
+  let src f = Mk.add_rule mk ~file:f ~command:"" in
+  let lexer_c = src "lexer.c"
+  and parser_c = src "parser.c"
+  and eval_c = src "eval.c"
+  and util_h = src "util.h" in
+  let obj name deps =
+    let o = Mk.add_rule mk ~file:(name ^ ".o") ~command:(Printf.sprintf "cc -c %s.c -o %s.o" name name) in
+    List.iter (fun d -> Mk.add_dependency mk ~rule:o ~on:d) deps;
+    o
+  in
+  let lexer_o = obj "lexer" [ lexer_c; util_h ] in
+  let parser_o = obj "parser" [ parser_c; util_h ] in
+  let eval_o = obj "eval" [ eval_c ] in
+  let interp = Mk.add_rule mk ~file:"interp" ~command:"cc lexer.o parser.o eval.o -o interp" in
+  List.iter (fun d -> Mk.add_dependency mk ~rule:interp ~on:d) [ lexer_o; parser_o; eval_o ];
+
+  show_run "== first build (everything stale) ==" (Mk.build mk interp);
+  show_run "== immediate rebuild ==" (Mk.build mk interp);
+
+  Fs.touch fs "parser.c";
+  Mk.sync mk;
+  show_run "== after editing parser.c ==" (Mk.build mk interp);
+
+  Fs.touch fs "util.h";
+  Mk.sync mk;
+  show_run "== after editing util.h (both dependents) ==" (Mk.build mk interp);
+
+  (* §4's extension: a rule that insists on staying current. *)
+  Mk.enable_keep_current mk interp;
+  Fs.touch fs "eval.c";
+  show_run "== auto_build with keep-current interp ==" (Mk.auto_build mk);
+
+  print_endline "command journal:";
+  List.iter (fun c -> Printf.printf "  %s\n" c) (Fs.journal fs)

@@ -1,0 +1,45 @@
+(* Milestone manager (Figure 1 / §4): a project plan whose expected
+   completion dates ripple along dependencies, with the dynamically-added
+   very_late extension.
+
+   Run with: dune exec examples/milestones.exe *)
+
+module M = Cactis_apps.Milestone
+module Db = Cactis.Db
+
+let () =
+  let m = M.create () in
+  let requirements = M.add m ~name:"requirements" ~scheduled:10.0 ~local_work:8.0 in
+  let design = M.add m ~name:"design" ~scheduled:25.0 ~local_work:10.0 in
+  let parser_ms = M.add m ~name:"parser" ~scheduled:45.0 ~local_work:15.0 in
+  let typechecker = M.add m ~name:"typechecker" ~scheduled:55.0 ~local_work:20.0 in
+  let backend = M.add m ~name:"backend" ~scheduled:70.0 ~local_work:25.0 in
+  let integration = M.add m ~name:"integration" ~scheduled:80.0 ~local_work:10.0 in
+  let docs = M.add m ~name:"docs" ~scheduled:75.0 ~local_work:5.0 in
+  M.depends_on m design requirements;
+  M.depends_on m parser_ms design;
+  M.depends_on m typechecker design;
+  M.depends_on m backend typechecker;
+  M.depends_on m integration parser_ms;
+  M.depends_on m integration backend;
+  M.depends_on m docs design;
+
+  print_endline "== initial plan ==";
+  print_string (M.report m);
+
+  print_endline "\n== the typechecker slips by 30 days ==";
+  M.slip m typechecker 30.0;
+  print_string (M.report m);
+
+  Printf.printf "\ncritical path to integration: %s\n"
+    (String.concat " -> " (List.map (M.name m) (M.critical_path m integration)));
+
+  (* §4: extend the running system with a very_late attribute + subtype;
+     no existing tool or attribute is touched. *)
+  M.enable_very_late m ~limit_days:15.0;
+  Printf.printf "\nvery late (>15 days over schedule): %s\n"
+    (String.concat ", " (List.map (M.name m) (M.very_late_set m)));
+
+  print_endline "\n== Undo the slip (paper's Undo meta-action) ==";
+  Db.undo_last (M.db m);
+  print_string (M.report m)

@@ -1,0 +1,1 @@
+lib/apps/configman.ml: Buffer Cactis Cactis_ddl List Printf

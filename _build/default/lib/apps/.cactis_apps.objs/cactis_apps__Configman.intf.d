@@ -1,0 +1,1 @@
+lib/apps/configman.mli: Cactis

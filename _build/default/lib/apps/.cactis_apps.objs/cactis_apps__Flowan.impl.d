@@ -1,0 +1,1 @@
+lib/apps/flowan.ml: Array Cactis List

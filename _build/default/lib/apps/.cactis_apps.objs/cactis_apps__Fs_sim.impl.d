@@ -1,0 +1,1 @@
+lib/apps/fs_sim.ml: Cactis_util Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/apps/fs_sim.mli: Cactis_util

@@ -1,0 +1,1 @@
+lib/apps/makefac.ml: Cactis Cactis_util Fs_sim Hashtbl List

@@ -1,0 +1,1 @@
+lib/apps/makefac.mli: Cactis Cactis_util Fs_sim

@@ -1,0 +1,1 @@
+lib/apps/milestone.ml: Buffer Cactis Cactis_ddl Cactis_util List Printf

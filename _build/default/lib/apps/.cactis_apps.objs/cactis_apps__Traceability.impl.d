@@ -1,0 +1,1 @@
+lib/apps/traceability.ml: Cactis Cactis_ddl List

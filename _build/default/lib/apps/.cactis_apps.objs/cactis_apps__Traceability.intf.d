@@ -1,0 +1,1 @@
+lib/apps/traceability.mli: Cactis

@@ -1,0 +1,1 @@
+lib/apps/uidemo.ml: Cactis Cactis_util List Printf String

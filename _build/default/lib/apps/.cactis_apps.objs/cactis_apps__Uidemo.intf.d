@@ -1,0 +1,1 @@
+lib/apps/uidemo.mli: Cactis

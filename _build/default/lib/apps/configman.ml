@@ -1,0 +1,94 @@
+module Db = Cactis.Db
+module Value = Cactis.Value
+
+type t = { database : Db.t }
+
+type kind =
+  | Source
+  | Object
+
+let schema_src =
+  {|
+  object class component is
+    relationships
+      part_of : configuration multi socket inverse includes;
+    attributes
+      name    : string;
+      version : int := 1;
+      stable  : bool := false;
+      kind    : string := "source";
+  end object;
+
+  object class configuration is
+    relationships
+      includes : component multi plug inverse part_of;
+    attributes
+      name           : string;
+      require_stable : bool := false;
+    rules
+      size        = count(includes.name);
+      min_version = min(includes.version default 0);
+      consistent  = not require_stable or all(includes.stable);
+  end object;
+
+  subtype source_module of component where kind = "source" end subtype;
+  subtype object_module of component where kind = "object" end subtype;
+|}
+
+let create () = { database = Db.create (Cactis_ddl.Elaborate.load_string schema_src) }
+
+let db t = t.database
+
+let kind_string = function Source -> "source" | Object -> "object"
+
+let add_component t ~name ~kind =
+  Db.with_txn t.database (fun () ->
+      let id = Db.create_instance t.database "component" in
+      Db.set t.database id "name" (Value.Str name);
+      Db.set t.database id "kind" (Value.Str (kind_string kind));
+      id)
+
+let bump_version t comp =
+  Db.with_txn t.database (fun () ->
+      let v = Value.as_int (Db.get t.database ~watch:false comp "version") in
+      Db.set t.database comp "version" (Value.Int (v + 1));
+      (* A rebuilt component is unproven until marked stable again. *)
+      Db.set t.database comp "stable" (Value.Bool false))
+
+let mark_stable t comp = Db.set t.database comp "stable" (Value.Bool true)
+let version t comp = Value.as_int (Db.get t.database ~watch:false comp "version")
+let is_stable t comp = Value.as_bool (Db.get t.database ~watch:false comp "stable")
+
+let source_modules t = Db.subtype_members t.database "source_module"
+let object_modules t = Db.subtype_members t.database "object_module"
+
+let add_configuration t ~name ~require_stable =
+  Db.with_txn t.database (fun () ->
+      let id = Db.create_instance t.database "configuration" in
+      Db.set t.database id "name" (Value.Str name);
+      Db.set t.database id "require_stable" (Value.Bool require_stable);
+      id)
+
+let include_component t ~config ~component =
+  Db.link t.database ~from_id:config ~rel:"includes" ~to_id:component
+
+let size t config = Value.as_int (Db.get t.database config "size")
+let min_version t config = Value.as_int (Db.get t.database config "min_version")
+let consistent t config = Value.as_bool (Db.get t.database config "consistent")
+
+let configurations_of t component = Db.related t.database component "part_of"
+
+let freeze t ~label = Db.tag t.database label
+let restore t ~label = Db.checkout t.database label
+
+let report t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun id ->
+      Buffer.add_string buf
+        (Printf.sprintf "config %-14s size %2d  min-version %2d  %s\n"
+           (Value.as_string (Db.get t.database ~watch:false id "name"))
+           (size t id) (min_version t id)
+           (if consistent t id then "consistent" else "INCONSISTENT")))
+    (Db.instances_of_type t.database "configuration");
+  Buffer.contents buf

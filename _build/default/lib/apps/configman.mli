@@ -1,0 +1,70 @@
+(** Configuration management (§3).
+
+    The paper lists configurations among the core software-environment
+    object types: "a configuration is made up of a number of instances of
+    the type program; source and object modules might be viewed as
+    subtypes of type program."  This tool models exactly that:
+
+    - {e components} carry a name, a version counter, a stability flag
+      and a kind; [source_module] / [object_module] are predicate
+      subtypes over the kind (the paper's example subtyping);
+    - {e configurations} include components through a many-to-many
+      relationship; their size, minimum included version and
+      consistency ("every included component is stable", when the
+      configuration demands stability) are derived attributes, so
+      bumping one component's version or stability ripples into every
+      configuration including it;
+    - {e freezing} a configuration names the database state through the
+      version facility; {!restore} checks the frozen state out again —
+      the paper's "retention, recall, and management of multiple related
+      versions of objects". *)
+
+type t
+
+val create : unit -> t
+
+val db : t -> Cactis.Db.t
+
+type kind =
+  | Source
+  | Object
+
+(** [add_component t ~name ~kind] — new component at version 1,
+    unstable. *)
+val add_component : t -> name:string -> kind:kind -> int
+
+(** [bump_version t comp] increments the version and resets stability
+    (a fresh build is unproven). *)
+val bump_version : t -> int -> unit
+
+val mark_stable : t -> int -> unit
+val version : t -> int -> int
+val is_stable : t -> int -> bool
+
+(** Subtype membership queries (the paper's source/object example). *)
+val source_modules : t -> int list
+
+val object_modules : t -> int list
+
+(** [add_configuration t ~name ~require_stable] *)
+val add_configuration : t -> name:string -> require_stable:bool -> int
+
+val include_component : t -> config:int -> component:int -> unit
+
+val size : t -> int -> int
+val min_version : t -> int -> int
+
+(** True iff the configuration doesn't demand stability, or every
+    included component is stable. *)
+val consistent : t -> int -> bool
+
+(** Configurations including the given component (ripple audience). *)
+val configurations_of : t -> int -> int list
+
+(** [freeze t config ~label] tags the database state; [restore] checks
+    it out.  @raise Cactis.Errors.Unknown for unknown labels. *)
+val freeze : t -> label:string -> unit
+
+val restore : t -> label:string -> unit
+
+val report : t -> string

@@ -1,0 +1,147 @@
+module Db = Cactis.Db
+module Schema = Cactis.Schema
+module Rule = Cactis.Rule
+module Value = Cactis.Value
+
+type program =
+  | Assign of { target : string; uses : string list; label : string }
+  | Seq of program * program
+  | If of { cond_uses : string list; then_ : program; else_ : program }
+  | While of { cond_uses : string list; body : program }
+
+type t = {
+  database : Db.t;
+  order : int list;  (* program order *)
+}
+
+(* ---- string-set values (sorted unique arrays of Str) ---- *)
+
+let set_of_list l =
+  Value.Arr (Array.of_list (List.map (fun s -> Value.Str s) (List.sort_uniq compare l)))
+
+let list_of_set v = Array.to_list (Value.as_array v) |> List.map Value.as_string
+
+let union2 a b = set_of_list (list_of_set a @ list_of_set b)
+
+let union_all vs = set_of_list (List.concat_map list_of_set vs)
+
+let diff a b =
+  let bl = list_of_set b in
+  set_of_list (List.filter (fun x -> not (List.mem x bl)) (list_of_set a))
+
+let empty_set = set_of_list []
+
+(* ---- schema ---- *)
+
+let install_schema sch =
+  Schema.add_type sch "flow_node";
+  Schema.declare_relationship sch ~from_type:"flow_node" ~rel:"succ" ~to_type:"flow_node"
+    ~inverse:"pred" ~card:Schema.Multi ~inverse_card:Schema.Multi;
+  List.iter
+    (fun name -> Schema.add_attr sch ~type_name:"flow_node" (Rule.intrinsic name empty_set))
+    [ "def"; "use"; "gen"; "kill" ];
+  Schema.add_attr sch ~type_name:"flow_node" (Rule.intrinsic "label" (Value.Str ""));
+  (* Backward analysis: liveness flows from successors. *)
+  Schema.add_attr sch ~type_name:"flow_node"
+    (Rule.derived "live_out"
+       (Rule.make [ Schema.Rel ("succ", "live_in") ] (fun env ->
+            union_all (env.Schema.related_values "succ" "live_in"))));
+  Schema.add_attr sch ~type_name:"flow_node"
+    (Rule.derived "live_in"
+       (Rule.map3 "use" "live_out" "def" (fun use out def -> union2 use (diff out def))));
+  (* Forward analysis: reaching definitions flow from predecessors. *)
+  Schema.add_attr sch ~type_name:"flow_node"
+    (Rule.derived "reach_in"
+       (Rule.make [ Schema.Rel ("pred", "reach_out") ] (fun env ->
+            union_all (env.Schema.related_values "pred" "reach_out"))));
+  Schema.add_attr sch ~type_name:"flow_node"
+    (Rule.derived "reach_out"
+       (Rule.map3 "gen" "reach_in" "kill" (fun gen rin kill -> union2 gen (diff rin kill))))
+
+(* ---- CFG construction ---- *)
+
+(* All labels assigning each variable, for kill sets. *)
+let rec assignments acc = function
+  | Assign { target; label; _ } -> (target, label) :: acc
+  | Seq (a, b) -> assignments (assignments acc a) b
+  | If { then_; else_; _ } -> assignments (assignments acc then_) else_
+  | While { body; _ } -> assignments acc body
+
+let analyze ?(exit_live = []) program =
+  let sch = Schema.create () in
+  install_schema sch;
+  let database = Db.create sch in
+  let all_assigns = assignments [] program in
+  let order = ref [] in
+  let new_node ~label ~def ~use ~gen ~kill =
+    Db.with_txn database (fun () ->
+        let id = Db.create_instance database "flow_node" in
+        Db.set database id "label" (Value.Str label);
+        Db.set database id "def" (set_of_list def);
+        Db.set database id "use" (set_of_list use);
+        Db.set database id "gen" (set_of_list gen);
+        Db.set database id "kill" (set_of_list kill);
+        order := id :: !order;
+        id)
+  in
+  let connect froms to_ =
+    List.iter (fun f -> Db.link database ~from_id:f ~rel:"succ" ~to_id:to_) froms
+  in
+  (* Returns (entry node, exit nodes). *)
+  let rec build = function
+    | Assign { target; uses; label } ->
+      let kill =
+        List.filter_map
+          (fun (v, l) -> if v = target && l <> label then Some l else None)
+          all_assigns
+      in
+      let id = new_node ~label ~def:[ target ] ~use:uses ~gen:[ label ] ~kill in
+      (id, [ id ])
+    | Seq (a, b) ->
+      let entry_a, exits_a = build a in
+      let entry_b, exits_b = build b in
+      connect exits_a entry_b;
+      (entry_a, exits_b)
+    | If { cond_uses; then_; else_ } ->
+      let cond = new_node ~label:"if" ~def:[] ~use:cond_uses ~gen:[] ~kill:[] in
+      let entry_t, exits_t = build then_ in
+      let entry_e, exits_e = build else_ in
+      connect [ cond ] entry_t;
+      connect [ cond ] entry_e;
+      (cond, exits_t @ exits_e)
+    | While { cond_uses; body } ->
+      (* Deliberately cyclic: the analysis rules will detect the cycle,
+         matching the paper's "goto-less languages only" restriction. *)
+      let cond = new_node ~label:"while" ~def:[] ~use:cond_uses ~gen:[] ~kill:[] in
+      let entry_b, exits_b = build body in
+      connect [ cond ] entry_b;
+      connect exits_b cond;
+      (cond, [ cond ])
+  in
+  let entry, exits = build program in
+  ignore entry;
+  (* A synthetic exit node holds the variables live at program exit
+     (results, globals), so final assignments to them are not flagged
+     dead. *)
+  if exit_live <> [] then begin
+    let exit_node = new_node ~label:"exit" ~def:[] ~use:exit_live ~gen:[] ~kill:[] in
+    connect exits exit_node
+  end;
+  { database; order = List.rev !order }
+
+let db t = t.database
+let nodes t = t.order
+let label t id = Value.as_string (Db.get t.database ~watch:false id "label")
+
+let live_in t id = list_of_set (Db.get t.database id "live_in")
+let live_out t id = list_of_set (Db.get t.database id "live_out")
+let reaching_in t id = list_of_set (Db.get t.database id "reach_in")
+let reaching_out t id = list_of_set (Db.get t.database id "reach_out")
+
+let dead_assignments t =
+  List.filter
+    (fun id ->
+      match list_of_set (Db.get t.database ~watch:false id "def") with
+      | [ target ] -> not (List.mem target (live_out t id))
+      | _ -> false)
+    t.order

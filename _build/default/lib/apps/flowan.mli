@@ -1,0 +1,57 @@
+(** Program flow analysis via attribute evaluation (§4).
+
+    "Since Cactis does not support data cycles, it can only handle flow
+    analysis for simple languages such as a goto-less Pascal" — we
+    implement exactly that: structured programs of assignments,
+    sequences and conditionals are compiled to a control-flow DAG stored
+    as database objects, and the two classic analyses are expressed as
+    attribute evaluation rules:
+
+    - {e live variables} (backward): [live_out = ∪ succ.live_in],
+      [live_in = use ∪ (live_out − def)];
+    - {e reaching definitions} (forward): [reach_in = ∪ pred.reach_out],
+      [reach_out = gen ∪ (reach_in − kill)].
+
+    Loops would make the attribute graph cyclic; building a program with
+    a [While] raises {!Cactis.Errors.Cycle} when queried, matching the
+    paper's stated limitation (the fixed-point techniques of [Far86] are
+    future work there too). *)
+
+type program =
+  | Assign of { target : string; uses : string list; label : string }
+  | Seq of program * program
+  | If of { cond_uses : string list; then_ : program; else_ : program }
+  | While of { cond_uses : string list; body : program }
+      (** unsupported by the analysis: creates an attribute cycle *)
+
+type t
+
+(** [analyze ?exit_live program] builds the CFG database.  [exit_live]
+    names the variables live at program exit (results, globals); when
+    non-empty a synthetic ["exit"] node carries them, so final
+    assignments to them are not flagged dead.  Querying a [While]-ful
+    program's attributes raises [Errors.Cycle]. *)
+val analyze : ?exit_live:string list -> program -> t
+
+val db : t -> Cactis.Db.t
+
+(** Node ids in program order (entry first); [label n] names assignment
+    nodes ("if"/"join" for synthetic nodes). *)
+val nodes : t -> int list
+
+val label : t -> int -> string
+
+(** Variables live on entry to / exit from a node. *)
+val live_in : t -> int -> string list
+
+val live_out : t -> int -> string list
+
+(** Labels of assignments reaching the entry / exit of a node. *)
+val reaching_in : t -> int -> string list
+
+val reaching_out : t -> int -> string list
+
+(** [dead_assignments t] — assignment nodes whose target is not live on
+    exit: candidates for elimination (the testing/optimization use the
+    paper cites). *)
+val dead_assignments : t -> int list

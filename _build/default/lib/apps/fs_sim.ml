@@ -1,0 +1,76 @@
+module Vtime = Cactis_util.Vtime
+
+type file = {
+  mutable content : string;
+  mutable mtime : Vtime.t;
+}
+
+type t = {
+  table : (string, file) Hashtbl.t;
+  mutable clock : Vtime.t;
+  mutable log : string list;  (* newest first *)
+  mutable interpreter : t -> string -> unit;
+}
+
+let tick = 0.001  (* days; small enough to never collide with schedule-scale times *)
+
+let now t = t.clock
+let advance t days = t.clock <- Vtime.add_days t.clock days
+
+let bump t =
+  advance t tick;
+  t.clock
+
+let write_file t path content =
+  let mtime = bump t in
+  match Hashtbl.find_opt t.table path with
+  | Some f ->
+    f.content <- content;
+    f.mtime <- mtime
+  | None -> Hashtbl.add t.table path { content; mtime }
+
+let read_file t path = Option.map (fun f -> f.content) (Hashtbl.find_opt t.table path)
+let remove t path = Hashtbl.remove t.table path
+let exists t path = Hashtbl.mem t.table path
+
+let touch t path =
+  match Hashtbl.find_opt t.table path with
+  | Some f -> f.mtime <- bump t
+  | None -> write_file t path ""
+
+let mod_time t path =
+  match Hashtbl.find_opt t.table path with
+  | Some f -> f.mtime
+  | None -> Vtime.far_future
+
+(* Default interpreter: the command's output file is the word following
+   "-o", or its last word; executing the command (re)creates that file. *)
+let default_interpreter t cmd =
+  let words = String.split_on_char ' ' cmd |> List.filter (fun w -> w <> "") in
+  let rec output_of = function
+    | "-o" :: target :: _ -> Some target
+    | _ :: rest -> output_of rest
+    | [] -> None
+  in
+  let target =
+    match output_of words with
+    | Some target -> Some target
+    | None -> ( match List.rev words with target :: _ :: _ -> Some target | _ -> None)
+  in
+  match target with
+  | Some target -> write_file t target (Printf.sprintf "built by: %s" cmd)
+  | None -> ()
+
+let create () =
+  { table = Hashtbl.create 32; clock = Vtime.epoch; log = []; interpreter = default_interpreter }
+
+let set_interpreter t f = t.interpreter <- f
+
+let run_command t cmd =
+  t.log <- cmd :: t.log;
+  t.interpreter t cmd
+
+let journal t = List.rev t.log
+let clear_journal t = t.log <- []
+
+let files t = Hashtbl.fold (fun path _ acc -> path :: acc) t.table [] |> List.sort compare

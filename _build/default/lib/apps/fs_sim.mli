@@ -1,0 +1,50 @@
+(** Simulated filesystem for the make facility (Figures 2-4).
+
+    The paper's make capability reads file modification times and issues
+    shell commands to recreate files.  To keep the reproduction
+    deterministic and observable we simulate the filesystem: files carry
+    contents and modification times on a virtual clock, and every command
+    execution is journalled, so tests can assert exactly which rebuilds
+    ran and in what order. *)
+
+type t
+
+val create : unit -> t
+
+(** Current virtual time.  The clock advances by one tick on every
+    file-mutating operation, so distinct writes get distinct times. *)
+val now : t -> Cactis_util.Vtime.t
+
+(** [advance t days] moves the clock forward explicitly. *)
+val advance : t -> float -> unit
+
+val write_file : t -> string -> string -> unit
+val read_file : t -> string -> string option
+val remove : t -> string -> unit
+val exists : t -> string -> bool
+
+(** [touch t path] bumps the file's modification time (creating an empty
+    file if needed). *)
+val touch : t -> string -> unit
+
+(** Modification time; [Vtime.far_future] when the file does not exist —
+    the exact convention of Figure 3 ("a time in the distant future if
+    the file does not exist"), which forces a rebuild. *)
+val mod_time : t -> string -> Cactis_util.Vtime.t
+
+(** [run_command t cmd] journals and interprets a command.  The built-in
+    interpreter understands ["make <path>"] / ["cc -o <path> …"]-style
+    commands whose first output is the word after [-o] or the last word:
+    it (re)creates that file at the current clock.  Install a custom
+    interpreter with {!set_interpreter} for richer behaviour. *)
+val run_command : t -> string -> unit
+
+val set_interpreter : t -> (t -> string -> unit) -> unit
+
+(** Commands executed so far, oldest first. *)
+val journal : t -> string list
+
+val clear_journal : t -> unit
+
+(** All existing paths, sorted. *)
+val files : t -> string list

@@ -1,0 +1,152 @@
+module Db = Cactis.Db
+module Schema = Cactis.Schema
+module Rule = Cactis.Rule
+module Value = Cactis.Value
+module Vtime = Cactis_util.Vtime
+
+type t = {
+  database : Db.t;
+  filesystem : Fs_sim.t;
+}
+
+let time v = Value.Time v
+
+let install_schema sch =
+  Schema.add_type sch "make_rule";
+  Schema.declare_relationship sch ~from_type:"make_rule" ~rel:"depends_on" ~to_type:"make_rule"
+    ~inverse:"output" ~card:Schema.Multi ~inverse_card:Schema.Multi;
+  Schema.add_attr sch ~type_name:"make_rule" (Rule.intrinsic "file_name" (Value.Str ""));
+  Schema.add_attr sch ~type_name:"make_rule" (Rule.intrinsic "make_command" (Value.Str ""));
+  Schema.add_attr sch ~type_name:"make_rule" (Rule.intrinsic "fs_mtime" (time Vtime.far_future));
+  Schema.add_attr sch ~type_name:"make_rule" (Rule.intrinsic "keep_current" (Value.Bool false));
+  (* Figure 3: the youngest of this file's own time and everything it
+     depends on. *)
+  Schema.add_attr sch ~type_name:"make_rule"
+    (Rule.derived "mod_time"
+       (Rule.combine_self_rel "fs_mtime" "depends_on" "mod_time" ~f:(fun own deps ->
+            Value.max_ ~default:own (own :: deps))));
+  (* The rebuild decision of Figure 4: missing file, or some dependency
+     younger than the file itself. *)
+  Schema.add_attr sch ~type_name:"make_rule"
+    (Rule.derived "needs_rebuild"
+       (Rule.combine_self_rel "fs_mtime" "depends_on" "mod_time" ~f:(fun own deps ->
+            let missing = Value.equal own (time Vtime.far_future) in
+            let stale = List.exists (fun d -> Value.compare d own > 0) deps in
+            Value.Bool (missing || stale))));
+  Schema.add_subtype sch
+    {
+      Schema.sub_name = "keep_current_rule";
+      parent = "make_rule";
+      predicate = Rule.copy_self "keep_current";
+      extra_attrs = [];
+    }
+
+let create ?db filesystem =
+  let database =
+    match db with
+    | Some db ->
+      install_schema (Db.schema db);
+      db
+    | None ->
+      let sch = Schema.create () in
+      install_schema sch;
+      Db.create sch
+  in
+  { database; filesystem }
+
+let db t = t.database
+let fs t = t.filesystem
+
+let add_rule t ~file ~command =
+  Db.with_txn t.database (fun () ->
+      let id = Db.create_instance t.database "make_rule" in
+      Db.set t.database id "file_name" (Value.Str file);
+      Db.set t.database id "make_command" (Value.Str command);
+      Db.set t.database id "fs_mtime" (time (Fs_sim.mod_time t.filesystem file));
+      id)
+
+let add_dependency t ~rule ~on = Db.link t.database ~from_id:rule ~rel:"depends_on" ~to_id:on
+
+let file_of t id = Value.as_string (Db.get t.database ~watch:false id "file_name")
+let command_of t id = Value.as_string (Db.get t.database ~watch:false id "make_command")
+
+let sync t =
+  List.iter
+    (fun id -> Db.set t.database id "fs_mtime" (time (Fs_sim.mod_time t.filesystem (file_of t id))))
+    (Db.instances_of_type t.database "make_rule")
+
+let mod_time t id = Value.as_time (Db.get t.database id "mod_time")
+let needs_rebuild t id = Value.as_bool (Db.get t.database id "needs_rebuild")
+
+(* Figure 4's traversal: ensure dependencies first, then recreate this
+   target if needed.  [visited] keeps shared dependencies to one visit
+   per build invocation. *)
+let rec ensure t visited ran id =
+  if not (Hashtbl.mem visited id) then begin
+    Hashtbl.add visited id ();
+    List.iter (ensure t visited ran) (Db.related t.database id "depends_on");
+    if needs_rebuild t id then begin
+      let cmd = command_of t id in
+      Fs_sim.run_command t.filesystem cmd;
+      ran := cmd :: !ran;
+      Db.set t.database id "fs_mtime" (time (Fs_sim.mod_time t.filesystem (file_of t id)))
+    end
+  end
+
+let build t target =
+  let visited = Hashtbl.create 16 in
+  let ran = ref [] in
+  ensure t visited ran target;
+  List.rev !ran
+
+let build_all t =
+  let visited = Hashtbl.create 16 in
+  let ran = ref [] in
+  List.iter (ensure t visited ran) (Db.instances_of_type t.database "make_rule");
+  List.rev !ran
+
+(* Which rules would rebuild, and at what parallel stage: a rule rebuilds
+   if it is stale itself or if anything it depends on rebuilds; its stage
+   is one past the latest rebuilding dependency. *)
+let build_plan t target =
+  let stage : (int, int option) Hashtbl.t = Hashtbl.create 16 in
+  (* stage = None: up to date; Some k: rebuilds in stage k *)
+  let rec visit id =
+    match Hashtbl.find_opt stage id with
+    | Some s -> s
+    | None ->
+      Hashtbl.add stage id None (* cycle guard; make graphs are DAGs *);
+      let dep_stages = List.map visit (Db.related t.database id "depends_on") in
+      let dep_max =
+        List.fold_left
+          (fun acc s -> match s with Some k -> max acc (k + 1) | None -> acc)
+          (-1) dep_stages
+      in
+      let s =
+        if dep_max >= 0 then Some dep_max
+        else if needs_rebuild t id then Some 0
+        else None
+      in
+      Hashtbl.replace stage id s;
+      s
+  in
+  ignore (visit target);
+  let max_stage =
+    Hashtbl.fold (fun _ s acc -> match s with Some k -> max acc k | None -> acc) stage (-1)
+  in
+  List.init (max_stage + 1) (fun k ->
+      Hashtbl.fold
+        (fun id s acc -> if s = Some k then (id, command_of t id) :: acc else acc)
+        stage []
+      |> List.sort compare
+      |> List.map snd)
+
+let enable_keep_current t rule = Db.set t.database rule "keep_current" (Value.Bool true)
+let disable_keep_current t rule = Db.set t.database rule "keep_current" (Value.Bool false)
+
+let auto_build t =
+  sync t;
+  let visited = Hashtbl.create 16 in
+  let ran = ref [] in
+  List.iter (ensure t visited ran) (Db.subtype_members t.database "keep_current_rule");
+  List.rev !ran

@@ -1,0 +1,102 @@
+module Db = Cactis.Db
+module Schema = Cactis.Schema
+module Rule = Cactis.Rule
+module Value = Cactis.Value
+module Vtime = Cactis_util.Vtime
+
+type t = { database : Db.t }
+
+(* The schema is the DDL rendering of Figure 1 — built through the DDL
+   front-end, as a user of the system would. *)
+let schema_src =
+  {|
+  object class milestone is
+    relationships
+      depends_on  : milestone multi socket inverse consists_of;
+      consists_of : milestone multi plug   inverse depends_on;
+    attributes
+      name        : string;
+      sched_compl : time;
+      local_work  : float := 1.0;
+    rules
+      exp_compl = max(depends_on.exp_compl default time(0)) + local_work;
+      late = later_than(exp_compl, sched_compl);
+  end object;
+|}
+
+let create ?strategy () =
+  let sch = Cactis_ddl.Elaborate.load_string schema_src in
+  { database = Db.create ?strategy sch }
+
+let db t = t.database
+
+let add t ~name ~scheduled ~local_work =
+  Db.with_txn t.database (fun () ->
+      let id = Db.create_instance t.database "milestone" in
+      Db.set t.database id "name" (Value.Str name);
+      Db.set t.database id "sched_compl" (Value.Time (Vtime.of_days scheduled));
+      Db.set t.database id "local_work" (Value.Float local_work);
+      id)
+
+let depends_on t a b = Db.link t.database ~from_id:a ~rel:"depends_on" ~to_id:b
+
+let set_local_work t id days = Db.set t.database id "local_work" (Value.Float days)
+
+let slip t id days =
+  let current = Value.as_float (Db.get t.database ~watch:false id "local_work") in
+  set_local_work t id (current +. days)
+
+let name t id = Value.as_string (Db.get t.database ~watch:false id "name")
+let scheduled t id = Vtime.to_days (Value.as_time (Db.get t.database ~watch:false id "sched_compl"))
+let expected t id = Vtime.to_days (Value.as_time (Db.get t.database id "exp_compl"))
+let is_late t id = Value.as_bool (Db.get t.database id "late")
+
+let all t = Db.instances_of_type t.database "milestone"
+
+let late_set t = List.filter (is_late t) (all t)
+
+let critical_path t id =
+  (* Follow, from [id] backwards, the dependency whose expected
+     completion dominates. *)
+  let rec walk acc id =
+    let deps = Db.related t.database id "depends_on" in
+    match deps with
+    | [] -> id :: acc
+    | _ ->
+      let dominant =
+        List.fold_left
+          (fun best d -> if expected t d > expected t best then d else best)
+          (List.hd deps) (List.tl deps)
+      in
+      walk (id :: acc) dominant
+  in
+  walk [] id
+
+let enable_very_late t ~limit_days =
+  Db.add_attr t.database ~type_name:"milestone"
+    (Rule.derived "very_late"
+       (Rule.map2 "exp_compl" "sched_compl" (fun expc sched ->
+            let gap = Vtime.to_days (Value.as_time expc) -. Vtime.to_days (Value.as_time sched) in
+            Value.Bool (gap > limit_days))));
+  Db.add_subtype t.database
+    {
+      Schema.sub_name = "very_late_milestone";
+      parent = "milestone";
+      predicate = Rule.copy_self "very_late";
+      extra_attrs = [ Rule.intrinsic "escalated_to" (Value.Str "project-manager") ];
+    }
+
+let is_very_late t id = Value.as_bool (Db.get t.database id "very_late")
+
+let very_late_set t = Db.subtype_members t.database "very_late_milestone"
+
+let report t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun id ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-20s sched %6.1f  expected %6.1f  %s\n" (name t id) (scheduled t id)
+           (expected t id)
+           (if is_late t id then "LATE" else "on time")))
+    (all t);
+  Buffer.contents buf

@@ -1,0 +1,52 @@
+(** Milestone manager (Figure 1 and §4).
+
+    Milestones carry an originally scheduled completion time and a local
+    work estimate; the expected completion time is derived — local work
+    added to the latest expected completion among the milestones depended
+    on — so "changing the expected completion date for one milestone may
+    have effects that ripple throughout the expected completion dates for
+    other milestones in the system".  [late] compares expected against
+    scheduled.  The §4 extension, [very_late] with its subtype, is
+    installed dynamically by {!enable_very_late} without touching any
+    existing attribute or tool. *)
+
+type t
+
+val create : ?strategy:Cactis.Engine.strategy -> unit -> t
+
+val db : t -> Cactis.Db.t
+
+(** [add t ~name ~scheduled ~local_work] (times in days). *)
+val add : t -> name:string -> scheduled:float -> local_work:float -> int
+
+(** [depends_on t a b] — milestone [a] cannot complete before [b]. *)
+val depends_on : t -> int -> int -> unit
+
+(** [set_local_work t id days] — re-estimate (ripples). *)
+val set_local_work : t -> int -> float -> unit
+
+(** [slip t id days] — add [days] to the local work estimate. *)
+val slip : t -> int -> float -> unit
+
+val name : t -> int -> string
+val scheduled : t -> int -> float
+val expected : t -> int -> float
+val is_late : t -> int -> bool
+
+(** All late milestones (name-sorted ids). *)
+val late_set : t -> int list
+
+(** [critical_path t id] — the dependency chain that determines [id]'s
+    expected completion, ending at [id]. *)
+val critical_path : t -> int -> int list
+
+(** [enable_very_late t ~limit_days] — §4: install a [very_late]
+    attribute (expected exceeds scheduled by more than the limit) and a
+    [very_late_milestone] subtype over it, dynamically. *)
+val enable_very_late : t -> limit_days:float -> unit
+
+val is_very_late : t -> int -> bool
+val very_late_set : t -> int list
+
+(** Simple textual status report (one line per milestone). *)
+val report : t -> string

@@ -1,0 +1,81 @@
+module Db = Cactis.Db
+module Value = Cactis.Value
+
+type t = { database : Db.t }
+
+let schema_src =
+  {|
+  object class test_case is
+    relationships
+      checks : requirement multi plug inverse verified_by;
+    attributes
+      name   : string;
+      passed : bool := false;
+  end object;
+
+  object class requirement is
+    relationships
+      verified_by : test_case multi socket inverse checks;
+      project     : project one socket inverse contains;
+    attributes
+      name     : string;
+      critical : bool := false;
+    rules
+      covered     = any(verified_by.passed);
+      covered_n   = if covered then 1 else 0;
+      critical_ok = not critical or covered;
+  end object;
+
+  object class project is
+    relationships
+      contains : requirement multi plug inverse project;
+    attributes
+      name : string;
+    rules
+      total_reqs    = count(contains.name);
+      covered_reqs  = sum(contains.covered_n default 0);
+      release_ready = all(contains.critical_ok);
+  end object;
+|}
+
+let create () = { database = Db.create (Cactis_ddl.Elaborate.load_string schema_src) }
+
+let db t = t.database
+
+let named t class_name name =
+  Db.with_txn t.database (fun () ->
+      let id = Db.create_instance t.database class_name in
+      Db.set t.database id "name" (Value.Str name);
+      id)
+
+let add_project t ~name = named t "project" name
+
+let add_requirement t ~project ~name ~critical =
+  Db.with_txn t.database (fun () ->
+      let id = Db.create_instance t.database "requirement" in
+      Db.set t.database id "name" (Value.Str name);
+      Db.set t.database id "critical" (Value.Bool critical);
+      Db.link t.database ~from_id:project ~rel:"contains" ~to_id:id;
+      id)
+
+let add_test t ~name = named t "test_case" name
+
+let verifies t ~test ~requirement =
+  Db.link t.database ~from_id:test ~rel:"checks" ~to_id:requirement
+
+let record_run t ~test ~passed = Db.set t.database test "passed" (Value.Bool passed)
+
+let covered t req = Value.as_bool (Db.get t.database req "covered")
+
+let coverage t project =
+  ( Value.as_int (Db.get t.database project "covered_reqs"),
+    Value.as_int (Db.get t.database project "total_reqs") )
+
+let release_ready t project = Value.as_bool (Db.get t.database project "release_ready")
+
+let blockers t project =
+  Db.related t.database project "contains"
+  |> List.filter (fun req ->
+         Value.as_bool (Db.get t.database ~watch:false req "critical") && not (covered t req))
+
+let requirement_name t req = Value.as_string (Db.get t.database ~watch:false req "name")

@@ -1,0 +1,49 @@
+(** Requirements traceability (§3).
+
+    The paper's inventory of software-environment objects includes
+    "requirement specifications … test data, verification results, bug
+    reports".  This tool wires requirements to the test cases that verify
+    them and derives coverage facts:
+
+    - a requirement is {e covered} when at least one passing test
+      verifies it;
+    - a project's {e coverage count} and {e release readiness} (every
+      critical requirement covered) derive from its requirements;
+
+    so a single test-run result flowing in (one intrinsic update) ripples
+    through requirement coverage into the project dashboard — the same
+    consistency argument as the milestone manager, §4. *)
+
+type t
+
+val create : unit -> t
+
+val db : t -> Cactis.Db.t
+
+val add_project : t -> name:string -> int
+
+(** [add_requirement t ~project ~name ~critical]. *)
+val add_requirement : t -> project:int -> name:string -> critical:bool -> int
+
+(** [add_test t ~name] — a test case, initially failing. *)
+val add_test : t -> name:string -> int
+
+(** [verifies t ~test ~requirement] — link a test to the requirement it
+    checks. *)
+val verifies : t -> test:int -> requirement:int -> unit
+
+(** [record_run t ~test ~passed] — ingest one test-run result. *)
+val record_run : t -> test:int -> passed:bool -> unit
+
+val covered : t -> int -> bool
+
+(** Requirements of the project that are covered / total. *)
+val coverage : t -> int -> int * int
+
+(** Every critical requirement of the project is covered. *)
+val release_ready : t -> int -> bool
+
+(** Critical, uncovered requirements (the blockers). *)
+val blockers : t -> int -> int list
+
+val requirement_name : t -> int -> string

@@ -1,0 +1,75 @@
+module Db = Cactis.Db
+module Schema = Cactis.Schema
+module Rule = Cactis.Rule
+module Value = Cactis.Value
+module Counters = Cactis_util.Counters
+
+type t = {
+  database : Db.t;
+  mutable root : int option;
+  mutable last_evals : int;
+}
+
+let install_schema sch =
+  Schema.add_type sch "widget";
+  Schema.declare_relationship sch ~from_type:"widget" ~rel:"children" ~to_type:"widget"
+    ~inverse:"parent" ~card:Schema.Multi ~inverse_card:Schema.One;
+  Schema.add_attr sch ~type_name:"widget" (Rule.intrinsic "kind" (Value.Str "label"));
+  Schema.add_attr sch ~type_name:"widget" (Rule.intrinsic "text" (Value.Str ""));
+  (* The display fragment: labels show their text; boxes frame their
+     children's fragments under a title. *)
+  Schema.add_attr sch ~type_name:"widget"
+    (Rule.derived "display"
+       (Rule.make
+          [ Schema.Self "kind"; Schema.Self "text"; Schema.Rel ("children", "display") ]
+          (fun env ->
+            let kind = Value.as_string (env.Schema.self_value "kind") in
+            let text = Value.as_string (env.Schema.self_value "text") in
+            let children =
+              env.Schema.related_values "children" "display" |> List.map Value.as_string
+            in
+            match kind with
+            | "label" -> Value.Str text
+            | _ ->
+              let body = String.concat " | " children in
+              Value.Str (Printf.sprintf "[%s: %s]" text body))))
+
+let create () =
+  let sch = Schema.create () in
+  install_schema sch;
+  { database = Db.create sch; root = None; last_evals = 0 }
+
+let db t = t.database
+
+let add_widget t ~parent ~kind ~text =
+  Db.with_txn t.database (fun () ->
+      let id = Db.create_instance t.database "widget" in
+      Db.set t.database id "kind" (Value.Str kind);
+      Db.set t.database id "text" (Value.Str text);
+      (match parent with
+      | Some p -> Db.link t.database ~from_id:p ~rel:"children" ~to_id:id
+      | None -> (
+        match t.root with
+        | None -> t.root <- Some id
+        | Some _ -> Cactis.Errors.type_error "root widget already exists"));
+      id)
+
+let add_label t ~parent ~text = add_widget t ~parent ~kind:"label" ~text
+let add_box t ~parent ~title = add_widget t ~parent ~kind:"box" ~text:title
+
+let set_text t id text = Db.set t.database id "text" (Value.Str text)
+let set_title = set_text
+
+let render t id = Value.as_string (Db.get t.database id "display")
+
+let render_root t =
+  match t.root with
+  | None -> ""
+  | Some root ->
+    let c = Db.counters t.database in
+    let before = Counters.get c "rule_evals" in
+    let s = render t root in
+    t.last_evals <- Counters.get c "rule_evals" - before;
+    s
+
+let last_render_evals t = t.last_evals

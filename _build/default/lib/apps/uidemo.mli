@@ -1,0 +1,37 @@
+(** Attribute-driven user-interface demo (§4, last example).
+
+    The paper's Higgens-style presentation system composes display
+    fragments with attribute evaluation rules so "the user interface
+    automatically reflects the state of the underlying data regardless of
+    how it is modified".  We reproduce the mechanism at its core: widgets
+    form a tree; each widget's [display] string is a derived attribute
+    composed from its own data and its children's [display] values; the
+    screen is the root's [display].  Because rendering is derived data,
+    only the widgets on the path from a change to the root re-render —
+    observable through the engine's rule-evaluation counters. *)
+
+type t
+
+val create : unit -> t
+
+val db : t -> Cactis.Db.t
+
+(** [add_label t ~parent ~text] — leaf widget.  [parent = None] creates
+    the root (only one root allowed). *)
+val add_label : t -> parent:int option -> text:string -> int
+
+(** [add_box t ~parent ~title] — container widget. *)
+val add_box : t -> parent:int option -> title:string -> int
+
+val set_text : t -> int -> string -> unit
+val set_title : t -> int -> string -> unit
+
+(** Current rendering of the widget subtree. *)
+val render : t -> int -> string
+
+(** Rendering of the root widget. *)
+val render_root : t -> string
+
+(** Rule evaluations spent inside the last {!render_root} call — the
+    "only the changed path re-renders" observable. *)
+val last_render_evals : t -> int

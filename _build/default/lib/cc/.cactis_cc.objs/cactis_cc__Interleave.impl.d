@@ -1,0 +1,1 @@
+lib/cc/interleave.ml: Array Cactis Cactis_util List Timestamp_cc Workload

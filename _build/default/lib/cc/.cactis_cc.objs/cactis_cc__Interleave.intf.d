@@ -1,0 +1,1 @@
+lib/cc/interleave.mli: Cactis_util Timestamp_cc Workload

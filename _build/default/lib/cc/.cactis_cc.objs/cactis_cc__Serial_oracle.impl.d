@@ -1,0 +1,1 @@
+lib/cc/serial_oracle.ml: Cactis List Workload

@@ -1,0 +1,1 @@
+lib/cc/serial_oracle.mli: Cactis Workload

@@ -1,0 +1,1 @@
+lib/cc/timestamp_cc.ml: Cactis Hashtbl List

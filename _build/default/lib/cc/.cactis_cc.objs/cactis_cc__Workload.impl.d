@@ -1,0 +1,1 @@
+lib/cc/workload.ml: Array Cactis Cactis_util List

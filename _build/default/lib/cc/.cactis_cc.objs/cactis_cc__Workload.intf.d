@@ -1,0 +1,1 @@
+lib/cc/workload.mli: Cactis Cactis_util

@@ -1,0 +1,106 @@
+module Rng = Cactis_util.Rng
+module Value = Cactis.Value
+
+type policy =
+  | Round_robin
+  | Random_pick
+
+type stats = {
+  committed : int;
+  restarts : int;
+  starved : int;
+  ops_executed : int;
+  steps : int;
+  committed_scripts : (int * Workload.script) list;
+}
+
+type client = {
+  mutable queue : Workload.script list;
+  mutable txn : Timestamp_cc.txn option;
+  mutable remaining : Workload.op list;
+  mutable attempts : int;
+}
+
+let exec_op cc txn op =
+  match op with
+  | Workload.Read (id, a) | Workload.Read_derived (id, a) -> (
+    match Timestamp_cc.read cc txn id a with Ok _ -> Ok () | Error `Abort -> Error `Abort)
+  | Workload.Write (id, a, v) -> Timestamp_cc.write cc txn id a v
+  | Workload.Incr (id, a, n) -> (
+    match Timestamp_cc.read cc txn id a with
+    | Error `Abort -> Error `Abort
+    | Ok v -> Timestamp_cc.write cc txn id a (Value.Int (Value.as_int v + n)))
+
+let run ?(policy = Random_pick) ?(max_restarts = 1000) ~rng ~cc ~clients () =
+  let clients =
+    List.map (fun queue -> { queue; txn = None; remaining = []; attempts = 0 }) clients
+    |> Array.of_list
+  in
+  let committed = ref 0 in
+  let restarts = ref 0 in
+  let starved = ref 0 in
+  let ops_executed = ref 0 in
+  let steps = ref 0 in
+  let committed_scripts = ref [] in
+  let client_done c = c.queue = [] && c.txn = None in
+  let restart c =
+    (match c.txn with
+    | Some txn -> ( try Timestamp_cc.abort cc txn with Invalid_argument _ -> ())
+    | None -> ());
+    c.txn <- None;
+    c.remaining <- [];
+    c.attempts <- c.attempts + 1;
+    if c.attempts > max_restarts then begin
+      incr starved;
+      c.attempts <- 0;
+      match c.queue with [] -> () | _ :: rest -> c.queue <- rest
+    end
+    else incr restarts
+  in
+  let step c =
+    match (c.txn, c.queue) with
+    | None, [] -> ()
+    | None, script :: _ ->
+      c.txn <- Some (Timestamp_cc.begin_txn cc);
+      c.remaining <- script
+    | Some txn, _ -> (
+      match c.remaining with
+      | op :: rest -> (
+        incr ops_executed;
+        match exec_op cc txn op with
+        | Ok () -> c.remaining <- rest
+        | Error `Abort -> restart c)
+      | [] -> (
+        match Timestamp_cc.commit cc txn with
+        | Ok () ->
+          incr committed;
+          let script = match c.queue with s :: _ -> s | [] -> [] in
+          committed_scripts := (Timestamp_cc.timestamp txn, script) :: !committed_scripts;
+          (match c.queue with [] -> () | _ :: rest -> c.queue <- rest);
+          c.txn <- None;
+          c.attempts <- 0
+        | Error `Abort -> restart c))
+  in
+  let rec loop () =
+    let active = Array.to_list clients |> List.filter (fun c -> not (client_done c)) in
+    match active with
+    | [] -> ()
+    | _ ->
+      incr steps;
+      let c =
+        match policy with
+        | Round_robin -> List.nth active (!steps mod List.length active)
+        | Random_pick -> Rng.pick_list rng active
+      in
+      step c;
+      loop ()
+  in
+  loop ();
+  {
+    committed = !committed;
+    restarts = !restarts;
+    starved = !starved;
+    ops_executed = !ops_executed;
+    steps = !steps;
+    committed_scripts = List.rev !committed_scripts;
+  }

@@ -1,0 +1,36 @@
+(** Deterministic multi-client interleaving driver.
+
+    Each client owns a queue of transaction scripts.  At every step the
+    driver picks a client (seeded-random or round-robin) and executes one
+    operation of its current transaction against the shared
+    {!Timestamp_cc} manager.  An aborted transaction restarts from the
+    beginning of its script with a fresh timestamp; after
+    [max_restarts] failed attempts it is recorded as starved and
+    skipped.
+
+    The run is fully determined by the seed, so every experiment and
+    property test is reproducible. *)
+
+type policy =
+  | Round_robin
+  | Random_pick
+
+type stats = {
+  committed : int;
+  restarts : int;
+  starved : int;
+  ops_executed : int;
+  steps : int;
+  committed_scripts : (int * Workload.script) list;
+      (** commit timestamp + script, in commit order; input to the serial
+          oracle *)
+}
+
+val run :
+  ?policy:policy ->
+  ?max_restarts:int ->
+  rng:Cactis_util.Rng.t ->
+  cc:Timestamp_cc.t ->
+  clients:Workload.script list list ->
+  unit ->
+  stats

@@ -1,0 +1,36 @@
+module Db = Cactis.Db
+module Value = Cactis.Value
+module Schema = Cactis.Schema
+
+let exec_serial db op =
+  match op with
+  | Workload.Read (id, a) | Workload.Read_derived (id, a) -> ignore (Db.get db ~watch:false id a)
+  | Workload.Write (id, a, v) -> Db.set db id a v
+  | Workload.Incr (id, a, n) ->
+    let v = Db.get db ~watch:false id a in
+    Db.set db id a (Value.Int (Value.as_int v + n))
+
+let replay ~setup ~committed =
+  let db = setup () in
+  let ordered = List.sort (fun (a, _) (b, _) -> compare a b) committed in
+  List.iter
+    (fun (_, script) -> Db.with_txn db (fun () -> List.iter (exec_serial db) script))
+    ordered;
+  db
+
+let snapshot db attrs =
+  Db.instance_ids db
+  |> List.concat_map (fun id ->
+         let tn = Db.type_of db id in
+         attrs
+         |> List.filter_map (fun a ->
+                match Schema.attr_opt (Db.schema db) ~type_name:tn a with
+                | Some { Schema.kind = Schema.Intrinsic _; _ } ->
+                  Some ((id, a), Db.get db ~watch:false id a)
+                | Some _ | None -> None))
+  |> List.sort compare
+
+let equivalent db1 db2 attrs =
+  let s1 = snapshot db1 attrs and s2 = snapshot db2 attrs in
+  List.length s1 = List.length s2
+  && List.for_all2 (fun (k1, v1) (k2, v2) -> k1 = k2 && Value.equal v1 v2) s1 s2

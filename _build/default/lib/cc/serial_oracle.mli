@@ -1,0 +1,19 @@
+(** Serial re-execution oracle for serializability checking.
+
+    Timestamp ordering guarantees that the concurrent execution of the
+    committed transactions is equivalent to their serial execution in
+    timestamp order.  The oracle re-runs the committed scripts serially
+    (in timestamp order) on a freshly built database and compares the
+    final intrinsic state. *)
+
+(** [replay ~setup ~committed] builds a fresh database with [setup] and
+    executes each script to completion, in order.  Returns the database. *)
+val replay :
+  setup:(unit -> Cactis.Db.t) -> committed:(int * Workload.script) list -> Cactis.Db.t
+
+(** [snapshot db attrs] — the values of the named intrinsic attribute on
+    every live instance carrying it, sorted by (id, attr). *)
+val snapshot : Cactis.Db.t -> string list -> ((int * string) * Cactis.Value.t) list
+
+(** [equivalent db1 db2 attrs] — same snapshot on both sides. *)
+val equivalent : Cactis.Db.t -> Cactis.Db.t -> string list -> bool

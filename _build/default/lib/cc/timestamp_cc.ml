@@ -1,0 +1,162 @@
+module Db = Cactis.Db
+module Value = Cactis.Value
+
+type key = int * string
+
+type stamp = {
+  mutable read_ts : int;
+  mutable write_ts : int;
+}
+
+type status =
+  | Active
+  | Committed
+  | Aborted
+
+type txn = {
+  ts : int;
+  mutable workspace : (key * Value.t) list;  (* newest first; first hit wins *)
+  mutable status : status;
+}
+
+type t = {
+  database : Db.t;
+  stamps : (key, stamp) Hashtbl.t;
+  mutable clock : int;
+  mutable thomas : bool;
+  mutable commit_count : int;
+  mutable abort_count : int;
+  mutable thomas_skip_count : int;
+}
+
+let create ?(thomas_write_rule = false) database =
+  {
+    database;
+    stamps = Hashtbl.create 128;
+    clock = 0;
+    thomas = thomas_write_rule;
+    commit_count = 0;
+    abort_count = 0;
+    thomas_skip_count = 0;
+  }
+
+let db t = t.database
+let set_thomas_write_rule t b = t.thomas <- b
+
+let stamp t key =
+  match Hashtbl.find_opt t.stamps key with
+  | Some s -> s
+  | None ->
+    let s = { read_ts = 0; write_ts = 0 } in
+    Hashtbl.add t.stamps key s;
+    s
+
+let begin_txn t =
+  t.clock <- t.clock + 1;
+  { ts = t.clock; workspace = []; status = Active }
+
+let timestamp txn = txn.ts
+
+let require_active txn =
+  match txn.status with
+  | Active -> ()
+  | Committed | Aborted -> invalid_arg "Timestamp_cc: transaction is not active"
+
+let do_abort t txn =
+  txn.status <- Aborted;
+  txn.workspace <- [];
+  t.abort_count <- t.abort_count + 1
+
+let read t txn id attr =
+  require_active txn;
+  let key = (id, attr) in
+  match List.assoc_opt key txn.workspace with
+  | Some v -> Ok v  (* read-your-own-writes *)
+  | None ->
+    let s = stamp t key in
+    if txn.ts < s.write_ts then begin
+      (* A younger transaction already wrote this item: reading committed
+         state would read "around" that write. *)
+      do_abort t txn;
+      Error `Abort
+    end
+    else begin
+      s.read_ts <- max s.read_ts txn.ts;
+      (* ~watch:false: concurrent readers must not permanently change the
+         engine's importance bookkeeping on behalf of a client. *)
+      Ok (Db.get t.database ~watch:false id attr)
+    end
+
+let write t txn id attr v =
+  require_active txn;
+  let key = (id, attr) in
+  let s = stamp t key in
+  if txn.ts < s.read_ts || (txn.ts < s.write_ts && not t.thomas) then begin
+    do_abort t txn;
+    Error `Abort
+  end
+  else begin
+    txn.workspace <- (key, v) :: txn.workspace;
+    Ok ()
+  end
+
+let commit t txn =
+  require_active txn;
+  (* Deduplicate: the newest buffered write per key wins. *)
+  let seen = Hashtbl.create 8 in
+  let writes =
+    List.filter
+      (fun (key, _) ->
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      txn.workspace
+  in
+  (* Re-validate: timestamps may have advanced since the writes were
+     buffered. *)
+  let valid, skipped =
+    List.fold_left
+      (fun acc (key, v) ->
+        match acc with
+        | None -> None
+        | Some (valid, skipped) ->
+          let s = stamp t key in
+          if txn.ts < s.read_ts then None
+          else if txn.ts < s.write_ts then
+            if t.thomas then Some (valid, ((key, v) :: skipped)) else None
+          else Some (((key, v) :: valid), skipped))
+      (Some ([], []))
+      writes
+    |> function
+    | None -> (None, [])
+    | Some (valid, skipped) -> (Some valid, skipped)
+  in
+  match valid with
+  | None ->
+    do_abort t txn;
+    Error `Abort
+  | Some valid ->
+    t.thomas_skip_count <- t.thomas_skip_count + List.length skipped;
+    (try
+       Db.with_txn t.database (fun () ->
+           List.iter (fun ((id, attr), v) -> Db.set t.database id attr v) valid)
+     with e ->
+       (* A constraint violation on apply aborts the CC transaction too
+          (the underlying Db transaction already rolled back). *)
+       do_abort t txn;
+       raise e);
+    List.iter (fun ((_, _) as key, _) -> (stamp t key).write_ts <- txn.ts) valid;
+    txn.status <- Committed;
+    txn.workspace <- [];
+    t.commit_count <- t.commit_count + 1;
+    Ok ()
+
+let abort t txn =
+  require_active txn;
+  do_abort t txn
+
+let commits t = t.commit_count
+let aborts t = t.abort_count
+let thomas_skips t = t.thomas_skip_count

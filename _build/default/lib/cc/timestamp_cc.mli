@@ -1,0 +1,60 @@
+(** Timestamp-ordering concurrency control.
+
+    The paper states that Cactis "uses a timestamping concurrency control
+    technique" (§1.1).  This module implements basic timestamp ordering
+    with deferred writes over a shared {!Cactis.Db}:
+
+    - every transaction receives a unique, monotonically increasing
+      timestamp at start (and a fresh, larger one on restart);
+    - each data item (instance id, attribute) carries the largest read
+      and write timestamps that have touched it;
+    - a read by T of item x is rejected if [ts(T) < write_ts(x)] (T would
+      see the future); otherwise it reads committed state (or T's own
+      buffered write) and advances [read_ts(x)];
+    - a write by T of x is rejected if [ts(T) < read_ts(x)] or
+      [ts(T) < write_ts(x)]; otherwise it is buffered in T's private
+      workspace;
+    - commit re-validates every buffered write (the timestamps may have
+      advanced since the write was buffered) and then applies the
+      workspace inside a single underlying [Db] transaction.  Under the
+      optional {e Thomas write rule}, a commit-time stale write is
+      silently skipped instead of aborting the transaction.
+
+    Committed transactions are conflict-serializable in timestamp order,
+    which the test suite checks against a serial re-execution oracle. *)
+
+type t
+
+type txn
+
+type key = int * string
+
+val create : ?thomas_write_rule:bool -> Cactis.Db.t -> t
+
+val db : t -> Cactis.Db.t
+val set_thomas_write_rule : t -> bool -> unit
+
+val begin_txn : t -> txn
+
+(** The transaction's current timestamp. *)
+val timestamp : txn -> int
+
+(** [read t txn id attr] — [Error `Abort] rejects the whole transaction
+    (its workspace is discarded); the caller restarts it with a fresh
+    timestamp via a new {!begin_txn}. *)
+val read : t -> txn -> int -> string -> (Cactis.Value.t, [ `Abort ]) result
+
+val write : t -> txn -> int -> string -> Cactis.Value.t -> (unit, [ `Abort ]) result
+
+val commit : t -> txn -> (unit, [ `Abort ]) result
+
+(** Voluntarily discard the workspace. *)
+val abort : t -> txn -> unit
+
+(** {1 Statistics} *)
+
+val commits : t -> int
+val aborts : t -> int
+
+(** Stale writes skipped by the Thomas write rule. *)
+val thomas_skips : t -> int

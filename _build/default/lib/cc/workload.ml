@@ -1,0 +1,45 @@
+module Db = Cactis.Db
+module Schema = Cactis.Schema
+module Rule = Cactis.Rule
+module Value = Cactis.Value
+module Rng = Cactis_util.Rng
+
+type op =
+  | Read of int * string
+  | Write of int * string * Cactis.Value.t
+  | Incr of int * string * int
+  | Read_derived of int * string
+
+type script = op list
+
+let counters_db ?strategy ~instances () =
+  let sch = Schema.create () in
+  Schema.add_type sch "account";
+  Schema.add_type sch "totals";
+  Schema.declare_relationship sch ~from_type:"totals" ~rel:"accounts" ~to_type:"account"
+    ~inverse:"book" ~card:Schema.Multi ~inverse_card:Schema.Multi;
+  Schema.add_attr sch ~type_name:"account" (Rule.intrinsic "balance" (Value.Int 100));
+  Schema.add_attr sch ~type_name:"account"
+    (Rule.derived "flagged" (Rule.map1 "balance" (fun v -> Value.Bool (Value.as_int v < 0))));
+  Schema.add_attr sch ~type_name:"totals" (Rule.derived "total" (Rule.sum_rel "accounts" "balance"));
+  let db = Db.create ?strategy sch in
+  let totals = Db.create_instance db "totals" in
+  let accounts =
+    List.init instances (fun _ ->
+        let id = Db.create_instance db "account" in
+        Db.link db ~from_id:totals ~rel:"accounts" ~to_id:id;
+        id)
+  in
+  (db, accounts, totals)
+
+let generate rng ~accounts ~txns ~ops_per_txn ~hot_fraction ~read_fraction =
+  let accounts = Array.of_list accounts in
+  if Array.length accounts = 0 then invalid_arg "Workload.generate: no accounts";
+  let pick_account () =
+    if Rng.chance rng hot_fraction then accounts.(0) else Rng.pick rng accounts
+  in
+  List.init txns (fun _ ->
+      List.init ops_per_txn (fun _ ->
+          let id = pick_account () in
+          if Rng.chance rng read_fraction then Read (id, "balance")
+          else Incr (id, "balance", Rng.int_in rng (-10) 10)))

@@ -1,0 +1,35 @@
+(** Multi-user workload scripts.
+
+    A transaction is a deterministic {e script} of abstract operations,
+    so that the same set of committed transactions can be re-executed
+    serially by the oracle and compared against the concurrent outcome.
+    [Incr] is the classic read-modify-write (it detects lost updates);
+    [Read_derived] exercises the incremental engine under concurrency. *)
+
+type op =
+  | Read of int * string
+  | Write of int * string * Cactis.Value.t
+  | Incr of int * string * int  (** read an int attribute, write value+n *)
+  | Read_derived of int * string
+
+type script = op list
+
+(** [counters_db ~instances] builds a simple bank-account-style database:
+    [instances] objects of class [account] with an intrinsic [balance]
+    (initially 100) and a derived [flagged] (balance < 0), plus one
+    [totals] object related to every account with derived [total].
+    Returns (db, account ids, totals id). *)
+val counters_db :
+  ?strategy:Cactis.Engine.strategy -> instances:int -> unit -> Cactis.Db.t * int list * int
+
+(** [generate rng ~accounts ~txns ~ops_per_txn ~hot_fraction ~read_fraction]
+    builds [txns] scripts.  [hot_fraction] of the accesses hit the first
+    account (contention knob); [read_fraction] of the ops are reads. *)
+val generate :
+  Cactis_util.Rng.t ->
+  accounts:int list ->
+  txns:int ->
+  ops_per_txn:int ->
+  hot_fraction:float ->
+  read_fraction:float ->
+  script list

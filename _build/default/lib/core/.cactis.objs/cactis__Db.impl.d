@@ -1,0 +1,1 @@
+lib/core/db.ml: Cactis_util Engine Errors Hashtbl Instance List Schema Store String Txn Value

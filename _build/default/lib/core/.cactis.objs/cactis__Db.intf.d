@@ -1,0 +1,1 @@
+lib/core/db.mli: Cactis_util Engine Sched Schema Store Value

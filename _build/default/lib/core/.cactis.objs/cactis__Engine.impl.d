@@ -1,0 +1,1 @@
+lib/core/engine.ml: Cactis_storage Cactis_util Errors Fun Hashtbl Instance List Sched Schema Store Value

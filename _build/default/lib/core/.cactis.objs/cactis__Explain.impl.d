@@ -1,0 +1,1 @@
+lib/core/explain.ml: Buffer Db Hashtbl Instance List Printf Schema Store String Value

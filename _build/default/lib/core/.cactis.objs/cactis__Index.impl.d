@@ -1,0 +1,1 @@
+lib/core/index.ml: Db Hashtbl Instance List Schema Store String Value

@@ -1,0 +1,1 @@
+lib/core/instance.ml: Hashtbl List Value

@@ -1,0 +1,1 @@
+lib/core/integrity.ml: Cactis_storage Db Errors Format Hashtbl Instance List Schema Store String

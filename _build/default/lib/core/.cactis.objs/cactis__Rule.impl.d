@@ -1,0 +1,1 @@
+lib/core/rule.ml: List Schema Value

@@ -1,0 +1,1 @@
+lib/core/sched.ml: Cactis_storage Cactis_util Hashtbl List Queue Store

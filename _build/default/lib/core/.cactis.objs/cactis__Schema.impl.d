@@ -1,0 +1,1 @@
+lib/core/schema.ml: Buffer Errors Hashtbl List Printf String Value

@@ -1,0 +1,1 @@
+lib/core/snapshot.ml: Array Buffer Cactis_util Char Db Engine Format Instance List Printf Schema Store String Value

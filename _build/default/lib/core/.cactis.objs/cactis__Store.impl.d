@@ -1,0 +1,1 @@
+lib/core/store.ml: Cactis_storage Cactis_util Errors Hashtbl Instance List Schema String Value

@@ -1,0 +1,1 @@
+lib/core/store.mli: Cactis_storage Cactis_util Instance Schema Value

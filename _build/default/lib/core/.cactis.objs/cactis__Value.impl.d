@@ -1,0 +1,1 @@
+lib/core/value.ml: Array Bool Cactis_util Errors Float Format Int List Stdlib String

@@ -1,0 +1,372 @@
+module Counters = Cactis_util.Counters
+
+(* Committed deltas form a tree: undoing back and committing again grows
+   a sibling branch instead of discarding the old one ("the ability to
+   manipulate versions and version streams as objects", §3).  [head] is
+   the node whose state the database currently holds; the root (None
+   parent chain terminator) is the initial empty database. *)
+type vnode = {
+  vid : int;
+  delta : Txn.delta;
+  parent : vnode option;
+  depth : int;
+}
+
+type t = {
+  sch : Schema.t;
+  st : Store.t;
+  eng : Engine.t;
+  mutable current : Txn.op list option;  (* open txn log, newest op first *)
+  mutable head : vnode option;  (* None = initial state *)
+  mutable redo_stack : vnode list;  (* nodes stepped back from, nearest first *)
+  mutable next_vid : int;
+  tag_tbl : (string, vnode option) Hashtbl.t;
+}
+
+let create ?block_capacity ?buffer_capacity ?strategy ?sched sch =
+  let st = Store.create ?block_capacity ?buffer_capacity sch in
+  let eng = Engine.create ?strategy ?sched st in
+  let t =
+    {
+      sch;
+      st;
+      eng;
+      current = None;
+      head = None;
+      redo_stack = [];
+      next_vid = 1;
+      tag_tbl = Hashtbl.create 8;
+    }
+  in
+  (* Recovery actions repair constraints through the logged primitive
+     layer so their effects participate in rollback. *)
+  Engine.set_repair eng (fun id attr v ->
+      let def = Schema.attr sch ~type_name:(Store.get st id).Instance.type_name attr in
+      match def.Schema.kind with
+      | Schema.Intrinsic _ ->
+        let slot = Store.read_slot st id attr in
+        let old = slot.Instance.value in
+        if not (Value.equal old v) then begin
+          Store.write_value st id attr v;
+          (match t.current with
+          | Some ops -> t.current <- Some (Txn.Set_intrinsic { id; attr; old_value = old; new_value = v } :: ops)
+          | None -> ());
+          Engine.after_intrinsic_set eng id attr
+        end
+      | Schema.Derived _ ->
+        Errors.type_error "recovery action writes derived attribute %s of %d" attr id);
+  t
+
+let schema t = t.sch
+let store t = t.st
+let engine t = t.eng
+let counters t = Store.counters t.st
+
+(* ------------------------------------------------------------------ *)
+(* Unlogged replay (undo / redo)                                       *)
+
+let exec_forward_unlogged t op =
+  match op with
+  | Txn.Set_intrinsic { id; attr; new_value; old_value = _ } ->
+    Store.write_value t.st id attr new_value;
+    Engine.after_intrinsic_set t.eng id attr
+  | Txn.Link { from_id; rel; to_id } ->
+    Store.link t.st ~from_id ~rel ~to_id;
+    Engine.after_link_change t.eng ~from_id ~rel ~to_id
+  | Txn.Unlink { from_id; rel; to_id } ->
+    if Store.unlink t.st ~from_id ~rel ~to_id then
+      Engine.after_link_change t.eng ~from_id ~rel ~to_id
+  | Txn.Create { id; type_name } ->
+    ignore (Store.recreate_instance t.st ~id type_name);
+    Engine.on_new_instance t.eng id
+  | Txn.Delete { id; _ } ->
+    Engine.on_delete_instance t.eng id;
+    Store.delete_instance t.st id
+
+let undo_one_op t op =
+  match op with
+  | Txn.Delete { id; type_name; intrinsics } ->
+    (* The inverse of a delete restores the recorded intrinsic snapshot;
+       links are restored by the inverses of the Unlink ops that preceded
+       the delete. *)
+    ignore (Store.recreate_instance t.st ~id type_name);
+    List.iter (fun (a, v) -> Store.write_value t.st id a v) intrinsics;
+    Engine.on_new_instance t.eng id;
+    List.iter (fun (a, _) -> Engine.after_intrinsic_set t.eng id a) intrinsics
+  | op -> exec_forward_unlogged t (Txn.inverse_op op)
+
+(* [ops] newest-first (either an open-txn log, or a committed delta
+   reversed by the caller). *)
+let apply_inverse_newest_first t ops = List.iter (undo_one_op t) ops
+
+(* ------------------------------------------------------------------ *)
+(* Transactions                                                        *)
+
+let in_txn t = t.current <> None
+
+let begin_txn t =
+  if in_txn t then Errors.type_error "transaction already open";
+  Counters.incr (counters t) "txns_started";
+  t.current <- Some []
+
+let rollback_current t =
+  match t.current with
+  | None -> ()
+  | Some ops ->
+    t.current <- None;
+    apply_inverse_newest_first t ops;
+    Counters.incr (counters t) "txns_aborted";
+    (* The restored state satisfied all constraints when it was current;
+       propagate to settle watched attributes. *)
+    Engine.propagate t.eng
+
+let abort t =
+  if not (in_txn t) then Errors.type_error "no open transaction to abort";
+  rollback_current t
+
+let commit t =
+  match t.current with
+  | None -> Errors.type_error "no open transaction to commit"
+  | Some ops ->
+    (try Engine.propagate t.eng
+     with e ->
+       rollback_current t;
+       raise e);
+    t.current <- None;
+    Counters.incr (counters t) "txns_committed";
+    let ops = List.rev ops in
+    if ops <> [] then begin
+      (* Committing after an undo grows a sibling branch; the abandoned
+         branch stays in the tree, reachable through its tags. *)
+      t.redo_stack <- [];
+      let depth = match t.head with Some n -> n.depth + 1 | None -> 1 in
+      t.head <-
+        Some { vid = t.next_vid; delta = { Txn.ops; label = None }; parent = t.head; depth };
+      t.next_vid <- t.next_vid + 1
+    end
+
+let with_txn t f =
+  begin_txn t;
+  match f () with
+  | v ->
+    commit t;
+    v
+  | exception e ->
+    if in_txn t then rollback_current t;
+    raise e
+
+let with_auto t f =
+  if in_txn t then f ()
+  else with_txn t f
+
+let log t op =
+  match t.current with
+  | Some ops -> t.current <- Some (op :: ops)
+  | None -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Primitives                                                          *)
+
+let create_instance t type_name =
+  with_auto t (fun () ->
+      let inst = Store.create_instance t.st type_name in
+      log t (Txn.Create { id = inst.Instance.id; type_name });
+      Engine.on_new_instance t.eng inst.Instance.id;
+      inst.Instance.id)
+
+let set t id attr v =
+  with_auto t (fun () ->
+      let inst = Store.get t.st id in
+      let def = Schema.attr t.sch ~type_name:inst.Instance.type_name attr in
+      match def.Schema.kind with
+      | Schema.Derived _ ->
+        Errors.type_error "cannot set derived attribute %s.%s directly" inst.Instance.type_name attr
+      | Schema.Intrinsic _ ->
+        let slot = Store.read_slot t.st id attr in
+        let old = slot.Instance.value in
+        if not (Value.equal old v) then begin
+          Store.write_value t.st id attr v;
+          log t (Txn.Set_intrinsic { id; attr; old_value = old; new_value = v });
+          Engine.after_intrinsic_set t.eng id attr
+        end)
+
+let get t ?watch id attr =
+  try Engine.read t.eng ?watch id attr
+  with Errors.Constraint_violation _ as e ->
+    if in_txn t then rollback_current t;
+    raise e
+
+let link t ~from_id ~rel ~to_id =
+  with_auto t (fun () ->
+      Store.link t.st ~from_id ~rel ~to_id;
+      log t (Txn.Link { from_id; rel; to_id });
+      Engine.after_link_change t.eng ~from_id ~rel ~to_id)
+
+let unlink t ~from_id ~rel ~to_id =
+  with_auto t (fun () ->
+      if not (Store.unlink t.st ~from_id ~rel ~to_id) then
+        Errors.unknown "no link %d -[%s]-> %d" from_id rel to_id;
+      log t (Txn.Unlink { from_id; rel; to_id });
+      Engine.after_link_change t.eng ~from_id ~rel ~to_id)
+
+let delete_instance t id =
+  with_auto t (fun () ->
+      let inst = Store.get t.st id in
+      let links = Instance.all_links inst in
+      List.iter
+        (fun (rel, ids) ->
+          List.iter
+            (fun other ->
+              (* Both directions appear in all_links; the second sight of
+                 a pair finds the link already gone. *)
+              if Store.unlink t.st ~from_id:id ~rel ~to_id:other then begin
+                log t (Txn.Unlink { from_id = id; rel; to_id = other });
+                Engine.after_link_change t.eng ~from_id:id ~rel ~to_id:other
+              end)
+            ids)
+        links;
+      let intrinsics =
+        Schema.attrs t.sch ~type_name:inst.Instance.type_name
+        |> List.filter_map (fun (d : Schema.attr_def) ->
+               match d.Schema.kind with
+               | Schema.Intrinsic _ ->
+                 Some (d.Schema.attr_name, (Instance.slot inst d.Schema.attr_name).Instance.value)
+               | Schema.Derived _ -> None)
+      in
+      log t (Txn.Delete { id; type_name = inst.Instance.type_name; intrinsics });
+      Engine.on_delete_instance t.eng id;
+      Store.delete_instance t.st id)
+
+let related t id rel = Store.linked t.st id rel
+let type_of t id = (Store.get t.st id).Instance.type_name
+let instance_ids t = Store.instance_ids t.st
+let instances_of_type t type_name = Store.instances_of_type t.st type_name
+
+let watch t id attr = Engine.watch t.eng id attr
+let unwatch t id attr = Engine.unwatch t.eng id attr
+
+(* ------------------------------------------------------------------ *)
+(* Subtypes                                                            *)
+
+let in_subtype t id sub_name =
+  let def = Schema.subtype t.sch sub_name in
+  let inst = Store.get t.st id in
+  if not (String.equal inst.Instance.type_name def.Schema.parent) then
+    Errors.type_error "instance %d is a %s, not a %s (parent of subtype %s)" id
+      inst.Instance.type_name def.Schema.parent sub_name;
+  Value.as_bool (get t id (Schema.membership_attr sub_name))
+
+let subtype_members t sub_name =
+  let def = Schema.subtype t.sch sub_name in
+  instances_of_type t def.Schema.parent |> List.filter (fun id -> in_subtype t id sub_name)
+
+(* ------------------------------------------------------------------ *)
+(* Schema extension                                                    *)
+
+let add_attr t ~type_name def =
+  Schema.add_attr t.sch ~type_name def;
+  Engine.after_attr_added t.eng ~type_name ~attr:def.Schema.attr_name
+
+let add_subtype t (def : Schema.subtype_def) =
+  Schema.add_subtype t.sch def;
+  Engine.after_attr_added t.eng ~type_name:def.Schema.parent
+    ~attr:(Schema.membership_attr def.Schema.sub_name);
+  List.iter
+    (fun (a : Schema.attr_def) ->
+      Engine.after_attr_added t.eng ~type_name:def.Schema.parent ~attr:a.Schema.attr_name)
+    def.Schema.extra_attrs
+
+let register_recovery t name action = Engine.register_recovery t.eng name action
+
+(* ------------------------------------------------------------------ *)
+(* Undo / redo / versions                                              *)
+
+let position t = match t.head with Some n -> n.depth | None -> 0
+
+let delta_sizes t =
+  let rec collect acc = function
+    | None -> acc
+    | Some n -> collect (Txn.size n.delta :: acc) n.parent
+  in
+  collect [] t.head
+
+(* Move one step toward the root. *)
+let step_back t =
+  match t.head with
+  | None -> Errors.type_error "nothing to undo"
+  | Some n ->
+    apply_inverse_newest_first t (List.rev n.delta.Txn.ops);
+    Engine.propagate t.eng;
+    t.head <- n.parent;
+    n
+
+(* Move forward onto a known child node. *)
+let step_forward t (n : vnode) =
+  List.iter (exec_forward_unlogged t) n.delta.Txn.ops;
+  Engine.propagate t.eng;
+  t.head <- Some n
+
+let undo_last t =
+  if in_txn t then Errors.type_error "cannot undo while a transaction is open";
+  let n = step_back t in
+  t.redo_stack <- n :: t.redo_stack;
+  Counters.incr (counters t) "undos"
+
+let redo t =
+  if in_txn t then Errors.type_error "cannot redo while a transaction is open";
+  match t.redo_stack with
+  | [] -> Errors.type_error "nothing to redo"
+  | n :: rest ->
+    step_forward t n;
+    t.redo_stack <- rest;
+    Counters.incr (counters t) "redos"
+
+let tag t name = Hashtbl.replace t.tag_tbl name t.head
+
+let tags t =
+  Hashtbl.fold
+    (fun name node acc -> (name, (match node with Some n -> n.depth | None -> 0)) :: acc)
+    t.tag_tbl []
+  |> List.sort compare
+
+(* Checkout walks from head up to the lowest common ancestor, then down
+   to the target along recorded parent pointers. *)
+let checkout t name =
+  if in_txn t then Errors.type_error "cannot checkout while a transaction is open";
+  let target =
+    match Hashtbl.find_opt t.tag_tbl name with
+    | Some node -> node
+    | None -> Errors.unknown "unknown version tag %s" name
+  in
+  (* Ancestors of the target (by vid), for LCA detection. *)
+  let target_ancestors = Hashtbl.create 16 in
+  let rec mark = function
+    | None -> ()
+    | Some n ->
+      Hashtbl.replace target_ancestors n.vid n;
+      mark n.parent
+  in
+  mark target;
+  let is_target_ancestor = function
+    | None -> true  (* the root is an ancestor of everything *)
+    | Some n -> Hashtbl.mem target_ancestors n.vid
+  in
+  (* Phase 1: walk head back to the LCA. *)
+  while not (is_target_ancestor t.head) do
+    ignore (step_back t)
+  done;
+  (* Phase 2: path from the LCA down to the target. *)
+  let lca_vid = match t.head with Some n -> Some n.vid | None -> None in
+  let rec path acc = function
+    | None -> acc
+    | Some n -> if Some n.vid = lca_vid then acc else path (n :: acc) n.parent
+  in
+  List.iter (step_forward t) (path [] target);
+  t.redo_stack <- []
+
+(* ------------------------------------------------------------------ *)
+(* Storage management                                                  *)
+
+let recluster t =
+  if in_txn t then Errors.type_error "cannot re-cluster inside a transaction";
+  Store.recluster t.st

@@ -1,0 +1,159 @@
+(** Public database facade.
+
+    [Db] composes the raw object store, the incremental evaluation engine
+    and the transaction log into the primitive interface the paper lists
+    (§2.2): "operations for creating and deleting object type instances,
+    establishing and breaking relationships between instances, defining
+    predicates and subtypes, and primitives for retrieving and replacing
+    attribute values … augmented by the meta-action {e Undo}."
+
+    Every mutating primitive runs inside a transaction.  If no
+    transaction is open, the primitive is wrapped in an automatic
+    single-op transaction that commits (and hence propagates and checks
+    constraints) immediately.  Committed transactions push their delta on
+    a history chain supporting [undo_last] / [redo] and named version
+    tags. *)
+
+type t
+
+val create :
+  ?block_capacity:int ->
+  ?buffer_capacity:int ->
+  ?strategy:Engine.strategy ->
+  ?sched:Sched.strategy ->
+  Schema.t ->
+  t
+
+val schema : t -> Schema.t
+val store : t -> Store.t
+val engine : t -> Engine.t
+val counters : t -> Cactis_util.Counters.t
+
+(** {1 Transactions} *)
+
+(** @raise Errors.Type_error if a transaction is already open. *)
+val begin_txn : t -> unit
+
+val in_txn : t -> bool
+
+(** Evaluates all pending important attributes (constraints and watched
+    queries); on success appends the delta to the history.
+    @raise Errors.Constraint_violation after rolling the transaction
+    back, if a constraint fails and recovery does not repair it.
+    @raise Errors.Cycle after rolling back, on circular dependencies. *)
+val commit : t -> unit
+
+(** Roll back the open transaction. *)
+val abort : t -> unit
+
+(** [with_txn t f] runs [f] in a transaction, committing on return and
+    aborting if [f] (or the commit) raises. *)
+val with_txn : t -> (unit -> 'a) -> 'a
+
+(** {1 Primitives} *)
+
+(** Returns the new instance's id. *)
+val create_instance : t -> string -> int
+
+(** Breaks all the instance's links (logged), then deletes it. *)
+val delete_instance : t -> int -> unit
+
+(** [set t id attr v] replaces an {e intrinsic} attribute value.  Setting
+    an attribute to a value equal to its current one is a no-op.
+    @raise Errors.Type_error when [attr] is derived. *)
+val set : t -> int -> string -> Value.t -> unit
+
+(** [get t id attr] retrieves the attribute value, evaluating it first if
+    derived and out of date.  Querying makes the attribute important
+    (paper semantics); pass [~watch:false] to read without promoting it.
+    @raise Errors.Constraint_violation (after rolling back any open
+    transaction) if evaluation trips an unrecoverable constraint. *)
+val get : t -> ?watch:bool -> int -> string -> Value.t
+
+(** [link t ~from_id ~rel ~to_id] / [unlink …] establish and break
+    relationship instances (both directions maintained). *)
+val link : t -> from_id:int -> rel:string -> to_id:int -> unit
+
+val unlink : t -> from_id:int -> rel:string -> to_id:int -> unit
+
+(** Ids related to [id] across [rel], in link order. *)
+val related : t -> int -> string -> int list
+
+val type_of : t -> int -> string
+val instance_ids : t -> int list
+val instances_of_type : t -> string -> int list
+
+(** {1 Importance} *)
+
+val watch : t -> int -> string -> unit
+val unwatch : t -> int -> string -> unit
+
+(** {1 Subtypes} *)
+
+(** [in_subtype t id sub] — current membership (evaluated on demand). *)
+val in_subtype : t -> int -> string -> bool
+
+(** Members of a subtype among live instances of its parent type. *)
+val subtype_members : t -> string -> int list
+
+(** {1 Schema extension (dynamic, §3)} *)
+
+(** [add_attr t ~type_name def] extends a type while instances exist:
+    existing instances get the default (intrinsic) or an out-of-date slot
+    (derived).  Schema changes are not undoable. *)
+val add_attr : t -> type_name:string -> Schema.attr_def -> unit
+
+(** [add_subtype t def] — dynamic subtype addition. *)
+val add_subtype : t -> Schema.subtype_def -> unit
+
+(** {1 Constraints} *)
+
+(** [register_recovery t name action] installs a named recovery action
+    referenced by constraint specs. *)
+val register_recovery : t -> string -> Engine.recovery -> unit
+
+(** {1 Undo, redo, versions (§2.2, §3)}
+
+    Committed deltas form a {e version tree}: undoing back and committing
+    again grows a sibling branch instead of discarding the old one, so
+    every tagged state stays reachable forever — the paper's "retention,
+    recall, and management of multiple related versions". *)
+
+(** Depth of the current version node (number of deltas between the
+    initial state and here). *)
+val position : t -> int
+
+(** Sizes (primitive-op counts) of the deltas on the path from the
+    initial state to the current version, oldest first. *)
+val delta_sizes : t -> int list
+
+(** [undo_last t] reverses the most recent committed transaction on the
+    current branch (the paper's {e Undo} meta-action).
+    @raise Errors.Type_error if a transaction is open or the database is
+    at its initial state. *)
+val undo_last : t -> unit
+
+(** [redo t] re-applies the most recently undone transaction.  The redo
+    stack is cleared by a new commit (which starts a sibling branch) and
+    by {!checkout}. *)
+val redo : t -> unit
+
+(** [tag t name] names the current version node. *)
+val tag : t -> string -> unit
+
+(** [checkout t name] moves the database to the named version by
+    replaying deltas backwards to the lowest common ancestor and
+    forwards along the target's branch.  Works across branches; tags
+    never become unreachable.
+    @raise Errors.Unknown for unknown tags.
+    @raise Errors.Type_error if a transaction is open. *)
+val checkout : t -> string -> unit
+
+(** Tag names with the depth of the version they name. *)
+val tags : t -> (string * int) list
+
+(** {1 Storage management} *)
+
+(** Re-cluster instances into blocks from usage statistics (§2.3);
+    returns the number of blocks. *)
+val recluster : t -> int

@@ -1,0 +1,741 @@
+module Counters = Cactis_util.Counters
+module Decaying_avg = Cactis_util.Decaying_avg
+module Usage = Cactis_storage.Usage
+
+type strategy =
+  | Cactis
+  | Eager_triggers
+  | Recompute_all
+
+type recovery = Store.t -> int -> (int * string * Value.t) list
+
+type t = {
+  store : Store.t;
+  mutable strategy : strategy;
+  mutable sched : Sched.strategy;
+  watched : (int * string, unit) Hashtbl.t;
+  pending_important : (int * string, unit) Hashtbl.t;
+  recoveries : (string, recovery) Hashtbl.t;
+  mutable repair : (int -> string -> Value.t -> unit) option;
+  mutable in_recovery : bool;
+  (* Constraint attrs observed false during the current evaluation run. *)
+  mutable violations : (int * string) list;
+}
+
+let create ?(strategy = Cactis) ?(sched = Sched.Greedy) store =
+  {
+    store;
+    strategy;
+    sched;
+    watched = Hashtbl.create 32;
+    pending_important = Hashtbl.create 32;
+    recoveries = Hashtbl.create 8;
+    repair = None;
+    in_recovery = false;
+    violations = [];
+  }
+
+let store t = t.store
+let strategy t = t.strategy
+let set_strategy t s = t.strategy <- s
+let sched_strategy t = t.sched
+let set_sched_strategy t s = t.sched <- s
+let set_repair t f = t.repair <- Some f
+let register_recovery t name f = Hashtbl.replace t.recoveries name f
+
+let schema t = Store.schema t.store
+let counters t = Store.counters t.store
+
+let attr_def t (inst : Instance.t) a = Schema.attr (schema t) ~type_name:inst.Instance.type_name a
+
+let is_derived_def (d : Schema.attr_def) =
+  match d.Schema.kind with Schema.Derived _ -> true | Schema.Intrinsic _ -> false
+
+let rule_of t inst a =
+  match (attr_def t inst a).Schema.kind with
+  | Schema.Derived rule -> rule
+  | Schema.Intrinsic _ -> Errors.type_error "attribute %s of %s is intrinsic" a inst.Instance.type_name
+
+(* ------------------------------------------------------------------ *)
+(* Importance                                                          *)
+
+let has_constraint t (inst : Instance.t) a = (attr_def t inst a).Schema.constraint_ <> None
+
+let important t id a =
+  Hashtbl.mem t.watched (id, a)
+  ||
+  match Store.get_opt t.store id with
+  | Some inst -> has_constraint t inst a
+  | None -> false
+
+let watch t id a =
+  Hashtbl.replace t.watched (id, a) ();
+  match Store.get_opt t.store id with
+  | Some inst ->
+    let s = Instance.slot inst a in
+    if s.Instance.state = Instance.Out_of_date then Hashtbl.replace t.pending_important (id, a) ()
+  | None -> ()
+
+let unwatch t id a = Hashtbl.remove t.watched (id, a)
+let is_watched t id a = Hashtbl.mem t.watched (id, a)
+
+(* ------------------------------------------------------------------ *)
+(* Dependency enumeration                                              *)
+
+(* Dependents of attribute [a] of instance [i]: within the instance, and
+   across each relationship to currently-linked neighbours.  [via] is the
+   (instance, rel) crossing used for usage statistics and cost tags. *)
+let dependents t i a =
+  match Store.get_opt t.store i with
+  | None -> []
+  | Some inst ->
+    let tn = inst.Instance.type_name in
+    let self =
+      Schema.self_dependents (schema t) ~type_name:tn a |> List.map (fun b -> (i, b, None))
+    in
+    let cross =
+      Schema.cross_dependents (schema t) ~type_name:tn a
+      |> List.concat_map (fun (r, b) ->
+             Instance.linked inst r |> List.map (fun j -> (j, b, Some (i, r))))
+    in
+    self @ cross
+
+(* ------------------------------------------------------------------ *)
+(* Environment construction shared by all evaluators                   *)
+
+(* [fetch_value] must return the (up-to-date) value of a possibly-derived
+   attribute of some instance.  Reads are validated against the rule's
+   declared sources so an undeclared read fails loudly instead of being
+   silently non-incremental. *)
+(* The attribute actually transmitted when [name] is requested across the
+   reader's relationship [r]: the target type may alias it (Figure 1's
+   [consists_of exp_time = exp_compl]). *)
+let resolve_transmission t (inst : Instance.t) r name =
+  let rd = Schema.rel (schema t) ~type_name:inst.Instance.type_name r in
+  Schema.resolve_export (schema t) ~type_name:rd.Schema.target ~rel:rd.Schema.inverse name
+
+let build_env t (rule : Schema.rule) (inst : Instance.t) ~fetch_value =
+  let declared s = List.exists (fun s' -> s' = s) rule.Schema.sources in
+  let self_value b =
+    if not (declared (Schema.Self b)) then
+      Errors.type_error "rule on %s reads undeclared source self.%s" inst.Instance.type_name b;
+    fetch_value inst.Instance.id b
+  in
+  let related_values r name =
+    if not (declared (Schema.Rel (r, name))) then
+      Errors.type_error "rule on %s reads undeclared source %s.%s" inst.Instance.type_name r name;
+    let attr = resolve_transmission t inst r name in
+    Instance.linked inst r
+    |> List.map (fun j ->
+           Usage.cross (Store.usage t.store) ~from_instance:inst.Instance.id ~rel:r ~to_instance:j;
+           fetch_value j attr)
+  in
+  { Schema.self_value; related_values }
+
+let record_constraint_check t inst a v =
+  if has_constraint t inst a then begin
+    Counters.incr (counters t) "constraint_checks";
+    match v with
+    | Value.Bool false -> t.violations <- (inst.Instance.id, a) :: t.violations
+    | Value.Bool true -> ()
+    | other ->
+      Errors.type_error "constraint attribute %s.%s evaluated to non-boolean %s"
+        inst.Instance.type_name a (Value.to_string other)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Simple recursive evaluator (used by the baselines, by bootstrap     *)
+(* paths, and — without caching — by the oracle)                       *)
+
+let rec eval_rec t path id a =
+  let inst = Store.get t.store id in
+  let s = Instance.slot inst a in
+  match s.Instance.state with
+  | Instance.Up_to_date -> s.Instance.value
+  | Instance.In_progress -> raise (Errors.Cycle (List.rev ((id, a) :: path)))
+  | Instance.Out_of_date ->
+    let def = attr_def t inst a in
+    if not (is_derived_def def) then begin
+      (* Intrinsic slots are always up to date; an out-of-date intrinsic
+         can only be a slot created lazily after a schema extension —
+         give it the schema default. *)
+      (match def.Schema.kind with
+      | Schema.Intrinsic default ->
+        s.Instance.value <- default;
+        s.Instance.state <- Instance.Up_to_date
+      | Schema.Derived _ -> assert false);
+      s.Instance.value
+    end
+    else begin
+      s.Instance.state <- Instance.In_progress;
+      Store.touch t.store id;
+      let rule = rule_of t inst a in
+      let fetch_value j b =
+        let jinst = Store.get t.store j in
+        if j <> id then Store.touch t.store j;
+        let jdef = attr_def t jinst b in
+        if is_derived_def jdef then eval_rec t ((id, a) :: path) j b
+        else (Instance.slot jinst b).Instance.value
+      in
+      let env = build_env t rule inst ~fetch_value in
+      let v =
+        try rule.Schema.compute env
+        with e ->
+          s.Instance.state <- Instance.Out_of_date;
+          raise e
+      in
+      Counters.incr (counters t) "rule_evals";
+      s.Instance.value <- v;
+      s.Instance.state <- Instance.Up_to_date;
+      Store.notify_write t.store id a v;
+      Hashtbl.remove t.pending_important (id, a);
+      record_constraint_check t inst a v;
+      v
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Mark-out-of-date phase (chunked)                                    *)
+
+let mark_cost t j = if Store.resident t.store j then 0.0 else 1.0
+
+let run_marks t targets =
+  let sched = Sched.create t.sched t.store in
+  let schedule (j, b, via) =
+    (match via with
+    | Some (i, r) -> Usage.cross (Store.usage t.store) ~from_instance:i ~rel:r ~to_instance:j
+    | None -> ());
+    Sched.schedule sched ~instance:j ~cost:(mark_cost t j) (j, b)
+  in
+  List.iter schedule targets;
+  let rec loop () =
+    match Sched.next sched with
+    | None -> ()
+    | Some (j, b) ->
+      (match Store.get_opt t.store j with
+      | None -> ()
+      | Some inst ->
+        Store.touch t.store j;
+        Counters.incr (counters t) "mark_visits";
+        let s = Instance.slot inst b in
+        (match s.Instance.state with
+        | Instance.Out_of_date ->
+          (* Already out of date: the traversal is cut short here — this
+             is the source of the O(1) repeated-update behaviour. *)
+          Counters.incr (counters t) "mark_cutoffs"
+        | Instance.Up_to_date | Instance.In_progress ->
+          s.Instance.state <- Instance.Out_of_date;
+          Store.notify_mark t.store j b;
+          if important t j b then Hashtbl.replace t.pending_important (j, b) ();
+          List.iter schedule (dependents t j b)));
+      loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Demand-driven evaluation phase (chunked)                            *)
+
+type frame = {
+  f_id : int;
+  f_attr : string;
+  mutable f_pending : int;
+  mutable f_cost : float;  (* block misses charged to this subtree *)
+  f_parent : frame option;
+  f_via : (int * string) option;  (* (requesting instance, rel) *)
+}
+
+type eval_proc =
+  | Demand of { d_id : int; d_attr : string; d_parent : frame option; d_via : (int * string) option }
+  | Finish of frame
+
+let run_eval t roots =
+  let sched = Sched.create t.sched t.store in
+  let frames : (int * string, frame) Hashtbl.t = Hashtbl.create 32 in
+  let waiters : (int * string, frame list ref) Hashtbl.t = Hashtbl.create 32 in
+  let misses () = Counters.get (counters t) "block_misses" in
+  let demand_cost via j =
+    if Store.resident t.store j then 0.0
+    else
+      match via with
+      | Some (i, r) -> Decaying_avg.value (Store.link_tag t.store i r)
+      | None -> 1.0
+  in
+  let schedule_demand ~parent ~via j b =
+    (match parent with Some p -> p.f_pending <- p.f_pending + 1 | None -> ());
+    Sched.schedule sched ~instance:j ~cost:(demand_cost via j)
+      (Demand { d_id = j; d_attr = b; d_parent = parent; d_via = via })
+  in
+  let add_waiter key frame =
+    match Hashtbl.find_opt waiters key with
+    | Some r -> r := frame :: !r
+    | None -> Hashtbl.add waiters key (ref [ frame ])
+  in
+  let schedule_finish frame = Sched.schedule sched ~instance:frame.f_id ~cost:0.0 (Finish frame) in
+  let notify frame =
+    frame.f_pending <- frame.f_pending - 1;
+    if frame.f_pending = 0 then schedule_finish frame
+  in
+  let notify_waiters key =
+    match Hashtbl.find_opt waiters key with
+    | None -> ()
+    | Some r ->
+      let ws = !r in
+      Hashtbl.remove waiters key;
+      List.iter notify ws
+  in
+  (* Enumerate the out-of-date derived sources of (id, attr), demanding
+     each; returns the number demanded. *)
+  let open_frame frame (inst : Instance.t) =
+    let rule = rule_of t inst frame.f_attr in
+    let demand_source j b via =
+      let jinst = Store.get t.store j in
+      let jdef = attr_def t jinst b in
+      if is_derived_def jdef then begin
+        let s = Instance.slot jinst b in
+        match s.Instance.state with
+        | Instance.Up_to_date -> ()
+        | Instance.Out_of_date | Instance.In_progress ->
+          schedule_demand ~parent:(Some frame) ~via j b
+      end
+    in
+    List.iter
+      (function
+        | Schema.Self b -> demand_source frame.f_id b None
+        | Schema.Rel (r, name) ->
+          let attr = resolve_transmission t inst r name in
+          List.iter (fun j -> demand_source j attr (Some (frame.f_id, r))) (Instance.linked inst r))
+      rule.Schema.sources
+  in
+  let finish frame =
+    match Store.get_opt t.store frame.f_id with
+    | None ->
+      Hashtbl.remove frames (frame.f_id, frame.f_attr);
+      notify_waiters (frame.f_id, frame.f_attr)
+    | Some inst ->
+      let before = misses () in
+      Store.touch t.store frame.f_id;
+      let rule = rule_of t inst frame.f_attr in
+      let fetch_value j b =
+        let jinst = Store.get t.store j in
+        if j <> frame.f_id then Store.touch t.store j;
+        let s = Instance.slot jinst b in
+        (match s.Instance.state with
+        | Instance.Up_to_date -> ()
+        | Instance.Out_of_date | Instance.In_progress -> (
+          (* All derived sources were demanded and completed before this
+             Finish was scheduled; an out-of-date source here is a
+             lazily-created intrinsic slot (schema extension). *)
+          match (attr_def t jinst b).Schema.kind with
+          | Schema.Intrinsic default ->
+            s.Instance.value <- default;
+            s.Instance.state <- Instance.Up_to_date
+          | Schema.Derived _ -> assert false));
+        s.Instance.value
+      in
+      let env = build_env t rule inst ~fetch_value in
+      let v = rule.Schema.compute env in
+      Counters.incr (counters t) "rule_evals";
+      let s = Instance.slot inst frame.f_attr in
+      s.Instance.value <- v;
+      s.Instance.state <- Instance.Up_to_date;
+      Store.notify_write t.store frame.f_id frame.f_attr v;
+      Hashtbl.remove t.pending_important (frame.f_id, frame.f_attr);
+      Hashtbl.remove frames (frame.f_id, frame.f_attr);
+      record_constraint_check t inst frame.f_attr v;
+      frame.f_cost <- frame.f_cost +. float_of_int (misses () - before);
+      (* Self-adaptive statistics: the link that requested this value
+         learns what the request actually cost (§2.3). *)
+      (match frame.f_via with
+      | Some (i, r) ->
+        if Store.mem t.store i then Decaying_avg.observe (Store.link_tag t.store i r) frame.f_cost
+      | None -> ());
+      (match frame.f_parent with Some p -> p.f_cost <- p.f_cost +. frame.f_cost | None -> ());
+      notify_waiters (frame.f_id, frame.f_attr)
+  in
+  let run_demand d_id d_attr d_parent d_via =
+    match Store.get_opt t.store d_id with
+    | None -> (match d_parent with Some p -> notify p | None -> ())
+    | Some inst -> (
+      let s = Instance.slot inst d_attr in
+      match s.Instance.state with
+      | Instance.Up_to_date -> ( match d_parent with Some p -> notify p | None -> ())
+      | Instance.In_progress -> (
+        (* A frame already exists; wait for it. *)
+        match d_parent with
+        | Some p -> add_waiter (d_id, d_attr) p
+        | None -> ())
+      | Instance.Out_of_date ->
+        let def = attr_def t inst d_attr in
+        if not (is_derived_def def) then begin
+          (match def.Schema.kind with
+          | Schema.Intrinsic default ->
+            s.Instance.value <- default;
+            s.Instance.state <- Instance.Up_to_date
+          | Schema.Derived _ -> assert false);
+          match d_parent with Some p -> notify p | None -> ()
+        end
+        else begin
+          let before = misses () in
+          Store.touch t.store d_id;
+          Counters.incr (counters t) "demand_procs";
+          let frame =
+            {
+              f_id = d_id;
+              f_attr = d_attr;
+              f_pending = 0;
+              f_cost = float_of_int 0;
+              f_parent = d_parent;
+              f_via = d_via;
+            }
+          in
+          Hashtbl.add frames (d_id, d_attr) frame;
+          (* The parent's pending (incremented at demand time) is settled
+             by the waiter notification when this frame finishes. *)
+          (match d_parent with Some p -> add_waiter (d_id, d_attr) p | None -> ());
+          s.Instance.state <- Instance.In_progress;
+          open_frame frame inst;
+          frame.f_cost <- frame.f_cost +. float_of_int (misses () - before);
+          if frame.f_pending = 0 then schedule_finish frame
+        end)
+  in
+  List.iter
+    (fun (id, a) -> schedule_demand ~parent:None ~via:None id a)
+    roots;
+  let rec loop () =
+    match Sched.next sched with
+    | None -> ()
+    | Some (Demand { d_id; d_attr; d_parent; d_via }) ->
+      Counters.incr (counters t) "eval_procs";
+      run_demand d_id d_attr d_parent d_via;
+      loop ()
+    | Some (Finish frame) ->
+      Counters.incr (counters t) "eval_procs";
+      finish frame;
+      loop ()
+  in
+  let restore_open_frames () =
+    (* A rule raising mid-run must not leave slots In_progress. *)
+    Hashtbl.iter
+      (fun (id, a) _ ->
+        match Store.get_opt t.store id with
+        | Some inst ->
+          let s = Instance.slot inst a in
+          if s.Instance.state = Instance.In_progress then s.Instance.state <- Instance.Out_of_date
+        | None -> ())
+      frames
+  in
+  (try loop ()
+   with e ->
+     restore_open_frames ();
+     raise e);
+  (* Any frame still pending after the scheduler drained is waiting on a
+     value that can never arrive: a dependency cycle. *)
+  let stuck = Hashtbl.fold (fun key _ acc -> key :: acc) frames [] in
+  if stuck <> [] then begin
+    (* Restore the stuck slots so the database is not left in progress. *)
+    List.iter
+      (fun (id, a) ->
+        match Store.get_opt t.store id with
+        | Some inst -> (Instance.slot inst a).Instance.state <- Instance.Out_of_date
+        | None -> ())
+      stuck;
+    raise (Errors.Cycle (List.sort compare stuck))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Constraint-violation handling                                       *)
+
+let rec handle_violations t =
+  let vs = List.rev t.violations in
+  t.violations <- [];
+  match vs with
+  | [] -> ()
+  | _ ->
+    List.iter
+      (fun (id, a) ->
+        match Store.get_opt t.store id with
+        | None -> ()
+        | Some inst -> (
+          let s = Instance.slot inst a in
+          (* A recovery applied for an earlier violation in this batch may
+             already have repaired (re-marked) this one. *)
+          let still_false =
+            s.Instance.state = Instance.Up_to_date && Value.equal s.Instance.value (Value.Bool false)
+          in
+          if still_false then
+            let def = attr_def t inst a in
+            let spec =
+              match def.Schema.constraint_ with Some spec -> spec | None -> assert false
+            in
+            let fail () =
+              raise
+                (Errors.Constraint_violation { instance = id; attr = a; message = spec.Schema.message })
+            in
+            match spec.Schema.recovery with
+            | None -> fail ()
+            | Some name -> (
+              if t.in_recovery then fail ();
+              match (Hashtbl.find_opt t.recoveries name, t.repair) with
+              | Some action, Some apply ->
+                t.in_recovery <- true;
+                Fun.protect
+                  ~finally:(fun () -> t.in_recovery <- false)
+                  (fun () ->
+                    Counters.incr (counters t) "recoveries_run";
+                    List.iter (fun (j, b, v) -> apply j b v) (action t.store id);
+                    (* Re-evaluate the constraint after the repair. *)
+                    let v = eval_rec t [] id a in
+                    handle_violations t;
+                    if Value.equal v (Value.Bool false) then fail ())
+              | _ -> fail ())))
+      vs
+
+(* ------------------------------------------------------------------ *)
+(* Strategy dispatch for change notification                           *)
+
+let invalidate_all t =
+  List.iter
+    (fun id ->
+      match Store.get_opt t.store id with
+      | None -> ()
+      | Some inst ->
+        List.iter
+          (fun (d : Schema.attr_def) ->
+            if is_derived_def d then begin
+              (Instance.slot inst d.Schema.attr_name).Instance.state <- Instance.Out_of_date;
+              Store.notify_mark t.store id d.Schema.attr_name;
+              if important t id d.Schema.attr_name then
+                Hashtbl.replace t.pending_important (id, d.Schema.attr_name) ()
+            end)
+          (Schema.attrs (schema t) ~type_name:inst.Instance.type_name))
+    (Store.instance_ids t.store)
+
+let eval_everything t =
+  List.iter
+    (fun id ->
+      match Store.get_opt t.store id with
+      | None -> ()
+      | Some inst ->
+        List.iter
+          (fun (d : Schema.attr_def) ->
+            if is_derived_def d then ignore (eval_rec t [] id d.Schema.attr_name))
+          (Schema.attrs (schema t) ~type_name:inst.Instance.type_name))
+    (Store.instance_ids t.store);
+  handle_violations t
+
+(* The naive trigger mechanism: each change immediately and recursively
+   recomputes every dependent, with no out-of-date marking, in a fixed
+   depth-first order.  On diamond-shaped dependency graphs this
+   recomputes an exponential number of values — the behaviour the paper's
+   algorithm exists to avoid. *)
+let rec fire_trigger t (j, b, _via) =
+  match Store.get_opt t.store j with
+  | None -> ()
+  | Some inst ->
+    Store.touch t.store j;
+    let rule = rule_of t inst b in
+    let fetch_value k c =
+      let kinst = Store.get t.store k in
+      if k <> j then Store.touch t.store k;
+      let kdef = attr_def t kinst c in
+      let s = Instance.slot kinst c in
+      if is_derived_def kdef && s.Instance.state <> Instance.Up_to_date then eval_rec t [] k c
+      else s.Instance.value
+    in
+    let env = build_env t rule inst ~fetch_value in
+    let v = rule.Schema.compute env in
+    Counters.incr (counters t) "rule_evals";
+    let s = Instance.slot inst b in
+    s.Instance.value <- v;
+    s.Instance.state <- Instance.Up_to_date;
+    Store.notify_write t.store j b v;
+    record_constraint_check t inst b v;
+    List.iter (fire_trigger t) (dependents t j b)
+
+let after_change t targets =
+  match t.strategy with
+  | Cactis -> run_marks t targets
+  | Eager_triggers ->
+    List.iter (fire_trigger t) targets;
+    handle_violations t
+  | Recompute_all ->
+    invalidate_all t;
+    eval_everything t
+
+let after_intrinsic_set t id a =
+  Counters.incr (counters t) "intrinsic_sets";
+  after_change t (dependents t id a)
+
+let after_link_change t ~from_id ~rel ~to_id =
+  let side id r =
+    match Store.get_opt t.store id with
+    | None -> []
+    | Some inst ->
+      Schema.rel_dependents (schema t) ~type_name:inst.Instance.type_name r
+      |> List.map (fun b -> (id, b, None))
+  in
+  let inv =
+    match Store.get_opt t.store from_id with
+    | Some inst -> (Schema.rel (schema t) ~type_name:inst.Instance.type_name rel).Schema.inverse
+    | None -> (
+      match Store.get_opt t.store to_id with
+      | Some jinst ->
+        (* from side gone (undo paths); find inverse from the target. *)
+        (Schema.rel (schema t) ~type_name:jinst.Instance.type_name rel).Schema.inverse
+      | None -> rel)
+  in
+  after_change t (side from_id rel @ side to_id inv)
+
+let on_new_instance t id =
+  match Store.get_opt t.store id with
+  | None -> ()
+  | Some inst -> (
+    match t.strategy with
+    | Cactis ->
+      (* Creation "does not affect attribute evaluation until
+         relationships are established" — but the new instance's own
+         constraints must hold at commit. *)
+      List.iter
+        (fun (d : Schema.attr_def) ->
+          Hashtbl.replace t.pending_important (id, d.Schema.attr_name) ())
+        (Schema.constraint_attrs (schema t) ~type_name:inst.Instance.type_name)
+    | Eager_triggers | Recompute_all ->
+      List.iter
+        (fun (d : Schema.attr_def) ->
+          if is_derived_def d then ignore (eval_rec t [] id d.Schema.attr_name))
+        (Schema.attrs (schema t) ~type_name:inst.Instance.type_name);
+      handle_violations t)
+
+let on_delete_instance t id =
+  let purge tbl =
+    let stale = Hashtbl.fold (fun ((i, _) as k) _ acc -> if i = id then k :: acc else acc) tbl [] in
+    List.iter (Hashtbl.remove tbl) stale
+  in
+  purge t.watched;
+  purge t.pending_important
+
+let after_attr_added t ~type_name ~attr =
+  let def = Schema.attr (schema t) ~type_name attr in
+  List.iter
+    (fun id ->
+      match Store.get_opt t.store id with
+      | None -> ()
+      | Some inst ->
+        let s = Instance.slot inst attr in
+        (match def.Schema.kind with
+        | Schema.Intrinsic default ->
+          s.Instance.value <- default;
+          s.Instance.state <- Instance.Up_to_date
+        | Schema.Derived _ ->
+          s.Instance.state <- Instance.Out_of_date;
+          if important t id attr then Hashtbl.replace t.pending_important (id, attr) ())
+        )
+    (Store.instances_of_type t.store type_name)
+
+(* ------------------------------------------------------------------ *)
+(* Reading and propagation                                             *)
+
+let peek t id a = (Store.read_slot t.store id a).Instance.value
+
+let is_out_of_date t id a =
+  let inst = Store.get t.store id in
+  match Instance.slot_opt inst a with
+  | Some s -> s.Instance.state <> Instance.Up_to_date
+  | None -> true
+
+let read t ?(watch = true) id a =
+  let inst = Store.get t.store id in
+  let def = attr_def t inst a in
+  Store.touch t.store id;
+  if not (is_derived_def def) then (Instance.slot inst a).Instance.value
+  else begin
+    (* "If the user explicitly requests the value of attributes (i.e.
+       makes a query) they become important" (§2.2). *)
+    if watch then Hashtbl.replace t.watched (id, a) ();
+    let s = Instance.slot inst a in
+    (match s.Instance.state with
+    | Instance.Up_to_date -> ()
+    | Instance.Out_of_date | Instance.In_progress -> (
+      match t.strategy with
+      | Cactis ->
+        run_eval t [ (id, a) ];
+        handle_violations t
+      | Eager_triggers | Recompute_all ->
+        ignore (eval_rec t [] id a);
+        handle_violations t));
+    (Instance.slot inst a).Instance.value
+  end
+
+let propagate t =
+  match t.strategy with
+  | Cactis ->
+    let roots = Hashtbl.fold (fun k () acc -> k :: acc) t.pending_important [] in
+    let roots =
+      List.filter
+        (fun (id, a) ->
+          match Store.get_opt t.store id with
+          | None -> false
+          | Some inst -> (
+            match Schema.attr_opt (schema t) ~type_name:inst.Instance.type_name a with
+            | Some d -> is_derived_def d
+            | None -> false))
+        roots
+      |> List.sort compare
+    in
+    Hashtbl.reset t.pending_important;
+    if roots <> [] then begin
+      run_eval t roots;
+      handle_violations t
+    end
+  | Eager_triggers | Recompute_all ->
+    let roots = Hashtbl.fold (fun k () acc -> k :: acc) t.pending_important [] in
+    Hashtbl.reset t.pending_important;
+    List.iter
+      (fun (id, a) ->
+        if Store.mem t.store id then ignore (eval_rec t [] id a))
+      (List.sort compare roots);
+    handle_violations t
+
+let pending_important_count t = Hashtbl.length t.pending_important
+
+(* ------------------------------------------------------------------ *)
+(* Oracle: reference semantics with no caching and no I/O accounting   *)
+
+let oracle_value t id a =
+  let memo : (int * string, Value.t) Hashtbl.t = Hashtbl.create 32 in
+  let visiting : (int * string, unit) Hashtbl.t = Hashtbl.create 32 in
+  let rec go path id a =
+    match Hashtbl.find_opt memo (id, a) with
+    | Some v -> v
+    | None ->
+      if Hashtbl.mem visiting (id, a) then raise (Errors.Cycle (List.rev ((id, a) :: path)));
+      let inst = Store.get t.store id in
+      let def = attr_def t inst a in
+      let v =
+        match def.Schema.kind with
+        | Schema.Intrinsic _ -> (Instance.slot inst a).Instance.value
+        | Schema.Derived rule ->
+          Hashtbl.add visiting (id, a) ();
+          let declared s = List.exists (fun s' -> s' = s) rule.Schema.sources in
+          let env =
+            {
+              Schema.self_value =
+                (fun b ->
+                  if not (declared (Schema.Self b)) then
+                    Errors.type_error "oracle: undeclared source self.%s" b;
+                  go ((id, a) :: path) id b);
+              related_values =
+                (fun r name ->
+                  if not (declared (Schema.Rel (r, name))) then
+                    Errors.type_error "oracle: undeclared source %s.%s" r name;
+                  let attr = resolve_transmission t inst r name in
+                  Instance.linked inst r |> List.map (fun j -> go ((id, a) :: path) j attr));
+            }
+          in
+          let v = rule.Schema.compute env in
+          Hashtbl.remove visiting (id, a);
+          v
+      in
+      Hashtbl.replace memo (id, a) v;
+      v
+  in
+  go [] id a

@@ -1,0 +1,29 @@
+(** Exceptions raised by the Cactis core.
+
+    Following the paper: data cycles are not supported (detected
+    dynamically, {!Cycle}); a constraint predicate evaluating to false
+    forces the invoking transaction to fail ({!Constraint_violation});
+    schema misuse is reported eagerly. *)
+
+(** A derived attribute transitively depends on itself.  The payload
+    lists the (instance id, attribute) pairs on the cycle. *)
+exception Cycle of (int * string) list
+
+(** A constraint attribute evaluated to [false] and no recovery action
+    repaired it.  [instance]/[attr] identify the violated constraint;
+    [message] is the schema-supplied description. *)
+exception Constraint_violation of { instance : int; attr : string; message : string }
+
+(** Unknown type / attribute / relationship / instance. *)
+exception Unknown of string
+
+(** Value of the wrong shape for an operation (e.g. arithmetic on a
+    string, intrinsic write to a derived attribute). *)
+exception Type_error of string
+
+(** Cardinality violation on a [One] relationship. *)
+exception Cardinality of string
+
+let unknown fmt = Format.kasprintf (fun s -> raise (Unknown s)) fmt
+let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+let cardinality fmt = Format.kasprintf (fun s -> raise (Cardinality s)) fmt

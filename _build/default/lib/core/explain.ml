@@ -1,0 +1,63 @@
+type node = {
+  id : int;
+  attr : string;
+  value : Value.t;
+  fresh : bool;
+  kind : [ `Intrinsic | `Derived | `Shared ];
+  via : string option;
+  children : node list;
+}
+
+let tree db root_id root_attr =
+  let sch = Db.schema db in
+  let store = Db.store db in
+  let seen : (int * string, unit) Hashtbl.t = Hashtbl.create 32 in
+  let rec build ?via id attr =
+    let inst = Store.get store id in
+    let tn = inst.Instance.type_name in
+    let def = Schema.attr sch ~type_name:tn attr in
+    let slot = Instance.slot inst attr in
+    let value = slot.Instance.value in
+    let fresh = slot.Instance.state = Instance.Up_to_date in
+    match def.Schema.kind with
+    | Schema.Intrinsic _ -> { id; attr; value; fresh = true; kind = `Intrinsic; via; children = [] }
+    | Schema.Derived rule ->
+      if Hashtbl.mem seen (id, attr) then
+        { id; attr; value; fresh; kind = `Shared; via; children = [] }
+      else begin
+        Hashtbl.add seen (id, attr) ();
+        let children =
+          rule.Schema.sources
+          |> List.concat_map (function
+               | Schema.Self b -> [ build id b ]
+               | Schema.Rel (r, name) ->
+                 let rd = Schema.rel sch ~type_name:tn r in
+                 let resolved =
+                   Schema.resolve_export sch ~type_name:rd.Schema.target ~rel:rd.Schema.inverse
+                     name
+                 in
+                 Instance.linked inst r |> List.map (fun j -> build ~via:r j resolved))
+        in
+        { id; attr; value; fresh; kind = `Derived; via; children }
+      end
+  in
+  build root_id root_attr
+
+let render db id attr =
+  let buf = Buffer.create 256 in
+  let rec go depth (n : node) =
+    Buffer.add_string buf (String.make (2 * depth) ' ');
+    (match n.via with
+    | Some r -> Buffer.add_string buf (Printf.sprintf "-[%s]-> " r)
+    | None -> ());
+    Buffer.add_string buf
+      (Printf.sprintf "%d.%s = %s%s%s\n" n.id n.attr (Value.to_string n.value)
+         (if n.fresh then "" else "  (stale)")
+         (match n.kind with
+         | `Shared -> "  (shared, expanded above)"
+         | `Intrinsic -> "  [intrinsic]"
+         | `Derived -> ""));
+    List.iter (go (depth + 1)) n.children
+  in
+  go 0 (tree db id attr);
+  Buffer.contents buf

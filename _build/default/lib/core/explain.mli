@@ -1,0 +1,30 @@
+(** Dependency explanation.
+
+    [tree db id attr] materializes the dependency tree that produced a
+    derived attribute's current value: each node carries the attribute's
+    value, its up-to-date state, and the sources it was computed from
+    (with transmission aliases resolved).  Shared sub-derivations are
+    expanded once and referenced afterwards, so the output stays linear
+    in the size of the dependency subgraph.
+
+    This is a diagnostic view: building it neither evaluates anything
+    (stale nodes are reported stale with their cached values) nor
+    disturbs importance or usage statistics. *)
+
+type node = {
+  id : int;
+  attr : string;
+  value : Value.t;  (** cached value (may be stale) *)
+  fresh : bool;  (** up to date? *)
+  kind : [ `Intrinsic | `Derived | `Shared ];
+      (** [`Shared]: already expanded elsewhere in this tree *)
+  via : string option;  (** relationship crossed to reach this node *)
+  children : node list;
+}
+
+(** [tree db id attr] — the explanation rooted at (id, attr).
+    @raise Errors.Unknown for unknown instance/attribute. *)
+val tree : Db.t -> int -> string -> node
+
+(** [render db id attr] — human-readable indented rendering. *)
+val render : Db.t -> int -> string -> string

@@ -1,0 +1,99 @@
+type t = {
+  db : Db.t;
+  tn : string;
+  indexed_attr : string;
+  buckets : (Value.t, (int, unit) Hashtbl.t) Hashtbl.t;
+  current : (int, Value.t) Hashtbl.t;  (* id -> value it is bucketed under *)
+  stale : (int, unit) Hashtbl.t;
+}
+
+let type_name t = t.tn
+let attr t = t.indexed_attr
+
+let bucket t v =
+  match Hashtbl.find_opt t.buckets v with
+  | Some b -> b
+  | None ->
+    let b = Hashtbl.create 4 in
+    Hashtbl.add t.buckets v b;
+    b
+
+let remove_from_bucket t id =
+  match Hashtbl.find_opt t.current id with
+  | None -> ()
+  | Some old ->
+    (match Hashtbl.find_opt t.buckets old with
+    | Some b ->
+      Hashtbl.remove b id;
+      if Hashtbl.length b = 0 then Hashtbl.remove t.buckets old
+    | None -> ());
+    Hashtbl.remove t.current id
+
+let place t id v =
+  remove_from_bucket t id;
+  Hashtbl.replace (bucket t v) id ();
+  Hashtbl.replace t.current id v
+
+let is_member t id =
+  match Store.get_opt (Db.store t.db) id with
+  | Some inst -> String.equal inst.Instance.type_name t.tn
+  | None -> false
+
+let create db ~type_name:tn ~attr:indexed_attr =
+  (* Validates existence. *)
+  ignore (Schema.attr (Db.schema db) ~type_name:tn indexed_attr);
+  let t =
+    {
+      db;
+      tn;
+      indexed_attr;
+      buckets = Hashtbl.create 32;
+      current = Hashtbl.create 64;
+      stale = Hashtbl.create 16;
+    }
+  in
+  let store = Db.store db in
+  Store.subscribe_write store (fun id a v ->
+      if String.equal a indexed_attr && is_member t id then begin
+        Hashtbl.remove t.stale id;
+        place t id v
+      end);
+  Store.subscribe_mark store (fun id a ->
+      if String.equal a indexed_attr && is_member t id then Hashtbl.replace t.stale id ());
+  Store.subscribe_create store (fun id ->
+      if is_member t id then Hashtbl.replace t.stale id ());
+  Store.subscribe_delete store (fun id ->
+      if is_member t id then begin
+        remove_from_bucket t id;
+        Hashtbl.remove t.stale id
+      end);
+  (* Populate from existing instances. *)
+  List.iter (fun id -> Hashtbl.replace t.stale id ()) (Db.instances_of_type db tn);
+  t
+
+(* Force the indexed attribute of every stale instance; the resulting
+   write notifications re-bucket them. *)
+let refresh t =
+  let pending = Hashtbl.fold (fun id () acc -> id :: acc) t.stale [] in
+  List.iter
+    (fun id ->
+      Hashtbl.remove t.stale id;
+      if is_member t id then begin
+        let v = Db.get t.db ~watch:false id t.indexed_attr in
+        (* Intrinsic reads produce no write notification; bucket
+           explicitly (idempotent for derived reads). *)
+        place t id v
+      end)
+    pending
+
+let lookup t v =
+  refresh t;
+  match Hashtbl.find_opt t.buckets v with
+  | None -> []
+  | Some b -> Hashtbl.fold (fun id () acc -> id :: acc) b [] |> List.sort compare
+
+let distinct_values t =
+  refresh t;
+  Hashtbl.fold (fun v _ acc -> v :: acc) t.buckets [] |> List.sort Value.compare
+
+let stale_count t = Hashtbl.length t.stale

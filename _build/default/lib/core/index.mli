@@ -1,0 +1,36 @@
+(** Attribute indexes.
+
+    A hash index from attribute value to the set of instances (of one
+    type) currently holding that value, maintained incrementally through
+    the store's observer hooks — the OODB indexing facility the paper's
+    related work points to ([MaS86], "Indexing in an Object-Oriented
+    DBMS") applied to Cactis's derived-data setting:
+
+    - writes (intrinsic sets, derived evaluations, undo replay) move the
+      instance between buckets immediately;
+    - marking a derived indexed attribute out of date parks the instance
+      in a {e stale} set; {!lookup} forces evaluation of the stale
+      instances (through the normal demand machinery) before answering,
+      so answers are always exact while untouched instances cost
+      nothing. *)
+
+type t
+
+(** [create db ~type_name ~attr] builds and registers the index,
+    populating it from the current instances (evaluating the attribute
+    on each).
+    @raise Errors.Unknown if the type or attribute does not exist. *)
+val create : Db.t -> type_name:string -> attr:string -> t
+
+val type_name : t -> string
+val attr : t -> string
+
+(** [lookup t v] — ids currently holding value [v], ascending. *)
+val lookup : t -> Value.t -> int list
+
+(** [distinct_values t] — the values present, sorted. *)
+val distinct_values : t -> Value.t list
+
+(** Number of instances currently awaiting re-evaluation before the next
+    lookup (observability for tests/benchmarks). *)
+val stale_count : t -> int

@@ -1,0 +1,58 @@
+type state =
+  | Up_to_date
+  | Out_of_date
+  | In_progress
+
+type slot = {
+  mutable value : Value.t;
+  mutable state : state;
+}
+
+type t = {
+  id : int;
+  type_name : string;
+  slots : (string, slot) Hashtbl.t;
+  links : (string, int list ref) Hashtbl.t;
+  mutable alive : bool;
+}
+
+let create ~id ~type_name =
+  { id; type_name; slots = Hashtbl.create 8; links = Hashtbl.create 4; alive = true }
+
+let slot t a =
+  match Hashtbl.find_opt t.slots a with
+  | Some s -> s
+  | None ->
+    let s = { value = Value.Null; state = Out_of_date } in
+    Hashtbl.add t.slots a s;
+    s
+
+let slot_opt t a = Hashtbl.find_opt t.slots a
+
+let linked t rel = match Hashtbl.find_opt t.links rel with Some r -> !r | None -> []
+
+let add_link t rel id =
+  match Hashtbl.find_opt t.links rel with
+  | Some r -> r := !r @ [ id ]
+  | None -> Hashtbl.add t.links rel (ref [ id ])
+
+let remove_link t rel id =
+  match Hashtbl.find_opt t.links rel with
+  | None -> false
+  | Some r ->
+    let found = ref false in
+    let rec drop_first = function
+      | [] -> []
+      | x :: rest ->
+        if (not !found) && x = id then begin
+          found := true;
+          rest
+        end
+        else x :: drop_first rest
+    in
+    r := drop_first !r;
+    !found
+
+let all_links t =
+  Hashtbl.fold (fun rel ids acc -> if !ids = [] then acc else (rel, !ids) :: acc) t.links []
+  |> List.sort compare

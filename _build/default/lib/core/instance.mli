@@ -1,0 +1,45 @@
+(** In-memory representation of one object instance: attribute slots
+    (value + up-to-date state) and relationship link lists.
+
+    This module is deliberately dumb storage — all invariants
+    (propagation, logging, inverse-link maintenance, paging) are enforced
+    by {!Store}, {!Engine} and {!Db}. *)
+
+type state =
+  | Up_to_date
+  | Out_of_date
+  | In_progress  (** being evaluated; reading it again means a data cycle *)
+
+type slot = {
+  mutable value : Value.t;
+  mutable state : state;
+}
+
+type t = {
+  id : int;
+  type_name : string;
+  slots : (string, slot) Hashtbl.t;
+  links : (string, int list ref) Hashtbl.t;  (** rel -> related ids, oldest first *)
+  mutable alive : bool;
+}
+
+val create : id:int -> type_name:string -> t
+
+(** [slot t a] returns the slot for attribute [a], creating an
+    out-of-date [Null] slot on first touch (new attributes may be added
+    to the schema after instances exist). *)
+val slot : t -> string -> slot
+
+val slot_opt : t -> string -> slot option
+
+(** Related ids across one relationship (empty when never linked). *)
+val linked : t -> string -> int list
+
+(** [add_link t rel id] appends; [remove_link t rel id] removes the first
+    occurrence and returns whether it was present. *)
+val add_link : t -> string -> int -> unit
+
+val remove_link : t -> string -> int -> bool
+
+(** All (rel, ids) pairs with at least one link. *)
+val all_links : t -> (string * int list) list

@@ -1,0 +1,69 @@
+module Pager = Cactis_storage.Pager
+
+let check db =
+  let sch = Db.schema db in
+  let store = Db.store db in
+  let problems = ref [] in
+  let report fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  let ids = Db.instance_ids db in
+  List.iter
+    (fun id ->
+      let inst = Store.get store id in
+      let tn = inst.Instance.type_name in
+      if not (Schema.has_type sch tn) then report "instance %d has unknown type %s" id tn
+      else begin
+        (* Slots: declared, correct state discipline. *)
+        Hashtbl.iter
+          (fun attr (slot : Instance.slot) ->
+            match Schema.attr_opt sch ~type_name:tn attr with
+            | None -> report "instance %d carries undeclared attribute %s" id attr
+            | Some def -> (
+              (match slot.Instance.state with
+              | Instance.In_progress -> report "instance %d attribute %s left in progress" id attr
+              | Instance.Up_to_date | Instance.Out_of_date -> ());
+              match def.Schema.kind with
+              | Schema.Intrinsic _ ->
+                if slot.Instance.state = Instance.Out_of_date then
+                  report "instance %d intrinsic %s is out of date" id attr
+              | Schema.Derived _ -> ()))
+          inst.Instance.slots;
+        (* Links: declared, alive endpoints, inverse symmetry, type and
+           cardinality respected. *)
+        List.iter
+          (fun (rel, targets) ->
+            match Schema.rel_opt sch ~type_name:tn rel with
+            | None -> report "instance %d carries undeclared relationship %s" id rel
+            | Some rd ->
+              if rd.Schema.card = Schema.One && List.length targets > 1 then
+                report "instance %d relationship %s holds %d links but is one-cardinality" id rel
+                  (List.length targets);
+              List.iter
+                (fun j ->
+                  match Store.get_opt store j with
+                  | None -> report "instance %d links to dead instance %d via %s" id j rel
+                  | Some jinst ->
+                    if not (String.equal jinst.Instance.type_name rd.Schema.target) then
+                      report "instance %d link %s -> %d violates target type %s" id rel j
+                        rd.Schema.target;
+                    let back = Instance.linked jinst rd.Schema.inverse in
+                    let forward_count =
+                      List.length (List.filter (fun x -> x = j) (Instance.linked inst rel))
+                    in
+                    let backward_count = List.length (List.filter (fun x -> x = id) back) in
+                    if forward_count <> backward_count then
+                      report "asymmetric link %d -[%s]-> %d (%d forward, %d backward)" id rel j
+                        forward_count backward_count)
+                targets)
+          (Instance.all_links inst);
+        (* Pager placement. *)
+        if Pager.block_of (Store.pager store) id = None then
+          report "instance %d has no block placement" id
+      end)
+    ids;
+  if Db.in_txn db then report "transaction left open";
+  List.sort_uniq compare !problems
+
+let check_exn db =
+  match check db with
+  | [] -> ()
+  | problems -> Errors.type_error "integrity violations:@\n%s" (String.concat "\n" problems)

@@ -1,0 +1,24 @@
+(** Structural integrity checking.
+
+    [check db] audits the invariants the primitive layer is supposed to
+    maintain and returns a human-readable description of every violation
+    (empty = healthy).  The property-test suite runs it after every
+    random operation sequence, so any primitive that corrupts structure
+    is caught even when no query would notice.
+
+    Checked invariants:
+    - every link's endpoint exists, is alive, and has the matching
+      inverse entry;
+    - link targets satisfy the relationship's declared target type and
+      cardinality;
+    - no attribute slot is left [In_progress] outside an evaluation;
+    - intrinsic slots are always up to date;
+    - every slot and link names a declared attribute/relationship;
+    - every live instance is placed by the pager;
+    - no open transaction was leaked. *)
+
+val check : Db.t -> string list
+
+(** [check_exn db] raises [Errors.Type_error] listing the violations, if
+    any. *)
+val check_exn : Db.t -> unit

@@ -1,0 +1,90 @@
+(** Combinators for building attribute evaluation rules.
+
+    Rules pair declared sources with a compute function (see {!Schema});
+    these helpers cover the common shapes — copies, arithmetic over own
+    attributes, aggregates over values transmitted across relationships —
+    so schemas written directly against the API (tests, examples,
+    applications) stay readable.  The DDL front-end compiles its
+    expression language down to the same representation. *)
+
+let make sources compute = { Schema.sources; compute }
+
+(** Constant-valued derived attribute. *)
+let const v = make [] (fun _ -> v)
+
+(** Copy of another attribute of the same instance. *)
+let copy_self a = make [ Schema.Self a ] (fun env -> env.Schema.self_value a)
+
+(** Unary function of one own attribute. *)
+let map1 a f = make [ Schema.Self a ] (fun env -> f (env.Schema.self_value a))
+
+(** Binary function of two own attributes. *)
+let map2 a b f =
+  make [ Schema.Self a; Schema.Self b ] (fun env ->
+      f (env.Schema.self_value a) (env.Schema.self_value b))
+
+(** Ternary function of three own attributes. *)
+let map3 a b c f =
+  make
+    [ Schema.Self a; Schema.Self b; Schema.Self c ]
+    (fun env -> f (env.Schema.self_value a) (env.Schema.self_value b) (env.Schema.self_value c))
+
+(** Fold of the values of [attr] transmitted across [rel]. *)
+let fold_rel rel attr ~init ~f =
+  make [ Schema.Rel (rel, attr) ] (fun env ->
+      List.fold_left f init (env.Schema.related_values rel attr))
+
+(** Sum of the values transmitted across [rel]. *)
+let sum_rel rel attr = fold_rel rel attr ~init:(Value.Int 0) ~f:Value.add
+
+(** Maximum of the values transmitted across [rel]; [default] when no
+    instance is related. *)
+let max_rel ~default rel attr =
+  make [ Schema.Rel (rel, attr) ] (fun env ->
+      Value.max_ ~default (env.Schema.related_values rel attr))
+
+let min_rel ~default rel attr =
+  make [ Schema.Rel (rel, attr) ] (fun env ->
+      Value.min_ ~default (env.Schema.related_values rel attr))
+
+(** Number of instances related across [rel] ([attr] is fetched to
+    declare the transmission; any attribute of the target type works). *)
+let count_rel rel attr =
+  make [ Schema.Rel (rel, attr) ] (fun env ->
+      Value.count (env.Schema.related_values rel attr))
+
+(** Conjunction of the boolean values transmitted across [rel]
+    (true when nothing is related). *)
+let all_rel rel attr =
+  make [ Schema.Rel (rel, attr) ] (fun env ->
+      Value.all_ (env.Schema.related_values rel attr))
+
+let any_rel rel attr =
+  make [ Schema.Rel (rel, attr) ] (fun env ->
+      Value.any_ (env.Schema.related_values rel attr))
+
+(** [combine_self_rel a rel attr ~f]: [f own_value transmitted_values] —
+    the general "own attribute combined with neighbours" shape of
+    Figure 1's [exp_compl] rule. *)
+let combine_self_rel a rel attr ~f =
+  make
+    [ Schema.Self a; Schema.Rel (rel, attr) ]
+    (fun env -> f (env.Schema.self_value a) (env.Schema.related_values rel attr))
+
+(** Intrinsic attribute definition with a default value. *)
+let intrinsic ?(constraint_ = None) name default =
+  { Schema.attr_name = name; kind = Schema.Intrinsic default; constraint_ }
+
+(** Derived attribute definition. *)
+let derived ?(constraint_ = None) name rule =
+  { Schema.attr_name = name; kind = Schema.Derived rule; constraint_ }
+
+(** Derived attribute carrying a constraint: the rule must compute a
+    boolean; [false] fails the transaction unless [recovery] (a
+    registered recovery-action name) repairs it. *)
+let constraint_attr ?recovery name ~message rule =
+  {
+    Schema.attr_name = name;
+    kind = Schema.Derived rule;
+    constraint_ = Some { Schema.message; recovery };
+  }

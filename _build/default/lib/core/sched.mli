@@ -1,0 +1,45 @@
+(** Chunk scheduler for graph traversals (§2.3).
+
+    The paper breaks the mark-out-of-date and evaluation traversals into
+    {e chunks} scheduled as simulated concurrent processes, and chooses
+    the next chunk to run so as to minimize disk access:
+
+    - every pending process is associated with one instance;
+    - processes whose instance's block is resident go on a very
+      high-priority queue and always run first;
+    - whenever a block is read into memory, all pending processes
+      associated with instances on that block are promoted to the
+      high-priority queue;
+    - otherwise the runnable process with the lowest {e expected} disk
+      I/O runs first (decaying-average relationship tags; worst-case
+      statistics for marking).
+
+    [Fifo] is the naive fixed-order baseline the experiments compare
+    against. *)
+
+type strategy =
+  | Fifo
+  | Cost_only
+      (** ablation: order by expected cost but without the resident-first
+          queue or block promotion *)
+  | Greedy
+
+type 'a t
+
+(** [create strategy store] builds an empty scheduler consulting [store]
+    for residency and block placement. *)
+val create : strategy -> Store.t -> 'a t
+
+(** [schedule t ~instance ~cost payload] enqueues a chunk associated with
+    [instance]; [cost] is its expected disk I/O if the instance is not
+    resident (ignored under [Fifo]). *)
+val schedule : 'a t -> instance:int -> cost:float -> 'a -> unit
+
+(** [next t] pops the chunk to run, or [None] when drained.  Under
+    [Greedy], popping a chunk for a non-resident instance promotes the
+    other pending chunks that live on the same block (they will be free
+    once the caller touches the instance and loads the block). *)
+val next : 'a t -> 'a option
+
+val pending : 'a t -> int
+val is_empty : 'a t -> bool

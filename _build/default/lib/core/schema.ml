@@ -1,0 +1,339 @@
+type source =
+  | Self of string
+  | Rel of string * string
+
+type env = {
+  self_value : string -> Value.t;
+  related_values : string -> string -> Value.t list;
+}
+
+type rule = {
+  sources : source list;
+  compute : env -> Value.t;
+}
+
+type attr_kind =
+  | Intrinsic of Value.t
+  | Derived of rule
+
+type constraint_spec = {
+  message : string;
+  recovery : string option;
+}
+
+type attr_def = {
+  attr_name : string;
+  kind : attr_kind;
+  constraint_ : constraint_spec option;
+}
+
+type cardinality = One | Multi
+type polarity = Plug | Socket
+
+type rel_def = {
+  rel_name : string;
+  target : string;
+  inverse : string;
+  card : cardinality;
+  polarity : polarity;
+}
+
+type subtype_def = {
+  sub_name : string;
+  parent : string;
+  predicate : rule;
+  extra_attrs : attr_def list;
+}
+
+type type_def = {
+  type_name : string;
+  attr_tbl : (string, attr_def) Hashtbl.t;
+  mutable attr_order : string list;  (* declaration order, reversed *)
+  rel_tbl : (string, rel_def) Hashtbl.t;
+  mutable rel_order : string list;
+  mutable sub_names : string list;
+  exports : (string * string, string) Hashtbl.t;  (* (rel, export name) -> attr *)
+}
+
+type t = {
+  types : (string, type_def) Hashtbl.t;
+  mutable type_order : string list;
+  subs : (string, subtype_def) Hashtbl.t;
+  mutable sub_order : string list;
+  mutable schema_version : int;
+  (* Memoized reverse-dependency tables, invalidated on mutation. *)
+  mutable cache_version : int;
+  self_dep_cache : (string * string, string list) Hashtbl.t;
+  cross_dep_cache : (string * string, (string * string) list) Hashtbl.t;
+  rel_dep_cache : (string * string, string list) Hashtbl.t;
+}
+
+let create () =
+  {
+    types = Hashtbl.create 16;
+    type_order = [];
+    subs = Hashtbl.create 8;
+    sub_order = [];
+    schema_version = 0;
+    cache_version = -1;
+    self_dep_cache = Hashtbl.create 64;
+    cross_dep_cache = Hashtbl.create 64;
+    rel_dep_cache = Hashtbl.create 64;
+  }
+
+let bump t = t.schema_version <- t.schema_version + 1
+
+let version t = t.schema_version
+
+let has_type t name = Hashtbl.mem t.types name
+let type_names t = List.rev t.type_order
+
+let find_type t name =
+  match Hashtbl.find_opt t.types name with
+  | Some td -> td
+  | None -> Errors.unknown "unknown type %s" name
+
+let add_type t name =
+  if has_type t name then Errors.type_error "type %s already declared" name;
+  Hashtbl.add t.types name
+    {
+      type_name = name;
+      attr_tbl = Hashtbl.create 8;
+      attr_order = [];
+      rel_tbl = Hashtbl.create 4;
+      rel_order = [];
+      sub_names = [];
+      exports = Hashtbl.create 4;
+    };
+  t.type_order <- name :: t.type_order;
+  bump t
+
+let attr_opt t ~type_name a = Hashtbl.find_opt (find_type t type_name).attr_tbl a
+
+let attr t ~type_name a =
+  match attr_opt t ~type_name a with
+  | Some d -> d
+  | None -> Errors.unknown "type %s has no attribute %s" type_name a
+
+let attrs t ~type_name =
+  let td = find_type t type_name in
+  List.rev_map (fun a -> Hashtbl.find td.attr_tbl a) td.attr_order
+
+let rel_opt t ~type_name r = Hashtbl.find_opt (find_type t type_name).rel_tbl r
+
+let rel t ~type_name r =
+  match rel_opt t ~type_name r with
+  | Some d -> d
+  | None -> Errors.unknown "type %s has no relationship %s" type_name r
+
+let rels t ~type_name =
+  let td = find_type t type_name in
+  List.rev_map (fun r -> Hashtbl.find td.rel_tbl r) td.rel_order
+
+let validate_sources t ~type_name sources =
+  List.iter
+    (function
+      | Self a ->
+        if attr_opt t ~type_name a = None then
+          Errors.type_error "rule on type %s reads unknown attribute %s" type_name a
+      | Rel (r, _) ->
+        (* The target attribute cannot be validated eagerly: the inverse
+           type may legitimately gain it later (extensibility), and
+           Figure 2's auxiliary connector objects rely on that.  The
+           relationship itself must exist. *)
+        if rel_opt t ~type_name r = None then
+          Errors.type_error "rule on type %s reads unknown relationship %s" type_name r)
+    sources
+
+let add_attr t ~type_name (def : attr_def) =
+  let td = find_type t type_name in
+  if Hashtbl.mem td.attr_tbl def.attr_name then
+    Errors.type_error "type %s already has attribute %s" type_name def.attr_name;
+  (match (def.kind, def.constraint_) with
+  | Intrinsic _, Some _ ->
+    Errors.type_error "constraint on intrinsic attribute %s.%s (constraints are derived predicates)"
+      type_name def.attr_name
+  | Derived rule, _ -> validate_sources t ~type_name rule.sources
+  | Intrinsic _, None -> ());
+  Hashtbl.add td.attr_tbl def.attr_name def;
+  td.attr_order <- def.attr_name :: td.attr_order;
+  bump t
+
+let add_rel t ~type_name (def : rel_def) =
+  let td = find_type t type_name in
+  if Hashtbl.mem td.rel_tbl def.rel_name then
+    Errors.type_error "type %s already has relationship %s" type_name def.rel_name;
+  if not (has_type t def.target) then
+    Errors.unknown "relationship %s.%s targets unknown type %s" type_name def.rel_name def.target;
+  Hashtbl.add td.rel_tbl def.rel_name def;
+  td.rel_order <- def.rel_name :: td.rel_order;
+  bump t
+
+let declare_relationship t ~from_type ~rel ~to_type ~inverse ~card ~inverse_card =
+  add_rel t ~type_name:from_type
+    { rel_name = rel; target = to_type; inverse; card; polarity = Plug };
+  add_rel t ~type_name:to_type
+    { rel_name = inverse; target = from_type; inverse = rel; card = inverse_card; polarity = Socket }
+
+let membership_attr sub_name = "$in:" ^ sub_name
+
+let subtype t name =
+  match Hashtbl.find_opt t.subs name with
+  | Some d -> d
+  | None -> Errors.unknown "unknown subtype %s" name
+
+let subtypes_of t ~parent =
+  let td = find_type t parent in
+  List.rev_map (fun s -> Hashtbl.find t.subs s) td.sub_names
+
+let subtype_names t = List.rev t.sub_order
+
+let add_subtype t (def : subtype_def) =
+  if Hashtbl.mem t.subs def.sub_name then
+    Errors.type_error "subtype %s already declared" def.sub_name;
+  let td = find_type t def.parent in
+  (* Membership is an ordinary derived attribute, so the incremental
+     engine maintains it like any other functionally-defined value
+     ("it is possible to use values such as the very_late attribute to
+     change subtype membership of an object dynamically", §4). *)
+  add_attr t ~type_name:def.parent
+    {
+      attr_name = membership_attr def.sub_name;
+      kind = Derived def.predicate;
+      constraint_ = None;
+    };
+  List.iter (fun a -> add_attr t ~type_name:def.parent a) def.extra_attrs;
+  Hashtbl.add t.subs def.sub_name def;
+  t.sub_order <- def.sub_name :: t.sub_order;
+  td.sub_names <- def.sub_name :: td.sub_names;
+  bump t
+
+let constraint_attrs t ~type_name =
+  List.filter (fun (d : attr_def) -> d.constraint_ <> None) (attrs t ~type_name)
+
+let add_export t ~type_name ~rel:r ~export ~attr:a =
+  let td = find_type t type_name in
+  ignore (rel t ~type_name r);
+  ignore (attr t ~type_name a);
+  if Hashtbl.mem td.exports (r, export) then
+    Errors.type_error "type %s already transmits %s across %s" type_name export r;
+  Hashtbl.add td.exports (r, export) a;
+  bump t
+
+let resolve_export t ~type_name ~rel:r name =
+  let td = find_type t type_name in
+  match Hashtbl.find_opt td.exports (r, name) with
+  | Some a -> a
+  | None -> name
+
+(* ------------------------------------------------------------------ *)
+(* Reverse-dependency tables.                                          *)
+
+let refresh_caches t =
+  if t.cache_version <> t.schema_version then begin
+    Hashtbl.reset t.self_dep_cache;
+    Hashtbl.reset t.cross_dep_cache;
+    Hashtbl.reset t.rel_dep_cache;
+    t.cache_version <- t.schema_version
+  end
+
+let derived_sources (d : attr_def) =
+  match d.kind with Derived rule -> rule.sources | Intrinsic _ -> []
+
+let compute_self_dependents t ~type_name a =
+  attrs t ~type_name
+  |> List.filter_map (fun (d : attr_def) ->
+         if List.exists (function Self x -> String.equal x a | Rel _ -> false) (derived_sources d)
+         then Some d.attr_name
+         else None)
+
+let compute_cross_dependents t ~type_name a =
+  (* For every relationship r of this type (target U, inverse r'), the
+     attributes b of U reading [Rel (r', name)] depend on our a whenever
+     the requested name resolves to a — directly, or through a
+     transmission alias declared on our side of r. *)
+  rels t ~type_name
+  |> List.concat_map (fun (r : rel_def) ->
+         if not (has_type t r.target) then []
+         else
+           attrs t ~type_name:r.target
+           |> List.filter_map (fun (d : attr_def) ->
+                  if
+                    List.exists
+                      (function
+                        | Rel (r', name) ->
+                          String.equal r' r.inverse
+                          && String.equal (resolve_export t ~type_name ~rel:r.rel_name name) a
+                        | Self _ -> false)
+                      (derived_sources d)
+                  then Some (r.rel_name, d.attr_name)
+                  else None))
+
+let compute_rel_dependents t ~type_name r =
+  attrs t ~type_name
+  |> List.filter_map (fun (d : attr_def) ->
+         if List.exists (function Rel (r', _) -> String.equal r' r | Self _ -> false)
+              (derived_sources d)
+         then Some d.attr_name
+         else None)
+
+let memo cache compute key =
+  match Hashtbl.find_opt cache key with
+  | Some v -> v
+  | None ->
+    let v = compute () in
+    Hashtbl.add cache key v;
+    v
+
+let self_dependents t ~type_name a =
+  refresh_caches t;
+  memo t.self_dep_cache (fun () -> compute_self_dependents t ~type_name a) (type_name, a)
+
+let cross_dependents t ~type_name a =
+  refresh_caches t;
+  memo t.cross_dep_cache (fun () -> compute_cross_dependents t ~type_name a) (type_name, a)
+
+let rel_dependents t ~type_name r =
+  refresh_caches t;
+  memo t.rel_dep_cache (fun () -> compute_rel_dependents t ~type_name r) (type_name, r)
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+
+let describe t =
+  let buf = Buffer.create 512 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun tn ->
+      let td = find_type t tn in
+      out "class %s\n" tn;
+      List.iter
+        (fun (r : rel_def) ->
+          out "  rel  %-18s -> %s (%s, inverse %s)\n" r.rel_name r.target
+            (match r.card with One -> "one" | Multi -> "multi")
+            r.inverse)
+        (rels t ~type_name:tn);
+      List.iter
+        (fun (d : attr_def) ->
+          match d.kind with
+          | Intrinsic default ->
+            out "  attr %-18s intrinsic := %s\n" d.attr_name (Value.to_string default)
+          | Derived rule ->
+            let srcs =
+              rule.sources
+              |> List.map (function
+                   | Self a -> a
+                   | Rel (r, a) -> r ^ "." ^ a)
+              |> String.concat ", "
+            in
+            out "  attr %-18s derived <- {%s}%s\n" d.attr_name srcs
+              (match d.constraint_ with
+              | Some c -> Printf.sprintf "  CONSTRAINT %S" c.message
+              | None -> ""))
+        (attrs t ~type_name:tn);
+      Hashtbl.iter
+        (fun (r, export) a -> out "  send %s.%s = %s\n" r export a)
+        td.exports;
+      List.iter (fun s -> out "  subtype %s\n" s) (List.rev td.sub_names))
+    (type_names t);
+  Buffer.contents buf

@@ -1,0 +1,189 @@
+(** Database schema: object classes, attributes, relationships, attribute
+    evaluation rules, constraints and predicate-defined subtypes (§2.1).
+
+    The schema is {e extensible at run time} — new types, attributes and
+    subtypes may be added while the database is live, which the paper
+    treats as essential for software environments (adding new tools
+    without disturbing existing ones, §3).
+
+    A derived attribute's rule declares its {e sources}: the attributes
+    of the same instance ([Self]) and the attributes whose values are
+    transmitted across named relationships ([Rel]) that the rule reads.
+    Declared sources give the engine the dependency edges of the
+    attributed graph; the compute function then receives exactly those
+    values through an {!env}. *)
+
+type source =
+  | Self of string  (** an attribute of this instance *)
+  | Rel of string * string
+      (** [Rel (r, a)]: attribute [a] transmitted across relationship [r]
+          from every instance currently related through [r] *)
+
+(** Evaluation environment handed to a rule's compute function. *)
+type env = {
+  self_value : string -> Value.t;  (** value of one of the declared [Self] sources *)
+  related_values : string -> string -> Value.t list;
+      (** [related_values r a]: one value per instance related via [r],
+          in link order; the declared source must be [Rel (r, a)] *)
+}
+
+type rule = {
+  sources : source list;
+  compute : env -> Value.t;
+}
+
+type attr_kind =
+  | Intrinsic of Value.t  (** payload = default value for new instances *)
+  | Derived of rule
+
+(** Constraint attached to a (boolean, derived) attribute: when the
+    attribute evaluates to [false] the transaction fails, unless the
+    named recovery action (registered on the database) repairs it. *)
+type constraint_spec = {
+  message : string;
+  recovery : string option;  (** name of a registered recovery action *)
+}
+
+type attr_def = {
+  attr_name : string;
+  kind : attr_kind;
+  constraint_ : constraint_spec option;
+}
+
+type cardinality = One | Multi
+
+(** Plug/Socket is the paper's wiring vocabulary (Figure 1 declares
+    [milestone_dep Multi Socket] / [Multi Plug]); it documents which side
+    transmits values outward but both sides are navigable. *)
+type polarity = Plug | Socket
+
+type rel_def = {
+  rel_name : string;
+  target : string;  (** target type name *)
+  inverse : string;  (** relationship on [target] pointing back *)
+  card : cardinality;
+  polarity : polarity;
+}
+
+(** Subtype defined by a predicate over the parent type's attributes
+    (§2.1: "A Car Buff might be defined as the predicate which calculates
+    all Persons who own more than three cars").  Membership is maintained
+    incrementally as a hidden derived attribute; [extra_attrs] become
+    available on members. *)
+type subtype_def = {
+  sub_name : string;
+  parent : string;
+  predicate : rule;  (** must compute a [Bool] *)
+  extra_attrs : attr_def list;
+}
+
+type type_def
+
+type t
+
+val create : unit -> t
+
+(** {1 Declaration} *)
+
+(** [add_type t name] declares a fresh empty object class.
+    @raise Errors.Type_error if [name] already exists. *)
+val add_type : t -> string -> unit
+
+(** [add_attr t ~type_name def] adds an attribute to an existing type.
+    @raise Errors.Unknown if the type does not exist.
+    @raise Errors.Type_error if the attribute already exists, if a
+    constraint is attached to an intrinsic attribute, or if a declared
+    source names an unknown attribute/relationship. *)
+val add_attr : t -> type_name:string -> attr_def -> unit
+
+(** [add_rel t ~type_name def] declares one end of a relationship.  Both
+    ends must be declared (see {!declare_relationship} for the common
+    paired form).
+    @raise Errors.Type_error if the relationship already exists. *)
+val add_rel : t -> type_name:string -> rel_def -> unit
+
+(** [declare_relationship t ~from_type ~rel ~to_type ~inverse ~card
+    ~inverse_card] declares both ends at once, wiring the inverse names;
+    the [from] end is the Plug side. *)
+val declare_relationship :
+  t ->
+  from_type:string ->
+  rel:string ->
+  to_type:string ->
+  inverse:string ->
+  card:cardinality ->
+  inverse_card:cardinality ->
+  unit
+
+(** [add_subtype t def] declares a predicate subtype of an existing
+    parent type.  The membership attribute and the extra attributes are
+    installed on the parent type (extra attributes are meaningful on
+    members; see {!Db.in_subtype}). *)
+val add_subtype : t -> subtype_def -> unit
+
+(** [add_export t ~type_name ~rel ~export ~attr] declares that instances
+    of [type_name] transmit their attribute [attr] across relationship
+    [rel] under the name [export] — Figure 1's
+    [consists_of exp_time = exp_compl].  Readers on the other side
+    reference [Rel (inverse, export)].
+    @raise Errors.Type_error on duplicates;
+    @raise Errors.Unknown for unknown rel/attr. *)
+val add_export : t -> type_name:string -> rel:string -> export:string -> attr:string -> unit
+
+(** [resolve_export t ~type_name ~rel name] — the attribute actually
+    transmitted when [name] is requested across the transmitter's [rel];
+    [name] itself when no alias is declared (direct attribute access). *)
+val resolve_export : t -> type_name:string -> rel:string -> string -> string
+
+(** {1 Lookup} *)
+
+val has_type : t -> string -> bool
+val type_names : t -> string list
+
+(** @raise Errors.Unknown when absent. *)
+val find_type : t -> string -> type_def
+
+val attr : t -> type_name:string -> string -> attr_def
+val attr_opt : t -> type_name:string -> string -> attr_def option
+val attrs : t -> type_name:string -> attr_def list
+
+val rel : t -> type_name:string -> string -> rel_def
+val rel_opt : t -> type_name:string -> string -> rel_def option
+val rels : t -> type_name:string -> rel_def list
+
+val subtype : t -> string -> subtype_def
+val subtypes_of : t -> parent:string -> subtype_def list
+val subtype_names : t -> string list
+
+(** Hidden membership attribute name for a subtype
+    (installed on the parent type). *)
+val membership_attr : string -> string
+
+(** {1 Dependency queries (used by the mark phase)} *)
+
+(** [self_dependents t ~type_name a] — attributes [b] of the same type
+    whose rules declare [Self a]. *)
+val self_dependents : t -> type_name:string -> string -> string list
+
+(** [cross_dependents t ~type_name a] — pairs [(r, b)] such that when
+    attribute [a] of an instance [i] of [type_name] changes, attribute
+    [b] of every instance related to [i] through relationship [r] (of
+    [i]'s type) depends on it: [b]'s rule declares [Rel (inverse r, a)]. *)
+val cross_dependents : t -> type_name:string -> string -> (string * string) list
+
+(** [rel_dependents t ~type_name r] — attributes of [type_name] whose
+    rules read anything across relationship [r]; these must be marked
+    when a link over [r] is established or broken. *)
+val rel_dependents : t -> type_name:string -> string -> string list
+
+(** Attributes of a type carrying constraints. *)
+val constraint_attrs : t -> type_name:string -> attr_def list
+
+(** Monotone counter bumped on every schema mutation (invalidates
+    downstream caches). *)
+val version : t -> int
+
+(** Human-readable schema summary: every class with its attributes
+    (intrinsic defaults, derived sources, constraints), relationships,
+    transmissions and subtypes.  For diagnostics and the CLI. *)
+val describe : t -> string

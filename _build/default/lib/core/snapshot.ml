@@ -1,0 +1,283 @@
+module Vtime = Cactis_util.Vtime
+
+exception Parse_error of { line : int; message : string }
+
+let parse_error line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Value encoding                                                      *)
+
+(* Floats use %h (hexadecimal) for exact round-trips. *)
+let rec value_to_buf buf (v : Value.t) =
+  match v with
+  | Value.Null -> Buffer.add_string buf "null"
+  | Value.Bool true -> Buffer.add_string buf "true"
+  | Value.Bool false -> Buffer.add_string buf "false"
+  | Value.Int n -> Buffer.add_string buf (Printf.sprintf "i:%d" n)
+  | Value.Float f -> Buffer.add_string buf (Printf.sprintf "f:%h" f)
+  | Value.Str s -> Buffer.add_string buf (Printf.sprintf "s:%S" s)
+  | Value.Time t -> Buffer.add_string buf (Printf.sprintf "t:%h" (Vtime.to_days t))
+  | Value.Arr a ->
+    Buffer.add_string buf "a:[";
+    Array.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        value_to_buf buf x)
+      a;
+    Buffer.add_char buf ']'
+  | Value.Rec fields ->
+    Buffer.add_string buf "r:{";
+    List.iteri
+      (fun i (name, x) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf name;
+        Buffer.add_char buf '=';
+        value_to_buf buf x)
+      fields;
+    Buffer.add_char buf '}'
+
+let value_to_string v =
+  let buf = Buffer.create 32 in
+  value_to_buf buf v;
+  Buffer.contents buf
+
+(* Cursor-based reader for the same encoding. *)
+type cursor = {
+  src : string;
+  mutable pos : int;
+}
+
+let fail_at _c fmt = Format.kasprintf (fun m -> failwith m) fmt
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let expect_char c ch =
+  match peek c with
+  | Some x when x = ch -> c.pos <- c.pos + 1
+  | Some x -> fail_at c "expected %C, found %C" ch x
+  | None -> fail_at c "expected %C, found end of input" ch
+
+let take_while c pred =
+  let start = c.pos in
+  while (match peek c with Some ch -> pred ch | None -> false) do
+    c.pos <- c.pos + 1
+  done;
+  String.sub c.src start (c.pos - start)
+
+let read_quoted_string c =
+  (* Scans an OCaml %S-escaped string literal. *)
+  expect_char c '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek c with
+    | None -> fail_at c "unterminated string"
+    | Some '"' -> c.pos <- c.pos + 1
+    | Some '\\' ->
+      c.pos <- c.pos + 1;
+      (match peek c with
+      | Some 'n' -> Buffer.add_char buf '\n'
+      | Some 't' -> Buffer.add_char buf '\t'
+      | Some 'r' -> Buffer.add_char buf '\r'
+      | Some 'b' -> Buffer.add_char buf '\b'
+      | Some '"' -> Buffer.add_char buf '"'
+      | Some '\\' -> Buffer.add_char buf '\\'
+      | Some c0 when c0 >= '0' && c0 <= '9' ->
+        (* \DDD decimal escape *)
+        let d = String.sub c.src c.pos 3 in
+        c.pos <- c.pos + 2;
+        Buffer.add_char buf (Char.chr (int_of_string d))
+      | Some c0 -> fail_at c "bad escape \\%c" c0
+      | None -> fail_at c "unterminated escape");
+      c.pos <- c.pos + 1;
+      loop ()
+    | Some ch ->
+      Buffer.add_char buf ch;
+      c.pos <- c.pos + 1;
+      loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let is_number_char ch =
+  (ch >= '0' && ch <= '9')
+  || (ch >= 'a' && ch <= 'f')
+  || (ch >= 'A' && ch <= 'F')
+  || ch = 'x' || ch = 'X' || ch = '.' || ch = '-' || ch = '+' || ch = 'p' || ch = 'P'
+  || ch = 'i' || ch = 'n' || ch = 't' || ch = 'y'
+(* hex floats (0x1.8p+1), "infinity", "nan" *)
+
+let rec read_value c : Value.t =
+  match peek c with
+  | Some 'n' when String.length c.src >= c.pos + 4 && String.sub c.src c.pos 4 = "null" ->
+    c.pos <- c.pos + 4;
+    Value.Null
+  | Some 't' when String.length c.src >= c.pos + 4 && String.sub c.src c.pos 4 = "true" ->
+    c.pos <- c.pos + 4;
+    Value.Bool true
+  | Some 'f' when String.length c.src >= c.pos + 5 && String.sub c.src c.pos 5 = "false" ->
+    c.pos <- c.pos + 5;
+    Value.Bool false
+  | Some 'i' ->
+    c.pos <- c.pos + 1;
+    expect_char c ':';
+    Value.Int (int_of_string (take_while c (fun ch -> ch = '-' || (ch >= '0' && ch <= '9'))))
+  | Some 'f' ->
+    c.pos <- c.pos + 1;
+    expect_char c ':';
+    Value.Float (float_of_string (take_while c is_number_char))
+  | Some 't' ->
+    c.pos <- c.pos + 1;
+    expect_char c ':';
+    Value.Time (Vtime.of_days (float_of_string (take_while c is_number_char)))
+  | Some 's' ->
+    c.pos <- c.pos + 1;
+    expect_char c ':';
+    Value.Str (read_quoted_string c)
+  | Some 'a' ->
+    c.pos <- c.pos + 1;
+    expect_char c ':';
+    expect_char c '[';
+    let items = ref [] in
+    if peek c = Some ']' then c.pos <- c.pos + 1
+    else begin
+      let rec loop () =
+        items := read_value c :: !items;
+        match peek c with
+        | Some ',' ->
+          c.pos <- c.pos + 1;
+          loop ()
+        | Some ']' -> c.pos <- c.pos + 1
+        | _ -> fail_at c "expected ',' or ']' in array"
+      in
+      loop ()
+    end;
+    Value.Arr (Array.of_list (List.rev !items))
+  | Some 'r' ->
+    c.pos <- c.pos + 1;
+    expect_char c ':';
+    expect_char c '{';
+    let fields = ref [] in
+    if peek c = Some '}' then c.pos <- c.pos + 1
+    else begin
+      let rec loop () =
+        let name = take_while c (fun ch -> ch <> '=' && ch <> ',' && ch <> '}') in
+        expect_char c '=';
+        fields := (name, read_value c) :: !fields;
+        match peek c with
+        | Some ',' ->
+          c.pos <- c.pos + 1;
+          loop ()
+        | Some '}' -> c.pos <- c.pos + 1
+        | _ -> fail_at c "expected ',' or '}' in record"
+      in
+      loop ()
+    end;
+    Value.Rec (List.rev !fields)
+  | Some ch -> fail_at c "unexpected %C in value" ch
+  | None -> fail_at c "unexpected end of value"
+
+let value_of_string s =
+  let c = { src = s; pos = 0 } in
+  let v = read_value c in
+  if c.pos <> String.length s then failwith "trailing garbage after value";
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Save                                                                *)
+
+(* A structural link appears twice (once per direction); it is written
+   from the side whose (type, rel) key is smaller — with id order as the
+   tiebreak for symmetric self-relationships. *)
+let owns_link sch (inst : Instance.t) rel j ~target_type =
+  let rd = Schema.rel sch ~type_name:inst.Instance.type_name rel in
+  let this_key = (inst.Instance.type_name, rel) in
+  let other_key = (target_type, rd.Schema.inverse) in
+  if this_key < other_key then true
+  else if this_key > other_key then false
+  else inst.Instance.id <= j
+
+let save db =
+  let sch = Db.schema db in
+  let store = Db.store db in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "cactis-snapshot 1\n";
+  List.iter
+    (fun id ->
+      let inst = Store.get store id in
+      let tn = inst.Instance.type_name in
+      Buffer.add_string buf (Printf.sprintf "instance %d %s\n" id tn);
+      List.iter
+        (fun (d : Schema.attr_def) ->
+          match d.Schema.kind with
+          | Schema.Intrinsic _ ->
+            let v = (Instance.slot inst d.Schema.attr_name).Instance.value in
+            Buffer.add_string buf
+              (Printf.sprintf "attr %d %s %s\n" id d.Schema.attr_name (value_to_string v))
+          | Schema.Derived _ -> ())
+        (Schema.attrs sch ~type_name:tn))
+    (Db.instance_ids db);
+  (* Links after all instances so loading can wire in one pass. *)
+  List.iter
+    (fun id ->
+      let inst = Store.get store id in
+      List.iter
+        (fun (rel, ids) ->
+          let rd = Schema.rel sch ~type_name:inst.Instance.type_name rel in
+          List.iter
+            (fun j ->
+              if owns_link sch inst rel j ~target_type:rd.Schema.target then
+                Buffer.add_string buf (Printf.sprintf "link %d %s %d\n" id rel j))
+            ids)
+        (Instance.all_links inst))
+    (Db.instance_ids db);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Load                                                                *)
+
+let load ?strategy ?sched ?block_capacity ?buffer_capacity schema text =
+  let db = Db.create ?strategy ?sched ?block_capacity ?buffer_capacity schema in
+  let store = Db.store db in
+  let lines = String.split_on_char '\n' text in
+  (match lines with
+  | header :: _ when String.trim header = "cactis-snapshot 1" -> ()
+  | _ -> parse_error 1 "missing 'cactis-snapshot 1' header");
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      let line = String.trim raw in
+      if lineno = 1 || line = "" || line.[0] = '#' then ()
+      else
+        match String.split_on_char ' ' line with
+        | "instance" :: id :: type_name :: [] -> (
+          match int_of_string_opt id with
+          | Some id -> ignore (Store.recreate_instance store ~id type_name)
+          | None -> parse_error lineno "bad instance id %s" id)
+        | "attr" :: id :: attr :: rest -> (
+          match int_of_string_opt id with
+          | None -> parse_error lineno "bad instance id %s" id
+          | Some id ->
+            let inst = Store.get store id in
+            (match Schema.attr schema ~type_name:inst.Instance.type_name attr with
+            | { Schema.kind = Schema.Intrinsic _; _ } -> ()
+            | { Schema.kind = Schema.Derived _; _ } ->
+              parse_error lineno "attr %s of %d is derived; snapshots store intrinsics only" attr
+                id);
+            let encoded = String.concat " " rest in
+            let v =
+              try value_of_string encoded
+              with Failure m -> parse_error lineno "bad value %S: %s" encoded m
+            in
+            Store.write_value store id attr v)
+        | "link" :: a :: rel :: b :: [] -> (
+          match (int_of_string_opt a, int_of_string_opt b) with
+          | Some a, Some b -> Store.link store ~from_id:a ~rel ~to_id:b
+          | _ -> parse_error lineno "bad link ids")
+        | cmd :: _ -> parse_error lineno "unknown directive %s" cmd
+        | [] -> ())
+    lines;
+  (* Constraint attributes of loaded instances must hold; register them
+     as pending so the first propagation checks them. *)
+  List.iter (fun id -> Engine.on_new_instance (Db.engine db) id) (Db.instance_ids db);
+  db

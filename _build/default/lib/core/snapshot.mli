@@ -1,0 +1,51 @@
+(** Textual snapshots of database {e data}.
+
+    Cactis was a mass-storage DBMS; this reproduction keeps instances in
+    memory and simulates the disk, so durability is provided by explicit
+    snapshots: {!save} serializes every live instance's identity,
+    intrinsic attribute values and relationship links; {!load} rebuilds a
+    database from a snapshot against a compatible schema (the schema
+    itself — rules are closures — travels separately, e.g. as a
+    [.cactis] source file).
+
+    Derived attributes are deliberately {e not} stored: they are
+    re-derived on demand after loading, which both keeps snapshots small
+    (the same argument as the paper's delta mechanism, §3) and guarantees
+    they can never disagree with their rules.
+
+    The format is line-oriented and stable:
+    {v
+    cactis-snapshot 1
+    instance 3 milestone
+    attr 3 name s:"design"
+    attr 3 local_work f:5.
+    link 3 depends_on 7
+    v}
+    Links are written once per pair (from the lexicographically smaller
+    side of the canonical direction) and re-established through the
+    normal link primitive, which restores both directions. *)
+
+exception Parse_error of { line : int; message : string }
+
+(** [save db] serializes all live instances. *)
+val save : Db.t -> string
+
+(** [load schema text] builds a fresh database (default engine settings)
+    holding the snapshot's data.  Instance ids are preserved.
+    @raise Parse_error on malformed input.
+    @raise Errors.Unknown if the snapshot references types, attributes or
+    relationships the schema lacks. *)
+val load :
+  ?strategy:Engine.strategy ->
+  ?sched:Sched.strategy ->
+  ?block_capacity:int ->
+  ?buffer_capacity:int ->
+  Schema.t ->
+  string ->
+  Db.t
+
+(** [value_to_string] / [value_of_string] — the tagged scalar encoding
+    used by the snapshot format (exposed for tests and tools). *)
+val value_to_string : Value.t -> string
+
+val value_of_string : string -> Value.t

@@ -1,0 +1,236 @@
+module Pager = Cactis_storage.Pager
+module Usage = Cactis_storage.Usage
+module Cluster = Cactis_storage.Cluster
+module Counters = Cactis_util.Counters
+module Decaying_avg = Cactis_util.Decaying_avg
+
+type t = {
+  schema : Schema.t;
+  instances : (int, Instance.t) Hashtbl.t;
+  mutable next_id : int;
+  pager : Pager.t;
+  usage : Usage.t;
+  counters : Counters.t;
+  link_tags : (int * string, Decaying_avg.t) Hashtbl.t;
+  mutable write_observers : (int -> string -> Value.t -> unit) list;
+  mutable create_observers : (int -> unit) list;
+  mutable delete_observers : (int -> unit) list;
+  mutable mark_observers : (int -> string -> unit) list;
+}
+
+let create ?block_capacity ?buffer_capacity schema =
+  {
+    schema;
+    instances = Hashtbl.create 256;
+    next_id = 1;
+    pager = Pager.create ?block_capacity ?buffer_capacity ();
+    usage = Usage.create ();
+    counters = Counters.create ();
+    link_tags = Hashtbl.create 256;
+    write_observers = [];
+    create_observers = [];
+    delete_observers = [];
+    mark_observers = [];
+  }
+
+let subscribe_write t f = t.write_observers <- f :: t.write_observers
+let subscribe_create t f = t.create_observers <- f :: t.create_observers
+let subscribe_delete t f = t.delete_observers <- f :: t.delete_observers
+let subscribe_mark t f = t.mark_observers <- f :: t.mark_observers
+let notify_mark t id attr = List.iter (fun f -> f id attr) t.mark_observers
+let notify_write t id attr v = List.iter (fun f -> f id attr v) t.write_observers
+
+let schema t = t.schema
+let pager t = t.pager
+let usage t = t.usage
+let counters t = t.counters
+
+let link_tag t id rel =
+  match Hashtbl.find_opt t.link_tags (id, rel) with
+  | Some tag -> tag
+  | None ->
+    (* Worst-case initial estimate: one block per crossing. *)
+    let tag = Decaying_avg.create ~initial:1.0 () in
+    Hashtbl.add t.link_tags (id, rel) tag;
+    tag
+
+let get_opt t id =
+  match Hashtbl.find_opt t.instances id with
+  | Some inst when inst.Instance.alive -> Some inst
+  | Some _ | None -> None
+
+let get t id =
+  match get_opt t id with
+  | Some inst -> inst
+  | None -> Errors.unknown "no live instance %d" id
+
+let mem t id = get_opt t id <> None
+
+let install_slots t (inst : Instance.t) =
+  List.iter
+    (fun (d : Schema.attr_def) ->
+      let s = Instance.slot inst d.attr_name in
+      match d.kind with
+      | Schema.Intrinsic default ->
+        s.Instance.value <- default;
+        s.Instance.state <- Instance.Up_to_date
+      | Schema.Derived _ -> s.Instance.state <- Instance.Out_of_date)
+    (Schema.attrs t.schema ~type_name:inst.Instance.type_name)
+
+let create_instance t type_name =
+  if not (Schema.has_type t.schema type_name) then Errors.unknown "unknown type %s" type_name;
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let inst = Instance.create ~id ~type_name in
+  install_slots t inst;
+  Hashtbl.replace t.instances id inst;
+  Pager.register t.pager id;
+  Counters.incr t.counters "instances_created";
+  List.iter (fun f -> f id) t.create_observers;
+  inst
+
+let recreate_instance t ~id type_name =
+  if mem t id then Errors.type_error "instance %d already live" id;
+  let inst = Instance.create ~id ~type_name in
+  install_slots t inst;
+  Hashtbl.replace t.instances id inst;
+  Pager.register t.pager id;
+  if id >= t.next_id then t.next_id <- id + 1;
+  List.iter (fun f -> f id) t.create_observers;
+  inst
+
+let delete_instance t id =
+  let inst = get t id in
+  if Instance.all_links inst <> [] then
+    Errors.type_error "instance %d still has links; break them before deleting" id;
+  List.iter (fun f -> f id) t.delete_observers;
+  inst.Instance.alive <- false;
+  Hashtbl.remove t.instances id;
+  Pager.forget t.pager id;
+  Usage.forget_instance t.usage id;
+  Counters.incr t.counters "instances_deleted"
+
+let instance_ids t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.instances [] |> List.sort compare
+
+let instance_count t = Hashtbl.length t.instances
+
+let instances_of_type t type_name =
+  Hashtbl.fold
+    (fun id (inst : Instance.t) acc ->
+      if String.equal inst.type_name type_name then id :: acc else acc)
+    t.instances []
+  |> List.sort compare
+
+let touch t id =
+  Usage.touch_instance t.usage id;
+  Counters.incr t.counters "instance_touches";
+  match Pager.touch t.pager id with
+  | `Hit -> ()
+  | `Miss -> Counters.incr t.counters "block_misses"
+
+let resident t id = Pager.resident t.pager id
+
+let rel_def t (inst : Instance.t) rel = Schema.rel t.schema ~type_name:inst.Instance.type_name rel
+
+let link t ~from_id ~rel ~to_id =
+  let a = get t from_id and b = get t to_id in
+  let rd = rel_def t a rel in
+  if not (String.equal b.Instance.type_name rd.Schema.target) then
+    Errors.type_error "relationship %s.%s targets %s, not %s" a.Instance.type_name rel
+      rd.Schema.target b.Instance.type_name;
+  let inv = rd.Schema.inverse in
+  let ird = rel_def t b inv in
+  if rd.Schema.card = Schema.One && Instance.linked a rel <> [] then
+    Errors.cardinality "instance %d: relationship %s already occupied" from_id rel;
+  if ird.Schema.card = Schema.One && Instance.linked b inv <> [] then
+    Errors.cardinality "instance %d: relationship %s already occupied" to_id inv;
+  touch t from_id;
+  touch t to_id;
+  Instance.add_link a rel to_id;
+  Instance.add_link b inv from_id;
+  Counters.incr t.counters "links_established"
+
+let unlink t ~from_id ~rel ~to_id =
+  let a = get t from_id and b = get t to_id in
+  let rd = rel_def t a rel in
+  touch t from_id;
+  touch t to_id;
+  let removed = Instance.remove_link a rel to_id in
+  if removed then begin
+    ignore (Instance.remove_link b rd.Schema.inverse from_id);
+    Counters.incr t.counters "links_broken"
+  end;
+  removed
+
+let linked t id rel =
+  let inst = get t id in
+  touch t id;
+  (* Validates the relationship exists on this type. *)
+  ignore (rel_def t inst rel);
+  Instance.linked inst rel
+
+let read_slot t id attr =
+  let inst = get t id in
+  touch t id;
+  Instance.slot inst attr
+
+let write_value t id attr v =
+  let s = read_slot t id attr in
+  s.Instance.value <- v;
+  s.Instance.state <- Instance.Up_to_date;
+  Counters.incr t.counters "slot_writes";
+  notify_write t id attr v
+
+let recluster t =
+  let instances =
+    instance_ids t |> List.map (fun id -> (id, Usage.instance_count t.usage id))
+  in
+  (* Every structural link participates, with its accumulated crossing
+     count (0 for never-traversed links): the inner greedy loop can then
+     pull cold neighbours into a hot block before opening a new one. *)
+  let links =
+    instance_ids t
+    |> List.concat_map (fun id ->
+           let inst = get t id in
+           Instance.all_links inst
+           |> List.concat_map (fun (rel, ids) ->
+                  List.filter_map
+                    (fun other ->
+                      if id < other then
+                        Some
+                          {
+                            Cluster.a = id;
+                            b = other;
+                            rel;
+                            count =
+                              Usage.crossing_count t.usage ~from_instance:id ~rel
+                                ~to_instance:other;
+                          }
+                      else None)
+                    ids))
+  in
+  let assignment =
+    Cluster.pack ~block_capacity:(Pager.block_capacity t.pager) ~instances ~links
+  in
+  Pager.apply_clustering t.pager assignment;
+  (* Cluster time refreshes the worst-case statistics used as initial
+     estimates for the decaying averages (§2.3): a link whose two ends now
+     share a block costs 0 extra blocks in the worst case, 1 otherwise. *)
+  Hashtbl.iter
+    (fun (id, rel) tag ->
+      match get_opt t id with
+      | None -> ()
+      | Some inst ->
+        let same_block other =
+          Pager.block_of t.pager id <> None
+          && Pager.block_of t.pager id = Pager.block_of t.pager other
+        in
+        let neighbours = Instance.linked inst rel in
+        let worst =
+          List.fold_left (fun acc o -> if same_block o then acc else acc +. 1.0) 0.0 neighbours
+        in
+        Decaying_avg.reset tag ~initial:worst)
+    t.link_tags;
+  Counters.incr t.counters "reclusterings";
+  assignment.Cluster.block_count

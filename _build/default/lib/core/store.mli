@@ -1,0 +1,117 @@
+(** Raw object store: instances over the simulated mass storage.
+
+    The store performs {e mechanical} state changes only — no dependency
+    propagation, no transaction logging, no constraint checking.  Those
+    belong to {!Engine}, {!Txn} and {!Db}.  Every instance access is
+    routed through the pager so that experiments observe the disk-access
+    counts the paper reasons about, and through the usage statistics that
+    drive re-clustering. *)
+
+type t
+
+val create :
+  ?block_capacity:int -> ?buffer_capacity:int -> Schema.t -> t
+
+val schema : t -> Schema.t
+val pager : t -> Cactis_storage.Pager.t
+val usage : t -> Cactis_storage.Usage.t
+val counters : t -> Cactis_util.Counters.t
+
+(** Per-link decaying-average disk-cost tags (§2.3), keyed by
+    (instance id, relationship).  Fresh tags start at the worst-case
+    estimate of 1 block. *)
+val link_tag : t -> int -> string -> Cactis_util.Decaying_avg.t
+
+(** {1 Instances} *)
+
+(** [create_instance t type_name] allocates a fresh instance: intrinsic
+    slots are initialized to their schema defaults (up to date), derived
+    slots start out of date.
+    @raise Errors.Unknown if the type is not declared. *)
+val create_instance : t -> string -> Instance.t
+
+(** [recreate_instance t ~id type_name] re-materializes a deleted
+    instance under its original id (undo of a delete). *)
+val recreate_instance : t -> id:int -> string -> Instance.t
+
+(** @raise Errors.Unknown for dead or absent ids. *)
+val get : t -> int -> Instance.t
+
+val get_opt : t -> int -> Instance.t option
+val mem : t -> int -> bool
+
+(** [delete_instance t id] removes the instance.  All its links must have
+    been broken first (checked). *)
+val delete_instance : t -> int -> unit
+
+(** Live instance ids, ascending. *)
+val instance_ids : t -> int list
+
+val instance_count : t -> int
+
+(** Live instances of one type, ascending id. *)
+val instances_of_type : t -> string -> int list
+
+(** {1 Paged access} *)
+
+(** [touch t id] charges one buffered access to the instance's block and
+    bumps its usage count. *)
+val touch : t -> int -> unit
+
+(** [resident t id] — is the instance's block buffered? (free) *)
+val resident : t -> int -> bool
+
+(** {1 Links (both directions maintained)} *)
+
+(** [link t ~from_id ~rel ~to_id] establishes a relationship instance.
+    @raise Errors.Unknown on unknown rel/instances,
+    @raise Errors.Type_error on target type mismatch,
+    @raise Errors.Cardinality if a [One] end is already occupied. *)
+val link : t -> from_id:int -> rel:string -> to_id:int -> unit
+
+(** [unlink t ~from_id ~rel ~to_id] breaks it; returns whether the link
+    existed. *)
+val unlink : t -> from_id:int -> rel:string -> to_id:int -> bool
+
+(** Related ids of [id] across [rel] (pager-charged). *)
+val linked : t -> int -> string -> int list
+
+(** {1 Slots (pager-charged)} *)
+
+val read_slot : t -> int -> string -> Instance.slot
+
+(** [write_value t id attr v] stores [v] and marks the slot up to date. *)
+val write_value : t -> int -> string -> Value.t -> unit
+
+(** {1 Observers}
+
+    Lightweight notification hooks used by secondary structures (attribute
+    indexes, statistics).  Callbacks must not mutate the database. *)
+
+(** [subscribe_write t f] — [f id attr value] after every slot write
+    (intrinsic sets, derived evaluations, undo replay). *)
+val subscribe_write : t -> (int -> string -> Value.t -> unit) -> unit
+
+(** [subscribe_create t f] — [f id] after an instance (re)appears. *)
+val subscribe_create : t -> (int -> unit) -> unit
+
+(** [subscribe_delete t f] — [f id] before an instance disappears. *)
+val subscribe_delete : t -> (int -> unit) -> unit
+
+(** [subscribe_mark t f] — [f id attr] when a derived slot is marked out
+    of date (called by the engine's mark phase). *)
+val subscribe_mark : t -> (int -> string -> unit) -> unit
+
+(** [notify_mark t id attr] — invoked by the engine. *)
+val notify_mark : t -> int -> string -> unit
+
+(** [notify_write t id attr v] — invoked by the engine after writing a
+    derived slot directly (bypassing {!write_value}). *)
+val notify_write : t -> int -> string -> Value.t -> unit
+
+(** {1 Re-clustering (§2.3)} *)
+
+(** [recluster t] packs instances into blocks with the paper's greedy
+    usage-count algorithm, installs the layout, flushes the buffer pool
+    and re-seeds the per-link cost tags. Returns the number of blocks. *)
+val recluster : t -> int

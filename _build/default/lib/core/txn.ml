@@ -1,0 +1,43 @@
+type op =
+  | Set_intrinsic of { id : int; attr : string; old_value : Value.t; new_value : Value.t }
+  | Link of { from_id : int; rel : string; to_id : int }
+  | Unlink of { from_id : int; rel : string; to_id : int }
+  | Create of { id : int; type_name : string }
+  | Delete of { id : int; type_name : string; intrinsics : (string * Value.t) list }
+
+type delta = {
+  ops : op list;
+  label : string option;
+}
+
+let inverse_op = function
+  | Set_intrinsic { id; attr; old_value; new_value } ->
+    Set_intrinsic { id; attr; old_value = new_value; new_value = old_value }
+  | Link { from_id; rel; to_id } -> Unlink { from_id; rel; to_id }
+  | Unlink { from_id; rel; to_id } -> Link { from_id; rel; to_id }
+  | Create { id; type_name } -> Delete { id; type_name; intrinsics = [] }
+  | Delete { id; type_name; intrinsics = _ } ->
+    (* The inverse of deletion is re-creation; intrinsic values are
+       restored by the surrounding replay (see Db.apply_inverse), which
+       has access to the recorded snapshot. *)
+    Create { id; type_name }
+
+let inverse d = { ops = List.rev_map inverse_op d.ops; label = d.label }
+
+let size d = List.length d.ops
+
+let pp_op fmt = function
+  | Set_intrinsic { id; attr; old_value; new_value } ->
+    Format.fprintf fmt "set %d.%s: %a -> %a" id attr Value.pp old_value Value.pp new_value
+  | Link { from_id; rel; to_id } -> Format.fprintf fmt "link %d -[%s]-> %d" from_id rel to_id
+  | Unlink { from_id; rel; to_id } -> Format.fprintf fmt "unlink %d -[%s]-> %d" from_id rel to_id
+  | Create { id; type_name } -> Format.fprintf fmt "create %d : %s" id type_name
+  | Delete { id; type_name; intrinsics } ->
+    Format.fprintf fmt "delete %d : %s (%d intrinsics)" id type_name (List.length intrinsics)
+
+let pp fmt d =
+  Format.fprintf fmt "@[<v>delta%s (%d ops):@,%a@]"
+    (match d.label with Some l -> " " ^ l | None -> "")
+    (size d)
+    (Format.pp_print_list pp_op)
+    d.ops

@@ -1,0 +1,38 @@
+(** Transaction deltas: the logged primitive operations and their
+    inverses.
+
+    The paper's key observation (§2.2, §3): "all of the actions that take
+    place as a consequence of changing an attribute value can be undone
+    simply by restoring the old value of the attribute … we need only
+    remember the small changes made in order to restore the database to
+    its old status."  A delta therefore records {e only the primitive
+    changes} (intrinsic writes, links made/broken, instances
+    created/deleted); derived consequences are re-derived by the engine
+    after the inverse operations are replayed. *)
+
+type op =
+  | Set_intrinsic of { id : int; attr : string; old_value : Value.t; new_value : Value.t }
+  | Link of { from_id : int; rel : string; to_id : int }
+  | Unlink of { from_id : int; rel : string; to_id : int }
+  | Create of { id : int; type_name : string }
+  | Delete of { id : int; type_name : string; intrinsics : (string * Value.t) list }
+      (** all links are guaranteed broken (and logged) before deletion *)
+
+(** A committed transaction's log, oldest op first. *)
+type delta = {
+  ops : op list;
+  label : string option;
+}
+
+(** [inverse_op op] is the primitive that undoes [op]. *)
+val inverse_op : op -> op
+
+(** [inverse d] is the delta that undoes [d] (ops reversed and
+    inverted). *)
+val inverse : delta -> delta
+
+(** Number of primitive ops — the paper's "size of the delta". *)
+val size : delta -> int
+
+val pp_op : Format.formatter -> op -> unit
+val pp : Format.formatter -> delta -> unit

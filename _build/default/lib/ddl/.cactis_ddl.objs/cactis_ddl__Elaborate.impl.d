@@ -1,0 +1,1 @@
+lib/ddl/elaborate.ml: Ast Cactis Cactis_util Float Format List Option Parser String

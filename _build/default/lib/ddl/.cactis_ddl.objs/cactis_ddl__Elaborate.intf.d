@@ -1,0 +1,1 @@
+lib/ddl/elaborate.mli: Ast Cactis

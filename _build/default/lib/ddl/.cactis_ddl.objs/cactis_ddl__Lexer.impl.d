@@ -1,0 +1,1 @@
+lib/ddl/lexer.ml: Buffer Format List String Token

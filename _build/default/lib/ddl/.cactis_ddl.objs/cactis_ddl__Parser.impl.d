@@ -1,0 +1,1 @@
+lib/ddl/parser.ml: Ast Format Lexer List String Token

@@ -1,0 +1,1 @@
+lib/ddl/pretty.ml: Ast Cactis Cactis_util Format Printf String

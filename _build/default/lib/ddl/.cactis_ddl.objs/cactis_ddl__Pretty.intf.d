@@ -1,0 +1,1 @@
+lib/ddl/pretty.mli: Ast Format

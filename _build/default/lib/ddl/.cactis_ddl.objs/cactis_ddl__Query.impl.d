@@ -1,0 +1,1 @@
+lib/ddl/query.ml: Cactis Elaborate Lexer List Parser Printf

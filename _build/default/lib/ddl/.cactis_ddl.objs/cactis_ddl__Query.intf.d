@@ -1,0 +1,1 @@
+lib/ddl/query.mli: Cactis

@@ -1,0 +1,1 @@
+lib/ddl/typecheck.ml: Ast Elaborate Format Hashtbl List Option Printf

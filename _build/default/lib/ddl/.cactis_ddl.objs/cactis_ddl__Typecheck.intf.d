@@ -1,0 +1,1 @@
+lib/ddl/typecheck.mli: Ast

@@ -1,0 +1,136 @@
+(** Abstract syntax of the DDL. *)
+
+module Value = Cactis.Value
+
+type agg =
+  | Max
+  | Min
+  | Sum
+  | Count
+  | All
+  | Any
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type unop =
+  | Neg
+  | Not
+
+type expr =
+  | Lit of Value.t
+  | Self_attr of string  (** attribute of this instance *)
+  | Rel_one of string * string
+      (** [rel.attr] — the single value across a [one] relationship *)
+  | Rel_agg of { agg : agg; rel : string; attr : string; default : expr option }
+      (** [max(rel.attr default e)] etc. *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | If of expr * expr * expr
+  | Call of string * expr list  (** builtins: time, later_of, later_than, … *)
+
+type value_type =
+  | T_int
+  | T_float
+  | T_bool
+  | T_string
+  | T_time
+
+type rel_decl = {
+  rd_name : string;
+  rd_target : string;
+  rd_card : [ `One | `Multi ];
+  rd_polarity : [ `Plug | `Socket ];
+  rd_inverse : string;
+}
+
+type attr_decl = {
+  ad_name : string;
+  ad_type : value_type;
+  ad_default : expr option;  (** must be a constant expression *)
+}
+
+type rule_decl = {
+  ru_name : string;
+  ru_expr : expr;
+}
+
+type constraint_decl = {
+  cd_name : string;
+  cd_expr : expr;
+  cd_message : string;
+  cd_recovery : string option;
+}
+
+(** [transmits rel.export = attr;] — Figure 1's transmission alias: the
+    class sends its [attr] across [rel] under the name [export]. *)
+type transmit_decl = {
+  tr_rel : string;
+  tr_export : string;
+  tr_attr : string;
+}
+
+type class_def = {
+  cl_name : string;
+  cl_rels : rel_decl list;
+  cl_attrs : attr_decl list;
+  cl_rules : rule_decl list;
+  cl_constraints : constraint_decl list;
+  cl_transmits : transmit_decl list;
+}
+
+type subtype_def = {
+  su_name : string;
+  su_parent : string;
+  su_predicate : expr;
+  su_attrs : attr_decl list;
+  su_rules : rule_decl list;
+}
+
+type item =
+  | Class of class_def
+  | Subtype of subtype_def
+
+type schema = item list
+
+let default_value = function
+  | T_int -> Value.Int 0
+  | T_float -> Value.Float 0.0
+  | T_bool -> Value.Bool false
+  | T_string -> Value.Str ""
+  | T_time -> Value.Time Cactis_util.Vtime.epoch
+
+let type_name = function
+  | T_int -> "int"
+  | T_float -> "float"
+  | T_bool -> "bool"
+  | T_string -> "string"
+  | T_time -> "time"
+
+let agg_name = function
+  | Max -> "max"
+  | Min -> "min"
+  | Sum -> "sum"
+  | Count -> "count"
+  | All -> "all"
+  | Any -> "any"
+
+let agg_of_name = function
+  | "max" -> Some Max
+  | "min" -> Some Min
+  | "sum" -> Some Sum
+  | "count" -> Some Count
+  | "all" -> Some All
+  | "any" -> Some Any
+  | _ -> None

@@ -1,0 +1,228 @@
+module Value = Cactis.Value
+module Schema = Cactis.Schema
+module Errors = Cactis.Errors
+module Vtime = Cactis_util.Vtime
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Source extraction                                                   *)
+
+let rec collect_sources expr acc =
+  match expr with
+  | Ast.Lit _ -> acc
+  | Ast.Self_attr a -> Schema.Self a :: acc
+  | Ast.Rel_one (r, a) -> Schema.Rel (r, a) :: acc
+  | Ast.Rel_agg { rel; attr; default; _ } ->
+    let acc = Schema.Rel (rel, attr) :: acc in
+    (match default with Some d -> collect_sources d acc | None -> acc)
+  | Ast.Unop (_, e) -> collect_sources e acc
+  | Ast.Binop (_, a, b) -> collect_sources a (collect_sources b acc)
+  | Ast.If (c, t, e) -> collect_sources c (collect_sources t (collect_sources e acc))
+  | Ast.Call (_, args) -> List.fold_left (fun acc e -> collect_sources e acc) acc args
+
+let sources expr = List.sort_uniq compare (collect_sources expr [])
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+
+let eval_binop op a b =
+  match op with
+  | Ast.Add -> Value.add a b
+  | Ast.Sub -> Value.sub a b
+  | Ast.Mul -> Value.mul a b
+  | Ast.Div -> Value.div a b
+  | Ast.Eq -> Value.Bool (Value.equal a b)
+  | Ast.Neq -> Value.Bool (not (Value.equal a b))
+  | Ast.Lt -> Value.Bool (Value.compare a b < 0)
+  | Ast.Le -> Value.Bool (Value.compare a b <= 0)
+  | Ast.Gt -> Value.Bool (Value.compare a b > 0)
+  | Ast.Ge -> Value.Bool (Value.compare a b >= 0)
+  | Ast.And | Ast.Or -> assert false (* short-circuited in eval *)
+
+let eval_call name args =
+  match (name, args) with
+  | "time", [ v ] -> Value.Time (Vtime.of_days (Value.as_float v))
+  | "later_of", [ a; b ] -> Value.max_ [ a; b ]
+  | "earlier_of", [ a; b ] -> Value.min_ [ a; b ]
+  | "later_than", [ a; b ] -> Value.Bool (Value.compare a b > 0)
+  | "abs", [ Value.Int n ] -> Value.Int (abs n)
+  | "abs", [ v ] -> Value.Float (Float.abs (Value.as_float v))
+  | "days_between", [ a; b ] ->
+    Value.Float (Vtime.to_days (Value.as_time a) -. Vtime.to_days (Value.as_time b))
+  | name, args -> Errors.type_error "builtin %s does not accept %d argument(s)" name (List.length args)
+
+let rec eval env expr =
+  match expr with
+  | Ast.Lit v -> v
+  | Ast.Self_attr a -> env.Schema.self_value a
+  | Ast.Rel_one (r, a) -> (
+    match env.Schema.related_values r a with
+    | [ v ] -> v
+    | [] -> Errors.type_error "%s.%s: no related instance" r a
+    | vs -> Errors.type_error "%s.%s: %d related instances (expected one)" r a (List.length vs))
+  | Ast.Rel_agg { agg; rel; attr; default } -> (
+    let vs = env.Schema.related_values rel attr in
+    let default_value () = Option.map (eval env) default in
+    match agg with
+    | Ast.Max -> Value.max_ ?default:(default_value ()) vs
+    | Ast.Min -> Value.min_ ?default:(default_value ()) vs
+    | Ast.Sum -> (
+      match (vs, default_value ()) with
+      | [], Some d -> d
+      | vs, _ -> Value.sum vs)
+    | Ast.Count -> Value.count vs
+    | Ast.All -> Value.all_ vs
+    | Ast.Any -> Value.any_ vs)
+  | Ast.Unop (Ast.Neg, e) -> Value.neg (eval env e)
+  | Ast.Unop (Ast.Not, e) -> Value.Bool (not (Value.as_bool (eval env e)))
+  | Ast.Binop (Ast.And, a, b) ->
+    Value.Bool (Value.as_bool (eval env a) && Value.as_bool (eval env b))
+  | Ast.Binop (Ast.Or, a, b) ->
+    Value.Bool (Value.as_bool (eval env a) || Value.as_bool (eval env b))
+  | Ast.Binop (op, a, b) -> eval_binop op (eval env a) (eval env b)
+  | Ast.If (c, t, e) -> if Value.as_bool (eval env c) then eval env t else eval env e
+  | Ast.Call (name, args) -> eval_call name (List.map (eval env) args)
+
+let compile_rule expr = { Schema.sources = sources expr; compute = (fun env -> eval env expr) }
+
+let eval_expr env expr = eval env expr
+
+let const_value expr =
+  let env =
+    {
+      Schema.self_value = (fun a -> error "default value references attribute %s" a);
+      related_values = (fun r a -> error "default value references relationship %s.%s" r a);
+    }
+  in
+  eval env expr
+
+(* ------------------------------------------------------------------ *)
+(* Schema assembly                                                     *)
+
+let elaborate_attr (decl : Ast.attr_decl) =
+  let default =
+    match decl.ad_default with
+    | Some e -> const_value e
+    | None -> Ast.default_value decl.ad_type
+  in
+  { Schema.attr_name = decl.ad_name; kind = Schema.Intrinsic default; constraint_ = None }
+
+let elaborate_rule (decl : Ast.rule_decl) =
+  { Schema.attr_name = decl.ru_name; kind = Schema.Derived (compile_rule decl.ru_expr); constraint_ = None }
+
+let elaborate_constraint (decl : Ast.constraint_decl) =
+  {
+    Schema.attr_name = decl.cd_name;
+    kind = Schema.Derived (compile_rule decl.cd_expr);
+    constraint_ = Some { Schema.message = decl.cd_message; recovery = decl.cd_recovery };
+  }
+
+let check_inverses sch (items : Ast.schema) =
+  List.iter
+    (function
+      | Ast.Subtype _ -> ()
+      | Ast.Class cl ->
+        List.iter
+          (fun (rd : Ast.rel_decl) ->
+            match Schema.rel_opt sch ~type_name:rd.rd_target rd.rd_inverse with
+            | None ->
+              error "class %s: relationship %s names inverse %s.%s, which is not declared"
+                cl.Ast.cl_name rd.rd_name rd.rd_target rd.rd_inverse
+            | Some inv ->
+              if not (String.equal inv.Schema.inverse rd.rd_name) then
+                error "class %s: relationship %s and %s.%s do not name each other as inverses"
+                  cl.Ast.cl_name rd.rd_name rd.rd_target rd.rd_inverse;
+              if not (String.equal inv.Schema.target cl.Ast.cl_name) then
+                error "class %s: inverse %s.%s targets %s" cl.Ast.cl_name rd.rd_target
+                  rd.rd_inverse inv.Schema.target)
+          cl.Ast.cl_rels)
+    items
+
+let extend sch (items : Ast.schema) =
+  let classes = List.filter_map (function Ast.Class c -> Some c | Ast.Subtype _ -> None) items in
+  let subtypes = List.filter_map (function Ast.Subtype s -> Some s | Ast.Class _ -> None) items in
+  (* Pass 1: declare all class names so relationships can target forward
+     references. *)
+  List.iter (fun (cl : Ast.class_def) -> Schema.add_type sch cl.Ast.cl_name) classes;
+  (* Pass 2: relationships. *)
+  List.iter
+    (fun (cl : Ast.class_def) ->
+      List.iter
+        (fun (rd : Ast.rel_decl) ->
+          Schema.add_rel sch ~type_name:cl.Ast.cl_name
+            {
+              Schema.rel_name = rd.rd_name;
+              target = rd.rd_target;
+              inverse = rd.rd_inverse;
+              card = (match rd.rd_card with `One -> Schema.One | `Multi -> Schema.Multi);
+              polarity = (match rd.rd_polarity with `Plug -> Schema.Plug | `Socket -> Schema.Socket);
+            })
+        cl.Ast.cl_rels)
+    classes;
+  check_inverses sch items;
+  (* Pass 3: attributes, rules, constraints. *)
+  List.iter
+    (fun (cl : Ast.class_def) ->
+      let tn = cl.Ast.cl_name in
+      List.iter (fun d -> Schema.add_attr sch ~type_name:tn (elaborate_attr d)) cl.Ast.cl_attrs;
+      List.iter (fun d -> Schema.add_attr sch ~type_name:tn (elaborate_rule d)) cl.Ast.cl_rules;
+      List.iter
+        (fun d -> Schema.add_attr sch ~type_name:tn (elaborate_constraint d))
+        cl.Ast.cl_constraints)
+    classes;
+  (* Pass 3b: transmission aliases (attributes now exist). *)
+  List.iter
+    (fun (cl : Ast.class_def) ->
+      List.iter
+        (fun (d : Ast.transmit_decl) ->
+          Schema.add_export sch ~type_name:cl.Ast.cl_name ~rel:d.tr_rel ~export:d.tr_export
+            ~attr:d.tr_attr)
+        cl.Ast.cl_transmits)
+    classes;
+  (* Pass 4: subtypes. *)
+  List.iter
+    (fun (su : Ast.subtype_def) ->
+      Schema.add_subtype sch
+        {
+          Schema.sub_name = su.Ast.su_name;
+          parent = su.Ast.su_parent;
+          predicate = compile_rule su.Ast.su_predicate;
+          extra_attrs =
+            List.map elaborate_attr su.Ast.su_attrs @ List.map elaborate_rule su.Ast.su_rules;
+        })
+    subtypes
+
+let schema items =
+  let sch = Schema.create () in
+  extend sch items;
+  sch
+
+let load_string src = schema (Parser.parse_schema src)
+
+let extend_db db src =
+  let items = Parser.parse_schema src in
+  let sch = Cactis.Db.schema db in
+  (* New classes have no instances yet, so elaborating them into the live
+     schema is enough; subtypes of existing classes must additionally
+     install slots on live instances, which Db.add_subtype handles.
+     (Adding relationships or attributes to an existing class goes
+     through Db.add_attr / Schema.add_rel directly: the DDL's class
+     syntax declares whole classes, and redeclaration is rejected.) *)
+  extend sch
+    (List.filter (function Ast.Subtype _ -> false | Ast.Class _ -> true) items);
+  List.iter
+    (function
+      | Ast.Class _ -> ()
+      | Ast.Subtype su ->
+        Cactis.Db.add_subtype db
+          {
+            Schema.sub_name = su.Ast.su_name;
+            parent = su.Ast.su_parent;
+            predicate = compile_rule su.Ast.su_predicate;
+            extra_attrs =
+              List.map elaborate_attr su.Ast.su_attrs @ List.map elaborate_rule su.Ast.su_rules;
+          })
+    items

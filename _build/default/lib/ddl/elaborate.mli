@@ -1,0 +1,36 @@
+(** Elaboration: AST -> executable {!Cactis.Schema}.
+
+    Rule expressions are compiled to (declared sources, compute closure)
+    pairs; the declared sources are extracted syntactically from the
+    expression, so the engine's dependency graph is exact. *)
+
+exception Error of string
+
+(** [compile_rule expr] compiles a rule expression. *)
+val compile_rule : Ast.expr -> Cactis.Schema.rule
+
+(** [eval_expr env expr] evaluates an expression against an arbitrary
+    environment (used by the ad-hoc {!Query} facility). *)
+val eval_expr : Cactis.Schema.env -> Ast.expr -> Cactis.Value.t
+
+(** [const_value expr] evaluates a constant expression (attribute
+    defaults). @raise Error if the expression references attributes or
+    relationships. *)
+val const_value : Ast.expr -> Cactis.Value.t
+
+(** [extend schema items] elaborates the parsed items into an existing
+    schema (dynamic extension: new classes and subtypes may arrive while
+    a database is live).
+    @raise Error / Cactis.Errors.Type_error on inconsistent
+    declarations (unknown targets, mismatched inverses, duplicates). *)
+val extend : Cactis.Schema.t -> Ast.schema -> unit
+
+(** [schema items] elaborates into a fresh schema. *)
+val schema : Ast.schema -> Cactis.Schema.t
+
+(** [load_string src] parses and elaborates. *)
+val load_string : string -> Cactis.Schema.t
+
+(** [extend_db db src] parses [src] and extends a live database's schema,
+    installing new attributes on existing instances. *)
+val extend_db : Cactis.Db.t -> string -> unit

@@ -1,0 +1,185 @@
+exception Error of { line : int; col : int; message : string }
+
+type located = {
+  token : Token.t;
+  line : int;
+  col : int;
+}
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let error st fmt =
+  Format.kasprintf (fun message -> raise (Error { line = st.line; col = st.col; message })) fmt
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st = if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_trivia st
+  | Some '-' when peek2 st = Some '-' ->
+    skip_line_comment st;
+    skip_trivia st
+  | Some '/' when peek2 st = Some '/' ->
+    skip_line_comment st;
+    skip_trivia st
+  | Some '/' when peek2 st = Some '*' ->
+    advance st;
+    advance st;
+    skip_block_comment st;
+    skip_trivia st
+  | Some _ | None -> ()
+
+and skip_line_comment st =
+  match peek st with
+  | Some '\n' | None -> ()
+  | Some _ ->
+    advance st;
+    skip_line_comment st
+
+and skip_block_comment st =
+  match peek st with
+  | None -> error st "unterminated comment"
+  | Some '*' when peek2 st = Some '/' ->
+    advance st;
+    advance st
+  | Some _ ->
+    advance st;
+    skip_block_comment st
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  let word = String.sub st.src start (st.pos - start) in
+  match List.assoc_opt (String.lowercase_ascii word) Token.keywords with
+  | Some kw -> kw
+  | None -> Token.IDENT word
+
+let lex_number st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  let is_float =
+    match (peek st, peek2 st) with
+    | Some '.', Some c when is_digit c -> true
+    | _ -> false
+  in
+  if is_float then begin
+    advance st;
+    while (match peek st with Some c -> is_digit c | None -> false) do
+      advance st
+    done;
+    (match peek st with
+    | Some ('e' | 'E') ->
+      advance st;
+      (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+      while (match peek st with Some c -> is_digit c | None -> false) do
+        advance st
+      done
+    | _ -> ());
+    Token.FLOAT (float_of_string (String.sub st.src start (st.pos - start)))
+  end
+  else Token.INT (int_of_string (String.sub st.src start (st.pos - start)))
+
+let lex_string st =
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> error st "unterminated string literal"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+      advance st;
+      match peek st with
+      | Some 'n' ->
+        Buffer.add_char buf '\n';
+        advance st;
+        loop ()
+      | Some 't' ->
+        Buffer.add_char buf '\t';
+        advance st;
+        loop ()
+      | Some (('"' | '\\') as c) ->
+        Buffer.add_char buf c;
+        advance st;
+        loop ()
+      | Some c -> error st "unknown escape \\%c" c
+      | None -> error st "unterminated string literal")
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      loop ()
+  in
+  loop ();
+  Token.STRING (Buffer.contents buf)
+
+let next_token st =
+  skip_trivia st;
+  let line = st.line and col = st.col in
+  let mk token = { token; line; col } in
+  match peek st with
+  | None -> mk Token.EOF
+  | Some c when is_ident_start c -> mk (lex_ident st)
+  | Some c when is_digit c -> mk (lex_number st)
+  | Some '"' -> mk (lex_string st)
+  | Some c -> (
+    let two tok =
+      advance st;
+      advance st;
+      mk tok
+    in
+    let one tok =
+      advance st;
+      mk tok
+    in
+    match (c, peek2 st) with
+    | ':', Some '=' -> two Token.ASSIGN
+    | '<', Some '>' -> two Token.NEQ
+    | '<', Some '=' -> two Token.LE
+    | '>', Some '=' -> two Token.GE
+    | '(', _ -> one Token.LPAREN
+    | ')', _ -> one Token.RPAREN
+    | ',', _ -> one Token.COMMA
+    | ';', _ -> one Token.SEMI
+    | ':', _ -> one Token.COLON
+    | '.', _ -> one Token.DOT
+    | '=', _ -> one Token.EQ
+    | '<', _ -> one Token.LT
+    | '>', _ -> one Token.GT
+    | '+', _ -> one Token.PLUS
+    | '-', _ -> one Token.MINUS
+    | '*', _ -> one Token.STAR
+    | '/', _ -> one Token.SLASH
+    | _ -> error st "unexpected character %C" c)
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let rec loop acc =
+    let tok = next_token st in
+    if tok.token = Token.EOF then List.rev (tok :: acc) else loop (tok :: acc)
+  in
+  loop []

@@ -1,0 +1,16 @@
+(** Hand-written lexer for the DDL.
+
+    Comments run from [--] or [//] to end of line, and between [/*] and
+    [*/] (nesting not supported, as in C). *)
+
+exception Error of { line : int; col : int; message : string }
+
+type located = {
+  token : Token.t;
+  line : int;
+  col : int;
+}
+
+(** [tokenize src] lexes the whole input, ending with an [EOF] token.
+    @raise Error on malformed input. *)
+val tokenize : string -> located list

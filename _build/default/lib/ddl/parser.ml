@@ -1,0 +1,365 @@
+exception Error of { line : int; col : int; message : string }
+
+type state = {
+  mutable toks : Lexer.located list;
+}
+
+let current st =
+  match st.toks with
+  | t :: _ -> t
+  | [] -> assert false (* tokenize always ends with EOF *)
+
+let peek st = (current st).Lexer.token
+
+let peek2 st =
+  match st.toks with
+  | _ :: t :: _ -> t.Lexer.token
+  | _ -> Token.EOF
+
+let advance st = match st.toks with _ :: rest when rest <> [] -> st.toks <- rest | _ -> ()
+
+let fail_at (loc : Lexer.located) fmt =
+  Format.kasprintf
+    (fun message -> raise (Error { line = loc.Lexer.line; col = loc.Lexer.col; message }))
+    fmt
+
+let fail st fmt = fail_at (current st) fmt
+
+let expect st tok =
+  if peek st = tok then advance st
+  else fail st "expected %s, found %s" (Token.describe tok) (Token.describe (peek st))
+
+let accept st tok =
+  if peek st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let ident st =
+  match peek st with
+  | Token.IDENT name ->
+    advance st;
+    name
+  | other -> fail st "expected an identifier, found %s" (Token.describe other)
+
+let string_lit st =
+  match peek st with
+  | Token.STRING s ->
+    advance st;
+    s
+  | other -> fail st "expected a string literal, found %s" (Token.describe other)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                          *)
+
+let builtin_names = [ "time"; "later_of"; "earlier_of"; "later_than"; "abs"; "days_between" ]
+
+let rec parse_expression st =
+  if accept st Token.KW_IF then begin
+    let cond = parse_expression st in
+    expect st Token.KW_THEN;
+    let then_ = parse_expression st in
+    expect st Token.KW_ELSE;
+    let else_ = parse_expression st in
+    Ast.If (cond, then_, else_)
+  end
+  else parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if accept st Token.KW_OR then Ast.Binop (Ast.Or, lhs, parse_or st) else lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  if accept st Token.KW_AND then Ast.Binop (Ast.And, lhs, parse_and st) else lhs
+
+and parse_not st =
+  if accept st Token.KW_NOT then Ast.Unop (Ast.Not, parse_not st) else parse_cmp st
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match peek st with
+    | Token.EQ -> Some Ast.Eq
+    | Token.NEQ -> Some Ast.Neq
+    | Token.LT -> Some Ast.Lt
+    | Token.LE -> Some Ast.Le
+    | Token.GT -> Some Ast.Gt
+    | Token.GE -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+    advance st;
+    Ast.Binop (op, lhs, parse_add st)
+
+and parse_add st =
+  let rec loop lhs =
+    match peek st with
+    | Token.PLUS ->
+      advance st;
+      loop (Ast.Binop (Ast.Add, lhs, parse_mul st))
+    | Token.MINUS ->
+      advance st;
+      loop (Ast.Binop (Ast.Sub, lhs, parse_mul st))
+    | _ -> lhs
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop lhs =
+    match peek st with
+    | Token.STAR ->
+      advance st;
+      loop (Ast.Binop (Ast.Mul, lhs, parse_unary st))
+    | Token.SLASH ->
+      advance st;
+      loop (Ast.Binop (Ast.Div, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  if accept st Token.MINUS then Ast.Unop (Ast.Neg, parse_unary st) else parse_primary st
+
+and parse_call_args st =
+  expect st Token.LPAREN;
+  if accept st Token.RPAREN then []
+  else begin
+    let rec loop acc =
+      let e = parse_expression st in
+      if accept st Token.COMMA then loop (e :: acc)
+      else begin
+        expect st Token.RPAREN;
+        List.rev (e :: acc)
+      end
+    in
+    loop []
+  end
+
+and parse_agg_body st agg =
+  (* max ( rel . attr [default e] ) *)
+  expect st Token.LPAREN;
+  let rel = ident st in
+  expect st Token.DOT;
+  let attr = ident st in
+  let default = if accept st Token.KW_DEFAULT then Some (parse_expression st) else None in
+  expect st Token.RPAREN;
+  Ast.Rel_agg { agg; rel; attr; default }
+
+and parse_primary st =
+  match peek st with
+  | Token.INT n ->
+    advance st;
+    Ast.Lit (Ast.Value.Int n)
+  | Token.FLOAT f ->
+    advance st;
+    Ast.Lit (Ast.Value.Float f)
+  | Token.STRING s ->
+    advance st;
+    Ast.Lit (Ast.Value.Str s)
+  | Token.KW_TRUE ->
+    advance st;
+    Ast.Lit (Ast.Value.Bool true)
+  | Token.KW_FALSE ->
+    advance st;
+    Ast.Lit (Ast.Value.Bool false)
+  | Token.KW_NULL ->
+    advance st;
+    Ast.Lit Ast.Value.Null
+  | Token.LPAREN ->
+    advance st;
+    let e = parse_expression st in
+    expect st Token.RPAREN;
+    e
+  | Token.IDENT name -> (
+    match Ast.agg_of_name (String.lowercase_ascii name) with
+    | Some agg when peek2 st = Token.LPAREN ->
+      advance st;
+      parse_agg_body st agg
+    | _ ->
+      if List.mem (String.lowercase_ascii name) builtin_names && peek2 st = Token.LPAREN then begin
+        advance st;
+        let args = parse_call_args st in
+        Ast.Call (String.lowercase_ascii name, args)
+      end
+      else begin
+        advance st;
+        if accept st Token.DOT then
+          let attr = ident st in
+          Ast.Rel_one (name, attr)
+        else Ast.Self_attr name
+      end)
+  | other -> fail st "expected an expression, found %s" (Token.describe other)
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                         *)
+
+let parse_value_type st =
+  let loc = current st in
+  let name = ident st in
+  match String.lowercase_ascii name with
+  | "int" | "integer" -> Ast.T_int
+  | "float" | "real" -> Ast.T_float
+  | "bool" | "boolean" -> Ast.T_bool
+  | "string" -> Ast.T_string
+  | "time" -> Ast.T_time
+  | other -> fail_at loc "unknown value type %s (int, float, bool, string, time)" other
+
+let parse_rel_decl st =
+  (* name : target (one|multi) (plug|socket) inverse name ; *)
+  let rd_name = ident st in
+  expect st Token.COLON;
+  let rd_target = ident st in
+  let rd_card =
+    if accept st Token.KW_ONE then `One
+    else if accept st Token.KW_MULTI then `Multi
+    else fail st "expected 'one' or 'multi', found %s" (Token.describe (peek st))
+  in
+  let rd_polarity =
+    if accept st Token.KW_PLUG then `Plug
+    else if accept st Token.KW_SOCKET then `Socket
+    else fail st "expected 'plug' or 'socket', found %s" (Token.describe (peek st))
+  in
+  expect st Token.KW_INVERSE;
+  let rd_inverse = ident st in
+  expect st Token.SEMI;
+  { Ast.rd_name; rd_target; rd_card; rd_polarity; rd_inverse }
+
+let parse_attr_decl st =
+  let ad_name = ident st in
+  expect st Token.COLON;
+  let ad_type = parse_value_type st in
+  let ad_default = if accept st Token.ASSIGN then Some (parse_expression st) else None in
+  expect st Token.SEMI;
+  { Ast.ad_name; ad_type; ad_default }
+
+let parse_rule_decl st =
+  let ru_name = ident st in
+  expect st Token.EQ;
+  let ru_expr = parse_expression st in
+  expect st Token.SEMI;
+  { Ast.ru_name; ru_expr }
+
+let parse_constraint_decl st =
+  let cd_name = ident st in
+  expect st Token.EQ;
+  let cd_expr = parse_expression st in
+  expect st Token.KW_MESSAGE;
+  let cd_message = string_lit st in
+  let cd_recovery = if accept st Token.KW_RECOVERY then Some (ident st) else None in
+  expect st Token.SEMI;
+  { Ast.cd_name; cd_expr; cd_message; cd_recovery }
+
+let parse_transmit_decl st =
+  (* rel . export = attr ; *)
+  let tr_rel = ident st in
+  expect st Token.DOT;
+  let tr_export = ident st in
+  expect st Token.EQ;
+  let tr_attr = ident st in
+  expect st Token.SEMI;
+  { Ast.tr_rel; tr_export; tr_attr }
+
+let section_starts =
+  [
+    Token.KW_RELATIONSHIPS;
+    Token.KW_ATTRIBUTES;
+    Token.KW_RULES;
+    Token.KW_CONSTRAINTS;
+    Token.KW_TRANSMITS;
+  ]
+
+let rec parse_many st parse_one stop =
+  if List.mem (peek st) stop then []
+  else
+    let d = parse_one st in
+    d :: parse_many st parse_one stop
+
+let parse_sections st =
+  let rels = ref [] and attrs = ref [] and rules = ref [] and cons = ref [] and trans = ref [] in
+  let stop = Token.KW_END :: section_starts in
+  let rec loop () =
+    match peek st with
+    | Token.KW_RELATIONSHIPS ->
+      advance st;
+      rels := !rels @ parse_many st parse_rel_decl stop;
+      loop ()
+    | Token.KW_ATTRIBUTES ->
+      advance st;
+      attrs := !attrs @ parse_many st parse_attr_decl stop;
+      loop ()
+    | Token.KW_RULES ->
+      advance st;
+      rules := !rules @ parse_many st parse_rule_decl stop;
+      loop ()
+    | Token.KW_CONSTRAINTS ->
+      advance st;
+      cons := !cons @ parse_many st parse_constraint_decl stop;
+      loop ()
+    | Token.KW_TRANSMITS ->
+      advance st;
+      trans := !trans @ parse_many st parse_transmit_decl stop;
+      loop ()
+    | _ -> ()
+  in
+  loop ();
+  (!rels, !attrs, !rules, !cons, !trans)
+
+let parse_class st =
+  expect st Token.KW_OBJECT;
+  expect st Token.KW_CLASS;
+  let cl_name = ident st in
+  expect st Token.KW_IS;
+  let cl_rels, cl_attrs, cl_rules, cl_constraints, cl_transmits = parse_sections st in
+  expect st Token.KW_END;
+  ignore (accept st Token.KW_OBJECT);
+  ignore (accept st Token.SEMI);
+  { Ast.cl_name; cl_rels; cl_attrs; cl_rules; cl_constraints; cl_transmits }
+
+let parse_subtype st =
+  expect st Token.KW_SUBTYPE;
+  let su_name = ident st in
+  expect st Token.KW_OF;
+  let su_parent = ident st in
+  expect st Token.KW_WHERE;
+  let su_predicate = parse_expression st in
+  let su_attrs, su_rules =
+    if accept st Token.KW_IS then begin
+      let rels, attrs, rules, cons, trans = parse_sections st in
+      (match rels with
+      | [] -> ()
+      | _ -> fail st "subtypes cannot declare relationships");
+      (match cons with
+      | [] -> ()
+      | _ -> fail st "subtypes cannot declare constraints");
+      (match trans with
+      | [] -> ()
+      | _ -> fail st "subtypes cannot declare transmissions");
+      (attrs, rules)
+    end
+    else ([], [])
+  in
+  expect st Token.KW_END;
+  ignore (accept st Token.KW_SUBTYPE);
+  ignore (accept st Token.SEMI);
+  { Ast.su_name; su_parent; su_predicate; su_attrs; su_rules }
+
+let parse_schema src =
+  let st = { toks = Lexer.tokenize src } in
+  let rec loop acc =
+    match peek st with
+    | Token.EOF -> List.rev acc
+    | Token.KW_OBJECT -> loop (Ast.Class (parse_class st) :: acc)
+    | Token.KW_SUBTYPE -> loop (Ast.Subtype (parse_subtype st) :: acc)
+    | other -> fail st "expected 'object class' or 'subtype', found %s" (Token.describe other)
+  in
+  loop []
+
+let parse_expr src =
+  let st = { toks = Lexer.tokenize src } in
+  let e = parse_expression st in
+  expect st Token.EOF;
+  e

@@ -1,0 +1,12 @@
+(** Recursive-descent parser for the DDL. *)
+
+exception Error of { line : int; col : int; message : string }
+
+(** [parse_schema src] parses a whole schema file.
+    @raise Error with position information on syntax errors.
+    @raise Lexer.Error on lexical errors. *)
+val parse_schema : string -> Ast.schema
+
+(** [parse_expr src] parses a standalone expression (used by tests and by
+    the CLI's ad-hoc predicate queries). *)
+val parse_expr : string -> Ast.expr

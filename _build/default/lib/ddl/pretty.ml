@@ -1,0 +1,160 @@
+module Value = Cactis.Value
+
+(* Operator precedence levels; parentheses are emitted whenever a child's
+   level is looser than its context requires. *)
+let level = function
+  | Ast.If _ -> 0
+  | Ast.Binop (Ast.Or, _, _) -> 1
+  | Ast.Binop (Ast.And, _, _) -> 2
+  | Ast.Unop (Ast.Not, _) -> 3
+  | Ast.Binop ((Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge), _, _) -> 4
+  | Ast.Binop ((Ast.Add | Ast.Sub), _, _) -> 5
+  | Ast.Binop ((Ast.Mul | Ast.Div), _, _) -> 6
+  | Ast.Unop (Ast.Neg, _) -> 7
+  | Ast.Lit _ | Ast.Self_attr _ | Ast.Rel_one _ | Ast.Rel_agg _ | Ast.Call _ -> 8
+
+let binop_symbol = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | Ast.Eq -> "="
+  | Ast.Neq -> "<>"
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+  | Ast.And -> "and"
+  | Ast.Or -> "or"
+
+let pp_float fmt f =
+  (* Shortest representation that parses back to the same float, with a
+     decimal point so the lexer reads it as a float. *)
+  let shortest =
+    let rec try_prec p = if p > 17 then Printf.sprintf "%.17g" f else
+        let s = Printf.sprintf "%.*g" p f in
+        if float_of_string s = f then s else try_prec (p + 1)
+    in
+    try_prec 12
+  in
+  if String.contains shortest '.' || String.contains shortest 'e' then
+    Format.pp_print_string fmt shortest
+  else Format.fprintf fmt "%s.0" shortest
+
+let pp_lit fmt (v : Value.t) =
+  match v with
+  | Value.Int n -> Format.pp_print_int fmt n
+  | Value.Float f -> pp_float fmt f
+  | Value.Str s -> Format.fprintf fmt "%S" s
+  | Value.Bool true -> Format.pp_print_string fmt "true"
+  | Value.Bool false -> Format.pp_print_string fmt "false"
+  | Value.Null -> Format.pp_print_string fmt "null"
+  | Value.Time t -> Format.fprintf fmt "time(%g)" (Cactis_util.Vtime.to_days t)
+  | Value.Arr _ | Value.Rec _ -> Format.fprintf fmt "%s" (Value.to_string v)
+
+let rec pp_at min_level fmt expr =
+  let self_level = level expr in
+  let parens = self_level < min_level in
+  if parens then Format.pp_print_string fmt "(";
+  (match expr with
+  | Ast.Lit v -> pp_lit fmt v
+  | Ast.Self_attr a -> Format.pp_print_string fmt a
+  | Ast.Rel_one (r, a) -> Format.fprintf fmt "%s.%s" r a
+  | Ast.Rel_agg { agg; rel; attr; default } -> (
+    Format.fprintf fmt "%s(%s.%s" (Ast.agg_name agg) rel attr;
+    (match default with
+    | Some d -> Format.fprintf fmt " default %a" (pp_at 0) d
+    | None -> ());
+    Format.pp_print_string fmt ")")
+  | Ast.Unop (Ast.Neg, e) ->
+    (* A space avoids "--", which would lex as a line comment. *)
+    let rendered = Format.asprintf "%a" (pp_at 7) e in
+    if String.length rendered > 0 && rendered.[0] = '-' then
+      Format.fprintf fmt "- %s" rendered
+    else Format.fprintf fmt "-%s" rendered
+  | Ast.Unop (Ast.Not, e) -> Format.fprintf fmt "not %a" (pp_at 3) e
+  | Ast.Binop (op, a, b) ->
+    (* Comparison operators are non-associative; arithmetic is
+       left-associative; and/or are parsed right-associatively, so print
+       the right child at the operator's own level. *)
+    let lvl = self_level in
+    let left_min, right_min =
+      match op with
+      | Ast.And | Ast.Or -> (lvl + 1, lvl)
+      | Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> (lvl + 1, lvl + 1)
+      | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div -> (lvl, lvl + 1)
+    in
+    Format.fprintf fmt "%a %s %a" (pp_at left_min) a (binop_symbol op) (pp_at right_min) b
+  | Ast.If (c, t, e) ->
+    Format.fprintf fmt "if %a then %a else %a" (pp_at 0) c (pp_at 0) t (pp_at 0) e
+  | Ast.Call (name, args) ->
+    Format.fprintf fmt "%s(%a)" name
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ", ") (pp_at 0))
+      args);
+  if parens then Format.pp_print_string fmt ")"
+
+let pp_expr fmt expr = pp_at 0 fmt expr
+let expr_to_string expr = Format.asprintf "%a" pp_expr expr
+
+let pp_attr_decl fmt (d : Ast.attr_decl) =
+  Format.fprintf fmt "@[<h>%s : %s%t;@]" d.ad_name (Ast.type_name d.ad_type) (fun fmt ->
+      match d.ad_default with
+      | Some e -> Format.fprintf fmt " := %a" pp_expr e
+      | None -> ())
+
+let pp_rel_decl fmt (d : Ast.rel_decl) =
+  Format.fprintf fmt "@[<h>%s : %s %s %s inverse %s;@]" d.rd_name d.rd_target
+    (match d.rd_card with `One -> "one" | `Multi -> "multi")
+    (match d.rd_polarity with `Plug -> "plug" | `Socket -> "socket")
+    d.rd_inverse
+
+let pp_rule_decl fmt (d : Ast.rule_decl) =
+  Format.fprintf fmt "@[<h>%s = %a;@]" d.ru_name pp_expr d.ru_expr
+
+let pp_constraint_decl fmt (d : Ast.constraint_decl) =
+  Format.fprintf fmt "@[<h>%s = %a message %S%t;@]" d.cd_name pp_expr d.cd_expr d.cd_message
+    (fun fmt ->
+      match d.cd_recovery with
+      | Some r -> Format.fprintf fmt " recovery %s" r
+      | None -> ())
+
+let pp_transmit_decl fmt (d : Ast.transmit_decl) =
+  Format.fprintf fmt "@[<h>%s.%s = %s;@]" d.tr_rel d.tr_export d.tr_attr
+
+let pp_section fmt keyword pp_one = function
+  | [] -> ()
+  | decls ->
+    Format.fprintf fmt "@,@[<v 2>%s@,%a@]" keyword
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_one)
+      decls
+
+let pp_class fmt (c : Ast.class_def) =
+  Format.fprintf fmt "@[<v 2>object class %s is" c.cl_name;
+  pp_section fmt "relationships" pp_rel_decl c.cl_rels;
+  pp_section fmt "attributes" pp_attr_decl c.cl_attrs;
+  pp_section fmt "rules" pp_rule_decl c.cl_rules;
+  pp_section fmt "constraints" pp_constraint_decl c.cl_constraints;
+  pp_section fmt "transmits" pp_transmit_decl c.cl_transmits;
+  Format.fprintf fmt "@]@,end object;"
+
+let pp_subtype fmt (s : Ast.subtype_def) =
+  Format.fprintf fmt "@[<v 2>subtype %s of %s where %a" s.su_name s.su_parent pp_expr
+    s.su_predicate;
+  (match (s.su_attrs, s.su_rules) with
+  | [], [] -> ()
+  | attrs, rules ->
+    Format.fprintf fmt " is";
+    pp_section fmt "attributes" pp_attr_decl attrs;
+    pp_section fmt "rules" pp_rule_decl rules);
+  Format.fprintf fmt "@]@,end subtype;"
+
+let pp_item fmt = function
+  | Ast.Class c -> pp_class fmt c
+  | Ast.Subtype s -> pp_subtype fmt s
+
+let pp_schema fmt items =
+  Format.fprintf fmt "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f "@,@,") pp_item)
+    items
+
+let schema_to_string items = Format.asprintf "%a@." pp_schema items

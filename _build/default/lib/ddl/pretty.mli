@@ -1,0 +1,10 @@
+(** Pretty-printer for the DDL AST.
+
+    [parse ∘ print] is the identity on ASTs (up to whitespace), which the
+    test suite checks by property. *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val expr_to_string : Ast.expr -> string
+val pp_item : Format.formatter -> Ast.item -> unit
+val pp_schema : Format.formatter -> Ast.schema -> unit
+val schema_to_string : Ast.schema -> string

@@ -1,0 +1,40 @@
+module Db = Cactis.Db
+module Value = Cactis.Value
+module Schema = Cactis.Schema
+
+exception Error of string
+
+let parse src =
+  try Parser.parse_expr src with
+  | Parser.Error { line; col; message } ->
+    raise (Error (Printf.sprintf "parse error at %d:%d: %s" line col message))
+  | Lexer.Error { line; col; message } ->
+    raise (Error (Printf.sprintf "lexical error at %d:%d: %s" line col message))
+
+let env_for db id =
+  {
+    Schema.self_value = (fun a -> Db.get db ~watch:false id a);
+    related_values =
+      (fun r a -> Db.related db id r |> List.map (fun j -> Db.get db ~watch:false j a));
+  }
+
+let eval_ast db id ast = Elaborate.eval_expr (env_for db id) ast
+
+let eval db id src = eval_ast db id (parse src)
+
+let select db ~type_name ~where =
+  let ast = parse where in
+  Db.instances_of_type db type_name
+  |> List.filter (fun id ->
+         match eval_ast db id ast with
+         | Value.Bool b -> b
+         | other ->
+           raise
+             (Error
+                (Printf.sprintf "where-expression evaluated to %s, expected a boolean"
+                   (Value.kind_name other))))
+
+let aggregate db ~type_name ~expr ~f ~init =
+  let ast = parse expr in
+  Db.instances_of_type db type_name
+  |> List.fold_left (fun acc id -> f acc (eval_ast db id ast)) init

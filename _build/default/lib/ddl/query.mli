@@ -1,0 +1,33 @@
+(** Ad-hoc queries with rule expressions.
+
+    The paper's primitives include "defining predicates" (§2.2); beyond
+    the persistent predicate subtypes, this module evaluates a rule
+    expression once against each instance of a type — a lightweight
+    query facility for tools and the CLI.
+
+    Expressions use exactly the rule language ([max(deps.total) > 3 and
+    not late]); they are evaluated against the current (incrementally
+    maintained) attribute values via the oracle-style pure evaluator, so
+    querying never changes importance bookkeeping or cached state. *)
+
+exception Error of string
+
+(** [select db ~type_name ~where] — ids of the instances satisfying the
+    boolean expression [where].
+    @raise Error on parse errors or if the expression is not boolean. *)
+val select : Cactis.Db.t -> type_name:string -> where:string -> int list
+
+(** [eval db id expr_src] — evaluate an expression against one instance
+    (any result type). *)
+val eval : Cactis.Db.t -> int -> string -> Cactis.Value.t
+
+(** [aggregate db ~type_name ~expr ~f ~init] — fold [f] over the
+    expression's value on every instance of the type (e.g. totals
+    across a whole project). *)
+val aggregate :
+  Cactis.Db.t ->
+  type_name:string ->
+  expr:string ->
+  f:('a -> Cactis.Value.t -> 'a) ->
+  init:'a ->
+  'a

@@ -1,0 +1,147 @@
+(** Tokens of the Cactis data-definition language.
+
+    The surface syntax follows the paper's Figure 1/2 class listings,
+    regularized: [object class … is … end object], sections for
+    relationships / attributes / rules / constraints, and an expression
+    language for attribute evaluation rules. *)
+
+type t =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  (* keywords *)
+  | KW_OBJECT
+  | KW_CLASS
+  | KW_IS
+  | KW_END
+  | KW_RELATIONSHIPS
+  | KW_ATTRIBUTES
+  | KW_RULES
+  | KW_CONSTRAINTS
+  | KW_TRANSMITS
+  | KW_ONE
+  | KW_MULTI
+  | KW_PLUG
+  | KW_SOCKET
+  | KW_INVERSE
+  | KW_SUBTYPE
+  | KW_OF
+  | KW_WHERE
+  | KW_IF
+  | KW_THEN
+  | KW_ELSE
+  | KW_AND
+  | KW_OR
+  | KW_NOT
+  | KW_TRUE
+  | KW_FALSE
+  | KW_NULL
+  | KW_DEFAULT
+  | KW_MESSAGE
+  | KW_RECOVERY
+  (* punctuation / operators *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | SEMI
+  | COLON
+  | DOT
+  | ASSIGN  (** [:=] *)
+  | EQ
+  | NEQ  (** [<>] *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EOF
+
+let keywords =
+  [
+    ("object", KW_OBJECT);
+    ("class", KW_CLASS);
+    ("is", KW_IS);
+    ("end", KW_END);
+    ("relationships", KW_RELATIONSHIPS);
+    ("attributes", KW_ATTRIBUTES);
+    ("rules", KW_RULES);
+    ("constraints", KW_CONSTRAINTS);
+    ("transmits", KW_TRANSMITS);
+    ("one", KW_ONE);
+    ("multi", KW_MULTI);
+    ("plug", KW_PLUG);
+    ("socket", KW_SOCKET);
+    ("inverse", KW_INVERSE);
+    ("subtype", KW_SUBTYPE);
+    ("of", KW_OF);
+    ("where", KW_WHERE);
+    ("if", KW_IF);
+    ("then", KW_THEN);
+    ("else", KW_ELSE);
+    ("and", KW_AND);
+    ("or", KW_OR);
+    ("not", KW_NOT);
+    ("true", KW_TRUE);
+    ("false", KW_FALSE);
+    ("null", KW_NULL);
+    ("default", KW_DEFAULT);
+    ("message", KW_MESSAGE);
+    ("recovery", KW_RECOVERY);
+  ]
+
+let describe = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | FLOAT f -> Printf.sprintf "float %g" f
+  | STRING s -> Printf.sprintf "string %S" s
+  | KW_OBJECT -> "'object'"
+  | KW_CLASS -> "'class'"
+  | KW_IS -> "'is'"
+  | KW_END -> "'end'"
+  | KW_RELATIONSHIPS -> "'relationships'"
+  | KW_ATTRIBUTES -> "'attributes'"
+  | KW_RULES -> "'rules'"
+  | KW_CONSTRAINTS -> "'constraints'"
+  | KW_TRANSMITS -> "'transmits'"
+  | KW_ONE -> "'one'"
+  | KW_MULTI -> "'multi'"
+  | KW_PLUG -> "'plug'"
+  | KW_SOCKET -> "'socket'"
+  | KW_INVERSE -> "'inverse'"
+  | KW_SUBTYPE -> "'subtype'"
+  | KW_OF -> "'of'"
+  | KW_WHERE -> "'where'"
+  | KW_IF -> "'if'"
+  | KW_THEN -> "'then'"
+  | KW_ELSE -> "'else'"
+  | KW_AND -> "'and'"
+  | KW_OR -> "'or'"
+  | KW_NOT -> "'not'"
+  | KW_TRUE -> "'true'"
+  | KW_FALSE -> "'false'"
+  | KW_NULL -> "'null'"
+  | KW_DEFAULT -> "'default'"
+  | KW_MESSAGE -> "'message'"
+  | KW_RECOVERY -> "'recovery'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | COMMA -> "','"
+  | SEMI -> "';'"
+  | COLON -> "':'"
+  | DOT -> "'.'"
+  | ASSIGN -> "':='"
+  | EQ -> "'='"
+  | NEQ -> "'<>'"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | EOF -> "end of input"

@@ -1,0 +1,385 @@
+type ty =
+  | T_int
+  | T_float
+  | T_bool
+  | T_string
+  | T_time
+  | T_unknown
+
+let ty_name = function
+  | T_int -> "int"
+  | T_float -> "float"
+  | T_bool -> "bool"
+  | T_string -> "string"
+  | T_time -> "time"
+  | T_unknown -> "unknown"
+
+let of_decl = function
+  | Ast.T_int -> T_int
+  | Ast.T_float -> T_float
+  | Ast.T_bool -> T_bool
+  | Ast.T_string -> T_string
+  | Ast.T_time -> T_time
+
+
+(* ------------------------------------------------------------------ *)
+(* Schema tables                                                       *)
+
+type attr_info = {
+  mutable ty : ty;
+  derived : bool;
+}
+
+type class_info = {
+  attrs : (string, attr_info) Hashtbl.t;
+  rels : (string, string * string) Hashtbl.t;  (* rel -> (target class, inverse) *)
+  exports : (string * string, string) Hashtbl.t;  (* (rel, export) -> attr *)
+}
+
+type env = {
+  classes : (string, class_info) Hashtbl.t;
+  mutable errors : string list;
+  mutable changed : bool;
+}
+
+let error env fmt = Format.kasprintf (fun s -> env.errors <- s :: env.errors) fmt
+
+let class_info env name = Hashtbl.find_opt env.classes name
+
+let build_tables (items : Ast.schema) =
+  let env = { classes = Hashtbl.create 8; errors = []; changed = false } in
+  let ensure_class name =
+    match Hashtbl.find_opt env.classes name with
+    | Some ci -> ci
+    | None ->
+      let ci = { attrs = Hashtbl.create 8; rels = Hashtbl.create 4; exports = Hashtbl.create 4 } in
+      Hashtbl.add env.classes name ci;
+      ci
+  in
+  List.iter
+    (function
+      | Ast.Class cl ->
+        let ci = ensure_class cl.Ast.cl_name in
+        List.iter
+          (fun (d : Ast.attr_decl) ->
+            Hashtbl.replace ci.attrs d.ad_name { ty = of_decl d.ad_type; derived = false })
+          cl.Ast.cl_attrs;
+        List.iter
+          (fun (r : Ast.rule_decl) ->
+            Hashtbl.replace ci.attrs r.ru_name { ty = T_unknown; derived = true })
+          cl.Ast.cl_rules;
+        List.iter
+          (fun (c : Ast.constraint_decl) ->
+            Hashtbl.replace ci.attrs c.cd_name { ty = T_bool; derived = true })
+          cl.Ast.cl_constraints;
+        List.iter
+          (fun (r : Ast.rel_decl) ->
+            Hashtbl.replace ci.rels r.rd_name (r.rd_target, r.rd_inverse))
+          cl.Ast.cl_rels;
+        List.iter
+          (fun (d : Ast.transmit_decl) ->
+            Hashtbl.replace ci.exports (d.tr_rel, d.tr_export) d.tr_attr)
+          cl.Ast.cl_transmits
+      | Ast.Subtype su -> (
+        (* Extra attributes and rules live on the parent class. *)
+        match Hashtbl.find_opt env.classes su.Ast.su_parent with
+        | None -> ()  (* reported during checking *)
+        | Some ci ->
+          List.iter
+            (fun (d : Ast.attr_decl) ->
+              Hashtbl.replace ci.attrs d.ad_name { ty = of_decl d.ad_type; derived = false })
+            su.Ast.su_attrs;
+          List.iter
+            (fun (r : Ast.rule_decl) ->
+              Hashtbl.replace ci.attrs r.ru_name { ty = T_unknown; derived = true })
+            su.Ast.su_rules))
+    items;
+  env
+
+(* ------------------------------------------------------------------ *)
+(* Unification / operator typing                                       *)
+
+(* Least upper bound used for if-branches, defaults and aggregates. *)
+let unify env ~where a b =
+  match (a, b) with
+  | T_unknown, t | t, T_unknown -> t
+  | a, b when a = b -> a
+  | T_int, T_float | T_float, T_int -> T_float
+  | a, b ->
+    error env "%s: cannot reconcile %s with %s" where (ty_name a) (ty_name b);
+    a
+
+let check_bool env ~where t =
+  match t with
+  | T_bool | T_unknown -> ()
+  | t -> error env "%s: expected bool, found %s" where (ty_name t)
+
+(* Mirrors Value.add / Value.sub semantics. *)
+let type_add env ~where a b =
+  match (a, b) with
+  | T_unknown, _ | _, T_unknown -> T_unknown
+  | T_string, T_string -> T_string
+  | T_time, (T_float | T_int | T_time) -> T_time
+  | T_int, T_int -> T_int
+  | (T_int | T_float), (T_int | T_float) -> T_float
+  | a, b ->
+    error env "%s: cannot add %s and %s" where (ty_name a) (ty_name b);
+    T_unknown
+
+let type_sub env ~where a b =
+  match (a, b) with
+  | T_unknown, _ | _, T_unknown -> T_unknown
+  | T_time, T_time -> T_float
+  | T_time, (T_float | T_int) -> T_time
+  | T_int, T_int -> T_int
+  | (T_int | T_float), (T_int | T_float) -> T_float
+  | a, b ->
+    error env "%s: cannot subtract %s from %s" where (ty_name b) (ty_name a);
+    T_unknown
+
+let type_mul_div env ~where a b =
+  match (a, b) with
+  | T_unknown, _ | _, T_unknown -> T_unknown
+  | T_int, T_int -> T_int
+  | (T_int | T_float), (T_int | T_float) -> T_float
+  | a, b ->
+    error env "%s: cannot multiply/divide %s and %s" where (ty_name a) (ty_name b);
+    T_unknown
+
+let comparable env ~where a b =
+  match (a, b) with
+  | T_unknown, _ | _, T_unknown -> ()
+  | a, b when a = b -> ()
+  | (T_int | T_float), (T_int | T_float) -> ()
+  | a, b -> error env "%s: comparing %s with %s" where (ty_name a) (ty_name b)
+
+(* ------------------------------------------------------------------ *)
+(* Expression inference                                                *)
+
+let rec infer_expr env ~where ~class_name expr : ty =
+  let recur e = infer_expr env ~where ~class_name e in
+  match expr with
+  | Ast.Lit v -> (
+    match v with
+    | Ast.Value.Int _ -> T_int
+    | Ast.Value.Float _ -> T_float
+    | Ast.Value.Bool _ -> T_bool
+    | Ast.Value.Str _ -> T_string
+    | Ast.Value.Time _ -> T_time
+    | Ast.Value.Null | Ast.Value.Arr _ | Ast.Value.Rec _ -> T_unknown)
+  | Ast.Self_attr a -> self_attr_type env ~where ~class_name a
+  | Ast.Rel_one (r, a) -> rel_attr_type env ~where ~class_name r a
+  | Ast.Rel_agg { agg; rel; attr; default } -> (
+    let elem = rel_attr_type env ~where ~class_name rel attr in
+    let default_ty = Option.map recur default in
+    match agg with
+    | Ast.Count -> T_int
+    | Ast.All | Ast.Any ->
+      check_bool env ~where elem;
+      T_bool
+    | Ast.Max | Ast.Min -> (
+      match default_ty with
+      | Some d -> unify env ~where elem d
+      | None -> elem)
+    | Ast.Sum -> (
+      (match elem with
+      | T_int | T_float | T_unknown -> ()
+      | t -> error env "%s: sum over %s values" where (ty_name t));
+      match default_ty with
+      | Some d -> unify env ~where elem d
+      | None -> elem))
+  | Ast.Unop (Ast.Not, e) ->
+    check_bool env ~where (recur e);
+    T_bool
+  | Ast.Unop (Ast.Neg, e) -> (
+    match recur e with
+    | (T_int | T_float | T_unknown) as t -> t
+    | t ->
+      error env "%s: negating %s" where (ty_name t);
+      T_unknown)
+  | Ast.Binop (op, a, b) -> (
+    let ta = recur a and tb = recur b in
+    match op with
+    | Ast.Add -> type_add env ~where ta tb
+    | Ast.Sub -> type_sub env ~where ta tb
+    | Ast.Mul | Ast.Div -> type_mul_div env ~where ta tb
+    | Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+      comparable env ~where ta tb;
+      T_bool
+    | Ast.And | Ast.Or ->
+      check_bool env ~where ta;
+      check_bool env ~where tb;
+      T_bool)
+  | Ast.If (c, t, e) ->
+    check_bool env ~where (recur c);
+    unify env ~where (recur t) (recur e)
+  | Ast.Call (name, args) -> (
+    let tys = List.map recur args in
+    match (name, tys) with
+    | "time", [ t ] ->
+      (match t with
+      | T_int | T_float | T_unknown -> ()
+      | t -> error env "%s: time() of %s" where (ty_name t));
+      T_time
+    | ("later_of" | "earlier_of"), [ a; b ] -> unify env ~where a b
+    | "later_than", [ a; b ] ->
+      comparable env ~where a b;
+      T_bool
+    | "abs", [ t ] -> (
+      match t with
+      | (T_int | T_float | T_unknown) as t -> t
+      | t ->
+        error env "%s: abs of %s" where (ty_name t);
+        T_unknown)
+    | "days_between", [ a; b ] ->
+      List.iter
+        (fun t ->
+          match t with
+          | T_time | T_unknown -> ()
+          | t -> error env "%s: days_between over %s" where (ty_name t))
+        [ a; b ];
+      T_float
+    | name, tys ->
+      error env "%s: builtin %s does not accept %d argument(s)" where name (List.length tys);
+      T_unknown)
+
+and self_attr_type env ~where ~class_name a =
+  match class_info env class_name with
+  | None -> T_unknown
+  | Some ci -> (
+    match Hashtbl.find_opt ci.attrs a with
+    | Some info -> info.ty
+    | None ->
+      error env "%s: class %s has no attribute %s" where class_name a;
+      T_unknown)
+
+and rel_attr_type env ~where ~class_name r a =
+  match class_info env class_name with
+  | None -> T_unknown
+  | Some ci -> (
+    match Hashtbl.find_opt ci.rels r with
+    | None ->
+      error env "%s: class %s has no relationship %s" where class_name r;
+      T_unknown
+    | Some (target, inverse) -> (
+      match class_info env target with
+      | None -> T_unknown
+      | Some tci -> (
+        (* The transmitter may alias the requested name across its side
+           (the inverse) of this relationship. *)
+        let resolved =
+          match Hashtbl.find_opt tci.exports (inverse, a) with
+          | Some attr -> attr
+          | None -> a
+        in
+        match Hashtbl.find_opt tci.attrs resolved with
+        | Some info -> info.ty
+        | None ->
+          error env "%s: class %s (across %s) has no attribute %s" where target r resolved;
+          T_unknown)))
+
+(* ------------------------------------------------------------------ *)
+(* Fixpoint over rule types                                            *)
+
+let update env ci ~where ~class_name name expr =
+  match Hashtbl.find_opt ci.attrs name with
+  | None -> ()
+  | Some info ->
+    let t = infer_expr env ~where ~class_name expr in
+    if info.ty = T_unknown && t <> T_unknown then begin
+      info.ty <- t;
+      env.changed <- true
+    end
+    else if info.ty <> T_unknown && t <> T_unknown && info.ty <> t then
+      (* A second pass refined the type inconsistently (e.g. int vs
+         float): unify reports if truly incompatible; numeric widening is
+         accepted. *)
+      info.ty <- unify env ~where info.ty t
+
+let run_pass ~collect_errors env (items : Ast.schema) =
+  let saved = env.errors in
+  if not collect_errors then env.errors <- [];
+  List.iter
+    (function
+      | Ast.Class cl -> (
+        match class_info env cl.Ast.cl_name with
+        | None -> ()
+        | Some ci ->
+          List.iter
+            (fun (r : Ast.rule_decl) ->
+              update env ci
+                ~where:(Printf.sprintf "%s.%s" cl.Ast.cl_name r.ru_name)
+                ~class_name:cl.Ast.cl_name r.ru_name r.ru_expr)
+            cl.Ast.cl_rules;
+          List.iter
+            (fun (c : Ast.constraint_decl) ->
+              let where = Printf.sprintf "%s.%s" cl.Ast.cl_name c.cd_name in
+              let t = infer_expr env ~where ~class_name:cl.Ast.cl_name c.cd_expr in
+              check_bool env ~where:(where ^ " (constraint)") t)
+            cl.Ast.cl_constraints)
+      | Ast.Subtype su -> (
+        match class_info env su.Ast.su_parent with
+        | None ->
+          error env "subtype %s: unknown parent class %s" su.Ast.su_name su.Ast.su_parent
+        | Some ci ->
+          let where = Printf.sprintf "subtype %s" su.Ast.su_name in
+          let t = infer_expr env ~where ~class_name:su.Ast.su_parent su.Ast.su_predicate in
+          check_bool env ~where:(where ^ " (predicate)") t;
+          List.iter
+            (fun (r : Ast.rule_decl) ->
+              update env ci
+                ~where:(Printf.sprintf "%s.%s" su.Ast.su_name r.ru_name)
+                ~class_name:su.Ast.su_parent r.ru_name r.ru_expr)
+            su.Ast.su_rules))
+    items;
+  if not collect_errors then env.errors <- saved
+
+let check items =
+  let env = build_tables items in
+  (* Iterate silently until types stabilize, then one reporting pass. *)
+  let rec fixpoint budget =
+    env.changed <- false;
+    run_pass ~collect_errors:false env items;
+    if env.changed && budget > 0 then fixpoint (budget - 1)
+  in
+  let attr_count =
+    Hashtbl.fold (fun _ ci acc -> acc + Hashtbl.length ci.attrs) env.classes 0
+  in
+  fixpoint (attr_count + 2);
+  run_pass ~collect_errors:true env items;
+  (* Defaults of declared attributes must be constant and well-typed. *)
+  List.iter
+    (function
+      | Ast.Class cl ->
+        List.iter
+          (fun (d : Ast.attr_decl) ->
+            match d.ad_default with
+            | None -> ()
+            | Some e ->
+              let where = Printf.sprintf "%s.%s (default)" cl.Ast.cl_name d.ad_name in
+              let t = infer_expr env ~where ~class_name:cl.Ast.cl_name e in
+              ignore (unify env ~where (of_decl d.ad_type) t))
+          cl.Ast.cl_attrs
+      | Ast.Subtype _ -> ())
+    items;
+  List.rev env.errors |> List.sort_uniq compare
+
+let check_exn items =
+  match check items with
+  | [] -> ()
+  | e :: _ -> raise (Elaborate.Error e)
+
+let infer items ~class_name ~attr =
+  let env = build_tables items in
+  let rec fixpoint budget =
+    env.changed <- false;
+    run_pass ~collect_errors:false env items;
+    if env.changed && budget > 0 then fixpoint (budget - 1)
+  in
+  fixpoint 64;
+  match class_info env class_name with
+  | None -> raise Not_found
+  | Some ci -> (
+    match Hashtbl.find_opt ci.attrs attr with
+    | Some info -> info.ty
+    | None -> raise Not_found)

@@ -1,0 +1,44 @@
+(** Static type checking of schema rule expressions.
+
+    Attributes in Cactis are typed ("attributes … may be of any C data
+    type", §2.1); intrinsic declarations carry their type, and this
+    module infers the types of derived attributes from their rules,
+    reporting inconsistencies at schema-definition time instead of as
+    run-time [Type_error]s.
+
+    Rules may reference each other (including across relationships, and
+    recursively — Figure 1's [exp_compl] reads its own attribute on
+    related instances), so inference iterates to a fixpoint from
+    [Unknown].
+
+    Checked, among others:
+    - arithmetic operand compatibility (mirroring {!Cactis.Value}'s
+      dynamic semantics, including time arithmetic);
+    - comparisons between values of incompatible kinds;
+    - booleans where [and]/[or]/[not]/[if] demand them;
+    - constraints and subtype predicates computing booleans;
+    - references to attributes/relationships that exist nowhere in the
+      schema (including across relationships, which elaboration defers
+      to run time). *)
+
+type ty =
+  | T_int
+  | T_float
+  | T_bool
+  | T_string
+  | T_time
+  | T_unknown  (** not yet determined (pre-fixpoint), or polymorphic null *)
+
+val ty_name : ty -> string
+
+(** [check items] type-checks a parsed schema; returns the list of error
+    messages (empty = well-typed). *)
+val check : Ast.schema -> string list
+
+(** [check_exn items] raises {!Elaborate.Error} with the first error. *)
+val check_exn : Ast.schema -> unit
+
+(** [infer items ~class_name ~attr] — the inferred type of an attribute
+    after fixpoint (for tests/tools).
+    @raise Not_found if the attribute does not exist. *)
+val infer : Ast.schema -> class_name:string -> attr:string -> ty

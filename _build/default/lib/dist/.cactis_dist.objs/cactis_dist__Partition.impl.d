@@ -1,0 +1,1 @@
+lib/dist/partition.ml: Array Cactis Cactis_storage Cactis_util Hashtbl List

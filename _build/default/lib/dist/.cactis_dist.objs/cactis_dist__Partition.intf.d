@@ -1,0 +1,1 @@
+lib/dist/partition.mli: Cactis Cactis_util

@@ -1,0 +1,85 @@
+module Store = Cactis.Store
+module Instance = Cactis.Instance
+module Usage = Cactis_storage.Usage
+module Cluster = Cactis_storage.Cluster
+module Rng = Cactis_util.Rng
+
+type t = {
+  site_count : int;
+  placement : (int, int) Hashtbl.t;
+}
+
+let sites t = t.site_count
+let site_of t id = Hashtbl.find_opt t.placement id
+
+let balance t =
+  let counts = Array.make t.site_count 0 in
+  Hashtbl.iter (fun _ s -> counts.(s) <- counts.(s) + 1) t.placement;
+  counts
+
+let check_sites sites = if sites < 1 then invalid_arg "Partition: sites must be >= 1"
+
+let random rng ~ids ~sites =
+  check_sites sites;
+  let placement = Hashtbl.create (List.length ids) in
+  List.iter (fun id -> Hashtbl.replace placement id (Rng.int rng sites)) ids;
+  { site_count = sites; placement }
+
+let round_robin ~ids ~sites =
+  check_sites sites;
+  let placement = Hashtbl.create (List.length ids) in
+  List.iteri (fun i id -> Hashtbl.replace placement id (i mod sites)) (List.sort compare ids);
+  { site_count = sites; placement }
+
+(* A site is a block whose capacity is its share of the database; the
+   paper's greedy clustering then gravitates hot, tightly-linked
+   instances onto the same site. *)
+let by_usage store ~sites =
+  check_sites sites;
+  let ids = Store.instance_ids store in
+  let n = List.length ids in
+  let capacity = max 1 ((n + sites - 1) / sites) in
+  let usage = Store.usage store in
+  let instances = List.map (fun id -> (id, Usage.instance_count usage id)) ids in
+  let links =
+    ids
+    |> List.concat_map (fun id ->
+           let inst = Store.get store id in
+           Instance.all_links inst
+           |> List.concat_map (fun (rel, targets) ->
+                  List.filter_map
+                    (fun other ->
+                      if id < other then
+                        Some
+                          {
+                            Cluster.a = id;
+                            b = other;
+                            rel;
+                            count =
+                              Usage.crossing_count usage ~from_instance:id ~rel
+                                ~to_instance:other;
+                          }
+                      else None)
+                    targets))
+  in
+  let assignment = Cluster.pack ~block_capacity:capacity ~instances ~links in
+  (* The greedy packer may open more "blocks" than sites when capacities
+     round awkwardly; fold the overflow back round-robin. *)
+  let placement = Hashtbl.create n in
+  Hashtbl.iter
+    (fun id block -> Hashtbl.replace placement id (block mod sites))
+    assignment.Cluster.block_of;
+  { site_count = sites; placement }
+
+let traffic store t ~cross =
+  Usage.crossings (Store.usage store)
+  |> List.fold_left
+       (fun acc ({ Usage.from_instance; to_instance; _ }, count) ->
+         match (site_of t from_instance, site_of t to_instance) with
+         | Some a, Some b when (a <> b) = cross -> acc + count
+         | Some _, Some _ -> acc
+         | None, _ | _, None -> acc)
+       0
+
+let cross_site_traffic store t = traffic store t ~cross:true
+let local_traffic store t = traffic store t ~cross:false

@@ -1,0 +1,48 @@
+(** Distributed Cactis prototype (§5, "Directions").
+
+    The paper closes with a distributed version "just getting under way":
+    users on different workstations hold parts of the database, and
+    "various sub-traversals may actually be running at the same time".
+    The communication cost of such a system is determined by how often
+    the attribute-evaluation and marking traversals cross a relationship
+    whose endpoints live on different sites — exactly the crossing
+    statistic the storage layer already collects for clustering.
+
+    This module prototypes the data-placement half of that design:
+    instances are assigned to sites, and the self-adaptive usage
+    statistics drive the placement with the very same greedy algorithm
+    the paper uses for disk blocks (a site is a "block" whose capacity is
+    its share of the database).  The message model charges one message
+    per traversal crossing of an inter-site link (a value request/reply
+    or a remote mark), so the experiment can compare placements without
+    simulating a network stack. *)
+
+type t
+
+val sites : t -> int
+
+(** [site_of t id] — the instance's site, if placed. *)
+val site_of : t -> int -> int option
+
+(** Instances per site, by site index. *)
+val balance : t -> int array
+
+(** [random rng ~ids ~sites] — uniform random placement (baseline). *)
+val random : Cactis_util.Rng.t -> ids:int list -> sites:int -> t
+
+(** [round_robin ~ids ~sites] — creation-order striping (the placement a
+    naive system would produce). *)
+val round_robin : ids:int list -> sites:int -> t
+
+(** [by_usage store ~sites] — usage-driven placement: the paper's greedy
+    clustering with per-site capacity ⌈n/sites⌉, seeded from the store's
+    accumulated access and crossing counts. *)
+val by_usage : Cactis.Store.t -> sites:int -> t
+
+(** [cross_site_traffic store t] — total messages implied by the
+    accumulated crossing statistics: each traversal crossing of a link
+    whose endpoints are on different sites costs one message. *)
+val cross_site_traffic : Cactis.Store.t -> t -> int
+
+(** [local_traffic store t] — crossings that stayed on one site. *)
+val local_traffic : Cactis.Store.t -> t -> int

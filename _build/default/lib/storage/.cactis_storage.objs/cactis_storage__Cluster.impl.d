@@ -1,0 +1,1 @@
+lib/storage/cluster.ml: Cactis_util Hashtbl List

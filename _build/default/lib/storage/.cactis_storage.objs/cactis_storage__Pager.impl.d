@@ -1,0 +1,1 @@
+lib/storage/pager.ml: Buffer_pool Cluster Disk Hashtbl

@@ -1,0 +1,1 @@
+lib/storage/usage.ml: Hashtbl List

@@ -1,0 +1,92 @@
+(* LRU implemented as a doubly-linked list of frames plus a hash index.
+   The list head is the most recently used frame. *)
+
+type frame = {
+  block : int;
+  mutable prev : frame option;
+  mutable next : frame option;
+}
+
+type t = {
+  cap : int;
+  disk : Disk.t;
+  index : (int, frame) Hashtbl.t;
+  mutable head : frame option;
+  mutable tail : frame option;
+  mutable count : int;
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+let create ~capacity disk =
+  if capacity < 1 then invalid_arg "Buffer_pool.create: capacity must be >= 1";
+  {
+    cap = capacity;
+    disk;
+    index = Hashtbl.create 64;
+    head = None;
+    tail = None;
+    count = 0;
+    hit_count = 0;
+    miss_count = 0;
+  }
+
+let unlink t f =
+  (match f.prev with Some p -> p.next <- f.next | None -> t.head <- f.next);
+  (match f.next with Some n -> n.prev <- f.prev | None -> t.tail <- f.prev);
+  f.prev <- None;
+  f.next <- None
+
+let push_front t f =
+  f.next <- t.head;
+  f.prev <- None;
+  (match t.head with Some h -> h.prev <- Some f | None -> t.tail <- Some f);
+  t.head <- Some f
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some f ->
+    unlink t f;
+    Hashtbl.remove t.index f.block;
+    t.count <- t.count - 1
+
+let touch t block =
+  match Hashtbl.find_opt t.index block with
+  | Some f ->
+    t.hit_count <- t.hit_count + 1;
+    unlink t f;
+    push_front t f;
+    `Hit
+  | None ->
+    t.miss_count <- t.miss_count + 1;
+    Disk.read t.disk;
+    if t.count >= t.cap then evict_lru t;
+    let f = { block; prev = None; next = None } in
+    Hashtbl.add t.index block f;
+    push_front t f;
+    t.count <- t.count + 1;
+    `Miss
+
+let resident t block = Hashtbl.mem t.index block
+
+let contents t =
+  let rec walk acc = function
+    | None -> List.rev acc
+    | Some f -> walk (f.block :: acc) f.next
+  in
+  walk [] t.head
+
+let capacity t = t.cap
+let hits t = t.hit_count
+let misses t = t.miss_count
+
+let flush t =
+  Hashtbl.reset t.index;
+  t.head <- None;
+  t.tail <- None;
+  t.count <- 0
+
+let reset_stats t =
+  t.hit_count <- 0;
+  t.miss_count <- 0

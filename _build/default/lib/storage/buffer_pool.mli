@@ -1,0 +1,35 @@
+(** LRU buffer pool over simulated blocks.
+
+    Touching a resident block is a hit; touching a non-resident block
+    costs one disk read and may evict the least-recently-used block.
+    The chunk scheduler also consults {!resident} to decide which pending
+    traversal processes can run without disk access (the paper's
+    "very high priority queue" of in-memory work). *)
+
+type t
+
+(** [create ~capacity disk] builds a pool holding at most [capacity]
+    blocks. [capacity] must be at least 1. *)
+val create : capacity:int -> Disk.t -> t
+
+(** [touch t block] brings [block] into the pool, counting a disk read on
+    a miss, and returns whether it was a hit.  Eviction is LRU. *)
+val touch : t -> int -> [ `Hit | `Miss ]
+
+(** [resident t block] is true iff [block] is currently buffered
+    (does not affect recency). *)
+val resident : t -> int -> bool
+
+(** Blocks currently buffered, most recent first. *)
+val contents : t -> int list
+
+val capacity : t -> int
+val hits : t -> int
+val misses : t -> int
+
+(** [flush t] empties the pool (e.g. between experiment runs) without
+    resetting hit/miss statistics. *)
+val flush : t -> unit
+
+(** [reset_stats t] zeroes the hit/miss counters. *)
+val reset_stats : t -> unit

@@ -1,0 +1,96 @@
+type link = {
+  a : int;
+  b : int;
+  rel : string;
+  count : int;
+}
+
+type assignment = {
+  block_of : (int, int) Hashtbl.t;
+  block_count : int;
+}
+
+(* The outer loop wants "the most referenced unassigned instance"; the
+   inner loop wants "the highest-count link from the block to an
+   unassigned outside instance".  Both are served by priority queues with
+   lazy deletion: entries whose instance has been assigned in the
+   meantime are skipped when popped.  Priorities are negated (Pqueue is a
+   min-heap) and tie-broken by instance id for determinism. *)
+
+let priority count id = (-.float_of_int count) +. (float_of_int id *. 1e-9)
+
+let pack ~block_capacity ~instances ~links =
+  if block_capacity < 1 then invalid_arg "Cluster.pack: block_capacity must be >= 1";
+  let block_of = Hashtbl.create (List.length instances) in
+  let assigned id = Hashtbl.mem block_of id in
+  let known = Hashtbl.create (List.length instances) in
+  List.iter (fun (id, _) -> Hashtbl.replace known id ()) instances;
+  (* Adjacency: instance -> links touching it. *)
+  let adj : (int, link list ref) Hashtbl.t = Hashtbl.create 64 in
+  let add_adj id l =
+    match Hashtbl.find_opt adj id with
+    | Some r -> r := l :: !r
+    | None -> Hashtbl.add adj id (ref [ l ])
+  in
+  List.iter
+    (fun l ->
+      if Hashtbl.mem known l.a && Hashtbl.mem known l.b then begin
+        add_adj l.a l;
+        add_adj l.b l
+      end)
+    links;
+  let seeds = Cactis_util.Pqueue.create () in
+  List.iter (fun (id, accesses) -> Cactis_util.Pqueue.push seeds (priority accesses id) id) instances;
+  let next_block = ref 0 in
+  let rec next_seed () =
+    match Cactis_util.Pqueue.pop_opt seeds with
+    | None -> None
+    | Some id -> if assigned id then next_seed () else Some id
+  in
+  let assign_to_block block id candidates =
+    Hashtbl.replace block_of id block;
+    let neighbours = match Hashtbl.find_opt adj id with Some r -> !r | None -> [] in
+    List.iter
+      (fun l ->
+        let other = if l.a = id then l.b else l.a in
+        if not (assigned other) then
+          Cactis_util.Pqueue.push candidates (priority l.count other) other)
+      neighbours
+  in
+  let rec fill_block block candidates used =
+    if used >= block_capacity then ()
+    else
+      match Cactis_util.Pqueue.pop_opt candidates with
+      | None -> ()
+      | Some id ->
+        if assigned id then fill_block block candidates used
+        else begin
+          assign_to_block block id candidates;
+          fill_block block candidates (used + 1)
+        end
+  in
+  let rec outer () =
+    match next_seed () with
+    | None -> ()
+    | Some seed ->
+      let block = !next_block in
+      incr next_block;
+      let candidates = Cactis_util.Pqueue.create () in
+      assign_to_block block seed candidates;
+      fill_block block candidates 1;
+      outer ()
+  in
+  outer ();
+  { block_of; block_count = !next_block }
+
+let sequential ~block_capacity ~instances =
+  if block_capacity < 1 then invalid_arg "Cluster.sequential: block_capacity must be >= 1";
+  let sorted = List.sort compare instances in
+  let block_of = Hashtbl.create (List.length sorted) in
+  let n = ref 0 in
+  List.iteri (fun i id ->
+      let block = i / block_capacity in
+      Hashtbl.replace block_of id block;
+      n := block + 1)
+    sorted;
+  { block_of; block_count = !n }

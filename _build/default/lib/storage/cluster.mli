@@ -1,0 +1,50 @@
+(** Greedy usage-based clustering (Section 2.3, verbatim algorithm).
+
+    The paper packs the database into blocks as follows:
+
+    {v
+    Repeat
+      Choose the most referenced instance in the database that has not
+      yet been assigned a block
+      Place this instance in a new block
+      Repeat
+        Choose the relationship belonging to some instance assigned to
+        the block such that
+          (1) the relationship is connected to an unassigned instance
+              outside the block, and
+          (2) the total usage count for the relationship is the highest
+        Assign the instance attached to this relationship to the block
+      Until the block is full
+    Until all instances are assigned blocks
+    v}
+
+    Ties are broken by smaller instance id so the result is
+    deterministic. *)
+
+type link = {
+  a : int;
+  b : int;
+  rel : string;
+  count : int;  (** total usage count for this relationship link *)
+}
+
+type assignment = {
+  block_of : (int, int) Hashtbl.t;  (** instance id -> block id *)
+  block_count : int;
+}
+
+(** [pack ~block_capacity ~instances ~links] assigns every instance in
+    [instances] (given with its access count) to a block of at most
+    [block_capacity] instances.  [links] should include every structural
+    relationship link, with its accumulated crossing count (0 for links
+    never traversed) — an instance connected only by cold links is still
+    pulled into its neighbour's block before a fresh block is opened for
+    it, exactly as in the paper's inner loop.
+
+    @raise Invalid_argument if [block_capacity < 1]. *)
+val pack : block_capacity:int -> instances:(int * int) list -> links:link list -> assignment
+
+(** [sequential ~block_capacity ~instances] is the non-clustered baseline:
+    instances packed into blocks in id (creation) order.  This is the
+    layout the database has before any re-clustering. *)
+val sequential : block_capacity:int -> instances:int list -> assignment

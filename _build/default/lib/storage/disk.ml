@@ -1,0 +1,17 @@
+type t = {
+  mutable read_count : int;
+  mutable write_count : int;
+}
+
+let create () = { read_count = 0; write_count = 0 }
+let read t = t.read_count <- t.read_count + 1
+let write t = t.write_count <- t.write_count + 1
+let reads t = t.read_count
+let writes t = t.write_count
+let accesses t = t.read_count + t.write_count
+
+let reset t =
+  t.read_count <- 0;
+  t.write_count <- 0
+
+let pp fmt t = Format.fprintf fmt "reads=%d writes=%d" t.read_count t.write_count

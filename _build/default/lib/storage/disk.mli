@@ -1,0 +1,27 @@
+(** Simulated block device.
+
+    The paper's Cactis is "a mass storage database, not an in-memory
+    system"; its performance arguments in Section 2.3 are about the
+    *number of disk accesses* induced by traversal order and clustering.
+    We therefore model the disk purely as an accounting device: reading a
+    block that is not buffered costs one logical read.  No bytes are
+    actually stored — instance data lives in the heap — which preserves
+    exactly the metric the paper reasons about. *)
+
+type t
+
+val create : unit -> t
+
+(** Record one block read / one block write. *)
+val read : t -> unit
+
+val write : t -> unit
+
+val reads : t -> int
+val writes : t -> int
+
+(** Total accesses (reads + writes). *)
+val accesses : t -> int
+
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

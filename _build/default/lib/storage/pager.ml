@@ -1,0 +1,65 @@
+type t = {
+  block_cap : int;
+  disk_dev : Disk.t;
+  buffer : Buffer_pool.t;
+  placement : (int, int) Hashtbl.t;
+  mutable tail_block : int;
+  mutable tail_used : int;
+}
+
+let create ?(block_capacity = 8) ?(buffer_capacity = 64) () =
+  if block_capacity < 1 then invalid_arg "Pager.create: block_capacity must be >= 1";
+  let disk_dev = Disk.create () in
+  {
+    block_cap = block_capacity;
+    disk_dev;
+    buffer = Buffer_pool.create ~capacity:buffer_capacity disk_dev;
+    placement = Hashtbl.create 256;
+    tail_block = 0;
+    tail_used = 0;
+  }
+
+let register t id =
+  if not (Hashtbl.mem t.placement id) then begin
+    if t.tail_used >= t.block_cap then begin
+      t.tail_block <- t.tail_block + 1;
+      t.tail_used <- 0
+    end;
+    Hashtbl.replace t.placement id t.tail_block;
+    t.tail_used <- t.tail_used + 1
+  end
+
+let forget t id = Hashtbl.remove t.placement id
+
+let block_of t id = Hashtbl.find_opt t.placement id
+
+let touch t id =
+  let block =
+    match block_of t id with
+    | Some b -> b
+    | None ->
+      register t id;
+      Hashtbl.find t.placement id
+  in
+  Buffer_pool.touch t.buffer block
+
+let resident t id =
+  match block_of t id with Some b -> Buffer_pool.resident t.buffer b | None -> false
+
+let apply_clustering t (assignment : Cluster.assignment) =
+  Hashtbl.reset t.placement;
+  Hashtbl.iter (fun id block -> Hashtbl.replace t.placement id block) assignment.Cluster.block_of;
+  (* New instances created after re-clustering go to fresh blocks. *)
+  t.tail_block <- assignment.Cluster.block_count;
+  t.tail_used <- 0;
+  Buffer_pool.flush t.buffer
+
+let disk t = t.disk_dev
+let pool t = t.buffer
+let block_capacity t = t.block_cap
+let instances t = Hashtbl.fold (fun id _ acc -> id :: acc) t.placement []
+
+let reset_io t =
+  Disk.reset t.disk_dev;
+  Buffer_pool.reset_stats t.buffer;
+  Buffer_pool.flush t.buffer

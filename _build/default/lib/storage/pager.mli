@@ -1,0 +1,50 @@
+(** Instance-to-block placement plus buffered access.
+
+    The pager is how the database engine touches persistent instances:
+    every attribute read or write on an instance calls {!touch}, which
+    resolves the instance's block and charges the buffer pool.  New
+    instances are appended to the current tail block (sequential
+    placement); {!apply_clustering} installs the layout computed by
+    {!Cluster.pack}. *)
+
+type t
+
+val create : ?block_capacity:int -> ?buffer_capacity:int -> unit -> t
+
+(** Defaults: [block_capacity = 8] instances per block,
+    [buffer_capacity = 64] blocks. *)
+
+(** [register t id] places a newly created instance on the tail block. *)
+val register : t -> int -> unit
+
+(** [forget t id] removes a deleted instance from the placement map
+    (its slot is not reused until the next re-clustering). *)
+val forget : t -> int -> unit
+
+(** [touch t id] charges one buffered access to [id]'s block; returns
+    whether the block was already resident.  Unknown instances are
+    registered first (defensive, keeps the engine total). *)
+val touch : t -> int -> [ `Hit | `Miss ]
+
+(** [resident t id] is true iff [id]'s block is buffered; used by the
+    chunk scheduler's high-priority promotion.  Does not affect LRU
+    order or statistics. *)
+val resident : t -> int -> bool
+
+(** [block_of t id] is the current block of [id], if registered. *)
+val block_of : t -> int -> int option
+
+(** [apply_clustering t assignment] replaces the placement map and flushes
+    the buffer pool (the reorganized database starts cold). *)
+val apply_clustering : t -> Cluster.assignment -> unit
+
+val disk : t -> Disk.t
+val pool : t -> Buffer_pool.t
+val block_capacity : t -> int
+
+(** Instances currently registered. *)
+val instances : t -> int list
+
+(** [reset_io t] clears I/O statistics and flushes the pool; placement is
+    kept.  Used between experiment phases. *)
+val reset_io : t -> unit

@@ -1,0 +1,57 @@
+type crossing = {
+  from_instance : int;
+  rel : string;
+  to_instance : int;
+}
+
+(* Crossings are canonicalized so that (a, r, b) and (b, r, a) share a
+   counter: the paper accumulates a single usage count per relationship
+   link regardless of traversal direction. *)
+let canon ~from_instance ~rel ~to_instance =
+  if from_instance <= to_instance then { from_instance; rel; to_instance }
+  else { from_instance = to_instance; rel; to_instance = from_instance }
+
+type t = {
+  instance_counts : (int, int ref) Hashtbl.t;
+  crossing_counts : (crossing, int ref) Hashtbl.t;
+}
+
+let create () = { instance_counts = Hashtbl.create 64; crossing_counts = Hashtbl.create 64 }
+
+let cell tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add tbl key r;
+    r
+
+let touch_instance t id = incr (cell t.instance_counts id)
+
+let cross t ~from_instance ~rel ~to_instance =
+  incr (cell t.crossing_counts (canon ~from_instance ~rel ~to_instance))
+
+let instance_count t id =
+  match Hashtbl.find_opt t.instance_counts id with Some r -> !r | None -> 0
+
+let crossing_count t ~from_instance ~rel ~to_instance =
+  match Hashtbl.find_opt t.crossing_counts (canon ~from_instance ~rel ~to_instance) with
+  | Some r -> !r
+  | None -> 0
+
+let instances t = Hashtbl.fold (fun id r acc -> (id, !r) :: acc) t.instance_counts []
+
+let crossings t = Hashtbl.fold (fun c r acc -> (c, !r) :: acc) t.crossing_counts []
+
+let forget_instance t id =
+  Hashtbl.remove t.instance_counts id;
+  let stale =
+    Hashtbl.fold
+      (fun c _ acc -> if c.from_instance = id || c.to_instance = id then c :: acc else acc)
+      t.crossing_counts []
+  in
+  List.iter (Hashtbl.remove t.crossing_counts) stale
+
+let reset t =
+  Hashtbl.reset t.instance_counts;
+  Hashtbl.reset t.crossing_counts

@@ -1,0 +1,42 @@
+(** Self-adaptive usage statistics.
+
+    Section 2.3: "we keep a count of the total number of times each
+    instance in the database is accessed, as well as the number of times
+    we cross a relationship between instances in the process of attribute
+    evaluation or marking out of date", and these counts drive the
+    periodic re-clustering.  Instances are identified by integers and
+    relationship crossings by the unordered pair of instance ids plus the
+    relationship name. *)
+
+type t
+
+type crossing = {
+  from_instance : int;
+  rel : string;
+  to_instance : int;
+}
+
+val create : unit -> t
+
+(** Record one access to an instance. *)
+val touch_instance : t -> int -> unit
+
+(** Record one traversal across a relationship link. Crossings are
+    accumulated on the unordered pair, matching the paper's "total usage
+    count for the relationship". *)
+val cross : t -> from_instance:int -> rel:string -> to_instance:int -> unit
+
+val instance_count : t -> int -> int
+val crossing_count : t -> from_instance:int -> rel:string -> to_instance:int -> int
+
+(** All instances ever touched, with counts. *)
+val instances : t -> (int * int) list
+
+(** All crossings ever recorded, with counts. *)
+val crossings : t -> (crossing * int) list
+
+(** [forget_instance t id] drops statistics mentioning [id]
+    (instance deleted). *)
+val forget_instance : t -> int -> unit
+
+val reset : t -> unit

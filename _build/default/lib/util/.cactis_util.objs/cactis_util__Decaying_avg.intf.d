@@ -1,0 +1,1 @@
+lib/util/decaying_avg.mli: Format

@@ -1,0 +1,1 @@
+lib/util/vtime.ml: Float Format

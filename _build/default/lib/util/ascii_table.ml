@@ -1,0 +1,55 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with
+    | Left -> s ^ fill
+    | Right -> fill ^ s
+
+let render ~headers ?aligns rows =
+  let ncols = List.length headers in
+  let aligns =
+    match aligns with
+    | Some a when List.length a = ncols -> a
+    | Some _ | None -> List.mapi (fun i _ -> if i = 0 then Left else Right) headers
+  in
+  let all = headers :: rows in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    all;
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun i cell ->
+          let align = List.nth aligns i in
+          pad align widths.(i) cell)
+        row
+    in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let sep =
+    "|"
+    ^ String.concat "|" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "|"
+  in
+  let body = List.map render_row rows in
+  String.concat "\n" ((render_row headers :: sep :: body) @ [ "" ])
+
+let print ~title ~headers ?aligns rows =
+  Printf.printf "\n== %s ==\n%s\n" title (render ~headers ?aligns rows)
+
+let fmt_int n = string_of_int n
+
+let fmt_float ?(decimals = 2) f =
+  if Float.is_integer f && Float.abs f < 1e15 && decimals <= 2 then
+    Printf.sprintf "%.*f" decimals f
+  else Printf.sprintf "%.*f" decimals f
+
+let fmt_ratio a b = if b = 0.0 then "-" else Printf.sprintf "%.1fx" (a /. b)

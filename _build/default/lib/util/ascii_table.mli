@@ -1,0 +1,25 @@
+(** Minimal ASCII table rendering for benchmark reports.
+
+    [bench/main.exe] prints one table per experiment in the same
+    rows/series shape the paper's claims are stated in; this module keeps
+    the rendering in one place. *)
+
+type align = Left | Right
+
+(** [render ~headers ?aligns rows] lays the rows out with padded columns
+    and a header separator.  [aligns] defaults to left for the first
+    column and right for the rest (the common "label, then numbers"
+    shape). *)
+val render : headers:string list -> ?aligns:align list -> string list list -> string
+
+(** [print ~title ~headers ?aligns rows] renders with a section title to
+    stdout. *)
+val print : title:string -> headers:string list -> ?aligns:align list -> string list list -> unit
+
+(** Format helpers used throughout the bench harness. *)
+val fmt_int : int -> string
+
+val fmt_float : ?decimals:int -> float -> string
+
+(** [fmt_ratio a b] renders [a/b] as e.g. "12.3x"; "-" when [b] is 0. *)
+val fmt_ratio : float -> float -> string

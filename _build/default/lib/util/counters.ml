@@ -1,0 +1,35 @@
+type t = (string, int ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let cell t name =
+  match Hashtbl.find_opt t name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add t name r;
+    r
+
+let incr t name = Stdlib.incr (cell t name)
+let add t name n = cell t name := !(cell t name) + n
+let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+let reset t = Hashtbl.iter (fun _ r -> r := 0) t
+
+let snapshot t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let diff ~before ~after =
+  let base = Hashtbl.create 16 in
+  List.iter (fun (name, v) -> Hashtbl.replace base name v) before;
+  List.map
+    (fun (name, v) ->
+      let b = Option.value ~default:0 (Hashtbl.find_opt base name) in
+      (name, v - b))
+    after
+
+let pp fmt t =
+  let entries = snapshot t in
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun (name, v) -> Format.fprintf fmt "%s = %d@," name v) entries;
+  Format.fprintf fmt "@]"

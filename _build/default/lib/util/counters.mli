@@ -1,0 +1,33 @@
+(** Named event counters.
+
+    Every measurable event in the reproduction — rule executions,
+    out-of-date marks, disk block reads, buffer hits, transaction aborts —
+    increments a counter in one of these registries.  Experiments snapshot
+    and diff registries rather than timing wall clocks, because the
+    paper's performance claims are stated in terms of counts (attributes
+    recomputed, disk accesses incurred). *)
+
+type t
+
+val create : unit -> t
+
+(** [incr t name] adds one to [name] (creating it at 0 first). *)
+val incr : t -> string -> unit
+
+(** [add t name n] adds [n] to [name]. *)
+val add : t -> string -> int -> unit
+
+(** [get t name] is the current value (0 if never touched). *)
+val get : t -> string -> int
+
+(** [reset t] zeroes every counter. *)
+val reset : t -> unit
+
+(** [snapshot t] captures the current values, sorted by name. *)
+val snapshot : t -> (string * int) list
+
+(** [diff ~before ~after] is the per-counter increase between two
+    snapshots (counters absent from [before] count from 0). *)
+val diff : before:(string * int) list -> after:(string * int) list -> (string * int) list
+
+val pp : Format.formatter -> t -> unit

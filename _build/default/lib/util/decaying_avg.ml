@@ -1,0 +1,22 @@
+type t = {
+  alpha : float;
+  mutable estimate : float;
+  mutable count : int;
+}
+
+let create ?(alpha = 0.25) ~initial () =
+  if alpha <= 0.0 || alpha > 1.0 then invalid_arg "Decaying_avg.create: alpha must be in (0,1]";
+  { alpha; estimate = initial; count = 0 }
+
+let observe t x =
+  t.estimate <- t.estimate +. (t.alpha *. (x -. t.estimate));
+  t.count <- t.count + 1
+
+let value t = t.estimate
+let observations t = t.count
+
+let reset t ~initial =
+  t.estimate <- initial;
+  t.count <- 0
+
+let pp fmt t = Format.fprintf fmt "%.3f (n=%d)" t.estimate t.count

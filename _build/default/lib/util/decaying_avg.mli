@@ -1,0 +1,31 @@
+(** Exponentially decaying averages.
+
+    Section 2.3 of the paper tags each relationship with "a decaying
+    average of the number of instances visited (or alternately the actual
+    amount of disk I/O incurred) when the value transmitted across the
+    relationship was requested in the past", and uses these tags as the
+    self-adaptive predictor of the disk cost of pending traversal
+    processes.  A worst-case statistic gathered at cluster time serves as
+    the initial estimate. *)
+
+type t
+
+(** [create ?alpha ~initial ()] makes an average seeded with the
+    worst-case estimate [initial].  [alpha] (default 0.25) is the weight
+    given to each new observation. *)
+val create : ?alpha:float -> initial:float -> unit -> t
+
+(** [observe t x] folds the observation [x] into the average. *)
+val observe : t -> float -> unit
+
+(** Current estimate. *)
+val value : t -> float
+
+(** Number of observations folded in so far. *)
+val observations : t -> int
+
+(** [reset t ~initial] re-seeds the estimate (used when re-clustering
+    refreshes worst-case statistics). *)
+val reset : t -> initial:float -> unit
+
+val pp : Format.formatter -> t -> unit

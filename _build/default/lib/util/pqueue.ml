@@ -1,0 +1,78 @@
+type 'a entry = { prio : float; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+}
+
+let dummy prio payload = { prio; payload }
+
+let create () = { heap = [||]; size = 0 }
+
+let is_empty t = t.size = 0
+let length t = t.size
+
+let grow t e =
+  let cap = Array.length t.heap in
+  if t.size = cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let nheap = Array.make ncap e in
+    Array.blit t.heap 0 nheap 0 t.size;
+    t.heap <- nheap
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.heap.(i).prio < t.heap.(parent).prio then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(parent);
+      t.heap.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && t.heap.(l).prio < t.heap.(!smallest).prio then smallest := l;
+  if r < t.size && t.heap.(r).prio < t.heap.(!smallest).prio then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(!smallest);
+    t.heap.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t prio x =
+  let e = dummy prio x in
+  grow t e;
+  t.heap.(t.size) <- e;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then raise Not_found;
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.heap.(0) <- t.heap.(t.size);
+    sift_down t 0
+  end;
+  top.payload
+
+let pop_opt t = if t.size = 0 then None else Some (pop t)
+
+let peek_priority t = if t.size = 0 then None else Some t.heap.(0).prio
+
+let drain t f =
+  let rec loop () =
+    match pop_opt t with
+    | None -> ()
+    | Some x ->
+      f x;
+      loop ()
+  in
+  loop ()
+
+let clear t = t.size <- 0

@@ -1,0 +1,55 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    All randomized workloads in the repository (tests, benchmarks,
+    concurrency simulations) draw from this generator so that every run is
+    reproducible from a single integer seed.  The implementation is
+    SplitMix64, which has a cheap [split] operation producing an
+    independent stream — convenient for seeding per-client or per-worker
+    streams in the multi-user simulator. *)
+
+type t
+
+(** [create seed] returns a fresh generator deterministically derived from
+    [seed]. *)
+val create : int -> t
+
+(** [split t] returns a new generator whose stream is statistically
+    independent of [t]'s subsequent output. *)
+val split : t -> t
+
+(** [int t bound] is a uniform integer in [\[0, bound)].  [bound] must be
+    positive. *)
+val int : t -> int -> int
+
+(** [int_in t lo hi] is a uniform integer in [\[lo, hi\]] (inclusive). *)
+val int_in : t -> int -> int -> int
+
+(** [float t bound] is a uniform float in [\[0, bound)]. *)
+val float : t -> float -> float
+
+(** [bool t] is a fair coin flip. *)
+val bool : t -> bool
+
+(** [chance t p] is true with probability [p] (clamped to [\[0, 1\]]). *)
+val chance : t -> float -> bool
+
+(** [pick t arr] selects a uniformly random element of [arr].
+    @raise Invalid_argument if [arr] is empty. *)
+val pick : t -> 'a array -> 'a
+
+(** [pick_list t l] selects a uniformly random element of [l].
+    @raise Invalid_argument if [l] is empty. *)
+val pick_list : t -> 'a list -> 'a
+
+(** [shuffle t arr] permutes [arr] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [exponential t mean] samples an exponential distribution with the
+    given mean; used for skewed access patterns in storage workloads. *)
+val exponential : t -> float -> float
+
+(** [zipf t n theta] samples an integer in [\[0, n)] with a Zipf-like skew
+    parameter [theta] (0 = uniform; larger = more skewed).  Used to model
+    the hot/cold instance-access skew that the clustering experiments
+    depend on. *)
+val zipf : t -> int -> float -> int

@@ -1,0 +1,18 @@
+type t = float
+
+let epoch = 0.0
+let far_future = infinity
+let of_days d = d
+let to_days t = t
+let add_days t d = t +. d
+let later_of a b = if a >= b then a else b
+let earlier_of a b = if a <= b then a else b
+let later_than a b = a > b
+let equal (a : t) b = a = b
+let compare (a : t) b = Float.compare a b
+
+let pp fmt t =
+  if t = far_future then Format.pp_print_string fmt "far-future"
+  else Format.fprintf fmt "day %.2f" t
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,35 @@
+(** Virtual time values.
+
+    The milestone manager and the make facility of the paper (Figures 1-4)
+    compute over times: scheduled/expected completion dates, file
+    modification times.  To keep the whole system deterministic we never
+    consult the wall clock; times are plain values ordered totally, with a
+    distinguished [epoch] ("TIME0" in Figure 1) and [far_future] (the
+    paper's "time in the distant future if the file does not exist"). *)
+
+type t
+
+val epoch : t
+
+(** A time later than every time producible by [of_days]/[add_days];
+    stands in for "file does not exist" in the make facility. *)
+val far_future : t
+
+val of_days : float -> t
+val to_days : t -> float
+
+val add_days : t -> float -> t
+
+(** [later_of a b] is the later of the two times (Figure 1's [later_of]). *)
+val later_of : t -> t -> t
+
+val earlier_of : t -> t -> t
+
+(** [later_than a b] is true iff [a] is strictly after [b] (Figure 1's
+    [later_than]). *)
+val later_than : t -> t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

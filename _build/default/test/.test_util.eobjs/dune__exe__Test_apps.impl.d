@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Cactis Cactis_apps List Printf

@@ -1,0 +1,1 @@
+test/test_cc.ml: Alcotest Cactis Cactis_cc Cactis_util List Printf

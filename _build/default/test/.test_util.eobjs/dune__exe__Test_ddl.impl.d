@@ -1,0 +1,1 @@
+test/test_ddl.ml: Alcotest Cactis Cactis_ddl Cactis_util List Printf

@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Array Cactis Cactis_dist Cactis_util List Option Printf

@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Array Cactis Cactis_util List String

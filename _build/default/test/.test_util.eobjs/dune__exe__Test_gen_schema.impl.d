@@ -1,0 +1,1 @@
+test/test_gen_schema.ml: Alcotest Array Buffer Cactis Cactis_ddl Cactis_util List Printf QCheck QCheck_alcotest String

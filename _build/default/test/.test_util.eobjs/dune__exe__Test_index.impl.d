@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Array Cactis Cactis_util List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_paper_examples.ml: Alcotest Cactis Cactis_ddl List

@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Array Cactis Cactis_apps Cactis_ddl Cactis_util List Printf QCheck QCheck_alcotest String

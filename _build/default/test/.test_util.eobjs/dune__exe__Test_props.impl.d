@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Cactis Cactis_apps Cactis_cc Cactis_ddl Cactis_util Gen Hashtbl List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Cactis_storage Hashtbl List Printf QCheck QCheck_alcotest

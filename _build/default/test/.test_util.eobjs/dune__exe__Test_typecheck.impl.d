@@ -1,0 +1,1 @@
+test/test_typecheck.ml: Alcotest Cactis_ddl Format List Printf String

@@ -1,0 +1,383 @@
+(* Application tests: milestone manager (Fig 1), make facility (Figs 2-4),
+   flow analysis, UI demo. *)
+
+module Value = Cactis.Value
+module Db = Cactis.Db
+module Errors = Cactis.Errors
+module Milestone = Cactis_apps.Milestone
+module Fs_sim = Cactis_apps.Fs_sim
+module Makefac = Cactis_apps.Makefac
+module Flowan = Cactis_apps.Flowan
+module Uidemo = Cactis_apps.Uidemo
+
+(* ------------------------------------------------------------------ *)
+(* Milestones                                                          *)
+
+let build_project () =
+  let m = Milestone.create () in
+  let design = Milestone.add m ~name:"design" ~scheduled:10.0 ~local_work:5.0 in
+  let code = Milestone.add m ~name:"code" ~scheduled:30.0 ~local_work:10.0 in
+  let test = Milestone.add m ~name:"test" ~scheduled:40.0 ~local_work:5.0 in
+  let docs = Milestone.add m ~name:"docs" ~scheduled:35.0 ~local_work:3.0 in
+  Milestone.depends_on m code design;
+  Milestone.depends_on m test code;
+  Milestone.depends_on m docs design;
+  (m, design, code, test, docs)
+
+let test_milestone_ripple () =
+  let m, design, code, test, docs = build_project () in
+  Alcotest.(check (float 1e-9)) "design" 5.0 (Milestone.expected m design);
+  Alcotest.(check (float 1e-9)) "code" 15.0 (Milestone.expected m code);
+  Alcotest.(check (float 1e-9)) "test" 20.0 (Milestone.expected m test);
+  Alcotest.(check bool) "nothing late" true (Milestone.late_set m = []);
+  (* Design slips by 30 days: ripples through code and test. *)
+  Milestone.slip m design 30.0;
+  Alcotest.(check (float 1e-9)) "design slipped" 35.0 (Milestone.expected m design);
+  Alcotest.(check (float 1e-9)) "code rippled" 45.0 (Milestone.expected m code);
+  Alcotest.(check (float 1e-9)) "test rippled" 50.0 (Milestone.expected m test);
+  Alcotest.(check (list int))
+    "all late now"
+    (List.sort compare [ design; code; test; docs ])
+    (List.sort compare (Milestone.late_set m))
+
+let test_critical_path () =
+  let m, design, code, test, _docs = build_project () in
+  Alcotest.(check (list int)) "critical path" [ design; code; test ]
+    (Milestone.critical_path m test);
+  (* A second, slower dependency chain takes over. *)
+  let spec = Milestone.add m ~name:"spec" ~scheduled:50.0 ~local_work:100.0 in
+  Milestone.depends_on m test spec;
+  Alcotest.(check (list int)) "critical path rerouted" [ spec; test ]
+    (Milestone.critical_path m test)
+
+let test_very_late_dynamic () =
+  let m, design, code, test, _docs = build_project () in
+  Milestone.enable_very_late m ~limit_days:10.0;
+  Alcotest.(check bool) "none very late" true (Milestone.very_late_set m = []);
+  Milestone.slip m design 40.0;
+  (* test: expected 60 vs scheduled 40 -> 20 days over the 10-day limit *)
+  Alcotest.(check bool) "test very late" true (Milestone.is_very_late m test);
+  Alcotest.(check bool) "code very late" true (Milestone.is_very_late m code);
+  Alcotest.(check bool) "membership" true (List.mem test (Milestone.very_late_set m))
+
+let test_milestone_undo () =
+  let m, design, _, test, _ = build_project () in
+  let before = Milestone.expected m test in
+  Milestone.slip m design 30.0;
+  Alcotest.(check bool) "changed" true (Milestone.expected m test <> before);
+  Db.undo_last (Milestone.db m);
+  Alcotest.(check (float 1e-9)) "undo restores ripple" before (Milestone.expected m test)
+
+(* ------------------------------------------------------------------ *)
+(* Make facility                                                       *)
+
+(* app depends on a.o and b.o; each .o depends on its .c *)
+let build_make_project () =
+  let fs = Fs_sim.create () in
+  Fs_sim.write_file fs "a.c" "int a;";
+  Fs_sim.write_file fs "b.c" "int b;";
+  let mk = Makefac.create fs in
+  let a_o = Makefac.add_rule mk ~file:"a.o" ~command:"cc -c a.c -o a.o" in
+  let b_o = Makefac.add_rule mk ~file:"b.o" ~command:"cc -c b.c -o b.o" in
+  let a_c = Makefac.add_rule mk ~file:"a.c" ~command:"" in
+  let b_c = Makefac.add_rule mk ~file:"b.c" ~command:"" in
+  let app = Makefac.add_rule mk ~file:"app" ~command:"cc a.o b.o -o app" in
+  Makefac.add_dependency mk ~rule:a_o ~on:a_c;
+  Makefac.add_dependency mk ~rule:b_o ~on:b_c;
+  Makefac.add_dependency mk ~rule:app ~on:a_o;
+  Makefac.add_dependency mk ~rule:app ~on:b_o;
+  (fs, mk, app, a_o, b_o, a_c, b_c)
+
+let test_make_full_build () =
+  let fs, mk, app, _, _, _, _ = build_make_project () in
+  let ran = Makefac.build mk app in
+  Alcotest.(check (list string))
+    "builds objects then links"
+    [ "cc -c a.c -o a.o"; "cc -c b.c -o b.o"; "cc a.o b.o -o app" ]
+    ran;
+  Alcotest.(check bool) "app exists" true (Fs_sim.exists fs "app");
+  (* Second build: everything current, nothing runs. *)
+  Alcotest.(check (list string)) "no-op rebuild" [] (Makefac.build mk app)
+
+let test_make_minimal_rebuild () =
+  let fs, mk, app, _, _, _, _ = build_make_project () in
+  ignore (Makefac.build mk app);
+  (* Touch b.c only: exactly b.o and app must rebuild. *)
+  Fs_sim.touch fs "b.c";
+  Makefac.sync mk;
+  let ran = Makefac.build mk app in
+  Alcotest.(check (list string))
+    "minimal rebuild" [ "cc -c b.c -o b.o"; "cc a.o b.o -o app" ] ran
+
+let test_make_missing_target () =
+  let fs, mk, app, a_o, _, _, _ = build_make_project () in
+  ignore (Makefac.build mk app);
+  Fs_sim.remove fs "a.o";
+  Makefac.sync mk;
+  Alcotest.(check bool) "a.o stale" true (Makefac.needs_rebuild mk a_o);
+  let ran = Makefac.build mk app in
+  Alcotest.(check (list string))
+    "rebuilds missing object and relinks" [ "cc -c a.c -o a.o"; "cc a.o b.o -o app" ] ran
+
+let test_make_build_plan () =
+  let fs, mk, app, _, _, _, _ = build_make_project () in
+  (* Everything stale: objects can compile in parallel, then the link. *)
+  Alcotest.(check (list (list string)))
+    "two parallel stages"
+    [ [ "cc -c a.c -o a.o"; "cc -c b.c -o b.o" ]; [ "cc a.o b.o -o app" ] ]
+    (Makefac.build_plan mk app);
+  ignore (Makefac.build mk app);
+  Alcotest.(check (list (list string))) "up to date: empty plan" [] (Makefac.build_plan mk app);
+  (* One source touched: its object then the link, sequentially. *)
+  Fs_sim.touch fs "b.c";
+  Makefac.sync mk;
+  Alcotest.(check (list (list string)))
+    "incremental plan" [ [ "cc -c b.c -o b.o" ]; [ "cc a.o b.o -o app" ] ]
+    (Makefac.build_plan mk app);
+  (* Planning must not execute anything. *)
+  Alcotest.(check bool) "plan ran nothing" true
+    (not (List.exists (fun c -> c = "planned") (Fs_sim.journal fs)))
+
+let test_make_keep_current () =
+  let fs, mk, app, _, b_o, _, _ = build_make_project () in
+  ignore (Makefac.build mk app);
+  Makefac.enable_keep_current mk app;
+  Fs_sim.touch fs "b.c";
+  let ran = Makefac.auto_build mk in
+  Alcotest.(check (list string))
+    "auto rebuild through subtype" [ "cc -c b.c -o b.o"; "cc a.o b.o -o app" ] ran;
+  ignore b_o
+
+(* ------------------------------------------------------------------ *)
+(* Flow analysis                                                       *)
+
+let assign ?(uses = []) target label = Flowan.Assign { target; uses; label }
+let seq a b = Flowan.Seq (a, b)
+
+let test_liveness_straightline () =
+  (* a := 1; b := a; c := b  — all live along the chain, nothing after c *)
+  let p = seq (assign "a" "A1") (seq (assign "b" ~uses:[ "a" ] "B1") (assign "c" ~uses:[ "b" ] "C1")) in
+  let t = Flowan.analyze p in
+  match Flowan.nodes t with
+  | [ n1; n2; n3 ] ->
+    Alcotest.(check (list string)) "live out of A1" [ "a" ] (Flowan.live_out t n1);
+    Alcotest.(check (list string)) "live out of B1" [ "b" ] (Flowan.live_out t n2);
+    Alcotest.(check (list string)) "live out of C1" [] (Flowan.live_out t n3);
+    Alcotest.(check (list int)) "c is dead" [ n3 ] (Flowan.dead_assignments t)
+  | nodes -> Alcotest.fail (Printf.sprintf "expected 3 nodes, got %d" (List.length nodes))
+
+let test_liveness_branch () =
+  (* x := 1; if (p) then y := x else y := 2; z := y *)
+  let p =
+    seq (assign "x" "X1")
+      (seq
+         (Flowan.If
+            {
+              cond_uses = [ "p" ];
+              then_ = assign "y" ~uses:[ "x" ] "Y1";
+              else_ = assign "y" "Y2";
+            })
+         (assign "z" ~uses:[ "y" ] "Z1"))
+  in
+  let t = Flowan.analyze p in
+  let by_label l =
+    List.find (fun n -> Flowan.label t n = l) (Flowan.nodes t)
+  in
+  Alcotest.(check (list string)) "x live into if" [ "p"; "x" ] (Flowan.live_in t (by_label "if"));
+  Alcotest.(check (list string)) "y live out of Y1" [ "y" ] (Flowan.live_out t (by_label "Y1"));
+  (* Reaching definitions at z: both branch definitions of y reach. *)
+  Alcotest.(check bool) "Y1 reaches Z1" true (List.mem "Y1" (Flowan.reaching_in t (by_label "Z1")));
+  Alcotest.(check bool) "Y2 reaches Z1" true (List.mem "Y2" (Flowan.reaching_in t (by_label "Z1")));
+  (* X1 is killed by nothing, reaches the end. *)
+  Alcotest.(check bool) "X1 reaches Z1" true (List.mem "X1" (Flowan.reaching_in t (by_label "Z1")))
+
+let test_liveness_incremental () =
+  (* Changing a use set updates liveness through the engine. *)
+  let p = seq (assign "a" "A1") (assign "b" "B1") in
+  let t = Flowan.analyze p in
+  let by_label l = List.find (fun n -> Flowan.label t n = l) (Flowan.nodes t) in
+  Alcotest.(check (list int)) "a dead initially" [ by_label "A1" ]
+    (List.filter (fun n -> Flowan.label t n = "A1") (Flowan.dead_assignments t));
+  (* B1 starts using a: A1 is no longer dead. *)
+  let database = Flowan.db t in
+  Db.set database (by_label "B1") "use"
+    (Value.Arr [| Value.Str "a" |]);
+  Alcotest.(check bool) "A1 now live" true
+    (not (List.mem (by_label "A1") (Flowan.dead_assignments t)))
+
+let test_while_cycle_detected () =
+  let p =
+    Flowan.While { cond_uses = [ "i" ]; body = assign "i" ~uses:[ "i" ] "I1" }
+  in
+  let t = Flowan.analyze p in
+  match Flowan.live_in t (List.hd (Flowan.nodes t)) with
+  | _ -> Alcotest.fail "expected cycle"
+  | exception Errors.Cycle _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Requirements traceability                                           *)
+
+module Tr = Cactis_apps.Traceability
+
+let build_trace_env () =
+  let tr = Tr.create () in
+  let proj = Tr.add_project tr ~name:"compiler" in
+  let auth = Tr.add_requirement tr ~project:proj ~name:"parse-all-syntax" ~critical:true in
+  let perf = Tr.add_requirement tr ~project:proj ~name:"compile-under-1s" ~critical:false in
+  let docs = Tr.add_requirement tr ~project:proj ~name:"document-flags" ~critical:true in
+  let t1 = Tr.add_test tr ~name:"syntax-suite" in
+  let t2 = Tr.add_test tr ~name:"perf-suite" in
+  let t3 = Tr.add_test tr ~name:"doc-lint" in
+  Tr.verifies tr ~test:t1 ~requirement:auth;
+  Tr.verifies tr ~test:t2 ~requirement:perf;
+  Tr.verifies tr ~test:t3 ~requirement:docs;
+  (tr, proj, auth, perf, docs, t1, t2, t3)
+
+let test_trace_coverage_ripples () =
+  let tr, proj, auth, _perf, docs, t1, t2, t3 = build_trace_env () in
+  Alcotest.(check (pair int int)) "nothing covered" (0, 3) (Tr.coverage tr proj);
+  Alcotest.(check bool) "not ready" false (Tr.release_ready tr proj);
+  (* One test-run result ripples into requirement coverage and the
+     project dashboard. *)
+  Tr.record_run tr ~test:t1 ~passed:true;
+  Alcotest.(check bool) "auth covered" true (Tr.covered tr auth);
+  Alcotest.(check (pair int int)) "one of three" (1, 3) (Tr.coverage tr proj);
+  Alcotest.(check (list string)) "docs still blocks" [ "document-flags" ]
+    (List.map (Tr.requirement_name tr) (Tr.blockers tr proj));
+  Tr.record_run tr ~test:t3 ~passed:true;
+  Alcotest.(check bool) "ready once criticals covered" true (Tr.release_ready tr proj);
+  Tr.record_run tr ~test:t2 ~passed:true;
+  Alcotest.(check (pair int int)) "full coverage" (3, 3) (Tr.coverage tr proj);
+  (* A regression flips everything back. *)
+  Tr.record_run tr ~test:t1 ~passed:false;
+  Alcotest.(check bool) "regression blocks release" false (Tr.release_ready tr proj);
+  ignore docs
+
+let test_trace_shared_tests () =
+  (* One test verifying two requirements; coverage counts both. *)
+  let tr = Tr.create () in
+  let proj = Tr.add_project tr ~name:"p" in
+  let r1 = Tr.add_requirement tr ~project:proj ~name:"r1" ~critical:false in
+  let r2 = Tr.add_requirement tr ~project:proj ~name:"r2" ~critical:false in
+  let t = Tr.add_test tr ~name:"integration" in
+  Tr.verifies tr ~test:t ~requirement:r1;
+  Tr.verifies tr ~test:t ~requirement:r2;
+  Tr.record_run tr ~test:t ~passed:true;
+  Alcotest.(check (pair int int)) "both covered by one test" (2, 2) (Tr.coverage tr proj);
+  ignore (r1, r2)
+
+(* ------------------------------------------------------------------ *)
+(* Configuration management                                            *)
+
+module Cm = Cactis_apps.Configman
+
+let build_config_env () =
+  let cm = Cm.create () in
+  let lexer = Cm.add_component cm ~name:"lexer.c" ~kind:Cm.Source in
+  let lexer_o = Cm.add_component cm ~name:"lexer.o" ~kind:Cm.Object in
+  let parser_c = Cm.add_component cm ~name:"parser.c" ~kind:Cm.Source in
+  let release = Cm.add_configuration cm ~name:"release" ~require_stable:true in
+  let nightly = Cm.add_configuration cm ~name:"nightly" ~require_stable:false in
+  List.iter
+    (fun c -> Cm.include_component cm ~config:release ~component:c)
+    [ lexer; lexer_o; parser_c ];
+  List.iter
+    (fun c -> Cm.include_component cm ~config:nightly ~component:c)
+    [ lexer; parser_c ];
+  (cm, lexer, lexer_o, parser_c, release, nightly)
+
+let test_config_derived () =
+  let cm, lexer, lexer_o, parser_c, release, nightly = build_config_env () in
+  Alcotest.(check int) "release size" 3 (Cm.size cm release);
+  Alcotest.(check int) "min version" 1 (Cm.min_version cm release);
+  (* Unstable components: the stability-requiring config is inconsistent,
+     the nightly one doesn't care. *)
+  Alcotest.(check bool) "release inconsistent" false (Cm.consistent cm release);
+  Alcotest.(check bool) "nightly fine" true (Cm.consistent cm nightly);
+  List.iter (Cm.mark_stable cm) [ lexer; lexer_o; parser_c ];
+  Alcotest.(check bool) "release consistent now" true (Cm.consistent cm release);
+  (* Bumping one component ripples into every including configuration. *)
+  Cm.bump_version cm lexer;
+  Alcotest.(check bool) "bump destabilizes release" false (Cm.consistent cm release);
+  Alcotest.(check int) "version bumped" 2 (Cm.version cm lexer);
+  Alcotest.(check (list int)) "ripple audience" [ release; nightly ]
+    (List.sort compare (Cm.configurations_of cm lexer))
+
+let test_config_subtypes () =
+  let cm, lexer, lexer_o, parser_c, _, _ = build_config_env () in
+  Alcotest.(check (list int)) "sources" [ lexer; parser_c ]
+    (List.sort compare (Cm.source_modules cm));
+  Alcotest.(check (list int)) "objects" [ lexer_o ] (Cm.object_modules cm)
+
+let test_config_freeze_restore () =
+  let cm, lexer, lexer_o, parser_c, release, _ = build_config_env () in
+  List.iter (Cm.mark_stable cm) [ lexer; lexer_o; parser_c ];
+  Cm.freeze cm ~label:"v1.0";
+  Cm.bump_version cm lexer;
+  Cm.bump_version cm lexer;
+  Alcotest.(check int) "moved on" 3 (Cm.version cm lexer);
+  Alcotest.(check bool) "inconsistent after bumps" false (Cm.consistent cm release);
+  Cm.restore cm ~label:"v1.0";
+  Alcotest.(check int) "frozen version recalled" 1 (Cm.version cm lexer);
+  Alcotest.(check bool) "frozen consistency recalled" true (Cm.consistent cm release)
+
+(* ------------------------------------------------------------------ *)
+(* UI demo                                                             *)
+
+let test_ui_rendering () =
+  let ui = Uidemo.create () in
+  let root = Uidemo.add_box ui ~parent:None ~title:"window" in
+  let _l1 = Uidemo.add_label ui ~parent:(Some root) ~text:"hello" in
+  let box = Uidemo.add_box ui ~parent:(Some root) ~title:"status" in
+  let l2 = Uidemo.add_label ui ~parent:(Some box) ~text:"ok" in
+  Alcotest.(check string) "initial render" "[window: hello | [status: ok]]" (Uidemo.render_root ui);
+  Uidemo.set_text ui l2 "FAIL";
+  Alcotest.(check string) "updated render" "[window: hello | [status: FAIL]]"
+    (Uidemo.render_root ui);
+  (* Only the changed path (l2, box, root) re-renders. *)
+  Uidemo.set_text ui l2 "ok again";
+  ignore (Uidemo.render_root ui);
+  Alcotest.(check bool)
+    (Printf.sprintf "path-only re-render (got %d evals)" (Uidemo.last_render_evals ui))
+    true
+    (Uidemo.last_render_evals ui <= 3)
+
+let () =
+  Alcotest.run "cactis-apps"
+    [
+      ( "milestones",
+        [
+          Alcotest.test_case "ripple" `Quick test_milestone_ripple;
+          Alcotest.test_case "critical path" `Quick test_critical_path;
+          Alcotest.test_case "very_late dynamic extension" `Quick test_very_late_dynamic;
+          Alcotest.test_case "undo ripples back" `Quick test_milestone_undo;
+        ] );
+      ( "make",
+        [
+          Alcotest.test_case "full build order" `Quick test_make_full_build;
+          Alcotest.test_case "minimal rebuild" `Quick test_make_minimal_rebuild;
+          Alcotest.test_case "missing target" `Quick test_make_missing_target;
+          Alcotest.test_case "parallel build plan" `Quick test_make_build_plan;
+          Alcotest.test_case "keep-current subtype" `Quick test_make_keep_current;
+        ] );
+      ( "flow-analysis",
+        [
+          Alcotest.test_case "straight-line liveness" `Quick test_liveness_straightline;
+          Alcotest.test_case "branch liveness + reaching" `Quick test_liveness_branch;
+          Alcotest.test_case "incremental update" `Quick test_liveness_incremental;
+          Alcotest.test_case "while loop rejected" `Quick test_while_cycle_detected;
+        ] );
+      ( "traceability",
+        [
+          Alcotest.test_case "coverage ripples" `Quick test_trace_coverage_ripples;
+          Alcotest.test_case "shared tests" `Quick test_trace_shared_tests;
+        ] );
+      ( "configurations",
+        [
+          Alcotest.test_case "derived consistency" `Quick test_config_derived;
+          Alcotest.test_case "source/object subtypes" `Quick test_config_subtypes;
+          Alcotest.test_case "freeze & restore" `Quick test_config_freeze_restore;
+        ] );
+      ( "ui",
+        [ Alcotest.test_case "attribute-driven rendering" `Quick test_ui_rendering ] );
+    ]

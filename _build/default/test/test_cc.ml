@@ -1,0 +1,194 @@
+(* Concurrency-control tests: timestamp ordering rules, lost-update
+   prevention, serializability against the serial oracle, Thomas write
+   rule, starvation accounting. *)
+
+module Value = Cactis.Value
+module Db = Cactis.Db
+module Cc = Cactis_cc.Timestamp_cc
+module Workload = Cactis_cc.Workload
+module Interleave = Cactis_cc.Interleave
+module Serial_oracle = Cactis_cc.Serial_oracle
+module Rng = Cactis_util.Rng
+
+let setup_db instances () =
+  let db, _, _ = Workload.counters_db ~instances () in
+  db
+
+let test_basic_rules () =
+  let db, accounts, _ = Workload.counters_db ~instances:2 () in
+  let a = List.hd accounts in
+  let cc = Cc.create db in
+  (* Older transaction reading an item written by a younger one aborts. *)
+  let t1 = Cc.begin_txn cc in
+  let t2 = Cc.begin_txn cc in
+  (match Cc.write cc t2 a "balance" (Value.Int 1) with
+  | Ok () -> ()
+  | Error `Abort -> Alcotest.fail "t2 write should succeed");
+  (match Cc.commit cc t2 with
+  | Ok () -> ()
+  | Error `Abort -> Alcotest.fail "t2 commit should succeed");
+  (match Cc.read cc t1 a "balance" with
+  | Error `Abort -> ()
+  | Ok _ -> Alcotest.fail "t1 read-after-younger-write must abort");
+  Alcotest.(check int) "one commit" 1 (Cc.commits cc);
+  Alcotest.(check int) "one abort" 1 (Cc.aborts cc)
+
+let test_write_after_read_aborts () =
+  let db, accounts, _ = Workload.counters_db ~instances:2 () in
+  let a = List.hd accounts in
+  let cc = Cc.create db in
+  let t1 = Cc.begin_txn cc in
+  let t2 = Cc.begin_txn cc in
+  (* Younger t2 reads; older t1 then tries to write the same item. *)
+  (match Cc.read cc t2 a "balance" with Ok _ -> () | Error `Abort -> Alcotest.fail "read");
+  (match Cc.write cc t1 a "balance" (Value.Int 5) with
+  | Error `Abort -> ()
+  | Ok () -> Alcotest.fail "older write after younger read must abort")
+
+let test_read_your_own_writes () =
+  let db, accounts, _ = Workload.counters_db ~instances:1 () in
+  let a = List.hd accounts in
+  let cc = Cc.create db in
+  let t1 = Cc.begin_txn cc in
+  (match Cc.write cc t1 a "balance" (Value.Int 42) with Ok () -> () | Error `Abort -> Alcotest.fail "w");
+  (match Cc.read cc t1 a "balance" with
+  | Ok v -> Alcotest.(check string) "own write visible" "42" (Value.to_string v)
+  | Error `Abort -> Alcotest.fail "read own write");
+  (* Not yet applied to the database. *)
+  Alcotest.(check string) "deferred" "100" (Value.to_string (Db.get db ~watch:false a "balance"));
+  (match Cc.commit cc t1 with Ok () -> () | Error `Abort -> Alcotest.fail "commit");
+  Alcotest.(check string) "applied at commit" "42" (Value.to_string (Db.get db a "balance"))
+
+let test_lost_update_prevented () =
+  (* Two concurrent increments of the same account must not lose one. *)
+  let db, accounts, _ = Workload.counters_db ~instances:1 () in
+  let a = List.hd accounts in
+  let cc = Cc.create db in
+  let rng = Rng.create 7 in
+  let scripts = [ [ [ Workload.Incr (a, "balance", 10) ] ]; [ [ Workload.Incr (a, "balance", 7) ] ] ] in
+  let stats = Interleave.run ~rng ~cc ~clients:scripts () in
+  Alcotest.(check int) "both committed" 2 stats.Interleave.committed;
+  Alcotest.(check string) "no lost update" "117" (Value.to_string (Db.get db a "balance"))
+
+let run_serializability ~seed ~clients ~txns ~hot =
+  let instances = 8 in
+  let db, accounts, totals = Workload.counters_db ~instances () in
+  let cc = Cc.create db in
+  let rng = Rng.create seed in
+  let scripts =
+    List.init clients (fun _ ->
+        Workload.generate (Rng.split rng) ~accounts ~txns ~ops_per_txn:4 ~hot_fraction:hot
+          ~read_fraction:0.3)
+  in
+  let stats = Interleave.run ~rng ~cc ~clients:scripts () in
+  let oracle =
+    Serial_oracle.replay ~setup:(setup_db instances)
+      ~committed:stats.Interleave.committed_scripts
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "serializable (seed %d, %d commits, %d restarts)" seed
+       stats.Interleave.committed stats.Interleave.restarts)
+    true
+    (Serial_oracle.equivalent db oracle [ "balance" ]);
+  (* Derived total stays consistent with intrinsic state. *)
+  let expected_total =
+    List.fold_left
+      (fun acc id -> acc + Value.as_int (Db.get db ~watch:false id "balance"))
+      0 accounts
+  in
+  Alcotest.(check int) "derived total consistent" expected_total
+    (Value.as_int (Db.get db totals "total"))
+
+let test_serializability_low_contention () = run_serializability ~seed:11 ~clients:4 ~txns:6 ~hot:0.1
+let test_serializability_high_contention () = run_serializability ~seed:23 ~clients:6 ~txns:6 ~hot:0.9
+
+let test_many_seeds () =
+  List.iter (fun seed -> run_serializability ~seed ~clients:3 ~txns:4 ~hot:0.5) [ 1; 2; 3; 4; 5 ]
+
+let test_thomas_write_rule () =
+  let db, accounts, _ = Workload.counters_db ~instances:1 () in
+  let a = List.hd accounts in
+  let cc = Cc.create ~thomas_write_rule:true db in
+  let t1 = Cc.begin_txn cc in
+  let t2 = Cc.begin_txn cc in
+  (* Both write blind; the younger commits first; the older's stale write
+     is skipped rather than aborting. *)
+  (match Cc.write cc t2 a "balance" (Value.Int 2) with Ok () -> () | Error `Abort -> Alcotest.fail "w2");
+  (match Cc.commit cc t2 with Ok () -> () | Error `Abort -> Alcotest.fail "c2");
+  (match Cc.write cc t1 a "balance" (Value.Int 1) with Ok () -> () | Error `Abort -> Alcotest.fail "w1");
+  (match Cc.commit cc t1 with Ok () -> () | Error `Abort -> Alcotest.fail "c1 (Thomas)");
+  Alcotest.(check string) "younger value survives" "2" (Value.to_string (Db.get db a "balance"));
+  Alcotest.(check int) "skip recorded" 1 (Cc.thomas_skips cc)
+
+let test_starvation_accounting () =
+  (* With max_restarts = 0, any abort immediately starves its transaction
+     rather than retrying; the driver must terminate and count it. *)
+  let db, accounts, _ = Workload.counters_db ~instances:1 () in
+  let a = List.hd accounts in
+  let cc = Cc.create db in
+  let rng = Rng.create 3 in
+  let hot = [ [ Workload.Incr (a, "balance", 1) ] ] in
+  let stats =
+    Interleave.run ~max_restarts:0 ~rng ~cc
+      ~clients:[ hot; hot; hot; hot ]
+      ()
+  in
+  Alcotest.(check int) "all transactions resolved" 4
+    (stats.Interleave.committed + stats.Interleave.starved);
+  Alcotest.(check bool) "no retries recorded" true (stats.Interleave.restarts = 0)
+
+let test_round_robin_policy () =
+  (* The deterministic round-robin driver must also produce serializable
+     schedules. *)
+  let instances = 4 in
+  let db, accounts, _ = Workload.counters_db ~instances () in
+  let cc = Cc.create db in
+  let rng = Rng.create 77 in
+  let scripts =
+    List.init 3 (fun _ ->
+        Workload.generate (Rng.split rng) ~accounts ~txns:5 ~ops_per_txn:3 ~hot_fraction:0.5
+          ~read_fraction:0.2)
+  in
+  let stats = Interleave.run ~policy:Interleave.Round_robin ~rng ~cc ~clients:scripts () in
+  let oracle =
+    Serial_oracle.replay ~setup:(setup_db instances) ~committed:stats.Interleave.committed_scripts
+  in
+  Alcotest.(check bool) "round-robin serializable" true
+    (Serial_oracle.equivalent db oracle [ "balance" ])
+
+let test_derived_reads_under_cc () =
+  let db, accounts, totals = Workload.counters_db ~instances:4 () in
+  let cc = Cc.create db in
+  let rng = Rng.create 99 in
+  let scripts =
+    [
+      [ [ Workload.Incr (List.nth accounts 0, "balance", 50) ] ];
+      [ [ Workload.Read_derived (totals, "total") ] ];
+      [ [ Workload.Incr (List.nth accounts 1, "balance", -30) ] ];
+    ]
+  in
+  let stats = Interleave.run ~rng ~cc ~clients:scripts () in
+  Alcotest.(check bool) "all committed" true (stats.Interleave.committed = 3);
+  Alcotest.(check int) "total correct" 420 (Value.as_int (Db.get db totals "total"))
+
+let () =
+  Alcotest.run "cactis-cc"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "read too late aborts" `Quick test_basic_rules;
+          Alcotest.test_case "write after younger read aborts" `Quick test_write_after_read_aborts;
+          Alcotest.test_case "read your own writes" `Quick test_read_your_own_writes;
+          Alcotest.test_case "thomas write rule" `Quick test_thomas_write_rule;
+        ] );
+      ( "serializability",
+        [
+          Alcotest.test_case "lost update prevented" `Quick test_lost_update_prevented;
+          Alcotest.test_case "low contention" `Quick test_serializability_low_contention;
+          Alcotest.test_case "high contention" `Quick test_serializability_high_contention;
+          Alcotest.test_case "multiple seeds" `Quick test_many_seeds;
+          Alcotest.test_case "round-robin policy" `Quick test_round_robin_policy;
+          Alcotest.test_case "starvation accounting" `Quick test_starvation_accounting;
+          Alcotest.test_case "derived reads" `Quick test_derived_reads_under_cc;
+        ] );
+    ]

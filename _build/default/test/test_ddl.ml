@@ -1,0 +1,275 @@
+(* DDL front-end tests: lexing, parsing, elaboration of the paper's
+   Figure 1 milestone class, error reporting, pretty round-trips. *)
+
+module Value = Cactis.Value
+module Db = Cactis.Db
+module Errors = Cactis.Errors
+module Parser = Cactis_ddl.Parser
+module Lexer = Cactis_ddl.Lexer
+module Ast = Cactis_ddl.Ast
+module Elaborate = Cactis_ddl.Elaborate
+module Pretty = Cactis_ddl.Pretty
+
+(* Figure 1, regularized into the DDL grammar: a milestone's expected
+   completion is its local work added to the latest expected completion
+   among the milestones it depends on; [late] compares against the
+   originally scheduled completion. *)
+let milestone_src =
+  {|
+  -- Figure 1: class definition for milestone objects
+  object class milestone is
+    relationships
+      depends_on  : milestone multi socket inverse consists_of;
+      consists_of : milestone multi plug   inverse depends_on;
+    attributes
+      sched_compl : time := time(10);
+      local_time  : time := time(1);
+    rules
+      exp_compl = max(depends_on.exp_compl default time(0)) + local_time;
+      late = later_than(exp_compl, sched_compl);
+  end object;
+|}
+
+let build_milestones () =
+  let sch = Elaborate.load_string milestone_src in
+  let db = Db.create sch in
+  let m1 = Db.create_instance db "milestone" in
+  let m2 = Db.create_instance db "milestone" in
+  let m3 = Db.create_instance db "milestone" in
+  (* m1 depends on m2 and m3. *)
+  Db.link db ~from_id:m1 ~rel:"depends_on" ~to_id:m2;
+  Db.link db ~from_id:m1 ~rel:"depends_on" ~to_id:m3;
+  (db, m1, m2, m3)
+
+let days v = Cactis_util.Vtime.to_days (Value.as_time v)
+
+let test_figure1 () =
+  let db, m1, m2, m3 = build_milestones () in
+  (* Defaults: local 1 day each; m1's expectation = max(1,1)+1 = 2. *)
+  Alcotest.(check (float 1e-9)) "exp_compl" 2.0 (days (Db.get db m1 "exp_compl"));
+  Alcotest.(check bool) "not late" false (Value.as_bool (Db.get db m1 "late"));
+  (* Slip m2 by 12 days: ripples to m1 and makes it late (sched 10). *)
+  Db.set db m2 "local_time" (Value.Time (Cactis_util.Vtime.of_days 12.0));
+  Alcotest.(check (float 1e-9)) "ripple" 13.0 (days (Db.get db m1 "exp_compl"));
+  Alcotest.(check bool) "late now" true (Value.as_bool (Db.get db m1 "late"));
+  ignore m3
+
+let test_very_late_extension () =
+  (* §4: add a very_late attribute and a subtype keyed on it, without
+     touching the existing class. *)
+  let db, m1, m2, _ = build_milestones () in
+  Cactis_ddl.Elaborate.extend_db db
+    {|
+    subtype very_late_milestone of milestone
+      where later_than(exp_compl, sched_compl + 5.0)
+    is
+      attributes
+        escalation : string := "notify-manager";
+    end subtype;
+  |};
+  Alcotest.(check bool) "not very late" false (Db.in_subtype db m1 "very_late_milestone");
+  Db.set db m2 "local_time" (Value.Time (Cactis_util.Vtime.of_days 20.0));
+  Alcotest.(check bool) "very late" true (Db.in_subtype db m1 "very_late_milestone");
+  Alcotest.(check string) "extra attr readable" "\"notify-manager\""
+    (Value.to_string (Db.get db m1 "escalation"))
+
+(* Figure 1 verbatim: the milestone transmits its expected completion
+   across consists_of under the name exp_time, and the rule reads
+   depends_on.exp_time — exactly the paper's listing. *)
+let figure1_verbatim_src =
+  {|
+  object class milestone is
+    relationships
+      depends_on  : milestone multi socket inverse consists_of;
+      consists_of : milestone multi plug   inverse depends_on;
+    attributes
+      sched_compl : time := time(10);
+      local_time  : time := time(1);
+    rules
+      exp_compl = max(depends_on.exp_time default time(0)) + local_time;
+      late = later_than(exp_compl, sched_compl);
+    transmits
+      consists_of.exp_time = exp_compl;
+  end object;
+|}
+
+let test_figure1_transmission_alias () =
+  let items = Parser.parse_schema figure1_verbatim_src in
+  Alcotest.(check (list string)) "type-checks through the alias" []
+    (Cactis_ddl.Typecheck.check items);
+  let db = Db.create (Elaborate.load_string figure1_verbatim_src) in
+  let m1 = Db.create_instance db "milestone" in
+  let m2 = Db.create_instance db "milestone" in
+  Db.link db ~from_id:m1 ~rel:"depends_on" ~to_id:m2;
+  Alcotest.(check (float 1e-9)) "alias resolves" 2.0 (days (Db.get db m1 "exp_compl"));
+  (* Incremental maintenance flows through the alias too. *)
+  Db.set db m2 "local_time" (Value.Time (Cactis_util.Vtime.of_days 12.0));
+  Alcotest.(check (float 1e-9)) "ripple through alias" 13.0 (days (Db.get db m1 "exp_compl"));
+  (* And matches the from-scratch oracle. *)
+  Alcotest.(check (float 1e-9)) "oracle agrees" 13.0
+    (days (Cactis.Engine.oracle_value (Db.engine db) m1 "exp_compl"))
+
+let test_transmit_roundtrip () =
+  let items = Parser.parse_schema figure1_verbatim_src in
+  let printed = Cactis_ddl.Pretty.schema_to_string items in
+  Alcotest.(check bool) "transmits section round-trips" true
+    (Parser.parse_schema printed = items)
+
+let test_transmit_validation () =
+  let bad_rel =
+    {| object class c is
+         attributes x : int;
+         transmits nope.y = x;
+       end object; |}
+  in
+  (match Elaborate.load_string bad_rel with
+  | _ -> Alcotest.fail "unknown rel in transmits"
+  | exception (Errors.Unknown _ | Errors.Type_error _) -> ());
+  let bad_attr =
+    {| object class c is
+         relationships r : c multi plug inverse ri;
+         relationships ri : c multi socket inverse r;
+         transmits r.y = nothing;
+       end object; |}
+  in
+  match Elaborate.load_string bad_attr with
+  | _ -> Alcotest.fail "unknown attr in transmits"
+  | exception (Errors.Unknown _ | Errors.Type_error _) -> ()
+
+let test_constraint_section () =
+  let src =
+    {|
+    object class task is
+      attributes
+        budget : int := 100;
+        spent  : int := 0;
+      rules
+        remaining = budget - spent;
+      constraints
+        within_budget = spent <= budget message "over budget";
+    end object;
+  |}
+  in
+  let db = Db.create (Elaborate.load_string src) in
+  let t1 = Db.create_instance db "task" in
+  Db.set db t1 "spent" (Value.Int 50);
+  Alcotest.(check string) "remaining" "50" (Value.to_string (Db.get db t1 "remaining"));
+  (match Db.set db t1 "spent" (Value.Int 500) with
+  | () -> Alcotest.fail "expected violation"
+  | exception Errors.Constraint_violation { message; _ } ->
+    Alcotest.(check string) "message" "over budget" message);
+  Alcotest.(check string) "rolled back" "50" (Value.to_string (Db.get db t1 "spent"))
+
+let test_expr_parsing () =
+  let cases =
+    [
+      ("1 + 2 * 3", "1 + 2 * 3");
+      ("(1 + 2) * 3", "(1 + 2) * 3");
+      ("a and b or not c", "a and b or not c");
+      ("if a > 1 then \"x\" else \"y\"", "if a > 1 then \"x\" else \"y\"");
+      ("max(deps.total default 0) + local", "max(deps.total default 0) + local");
+      ("later_of(time(1.5), owner.deadline)", "later_of(time(1.5), owner.deadline)");
+      ("-x + 4", "-x + 4");
+      ("a - b - c", "a - b - c");
+    ]
+  in
+  List.iter
+    (fun (src, expected) ->
+      let printed = Pretty.expr_to_string (Parser.parse_expr src) in
+      Alcotest.(check string) src expected printed)
+    cases
+
+let test_expr_roundtrip () =
+  (* parse (print (parse src)) = parse src *)
+  let sources =
+    [
+      "1 + 2 * 3 - 4 / 5";
+      "(a + b) * (c - d)";
+      "not (a or b) and c";
+      "if x >= 10 then y else z + 1";
+      "sum(children.cost default 0)";
+      "count(deps.total) > 3 and all(deps.done)";
+      "later_than(exp, sched + 5.0) or very_late";
+      "a - (b - c)";
+      "time(3.25)";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let ast1 = Parser.parse_expr src in
+      let printed = Pretty.expr_to_string ast1 in
+      let ast2 = Parser.parse_expr printed in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s -> %s" src printed)
+        true (ast1 = ast2))
+    sources
+
+let test_schema_roundtrip () =
+  let items = Parser.parse_schema milestone_src in
+  let printed = Pretty.schema_to_string items in
+  let items2 = Parser.parse_schema printed in
+  Alcotest.(check bool) "schema AST round-trip" true (items = items2)
+
+let test_parse_errors () =
+  let bad =
+    [
+      "object class is end";
+      "object class c is attributes x : unknown_type; end object;";
+      "object class c is rules x = 1 + ; end object;";
+      "object class c is attributes x : int end object;";
+    ]
+  in
+  List.iter
+    (fun src ->
+      match Parser.parse_schema src with
+      | _ -> Alcotest.fail ("expected parse failure: " ^ src)
+      | exception (Parser.Error _ | Lexer.Error _) -> ())
+    bad
+
+let test_inverse_validation () =
+  let src =
+    {|
+    object class a is
+      relationships r : b multi plug inverse nope;
+    end object;
+    object class b is
+    end object;
+  |}
+  in
+  match Elaborate.load_string src with
+  | _ -> Alcotest.fail "expected elaboration failure"
+  | exception Elaborate.Error _ -> ()
+
+let test_lexer_comments () =
+  let toks =
+    Lexer.tokenize "a -- line comment\n + /* block\ncomment */ b // another\n"
+    |> List.map (fun t -> t.Lexer.token)
+  in
+  Alcotest.(check bool) "comments skipped" true
+    (toks = [ Cactis_ddl.Token.IDENT "a"; Cactis_ddl.Token.PLUS; Cactis_ddl.Token.IDENT "b"; Cactis_ddl.Token.EOF ])
+
+
+
+let () =
+  Alcotest.run "cactis-ddl"
+    [
+      ( "elaboration",
+        [
+          Alcotest.test_case "figure 1 milestone" `Quick test_figure1;
+          Alcotest.test_case "figure 1 verbatim (transmission alias)" `Quick
+            test_figure1_transmission_alias;
+          Alcotest.test_case "transmits round-trip" `Quick test_transmit_roundtrip;
+          Alcotest.test_case "transmits validation" `Quick test_transmit_validation;
+          Alcotest.test_case "very_late subtype extension" `Quick test_very_late_extension;
+          Alcotest.test_case "constraint section" `Quick test_constraint_section;
+          Alcotest.test_case "inverse validation" `Quick test_inverse_validation;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "expression precedence" `Quick test_expr_parsing;
+          Alcotest.test_case "expression round-trip" `Quick test_expr_roundtrip;
+          Alcotest.test_case "schema round-trip" `Quick test_schema_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "comments" `Quick test_lexer_comments;
+        ] );
+    ]

@@ -1,0 +1,119 @@
+(* Distributed-placement prototype tests. *)
+
+module Value = Cactis.Value
+module Db = Cactis.Db
+module Schema = Cactis.Schema
+module Rule = Cactis.Rule
+module Partition = Cactis_dist.Partition
+module Rng = Cactis_util.Rng
+
+let int n = Value.Int n
+
+let node_schema () =
+  let sch = Schema.create () in
+  Schema.add_type sch "node";
+  Schema.declare_relationship sch ~from_type:"node" ~rel:"deps" ~to_type:"node" ~inverse:"rdeps"
+    ~card:Schema.Multi ~inverse_card:Schema.Multi;
+  Schema.add_attr sch ~type_name:"node" (Rule.intrinsic "local" (int 1));
+  Schema.add_attr sch ~type_name:"node"
+    (Rule.derived "total"
+       (Rule.combine_self_rel "local" "deps" "total" ~f:(fun own totals ->
+            Value.add own (Value.sum totals))));
+  sch
+
+(* Two tight communities with heavy internal traffic and one cold
+   cross-community link. *)
+let communities_db () =
+  let db = Db.create (node_schema ()) in
+  let mk () = Array.init 4 (fun _ -> Db.create_instance db "node") in
+  let a = mk () and b = mk () in
+  let ring g =
+    for i = 0 to Array.length g - 2 do
+      Db.link db ~from_id:g.(i) ~rel:"deps" ~to_id:g.(i + 1)
+    done
+  in
+  ring a;
+  ring b;
+  Db.link db ~from_id:a.(3) ~rel:"deps" ~to_id:b.(0);
+  (* Generate traffic: repeatedly change and query within each community. *)
+  for round = 1 to 50 do
+    Db.set db a.(3) "local" (int round);
+    ignore (Db.get db a.(0) "total");
+    Db.set db b.(3) "local" (int (round + 1));
+    ignore (Db.get db b.(0) "total")
+  done;
+  (db, a, b)
+
+let test_placement_total () =
+  let db, _, _ = communities_db () in
+  let ids = Db.instance_ids db in
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "all placed" (List.length ids)
+        (Array.fold_left ( + ) 0 (Partition.balance p));
+      List.iter
+        (fun id ->
+          match Partition.site_of p id with
+          | Some s -> Alcotest.(check bool) "site in range" true (s >= 0 && s < 2)
+          | None -> Alcotest.fail "unplaced instance")
+        ids)
+    [
+      Partition.random (Rng.create 1) ~ids ~sites:2;
+      Partition.round_robin ~ids ~sites:2;
+      Partition.by_usage (Db.store db) ~sites:2;
+    ]
+
+let test_usage_placement_colocates () =
+  let db, a, b = communities_db () in
+  let p = Partition.by_usage (Db.store db) ~sites:2 in
+  let site_of id = Option.get (Partition.site_of p id) in
+  (* Each community lands on a single site. *)
+  Array.iter (fun id -> Alcotest.(check int) "community a together" (site_of a.(0)) (site_of id)) a;
+  Array.iter (fun id -> Alcotest.(check int) "community b together" (site_of b.(0)) (site_of id)) b
+
+let test_usage_beats_striping () =
+  let db, _, _ = communities_db () in
+  let ids = Db.instance_ids db in
+  let store = Db.store db in
+  let usage = Partition.by_usage store ~sites:2 in
+  let striped = Partition.round_robin ~ids ~sites:2 in
+  let m_usage = Partition.cross_site_traffic store usage in
+  let m_striped = Partition.cross_site_traffic store striped in
+  Alcotest.(check bool)
+    (Printf.sprintf "usage placement (%d msgs) beats striping (%d msgs)" m_usage m_striped)
+    true (m_usage * 4 < m_striped);
+  (* Conservation: local + cross equals total crossings regardless of
+     placement. *)
+  Alcotest.(check int) "traffic conserved"
+    (Partition.local_traffic store usage + m_usage)
+    (Partition.local_traffic store striped + m_striped)
+
+let test_single_site_no_traffic () =
+  let db, _, _ = communities_db () in
+  let p = Partition.by_usage (Db.store db) ~sites:1 in
+  Alcotest.(check int) "one site, zero messages" 0
+    (Partition.cross_site_traffic (Db.store db) p)
+
+let test_random_deterministic () =
+  let db, _, _ = communities_db () in
+  let ids = Db.instance_ids db in
+  let p1 = Partition.random (Rng.create 9) ~ids ~sites:4 in
+  let p2 = Partition.random (Rng.create 9) ~ids ~sites:4 in
+  List.iter
+    (fun id ->
+      Alcotest.(check (option int)) "same placement" (Partition.site_of p1 id)
+        (Partition.site_of p2 id))
+    ids
+
+let () =
+  Alcotest.run "cactis-dist"
+    [
+      ( "partition",
+        [
+          Alcotest.test_case "total placement" `Quick test_placement_total;
+          Alcotest.test_case "usage colocates communities" `Quick test_usage_placement_colocates;
+          Alcotest.test_case "usage beats striping" `Quick test_usage_beats_striping;
+          Alcotest.test_case "single site" `Quick test_single_site_no_traffic;
+          Alcotest.test_case "random deterministic" `Quick test_random_deterministic;
+        ] );
+    ]

@@ -1,0 +1,377 @@
+(* Edge cases and error paths: value operations, schema validation,
+   cardinalities, failed rules, watch/unwatch, live re-clustering, tag
+   invalidation, deep graphs. *)
+
+module Value = Cactis.Value
+module Schema = Cactis.Schema
+module Rule = Cactis.Rule
+module Db = Cactis.Db
+module Engine = Cactis.Engine
+module Errors = Cactis.Errors
+module Vtime = Cactis_util.Vtime
+
+let int n = Value.Int n
+
+(* ------------------------------------------------------------------ *)
+(* Value module                                                        *)
+
+let test_value_arith () =
+  Alcotest.(check string) "int add" "7" (Value.to_string (Value.add (int 3) (int 4)));
+  Alcotest.(check string) "mixed add widens" "7.5"
+    (Value.to_string (Value.add (int 3) (Value.Float 4.5)));
+  Alcotest.(check string) "string concat" "\"ab\""
+    (Value.to_string (Value.add (Value.Str "a") (Value.Str "b")));
+  Alcotest.(check string) "time plus days" "day 4.50"
+    (Value.to_string (Value.add (Value.Time (Vtime.of_days 3.0)) (Value.Float 1.5)));
+  Alcotest.(check string) "time difference" "2"
+    (Value.to_string (Value.sub (Value.Time (Vtime.of_days 5.0)) (Value.Time (Vtime.of_days 3.0))));
+  (match Value.div (int 1) (int 0) with
+  | _ -> Alcotest.fail "div by zero"
+  | exception Errors.Type_error _ -> ());
+  match Value.add (Value.Bool true) (int 1) with
+  | _ -> Alcotest.fail "bool + int"
+  | exception Errors.Type_error _ -> ()
+
+let test_value_aggregates () =
+  Alcotest.(check string) "sum empty" "0" (Value.to_string (Value.sum []));
+  Alcotest.(check string) "sum" "6" (Value.to_string (Value.sum [ int 1; int 2; int 3 ]));
+  Alcotest.(check string) "max with default" "5"
+    (Value.to_string (Value.max_ ~default:(int 5) []));
+  (match Value.max_ [] with
+  | _ -> Alcotest.fail "max of empty without default"
+  | exception Errors.Type_error _ -> ());
+  Alcotest.(check string) "all of empty" "true" (Value.to_string (Value.all_ []));
+  Alcotest.(check string) "any of empty" "false" (Value.to_string (Value.any_ []))
+
+let test_value_compare () =
+  Alcotest.(check bool) "int < float cross" true (Value.lt (int 1) (Value.Float 1.5));
+  Alcotest.(check bool) "arrays lexicographic" true
+    (Value.lt (Value.Arr [| int 1; int 2 |]) (Value.Arr [| int 1; int 3 |]));
+  Alcotest.(check bool) "shorter array first" true
+    (Value.lt (Value.Arr [| int 1 |]) (Value.Arr [| int 1; int 0 |]));
+  Alcotest.(check bool) "records equal" true
+    (Value.equal (Value.Rec [ ("a", int 1) ]) (Value.Rec [ ("a", int 1) ]));
+  Alcotest.(check string) "record field" "1"
+    (Value.to_string (Value.field (Value.Rec [ ("a", int 1) ]) "a"));
+  match Value.field (Value.Rec []) "missing" with
+  | _ -> Alcotest.fail "missing field"
+  | exception Errors.Type_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Schema validation                                                   *)
+
+let test_schema_validation () =
+  let sch = Schema.create () in
+  Schema.add_type sch "t";
+  (match Schema.add_type sch "t" with
+  | _ -> Alcotest.fail "duplicate type"
+  | exception Errors.Type_error _ -> ());
+  Schema.add_attr sch ~type_name:"t" (Rule.intrinsic "x" (int 0));
+  (match Schema.add_attr sch ~type_name:"t" (Rule.intrinsic "x" (int 0)) with
+  | _ -> Alcotest.fail "duplicate attr"
+  | exception Errors.Type_error _ -> ());
+  (* Rule reading an unknown attribute is rejected eagerly. *)
+  (match Schema.add_attr sch ~type_name:"t" (Rule.derived "bad" (Rule.copy_self "nope")) with
+  | _ -> Alcotest.fail "unknown source attr"
+  | exception Errors.Type_error _ -> ());
+  (* Rule reading an unknown relationship is rejected eagerly. *)
+  (match
+     Schema.add_attr sch ~type_name:"t" (Rule.derived "bad" (Rule.sum_rel "norel" "x"))
+   with
+  | _ -> Alcotest.fail "unknown source rel"
+  | exception Errors.Type_error _ -> ());
+  (* Constraints only attach to derived attributes. *)
+  (match
+     Schema.add_attr sch ~type_name:"t"
+       {
+         Schema.attr_name = "c";
+         kind = Schema.Intrinsic (Value.Bool true);
+         constraint_ = Some { Schema.message = "m"; recovery = None };
+       }
+   with
+  | _ -> Alcotest.fail "constraint on intrinsic"
+  | exception Errors.Type_error _ -> ());
+  match Schema.add_rel sch ~type_name:"t"
+          { Schema.rel_name = "r"; target = "missing"; inverse = "ri"; card = Schema.Multi;
+            polarity = Schema.Plug }
+  with
+  | _ -> Alcotest.fail "unknown target type"
+  | exception Errors.Unknown _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Cardinalities and link errors                                       *)
+
+let one_schema () =
+  let sch = Schema.create () in
+  Schema.add_type sch "person";
+  Schema.add_type sch "car";
+  Schema.declare_relationship sch ~from_type:"car" ~rel:"owner" ~to_type:"person"
+    ~inverse:"cars" ~card:Schema.One ~inverse_card:Schema.Multi;
+  Schema.add_attr sch ~type_name:"person" (Rule.intrinsic "name" (Value.Str ""));
+  Schema.add_attr sch ~type_name:"car" (Rule.intrinsic "plate" (Value.Str ""));
+  sch
+
+let test_one_cardinality () =
+  let db = Db.create (one_schema ()) in
+  let alice = Db.create_instance db "person" in
+  let bob = Db.create_instance db "person" in
+  let car = Db.create_instance db "car" in
+  Db.link db ~from_id:car ~rel:"owner" ~to_id:alice;
+  (match Db.link db ~from_id:car ~rel:"owner" ~to_id:bob with
+  | _ -> Alcotest.fail "expected cardinality violation"
+  | exception Errors.Cardinality _ -> ());
+  (* Relinking after unlink is fine. *)
+  Db.unlink db ~from_id:car ~rel:"owner" ~to_id:alice;
+  Db.link db ~from_id:car ~rel:"owner" ~to_id:bob;
+  Alcotest.(check (list int)) "owner" [ bob ] (Db.related db car "owner")
+
+let test_link_errors () =
+  let db = Db.create (one_schema ()) in
+  let alice = Db.create_instance db "person" in
+  let car = Db.create_instance db "car" in
+  (* Wrong target type. *)
+  (match Db.link db ~from_id:car ~rel:"owner" ~to_id:car with
+  | _ -> Alcotest.fail "type mismatch"
+  | exception Errors.Type_error _ -> ());
+  (* Unknown relationship. *)
+  (match Db.link db ~from_id:car ~rel:"wheels" ~to_id:alice with
+  | _ -> Alcotest.fail "unknown rel"
+  | exception Errors.Unknown _ -> ());
+  (* Unlink of a non-existent link. *)
+  match Db.unlink db ~from_id:car ~rel:"owner" ~to_id:alice with
+  | _ -> Alcotest.fail "no such link"
+  | exception Errors.Unknown _ -> ()
+
+let test_set_errors () =
+  let db = Db.create (one_schema ()) in
+  let alice = Db.create_instance db "person" in
+  (match Db.set db alice "nope" (int 1) with
+  | _ -> Alcotest.fail "unknown attr"
+  | exception Errors.Unknown _ -> ());
+  (match Db.get db 999 "name" with
+  | _ -> Alcotest.fail "unknown instance"
+  | exception Errors.Unknown _ -> ());
+  (* Failed auto-op must not leave a transaction open or history entry. *)
+  Alcotest.(check bool) "no txn open" false (Db.in_txn db);
+  Alcotest.(check int) "history unchanged" 1 (Db.position db)
+
+(* ------------------------------------------------------------------ *)
+(* Engine edge cases                                                   *)
+
+let node_schema () =
+  let sch = Schema.create () in
+  Schema.add_type sch "node";
+  Schema.declare_relationship sch ~from_type:"node" ~rel:"deps" ~to_type:"node" ~inverse:"rdeps"
+    ~card:Schema.Multi ~inverse_card:Schema.Multi;
+  Schema.add_attr sch ~type_name:"node" (Rule.intrinsic "local" (int 1));
+  Schema.add_attr sch ~type_name:"node"
+    (Rule.derived "total"
+       (Rule.combine_self_rel "local" "deps" "total" ~f:(fun own totals ->
+            Value.add own (Value.sum totals))));
+  sch
+
+let test_failing_rule_recoverable () =
+  let sch = node_schema () in
+  (* A rule that raises on specific inputs; the database must remain
+     usable after the failure. *)
+  Schema.add_attr sch ~type_name:"node"
+    (Rule.derived "picky"
+       (Rule.map1 "local" (fun v ->
+            if Value.as_int v = 13 then Errors.type_error "unlucky" else v)));
+  let db = Db.create sch in
+  let a = Db.create_instance db "node" in
+  Alcotest.(check string) "works initially" "1" (Value.to_string (Db.get db a "picky"));
+  (* "picky" is watched now, so the auto-commit of the poisoned update
+     propagates, hits the failing rule, and rolls the update back. *)
+  (match Db.set db a "local" (int 13) with
+  | _ -> Alcotest.fail "expected rule failure at commit"
+  | exception Errors.Type_error _ -> ());
+  Alcotest.(check string) "poisoned update rolled back" "1"
+    (Value.to_string (Db.get db a "local"));
+  (* The database stays usable; no stale In_progress state. *)
+  Db.set db a "local" (int 14);
+  Alcotest.(check string) "usable after failure" "14" (Value.to_string (Db.get db a "picky"));
+  Alcotest.(check string) "other attrs fine" "14" (Value.to_string (Db.get db a "total"))
+
+let test_undeclared_source_read_fails () =
+  let sch = node_schema () in
+  Schema.add_attr sch ~type_name:"node"
+    (Rule.derived "cheater"
+       { Schema.sources = [ Schema.Self "local" ];
+         compute = (fun env -> env.Schema.self_value "total") });
+  let db = Db.create sch in
+  let a = Db.create_instance db "node" in
+  match Db.get db a "cheater" with
+  | _ -> Alcotest.fail "undeclared read must fail"
+  | exception Errors.Type_error _ -> ()
+
+let test_watch_unwatch () =
+  let db = Db.create (node_schema ()) in
+  let a = Db.create_instance db "node" in
+  let b = Db.create_instance db "node" in
+  Db.link db ~from_id:a ~rel:"deps" ~to_id:b;
+  ignore (Db.get db a "total");
+  let c = Db.counters db in
+  (* Watched: a change evaluates at commit. *)
+  let before = Cactis_util.Counters.get c "rule_evals" in
+  Db.set db b "local" (int 5);
+  Alcotest.(check bool) "watched -> evaluated eagerly" true
+    (Cactis_util.Counters.get c "rule_evals" > before);
+  (* Unwatched: the same change only marks. *)
+  Db.unwatch db a "total";
+  Db.unwatch db b "total";
+  let before = Cactis_util.Counters.get c "rule_evals" in
+  Db.set db b "local" (int 6);
+  Alcotest.(check int) "unwatched -> lazy" before (Cactis_util.Counters.get c "rule_evals")
+
+let test_recluster_preserves_semantics () =
+  let db = Db.create ~block_capacity:2 ~buffer_capacity:2 (node_schema ()) in
+  let ids = Array.init 20 (fun _ -> Db.create_instance db "node") in
+  for i = 0 to 18 do
+    Db.link db ~from_id:ids.(i) ~rel:"deps" ~to_id:ids.(i + 1)
+  done;
+  ignore (Db.get db ids.(0) "total");
+  let before = Value.to_string (Db.get db ids.(0) "total") in
+  let blocks = Db.recluster db in
+  Alcotest.(check bool) "some blocks" true (blocks >= 10);
+  Alcotest.(check string) "value unchanged" before (Value.to_string (Db.get db ids.(0) "total"));
+  Db.set db ids.(19) "local" (int 42);
+  (* 19 nodes at 1 plus the updated tail at 42. *)
+  Alcotest.(check string) "updates still propagate" "61"
+    (Value.to_string (Db.get db ids.(0) "total"))
+
+let test_version_branches () =
+  (* Committing after a checkout grows a sibling branch; the old branch
+     stays reachable through its tag (version trees, §3). *)
+  let db = Db.create (node_schema ()) in
+  let a = Db.create_instance db "node" in
+  Db.set db a "local" (int 2);
+  Db.tag db "v1";
+  Db.set db a "local" (int 3);
+  Db.tag db "v2";
+  Db.checkout db "v1";
+  Db.set db a "local" (int 99);
+  Db.tag db "branch2";
+  (* Cross-branch checkout through the common ancestor. *)
+  Db.checkout db "v2";
+  Alcotest.(check string) "old branch intact" "3" (Value.to_string (Db.get db a "local"));
+  Db.checkout db "branch2";
+  Alcotest.(check string) "new branch intact" "99" (Value.to_string (Db.get db a "local"));
+  Db.checkout db "v1";
+  Alcotest.(check string) "common ancestor" "2" (Value.to_string (Db.get db a "local"));
+  (* Unknown tags still fail loudly. *)
+  match Db.checkout db "nope" with
+  | _ -> Alcotest.fail "unknown tag"
+  | exception Errors.Unknown _ -> ()
+
+let test_abort_with_create_delete () =
+  let db = Db.create (node_schema ()) in
+  let a = Db.create_instance db "node" in
+  Db.set db a "local" (int 5);
+  let count_before = List.length (Db.instance_ids db) in
+  Db.begin_txn db;
+  let b = Db.create_instance db "node" in
+  Db.link db ~from_id:a ~rel:"deps" ~to_id:b;
+  Db.delete_instance db b;
+  let c = Db.create_instance db "node" in
+  Db.link db ~from_id:a ~rel:"deps" ~to_id:c;
+  Db.abort db;
+  Alcotest.(check int) "instances restored" count_before (List.length (Db.instance_ids db));
+  Alcotest.(check (list int)) "links restored" [] (Db.related db a "deps");
+  Alcotest.(check string) "value intact" "5" (Value.to_string (Db.get db a "local"))
+
+let test_deep_chain_no_stack_overflow () =
+  (* The chunked evaluator must handle depth far beyond the OCaml stack
+     comfort zone for recursive evaluators with small frames. *)
+  let db = Db.create (node_schema ()) in
+  let n = 30_000 in
+  let ids = Array.init n (fun _ -> Db.create_instance db "node") in
+  for i = 0 to n - 2 do
+    Db.link db ~from_id:ids.(i) ~rel:"deps" ~to_id:ids.(i + 1)
+  done;
+  Alcotest.(check string) "deep total" (string_of_int n)
+    (Value.to_string (Db.get db ids.(0) "total"))
+
+let test_explain_tree () =
+  let db = Db.create (node_schema ()) in
+  let a = Db.create_instance db "node" in
+  let b = Db.create_instance db "node" in
+  let c = Db.create_instance db "node" in
+  (* a depends on b and c; b depends on c (shared sub-derivation). *)
+  Db.link db ~from_id:a ~rel:"deps" ~to_id:b;
+  Db.link db ~from_id:a ~rel:"deps" ~to_id:c;
+  Db.link db ~from_id:b ~rel:"deps" ~to_id:c;
+  (* watch:false — a later change must leave the value lazily stale so
+     the explanation can show it. *)
+  ignore (Db.get db ~watch:false a "total");
+  let module E = Cactis.Explain in
+  let t = E.tree db a "total" in
+  Alcotest.(check bool) "root fresh" true t.E.fresh;
+  Alcotest.(check int) "root children: local + 2 deps" 3 (List.length t.E.children);
+  (* c's total appears twice in the graph; the second occurrence is
+     marked shared, not re-expanded. *)
+  let rec count_kind kind (n : E.node) =
+    (if n.E.kind = kind && n.E.attr = "total" && n.E.id = c then 1 else 0)
+    + List.fold_left (fun acc ch -> acc + count_kind kind ch) 0 n.E.children
+  in
+  Alcotest.(check int) "c expanded once" 1 (count_kind `Derived t);
+  Alcotest.(check int) "c shared once" 1 (count_kind `Shared t);
+  (* Staleness is visible without evaluating. *)
+  Db.set db c "local" (int 10);
+  let t2 = E.tree db a "total" in
+  Alcotest.(check bool) "root stale after change" false t2.E.fresh;
+  let rendered = E.render db a "total" in
+  Alcotest.(check bool) "render mentions staleness" true
+    (String.length rendered > 0
+    &&
+    let rec has_sub i =
+      i + 7 <= String.length rendered
+      && (String.sub rendered i 7 = "(stale)" || has_sub (i + 1))
+    in
+    has_sub 0);
+  (* Explaining must not evaluate. *)
+  Alcotest.(check bool) "still stale" true (Cactis.Engine.is_out_of_date (Db.engine db) a "total")
+
+let test_nested_txn_rejected () =
+  let db = Db.create (node_schema ()) in
+  Db.begin_txn db;
+  (match Db.begin_txn db with
+  | _ -> Alcotest.fail "nested txn"
+  | exception Errors.Type_error _ -> ());
+  Db.abort db;
+  match Db.abort db with
+  | _ -> Alcotest.fail "double abort"
+  | exception Errors.Type_error _ -> ()
+
+let () =
+  Alcotest.run "cactis-edge"
+    [
+      ( "values",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_value_arith;
+          Alcotest.test_case "aggregates" `Quick test_value_aggregates;
+          Alcotest.test_case "comparison" `Quick test_value_compare;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "validation" `Quick test_schema_validation;
+          Alcotest.test_case "one cardinality" `Quick test_one_cardinality;
+          Alcotest.test_case "link errors" `Quick test_link_errors;
+          Alcotest.test_case "set/get errors" `Quick test_set_errors;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "failing rule recoverable" `Quick test_failing_rule_recoverable;
+          Alcotest.test_case "undeclared source rejected" `Quick test_undeclared_source_read_fails;
+          Alcotest.test_case "watch/unwatch" `Quick test_watch_unwatch;
+          Alcotest.test_case "recluster preserves semantics" `Quick test_recluster_preserves_semantics;
+          Alcotest.test_case "deep chain (chunked evaluator)" `Quick test_deep_chain_no_stack_overflow;
+          Alcotest.test_case "explain tree" `Quick test_explain_tree;
+        ] );
+      ( "transactions",
+        [
+          Alcotest.test_case "version branches" `Quick test_version_branches;
+          Alcotest.test_case "abort create/delete" `Quick test_abort_with_create_delete;
+          Alcotest.test_case "nested txn rejected" `Quick test_nested_txn_rejected;
+        ] );
+    ]

@@ -1,0 +1,155 @@
+(* Full-pipeline property: random schemas through the DDL -> typecheck ->
+   elaborate -> populate -> incremental evaluation vs oracle.
+
+   The generator produces well-formed schemas by construction:
+   - each class has int intrinsics [a0..], derived rules [r0..] where
+     rule k only references intrinsics, earlier rules of the same
+     instance, or any rule/intrinsic across the class's self-relationship
+     (cross-instance references terminate because instance links are
+     created old->new, keeping the data graph acyclic);
+   - optionally a transmission alias is declared and read through.
+
+   Properties checked per generated schema:
+   - the type checker accepts it and infers int for every rule;
+   - after random instances/links/sets, every derived attribute equals
+     the from-scratch oracle;
+   - the structural integrity auditor stays clean. *)
+
+module Value = Cactis.Value
+module Db = Cactis.Db
+module Engine = Cactis.Engine
+module Rng = Cactis_util.Rng
+
+type gen_schema = {
+  seed : int;
+  classes : int;  (* 1..2 *)
+  intrinsics : int;  (* 1..3 per class *)
+  rules : int;  (* 1..3 per class *)
+  instances : int;  (* 2..12 *)
+  ops : int;  (* 0..20 *)
+  use_alias : bool;
+}
+
+let gen =
+  QCheck.Gen.(
+    let* seed = int_range 0 100_000 in
+    let* classes = int_range 1 2 in
+    let* intrinsics = int_range 1 3 in
+    let* rules = int_range 1 3 in
+    let* instances = int_range 2 12 in
+    let* ops = int_range 0 20 in
+    let* use_alias = bool in
+    return { seed; classes; intrinsics; rules; instances; ops; use_alias })
+
+let print_cfg c =
+  Printf.sprintf "seed=%d classes=%d intr=%d rules=%d inst=%d ops=%d alias=%b" c.seed c.classes
+    c.intrinsics c.rules c.instances c.ops c.use_alias
+
+(* Build the DDL source for one random schema. *)
+let schema_source cfg =
+  let rng = Rng.create cfg.seed in
+  let buf = Buffer.create 512 in
+  for c = 0 to cfg.classes - 1 do
+    let cname = Printf.sprintf "k%d" c in
+    Buffer.add_string buf (Printf.sprintf "object class %s is\n" cname);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  relationships\n    down : %s multi socket inverse up;\n    up : %s multi plug inverse down;\n"
+         cname cname);
+    Buffer.add_string buf "  attributes\n";
+    for a = 0 to cfg.intrinsics - 1 do
+      Buffer.add_string buf (Printf.sprintf "    a%d : int := %d;\n" a (Rng.int rng 10))
+    done;
+    Buffer.add_string buf "  rules\n";
+    for r = 0 to cfg.rules - 1 do
+      (* Safe expression: combination of intrinsics, earlier same-instance
+         rules, and aggregates across [down]. *)
+      let atom () =
+        match Rng.int rng (if r > 0 then 4 else 3) with
+        | 0 -> string_of_int (Rng.int rng 20)
+        | 1 -> Printf.sprintf "a%d" (Rng.int rng cfg.intrinsics)
+        | 2 ->
+          (* Cross-instance: may reference any rule or intrinsic, including
+             this very rule (recursion over the DAG), or an alias. *)
+          let target =
+            if cfg.use_alias && Rng.chance rng 0.3 then "exported"
+            else if Rng.bool rng then Printf.sprintf "r%d" (Rng.int rng cfg.rules)
+            else Printf.sprintf "a%d" (Rng.int rng cfg.intrinsics)
+          in
+          let agg = match Rng.int rng 3 with 0 -> "sum" | 1 -> "max" | _ -> "min" in
+          Printf.sprintf "%s(down.%s default 0)" agg target
+        | _ -> Printf.sprintf "r%d" (Rng.int rng r)
+      in
+      let op = match Rng.int rng 3 with 0 -> "+" | 1 -> "-" | _ -> "*" in
+      Buffer.add_string buf (Printf.sprintf "    r%d = %s %s %s;\n" r (atom ()) op (atom ()))
+    done;
+    if cfg.use_alias then
+      Buffer.add_string buf "  transmits\n    up.exported = r0;\n";
+    Buffer.add_string buf "end object;\n"
+  done;
+  Buffer.contents buf
+
+let run_pipeline cfg =
+  let src = schema_source cfg in
+  let items = Cactis_ddl.Parser.parse_schema src in
+  (* 1: type checking accepts, everything infers to int *)
+  let type_errors = Cactis_ddl.Typecheck.check items in
+  if type_errors <> [] then
+    QCheck.Test.fail_reportf "type errors in generated schema:\n%s\n%s"
+      (String.concat "\n" type_errors) src;
+  let db = Db.create (Cactis_ddl.Elaborate.schema items) in
+  let rng = Rng.create (cfg.seed + 1) in
+  (* 2: populate: instances round-robin across classes; links old->new
+     within the same class *)
+  let ids =
+    Array.init cfg.instances (fun i -> Db.create_instance db (Printf.sprintf "k%d" (i mod cfg.classes)))
+  in
+  Array.iteri
+    (fun i id ->
+      if i >= cfg.classes && Rng.chance rng 0.7 then begin
+        (* link to a same-class newer instance: [down] points old->new *)
+        let candidates =
+          Array.to_list ids
+          |> List.filteri (fun j _ -> j > i && j mod cfg.classes = i mod cfg.classes)
+        in
+        match candidates with
+        | [] -> ()
+        | l ->
+          let target = Rng.pick_list rng l in
+          if not (List.mem target (Db.related db id "down")) then
+            Db.link db ~from_id:id ~rel:"down" ~to_id:target
+      end)
+    ids;
+  (* 3: random updates and queries *)
+  for _ = 1 to cfg.ops do
+    let id = ids.(Rng.int rng cfg.instances) in
+    if Rng.chance rng 0.6 then
+      Db.set db id (Printf.sprintf "a%d" (Rng.int rng cfg.intrinsics)) (Value.Int (Rng.int rng 50))
+    else
+      ignore (Db.get db ~watch:(Rng.bool rng) id (Printf.sprintf "r%d" (Rng.int rng cfg.rules)))
+  done;
+  (* 4: every derived value matches the oracle; structure intact *)
+  let ok_values =
+    Array.for_all
+      (fun id ->
+        List.for_all
+          (fun r ->
+            let attr = Printf.sprintf "r%d" r in
+            Value.equal (Db.get db ~watch:false id attr)
+              (Engine.oracle_value (Db.engine db) id attr))
+          (List.init cfg.rules (fun r -> r)))
+      ids
+  in
+  let clean = Cactis.Integrity.check db = [] in
+  if not ok_values then QCheck.Test.fail_reportf "oracle mismatch for schema:\n%s" src;
+  if not clean then QCheck.Test.fail_reportf "integrity violation for schema:\n%s" src;
+  true
+
+let prop_pipeline =
+  QCheck.Test.make ~name:"random schemas: typecheck, elaborate, evaluate, oracle" ~count:150
+    (QCheck.make ~print:print_cfg gen)
+    run_pipeline
+
+let () =
+  Alcotest.run "cactis-gen-schema"
+    [ ("pipeline", [ QCheck_alcotest.to_alcotest prop_pipeline ]) ]

@@ -1,0 +1,159 @@
+(* Attribute index tests: exactness against a full scan, incremental
+   maintenance, staleness discipline on derived attributes. *)
+
+module Value = Cactis.Value
+module Schema = Cactis.Schema
+module Rule = Cactis.Rule
+module Db = Cactis.Db
+module Index = Cactis.Index
+module Counters = Cactis_util.Counters
+
+let int n = Value.Int n
+
+let schema () =
+  let sch = Schema.create () in
+  Schema.add_type sch "task";
+  Schema.declare_relationship sch ~from_type:"task" ~rel:"deps" ~to_type:"task" ~inverse:"rdeps"
+    ~card:Schema.Multi ~inverse_card:Schema.Multi;
+  Schema.add_attr sch ~type_name:"task" (Rule.intrinsic "priority" (int 1));
+  Schema.add_attr sch ~type_name:"task"
+    (Rule.derived "blocked" (Rule.count_rel "deps" "priority"));
+  sch
+
+let scan db attr v =
+  Db.instances_of_type db "task"
+  |> List.filter (fun id -> Value.equal (Db.get db ~watch:false id attr) v)
+
+let test_intrinsic_index () =
+  let db = Db.create (schema ()) in
+  let idx = Index.create db ~type_name:"task" ~attr:"priority" in
+  let ids = Array.init 20 (fun i ->
+      let id = Db.create_instance db "task" in
+      Db.set db id "priority" (int (i mod 4));
+      id)
+  in
+  List.iter
+    (fun p ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "priority %d" p)
+        (scan db "priority" (int p))
+        (Index.lookup idx (int p)))
+    [ 0; 1; 2; 3; 9 ];
+  (* Updates move instances between buckets. *)
+  Db.set db ids.(0) "priority" (int 9);
+  Alcotest.(check (list int)) "moved" [ ids.(0) ] (Index.lookup idx (int 9));
+  Alcotest.(check bool) "gone from old bucket" false
+    (List.mem ids.(0) (Index.lookup idx (int 0)));
+  (* Deletion removes. *)
+  Db.delete_instance db ids.(0);
+  Alcotest.(check (list int)) "deleted" [] (Index.lookup idx (int 9))
+
+let test_derived_index_staleness () =
+  let db = Db.create (schema ()) in
+  let idx = Index.create db ~type_name:"task" ~attr:"blocked" in
+  let a = Db.create_instance db "task" in
+  let b = Db.create_instance db "task" in
+  let c = Db.create_instance db "task" in
+  Db.link db ~from_id:a ~rel:"deps" ~to_id:b;
+  Alcotest.(check (list int)) "a blocked by one" [ a ] (Index.lookup idx (int 1));
+  Alcotest.(check bool) "lookup settled staleness" true (Index.stale_count idx = 0);
+  (* Structural change marks 'blocked' stale; the index answers exactly
+     after forcing only the stale instance. *)
+  Db.link db ~from_id:a ~rel:"deps" ~to_id:c;
+  Alcotest.(check bool) "stale after link" true (Index.stale_count idx >= 1);
+  Alcotest.(check (list int)) "a now blocked by two" [ a ] (Index.lookup idx (int 2));
+  Alcotest.(check (list int)) "bucket 1 vacated" [] (Index.lookup idx (int 1))
+
+let test_index_distinct_values () =
+  let db = Db.create (schema ()) in
+  let idx = Index.create db ~type_name:"task" ~attr:"priority" in
+  List.iter
+    (fun p ->
+      let id = Db.create_instance db "task" in
+      Db.set db id "priority" (int p))
+    [ 3; 1; 3; 7 ];
+  Alcotest.(check (list string)) "distinct" [ "1"; "3"; "7" ]
+    (List.map Value.to_string (Index.distinct_values idx))
+
+let test_index_undo () =
+  let db = Db.create (schema ()) in
+  let idx = Index.create db ~type_name:"task" ~attr:"priority" in
+  let a = Db.create_instance db "task" in
+  Db.set db a "priority" (int 5);
+  Alcotest.(check (list int)) "before" [ a ] (Index.lookup idx (int 5));
+  Db.set db a "priority" (int 6);
+  Db.undo_last db;
+  Alcotest.(check (list int)) "undo restores bucket" [ a ] (Index.lookup idx (int 5));
+  Alcotest.(check (list int)) "undone bucket empty" [] (Index.lookup idx (int 6))
+
+(* Property: after arbitrary operations, index lookups equal full scans
+   for every distinct value. *)
+let prop_index_matches_scan =
+  let op_gen =
+    QCheck.Gen.(
+      frequency
+        [
+          (3, return `Create);
+          (6, map2 (fun i v -> `Set (i, v)) (int_range 0 20) (int_range 0 5));
+          (3, map2 (fun i j -> `Link (i, j)) (int_range 0 20) (int_range 0 20));
+          (1, map (fun i -> `Delete i) (int_range 0 20));
+          (1, return `Undo);
+        ])
+  in
+  QCheck.Test.make ~name:"index lookup equals full scan" ~count:100
+    (QCheck.make
+       ~print:(fun ops -> Printf.sprintf "%d ops" (List.length ops))
+       QCheck.Gen.(list_size (int_range 1 40) op_gen))
+    (fun ops ->
+      let db = Db.create (schema ()) in
+      let idx_p = Index.create db ~type_name:"task" ~attr:"priority" in
+      let idx_b = Index.create db ~type_name:"task" ~attr:"blocked" in
+      let created = ref [] in
+      let live i =
+        match !created with
+        | [] -> None
+        | l -> (
+          match List.nth_opt l (i mod List.length l) with
+          | Some id when List.mem id (Db.instance_ids db) -> Some id
+          | Some _ | None -> None)
+      in
+      List.iter
+        (fun op ->
+          match op with
+          | `Create -> created := !created @ [ Db.create_instance db "task" ]
+          | `Set (i, v) -> (
+            match live i with Some id -> Db.set db id "priority" (int v) | None -> ())
+          | `Link (i, j) -> (
+            match (live i, live j) with
+            | Some a, Some b when a <> b ->
+              let from_id = min a b and to_id = max a b in
+              if not (List.mem to_id (Db.related db from_id "deps")) then
+                Db.link db ~from_id ~rel:"deps" ~to_id
+            | _ -> ())
+          | `Delete i -> ( match live i with Some id -> Db.delete_instance db id | None -> ())
+          | `Undo -> if Db.position db > 0 then Db.undo_last db)
+        ops;
+      let check_index idx attr =
+        let values = Index.distinct_values idx in
+        List.for_all (fun v -> Index.lookup idx v = scan db attr v) values
+        (* and no value is missing from the index *)
+        && List.for_all
+             (fun id ->
+               let v = Db.get db ~watch:false id attr in
+               List.mem id (Index.lookup idx v))
+             (Db.instances_of_type db "task")
+      in
+      check_index idx_p "priority" && check_index idx_b "blocked")
+
+let () =
+  Alcotest.run "cactis-index"
+    [
+      ( "index",
+        [
+          Alcotest.test_case "intrinsic index" `Quick test_intrinsic_index;
+          Alcotest.test_case "derived index staleness" `Quick test_derived_index_staleness;
+          Alcotest.test_case "distinct values" `Quick test_index_distinct_values;
+          Alcotest.test_case "undo maintains index" `Quick test_index_undo;
+          QCheck_alcotest.to_alcotest prop_index_matches_scan;
+        ] );
+    ]

@@ -1,0 +1,129 @@
+(* The paper's own §2.1 running example, verbatim:
+
+   "the type Persons may have a relationship called Mother, which points
+   back to Persons, and a relationship called Cars which points to the
+   type Automobiles.  A Car Buff might be defined as the subtype defined
+   by the predicate which calculates all Persons who own more than three
+   cars.  A constraint might be that all Persons must own at least one
+   car." *)
+
+module Value = Cactis.Value
+module Db = Cactis.Db
+module Errors = Cactis.Errors
+module Elaborate = Cactis_ddl.Elaborate
+module Typecheck = Cactis_ddl.Typecheck
+module Parser = Cactis_ddl.Parser
+
+let persons_src =
+  {|
+  object class automobiles is
+    relationships
+      owner : persons one socket inverse cars;
+    attributes
+      plate : string;
+  end object;
+
+  object class persons is
+    relationships
+      mother   : persons multi socket inverse children;
+      children : persons multi plug   inverse mother;
+      cars     : automobiles multi plug inverse owner;
+    attributes
+      name : string;
+      age  : int := 0;
+    rules
+      car_count = count(cars.plate);
+    constraints
+      owns_a_car = car_count >= 1 message "all Persons must own at least one car";
+  end object;
+
+  subtype car_buff of persons where car_count > 3 end subtype;
+|}
+
+let give_car db person plate =
+  Db.with_txn db (fun () ->
+      let car = Db.create_instance db "automobiles" in
+      Db.set db car "plate" (Value.Str plate);
+      Db.link db ~from_id:person ~rel:"cars" ~to_id:car;
+      car)
+
+let new_person db name =
+  (* Creating a person trips the at-least-one-car constraint unless a car
+     arrives in the same transaction — exactly the semantics of a
+     constraint checked at commit. *)
+  Db.with_txn db (fun () ->
+      let p = Db.create_instance db "persons" in
+      Db.set db p "name" (Value.Str name);
+      let car = Db.create_instance db "automobiles" in
+      Db.set db car "plate" (Value.Str (name ^ "-car-1"));
+      Db.link db ~from_id:p ~rel:"cars" ~to_id:car;
+      p)
+
+let test_schema_checks () =
+  Alcotest.(check (list string)) "type-checks" [] (Typecheck.check (Parser.parse_schema persons_src))
+
+let test_constraint_at_least_one_car () =
+  let db = Db.create (Elaborate.load_string persons_src) in
+  (* A carless person cannot be committed... *)
+  (match
+     Db.with_txn db (fun () ->
+         let p = Db.create_instance db "persons" in
+         Db.set db p "name" (Value.Str "walker"))
+   with
+  | _ -> Alcotest.fail "expected constraint violation"
+  | exception Errors.Constraint_violation { message; _ } ->
+    Alcotest.(check string) "paper's constraint" "all Persons must own at least one car" message);
+  Alcotest.(check (list int)) "rolled back" [] (Db.instances_of_type db "persons");
+  (* ...but a person created together with a car commits. *)
+  let p = new_person db "driver" in
+  Alcotest.(check int) "one car" 1 (Value.as_int (Db.get db p "car_count"))
+
+let test_car_buff_subtype () =
+  let db = Db.create (Elaborate.load_string persons_src) in
+  let alice = new_person db "alice" in
+  let bob = new_person db "bob" in
+  Alcotest.(check (list int)) "no car buffs yet" [] (Db.subtype_members db "car_buff");
+  (* Alice accumulates cars; "more than three" means the fourth tips her
+     over. *)
+  ignore (give_car db alice "A-2");
+  ignore (give_car db alice "A-3");
+  Alcotest.(check bool) "three cars: not yet a buff" false (Db.in_subtype db alice "car_buff");
+  ignore (give_car db alice "A-4");
+  Alcotest.(check bool) "four cars: car buff" true (Db.in_subtype db alice "car_buff");
+  Alcotest.(check (list int)) "membership" [ alice ] (Db.subtype_members db "car_buff");
+  (* Selling a car (breaking the link) demotes her — but she may not drop
+     below one car. *)
+  let car = List.hd (Db.related db alice "cars") in
+  Db.unlink db ~from_id:alice ~rel:"cars" ~to_id:car;
+  Alcotest.(check bool) "demoted" false (Db.in_subtype db alice "car_buff");
+  ignore bob
+
+let test_cannot_sell_last_car () =
+  let db = Db.create (Elaborate.load_string persons_src) in
+  let p = new_person db "carol" in
+  let car = List.hd (Db.related db p "cars") in
+  match Db.unlink db ~from_id:p ~rel:"cars" ~to_id:car with
+  | _ -> Alcotest.fail "expected violation"
+  | exception Errors.Constraint_violation _ ->
+    Alcotest.(check int) "car kept" 1 (List.length (Db.related db p "cars"))
+
+let test_mother_relationship () =
+  let db = Db.create (Elaborate.load_string persons_src) in
+  let mum = new_person db "mum" in
+  let kid = new_person db "kid" in
+  Db.link db ~from_id:kid ~rel:"mother" ~to_id:mum;
+  Alcotest.(check (list int)) "mother" [ mum ] (Db.related db kid "mother");
+  Alcotest.(check (list int)) "children inverse" [ kid ] (Db.related db mum "children")
+
+let () =
+  Alcotest.run "cactis-paper-examples"
+    [
+      ( "persons-and-automobiles",
+        [
+          Alcotest.test_case "schema type-checks" `Quick test_schema_checks;
+          Alcotest.test_case "at-least-one-car constraint" `Quick test_constraint_at_least_one_car;
+          Alcotest.test_case "car buff subtype (> 3 cars)" `Quick test_car_buff_subtype;
+          Alcotest.test_case "cannot sell the last car" `Quick test_cannot_sell_last_car;
+          Alcotest.test_case "mother relationship" `Quick test_mother_relationship;
+        ] );
+    ]

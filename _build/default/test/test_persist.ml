@@ -1,0 +1,222 @@
+(* Snapshot persistence and ad-hoc query tests. *)
+
+module Value = Cactis.Value
+module Db = Cactis.Db
+module Schema = Cactis.Schema
+module Rule = Cactis.Rule
+module Errors = Cactis.Errors
+module Snapshot = Cactis.Snapshot
+module Query = Cactis_ddl.Query
+module Elaborate = Cactis_ddl.Elaborate
+
+let milestone_src =
+  {|
+  object class milestone is
+    relationships
+      depends_on  : milestone multi socket inverse consists_of;
+      consists_of : milestone multi plug   inverse depends_on;
+    attributes
+      name        : string;
+      sched_compl : time  := time(10);
+      local_work  : float := 1.0;
+    rules
+      exp_compl = max(depends_on.exp_compl default time(0)) + local_work;
+      late      = later_than(exp_compl, sched_compl);
+  end object;
+|}
+
+let build () =
+  let sch = Elaborate.load_string milestone_src in
+  let db = Db.create sch in
+  let add name work =
+    Db.with_txn db (fun () ->
+        let id = Db.create_instance db "milestone" in
+        Db.set db id "name" (Value.Str name);
+        Db.set db id "local_work" (Value.Float work);
+        id)
+  in
+  let a = add "a" 5.0 in
+  let b = add "b" 12.0 in
+  let c = add "c" 2.0 in
+  Db.link db ~from_id:b ~rel:"depends_on" ~to_id:a;
+  Db.link db ~from_id:c ~rel:"depends_on" ~to_id:b;
+  (db, a, b, c)
+
+(* ---- snapshot ---- *)
+
+let full_state db =
+  Db.instance_ids db
+  |> List.map (fun id ->
+         ( id,
+           Value.to_string (Db.get db ~watch:false id "name"),
+           Value.to_string (Db.get db ~watch:false id "local_work"),
+           Value.to_string (Db.get db ~watch:false id "exp_compl"),
+           List.sort compare (Db.related db id "depends_on"),
+           List.sort compare (Db.related db id "consists_of") ))
+
+let test_snapshot_roundtrip () =
+  let db, _, _, _ = build () in
+  let text = Snapshot.save db in
+  let db2 = Snapshot.load (Db.schema db) text in
+  Alcotest.(check bool) "identical state" true (full_state db = full_state db2)
+
+let test_snapshot_rederives () =
+  let db, a, _, c = build () in
+  let expected = Value.to_string (Db.get db c "exp_compl") in
+  let db2 = Snapshot.load (Db.schema db) (Snapshot.save db) in
+  Alcotest.(check string) "derived value rebuilt from intrinsics" expected
+    (Value.to_string (Db.get db2 c "exp_compl"));
+  (* And stays incremental after load. *)
+  Db.set db2 a "local_work" (Value.Float 50.0);
+  Alcotest.(check string) "ripples after load" "day 64.00"
+    (Value.to_string (Db.get db2 c "exp_compl"))
+
+let test_snapshot_no_derived_lines () =
+  let db, _, _, _ = build () in
+  let text = Snapshot.save db in
+  Alcotest.(check bool) "no derived attrs stored" false
+    (List.exists
+       (fun l ->
+         match String.split_on_char ' ' l with
+         | [ "attr"; _; a; _ ] -> a = "exp_compl" || a = "late"
+         | _ -> false)
+       (String.split_on_char '\n' text))
+
+let test_snapshot_bad_input () =
+  let db, _, _, _ = build () in
+  let sch = Db.schema db in
+  let expect_fail label text =
+    match Snapshot.load sch text with
+    | _ -> Alcotest.fail ("expected failure: " ^ label)
+    | exception (Snapshot.Parse_error _ | Errors.Unknown _ | Errors.Type_error _) -> ()
+  in
+  expect_fail "missing header" "instance 1 milestone\n";
+  expect_fail "derived attr" "cactis-snapshot 1\ninstance 1 milestone\nattr 1 late true\n";
+  expect_fail "unknown type" "cactis-snapshot 1\ninstance 1 nothing\n";
+  expect_fail "bad directive" "cactis-snapshot 1\nfrobnicate 12\n"
+
+let value_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return Value.Null;
+        map (fun b -> Value.Bool b) bool;
+        map (fun n -> Value.Int n) int;
+        map (fun f -> Value.Float f) (float_range (-1e6) 1e6);
+        return (Value.Float infinity);
+        map (fun s -> Value.Str s) (string_size ~gen:printable (int_range 0 12));
+        map (fun f -> Value.Time (Cactis_util.Vtime.of_days f)) (float_range 0.0 1000.0);
+        return (Value.Time Cactis_util.Vtime.far_future);
+      ]
+  in
+  let rec value n =
+    if n <= 0 then scalar
+    else
+      oneof
+        [
+          scalar;
+          map (fun l -> Value.Arr (Array.of_list l)) (list_size (int_range 0 4) (value (n - 1)));
+          map
+            (fun l -> Value.Rec (List.mapi (fun i v -> (Printf.sprintf "f%d" i, v)) l))
+            (list_size (int_range 0 4) (value (n - 1)));
+        ]
+  in
+  value 3
+
+let prop_value_roundtrip =
+  QCheck.Test.make ~name:"snapshot value encoding round-trips" ~count:500
+    (QCheck.make ~print:Value.to_string value_gen)
+    (fun v -> Value.equal (Snapshot.value_of_string (Snapshot.value_to_string v)) v)
+
+let test_snapshot_array_values () =
+  (* Array-valued intrinsics (the flow-analysis database) survive the
+     save/load cycle at database level. *)
+  let module F = Cactis_apps.Flowan in
+  let p =
+    F.Seq
+      ( F.Assign { target = "x"; uses = [ "input" ]; label = "X" },
+        F.Assign { target = "y"; uses = [ "x" ]; label = "Y" } )
+  in
+  let t = F.analyze ~exit_live:[ "y" ] p in
+  let db = F.db t in
+  let before =
+    List.map (fun n -> (n, F.live_in t n, F.reaching_in t n)) (F.nodes t)
+  in
+  let db2 = Snapshot.load (Db.schema db) (Snapshot.save db) in
+  List.iter
+    (fun (n, live, reach) ->
+      let live2 =
+        Value.as_array (Db.get db2 n "live_in") |> Array.to_list |> List.map Value.as_string
+      in
+      let reach2 =
+        Value.as_array (Db.get db2 n "reach_in") |> Array.to_list |> List.map Value.as_string
+      in
+      Alcotest.(check (list string)) "liveness preserved" live live2;
+      Alcotest.(check (list string)) "reaching preserved" reach reach2)
+    before
+
+(* ---- query ---- *)
+
+let test_query_select () =
+  let db, a, b, c = build () in
+  Alcotest.(check (list int)) "heavy work" [ b ]
+    (Query.select db ~type_name:"milestone" ~where:"local_work > 10.0");
+  Alcotest.(check (list int)) "late ones" [ b; c ]
+    (Query.select db ~type_name:"milestone" ~where:"late");
+  Alcotest.(check (list int)) "by name" [ a ]
+    (Query.select db ~type_name:"milestone" ~where:"name = \"a\"");
+  Alcotest.(check (list int)) "rel aggregate" [ a ]
+    (Query.select db ~type_name:"milestone" ~where:"count(consists_of.name) > 0 and local_work < 10.0")
+
+let test_query_eval_and_aggregate () =
+  let db, _, b, _ = build () in
+  Alcotest.(check string) "eval arith" "24"
+    (Value.to_string (Query.eval db b "local_work * 2"));
+  let total =
+    Query.aggregate db ~type_name:"milestone" ~expr:"local_work"
+      ~f:(fun acc v -> acc +. Value.as_float v)
+      ~init:0.0
+  in
+  Alcotest.(check (float 1e-9)) "aggregate sum" 19.0 total
+
+let test_query_errors () =
+  let db, _, _, _ = build () in
+  (match Query.select db ~type_name:"milestone" ~where:"local_work +" with
+  | _ -> Alcotest.fail "expected parse error"
+  | exception Query.Error _ -> ());
+  match Query.select db ~type_name:"milestone" ~where:"local_work + 1.0" with
+  | _ -> Alcotest.fail "expected boolean error"
+  | exception Query.Error _ -> ()
+
+let test_query_does_not_watch () =
+  let db, a, _, _ = build () in
+  ignore (Query.select db ~type_name:"milestone" ~where:"late");
+  (* A query must not make attributes permanently important: a subsequent
+     change should not trigger re-evaluation at commit. *)
+  let c = Db.counters db in
+  let before = Cactis_util.Counters.get c "rule_evals" in
+  Db.set db a "local_work" (Value.Float 30.0);
+  Alcotest.(check int) "no eager evals after ad-hoc query" before
+    (Cactis_util.Counters.get c "rule_evals")
+
+let () =
+  Alcotest.run "cactis-persist"
+    [
+      ( "snapshot",
+        [
+          Alcotest.test_case "round-trip" `Quick test_snapshot_roundtrip;
+          Alcotest.test_case "re-derives" `Quick test_snapshot_rederives;
+          Alcotest.test_case "intrinsics only" `Quick test_snapshot_no_derived_lines;
+          Alcotest.test_case "bad input rejected" `Quick test_snapshot_bad_input;
+          Alcotest.test_case "array values (flow db)" `Quick test_snapshot_array_values;
+          QCheck_alcotest.to_alcotest prop_value_roundtrip;
+        ] );
+      ( "query",
+        [
+          Alcotest.test_case "select" `Quick test_query_select;
+          Alcotest.test_case "eval + aggregate" `Quick test_query_eval_and_aggregate;
+          Alcotest.test_case "errors" `Quick test_query_errors;
+          Alcotest.test_case "no importance leak" `Quick test_query_does_not_watch;
+        ] );
+    ]

@@ -1,0 +1,449 @@
+(* Property-based tests of the core engine (qcheck via QCheck_alcotest).
+
+   The central property is oracle consistency: after an arbitrary
+   sequence of primitive operations, every derived attribute the user can
+   query equals a from-scratch recomputation from intrinsic values and
+   links.  Around it: undo/redo round-trips, equivalence of the
+   evaluation strategies, and the at-most-once evaluation invariant. *)
+
+module Value = Cactis.Value
+module Schema = Cactis.Schema
+module Rule = Cactis.Rule
+module Db = Cactis.Db
+module Engine = Cactis.Engine
+module Instance = Cactis.Instance
+module Store = Cactis.Store
+module Counters = Cactis_util.Counters
+
+let int n = Value.Int n
+
+(* ------------------------------------------------------------------ *)
+(* Random operation sequences                                          *)
+
+type op =
+  | Create
+  | Set_local of int * int  (* instance index, new value *)
+  | Link of int * int  (* indices; applied older -> newer to stay acyclic *)
+  | Unlink of int * int
+  | Delete of int
+  | Query of int
+  | Undo
+  | Redo
+
+let pp_op = function
+  | Create -> "create"
+  | Set_local (i, v) -> Printf.sprintf "set %d %d" i v
+  | Link (i, j) -> Printf.sprintf "link %d %d" i j
+  | Unlink (i, j) -> Printf.sprintf "unlink %d %d" i j
+  | Delete i -> Printf.sprintf "delete %d" i
+  | Query i -> Printf.sprintf "query %d" i
+  | Undo -> "undo"
+  | Redo -> "redo"
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, return Create);
+        (6, map2 (fun i v -> Set_local (i, v)) (int_range 0 30) (int_range 0 100));
+        (5, map2 (fun i j -> Link (i, j)) (int_range 0 30) (int_range 0 30));
+        (2, map2 (fun i j -> Unlink (i, j)) (int_range 0 30) (int_range 0 30));
+        (1, map (fun i -> Delete i) (int_range 0 30));
+        (4, map (fun i -> Query i) (int_range 0 30));
+        (1, return Undo);
+        (1, return Redo);
+      ])
+
+let ops_arbitrary ?(len = 50) () =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map pp_op ops))
+    QCheck.Gen.(list_size (int_range 1 len) op_gen)
+
+(* The node schema of the experiments: total = local + sum(deps.total). *)
+let node_schema () =
+  let sch = Schema.create () in
+  Schema.add_type sch "node";
+  Schema.declare_relationship sch ~from_type:"node" ~rel:"deps" ~to_type:"node" ~inverse:"rdeps"
+    ~card:Schema.Multi ~inverse_card:Schema.Multi;
+  Schema.add_attr sch ~type_name:"node" (Rule.intrinsic "local" (int 1));
+  Schema.add_attr sch ~type_name:"node"
+    (Rule.derived "total"
+       (Rule.combine_self_rel "local" "deps" "total" ~f:(fun own totals ->
+            Value.add own (Value.sum totals))));
+  sch
+
+(* Applies an op sequence, skipping ops that are invalid in the current
+   state (dead instance, missing link, nothing to undo).  Decisions
+   depend only on database state, so two databases fed the same sequence
+   perform the same primitive calls. *)
+let apply_ops ?(allow_undo = true) db ops =
+  let created = ref [] in
+  let nth i =
+    let l = !created in
+    match l with [] -> None | _ -> List.nth_opt l (i mod List.length l)
+  in
+  let live i =
+    match nth i with
+    | Some id when List.mem id (Db.instance_ids db) -> Some id
+    | Some _ | None -> None
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | Create -> created := !created @ [ Db.create_instance db "node" ]
+      | Set_local (i, v) -> (
+        match live i with Some id -> Db.set db id "local" (int v) | None -> ())
+      | Link (i, j) -> (
+        match (live i, live j) with
+        | Some a, Some b when a <> b ->
+          (* Always link the older (smaller id) to the newer: ids ascend,
+             so the dependency graph stays acyclic. *)
+          let from_id = min a b and to_id = max a b in
+          if not (List.mem to_id (Db.related db from_id "deps")) then
+            Db.link db ~from_id ~rel:"deps" ~to_id
+        | _ -> ())
+      | Unlink (i, j) -> (
+        match (live i, live j) with
+        | Some a, Some b ->
+          let from_id = min a b and to_id = max a b in
+          if List.mem to_id (Db.related db from_id "deps") then
+            Db.unlink db ~from_id ~rel:"deps" ~to_id
+        | _ -> ())
+      | Delete i -> ( match live i with Some id -> Db.delete_instance db id | None -> ())
+      | Query i -> (
+        match live i with Some id -> ignore (Db.get db id "total") | None -> ())
+      | Undo -> if allow_undo && Db.position db > 0 then Db.undo_last db
+      | Redo -> if allow_undo then ( try Db.redo db with Cactis.Errors.Type_error _ -> ()))
+    ops
+
+(* Full observable state: intrinsics, links, and every derived value
+   (queried, hence evaluated). *)
+let state_snapshot db =
+  Db.instance_ids db
+  |> List.map (fun id ->
+         ( id,
+           Value.to_string (Db.get db ~watch:false id "local"),
+           Value.to_string (Db.get db ~watch:false id "total"),
+           List.sort compare (Db.related db id "deps") ))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+
+let prop_oracle_consistency =
+  QCheck.Test.make ~name:"derived values match from-scratch oracle" ~count:120
+    (ops_arbitrary ())
+    (fun ops ->
+      let db = Db.create (node_schema ()) in
+      apply_ops db ops;
+      Cactis.Integrity.check db = []
+      && List.for_all
+           (fun id ->
+             Value.equal (Db.get db ~watch:false id "total")
+               (Engine.oracle_value (Db.engine db) id "total"))
+           (Db.instance_ids db))
+
+let prop_oracle_consistency_txn =
+  QCheck.Test.make ~name:"oracle consistency with batched transactions" ~count:80
+    QCheck.(pair (ops_arbitrary ~len:20 ()) (ops_arbitrary ~len:20 ()))
+    (fun (setup, batch) ->
+      let db = Db.create (node_schema ()) in
+      apply_ops db setup;
+      Db.with_txn db (fun () -> apply_ops ~allow_undo:false db batch);
+      List.for_all
+        (fun id ->
+          Value.equal (Db.get db ~watch:false id "total")
+            (Engine.oracle_value (Db.engine db) id "total"))
+        (Db.instance_ids db))
+
+let prop_undo_roundtrip =
+  QCheck.Test.make ~name:"txn + undo restores the observable state" ~count:120
+    QCheck.(pair (ops_arbitrary ~len:25 ()) (ops_arbitrary ~len:15 ()))
+    (fun (setup, batch) ->
+      let db = Db.create (node_schema ()) in
+      apply_ops db setup;
+      let before = state_snapshot db in
+      let pos = Db.position db in
+      Db.with_txn db (fun () -> apply_ops ~allow_undo:false db batch);
+      if Db.position db > pos then Db.undo_last db;
+      Cactis.Integrity.check db = [] && state_snapshot db = before)
+
+let prop_undo_redo_roundtrip =
+  QCheck.Test.make ~name:"undo then redo restores the new state" ~count:120
+    QCheck.(pair (ops_arbitrary ~len:25 ()) (ops_arbitrary ~len:15 ()))
+    (fun (setup, batch) ->
+      let db = Db.create (node_schema ()) in
+      apply_ops db setup;
+      let pos = Db.position db in
+      Db.with_txn db (fun () -> apply_ops ~allow_undo:false db batch);
+      if Db.position db > pos then begin
+        let after = state_snapshot db in
+        Db.undo_last db;
+        Db.redo db;
+        state_snapshot db = after
+      end
+      else true)
+
+let prop_strategies_agree =
+  QCheck.Test.make ~name:"evaluation strategies compute the same values" ~count:60
+    (ops_arbitrary ~len:30 ())
+    (fun ops ->
+      let run strategy =
+        let db = Db.create ~strategy (node_schema ()) in
+        apply_ops ~allow_undo:false db ops;
+        state_snapshot db
+      in
+      let reference = run Engine.Cactis in
+      run Engine.Eager_triggers = reference && run Engine.Recompute_all = reference)
+
+let prop_schedulers_agree =
+  QCheck.Test.make ~name:"fifo and greedy schedulers compute the same values" ~count:60
+    (ops_arbitrary ~len:40 ())
+    (fun ops ->
+      let run sched =
+        let db = Db.create ~sched ~block_capacity:2 ~buffer_capacity:2 (node_schema ()) in
+        apply_ops db ops;
+        state_snapshot db
+      in
+      let reference = run Cactis.Sched.Fifo in
+      run Cactis.Sched.Greedy = reference && run Cactis.Sched.Cost_only = reference)
+
+let prop_single_evaluation =
+  QCheck.Test.make ~name:"no attribute evaluated twice per propagation" ~count:80
+    (ops_arbitrary ~len:30 ())
+    (fun ops ->
+      let db = Db.create (node_schema ()) in
+      apply_ops ~allow_undo:false db ops;
+      (* Settle: evaluate everything. *)
+      List.iter (fun id -> ignore (Db.get db ~watch:false id "total")) (Db.instance_ids db);
+      match Db.instance_ids db with
+      | [] -> true
+      | ids ->
+        let n = List.length ids in
+        let target = List.nth ids (n / 2) in
+        let c = Db.counters db in
+        let before = Counters.get c "rule_evals" in
+        Db.set db target "local" (int 424242);
+        List.iter (fun id -> ignore (Db.get db ~watch:false id "total")) ids;
+        let evals = Counters.get c "rule_evals" - before in
+        (* Each of the n derived attributes may be evaluated at most
+           once. *)
+        evals <= n)
+
+let prop_marks_bounded_by_affected =
+  QCheck.Test.make ~name:"mark visits bounded by dependents subgraph" ~count:80
+    (ops_arbitrary ~len:30 ())
+    (fun ops ->
+      let db = Db.create (node_schema ()) in
+      apply_ops ~allow_undo:false db ops;
+      List.iter (fun id -> ignore (Db.get db ~watch:false id "total")) (Db.instance_ids db);
+      match Db.instance_ids db with
+      | [] -> true
+      | ids ->
+        let target = List.hd ids in
+        (* Nodes + edges of the dependent closure of target. *)
+        let visited = Hashtbl.create 16 in
+        let edges = ref 0 in
+        let rec bfs id =
+          if not (Hashtbl.mem visited id) then begin
+            Hashtbl.add visited id ();
+            let parents = Db.related db id "rdeps" in
+            edges := !edges + List.length parents;
+            List.iter bfs parents
+          end
+        in
+        bfs target;
+        let bound = Hashtbl.length visited + !edges in
+        let c = Db.counters db in
+        let before = Counters.get c "mark_visits" in
+        Db.set db target "local" (int 31337);
+        Counters.get c "mark_visits" - before <= bound)
+
+let prop_no_eval_without_demand =
+  QCheck.Test.make ~name:"unqueried attributes are never evaluated" ~count:80
+    (ops_arbitrary ~len:30 ())
+    (fun ops ->
+      (* Filter out queries: with no demand and no constraints, the
+         engine must not run a single rule. *)
+      let mutations =
+        List.filter (function Query _ | Undo | Redo -> false | _ -> true) ops
+      in
+      let db = Db.create (node_schema ()) in
+      apply_ops ~allow_undo:false db mutations;
+      Counters.get (Db.counters db) "rule_evals" = 0)
+
+let prop_snapshot_roundtrip =
+  QCheck.Test.make ~name:"snapshot save/load preserves observable state" ~count:80
+    (ops_arbitrary ~len:40 ())
+    (fun ops ->
+      let db = Db.create (node_schema ()) in
+      apply_ops db ops;
+      let db2 = Cactis.Snapshot.load (Db.schema db) (Cactis.Snapshot.save db) in
+      Cactis.Integrity.check db2 = [] && state_snapshot db = state_snapshot db2)
+
+let prop_cc_serializable =
+  QCheck.Test.make ~name:"timestamp CC schedules are serializable" ~count:40
+    QCheck.(
+      make
+        ~print:(fun (seed, clients, hot) -> Printf.sprintf "seed=%d clients=%d hot=%.2f" seed clients hot)
+        Gen.(
+          let* seed = int_range 0 10_000 in
+          let* clients = int_range 2 5 in
+          let* hot = float_range 0.0 1.0 in
+          return (seed, clients, hot)))
+    (fun (seed, clients, hot) ->
+      let module Cc = Cactis_cc.Timestamp_cc in
+      let module Wl = Cactis_cc.Workload in
+      let module Il = Cactis_cc.Interleave in
+      let module So = Cactis_cc.Serial_oracle in
+      let instances = 5 in
+      let db, accounts, _ = Wl.counters_db ~instances () in
+      let cc = Cc.create db in
+      let rng = Cactis_util.Rng.create seed in
+      let scripts =
+        List.init clients (fun _ ->
+            Wl.generate
+              (Cactis_util.Rng.split rng)
+              ~accounts ~txns:4 ~ops_per_txn:3 ~hot_fraction:hot ~read_fraction:0.3)
+      in
+      let stats = Il.run ~rng ~cc ~clients:scripts () in
+      let oracle =
+        So.replay
+          ~setup:(fun () ->
+            let db, _, _ = Wl.counters_db ~instances () in
+            db)
+          ~committed:stats.Il.committed_scripts
+      in
+      So.equivalent db oracle [ "balance" ])
+
+(* ------------------------------------------------------------------ *)
+(* Make facility: random dependency DAGs and touch sequences           *)
+
+let prop_make_builds_minimal_and_complete =
+  let module Fs = Cactis_apps.Fs_sim in
+  let module Mk = Cactis_apps.Makefac in
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 2 10 in
+      let* touches = list_size (int_range 0 6) (int_range 0 (n - 1)) in
+      return (n, touches))
+  in
+  QCheck.Test.make ~name:"make: builds are complete and minimal" ~count:100
+    (QCheck.make
+       ~print:(fun (n, touches) ->
+         Printf.sprintf "n=%d touches=[%s]" n (String.concat ";" (List.map string_of_int touches)))
+       gen)
+    (fun (n, touches) ->
+      let fs = Fs.create () in
+      let mk = Mk.create fs in
+      (* Rule i depends on rules with larger index (a random DAG). *)
+      let rules =
+        Array.init n (fun i ->
+            Mk.add_rule mk
+              ~file:(Printf.sprintf "f%d" i)
+              ~command:(Printf.sprintf "build f%d" i))
+      in
+      for i = 0 to n - 2 do
+        (* deterministic pseudo-random edges derived from i *)
+        let j = i + 1 + ((i * 7) mod (n - 1 - i)) in
+        Mk.add_dependency mk ~rule:rules.(i) ~on:rules.(j);
+        if (i * 3) mod 2 = 0 && i + 1 <= n - 1 then
+          if not (List.mem rules.(i + 1) (Db.related (Mk.db mk) rules.(i) "depends_on")) then
+            Mk.add_dependency mk ~rule:rules.(i) ~on:rules.(i + 1)
+      done;
+      (* Full build, then apply the touch sequence and rebuild. *)
+      ignore (Mk.build_all mk);
+      List.iter (fun i -> Fs.touch fs (Printf.sprintf "f%d" i)) touches;
+      Mk.sync mk;
+      let stale_before =
+        List.filter (fun r -> Mk.needs_rebuild mk r) (Array.to_list rules)
+      in
+      let plan = Mk.build_plan mk rules.(0) in
+      let ran = Mk.build mk rules.(0) in
+      (* Complete: nothing in the target's dependency closure is stale. *)
+      let rec closure acc id =
+        if List.mem id acc then acc
+        else List.fold_left closure (id :: acc) (Db.related (Mk.db mk) id "depends_on")
+      in
+      let reachable = closure [] rules.(0) in
+      Mk.sync mk;
+      List.for_all (fun id -> not (Mk.needs_rebuild mk id)) reachable
+      (* Sound: every command that ran was stale before, or depended on
+         something stale (flattened plan = run order). *)
+      && List.concat plan <> [] = (ran <> [])
+      && List.length ran >= List.length (List.filter (fun r -> List.mem r reachable) stale_before)
+      && List.sort compare (List.concat plan) = List.sort compare ran)
+
+(* ------------------------------------------------------------------ *)
+(* DDL expression round-trip on generated ASTs                         *)
+
+module Ast = Cactis_ddl.Ast
+
+let expr_gen =
+  let open QCheck.Gen in
+  let ident = oneofl [ "a"; "bb"; "c0"; "rate"; "x" ] in
+  let rel = oneofl [ "deps"; "kids" ] in
+  let leaf =
+    oneof
+      [
+        map (fun n -> Ast.Lit (Value.Int n)) (int_range 0 99);
+        map (fun b -> Ast.Lit (Value.Bool b)) bool;
+        map (fun f -> Ast.Lit (Value.Float f)) (float_range 0.0 10.0);
+        map (fun s -> Ast.Self_attr s) ident;
+        map2 (fun r a -> Ast.Rel_one (r, a)) rel ident;
+      ]
+  in
+  let rec expr n =
+    if n <= 0 then leaf
+    else
+      let sub = expr (n / 2) in
+      oneof
+        [
+          leaf;
+          map2 (fun a b -> Ast.Binop (Ast.Add, a, b)) sub sub;
+          map2 (fun a b -> Ast.Binop (Ast.Sub, a, b)) sub sub;
+          map2 (fun a b -> Ast.Binop (Ast.Mul, a, b)) sub sub;
+          map2 (fun a b -> Ast.Binop (Ast.Lt, a, b)) sub sub;
+          map2 (fun a b -> Ast.Binop (Ast.And, a, b)) sub sub;
+          map2 (fun a b -> Ast.Binop (Ast.Or, a, b)) sub sub;
+          map (fun a -> Ast.Unop (Ast.Not, a)) sub;
+          map (fun a -> Ast.Unop (Ast.Neg, a)) sub;
+          map3 (fun c t e -> Ast.If (c, t, e)) sub sub sub;
+          map2
+            (fun r d -> Ast.Rel_agg { agg = Ast.Max; rel = r; attr = "v"; default = Some d })
+            rel sub;
+          map2 (fun a b -> Ast.Call ("later_of", [ a; b ])) sub sub;
+        ]
+  in
+  expr 8
+
+let prop_expr_print_parse =
+  QCheck.Test.make ~name:"print . parse is identity on rule expressions" ~count:500
+    (QCheck.make ~print:Cactis_ddl.Pretty.expr_to_string expr_gen)
+    (fun ast ->
+      let printed = Cactis_ddl.Pretty.expr_to_string ast in
+      match Cactis_ddl.Parser.parse_expr printed with
+      | ast2 -> ast2 = ast
+      | exception _ -> false)
+
+(* ------------------------------------------------------------------ *)
+
+let all_props =
+  [
+    prop_oracle_consistency;
+    prop_oracle_consistency_txn;
+    prop_undo_roundtrip;
+    prop_undo_redo_roundtrip;
+    prop_strategies_agree;
+    prop_schedulers_agree;
+    prop_single_evaluation;
+    prop_marks_bounded_by_affected;
+    prop_no_eval_without_demand;
+    prop_snapshot_roundtrip;
+    prop_cc_serializable;
+    prop_make_builds_minimal_and_complete;
+    prop_expr_print_parse;
+  ]
+
+let () =
+  Alcotest.run "cactis-properties"
+    [ ("engine", List.map QCheck_alcotest.to_alcotest all_props) ]

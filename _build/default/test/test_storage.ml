@@ -1,0 +1,223 @@
+(* Storage substrate tests: disk accounting, LRU buffer pool, pager
+   placement, usage statistics, and the paper's greedy clustering
+   algorithm (unit + qcheck properties). *)
+
+module Disk = Cactis_storage.Disk
+module Buffer_pool = Cactis_storage.Buffer_pool
+module Pager = Cactis_storage.Pager
+module Usage = Cactis_storage.Usage
+module Cluster = Cactis_storage.Cluster
+
+(* ---- Buffer pool ---- *)
+
+let test_pool_hits_and_misses () =
+  let disk = Disk.create () in
+  let pool = Buffer_pool.create ~capacity:2 disk in
+  Alcotest.(check bool) "first touch misses" true (Buffer_pool.touch pool 1 = `Miss);
+  Alcotest.(check bool) "second touch hits" true (Buffer_pool.touch pool 1 = `Hit);
+  ignore (Buffer_pool.touch pool 2);
+  ignore (Buffer_pool.touch pool 3);
+  (* capacity 2: block 1 evicted as LRU *)
+  Alcotest.(check bool) "1 evicted" false (Buffer_pool.resident pool 1);
+  Alcotest.(check bool) "2 resident" true (Buffer_pool.resident pool 2);
+  Alcotest.(check bool) "3 resident" true (Buffer_pool.resident pool 3);
+  Alcotest.(check int) "reads counted (3 misses)" 3 (Disk.reads disk)
+
+let test_pool_lru_order () =
+  let disk = Disk.create () in
+  let pool = Buffer_pool.create ~capacity:3 disk in
+  List.iter (fun b -> ignore (Buffer_pool.touch pool b)) [ 1; 2; 3 ];
+  (* Touch 1 again: now 2 is LRU. *)
+  ignore (Buffer_pool.touch pool 1);
+  ignore (Buffer_pool.touch pool 4);
+  Alcotest.(check bool) "2 evicted (LRU)" false (Buffer_pool.resident pool 2);
+  Alcotest.(check (list int)) "MRU order" [ 4; 1; 3 ] (Buffer_pool.contents pool)
+
+let test_pool_flush () =
+  let disk = Disk.create () in
+  let pool = Buffer_pool.create ~capacity:4 disk in
+  List.iter (fun b -> ignore (Buffer_pool.touch pool b)) [ 1; 2 ];
+  Buffer_pool.flush pool;
+  Alcotest.(check (list int)) "empty after flush" [] (Buffer_pool.contents pool);
+  Alcotest.(check int) "stats kept" 2 (Buffer_pool.misses pool);
+  Buffer_pool.reset_stats pool;
+  Alcotest.(check int) "stats reset" 0 (Buffer_pool.misses pool)
+
+let prop_pool_capacity =
+  QCheck.Test.make ~name:"pool never exceeds capacity" ~count:200
+    QCheck.(pair (int_range 1 8) (list (int_range 0 20)))
+    (fun (cap, touches) ->
+      let pool = Buffer_pool.create ~capacity:cap (Disk.create ()) in
+      List.iter (fun b -> ignore (Buffer_pool.touch pool b)) touches;
+      List.length (Buffer_pool.contents pool) <= cap)
+
+let prop_pool_immediate_rehit =
+  QCheck.Test.make ~name:"touching a just-touched block hits" ~count:200
+    QCheck.(pair (int_range 1 8) (list (int_range 0 20)))
+    (fun (cap, touches) ->
+      let pool = Buffer_pool.create ~capacity:cap (Disk.create ()) in
+      List.for_all
+        (fun b ->
+          ignore (Buffer_pool.touch pool b);
+          Buffer_pool.touch pool b = `Hit)
+        touches)
+
+(* ---- Pager ---- *)
+
+let test_pager_placement () =
+  let pager = Pager.create ~block_capacity:2 ~buffer_capacity:8 () in
+  List.iter (Pager.register pager) [ 10; 11; 12; 13; 14 ];
+  Alcotest.(check (option int)) "10 on block 0" (Some 0) (Pager.block_of pager 10);
+  Alcotest.(check (option int)) "11 on block 0" (Some 0) (Pager.block_of pager 11);
+  Alcotest.(check (option int)) "12 on block 1" (Some 1) (Pager.block_of pager 12);
+  Alcotest.(check (option int)) "14 on block 2" (Some 2) (Pager.block_of pager 14);
+  ignore (Pager.touch pager 10);
+  Alcotest.(check bool) "11 shares 10's block" true (Pager.resident pager 11);
+  Alcotest.(check bool) "12 not resident" false (Pager.resident pager 12)
+
+let test_pager_clustering_applied () =
+  let pager = Pager.create ~block_capacity:2 ~buffer_capacity:8 () in
+  List.iter (Pager.register pager) [ 1; 2; 3; 4 ];
+  let assignment =
+    Cluster.pack ~block_capacity:2
+      ~instances:[ (1, 10); (2, 1); (3, 9); (4, 1) ]
+      ~links:[ { Cluster.a = 1; b = 3; rel = "r"; count = 100 } ]
+  in
+  Pager.apply_clustering pager assignment;
+  (* 1 and 3 are hot and linked: same block now. *)
+  Alcotest.(check bool) "hot pair colocated" true (Pager.block_of pager 1 = Pager.block_of pager 3);
+  (* New registrations go to fresh blocks. *)
+  Pager.register pager 99;
+  Alcotest.(check bool) "new instance beyond clustered blocks" true
+    (match Pager.block_of pager 99 with Some b -> b >= assignment.Cluster.block_count | None -> false)
+
+(* ---- Usage ---- *)
+
+let test_usage_counts () =
+  let u = Usage.create () in
+  Usage.touch_instance u 1;
+  Usage.touch_instance u 1;
+  Usage.cross u ~from_instance:1 ~rel:"r" ~to_instance:2;
+  Usage.cross u ~from_instance:2 ~rel:"r" ~to_instance:1;
+  Alcotest.(check int) "instance count" 2 (Usage.instance_count u 1);
+  Alcotest.(check int) "crossing symmetric" 2
+    (Usage.crossing_count u ~from_instance:1 ~rel:"r" ~to_instance:2);
+  Usage.forget_instance u 1;
+  Alcotest.(check int) "forgotten" 0 (Usage.instance_count u 1);
+  Alcotest.(check int) "crossings forgotten" 0
+    (Usage.crossing_count u ~from_instance:1 ~rel:"r" ~to_instance:2)
+
+(* ---- Clustering ---- *)
+
+let test_cluster_paper_algorithm () =
+  (* Two hot communities and a cold singleton: the greedy algorithm must
+     seed with the hottest instance and pull its linked neighbours in. *)
+  let instances = [ (1, 100); (2, 5); (3, 90); (4, 5); (5, 1) ] in
+  let links =
+    [
+      { Cluster.a = 1; b = 2; rel = "r"; count = 50 };
+      { Cluster.a = 3; b = 4; rel = "r"; count = 40 };
+      { Cluster.a = 2; b = 5; rel = "r"; count = 0 };
+    ]
+  in
+  let { Cluster.block_of; block_count } = Cluster.pack ~block_capacity:2 ~instances ~links in
+  let b = Hashtbl.find block_of in
+  Alcotest.(check int) "hottest seeds block 0" 0 (b 1);
+  Alcotest.(check int) "its partner joins" 0 (b 2);
+  Alcotest.(check int) "second community next" 1 (b 3);
+  Alcotest.(check int) "partner too" 1 (b 4);
+  Alcotest.(check int) "cold singleton last" 2 (b 5);
+  Alcotest.(check int) "three blocks" 3 block_count
+
+let test_cluster_pulls_cold_neighbour () =
+  (* A zero-count link still pulls an unassigned neighbour into the block
+     before a new block is opened (the paper's inner loop has no
+     threshold). *)
+  let instances = [ (1, 10); (2, 0) ] in
+  let links = [ { Cluster.a = 1; b = 2; rel = "r"; count = 0 } ] in
+  let { Cluster.block_of; block_count } = Cluster.pack ~block_capacity:4 ~instances ~links in
+  Alcotest.(check int) "one block" 1 block_count;
+  Alcotest.(check int) "cold neighbour packed" 0 (Hashtbl.find block_of 2)
+
+let test_cluster_sequential () =
+  let { Cluster.block_of; block_count } =
+    Cluster.sequential ~block_capacity:3 ~instances:[ 5; 1; 9; 2; 7 ]
+  in
+  Alcotest.(check int) "two blocks" 2 block_count;
+  Alcotest.(check int) "id order" 0 (Hashtbl.find block_of 1);
+  Alcotest.(check int) "spill" 1 (Hashtbl.find block_of 7)
+
+let cluster_input =
+  QCheck.make
+    ~print:(fun (n, cap, links) ->
+      Printf.sprintf "n=%d cap=%d links=%d" n cap (List.length links))
+    QCheck.Gen.(
+      let* n = int_range 1 40 in
+      let* cap = int_range 1 8 in
+      let* links =
+        list_size (int_range 0 80)
+          (let* a = int_range 0 (n - 1) in
+           let* b = int_range 0 (n - 1) in
+           let* c = int_range 0 100 in
+           return (a, b, c))
+      in
+      return (n, cap, links))
+
+let prop_cluster_partition =
+  QCheck.Test.make ~name:"clustering is a capacity-respecting partition" ~count:300 cluster_input
+    (fun (n, cap, raw_links) ->
+      let instances = List.init n (fun i -> (i, (i * 7) mod 23)) in
+      let links =
+        List.filter_map
+          (fun (a, b, c) ->
+            if a = b then None else Some { Cluster.a; b; rel = "r"; count = c })
+          raw_links
+      in
+      let { Cluster.block_of; block_count } = Cluster.pack ~block_capacity:cap ~instances ~links in
+      (* Total: every instance assigned exactly once. *)
+      Hashtbl.length block_of = n
+      && List.for_all (fun (i, _) -> Hashtbl.mem block_of i) instances
+      (* Capacity respected. *)
+      &&
+      let per_block = Hashtbl.create 8 in
+      Hashtbl.iter
+        (fun _ blk ->
+          let r =
+            match Hashtbl.find_opt per_block blk with
+            | Some r -> r
+            | None ->
+              let r = ref 0 in
+              Hashtbl.add per_block blk r;
+              r
+          in
+          incr r)
+        block_of;
+      Hashtbl.fold (fun blk r ok -> ok && !r <= cap && blk < block_count) per_block true)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_pool_capacity; prop_pool_immediate_rehit; prop_cluster_partition ]
+
+let () =
+  Alcotest.run "cactis-storage"
+    [
+      ( "buffer-pool",
+        [
+          Alcotest.test_case "hits and misses" `Quick test_pool_hits_and_misses;
+          Alcotest.test_case "LRU order" `Quick test_pool_lru_order;
+          Alcotest.test_case "flush" `Quick test_pool_flush;
+        ] );
+      ( "pager",
+        [
+          Alcotest.test_case "placement" `Quick test_pager_placement;
+          Alcotest.test_case "clustering applied" `Quick test_pager_clustering_applied;
+        ] );
+      ("usage", [ Alcotest.test_case "counts" `Quick test_usage_counts ]);
+      ( "clustering",
+        [
+          Alcotest.test_case "paper algorithm" `Quick test_cluster_paper_algorithm;
+          Alcotest.test_case "cold neighbour pulled" `Quick test_cluster_pulls_cold_neighbour;
+          Alcotest.test_case "sequential baseline" `Quick test_cluster_sequential;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,151 @@
+(* Static type checker tests: inference through fixpoints (including
+   recursive rules across relationships), and rejection of ill-typed
+   schemas. *)
+
+module Parser = Cactis_ddl.Parser
+module Tc = Cactis_ddl.Typecheck
+
+let check_src src = Tc.check (Parser.parse_schema src)
+
+let infer_src src ~class_name ~attr = Tc.infer (Parser.parse_schema src) ~class_name ~attr
+
+let ty = Alcotest.testable (fun fmt t -> Format.pp_print_string fmt (Tc.ty_name t)) ( = )
+
+let contains_sub ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let ill_typed name ~expecting src =
+  Alcotest.test_case name `Quick (fun () ->
+      match check_src src with
+      | [] -> Alcotest.fail "expected type errors"
+      | errors ->
+        Alcotest.(check bool)
+          (Printf.sprintf "mentions %S (got: %s)" expecting (String.concat "; " errors))
+          true
+          (List.exists (contains_sub ~sub:expecting) errors))
+
+let milestone_src =
+  {|
+  object class milestone is
+    relationships
+      depends_on  : milestone multi socket inverse consists_of;
+      consists_of : milestone multi plug   inverse depends_on;
+    attributes
+      sched_compl : time := time(10);
+      local_work  : float := 1.0;
+    rules
+      exp_compl = max(depends_on.exp_compl default time(0)) + local_work;
+      late = later_than(exp_compl, sched_compl);
+    constraints
+      sane = local_work >= 0.0 message "neg";
+  end object;
+|}
+
+let test_milestone_inference () =
+  Alcotest.check ty "exp_compl is time" Tc.T_time
+    (infer_src milestone_src ~class_name:"milestone" ~attr:"exp_compl");
+  Alcotest.check ty "late is bool" Tc.T_bool
+    (infer_src milestone_src ~class_name:"milestone" ~attr:"late");
+  Alcotest.(check (list string)) "no errors" [] (check_src milestone_src)
+
+let test_mutual_recursion () =
+  (* Two rules defined in terms of each other across a relationship. *)
+  let src =
+    {|
+    object class a is
+      relationships to_b : b multi plug inverse to_a;
+      attributes base : int;
+      rules
+        va = base + sum(to_b.vb default 0);
+    end object;
+    object class b is
+      relationships to_a : a multi socket inverse to_b;
+      rules
+        vb = count(to_a.va);
+    end object;
+  |}
+  in
+  Alcotest.check ty "va : int" Tc.T_int (infer_src src ~class_name:"a" ~attr:"va");
+  Alcotest.check ty "vb : int" Tc.T_int (infer_src src ~class_name:"b" ~attr:"vb");
+  Alcotest.(check (list string)) "clean" [] (check_src src)
+
+let test_int_float_widening () =
+  let src =
+    {|
+    object class c is
+      attributes n : int; f : float;
+      rules
+        mixed = n + f;
+        halves = if n > 0 then f else n;
+    end object;
+  |}
+  in
+  Alcotest.check ty "mixed widens" Tc.T_float (infer_src src ~class_name:"c" ~attr:"mixed");
+  Alcotest.check ty "if branches widen" Tc.T_float (infer_src src ~class_name:"c" ~attr:"halves")
+
+let cases_ill =
+  [
+    ill_typed "bool arithmetic" ~expecting:"cannot add"
+      {| object class c is
+           attributes flag : bool;
+           rules bad = flag + 1;
+         end object; |};
+    ill_typed "string comparison with int" ~expecting:"comparing"
+      {| object class c is
+           attributes name : string;
+           rules bad = name > 3;
+         end object; |};
+    ill_typed "non-bool constraint" ~expecting:"expected bool"
+      {| object class c is
+           attributes n : int;
+           constraints broken = n + 1 message "m";
+         end object; |};
+    ill_typed "non-bool condition" ~expecting:"expected bool"
+      {| object class c is
+           attributes n : int;
+           rules bad = if n then 1 else 2;
+         end object; |};
+    ill_typed "unknown attribute" ~expecting:"no attribute"
+      {| object class c is
+           rules bad = missing + 1;
+         end object; |};
+    ill_typed "unknown attribute across relationship" ~expecting:"has no attribute"
+      {| object class c is
+           relationships kids : c multi plug inverse parent;
+           relationships parent : c multi socket inverse kids;
+           rules bad = sum(kids.nothing default 0);
+         end object; |};
+    ill_typed "sum over strings" ~expecting:"sum over string"
+      {| object class c is
+           relationships kids : c multi plug inverse parent;
+           relationships parent : c multi socket inverse kids;
+           attributes name : string;
+           rules bad = sum(kids.name default "");
+         end object; |};
+    ill_typed "default type mismatch" ~expecting:"reconcile"
+      {| object class c is
+           attributes n : int := "oops";
+         end object; |};
+    ill_typed "time minus picks float" ~expecting:"cannot subtract"
+      {| object class c is
+           attributes t : time; name : string;
+           rules bad = t - name;
+         end object; |};
+    ill_typed "subtype predicate not bool" ~expecting:"expected bool"
+      {| object class c is
+           attributes n : int;
+         end object;
+         subtype s of c where n + 1 end subtype; |};
+  ]
+
+let () =
+  Alcotest.run "cactis-typecheck"
+    ([
+       Alcotest.test_case "figure 1 inference" `Quick test_milestone_inference;
+       Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion;
+       Alcotest.test_case "numeric widening" `Quick test_int_float_widening;
+     ]
+     @ cases_ill
+    |> fun cases -> [ ("typecheck", cases) ])

@@ -1,0 +1,195 @@
+(* Utility substrate tests: Rng, Pqueue, Decaying_avg, Counters, Vtime,
+   Ascii_table — unit tests plus qcheck properties on the heap. *)
+
+module Rng = Cactis_util.Rng
+module Pqueue = Cactis_util.Pqueue
+module Decaying_avg = Cactis_util.Decaying_avg
+module Counters = Cactis_util.Counters
+module Vtime = Cactis_util.Vtime
+module Table = Cactis_util.Ascii_table
+
+(* ---- Rng ---- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1_000_000) (Rng.int b 1_000_000)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 10 in
+    Alcotest.(check bool) "in [0,10)" true (v >= 0 && v < 10);
+    let w = Rng.int_in r (-5) 5 in
+    Alcotest.(check bool) "in [-5,5]" true (w >= -5 && w <= 5);
+    let f = Rng.float r 2.0 in
+    Alcotest.(check bool) "float in [0,2)" true (f >= 0.0 && f < 2.0)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 1 in
+  let b = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 3 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_zipf_skew () =
+  let r = Rng.create 9 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 5000 do
+    let k = Rng.zipf r 10 1.0 in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Alcotest.(check bool) "rank 0 hottest" true (counts.(0) > counts.(9));
+  Alcotest.(check bool) "rank 0 dominates" true (counts.(0) > 2 * counts.(5))
+
+(* ---- Pqueue ---- *)
+
+let test_pqueue_order () =
+  let q = Pqueue.create () in
+  List.iter (fun (p, x) -> Pqueue.push q p x) [ (3.0, "c"); (1.0, "a"); (2.0, "b"); (0.5, "z") ];
+  let order = List.init 4 (fun _ -> Pqueue.pop q) in
+  Alcotest.(check (list string)) "ascending priority" [ "z"; "a"; "b"; "c" ] order;
+  Alcotest.(check bool) "now empty" true (Pqueue.is_empty q)
+
+let test_pqueue_empty () =
+  let q : int Pqueue.t = Pqueue.create () in
+  Alcotest.(check bool) "pop_opt empty" true (Pqueue.pop_opt q = None);
+  (match Pqueue.pop q with
+  | _ -> Alcotest.fail "expected Not_found"
+  | exception Not_found -> ());
+  Alcotest.(check bool) "peek empty" true (Pqueue.peek_priority q = None)
+
+let prop_pqueue_sorts =
+  QCheck.Test.make ~name:"pqueue pops in priority order" ~count:200
+    QCheck.(list (float_range (-100.0) 100.0))
+    (fun ps ->
+      let q = Pqueue.create () in
+      List.iter (fun p -> Pqueue.push q p p) ps;
+      let rec collect acc =
+        match Pqueue.pop_opt q with
+        | None -> List.rev acc
+        | Some p -> collect (p :: acc)
+      in
+      collect [] = List.sort compare ps)
+
+let prop_pqueue_length =
+  QCheck.Test.make ~name:"pqueue length tracks pushes and pops" ~count:200
+    QCheck.(list (float_range 0.0 10.0))
+    (fun ps ->
+      let q = Pqueue.create () in
+      List.iteri (fun i p -> Pqueue.push q p i) ps;
+      let n = List.length ps in
+      Pqueue.length q = n
+      &&
+      let rec pop_k k = if k = 0 then true else (ignore (Pqueue.pop q); pop_k (k - 1)) in
+      pop_k (n / 2) && Pqueue.length q = n - (n / 2))
+
+(* ---- Decaying_avg ---- *)
+
+let test_decaying_avg_converges () =
+  let d = Decaying_avg.create ~alpha:0.5 ~initial:100.0 () in
+  for _ = 1 to 50 do
+    Decaying_avg.observe d 2.0
+  done;
+  Alcotest.(check bool) "converges to observations" true
+    (abs_float (Decaying_avg.value d -. 2.0) < 0.01);
+  Alcotest.(check int) "counts observations" 50 (Decaying_avg.observations d);
+  Decaying_avg.reset d ~initial:7.0;
+  Alcotest.(check (float 1e-9)) "reset" 7.0 (Decaying_avg.value d);
+  Alcotest.(check int) "reset count" 0 (Decaying_avg.observations d)
+
+let test_decaying_avg_recency () =
+  let d = Decaying_avg.create ~alpha:0.25 ~initial:0.0 () in
+  List.iter (Decaying_avg.observe d) [ 10.0; 10.0; 10.0; 10.0 ];
+  let after_tens = Decaying_avg.value d in
+  List.iter (Decaying_avg.observe d) [ 0.0; 0.0; 0.0; 0.0 ];
+  Alcotest.(check bool) "recent observations dominate" true
+    (Decaying_avg.value d < after_tens /. 2.0)
+
+(* ---- Counters ---- *)
+
+let test_counters () =
+  let c = Counters.create () in
+  Counters.incr c "a";
+  Counters.incr c "a";
+  Counters.add c "b" 5;
+  Alcotest.(check int) "a" 2 (Counters.get c "a");
+  Alcotest.(check int) "b" 5 (Counters.get c "b");
+  Alcotest.(check int) "absent" 0 (Counters.get c "zzz");
+  let snap1 = Counters.snapshot c in
+  Counters.add c "a" 3;
+  let snap2 = Counters.snapshot c in
+  let d = Counters.diff ~before:snap1 ~after:snap2 in
+  Alcotest.(check int) "diff a" 3 (List.assoc "a" d);
+  Alcotest.(check int) "diff b" 0 (List.assoc "b" d);
+  Counters.reset c;
+  Alcotest.(check int) "reset" 0 (Counters.get c "a")
+
+(* ---- Vtime ---- *)
+
+let test_vtime () =
+  let t1 = Vtime.of_days 3.0 and t2 = Vtime.of_days 5.0 in
+  Alcotest.(check bool) "later_than" true (Vtime.later_than t2 t1);
+  Alcotest.(check bool) "not later" false (Vtime.later_than t1 t2);
+  Alcotest.(check (float 1e-9)) "later_of" 5.0 (Vtime.to_days (Vtime.later_of t1 t2));
+  Alcotest.(check (float 1e-9)) "earlier_of" 3.0 (Vtime.to_days (Vtime.earlier_of t1 t2));
+  Alcotest.(check (float 1e-9)) "add" 4.5 (Vtime.to_days (Vtime.add_days t1 1.5));
+  Alcotest.(check bool) "far future beats all" true (Vtime.later_than Vtime.far_future t2);
+  Alcotest.(check string) "pp far future" "far-future" (Vtime.to_string Vtime.far_future)
+
+(* ---- Ascii_table ---- *)
+
+let test_table_render () =
+  let s = Table.render ~headers:[ "name"; "n" ] [ [ "alpha"; "1" ]; [ "b"; "22" ] ] in
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "header + sep + 2 rows" 4 (List.length lines);
+  let widths = List.map String.length lines in
+  Alcotest.(check bool) "aligned" true (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_table_fmt () =
+  Alcotest.(check string) "ratio" "2.0x" (Table.fmt_ratio 10.0 5.0);
+  Alcotest.(check string) "ratio div0" "-" (Table.fmt_ratio 10.0 0.0);
+  Alcotest.(check string) "int" "42" (Table.fmt_int 42)
+
+let qcheck_cases = List.map QCheck_alcotest.to_alcotest [ prop_pqueue_sorts; prop_pqueue_length ]
+
+let () =
+  Alcotest.run "cactis-util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+          Alcotest.test_case "zipf skew" `Quick test_rng_zipf_skew;
+        ] );
+      ( "pqueue",
+        [
+          Alcotest.test_case "order" `Quick test_pqueue_order;
+          Alcotest.test_case "empty" `Quick test_pqueue_empty;
+        ]
+        @ qcheck_cases );
+      ( "decaying-avg",
+        [
+          Alcotest.test_case "converges" `Quick test_decaying_avg_converges;
+          Alcotest.test_case "recency" `Quick test_decaying_avg_recency;
+        ] );
+      ("counters", [ Alcotest.test_case "basics" `Quick test_counters ]);
+      ("vtime", [ Alcotest.test_case "basics" `Quick test_vtime ]);
+      ( "ascii-table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "formatters" `Quick test_table_fmt;
+        ] );
+    ]
