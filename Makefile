@@ -1,11 +1,18 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-fast examples clean
+.PHONY: all build check test bench bench-fast bench-json examples clean
 
 all: build
 
 build:
 	dune build @all
+
+# Everything CI needs: full build, full test suite, and a fast pass over
+# every experiment to catch harness regressions.
+check:
+	dune build @all
+	dune runtest --force
+	dune exec bench/main.exe -- --fast
 
 test:
 	dune runtest --force
@@ -15,6 +22,10 @@ bench:
 
 bench-fast:
 	dune exec bench/main.exe -- --fast
+
+# Full experiment run with machine-readable output in BENCH_1.json.
+bench-json:
+	dune exec bench/main.exe -- --json
 
 examples:
 	dune exec examples/quickstart.exe

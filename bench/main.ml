@@ -739,13 +739,16 @@ let timing () =
 (* ================================================================== *)
 
 let () =
+  let json = ref false in
   Array.iteri
     (fun i arg ->
       if i > 0 then
         match arg with
         | "--fast" -> fast := true
+        | "--json" -> json := true
         | id -> selected := id :: !selected)
     Sys.argv;
+  if !json then R.enable_capture ();
   print_endline "Cactis reproduction - experiment harness";
   print_endline "(counts are deterministic; see EXPERIMENTS.md for the paper-vs-measured record)";
   let experiments =
@@ -754,4 +757,8 @@ let () =
       ("E6", e6); ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13); ("T", timing);
     ]
   in
-  List.iter (fun (id, f) -> if wants id then f ()) experiments
+  List.iter (fun (id, f) -> if wants id then f ()) experiments;
+  if !json then begin
+    R.write_json "BENCH_1.json";
+    print_endline "\nwrote BENCH_1.json"
+  end

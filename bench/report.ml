@@ -3,11 +3,95 @@
 module Counters = Cactis_util.Counters
 module Table = Cactis_util.Ascii_table
 
+(* ------------------------------------------------------------------ *)
+(* Optional JSON capture (--json): every section/table printed is also
+   recorded, then dumped as machine-readable JSON at exit.             *)
+
+type jtable = {
+  headers : string list;
+  rows : string list list;
+}
+
+type jsection = {
+  sid : string;
+  title : string;
+  mutable tables : jtable list;  (* newest first *)
+}
+
+let capturing = ref false
+let captured : jsection list ref = ref []  (* newest first *)
+
+let enable_capture () = capturing := true
+
 let section id title claim =
   Printf.printf "\n%s\n%s %s\n%s\n" (String.make 78 '=') id title (String.make 78 '-');
-  Printf.printf "paper claim: %s\n" claim
+  Printf.printf "paper claim: %s\n" claim;
+  if !capturing then captured := { sid = id; title; tables = [] } :: !captured
 
-let table ~headers rows = print_string (Table.render ~headers rows)
+let table ~headers rows =
+  print_string (Table.render ~headers rows);
+  if !capturing then
+    match !captured with
+    | s :: _ -> s.tables <- { headers; rows } :: s.tables
+    | [] -> ()
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Cells holding plain numbers are emitted as JSON numbers so counters
+   can be consumed without re-parsing. *)
+let json_cell s =
+  match int_of_string_opt s with
+  | Some n -> string_of_int n
+  | None -> (
+    match float_of_string_opt s with
+    | Some f when Float.is_finite f -> Printf.sprintf "%g" f
+    | Some _ | None -> Printf.sprintf "\"%s\"" (json_escape s))
+
+let json_string s = Printf.sprintf "\"%s\"" (json_escape s)
+
+let write_json path =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"experiments\": [\n";
+  let sections = List.rev !captured in
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"id\": %s, \"title\": %s, \"tables\": [" (json_string s.sid)
+           (json_string s.title));
+      List.iteri
+        (fun j (t : jtable) ->
+          if j > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf "{\"headers\": [";
+          Buffer.add_string buf (String.concat ", " (List.map json_string t.headers));
+          Buffer.add_string buf "], \"rows\": [";
+          List.iteri
+            (fun k row ->
+              if k > 0 then Buffer.add_string buf ", ";
+              Buffer.add_string buf "[";
+              Buffer.add_string buf (String.concat ", " (List.map json_cell row));
+              Buffer.add_string buf "]")
+            t.rows;
+          Buffer.add_string buf "]}")
+        (List.rev s.tables);
+      Buffer.add_string buf "]}")
+    sections;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
 
 (* [measure db f] runs [f] and returns the per-counter increase. *)
 let measure db f =

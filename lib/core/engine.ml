@@ -1,5 +1,6 @@
 module Counters = Cactis_util.Counters
 module Decaying_avg = Cactis_util.Decaying_avg
+module Symbol = Cactis_util.Symbol
 module Usage = Cactis_storage.Usage
 
 type strategy =
@@ -9,20 +10,35 @@ type strategy =
 
 type recovery = Store.t -> int -> (int * string * Value.t) list
 
+(* Hot-path tables key on [Symbol.pack instance_id attr_symbol] — a
+   single immediate int — instead of [(int * string)] pairs; attribute
+   and dependency resolution goes through the schema's compiled layouts
+   (slot indexes), so steady-state marking/evaluation never hashes a
+   string. *)
 type t = {
   store : Store.t;
   mutable strategy : strategy;
   mutable sched : Sched.strategy;
-  watched : (int * string, unit) Hashtbl.t;
-  pending_important : (int * string, unit) Hashtbl.t;
+  watched : (int, unit) Hashtbl.t;  (* packed (id, attr sym) *)
+  pending_important : (int, unit) Hashtbl.t;  (* packed (id, attr sym) *)
   recoveries : (string, recovery) Hashtbl.t;
   mutable repair : (int -> string -> Value.t -> unit) option;
   mutable in_recovery : bool;
   (* Constraint attrs observed false during the current evaluation run. *)
-  mutable violations : (int * string) list;
+  mutable violations : (int * int) list;  (* (id, attr sym) *)
+  (* Cached counter cells (shared with the registry; reset-safe). *)
+  c_rule_evals : int ref;
+  c_mark_visits : int ref;
+  c_mark_cutoffs : int ref;
+  c_eval_procs : int ref;
+  c_demand_procs : int ref;
+  c_constraint_checks : int ref;
+  c_intrinsic_sets : int ref;
+  c_misses : int ref;
 }
 
 let create ?(strategy = Cactis) ?(sched = Sched.Greedy) store =
+  let counters = Store.counters store in
   {
     store;
     strategy;
@@ -33,6 +49,14 @@ let create ?(strategy = Cactis) ?(sched = Sched.Greedy) store =
     repair = None;
     in_recovery = false;
     violations = [];
+    c_rule_evals = Counters.cell counters "rule_evals";
+    c_mark_visits = Counters.cell counters "mark_visits";
+    c_mark_cutoffs = Counters.cell counters "mark_cutoffs";
+    c_eval_procs = Counters.cell counters "eval_procs";
+    c_demand_procs = Counters.cell counters "demand_procs";
+    c_constraint_checks = Counters.cell counters "constraint_checks";
+    c_intrinsic_sets = Counters.cell counters "intrinsic_sets";
+    c_misses = Counters.cell counters "block_misses";
   }
 
 let store t = t.store
@@ -46,120 +70,166 @@ let register_recovery t name f = Hashtbl.replace t.recoveries name f
 let schema t = Store.schema t.store
 let counters t = Store.counters t.store
 
-let attr_def t (inst : Instance.t) a = Schema.attr (schema t) ~type_name:inst.Instance.type_name a
+let slot_info (inst : Instance.t) ix =
+  let lay = inst.Instance.layout in
+  Schema.refresh_layout lay;
+  lay.Schema.lay_slots.(ix)
 
-let is_derived_def (d : Schema.attr_def) =
-  match d.Schema.kind with Schema.Derived _ -> true | Schema.Intrinsic _ -> false
+let link_info (inst : Instance.t) ix =
+  let lay = inst.Instance.layout in
+  Schema.refresh_layout lay;
+  lay.Schema.lay_links.(ix)
 
-let rule_of t inst a =
-  match (attr_def t inst a).Schema.kind with
-  | Schema.Derived rule -> rule
-  | Schema.Intrinsic _ -> Errors.type_error "attribute %s of %s is intrinsic" a inst.Instance.type_name
+let rule_of_si (inst : Instance.t) (si : Schema.slot_info) =
+  match si.Schema.si_rule with
+  | Some cr -> cr
+  | None ->
+    Errors.type_error "attribute %s of %s is intrinsic" si.Schema.si_name inst.Instance.type_name
 
 (* ------------------------------------------------------------------ *)
 (* Importance                                                          *)
 
-let has_constraint t (inst : Instance.t) a = (attr_def t inst a).Schema.constraint_ <> None
-
-let important t id a =
-  Hashtbl.mem t.watched (id, a)
-  ||
-  match Store.get_opt t.store id with
-  | Some inst -> has_constraint t inst a
-  | None -> false
+let important_si t id (si : Schema.slot_info) =
+  si.Schema.si_constrained || Hashtbl.mem t.watched (Symbol.pack id si.Schema.si_sym)
 
 let watch t id a =
-  Hashtbl.replace t.watched (id, a) ();
+  Hashtbl.replace t.watched (Symbol.pack id (Symbol.intern a)) ();
   match Store.get_opt t.store id with
-  | Some inst ->
-    let s = Instance.slot inst a in
-    if s.Instance.state = Instance.Out_of_date then Hashtbl.replace t.pending_important (id, a) ()
+  | Some inst -> (
+    match Instance.find_slot inst a with
+    | Some ix ->
+      if (Instance.slot_ix inst ix).Instance.state = Instance.Out_of_date then
+        Hashtbl.replace t.pending_important (Symbol.pack id (Symbol.intern a)) ()
+    | None -> ())
   | None -> ()
 
-let unwatch t id a = Hashtbl.remove t.watched (id, a)
-let is_watched t id a = Hashtbl.mem t.watched (id, a)
+let unwatch t id a = Hashtbl.remove t.watched (Symbol.pack id (Symbol.intern a))
+let is_watched t id a = Hashtbl.mem t.watched (Symbol.pack id (Symbol.intern a))
 
 (* ------------------------------------------------------------------ *)
 (* Dependency enumeration                                              *)
 
-(* Dependents of attribute [a] of instance [i]: within the instance, and
-   across each relationship to currently-linked neighbours.  [via] is the
-   (instance, rel) crossing used for usage statistics and cost tags. *)
-let dependents t i a =
-  match Store.get_opt t.store i with
-  | None -> []
-  | Some inst ->
-    let tn = inst.Instance.type_name in
-    let self =
-      Schema.self_dependents (schema t) ~type_name:tn a |> List.map (fun b -> (i, b, None))
-    in
-    let cross =
-      Schema.cross_dependents (schema t) ~type_name:tn a
-      |> List.concat_map (fun (r, b) ->
-             Instance.linked inst r |> List.map (fun j -> (j, b, Some (i, r))))
-    in
-    self @ cross
+(* A mark/trigger target: attribute [t_ix]/[t_sym] of instance [t_id];
+   [t_via] is the (instance, rel symbol) crossing used for usage
+   statistics and cost tags. *)
+type target = {
+  t_id : int;
+  t_ix : int;
+  t_sym : int;
+  t_via : (int * int) option;
+}
+
+(* Dependents of slot [ix] of [inst]: within the instance, and across
+   each relationship to currently-linked neighbours — all resolved at
+   schema-compile time to index/symbol tables. *)
+let iter_dependents (inst : Instance.t) ix f =
+  let lay = inst.Instance.layout in
+  Schema.refresh_layout lay;
+  let si = lay.Schema.lay_slots.(ix) in
+  Array.iter
+    (fun d ->
+      let dsi = lay.Schema.lay_slots.(d) in
+      f { t_id = inst.Instance.id; t_ix = d; t_sym = dsi.Schema.si_sym; t_via = None })
+    si.Schema.si_self_deps;
+  Array.iter
+    (fun (xd : Schema.cross_dep) ->
+      Instance.iter_linked inst xd.Schema.xd_link (fun j ->
+          f
+            {
+              t_id = j;
+              t_ix = xd.Schema.xd_slot;
+              t_sym = xd.Schema.xd_sym;
+              t_via = Some (inst.Instance.id, xd.Schema.xd_rel_sym);
+            }))
+    si.Schema.si_cross_deps
+
+let dependents_ix inst ix =
+  let acc = ref [] in
+  iter_dependents inst ix (fun tgt -> acc := tgt :: !acc);
+  List.rev !acc
 
 (* ------------------------------------------------------------------ *)
 (* Environment construction shared by all evaluators                   *)
 
-(* [fetch_value] must return the (up-to-date) value of a possibly-derived
-   attribute of some instance.  Reads are validated against the rule's
-   declared sources so an undeclared read fails loudly instead of being
-   silently non-incremental. *)
 (* The attribute actually transmitted when [name] is requested across the
    reader's relationship [r]: the target type may alias it (Figure 1's
-   [consists_of exp_time = exp_compl]). *)
+   [consists_of exp_time = exp_compl]).  String-based variant kept for
+   the oracle; the engine proper uses the compiled [r_slot]/[r_sym]. *)
 let resolve_transmission t (inst : Instance.t) r name =
   let rd = Schema.rel (schema t) ~type_name:inst.Instance.type_name r in
   Schema.resolve_export (schema t) ~type_name:rd.Schema.target ~rel:rd.Schema.inverse name
 
-let build_env t (rule : Schema.rule) (inst : Instance.t) ~fetch_value =
-  let declared s = List.exists (fun s' -> s' = s) rule.Schema.sources in
+(* [fetch_value j slot_ix] must return the (up-to-date) value of a
+   possibly-derived slot of instance [j].  Reads are validated against
+   the rule's declared sources so an undeclared read fails loudly
+   instead of being silently non-incremental. *)
+let build_env t (cr : Schema.compiled_rule) (inst : Instance.t) ~fetch_value =
+  let srcs = cr.Schema.cr_sources in
+  let n = Array.length srcs in
   let self_value b =
-    if not (declared (Schema.Self b)) then
-      Errors.type_error "rule on %s reads undeclared source self.%s" inst.Instance.type_name b;
-    fetch_value inst.Instance.id b
+    let rec find i =
+      if i >= n then
+        Errors.type_error "rule on %s reads undeclared source self.%s" inst.Instance.type_name b
+      else
+        match srcs.(i) with
+        | Schema.C_self { s_name; s_slot } when String.equal s_name b ->
+          fetch_value inst.Instance.id s_slot
+        | _ -> find (i + 1)
+    in
+    find 0
   in
   let related_values r name =
-    if not (declared (Schema.Rel (r, name))) then
-      Errors.type_error "rule on %s reads undeclared source %s.%s" inst.Instance.type_name r name;
-    let attr = resolve_transmission t inst r name in
-    Instance.linked inst r
-    |> List.map (fun j ->
-           Usage.cross (Store.usage t.store) ~from_instance:inst.Instance.id ~rel:r ~to_instance:j;
-           fetch_value j attr)
+    let rec find i =
+      if i >= n then
+        Errors.type_error "rule on %s reads undeclared source %s.%s" inst.Instance.type_name r
+          name
+      else
+        match srcs.(i) with
+        | Schema.C_rel c when String.equal c.r_rel r && String.equal c.r_attr name ->
+          let usage = Store.usage t.store in
+          Instance.linked_ix inst c.r_link
+          |> List.map (fun j ->
+                 if c.r_slot < 0 then
+                   Errors.unknown "type %s has no attribute %s" c.r_target (Symbol.name c.r_sym);
+                 Usage.cross_sym usage ~from_instance:inst.Instance.id ~rel_sym:c.r_rel_sym
+                   ~to_instance:j;
+                 fetch_value j c.r_slot)
+        | _ -> find (i + 1)
+    in
+    find 0
   in
   { Schema.self_value; related_values }
 
-let record_constraint_check t inst a v =
-  if has_constraint t inst a then begin
-    Counters.incr (counters t) "constraint_checks";
+let record_constraint_check t (inst : Instance.t) (si : Schema.slot_info) v =
+  if si.Schema.si_constrained then begin
+    incr t.c_constraint_checks;
     match v with
-    | Value.Bool false -> t.violations <- (inst.Instance.id, a) :: t.violations
+    | Value.Bool false ->
+      t.violations <- (inst.Instance.id, si.Schema.si_sym) :: t.violations
     | Value.Bool true -> ()
     | other ->
       Errors.type_error "constraint attribute %s.%s evaluated to non-boolean %s"
-        inst.Instance.type_name a (Value.to_string other)
+        inst.Instance.type_name si.Schema.si_name (Value.to_string other)
   end
 
 (* ------------------------------------------------------------------ *)
 (* Simple recursive evaluator (used by the baselines, by bootstrap     *)
 (* paths, and — without caching — by the oracle)                       *)
 
-let rec eval_rec t path id a =
+let rec eval_rec t path id ix =
   let inst = Store.get t.store id in
-  let s = Instance.slot inst a in
+  let s = Instance.slot_ix inst ix in
+  let si = slot_info inst ix in
   match s.Instance.state with
   | Instance.Up_to_date -> s.Instance.value
-  | Instance.In_progress -> raise (Errors.Cycle (List.rev ((id, a) :: path)))
+  | Instance.In_progress ->
+    raise (Errors.Cycle (List.rev ((id, si.Schema.si_name) :: path)))
   | Instance.Out_of_date ->
-    let def = attr_def t inst a in
-    if not (is_derived_def def) then begin
+    if not si.Schema.si_derived then begin
       (* Intrinsic slots are always up to date; an out-of-date intrinsic
          can only be a slot created lazily after a schema extension —
          give it the schema default. *)
-      (match def.Schema.kind with
+      (match si.Schema.si_def.Schema.kind with
       | Schema.Intrinsic default ->
         s.Instance.value <- default;
         s.Instance.state <- Instance.Up_to_date
@@ -169,27 +239,27 @@ let rec eval_rec t path id a =
     else begin
       s.Instance.state <- Instance.In_progress;
       Store.touch t.store id;
-      let rule = rule_of t inst a in
-      let fetch_value j b =
+      let cr = rule_of_si inst si in
+      let fetch_value j jx =
         let jinst = Store.get t.store j in
         if j <> id then Store.touch t.store j;
-        let jdef = attr_def t jinst b in
-        if is_derived_def jdef then eval_rec t ((id, a) :: path) j b
-        else (Instance.slot jinst b).Instance.value
+        let jsi = slot_info jinst jx in
+        if jsi.Schema.si_derived then eval_rec t ((id, si.Schema.si_name) :: path) j jx
+        else (Instance.slot_ix jinst jx).Instance.value
       in
-      let env = build_env t rule inst ~fetch_value in
+      let env = build_env t cr inst ~fetch_value in
       let v =
-        try rule.Schema.compute env
+        try cr.Schema.cr_rule.Schema.compute env
         with e ->
           s.Instance.state <- Instance.Out_of_date;
           raise e
       in
-      Counters.incr (counters t) "rule_evals";
+      incr t.c_rule_evals;
       s.Instance.value <- v;
       s.Instance.state <- Instance.Up_to_date;
-      Store.notify_write t.store id a v;
-      Hashtbl.remove t.pending_important (id, a);
-      record_constraint_check t inst a v;
+      Store.notify_write t.store id si.Schema.si_name v;
+      Hashtbl.remove t.pending_important (Symbol.pack id si.Schema.si_sym);
+      record_constraint_check t inst si v;
       v
     end
 
@@ -200,33 +270,35 @@ let mark_cost t j = if Store.resident t.store j then 0.0 else 1.0
 
 let run_marks t targets =
   let sched = Sched.create t.sched t.store in
-  let schedule (j, b, via) =
-    (match via with
-    | Some (i, r) -> Usage.cross (Store.usage t.store) ~from_instance:i ~rel:r ~to_instance:j
+  let usage = Store.usage t.store in
+  let schedule tgt =
+    (match tgt.t_via with
+    | Some (i, rsym) -> Usage.cross_sym usage ~from_instance:i ~rel_sym:rsym ~to_instance:tgt.t_id
     | None -> ());
-    Sched.schedule sched ~instance:j ~cost:(mark_cost t j) (j, b)
+    Sched.schedule sched ~instance:tgt.t_id ~cost:(mark_cost t tgt.t_id) tgt
   in
   List.iter schedule targets;
   let rec loop () =
     match Sched.next sched with
     | None -> ()
-    | Some (j, b) ->
-      (match Store.get_opt t.store j with
+    | Some tgt ->
+      (match Store.get_opt t.store tgt.t_id with
       | None -> ()
       | Some inst ->
-        Store.touch t.store j;
-        Counters.incr (counters t) "mark_visits";
-        let s = Instance.slot inst b in
+        Store.touch t.store tgt.t_id;
+        incr t.c_mark_visits;
+        let s = Instance.slot_ix inst tgt.t_ix in
         (match s.Instance.state with
         | Instance.Out_of_date ->
           (* Already out of date: the traversal is cut short here — this
              is the source of the O(1) repeated-update behaviour. *)
-          Counters.incr (counters t) "mark_cutoffs"
+          incr t.c_mark_cutoffs
         | Instance.Up_to_date | Instance.In_progress ->
           s.Instance.state <- Instance.Out_of_date;
-          Store.notify_mark t.store j b;
-          if important t j b then Hashtbl.replace t.pending_important (j, b) ();
-          List.iter schedule (dependents t j b)));
+          Store.notify_mark t.store tgt.t_id (Symbol.name tgt.t_sym);
+          if important_si t tgt.t_id (slot_info inst tgt.t_ix) then
+            Hashtbl.replace t.pending_important (Symbol.pack tgt.t_id tgt.t_sym) ();
+          iter_dependents inst tgt.t_ix schedule));
       loop ()
   in
   loop ()
@@ -236,33 +308,39 @@ let run_marks t targets =
 
 type frame = {
   f_id : int;
-  f_attr : string;
+  f_ix : int;  (* slot index of the attribute being evaluated *)
+  f_sym : int;
   mutable f_pending : int;
   mutable f_cost : float;  (* block misses charged to this subtree *)
   f_parent : frame option;
-  f_via : (int * string) option;  (* (requesting instance, rel) *)
+  f_via : (int * int) option;  (* (requesting instance, rel symbol) *)
 }
 
 type eval_proc =
-  | Demand of { d_id : int; d_attr : string; d_parent : frame option; d_via : (int * string) option }
+  | Demand of {
+      d_id : int;
+      d_ix : int;
+      d_parent : frame option;
+      d_via : (int * int) option;
+    }
   | Finish of frame
 
 let run_eval t roots =
   let sched = Sched.create t.sched t.store in
-  let frames : (int * string, frame) Hashtbl.t = Hashtbl.create 32 in
-  let waiters : (int * string, frame list ref) Hashtbl.t = Hashtbl.create 32 in
-  let misses () = Counters.get (counters t) "block_misses" in
+  let frames : (int, frame) Hashtbl.t = Hashtbl.create 32 in
+  let waiters : (int, frame list ref) Hashtbl.t = Hashtbl.create 32 in
+  let misses () = !(t.c_misses) in
   let demand_cost via j =
     if Store.resident t.store j then 0.0
     else
       match via with
-      | Some (i, r) -> Decaying_avg.value (Store.link_tag t.store i r)
+      | Some (i, rsym) -> Decaying_avg.value (Store.link_tag_sym t.store i rsym)
       | None -> 1.0
   in
-  let schedule_demand ~parent ~via j b =
+  let schedule_demand ~parent ~via j jx =
     (match parent with Some p -> p.f_pending <- p.f_pending + 1 | None -> ());
     Sched.schedule sched ~instance:j ~cost:(demand_cost via j)
-      (Demand { d_id = j; d_attr = b; d_parent = parent; d_via = via })
+      (Demand { d_id = j; d_ix = jx; d_parent = parent; d_via = via })
   in
   let add_waiter key frame =
     match Hashtbl.find_opt waiters key with
@@ -282,91 +360,97 @@ let run_eval t roots =
       Hashtbl.remove waiters key;
       List.iter notify ws
   in
-  (* Enumerate the out-of-date derived sources of (id, attr), demanding
-     each; returns the number demanded. *)
+  (* Enumerate the out-of-date derived sources of the frame's attribute,
+     demanding each. *)
   let open_frame frame (inst : Instance.t) =
-    let rule = rule_of t inst frame.f_attr in
-    let demand_source j b via =
+    let cr = rule_of_si inst (slot_info inst frame.f_ix) in
+    let demand_source j jx via =
       let jinst = Store.get t.store j in
-      let jdef = attr_def t jinst b in
-      if is_derived_def jdef then begin
-        let s = Instance.slot jinst b in
+      let jsi = slot_info jinst jx in
+      if jsi.Schema.si_derived then begin
+        let s = Instance.slot_ix jinst jx in
         match s.Instance.state with
         | Instance.Up_to_date -> ()
         | Instance.Out_of_date | Instance.In_progress ->
-          schedule_demand ~parent:(Some frame) ~via j b
+          schedule_demand ~parent:(Some frame) ~via j jx
       end
     in
-    List.iter
+    Array.iter
       (function
-        | Schema.Self b -> demand_source frame.f_id b None
-        | Schema.Rel (r, name) ->
-          let attr = resolve_transmission t inst r name in
-          List.iter (fun j -> demand_source j attr (Some (frame.f_id, r))) (Instance.linked inst r))
-      rule.Schema.sources
+        | Schema.C_self { s_slot; _ } -> demand_source frame.f_id s_slot None
+        | Schema.C_rel c ->
+          Instance.iter_linked inst c.r_link (fun j ->
+              if c.r_slot < 0 then
+                Errors.unknown "type %s has no attribute %s" c.r_target (Symbol.name c.r_sym);
+              demand_source j c.r_slot (Some (frame.f_id, c.r_rel_sym))))
+      cr.Schema.cr_sources
   in
   let finish frame =
+    let key = Symbol.pack frame.f_id frame.f_sym in
     match Store.get_opt t.store frame.f_id with
     | None ->
-      Hashtbl.remove frames (frame.f_id, frame.f_attr);
-      notify_waiters (frame.f_id, frame.f_attr)
+      Hashtbl.remove frames key;
+      notify_waiters key
     | Some inst ->
       let before = misses () in
       Store.touch t.store frame.f_id;
-      let rule = rule_of t inst frame.f_attr in
-      let fetch_value j b =
+      let si = slot_info inst frame.f_ix in
+      let cr = rule_of_si inst si in
+      let fetch_value j jx =
         let jinst = Store.get t.store j in
         if j <> frame.f_id then Store.touch t.store j;
-        let s = Instance.slot jinst b in
+        let s = Instance.slot_ix jinst jx in
         (match s.Instance.state with
         | Instance.Up_to_date -> ()
         | Instance.Out_of_date | Instance.In_progress -> (
           (* All derived sources were demanded and completed before this
              Finish was scheduled; an out-of-date source here is a
              lazily-created intrinsic slot (schema extension). *)
-          match (attr_def t jinst b).Schema.kind with
+          match (slot_info jinst jx).Schema.si_def.Schema.kind with
           | Schema.Intrinsic default ->
             s.Instance.value <- default;
             s.Instance.state <- Instance.Up_to_date
           | Schema.Derived _ -> assert false));
         s.Instance.value
       in
-      let env = build_env t rule inst ~fetch_value in
-      let v = rule.Schema.compute env in
-      Counters.incr (counters t) "rule_evals";
-      let s = Instance.slot inst frame.f_attr in
+      let env = build_env t cr inst ~fetch_value in
+      let v = cr.Schema.cr_rule.Schema.compute env in
+      incr t.c_rule_evals;
+      let s = Instance.slot_ix inst frame.f_ix in
       s.Instance.value <- v;
       s.Instance.state <- Instance.Up_to_date;
-      Store.notify_write t.store frame.f_id frame.f_attr v;
-      Hashtbl.remove t.pending_important (frame.f_id, frame.f_attr);
-      Hashtbl.remove frames (frame.f_id, frame.f_attr);
-      record_constraint_check t inst frame.f_attr v;
+      Store.notify_write t.store frame.f_id si.Schema.si_name v;
+      Hashtbl.remove t.pending_important key;
+      Hashtbl.remove frames key;
+      record_constraint_check t inst si v;
       frame.f_cost <- frame.f_cost +. float_of_int (misses () - before);
       (* Self-adaptive statistics: the link that requested this value
          learns what the request actually cost (§2.3). *)
       (match frame.f_via with
-      | Some (i, r) ->
-        if Store.mem t.store i then Decaying_avg.observe (Store.link_tag t.store i r) frame.f_cost
+      | Some (i, rsym) ->
+        if Store.mem t.store i then
+          Decaying_avg.observe (Store.link_tag_sym t.store i rsym) frame.f_cost
       | None -> ());
       (match frame.f_parent with Some p -> p.f_cost <- p.f_cost +. frame.f_cost | None -> ());
-      notify_waiters (frame.f_id, frame.f_attr)
+      notify_waiters key
   in
-  let run_demand d_id d_attr d_parent d_via =
+  let run_demand d_id d_ix d_parent d_via =
     match Store.get_opt t.store d_id with
     | None -> (match d_parent with Some p -> notify p | None -> ())
     | Some inst -> (
-      let s = Instance.slot inst d_attr in
+      let s = Instance.slot_ix inst d_ix in
+      let si = slot_info inst d_ix in
+      let key = Symbol.pack d_id si.Schema.si_sym in
       match s.Instance.state with
       | Instance.Up_to_date -> ( match d_parent with Some p -> notify p | None -> ())
       | Instance.In_progress -> (
         (* A frame already exists; wait for it. *)
         match d_parent with
-        | Some p -> add_waiter (d_id, d_attr) p
+        | Some p -> add_waiter key p
         | None -> ())
       | Instance.Out_of_date ->
-        let def = attr_def t inst d_attr in
-        if not (is_derived_def def) then begin
-          (match def.Schema.kind with
+        if not si.Schema.si_derived then begin
+          (match si.Schema.si_def.Schema.kind with
           | Schema.Intrinsic default ->
             s.Instance.value <- default;
             s.Instance.state <- Instance.Up_to_date
@@ -376,49 +460,48 @@ let run_eval t roots =
         else begin
           let before = misses () in
           Store.touch t.store d_id;
-          Counters.incr (counters t) "demand_procs";
+          incr t.c_demand_procs;
           let frame =
             {
               f_id = d_id;
-              f_attr = d_attr;
+              f_ix = d_ix;
+              f_sym = si.Schema.si_sym;
               f_pending = 0;
               f_cost = float_of_int 0;
               f_parent = d_parent;
               f_via = d_via;
             }
           in
-          Hashtbl.add frames (d_id, d_attr) frame;
+          Hashtbl.add frames key frame;
           (* The parent's pending (incremented at demand time) is settled
              by the waiter notification when this frame finishes. *)
-          (match d_parent with Some p -> add_waiter (d_id, d_attr) p | None -> ());
+          (match d_parent with Some p -> add_waiter key p | None -> ());
           s.Instance.state <- Instance.In_progress;
           open_frame frame inst;
           frame.f_cost <- frame.f_cost +. float_of_int (misses () - before);
           if frame.f_pending = 0 then schedule_finish frame
         end)
   in
-  List.iter
-    (fun (id, a) -> schedule_demand ~parent:None ~via:None id a)
-    roots;
+  List.iter (fun (id, ix) -> schedule_demand ~parent:None ~via:None id ix) roots;
   let rec loop () =
     match Sched.next sched with
     | None -> ()
-    | Some (Demand { d_id; d_attr; d_parent; d_via }) ->
-      Counters.incr (counters t) "eval_procs";
-      run_demand d_id d_attr d_parent d_via;
+    | Some (Demand { d_id; d_ix; d_parent; d_via }) ->
+      incr t.c_eval_procs;
+      run_demand d_id d_ix d_parent d_via;
       loop ()
     | Some (Finish frame) ->
-      Counters.incr (counters t) "eval_procs";
+      incr t.c_eval_procs;
       finish frame;
       loop ()
   in
   let restore_open_frames () =
     (* A rule raising mid-run must not leave slots In_progress. *)
     Hashtbl.iter
-      (fun (id, a) _ ->
-        match Store.get_opt t.store id with
+      (fun _ frame ->
+        match Store.get_opt t.store frame.f_id with
         | Some inst ->
-          let s = Instance.slot inst a in
+          let s = Instance.slot_ix inst frame.f_ix in
           if s.Instance.state = Instance.In_progress then s.Instance.state <- Instance.Out_of_date
         | None -> ())
       frames
@@ -429,16 +512,19 @@ let run_eval t roots =
      raise e);
   (* Any frame still pending after the scheduler drained is waiting on a
      value that can never arrive: a dependency cycle. *)
-  let stuck = Hashtbl.fold (fun key _ acc -> key :: acc) frames [] in
+  let stuck = Hashtbl.fold (fun _ frame acc -> frame :: acc) frames [] in
   if stuck <> [] then begin
     (* Restore the stuck slots so the database is not left in progress. *)
     List.iter
-      (fun (id, a) ->
-        match Store.get_opt t.store id with
-        | Some inst -> (Instance.slot inst a).Instance.state <- Instance.Out_of_date
+      (fun frame ->
+        match Store.get_opt t.store frame.f_id with
+        | Some inst ->
+          (Instance.slot_ix inst frame.f_ix).Instance.state <- Instance.Out_of_date
         | None -> ())
       stuck;
-    raise (Errors.Cycle (List.sort compare stuck))
+    raise
+      (Errors.Cycle
+         (List.sort compare (List.map (fun f -> (f.f_id, Symbol.name f.f_sym)) stuck)))
   end
 
 (* ------------------------------------------------------------------ *)
@@ -451,24 +537,30 @@ let rec handle_violations t =
   | [] -> ()
   | _ ->
     List.iter
-      (fun (id, a) ->
+      (fun (id, sym) ->
         match Store.get_opt t.store id with
         | None -> ()
         | Some inst -> (
-          let s = Instance.slot inst a in
+          let ix =
+            match Instance.find_slot_sym inst sym with Some ix -> ix | None -> assert false
+          in
+          let s = Instance.slot_ix inst ix in
+          let si = slot_info inst ix in
           (* A recovery applied for an earlier violation in this batch may
              already have repaired (re-marked) this one. *)
           let still_false =
             s.Instance.state = Instance.Up_to_date && Value.equal s.Instance.value (Value.Bool false)
           in
           if still_false then
-            let def = attr_def t inst a in
             let spec =
-              match def.Schema.constraint_ with Some spec -> spec | None -> assert false
+              match si.Schema.si_def.Schema.constraint_ with
+              | Some spec -> spec
+              | None -> assert false
             in
             let fail () =
               raise
-                (Errors.Constraint_violation { instance = id; attr = a; message = spec.Schema.message })
+                (Errors.Constraint_violation
+                   { instance = id; attr = si.Schema.si_name; message = spec.Schema.message })
             in
             match spec.Schema.recovery with
             | None -> fail ()
@@ -483,7 +575,7 @@ let rec handle_violations t =
                     Counters.incr (counters t) "recoveries_run";
                     List.iter (fun (j, b, v) -> apply j b v) (action t.store id);
                     (* Re-evaluate the constraint after the repair. *)
-                    let v = eval_rec t [] id a in
+                    let v = eval_rec t [] id ix in
                     handle_violations t;
                     if Value.equal v (Value.Bool false) then fail ())
               | _ -> fail ())))
@@ -498,15 +590,17 @@ let invalidate_all t =
       match Store.get_opt t.store id with
       | None -> ()
       | Some inst ->
-        List.iter
-          (fun (d : Schema.attr_def) ->
-            if is_derived_def d then begin
-              (Instance.slot inst d.Schema.attr_name).Instance.state <- Instance.Out_of_date;
-              Store.notify_mark t.store id d.Schema.attr_name;
-              if important t id d.Schema.attr_name then
-                Hashtbl.replace t.pending_important (id, d.Schema.attr_name) ()
+        let lay = inst.Instance.layout in
+        Schema.refresh_layout lay;
+        Array.iteri
+          (fun ix (si : Schema.slot_info) ->
+            if si.Schema.si_derived then begin
+              (Instance.slot_ix inst ix).Instance.state <- Instance.Out_of_date;
+              Store.notify_mark t.store id si.Schema.si_name;
+              if important_si t id si then
+                Hashtbl.replace t.pending_important (Symbol.pack id si.Schema.si_sym) ()
             end)
-          (Schema.attrs (schema t) ~type_name:inst.Instance.type_name))
+          lay.Schema.lay_slots)
     (Store.instance_ids t.store)
 
 let eval_everything t =
@@ -515,10 +609,12 @@ let eval_everything t =
       match Store.get_opt t.store id with
       | None -> ()
       | Some inst ->
-        List.iter
-          (fun (d : Schema.attr_def) ->
-            if is_derived_def d then ignore (eval_rec t [] id d.Schema.attr_name))
-          (Schema.attrs (schema t) ~type_name:inst.Instance.type_name))
+        let lay = inst.Instance.layout in
+        Schema.refresh_layout lay;
+        Array.iteri
+          (fun ix (si : Schema.slot_info) ->
+            if si.Schema.si_derived then ignore (eval_rec t [] id ix))
+          lay.Schema.lay_slots)
     (Store.instance_ids t.store);
   handle_violations t
 
@@ -527,29 +623,30 @@ let eval_everything t =
    depth-first order.  On diamond-shaped dependency graphs this
    recomputes an exponential number of values — the behaviour the paper's
    algorithm exists to avoid. *)
-let rec fire_trigger t (j, b, _via) =
-  match Store.get_opt t.store j with
+let rec fire_trigger t tgt =
+  match Store.get_opt t.store tgt.t_id with
   | None -> ()
   | Some inst ->
-    Store.touch t.store j;
-    let rule = rule_of t inst b in
-    let fetch_value k c =
+    Store.touch t.store tgt.t_id;
+    let si = slot_info inst tgt.t_ix in
+    let cr = rule_of_si inst si in
+    let fetch_value k kx =
       let kinst = Store.get t.store k in
-      if k <> j then Store.touch t.store k;
-      let kdef = attr_def t kinst c in
-      let s = Instance.slot kinst c in
-      if is_derived_def kdef && s.Instance.state <> Instance.Up_to_date then eval_rec t [] k c
+      if k <> tgt.t_id then Store.touch t.store k;
+      let ksi = slot_info kinst kx in
+      let s = Instance.slot_ix kinst kx in
+      if ksi.Schema.si_derived && s.Instance.state <> Instance.Up_to_date then eval_rec t [] k kx
       else s.Instance.value
     in
-    let env = build_env t rule inst ~fetch_value in
-    let v = rule.Schema.compute env in
-    Counters.incr (counters t) "rule_evals";
-    let s = Instance.slot inst b in
+    let env = build_env t cr inst ~fetch_value in
+    let v = cr.Schema.cr_rule.Schema.compute env in
+    incr t.c_rule_evals;
+    let s = Instance.slot_ix inst tgt.t_ix in
     s.Instance.value <- v;
     s.Instance.state <- Instance.Up_to_date;
-    Store.notify_write t.store j b v;
-    record_constraint_check t inst b v;
-    List.iter (fire_trigger t) (dependents t j b)
+    Store.notify_write t.store tgt.t_id si.Schema.si_name v;
+    record_constraint_check t inst si v;
+    List.iter (fire_trigger t) (dependents_ix inst tgt.t_ix)
 
 let after_change t targets =
   match t.strategy with
@@ -562,25 +659,44 @@ let after_change t targets =
     eval_everything t
 
 let after_intrinsic_set t id a =
-  Counters.incr (counters t) "intrinsic_sets";
-  after_change t (dependents t id a)
+  incr t.c_intrinsic_sets;
+  let targets =
+    match Store.get_opt t.store id with
+    | None -> []
+    | Some inst -> (
+      match Instance.find_slot inst a with
+      | Some ix -> dependents_ix inst ix
+      | None -> [])
+  in
+  after_change t targets
 
 let after_link_change t ~from_id ~rel ~to_id =
   let side id r =
     match Store.get_opt t.store id with
     | None -> []
-    | Some inst ->
-      Schema.rel_dependents (schema t) ~type_name:inst.Instance.type_name r
-      |> List.map (fun b -> (id, b, None))
+    | Some inst -> (
+      match Instance.find_link inst r with
+      | None -> []
+      | Some lx ->
+        let li = link_info inst lx in
+        Array.to_list li.Schema.li_rel_deps
+        |> List.map (fun d ->
+               let si = slot_info inst d in
+               { t_id = id; t_ix = d; t_sym = si.Schema.si_sym; t_via = None }))
+  in
+  let inverse_of (inst : Instance.t) r =
+    match Instance.find_link inst r with
+    | Some lx -> (link_info inst lx).Schema.li_def.Schema.inverse
+    | None -> Errors.unknown "type %s has no relationship %s" inst.Instance.type_name r
   in
   let inv =
     match Store.get_opt t.store from_id with
-    | Some inst -> (Schema.rel (schema t) ~type_name:inst.Instance.type_name rel).Schema.inverse
+    | Some inst -> inverse_of inst rel
     | None -> (
       match Store.get_opt t.store to_id with
       | Some jinst ->
         (* from side gone (undo paths); find inverse from the target. *)
-        (Schema.rel (schema t) ~type_name:jinst.Instance.type_name rel).Schema.inverse
+        inverse_of jinst rel
       | None -> rel)
   in
   after_change t (side from_id rel @ side to_id inv)
@@ -589,25 +705,30 @@ let on_new_instance t id =
   match Store.get_opt t.store id with
   | None -> ()
   | Some inst -> (
+    let lay = inst.Instance.layout in
+    Schema.refresh_layout lay;
     match t.strategy with
     | Cactis ->
       (* Creation "does not affect attribute evaluation until
          relationships are established" — but the new instance's own
          constraints must hold at commit. *)
-      List.iter
-        (fun (d : Schema.attr_def) ->
-          Hashtbl.replace t.pending_important (id, d.Schema.attr_name) ())
-        (Schema.constraint_attrs (schema t) ~type_name:inst.Instance.type_name)
+      Array.iter
+        (fun (si : Schema.slot_info) ->
+          if si.Schema.si_constrained then
+            Hashtbl.replace t.pending_important (Symbol.pack id si.Schema.si_sym) ())
+        lay.Schema.lay_slots
     | Eager_triggers | Recompute_all ->
-      List.iter
-        (fun (d : Schema.attr_def) ->
-          if is_derived_def d then ignore (eval_rec t [] id d.Schema.attr_name))
-        (Schema.attrs (schema t) ~type_name:inst.Instance.type_name);
+      Array.iteri
+        (fun ix (si : Schema.slot_info) ->
+          if si.Schema.si_derived then ignore (eval_rec t [] id ix))
+        lay.Schema.lay_slots;
       handle_violations t)
 
 let on_delete_instance t id =
   let purge tbl =
-    let stale = Hashtbl.fold (fun ((i, _) as k) _ acc -> if i = id then k :: acc else acc) tbl [] in
+    let stale =
+      Hashtbl.fold (fun k _ acc -> if Symbol.pack_id k = id then k :: acc else acc) tbl []
+    in
     List.iter (Hashtbl.remove tbl) stale
   in
   purge t.watched;
@@ -619,16 +740,19 @@ let after_attr_added t ~type_name ~attr =
     (fun id ->
       match Store.get_opt t.store id with
       | None -> ()
-      | Some inst ->
-        let s = Instance.slot inst attr in
-        (match def.Schema.kind with
-        | Schema.Intrinsic default ->
-          s.Instance.value <- default;
-          s.Instance.state <- Instance.Up_to_date
-        | Schema.Derived _ ->
-          s.Instance.state <- Instance.Out_of_date;
-          if important t id attr then Hashtbl.replace t.pending_important (id, attr) ())
-        )
+      | Some inst -> (
+        match Instance.find_slot inst attr with
+        | None -> ()
+        | Some ix ->
+          let s = Instance.slot_ix inst ix in
+          (match def.Schema.kind with
+          | Schema.Intrinsic default ->
+            s.Instance.value <- default;
+            s.Instance.state <- Instance.Up_to_date
+          | Schema.Derived _ ->
+            s.Instance.state <- Instance.Out_of_date;
+            if important_si t id (slot_info inst ix) then
+              Hashtbl.replace t.pending_important (Symbol.pack id (Symbol.intern attr)) ())))
     (Store.instances_of_type t.store type_name)
 
 (* ------------------------------------------------------------------ *)
@@ -644,55 +768,65 @@ let is_out_of_date t id a =
 
 let read t ?(watch = true) id a =
   let inst = Store.get t.store id in
-  let def = attr_def t inst a in
-  Store.touch t.store id;
-  if not (is_derived_def def) then (Instance.slot inst a).Instance.value
-  else begin
-    (* "If the user explicitly requests the value of attributes (i.e.
-       makes a query) they become important" (§2.2). *)
-    if watch then Hashtbl.replace t.watched (id, a) ();
-    let s = Instance.slot inst a in
-    (match s.Instance.state with
-    | Instance.Up_to_date -> ()
-    | Instance.Out_of_date | Instance.In_progress -> (
-      match t.strategy with
-      | Cactis ->
-        run_eval t [ (id, a) ];
-        handle_violations t
-      | Eager_triggers | Recompute_all ->
-        ignore (eval_rec t [] id a);
-        handle_violations t));
-    (Instance.slot inst a).Instance.value
-  end
+  match Instance.find_slot inst a with
+  | None -> Errors.unknown "type %s has no attribute %s" inst.Instance.type_name a
+  | Some ix ->
+    Store.touch t.store id;
+    let si = slot_info inst ix in
+    if not si.Schema.si_derived then (Instance.slot_ix inst ix).Instance.value
+    else begin
+      (* "If the user explicitly requests the value of attributes (i.e.
+         makes a query) they become important" (§2.2). *)
+      if watch then Hashtbl.replace t.watched (Symbol.pack id si.Schema.si_sym) ();
+      let s = Instance.slot_ix inst ix in
+      (match s.Instance.state with
+      | Instance.Up_to_date -> ()
+      | Instance.Out_of_date | Instance.In_progress -> (
+        match t.strategy with
+        | Cactis ->
+          run_eval t [ (id, ix) ];
+          handle_violations t
+        | Eager_triggers | Recompute_all ->
+          ignore (eval_rec t [] id ix);
+          handle_violations t));
+      (Instance.slot_ix inst ix).Instance.value
+    end
+
+(* Pending roots resolved back to (id, name, slot ix); sorted by
+   (id, name) to preserve the evaluation order of the string-keyed
+   implementation (deterministic counters). *)
+let pending_roots t =
+  let roots =
+    Hashtbl.fold
+      (fun key () acc ->
+        let id = Symbol.pack_id key and sym = Symbol.pack_sym key in
+        match Store.get_opt t.store id with
+        | None -> acc
+        | Some inst -> (
+          match Instance.find_slot_sym inst sym with
+          | None -> acc
+          | Some ix ->
+            let si = slot_info inst ix in
+            if si.Schema.si_derived then (id, si.Schema.si_name, ix) :: acc else acc))
+      t.pending_important []
+  in
+  List.sort
+    (fun (i1, n1, _) (i2, n2, _) -> if i1 <> i2 then compare i1 i2 else String.compare n1 n2)
+    roots
 
 let propagate t =
   match t.strategy with
   | Cactis ->
-    let roots = Hashtbl.fold (fun k () acc -> k :: acc) t.pending_important [] in
-    let roots =
-      List.filter
-        (fun (id, a) ->
-          match Store.get_opt t.store id with
-          | None -> false
-          | Some inst -> (
-            match Schema.attr_opt (schema t) ~type_name:inst.Instance.type_name a with
-            | Some d -> is_derived_def d
-            | None -> false))
-        roots
-      |> List.sort compare
-    in
+    let roots = pending_roots t in
     Hashtbl.reset t.pending_important;
     if roots <> [] then begin
-      run_eval t roots;
+      run_eval t (List.map (fun (id, _, ix) -> (id, ix)) roots);
       handle_violations t
     end
   | Eager_triggers | Recompute_all ->
-    let roots = Hashtbl.fold (fun k () acc -> k :: acc) t.pending_important [] in
+    let roots = pending_roots t in
     Hashtbl.reset t.pending_important;
-    List.iter
-      (fun (id, a) ->
-        if Store.mem t.store id then ignore (eval_rec t [] id a))
-      (List.sort compare roots);
+    List.iter (fun (id, _, ix) -> ignore (eval_rec t [] id ix)) roots;
     handle_violations t
 
 let pending_important_count t = Hashtbl.length t.pending_important
@@ -701,6 +835,9 @@ let pending_important_count t = Hashtbl.length t.pending_important
 (* Oracle: reference semantics with no caching and no I/O accounting   *)
 
 let oracle_value t id a =
+  let attr_def (inst : Instance.t) b =
+    Schema.attr (schema t) ~type_name:inst.Instance.type_name b
+  in
   let memo : (int * string, Value.t) Hashtbl.t = Hashtbl.create 32 in
   let visiting : (int * string, unit) Hashtbl.t = Hashtbl.create 32 in
   let rec go path id a =
@@ -709,7 +846,7 @@ let oracle_value t id a =
     | None ->
       if Hashtbl.mem visiting (id, a) then raise (Errors.Cycle (List.rev ((id, a) :: path)));
       let inst = Store.get t.store id in
-      let def = attr_def t inst a in
+      let def = attr_def inst a in
       let v =
         match def.Schema.kind with
         | Schema.Intrinsic _ -> (Instance.slot inst a).Instance.value

@@ -1,9 +1,18 @@
 (** In-memory representation of one object instance: attribute slots
-    (value + up-to-date state) and relationship link lists.
+    (value + up-to-date state) in a flat array addressed by the type's
+    compiled slot indexes, and relationship links in compact int
+    vectors addressed by link indexes (see {!Schema.layout}).
 
     This module is deliberately dumb storage — all invariants
     (propagation, logging, inverse-link maintenance, paging) are enforced
-    by {!Store}, {!Engine} and {!Db}. *)
+    by {!Store}, {!Engine} and {!Db}.
+
+    The string-keyed accessors resolve names through the layout once at
+    the boundary; engine hot paths use the [_ix] variants with
+    precompiled indexes.  After a DDL extension the arrays are grown
+    lazily on first indexed access; grown slots start out of date and
+    [Null] (intrinsics are patched to their schema default on first
+    evaluation touch). *)
 
 type state =
   | Up_to_date
@@ -15,24 +24,36 @@ type slot = {
   mutable state : state;
 }
 
+(** Insertion-ordered id vector for one relationship (oldest first);
+    appends are amortized O(1). *)
+type links = {
+  mutable ids : int array;
+  mutable n : int;
+}
+
 type t = {
   id : int;
   type_name : string;
-  slots : (string, slot) Hashtbl.t;
-  links : (string, int list ref) Hashtbl.t;  (** rel -> related ids, oldest first *)
+  layout : Schema.layout;
+  mutable slots : slot array;  (** by slot index *)
+  mutable links : links array;  (** by link index *)
   mutable alive : bool;
 }
 
-val create : id:int -> type_name:string -> t
+(** [create ~id ~layout] materializes every declared slot: intrinsics at
+    their schema default (up to date), derived slots out of date. *)
+val create : id:int -> layout:Schema.layout -> t
 
-(** [slot t a] returns the slot for attribute [a], creating an
-    out-of-date [Null] slot on first touch (new attributes may be added
-    to the schema after instances exist). *)
+(** {1 Name-resolving accessors (API boundary)} *)
+
+(** [slot t a] returns the slot for attribute [a].
+    @raise Errors.Unknown if the type does not declare [a]. *)
 val slot : t -> string -> slot
 
 val slot_opt : t -> string -> slot option
 
-(** Related ids across one relationship (empty when never linked). *)
+(** Related ids across one relationship (empty when never linked or
+    undeclared). *)
 val linked : t -> string -> int list
 
 (** [add_link t rel id] appends; [remove_link t rel id] removes the first
@@ -43,3 +64,21 @@ val remove_link : t -> string -> int -> bool
 
 (** All (rel, ids) pairs with at least one link. *)
 val all_links : t -> (string * int list) list
+
+(** Every declared slot with its attribute name (diagnostics). *)
+val iter_slots : t -> (string -> slot -> unit) -> unit
+
+(** {1 Index resolution} *)
+
+val find_slot : t -> string -> int option
+val find_slot_sym : t -> int -> int option
+val find_link : t -> string -> int option
+
+(** {1 Indexed accessors (hot paths; indexes come from the layout)} *)
+
+val slot_ix : t -> int -> slot
+val linked_ix : t -> int -> int list
+val iter_linked : t -> int -> (int -> unit) -> unit
+val link_count_ix : t -> int -> int
+val add_link_ix : t -> int -> int -> unit
+val remove_link_ix : t -> int -> int -> bool

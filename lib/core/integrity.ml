@@ -13,8 +13,7 @@ let check db =
       if not (Schema.has_type sch tn) then report "instance %d has unknown type %s" id tn
       else begin
         (* Slots: declared, correct state discipline. *)
-        Hashtbl.iter
-          (fun attr (slot : Instance.slot) ->
+        Instance.iter_slots inst (fun attr (slot : Instance.slot) ->
             match Schema.attr_opt sch ~type_name:tn attr with
             | None -> report "instance %d carries undeclared attribute %s" id attr
             | Some def -> (
@@ -25,8 +24,7 @@ let check db =
               | Schema.Intrinsic _ ->
                 if slot.Instance.state = Instance.Out_of_date then
                   report "instance %d intrinsic %s is out of date" id attr
-              | Schema.Derived _ -> ()))
-          inst.Instance.slots;
+              | Schema.Derived _ -> ()));
         (* Links: declared, alive endpoints, inverse symmetry, type and
            cardinality respected. *)
         List.iter

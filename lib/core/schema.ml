@@ -1,3 +1,5 @@
+module Symbol = Cactis_util.Symbol
+
 type source =
   | Self of string
   | Rel of string * string
@@ -66,7 +68,66 @@ type t = {
   self_dep_cache : (string * string, string list) Hashtbl.t;
   cross_dep_cache : (string * string, (string * string) list) Hashtbl.t;
   rel_dep_cache : (string * string, string list) Hashtbl.t;
+  (* Compiled per-type layouts (slot/link index assignment plus resolved
+     dependency tables), recompiled in place when [schema_version]
+     moves.  The [layout] records themselves are allocated once per type
+     and never replaced: instances hold direct pointers to them. *)
+  layouts : (string, layout) Hashtbl.t;
+  mutable layouts_version : int;
 }
+
+and layout = {
+  lay_schema : t;
+  lay_type : string;
+  mutable lay_slots : slot_info array;
+  mutable lay_links : link_info array;
+  lay_slot_ix : (string, int) Hashtbl.t;
+  lay_slot_ix_sym : (int, int) Hashtbl.t;
+  lay_link_ix : (string, int) Hashtbl.t;
+}
+
+and slot_info = {
+  si_name : string;
+  si_sym : int;
+  si_def : attr_def;
+  si_derived : bool;
+  si_rule : compiled_rule option;
+  si_constrained : bool;
+  si_self_deps : int array;
+  si_cross_deps : cross_dep array;
+}
+
+and cross_dep = {
+  xd_link : int;
+  xd_rel_sym : int;
+  xd_slot : int;
+  xd_sym : int;
+}
+
+and link_info = {
+  li_name : string;
+  li_sym : int;
+  li_def : rel_def;
+  li_inverse_ix : int;
+  li_rel_deps : int array;
+}
+
+and compiled_rule = {
+  cr_rule : rule;
+  cr_sources : compiled_source array;
+}
+
+and compiled_source =
+  | C_self of { s_name : string; s_slot : int }
+  | C_rel of {
+      r_rel : string;
+      r_attr : string;
+      r_link : int;
+      r_rel_sym : int;
+      r_target : string;
+      r_slot : int;
+      r_sym : int;
+    }
 
 let create () =
   {
@@ -79,6 +140,8 @@ let create () =
     self_dep_cache = Hashtbl.create 64;
     cross_dep_cache = Hashtbl.create 64;
     rel_dep_cache = Hashtbl.create 64;
+    layouts = Hashtbl.create 16;
+    layouts_version = -1;
   }
 
 let bump t = t.schema_version <- t.schema_version + 1
@@ -296,6 +359,176 @@ let cross_dependents t ~type_name a =
 let rel_dependents t ~type_name r =
   refresh_caches t;
   memo t.rel_dep_cache (fun () -> compute_rel_dependents t ~type_name r) (type_name, r)
+
+(* ------------------------------------------------------------------ *)
+(* Compiled layouts                                                    *)
+
+(* Slot and link indexes are {e stable}: [attr_order] / [rel_order] only
+   ever grow (there is no removal API), so a recompile after a DDL
+   change assigns every pre-existing name the same index and instances
+   only ever need to {e extend} their slot arrays, never remap them. *)
+
+let empty_layout t tn =
+  {
+    lay_schema = t;
+    lay_type = tn;
+    lay_slots = [||];
+    lay_links = [||];
+    lay_slot_ix = Hashtbl.create 8;
+    lay_slot_ix_sym = Hashtbl.create 8;
+    lay_link_ix = Hashtbl.create 4;
+  }
+
+let slot_ix_of t tn a = Hashtbl.find (Hashtbl.find t.layouts tn).lay_slot_ix a
+
+let compile_rule t (td : type_def) lay (r : rule) =
+  let compile_source = function
+    | Self a -> C_self { s_name = a; s_slot = Hashtbl.find lay.lay_slot_ix a }
+    | Rel (rl, name) ->
+      let rd = Hashtbl.find td.rel_tbl rl in
+      (* The attribute actually transmitted may be aliased by an export
+         declared on the target side (Figure 1's [exp_time = exp_compl]);
+         it may also legitimately not exist yet — flagged as slot -1 and
+         reported only if a link is ever traversed (extensibility, §3). *)
+      let resolved = resolve_export t ~type_name:rd.target ~rel:rd.inverse name in
+      let r_slot =
+        match Hashtbl.find_opt (Hashtbl.find t.layouts rd.target).lay_slot_ix resolved with
+        | Some ix -> ix
+        | None -> -1
+      in
+      C_rel
+        {
+          r_rel = rl;
+          r_attr = name;
+          r_link = Hashtbl.find lay.lay_link_ix rl;
+          r_rel_sym = Symbol.intern rl;
+          r_target = rd.target;
+          r_slot;
+          r_sym = Symbol.intern resolved;
+        }
+  in
+  { cr_rule = r; cr_sources = Array.of_list (List.map compile_source r.sources) }
+
+let compile_layout t lay =
+  let tn = lay.lay_type in
+  let td = find_type t tn in
+  let slots =
+    List.rev td.attr_order
+    |> List.map (fun a ->
+           let def = Hashtbl.find td.attr_tbl a in
+           let rule =
+             match def.kind with
+             | Derived r -> Some (compile_rule t td lay r)
+             | Intrinsic _ -> None
+           in
+           let self_deps =
+             compute_self_dependents t ~type_name:tn a
+             |> List.map (Hashtbl.find lay.lay_slot_ix)
+             |> Array.of_list
+           in
+           let cross_deps =
+             compute_cross_dependents t ~type_name:tn a
+             |> List.map (fun (r, b) ->
+                    let rd = Hashtbl.find td.rel_tbl r in
+                    {
+                      xd_link = Hashtbl.find lay.lay_link_ix r;
+                      xd_rel_sym = Symbol.intern r;
+                      xd_slot = slot_ix_of t rd.target b;
+                      xd_sym = Symbol.intern b;
+                    })
+             |> Array.of_list
+           in
+           {
+             si_name = a;
+             si_sym = Symbol.intern a;
+             si_def = def;
+             si_derived = rule <> None;
+             si_rule = rule;
+             si_constrained = def.constraint_ <> None;
+             si_self_deps = self_deps;
+             si_cross_deps = cross_deps;
+           })
+    |> Array.of_list
+  in
+  let links =
+    List.rev td.rel_order
+    |> List.map (fun r ->
+           let rd = Hashtbl.find td.rel_tbl r in
+           let inverse_ix =
+             match Hashtbl.find_opt t.layouts rd.target with
+             | None -> -1
+             | Some tl -> (
+               match Hashtbl.find_opt tl.lay_link_ix rd.inverse with
+               | Some ix -> ix
+               | None -> -1)
+           in
+           let rel_deps =
+             compute_rel_dependents t ~type_name:tn r
+             |> List.map (Hashtbl.find lay.lay_slot_ix)
+             |> Array.of_list
+           in
+           {
+             li_name = r;
+             li_sym = Symbol.intern r;
+             li_def = rd;
+             li_inverse_ix = inverse_ix;
+             li_rel_deps = rel_deps;
+           })
+    |> Array.of_list
+  in
+  lay.lay_slots <- slots;
+  lay.lay_links <- links
+
+let refresh_layouts t =
+  if t.layouts_version <> t.schema_version then begin
+    t.layouts_version <- t.schema_version;
+    let tns = type_names t in
+    (* Pass 1: (re)assign name -> index maps for every type, so pass 2
+       can resolve cross-type references in any declaration order. *)
+    List.iter
+      (fun tn ->
+        let lay =
+          match Hashtbl.find_opt t.layouts tn with
+          | Some l -> l
+          | None ->
+            let l = empty_layout t tn in
+            Hashtbl.add t.layouts tn l;
+            l
+        in
+        let td = find_type t tn in
+        Hashtbl.reset lay.lay_slot_ix;
+        Hashtbl.reset lay.lay_slot_ix_sym;
+        Hashtbl.reset lay.lay_link_ix;
+        List.iteri
+          (fun ix a ->
+            Hashtbl.replace lay.lay_slot_ix a ix;
+            Hashtbl.replace lay.lay_slot_ix_sym (Symbol.intern a) ix)
+          (List.rev td.attr_order);
+        List.iteri (fun ix r -> Hashtbl.replace lay.lay_link_ix r ix) (List.rev td.rel_order))
+      tns;
+    (* Pass 2: compile slot/link infos against the fresh index maps. *)
+    List.iter (fun tn -> compile_layout t (Hashtbl.find t.layouts tn)) tns
+  end
+
+let layout t tn =
+  refresh_layouts t;
+  match Hashtbl.find_opt t.layouts tn with
+  | Some l -> l
+  | None -> Errors.unknown "unknown type %s" tn
+
+let refresh_layout lay = refresh_layouts lay.lay_schema
+
+let slot_index lay a =
+  refresh_layouts lay.lay_schema;
+  Hashtbl.find_opt lay.lay_slot_ix a
+
+let slot_index_sym lay sym =
+  refresh_layouts lay.lay_schema;
+  Hashtbl.find_opt lay.lay_slot_ix_sym sym
+
+let link_index lay r =
+  refresh_layouts lay.lay_schema;
+  Hashtbl.find_opt lay.lay_link_ix r
 
 (* ------------------------------------------------------------------ *)
 (* Introspection                                                       *)

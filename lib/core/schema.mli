@@ -81,6 +81,99 @@ type type_def
 
 type t
 
+(** {1 Compiled layouts}
+
+    Every type compiles to a {!layout}: a dense assignment of attribute
+    names to {e slot indexes} and relationship names to {e link indexes},
+    plus dependency tables with every name resolved to indexes and
+    interned symbols (see {!Cactis_util.Symbol}).  Instances store their
+    slots in flat arrays addressed by these indexes, and the engine's
+    mark/evaluate traversals run entirely on ints.
+
+    Indexes are {e stable}: declaration orders only grow, so a DDL
+    change never renumbers existing slots — instances extend their
+    arrays lazily and keep their layout pointer forever.  The layout
+    record for a type is allocated once; its contents are recompiled in
+    place when the schema version moves (checked by {!refresh_layout},
+    a single int comparison when nothing changed).
+
+    Layout contents are read-only outside this module. *)
+
+type layout = {
+  lay_schema : t;
+  lay_type : string;
+  mutable lay_slots : slot_info array;  (** indexed by slot index *)
+  mutable lay_links : link_info array;  (** indexed by link index *)
+  lay_slot_ix : (string, int) Hashtbl.t;
+  lay_slot_ix_sym : (int, int) Hashtbl.t;  (** symbol -> slot index *)
+  lay_link_ix : (string, int) Hashtbl.t;
+}
+
+and slot_info = {
+  si_name : string;
+  si_sym : int;  (** interned [si_name] *)
+  si_def : attr_def;
+  si_derived : bool;
+  si_rule : compiled_rule option;  (** [Some] iff derived *)
+  si_constrained : bool;
+  si_self_deps : int array;
+      (** slot indexes (same type) of attributes whose rules read this one *)
+  si_cross_deps : cross_dep array;
+      (** dependents across each relationship, in (rel, target-attr)
+          declaration order *)
+}
+
+and cross_dep = {
+  xd_link : int;  (** link index (this type) to traverse *)
+  xd_rel_sym : int;  (** interned relationship name, for usage stats *)
+  xd_slot : int;  (** dependent's slot index on the target type *)
+  xd_sym : int;  (** dependent's interned attribute name *)
+}
+
+and link_info = {
+  li_name : string;
+  li_sym : int;
+  li_def : rel_def;
+  li_inverse_ix : int;
+      (** link index of the inverse on the target type; -1 if undeclared *)
+  li_rel_deps : int array;
+      (** slot indexes (this type) of attributes reading across this rel *)
+}
+
+and compiled_rule = {
+  cr_rule : rule;
+  cr_sources : compiled_source array;  (** in declared source order *)
+}
+
+and compiled_source =
+  | C_self of { s_name : string; s_slot : int }
+  | C_rel of {
+      r_rel : string;  (** declared relationship *)
+      r_attr : string;  (** requested (pre-export-resolution) name *)
+      r_link : int;  (** link index of [r_rel] *)
+      r_rel_sym : int;
+      r_target : string;  (** target type name *)
+      r_slot : int;
+          (** resolved slot index on the target; -1 when the target type
+              does not (yet) declare the transmitted attribute *)
+      r_sym : int;  (** interned resolved attribute name *)
+    }
+
+(** [layout t type_name] — the (up-to-date) compiled layout.
+    @raise Errors.Unknown for unknown types. *)
+val layout : t -> string -> layout
+
+(** [refresh_layout lay] recompiles the layout's schema if any DDL
+    happened since the last compile; a no-op (one int compare)
+    otherwise. *)
+val refresh_layout : layout -> unit
+
+(** Name/symbol resolution against an (auto-refreshed) layout. *)
+val slot_index : layout -> string -> int option
+
+val slot_index_sym : layout -> int -> int option
+val link_index : layout -> string -> int option
+
 val create : unit -> t
 
 (** {1 Declaration} *)

@@ -3,15 +3,19 @@ module Usage = Cactis_storage.Usage
 module Cluster = Cactis_storage.Cluster
 module Counters = Cactis_util.Counters
 module Decaying_avg = Cactis_util.Decaying_avg
+module Symbol = Cactis_util.Symbol
 
 type t = {
   schema : Schema.t;
   instances : (int, Instance.t) Hashtbl.t;
   mutable next_id : int;
+  mutable ids_cache : int list option;  (* sorted live ids, invalidated on create/delete *)
   pager : Pager.t;
   usage : Usage.t;
   counters : Counters.t;
-  link_tags : (int * string, Decaying_avg.t) Hashtbl.t;
+  c_touches : int ref;
+  c_misses : int ref;
+  link_tags : (int, Decaying_avg.t) Hashtbl.t;  (* packed (id, rel symbol) *)
   mutable write_observers : (int -> string -> Value.t -> unit) list;
   mutable create_observers : (int -> unit) list;
   mutable delete_observers : (int -> unit) list;
@@ -19,13 +23,17 @@ type t = {
 }
 
 let create ?block_capacity ?buffer_capacity schema =
+  let counters = Counters.create () in
   {
     schema;
     instances = Hashtbl.create 256;
     next_id = 1;
+    ids_cache = Some [];
     pager = Pager.create ?block_capacity ?buffer_capacity ();
     usage = Usage.create ();
-    counters = Counters.create ();
+    counters;
+    c_touches = Counters.cell counters "instance_touches";
+    c_misses = Counters.cell counters "block_misses";
     link_tags = Hashtbl.create 256;
     write_observers = [];
     create_observers = [];
@@ -45,14 +53,17 @@ let pager t = t.pager
 let usage t = t.usage
 let counters t = t.counters
 
-let link_tag t id rel =
-  match Hashtbl.find_opt t.link_tags (id, rel) with
+let link_tag_sym t id rel_sym =
+  let key = Symbol.pack id rel_sym in
+  match Hashtbl.find_opt t.link_tags key with
   | Some tag -> tag
   | None ->
     (* Worst-case initial estimate: one block per crossing. *)
     let tag = Decaying_avg.create ~initial:1.0 () in
-    Hashtbl.add t.link_tags (id, rel) tag;
+    Hashtbl.add t.link_tags key tag;
     tag
+
+let link_tag t id rel = link_tag_sym t id (Symbol.intern rel)
 
 let get_opt t id =
   match Hashtbl.find_opt t.instances id with
@@ -66,24 +77,13 @@ let get t id =
 
 let mem t id = get_opt t id <> None
 
-let install_slots t (inst : Instance.t) =
-  List.iter
-    (fun (d : Schema.attr_def) ->
-      let s = Instance.slot inst d.attr_name in
-      match d.kind with
-      | Schema.Intrinsic default ->
-        s.Instance.value <- default;
-        s.Instance.state <- Instance.Up_to_date
-      | Schema.Derived _ -> s.Instance.state <- Instance.Out_of_date)
-    (Schema.attrs t.schema ~type_name:inst.Instance.type_name)
-
 let create_instance t type_name =
-  if not (Schema.has_type t.schema type_name) then Errors.unknown "unknown type %s" type_name;
+  let layout = Schema.layout t.schema type_name in
   let id = t.next_id in
   t.next_id <- id + 1;
-  let inst = Instance.create ~id ~type_name in
-  install_slots t inst;
+  let inst = Instance.create ~id ~layout in
   Hashtbl.replace t.instances id inst;
+  t.ids_cache <- None;
   Pager.register t.pager id;
   Counters.incr t.counters "instances_created";
   List.iter (fun f -> f id) t.create_observers;
@@ -91,9 +91,10 @@ let create_instance t type_name =
 
 let recreate_instance t ~id type_name =
   if mem t id then Errors.type_error "instance %d already live" id;
-  let inst = Instance.create ~id ~type_name in
-  install_slots t inst;
+  let layout = Schema.layout t.schema type_name in
+  let inst = Instance.create ~id ~layout in
   Hashtbl.replace t.instances id inst;
+  t.ids_cache <- None;
   Pager.register t.pager id;
   if id >= t.next_id then t.next_id <- id + 1;
   List.iter (fun f -> f id) t.create_observers;
@@ -106,12 +107,18 @@ let delete_instance t id =
   List.iter (fun f -> f id) t.delete_observers;
   inst.Instance.alive <- false;
   Hashtbl.remove t.instances id;
+  t.ids_cache <- None;
   Pager.forget t.pager id;
   Usage.forget_instance t.usage id;
   Counters.incr t.counters "instances_deleted"
 
 let instance_ids t =
-  Hashtbl.fold (fun id _ acc -> id :: acc) t.instances [] |> List.sort compare
+  match t.ids_cache with
+  | Some ids -> ids
+  | None ->
+    let ids = Hashtbl.fold (fun id _ acc -> id :: acc) t.instances [] |> List.sort compare in
+    t.ids_cache <- Some ids;
+    ids
 
 let instance_count t = Hashtbl.length t.instances
 
@@ -124,51 +131,59 @@ let instances_of_type t type_name =
 
 let touch t id =
   Usage.touch_instance t.usage id;
-  Counters.incr t.counters "instance_touches";
+  incr t.c_touches;
   match Pager.touch t.pager id with
   | `Hit -> ()
-  | `Miss -> Counters.incr t.counters "block_misses"
+  | `Miss -> incr t.c_misses
 
 let resident t id = Pager.resident t.pager id
 
-let rel_def t (inst : Instance.t) rel = Schema.rel t.schema ~type_name:inst.Instance.type_name rel
-
 let link t ~from_id ~rel ~to_id =
   let a = get t from_id and b = get t to_id in
-  let rd = rel_def t a rel in
-  if not (String.equal b.Instance.type_name rd.Schema.target) then
-    Errors.type_error "relationship %s.%s targets %s, not %s" a.Instance.type_name rel
-      rd.Schema.target b.Instance.type_name;
-  let inv = rd.Schema.inverse in
-  let ird = rel_def t b inv in
-  if rd.Schema.card = Schema.One && Instance.linked a rel <> [] then
-    Errors.cardinality "instance %d: relationship %s already occupied" from_id rel;
-  if ird.Schema.card = Schema.One && Instance.linked b inv <> [] then
-    Errors.cardinality "instance %d: relationship %s already occupied" to_id inv;
-  touch t from_id;
-  touch t to_id;
-  Instance.add_link a rel to_id;
-  Instance.add_link b inv from_id;
-  Counters.incr t.counters "links_established"
+  match Instance.find_link a rel with
+  | None -> Errors.unknown "type %s has no relationship %s" a.Instance.type_name rel
+  | Some ix ->
+    let li = a.Instance.layout.Schema.lay_links.(ix) in
+    let rd = li.Schema.li_def in
+    if not (String.equal b.Instance.type_name rd.Schema.target) then
+      Errors.type_error "relationship %s.%s targets %s, not %s" a.Instance.type_name rel
+        rd.Schema.target b.Instance.type_name;
+    let inv_ix = li.Schema.li_inverse_ix in
+    if inv_ix < 0 then
+      Errors.unknown "type %s has no relationship %s" b.Instance.type_name rd.Schema.inverse;
+    if rd.Schema.card = Schema.One && Instance.link_count_ix a ix > 0 then
+      Errors.cardinality "instance %d: relationship %s already occupied" from_id rel;
+    let ird = b.Instance.layout.Schema.lay_links.(inv_ix).Schema.li_def in
+    if ird.Schema.card = Schema.One && Instance.link_count_ix b inv_ix > 0 then
+      Errors.cardinality "instance %d: relationship %s already occupied" to_id rd.Schema.inverse;
+    touch t from_id;
+    touch t to_id;
+    Instance.add_link_ix a ix to_id;
+    Instance.add_link_ix b inv_ix from_id;
+    Counters.incr t.counters "links_established"
 
 let unlink t ~from_id ~rel ~to_id =
   let a = get t from_id and b = get t to_id in
-  let rd = rel_def t a rel in
-  touch t from_id;
-  touch t to_id;
-  let removed = Instance.remove_link a rel to_id in
-  if removed then begin
-    ignore (Instance.remove_link b rd.Schema.inverse from_id);
-    Counters.incr t.counters "links_broken"
-  end;
-  removed
+  match Instance.find_link a rel with
+  | None -> Errors.unknown "type %s has no relationship %s" a.Instance.type_name rel
+  | Some ix ->
+    let li = a.Instance.layout.Schema.lay_links.(ix) in
+    touch t from_id;
+    touch t to_id;
+    let removed = Instance.remove_link_ix a ix to_id in
+    if removed then begin
+      if li.Schema.li_inverse_ix >= 0 then
+        ignore (Instance.remove_link_ix b li.Schema.li_inverse_ix from_id);
+      Counters.incr t.counters "links_broken"
+    end;
+    removed
 
 let linked t id rel =
   let inst = get t id in
   touch t id;
-  (* Validates the relationship exists on this type. *)
-  ignore (rel_def t inst rel);
-  Instance.linked inst rel
+  match Instance.find_link inst rel with
+  | Some ix -> Instance.linked_ix inst ix
+  | None -> Errors.unknown "type %s has no relationship %s" inst.Instance.type_name rel
 
 let read_slot t id attr =
   let inst = get t id in
@@ -218,7 +233,9 @@ let recluster t =
      estimates for the decaying averages (§2.3): a link whose two ends now
      share a block costs 0 extra blocks in the worst case, 1 otherwise. *)
   Hashtbl.iter
-    (fun (id, rel) tag ->
+    (fun key tag ->
+      let id = Symbol.pack_id key in
+      let rel = Symbol.name (Symbol.pack_sym key) in
       match get_opt t id with
       | None -> ()
       | Some inst ->

@@ -22,6 +22,10 @@ val counters : t -> Cactis_util.Counters.t
     estimate of 1 block. *)
 val link_tag : t -> int -> string -> Cactis_util.Decaying_avg.t
 
+(** [link_tag_sym t id rel_sym] — {!link_tag} with the relationship
+    already interned (engine hot path). *)
+val link_tag_sym : t -> int -> int -> Cactis_util.Decaying_avg.t
+
 (** {1 Instances} *)
 
 (** [create_instance t type_name] allocates a fresh instance: intrinsic

@@ -1,5 +1,6 @@
-(* LRU implemented as a doubly-linked list of frames plus a hash index.
-   The list head is the most recently used frame. *)
+(* LRU implemented as a doubly-linked list of frames plus a flat index
+   by block number (blocks are small dense ints).  The list head is the
+   most recently used frame. *)
 
 type frame = {
   block : int;
@@ -10,7 +11,7 @@ type frame = {
 type t = {
   cap : int;
   disk : Disk.t;
-  index : (int, frame) Hashtbl.t;
+  mutable index : frame option array;  (* by block number *)
   mutable head : frame option;
   mutable tail : frame option;
   mutable count : int;
@@ -23,13 +24,21 @@ let create ~capacity disk =
   {
     cap = capacity;
     disk;
-    index = Hashtbl.create 64;
+    index = Array.make 64 None;
     head = None;
     tail = None;
     count = 0;
     hit_count = 0;
     miss_count = 0;
   }
+
+let ensure t block =
+  let n = Array.length t.index in
+  if block >= n then begin
+    let bigger = Array.make (max (block + 1) (2 * n)) None in
+    Array.blit t.index 0 bigger 0 n;
+    t.index <- bigger
+  end
 
 let unlink t f =
   (match f.prev with Some p -> p.next <- f.next | None -> t.head <- f.next);
@@ -48,27 +57,31 @@ let evict_lru t =
   | None -> ()
   | Some f ->
     unlink t f;
-    Hashtbl.remove t.index f.block;
+    t.index.(f.block) <- None;
     t.count <- t.count - 1
 
 let touch t block =
-  match Hashtbl.find_opt t.index block with
+  ensure t block;
+  match t.index.(block) with
   | Some f ->
     t.hit_count <- t.hit_count + 1;
-    unlink t f;
-    push_front t f;
+    (match t.head with
+    | Some h when h == f -> ()  (* already most recent: skip the relink *)
+    | _ ->
+      unlink t f;
+      push_front t f);
     `Hit
   | None ->
     t.miss_count <- t.miss_count + 1;
     Disk.read t.disk;
     if t.count >= t.cap then evict_lru t;
     let f = { block; prev = None; next = None } in
-    Hashtbl.add t.index block f;
+    t.index.(block) <- Some f;
     push_front t f;
     t.count <- t.count + 1;
     `Miss
 
-let resident t block = Hashtbl.mem t.index block
+let resident t block = block < Array.length t.index && t.index.(block) <> None
 
 let contents t =
   let rec walk acc = function
@@ -82,7 +95,7 @@ let hits t = t.hit_count
 let misses t = t.miss_count
 
 let flush t =
-  Hashtbl.reset t.index;
+  Array.fill t.index 0 (Array.length t.index) None;
   t.head <- None;
   t.tail <- None;
   t.count <- 0

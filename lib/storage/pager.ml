@@ -2,7 +2,10 @@ type t = {
   block_cap : int;
   disk_dev : Disk.t;
   buffer : Buffer_pool.t;
-  placement : (int, int) Hashtbl.t;
+  (* Block of each instance id, -1 when unplaced.  Ids are small dense
+     ints; a flat array keeps the per-touch placement lookup at one load
+     on the hot path. *)
+  mutable placement : int array;
   mutable tail_block : int;
   mutable tail_used : int;
 }
@@ -14,41 +17,57 @@ let create ?(block_capacity = 8) ?(buffer_capacity = 64) () =
     block_cap = block_capacity;
     disk_dev;
     buffer = Buffer_pool.create ~capacity:buffer_capacity disk_dev;
-    placement = Hashtbl.create 256;
+    placement = Array.make 256 (-1);
     tail_block = 0;
     tail_used = 0;
   }
 
+let ensure t id =
+  let n = Array.length t.placement in
+  if id >= n then begin
+    let bigger = Array.make (max (id + 1) (2 * n)) (-1) in
+    Array.blit t.placement 0 bigger 0 n;
+    t.placement <- bigger
+  end
+
 let register t id =
-  if not (Hashtbl.mem t.placement id) then begin
+  ensure t id;
+  if t.placement.(id) < 0 then begin
     if t.tail_used >= t.block_cap then begin
       t.tail_block <- t.tail_block + 1;
       t.tail_used <- 0
     end;
-    Hashtbl.replace t.placement id t.tail_block;
+    t.placement.(id) <- t.tail_block;
     t.tail_used <- t.tail_used + 1
   end
 
-let forget t id = Hashtbl.remove t.placement id
+let forget t id = if id < Array.length t.placement then t.placement.(id) <- -1
 
-let block_of t id = Hashtbl.find_opt t.placement id
+let block_of t id =
+  if id < Array.length t.placement && t.placement.(id) >= 0 then Some t.placement.(id) else None
 
 let touch t id =
   let block =
-    match block_of t id with
-    | Some b -> b
-    | None ->
+    if id < Array.length t.placement && t.placement.(id) >= 0 then t.placement.(id)
+    else begin
       register t id;
-      Hashtbl.find t.placement id
+      t.placement.(id)
+    end
   in
   Buffer_pool.touch t.buffer block
 
 let resident t id =
-  match block_of t id with Some b -> Buffer_pool.resident t.buffer b | None -> false
+  id < Array.length t.placement
+  && t.placement.(id) >= 0
+  && Buffer_pool.resident t.buffer t.placement.(id)
 
 let apply_clustering t (assignment : Cluster.assignment) =
-  Hashtbl.reset t.placement;
-  Hashtbl.iter (fun id block -> Hashtbl.replace t.placement id block) assignment.Cluster.block_of;
+  Array.fill t.placement 0 (Array.length t.placement) (-1);
+  Hashtbl.iter
+    (fun id block ->
+      ensure t id;
+      t.placement.(id) <- block)
+    assignment.Cluster.block_of;
   (* New instances created after re-clustering go to fresh blocks. *)
   t.tail_block <- assignment.Cluster.block_count;
   t.tail_used <- 0;
@@ -57,7 +76,11 @@ let apply_clustering t (assignment : Cluster.assignment) =
 let disk t = t.disk_dev
 let pool t = t.buffer
 let block_capacity t = t.block_cap
-let instances t = Hashtbl.fold (fun id _ acc -> id :: acc) t.placement []
+
+let instances t =
+  let acc = ref [] in
+  Array.iteri (fun id b -> if b >= 0 then acc := id :: !acc) t.placement;
+  !acc
 
 let reset_io t =
   Disk.reset t.disk_dev;

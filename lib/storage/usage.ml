@@ -1,3 +1,5 @@
+module Symbol = Cactis_util.Symbol
+
 type crossing = {
   from_instance : int;
   rel : string;
@@ -6,17 +8,43 @@ type crossing = {
 
 (* Crossings are canonicalized so that (a, r, b) and (b, r, a) share a
    counter: the paper accumulates a single usage count per relationship
-   link regardless of traversal direction. *)
-let canon ~from_instance ~rel ~to_instance =
-  if from_instance <= to_instance then { from_instance; rel; to_instance }
-  else { from_instance = to_instance; rel; to_instance = from_instance }
-
-type t = {
-  instance_counts : (int, int ref) Hashtbl.t;
-  crossing_counts : (crossing, int ref) Hashtbl.t;
+   link regardless of traversal direction.  Keys hold the interned
+   relationship symbol so recording a crossing never hashes a string. *)
+type key = {
+  k_lo : int;
+  k_rel : int;  (* interned relationship name *)
+  k_hi : int;
 }
 
-let create () = { instance_counts = Hashtbl.create 64; crossing_counts = Hashtbl.create 64 }
+let canon ~from_instance ~rel_sym ~to_instance =
+  if from_instance <= to_instance then { k_lo = from_instance; k_rel = rel_sym; k_hi = to_instance }
+  else { k_lo = to_instance; k_rel = rel_sym; k_hi = from_instance }
+
+(* Instance ids are small dense ints, so per-instance reference counts
+   live in a flat array (grown on demand) rather than a hash table — the
+   engine bumps one on every instance touch. *)
+type t = {
+  mutable instance_counts : int array;
+  crossing_counts : (key, int ref) Hashtbl.t;
+}
+
+let create () = { instance_counts = Array.make 64 0; crossing_counts = Hashtbl.create 64 }
+
+let ensure t id =
+  let n = Array.length t.instance_counts in
+  if id >= n then begin
+    let bigger = Array.make (max (id + 1) (2 * n)) 0 in
+    Array.blit t.instance_counts 0 bigger 0 n;
+    t.instance_counts <- bigger
+  end
+
+let touch_instance t id =
+  if id < Array.length t.instance_counts then
+    t.instance_counts.(id) <- t.instance_counts.(id) + 1
+  else begin
+    ensure t id;
+    t.instance_counts.(id) <- t.instance_counts.(id) + 1
+  end
 
 let cell tbl key =
   match Hashtbl.find_opt tbl key with
@@ -26,32 +54,43 @@ let cell tbl key =
     Hashtbl.add tbl key r;
     r
 
-let touch_instance t id = incr (cell t.instance_counts id)
+let cross_sym t ~from_instance ~rel_sym ~to_instance =
+  incr (cell t.crossing_counts (canon ~from_instance ~rel_sym ~to_instance))
 
 let cross t ~from_instance ~rel ~to_instance =
-  incr (cell t.crossing_counts (canon ~from_instance ~rel ~to_instance))
+  cross_sym t ~from_instance ~rel_sym:(Symbol.intern rel) ~to_instance
 
 let instance_count t id =
-  match Hashtbl.find_opt t.instance_counts id with Some r -> !r | None -> 0
+  if id < Array.length t.instance_counts then t.instance_counts.(id) else 0
 
 let crossing_count t ~from_instance ~rel ~to_instance =
-  match Hashtbl.find_opt t.crossing_counts (canon ~from_instance ~rel ~to_instance) with
+  match
+    Hashtbl.find_opt t.crossing_counts
+      (canon ~from_instance ~rel_sym:(Symbol.intern rel) ~to_instance)
+  with
   | Some r -> !r
   | None -> 0
 
-let instances t = Hashtbl.fold (fun id r acc -> (id, !r) :: acc) t.instance_counts []
+let instances t =
+  let acc = ref [] in
+  Array.iteri (fun id c -> if c > 0 then acc := (id, c) :: !acc) t.instance_counts;
+  !acc
 
-let crossings t = Hashtbl.fold (fun c r acc -> (c, !r) :: acc) t.crossing_counts []
+let crossings t =
+  Hashtbl.fold
+    (fun k r acc ->
+      ({ from_instance = k.k_lo; rel = Symbol.name k.k_rel; to_instance = k.k_hi }, !r) :: acc)
+    t.crossing_counts []
 
 let forget_instance t id =
-  Hashtbl.remove t.instance_counts id;
+  if id < Array.length t.instance_counts then t.instance_counts.(id) <- 0;
   let stale =
     Hashtbl.fold
-      (fun c _ acc -> if c.from_instance = id || c.to_instance = id then c :: acc else acc)
+      (fun k _ acc -> if k.k_lo = id || k.k_hi = id then k :: acc else acc)
       t.crossing_counts []
   in
   List.iter (Hashtbl.remove t.crossing_counts) stale
 
 let reset t =
-  Hashtbl.reset t.instance_counts;
+  Array.fill t.instance_counts 0 (Array.length t.instance_counts) 0;
   Hashtbl.reset t.crossing_counts

@@ -26,6 +26,11 @@ val touch_instance : t -> int -> unit
     count for the relationship". *)
 val cross : t -> from_instance:int -> rel:string -> to_instance:int -> unit
 
+(** [cross_sym] is {!cross} with the relationship already interned
+    (see {!Cactis_util.Symbol}); the engine's hot paths use it to avoid
+    re-hashing relationship names on every traversal. *)
+val cross_sym : t -> from_instance:int -> rel_sym:int -> to_instance:int -> unit
+
 val instance_count : t -> int -> int
 val crossing_count : t -> from_instance:int -> rel:string -> to_instance:int -> int
 

@@ -20,6 +20,11 @@ val add : t -> string -> int -> unit
 (** [get t name] is the current value (0 if never touched). *)
 val get : t -> string -> int
 
+(** [cell t name] is the counter's underlying cell (created at 0 on
+    first use).  Hot paths cache the ref to skip the string lookup;
+    [reset] zeroes cells in place, so cached refs stay valid. *)
+val cell : t -> string -> int ref
+
 (** [reset t] zeroes every counter. *)
 val reset : t -> unit
 

@@ -1,0 +1,40 @@
+(* Process-wide interner.  Symbols are never freed: the population is
+   bounded by the number of distinct attribute/relationship names across
+   all live schemas, which is tiny compared to instance data. *)
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 256
+let names = ref (Array.make 256 "")
+let used = ref 0
+
+let intern s =
+  match Hashtbl.find_opt table s with
+  | Some i -> i
+  | None ->
+    let i = !used in
+    if i = Array.length !names then begin
+      let bigger = Array.make (2 * i) "" in
+      Array.blit !names 0 bigger 0 i;
+      names := bigger
+    end;
+    !names.(i) <- s;
+    used := i + 1;
+    Hashtbl.add table s i;
+    i
+
+let find s = Hashtbl.find_opt table s
+
+let name i =
+  if i < 0 || i >= !used then invalid_arg "Symbol.name: not a symbol";
+  !names.(i)
+
+let count () = !used
+
+(* Packed (instance id, symbol) keys.  20 bits of symbol leaves 42 bits
+   of instance id on 64-bit platforms — both far beyond what the store
+   can allocate before other structures give out. *)
+
+let sym_bits = 20
+let sym_mask = (1 lsl sym_bits) - 1
+let pack id sym = (id lsl sym_bits) lor sym
+let pack_id key = key lsr sym_bits
+let pack_sym key = key land sym_mask

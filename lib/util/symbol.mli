@@ -1,0 +1,30 @@
+(** Global string interner for attribute and relationship names.
+
+    Schema compilation (see {!Schema}) resolves every name to a dense
+    integer symbol once, so the engine's hot paths hash and compare
+    machine ints instead of strings.  Interning is process-wide: the
+    same name always maps to the same symbol, which lets packed
+    [(instance, symbol)] keys survive schema recompilation. *)
+
+(** [intern s] returns the symbol for [s], allocating one on first use. *)
+val intern : string -> int
+
+(** [find s] — the symbol for [s] if it was ever interned. *)
+val find : string -> int option
+
+(** [name sym] — the string a symbol was interned from.  O(1).
+    @raise Invalid_argument if [sym] was never allocated. *)
+val name : int -> string
+
+(** Number of symbols allocated so far. *)
+val count : unit -> int
+
+(** {1 Packed (instance id, symbol) keys}
+
+    [pack id sym] packs an instance id and a symbol into a single
+    immediate int (20 bits of symbol, the rest id), so per-attribute
+    engine tables key on ints instead of [(int * string)] pairs. *)
+
+val pack : int -> int -> int
+val pack_id : int -> int
+val pack_sym : int -> int

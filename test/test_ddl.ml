@@ -73,6 +73,68 @@ let test_very_late_extension () =
   Alcotest.(check string) "extra attr readable" "\"notify-manager\""
     (Value.to_string (Db.get db m1 "escalation"))
 
+(* Dynamic add_attr while instances exist: each live instance's compiled
+   slot layout must grow to cover the new attribute — intrinsics surface
+   the declared default, derived attrs evaluate from the extended
+   layout, including rules that aggregate across relationships. *)
+let test_add_attr_slot_extension () =
+  let db, m1, m2, m3 = build_milestones () in
+  (* Force evaluation first so the per-type layout is compiled and the
+     instances' slot arrays are sized for the original schema. *)
+  Alcotest.(check (float 1e-9)) "pre-DDL eval" 2.0 (days (Db.get db m1 "exp_compl"));
+  Db.add_attr db ~type_name:"milestone" (Cactis.Rule.intrinsic "priority" (Value.Int 7));
+  (* Existing instances see the default through their extended slots... *)
+  Alcotest.(check int) "default on old instance" 7 (Value.as_int (Db.get db m1 "priority"));
+  Alcotest.(check int) "default on old instance 2" 7 (Value.as_int (Db.get db m3 "priority"));
+  (* ...and the new slot is independently writable per instance. *)
+  Db.set db m2 "priority" (Value.Int 99);
+  Alcotest.(check int) "set on old instance" 99 (Value.as_int (Db.get db m2 "priority"));
+  Alcotest.(check int) "others keep default" 7 (Value.as_int (Db.get db m1 "priority"));
+  (* A derived attr added after the fact evaluates on old instances,
+     reading both the new intrinsic slot and the relationship links. *)
+  Db.add_attr db ~type_name:"milestone"
+    (Cactis.Rule.derived "load"
+       (Cactis.Rule.combine_self_rel "priority" "depends_on" "priority" ~f:(fun own ps ->
+            Value.add own (Value.sum ps))));
+  (* m1 depends on m2 (99) and m3 (7): 7 + 99 + 7. *)
+  Alcotest.(check int) "derived over new slots" 113 (Value.as_int (Db.get db m1 "load"));
+  Alcotest.(check int) "leaf derived" 99 (Value.as_int (Db.get db m2 "load"));
+  (* The extension ripples like any other dependency. *)
+  Db.set db m3 "priority" (Value.Int 1);
+  Alcotest.(check int) "ripple through added attr" 107 (Value.as_int (Db.get db m1 "load"));
+  (* Old attributes and global invariants are untouched. *)
+  Alcotest.(check (float 1e-9)) "old attrs intact" 2.0 (days (Db.get db m1 "exp_compl"));
+  Alcotest.(check int) "integrity" 0 (List.length (Cactis.Integrity.check db))
+
+(* Adding a whole class after instances of other types exist: the new
+   type gets its own compiled layout, and instances created under it get
+   correctly sized slot arrays without disturbing existing layouts. *)
+let test_add_type_slot_layout () =
+  let db, m1, _, _ = build_milestones () in
+  Alcotest.(check (float 1e-9)) "pre-DDL eval" 2.0 (days (Db.get db m1 "exp_compl"));
+  Cactis_ddl.Elaborate.extend_db db
+    {|
+    object class note is
+      attributes
+        severity : int := 3;
+        body : string := "todo";
+      rules
+        doubled = severity + severity;
+    end object;
+  |};
+  let n1 = Db.create_instance db "note" in
+  Alcotest.(check int) "new-type intrinsic" 3 (Value.as_int (Db.get db n1 "severity"));
+  Alcotest.(check int) "new-type derived" 6 (Value.as_int (Db.get db n1 "doubled"));
+  Db.set db n1 "severity" (Value.Int 10);
+  Alcotest.(check int) "new-type update" 20 (Value.as_int (Db.get db n1 "doubled"));
+  (* The milestone layout is a different type: unaffected by the DDL. *)
+  Alcotest.(check (float 1e-9)) "old type intact" 2.0 (days (Db.get db m1 "exp_compl"));
+  Alcotest.(check bool) "old attr absent on new type" true
+    (match Db.get db n1 "exp_compl" with
+    | _ -> false
+    | exception Errors.Unknown _ -> true);
+  Alcotest.(check int) "integrity" 0 (List.length (Cactis.Integrity.check db))
+
 (* Figure 1 verbatim: the milestone transmits its expected completion
    across consists_of under the name exp_time, and the rule reads
    depends_on.exp_time — exactly the paper's listing. *)
@@ -261,6 +323,9 @@ let () =
           Alcotest.test_case "transmits round-trip" `Quick test_transmit_roundtrip;
           Alcotest.test_case "transmits validation" `Quick test_transmit_validation;
           Alcotest.test_case "very_late subtype extension" `Quick test_very_late_extension;
+          Alcotest.test_case "add_attr extends live slot arrays" `Quick
+            test_add_attr_slot_extension;
+          Alcotest.test_case "add class gets fresh slot layout" `Quick test_add_type_slot_layout;
           Alcotest.test_case "constraint section" `Quick test_constraint_section;
           Alcotest.test_case "inverse validation" `Quick test_inverse_validation;
         ] );

@@ -155,6 +155,55 @@ let prop_oracle_consistency_txn =
             (Engine.oracle_value (Db.engine db) id "total"))
         (Db.instance_ids db))
 
+(* A wider schema than [node_schema]: several intrinsic and derived
+   slots per instance, transmissions across both link directions, and a
+   mid-run DDL extension.  Exercises the compiled slot layouts (multiple
+   slot indices per type, cross-deps through both the relationship and
+   its inverse) rather than the single-derived-attr shape above. *)
+let rich_schema () =
+  let sch = Schema.create () in
+  Schema.add_type sch "node";
+  Schema.declare_relationship sch ~from_type:"node" ~rel:"deps" ~to_type:"node" ~inverse:"rdeps"
+    ~card:Schema.Multi ~inverse_card:Schema.Multi;
+  Schema.add_attr sch ~type_name:"node" (Rule.intrinsic "local" (int 1));
+  Schema.add_attr sch ~type_name:"node" (Rule.intrinsic "weight" (int 2));
+  (* self-only derived: two own slots combined *)
+  Schema.add_attr sch ~type_name:"node" (Rule.derived "scaled" (Rule.map2 "local" "weight" Value.mul));
+  (* recursive aggregate over the forward link, rooted in a derived slot *)
+  Schema.add_attr sch ~type_name:"node"
+    (Rule.derived "total"
+       (Rule.combine_self_rel "scaled" "deps" "total" ~f:(fun own totals ->
+            Value.add own (Value.sum totals))));
+  (* recursive max over the forward link *)
+  Schema.add_attr sch ~type_name:"node"
+    (Rule.derived "peak"
+       (Rule.combine_self_rel "local" "deps" "peak" ~f:(fun own peaks ->
+            Value.max_ ~default:own (own :: peaks))));
+  (* aggregate across the inverse link, over a derived source *)
+  Schema.add_attr sch ~type_name:"node" (Rule.derived "fanin" (Rule.count_rel "rdeps" "scaled"));
+  sch
+
+let rich_attrs = [ "scaled"; "total"; "peak"; "fanin" ]
+
+let prop_compiled_layout_oracle =
+  QCheck.Test.make ~name:"compiled slot layouts match oracle on multi-attr schema" ~count:80
+    QCheck.(pair (ops_arbitrary ~len:35 ()) (ops_arbitrary ~len:15 ()))
+    (fun (setup, more) ->
+      let db = Db.create (rich_schema ()) in
+      apply_ops db setup;
+      (* DDL while instances exist: the new attr must get a fresh slot in
+         every live instance's (already compiled) layout. *)
+      Db.add_attr db ~type_name:"node"
+        (Rule.derived "boosted" (Rule.map2 "total" "weight" Value.add));
+      apply_ops db more;
+      let ok attr id =
+        Value.equal (Db.get db ~watch:false id attr) (Engine.oracle_value (Db.engine db) id attr)
+      in
+      Cactis.Integrity.check db = []
+      && List.for_all
+           (fun id -> List.for_all (fun attr -> ok attr id) ("boosted" :: rich_attrs))
+           (Db.instance_ids db))
+
 let prop_undo_roundtrip =
   QCheck.Test.make ~name:"txn + undo restores the observable state" ~count:120
     QCheck.(pair (ops_arbitrary ~len:25 ()) (ops_arbitrary ~len:15 ()))
@@ -431,6 +480,7 @@ let all_props =
   [
     prop_oracle_consistency;
     prop_oracle_consistency_txn;
+    prop_compiled_layout_oracle;
     prop_undo_roundtrip;
     prop_undo_redo_roundtrip;
     prop_strategies_agree;
