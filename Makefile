@@ -1,6 +1,10 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build check test bench bench-fast bench-json examples clean
+.PHONY: all build check test bench bench-fast bench-json bench-persist examples clean
+
+# Output path for the machine-readable experiment record; override with
+# `make bench-json BENCH_JSON=BENCH_1.json` to regenerate earlier runs.
+BENCH_JSON ?= BENCH_2.json
 
 all: build
 
@@ -23,9 +27,13 @@ bench:
 bench-fast:
 	dune exec bench/main.exe -- --fast
 
-# Full experiment run with machine-readable output in BENCH_1.json.
+# Full experiment run with machine-readable output in $(BENCH_JSON).
 bench-json:
-	dune exec bench/main.exe -- --json
+	dune exec bench/main.exe -- --json $(BENCH_JSON)
+
+# Just the persistence experiments (binary snapshots + write-ahead log).
+bench-persist:
+	dune exec bench/main.exe -- E14
 
 examples:
 	dune exec examples/quickstart.exe

@@ -128,6 +128,79 @@ let inverted_comb db ~chains ~length =
   in
   (shared, heads)
 
+(* ------------------------------------------------------------------ *)
+(* Persistence workloads (E14)                                         *)
+
+(* Document class with mixed-type intrinsics (strings, ints, floats) so
+   the snapshot codecs face realistic payloads, plus a derived summary
+   attribute proving snapshots stay intrinsics-only. *)
+let doc_schema () =
+  let sch = Schema.create () in
+  Schema.add_type sch "doc";
+  Schema.declare_relationship sch ~from_type:"doc" ~rel:"refs" ~to_type:"doc" ~inverse:"cited_by"
+    ~card:Schema.Multi ~inverse_card:Schema.Multi;
+  Schema.add_attr sch ~type_name:"doc" (Rule.intrinsic "name" (Value.Str ""));
+  Schema.add_attr sch ~type_name:"doc" (Rule.intrinsic "body" (Value.Str ""));
+  Schema.add_attr sch ~type_name:"doc" (Rule.intrinsic "size" (int 0));
+  Schema.add_attr sch ~type_name:"doc" (Rule.intrinsic "weight" (Value.Float 0.0));
+  Schema.add_attr sch ~type_name:"doc"
+    (Rule.derived "cited_weight" (Rule.sum_rel "cited_by" "size"));
+  sch
+
+let make_doc_db () = Db.create (doc_schema ())
+
+(* Module-sized text payloads (the paper's documents are source modules,
+   not one-liners); mixed printable chars including quotes/backslashes so
+   the text codec pays its real escaping cost. *)
+let random_body rng =
+  String.init (256 + Rng.int rng 512) (fun _ -> Char.chr (32 + Rng.int rng 95))
+
+(* Populate [n] documents (batched transactions) with a chain plus a
+   random extra reference per ~2 docs; returns the id array. *)
+let docs db ~n ~rng =
+  let ids = Array.make n 0 in
+  let i = ref 0 in
+  while !i < n do
+    Db.begin_txn db;
+    let stop = min n (!i + 500) in
+    while !i < stop do
+      let id = Db.create_instance db "doc" in
+      Db.set db id "name" (Value.Str (Printf.sprintf "doc-%06d" !i));
+      Db.set db id "body" (Value.Str (random_body rng));
+      Db.set db id "size" (int (Rng.int rng 100_000));
+      Db.set db id "weight" (Value.Float (Rng.float rng 1.0));
+      ids.(!i) <- id;
+      incr i
+    done;
+    Db.commit db
+  done;
+  let j = ref 1 in
+  while !j < n do
+    Db.begin_txn db;
+    let stop = min n (!j + 500) in
+    while !j < stop do
+      Db.link db ~from_id:ids.(!j) ~rel:"refs" ~to_id:ids.(!j - 1);
+      if Rng.chance rng 0.5 then begin
+        let other = Rng.int rng !j in
+        if other <> !j - 1 then Db.link db ~from_id:ids.(!j) ~rel:"refs" ~to_id:ids.(other)
+      end;
+      incr j
+    done;
+    Db.commit db
+  done;
+  ids
+
+(* One editing transaction touching [ops] random documents. *)
+let doc_edit_txn db ids ~ops ~rng =
+  Db.with_txn db (fun () ->
+      for _ = 1 to ops do
+        let id = ids.(Rng.int rng (Array.length ids)) in
+        match Rng.int rng 3 with
+        | 0 -> Db.set db id "size" (int (Rng.int rng 100_000))
+        | 1 -> Db.set db id "weight" (Value.Float (Rng.float rng 1.0))
+        | _ -> Db.set db id "body" (Value.Str (random_body rng))
+      done)
+
 (* Community graph for the clustering experiment: [communities] groups of
    [size] members; each member's [total] depends on the next member in
    its community (ring), so evaluating one community touches all its

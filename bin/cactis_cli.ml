@@ -1,15 +1,19 @@
 (* cactis — command-line front end.
 
    Subcommands:
-     check  FILE.cactis            parse + elaborate a schema, report it
-     fmt    FILE.cactis            pretty-print the schema
-     run    FILE.cactis SCRIPT     load a schema and execute a script
-     demo   milestones|make|flow   run a built-in demonstration
+     check   FILE.cactis            parse + elaborate a schema, report it
+     fmt     FILE.cactis            pretty-print the schema
+     run     FILE.cactis SCRIPT     load a schema and execute a script
+     save    FILE.cactis SNAPSHOT   re-encode a snapshot (text <-> binary)
+     recover FILE.cactis DIR        recover a database from checkpoint + WAL
+     demo    milestones|make|flow   run a built-in demonstration
 
    Built with cmdliner; see `cactis --help`. *)
 
 module Schema = Cactis.Schema
 module Db = Cactis.Db
+module Snapshot = Cactis.Snapshot
+module Persist = Cactis.Persist
 
 let read_file path =
   let ic = open_in_bin path in
@@ -38,9 +42,19 @@ let handle_errors f =
   | Script.Script_error (line, message) ->
     Printf.eprintf "script error at line %d: %s\n" line message;
     exit 1
+  | Snapshot.Parse_error { line; message } ->
+    Printf.eprintf "snapshot error at line %d: %s\n" line message;
+    exit 1
+  | Cactis.Codec.Error { offset; message } ->
+    Printf.eprintf "snapshot error at byte %d: %s\n" offset message;
+    exit 1
   | Sys_error m ->
     Printf.eprintf "%s\n" m;
     exit 1
+
+(* Snapshots are auto-detected: binary by magic, text otherwise. *)
+let load_snapshot sch data =
+  if Snapshot.is_binary data then Snapshot.load_binary sch data else Snapshot.load sch data
 
 (* ---- check ---- *)
 
@@ -82,16 +96,28 @@ let fmt_cmd path =
 
 (* ---- run ---- *)
 
-let run_cmd schema_path script_path snapshot =
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents)
+
+let run_cmd schema_path script_path snapshot persist save_path save_text =
   handle_errors (fun () ->
       let _, sch = load_schema schema_path in
-      let db =
-        match snapshot with
-        | Some path -> Cactis.Snapshot.load sch (read_file path)
-        | None -> Db.create sch
+      let p, db =
+        match (persist, snapshot) with
+        | Some dir, _ ->
+          let p = Persist.recover ~dir sch in
+          (Some p, Persist.db p)
+        | None, Some path -> (None, load_snapshot sch (read_file path))
+        | None, None -> (None, Db.create sch)
       in
       let output = Script.run db (read_file script_path) in
-      print_string output)
+      print_string output;
+      (match save_path with
+      | Some out ->
+        write_file out (if save_text then Snapshot.save db else Snapshot.save_binary db)
+      | None -> ());
+      match p with Some p -> Persist.close p | None -> ())
 
 (* ---- repl ---- *)
 
@@ -100,12 +126,48 @@ let repl_cmd schema_path snapshot =
       let _, sch = load_schema schema_path in
       let db =
         match snapshot with
-        | Some path -> Cactis.Snapshot.load sch (read_file path)
+        | Some path -> load_snapshot sch (read_file path)
         | None -> Db.create sch
       in
       print_endline "Cactis interactive session. Commands: new/set/get/link/unlink/delete,";
       print_endline "begin/commit/abort, undo/redo, tag/checkout, select, members, dump, quit.";
       Script.repl db ~input:stdin ~output:stdout)
+
+(* ---- save (snapshot re-encoding) ---- *)
+
+let save_cmd schema_path snapshot_path out text =
+  handle_errors (fun () ->
+      let _, sch = load_schema schema_path in
+      let data = read_file snapshot_path in
+      let db = load_snapshot sch data in
+      let encoded = if text then Snapshot.save db else Snapshot.save_binary db in
+      (match out with
+      | Some path -> write_file path encoded
+      | None -> print_string encoded);
+      Printf.eprintf "%s: %d instances, %d -> %d bytes (%s)\n" snapshot_path
+        (List.length (Db.instance_ids db))
+        (String.length data) (String.length encoded)
+        (if text then "text" else "binary"))
+
+(* ---- recover ---- *)
+
+let recover_cmd schema_path dir script checkpoint =
+  handle_errors (fun () ->
+      let _, sch = load_schema schema_path in
+      let p = Persist.recover ~dir sch in
+      let db = Persist.db p in
+      Printf.printf "recovered %s: %d instances, %d logged deltas replayed%s\n" dir
+        (List.length (Db.instance_ids db))
+        (Persist.replayed p)
+        (if Persist.recovered_torn p then " (torn log tail discarded)" else "");
+      (match script with
+      | Some path -> print_string (Script.run db (read_file path))
+      | None -> ());
+      if checkpoint then begin
+        Persist.checkpoint p;
+        Printf.printf "checkpointed: log truncated\n"
+      end;
+      Persist.close p)
 
 (* ---- demo ---- *)
 
@@ -179,9 +241,74 @@ let run_t =
     Arg.(
       value
       & opt (some file) None
-      & info [ "snapshot" ] ~docv:"FILE" ~doc:"Load a data snapshot before running the script.")
+      & info [ "snapshot" ] ~docv:"FILE"
+          ~doc:"Load a data snapshot (text or binary, auto-detected) before running the script.")
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run_cmd $ schema_arg $ script_arg $ snapshot_arg)
+  let persist_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "persist" ] ~docv:"DIR"
+          ~doc:
+            "Run against a durable persistence directory: recover from its checkpoint and \
+             write-ahead log, then log every commit the script makes.")
+  in
+  let save_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE" ~doc:"Write a snapshot of the final state to $(docv).")
+  in
+  let save_text_arg =
+    Arg.(
+      value & flag
+      & info [ "text" ] ~doc:"With $(b,--save), use the textual snapshot format (default binary).")
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run_cmd $ schema_arg $ script_arg $ snapshot_arg $ persist_arg $ save_arg
+      $ save_text_arg)
+
+let save_t =
+  let doc = "Re-encode a data snapshot (text to binary or back)." in
+  let snapshot_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"SNAPSHOT" ~doc:"Snapshot file (text or binary, auto-detected).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (stdout when omitted).")
+  in
+  let text_arg =
+    Arg.(value & flag & info [ "text" ] ~doc:"Emit the textual format (default binary).")
+  in
+  Cmd.v (Cmd.info "save" ~doc) Term.(const save_cmd $ schema_arg $ snapshot_arg $ out_arg $ text_arg)
+
+let recover_t =
+  let doc =
+    "Recover a database from a persistence directory (checkpoint + write-ahead log), \
+     discarding any torn log tail."
+  in
+  let dir_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"DIR" ~doc:"Persistence directory.")
+  in
+  let script_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "script" ] ~docv:"FILE" ~doc:"Run a script against the recovered database.")
+  in
+  let checkpoint_arg =
+    Arg.(
+      value & flag
+      & info [ "checkpoint" ] ~doc:"Write a fresh checkpoint (and truncate the log) at the end.")
+  in
+  Cmd.v (Cmd.info "recover" ~doc)
+    Term.(const recover_cmd $ schema_arg $ dir_arg $ script_arg $ checkpoint_arg)
 
 let demo_t =
   let doc = "Run a built-in demo (milestones, make, flow)." in
@@ -202,6 +329,6 @@ let main =
   let doc = "Cactis: object-oriented database with functionally-defined data" in
   Cmd.group
     (Cmd.info "cactis" ~version:"1.0.0" ~doc)
-    [ check_t; fmt_t; run_t; repl_t; demo_t ]
+    [ check_t; fmt_t; run_t; repl_t; save_t; recover_t; demo_t ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,275 @@
+module Vtime = Cactis_util.Vtime
+
+exception Error of { offset : int; message : string }
+
+let error offset fmt =
+  Format.kasprintf (fun message -> raise (Error { offset; message })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Primitives                                                          *)
+
+type reader = {
+  src : string;
+  mutable pos : int;
+}
+
+let reader ?(pos = 0) src = { src; pos }
+let at_end r = r.pos >= String.length r.src
+
+let need r n =
+  if r.pos + n > String.length r.src then
+    error r.pos "truncated input: need %d bytes, have %d" n (String.length r.src - r.pos)
+
+let read_byte r =
+  need r 1;
+  let b = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  b
+
+(* LEB128 over the raw 63-bit pattern: the logical shift terminates for
+   any input, including "negative" patterns produced by zigzagging
+   large-magnitude ints (zigzag is a bijection on the bit pattern, not
+   on the non-negative range). *)
+let write_uint_raw buf n =
+  let n = ref n in
+  let continue = ref true in
+  while !continue do
+    let b = !n land 0x7F in
+    n := !n lsr 7;
+    if !n = 0 then begin
+      Buffer.add_char buf (Char.chr b);
+      continue := false
+    end
+    else Buffer.add_char buf (Char.chr (b lor 0x80))
+  done
+
+let read_uint_raw r =
+  let start = r.pos in
+  let rec go shift acc =
+    if shift > 62 then error start "varint too long";
+    let b = read_byte r in
+    let acc = acc lor ((b land 0x7F) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+(* Unsigned LEB128 for counts, lengths and ids. *)
+let write_uint buf n =
+  if n < 0 then invalid_arg "Codec.write_uint: negative";
+  write_uint_raw buf n
+
+let read_uint r =
+  let start = r.pos in
+  let n = read_uint_raw r in
+  if n < 0 then error start "varint out of unsigned range";
+  n
+
+(* Signed ints: zigzag over the raw pattern. *)
+let write_int buf n = write_uint_raw buf ((n lsl 1) lxor (n asr (Sys.int_size - 1)))
+let read_int r =
+  let z = read_uint_raw r in
+  (z lsr 1) lxor (- (z land 1))
+
+let write_f64 buf f = Buffer.add_int64_le buf (Int64.bits_of_float f)
+
+let read_f64 r =
+  need r 8;
+  let f = Int64.float_of_bits (String.get_int64_le r.src r.pos) in
+  r.pos <- r.pos + 8;
+  f
+
+let write_string buf s =
+  write_uint buf (String.length s);
+  Buffer.add_string buf s
+
+let read_string r =
+  let n = read_uint r in
+  need r n;
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Values                                                              *)
+
+(* One tag byte, then the payload.  Floats and times are raw IEEE bits
+   (exact round-trips including NaN payloads and infinities); strings
+   are length-prefixed raw bytes (NULs, newlines, arbitrary binary). *)
+
+let tag_null = 0
+and tag_false = 1
+and tag_true = 2
+and tag_int = 3
+and tag_float = 4
+and tag_str = 5
+and tag_time = 6
+and tag_arr = 7
+and tag_rec = 8
+
+let rec write_value buf (v : Value.t) =
+  match v with
+  | Value.Null -> Buffer.add_char buf (Char.chr tag_null)
+  | Value.Bool false -> Buffer.add_char buf (Char.chr tag_false)
+  | Value.Bool true -> Buffer.add_char buf (Char.chr tag_true)
+  | Value.Int n ->
+    Buffer.add_char buf (Char.chr tag_int);
+    write_int buf n
+  | Value.Float f ->
+    Buffer.add_char buf (Char.chr tag_float);
+    write_f64 buf f
+  | Value.Str s ->
+    Buffer.add_char buf (Char.chr tag_str);
+    write_string buf s
+  | Value.Time t ->
+    Buffer.add_char buf (Char.chr tag_time);
+    write_f64 buf (Vtime.to_days t)
+  | Value.Arr a ->
+    Buffer.add_char buf (Char.chr tag_arr);
+    write_uint buf (Array.length a);
+    Array.iter (write_value buf) a
+  | Value.Rec fields ->
+    Buffer.add_char buf (Char.chr tag_rec);
+    write_uint buf (List.length fields);
+    List.iter
+      (fun (name, x) ->
+        write_string buf name;
+        write_value buf x)
+      fields
+
+let rec read_value r : Value.t =
+  let start = r.pos in
+  let tag = read_byte r in
+  if tag = tag_null then Value.Null
+  else if tag = tag_false then Value.Bool false
+  else if tag = tag_true then Value.Bool true
+  else if tag = tag_int then Value.Int (read_int r)
+  else if tag = tag_float then Value.Float (read_f64 r)
+  else if tag = tag_str then Value.Str (read_string r)
+  else if tag = tag_time then Value.Time (Vtime.of_days (read_f64 r))
+  else if tag = tag_arr then begin
+    let n = read_uint r in
+    Value.Arr (Array.init n (fun _ -> read_value r))
+  end
+  else if tag = tag_rec then begin
+    let n = read_uint r in
+    Value.Rec
+      (List.init n (fun _ ->
+           let name = read_string r in
+           (name, read_value r)))
+  end
+  else error start "unknown value tag %d" tag
+
+let value_to_string v =
+  let buf = Buffer.create 32 in
+  write_value buf v;
+  Buffer.contents buf
+
+let value_of_string s =
+  let r = reader s in
+  let v = read_value r in
+  if not (at_end r) then error r.pos "trailing bytes after value";
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Transaction ops / deltas (write-ahead log payloads)                 *)
+
+(* Names travel inline: interned symbols are process-local and a log
+   outlives the process, so the O(delta) record stays self-describing. *)
+
+let op_set = 0
+and op_link = 1
+and op_unlink = 2
+and op_create = 3
+and op_delete = 4
+
+let write_op buf (op : Txn.op) =
+  match op with
+  | Txn.Set_intrinsic { id; attr; old_value; new_value } ->
+    Buffer.add_char buf (Char.chr op_set);
+    write_uint buf id;
+    write_string buf attr;
+    write_value buf old_value;
+    write_value buf new_value
+  | Txn.Link { from_id; rel; to_id } ->
+    Buffer.add_char buf (Char.chr op_link);
+    write_uint buf from_id;
+    write_string buf rel;
+    write_uint buf to_id
+  | Txn.Unlink { from_id; rel; to_id } ->
+    Buffer.add_char buf (Char.chr op_unlink);
+    write_uint buf from_id;
+    write_string buf rel;
+    write_uint buf to_id
+  | Txn.Create { id; type_name } ->
+    Buffer.add_char buf (Char.chr op_create);
+    write_uint buf id;
+    write_string buf type_name
+  | Txn.Delete { id; type_name; intrinsics } ->
+    Buffer.add_char buf (Char.chr op_delete);
+    write_uint buf id;
+    write_string buf type_name;
+    write_uint buf (List.length intrinsics);
+    List.iter
+      (fun (a, v) ->
+        write_string buf a;
+        write_value buf v)
+      intrinsics
+
+let read_op r : Txn.op =
+  let start = r.pos in
+  let tag = read_byte r in
+  if tag = op_set then begin
+    let id = read_uint r in
+    let attr = read_string r in
+    let old_value = read_value r in
+    let new_value = read_value r in
+    Txn.Set_intrinsic { id; attr; old_value; new_value }
+  end
+  else if tag = op_link then begin
+    let from_id = read_uint r in
+    let rel = read_string r in
+    let to_id = read_uint r in
+    Txn.Link { from_id; rel; to_id }
+  end
+  else if tag = op_unlink then begin
+    let from_id = read_uint r in
+    let rel = read_string r in
+    let to_id = read_uint r in
+    Txn.Unlink { from_id; rel; to_id }
+  end
+  else if tag = op_create then begin
+    let id = read_uint r in
+    let type_name = read_string r in
+    Txn.Create { id; type_name }
+  end
+  else if tag = op_delete then begin
+    let id = read_uint r in
+    let type_name = read_string r in
+    let n = read_uint r in
+    let intrinsics =
+      List.init n (fun _ ->
+          let a = read_string r in
+          (a, read_value r))
+    in
+    Txn.Delete { id; type_name; intrinsics }
+  end
+  else error start "unknown op tag %d" tag
+
+let encode_delta (d : Txn.delta) =
+  let buf = Buffer.create 64 in
+  (match d.Txn.label with
+  | None -> write_uint buf 0
+  | Some l ->
+    write_uint buf 1;
+    write_string buf l);
+  write_uint buf (List.length d.Txn.ops);
+  List.iter (write_op buf) d.Txn.ops;
+  Buffer.contents buf
+
+let decode_delta s =
+  let r = reader s in
+  let label = if read_uint r = 0 then None else Some (read_string r) in
+  let n = read_uint r in
+  let ops = List.init n (fun _ -> read_op r) in
+  if not (at_end r) then error r.pos "trailing bytes after delta";
+  { Txn.ops; label }

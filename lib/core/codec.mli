@@ -1,0 +1,59 @@
+(** Length-prefixed binary codec for values and transaction ops.
+
+    The hot persistence path: {!Snapshot} builds binary snapshots from
+    the value codec plus a header symbol table, and {!Persist} encodes
+    committed {!Txn.delta}s into write-ahead-log records with
+    {!encode_delta}.  The text format in {!Snapshot} remains for
+    debugging and compatibility.
+
+    Design points:
+    - ints are zigzag LEB128 varints; floats and times are raw IEEE 754
+      bits, so NaN payloads, infinities and negative zero round-trip
+      exactly;
+    - strings are length-prefixed raw bytes — embedded NULs and newlines
+      are fine;
+    - every decode error carries the byte offset it occurred at. *)
+
+exception Error of { offset : int; message : string }
+
+(** {1 Primitive readers/writers}
+
+    Writers append to a [Buffer.t]; readers consume a string through a
+    mutable cursor. *)
+
+type reader = {
+  src : string;
+  mutable pos : int;
+}
+
+val reader : ?pos:int -> string -> reader
+val at_end : reader -> bool
+
+val write_uint : Buffer.t -> int -> unit
+val read_uint : reader -> int
+val write_int : Buffer.t -> int -> unit
+val read_int : reader -> int
+val write_string : Buffer.t -> string -> unit
+val read_string : reader -> string
+
+(** {1 Values} *)
+
+val write_value : Buffer.t -> Value.t -> unit
+val read_value : reader -> Value.t
+val value_to_string : Value.t -> string
+
+(** @raise Error on malformed or trailing input. *)
+val value_of_string : string -> Value.t
+
+(** {1 Transaction ops and deltas}
+
+    Attribute/relationship/type names travel inline (interned symbols
+    are process-local; the log outlives the process), keeping each
+    record self-describing and O(ops in the transaction). *)
+
+val write_op : Buffer.t -> Txn.op -> unit
+val read_op : reader -> Txn.op
+val encode_delta : Txn.delta -> string
+
+(** @raise Error on malformed input. *)
+val decode_delta : string -> Txn.delta

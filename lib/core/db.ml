@@ -21,6 +21,11 @@ type t = {
   mutable redo_stack : vnode list;  (* nodes stepped back from, nearest first *)
   mutable next_vid : int;
   tag_tbl : (string, vnode option) Hashtbl.t;
+  mutable commit_hook : (Txn.delta -> unit) option;
+      (* durability observer (see Persist): called with every delta the
+         database state moves across — commits, undos (inverted), redos
+         and checkout steps — so a write-ahead log replays to the same
+         state. *)
 }
 
 let create ?block_capacity ?buffer_capacity ?strategy ?sched sch =
@@ -36,6 +41,7 @@ let create ?block_capacity ?buffer_capacity ?strategy ?sched sch =
       redo_stack = [];
       next_vid = 1;
       tag_tbl = Hashtbl.create 8;
+      commit_hook = None;
     }
   in
   (* Recovery actions repair constraints through the logged primitive
@@ -61,6 +67,11 @@ let schema t = t.sch
 let store t = t.st
 let engine t = t.eng
 let counters t = Store.counters t.st
+
+let set_commit_hook t hook = t.commit_hook <- hook
+
+let notify_hook t delta =
+  match t.commit_hook with None -> () | Some f -> f delta
 
 (* ------------------------------------------------------------------ *)
 (* Unlogged replay (undo / redo)                                       *)
@@ -139,10 +150,11 @@ let commit t =
       (* Committing after an undo grows a sibling branch; the abandoned
          branch stays in the tree, reachable through its tags. *)
       t.redo_stack <- [];
+      let delta = { Txn.ops; label = None } in
       let depth = match t.head with Some n -> n.depth + 1 | None -> 1 in
-      t.head <-
-        Some { vid = t.next_vid; delta = { Txn.ops; label = None }; parent = t.head; depth };
-      t.next_vid <- t.next_vid + 1
+      t.head <- Some { vid = t.next_vid; delta; parent = t.head; depth };
+      t.next_vid <- t.next_vid + 1;
+      notify_hook t delta
     end
 
 let with_txn t f =
@@ -298,13 +310,15 @@ let step_back t =
     apply_inverse_newest_first t (List.rev n.delta.Txn.ops);
     Engine.propagate t.eng;
     t.head <- n.parent;
+    notify_hook t (Txn.inverse n.delta);
     n
 
 (* Move forward onto a known child node. *)
 let step_forward t (n : vnode) =
   List.iter (exec_forward_unlogged t) n.delta.Txn.ops;
   Engine.propagate t.eng;
-  t.head <- Some n
+  t.head <- Some n;
+  notify_hook t n.delta
 
 let undo_last t =
   if in_txn t then Errors.type_error "cannot undo while a transaction is open";
@@ -363,6 +377,23 @@ let checkout t name =
   in
   List.iter (step_forward t) (path [] target);
   t.redo_stack <- []
+
+(* ------------------------------------------------------------------ *)
+(* Recovery replay                                                     *)
+
+(* Re-apply one logged delta during crash recovery: ops run through the
+   unlogged forward path (no open transaction, no hook — the log already
+   holds this record) and the delta joins the version history so undo
+   works across a restart.  Propagation is the caller's job once the
+   whole log tail is replayed. *)
+let replay_delta t (d : Txn.delta) =
+  if in_txn t then Errors.type_error "cannot replay while a transaction is open";
+  List.iter (exec_forward_unlogged t) d.Txn.ops;
+  if d.Txn.ops <> [] then begin
+    let depth = match t.head with Some n -> n.depth + 1 | None -> 1 in
+    t.head <- Some { vid = t.next_vid; delta = d; parent = t.head; depth };
+    t.next_vid <- t.next_vid + 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Storage management                                                  *)

@@ -152,6 +152,22 @@ val checkout : t -> string -> unit
 (** Tag names with the depth of the version they name. *)
 val tags : t -> (string * int) list
 
+(** {1 Durability (see {!Persist})} *)
+
+(** [set_commit_hook t hook] installs (or clears, with [None]) the
+    durability observer: it receives every delta the database state
+    moves across — committed transactions, undos (as the inverse delta),
+    redos and checkout steps — in application order, so appending each
+    to a write-ahead log lets recovery replay to the same state. *)
+val set_commit_hook : t -> (Txn.delta -> unit) option -> unit
+
+(** [replay_delta t d] re-applies a logged delta during crash recovery:
+    ops run unlogged (no hook — the log already holds this record) and
+    the delta joins the version history so undo works across a restart.
+    The caller propagates once after replaying the whole log tail.
+    @raise Errors.Type_error if a transaction is open. *)
+val replay_delta : t -> Txn.delta -> unit
+
 (** {1 Storage management} *)
 
 (** Re-cluster instances into blocks from usage statistics (§2.3);

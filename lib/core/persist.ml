@@ -1,0 +1,114 @@
+module Wal = Cactis_storage.Wal
+module Counters = Cactis_util.Counters
+
+type t = {
+  dir : string;
+  db : Db.t;
+  mutable wal : Wal.writer;
+  sync_every : int;
+  auto_checkpoint : int;  (* WAL bytes that trigger a checkpoint; 0 = never *)
+  mutable cp_base : int;  (* appended_bytes at the last checkpoint *)
+  mutable replayed : int;
+  mutable torn : bool;
+  mutable closed : bool;
+}
+
+let snapshot_file dir = Filename.concat dir "snapshot.bin"
+let wal_file dir = Filename.concat dir "wal.log"
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    Errors.type_error "persistence path %s exists and is not a directory" dir
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let db t = t.db
+let dir t = t.dir
+let replayed t = t.replayed
+let recovered_torn t = t.torn
+
+(* WAL frame bytes appended since the last checkpoint — the O(delta)
+   commit cost the experiments measure. *)
+let wal_bytes t = Wal.appended_bytes t.wal - t.cp_base
+
+let checkpoint t =
+  if Db.in_txn t.db then Errors.type_error "cannot checkpoint inside a transaction";
+  let data = Snapshot.save_binary t.db in
+  Wal.write_file_durable (snapshot_file t.dir) data;
+  Wal.reset t.wal;
+  t.cp_base <- Wal.appended_bytes t.wal;
+  Counters.incr (Db.counters t.db) "checkpoints"
+
+let install_hook t =
+  Db.set_commit_hook t.db
+    (Some
+       (fun delta ->
+         Wal.append t.wal (Codec.encode_delta delta);
+         Counters.incr (Db.counters t.db) "wal_appends";
+         if t.auto_checkpoint > 0 && wal_bytes t >= t.auto_checkpoint then checkpoint t))
+
+let attach ?(sync_every = 1) ?(auto_checkpoint = 0) ~dir db =
+  ensure_dir dir;
+  let existing = Wal.read (wal_file dir) in
+  let wal = Wal.open_writer ~sync_every ~truncate_at:existing.Wal.valid_end (wal_file dir) in
+  let t =
+    {
+      dir;
+      db;
+      wal;
+      sync_every;
+      auto_checkpoint;
+      cp_base = 0;
+      replayed = 0;
+      torn = false;
+      closed = false;
+    }
+  in
+  (* A database that already holds state needs a baseline the log can
+     replay against. *)
+  if Db.instance_ids db <> [] && not (Sys.file_exists (snapshot_file dir)) then checkpoint t;
+  install_hook t;
+  t
+
+let recover ?strategy ?sched ?block_capacity ?buffer_capacity ?(sync_every = 1)
+    ?(auto_checkpoint = 0) ~dir schema =
+  ensure_dir dir;
+  let db =
+    let sf = snapshot_file dir in
+    if Sys.file_exists sf then
+      Snapshot.load_binary ?strategy ?sched ?block_capacity ?buffer_capacity schema (read_file sf)
+    else Db.create ?strategy ?sched ?block_capacity ?buffer_capacity schema
+  in
+  let { Wal.records; valid_end; torn } = Wal.read (wal_file dir) in
+  List.iter (fun record -> Db.replay_delta db (Codec.decode_delta record)) records;
+  Engine.propagate (Db.engine db);
+  let wal = Wal.open_writer ~sync_every ~truncate_at:valid_end (wal_file dir) in
+  let t =
+    {
+      dir;
+      db;
+      wal;
+      sync_every;
+      auto_checkpoint;
+      cp_base = 0;
+      replayed = List.length records;
+      torn;
+      closed = false;
+    }
+  in
+  install_hook t;
+  t
+
+let sync t = Wal.sync t.wal
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Db.set_commit_hook t.db None;
+    Wal.close t.wal
+  end

@@ -1,0 +1,68 @@
+(** Durable persistence: binary checkpoints plus a write-ahead delta
+    log, making commit-time durability cost O(ops in the transaction)
+    instead of O(database).
+
+    The paper keeps per-transaction deltas precisely because "the
+    information needed to remember a delta is proportional in size to
+    the initial changes made" (§3); this module extends that argument to
+    the disk.  A persistence directory holds two files:
+
+    - [snapshot.bin] — the last binary checkpoint ({!Snapshot.save_binary}),
+      replaced atomically (write-temp, fsync, rename);
+    - [wal.log] — CRC-framed {!Codec.encode_delta} records
+      ({!Cactis_storage.Wal}), one per delta the database state moved
+      across since the checkpoint (commits, undos, redos, checkouts).
+
+    {!recover} loads the checkpoint, replays the intact log prefix
+    (discarding any torn tail, so a crash mid-append rolls back to the
+    last durable transaction) and re-attaches for further commits. *)
+
+type t
+
+(** [attach ?sync_every ?auto_checkpoint ~dir db] makes a live database
+    durable: every committed delta is appended to [dir]'s write-ahead
+    log.  [sync_every] batches fsyncs (group commit): 1 (default) syncs
+    every commit, [n] every [n]-th, 0 only on {!sync}/{!close}.
+    [auto_checkpoint] (bytes, 0 = never) checkpoints whenever the log
+    grows past the threshold.  If [db] already holds instances and [dir]
+    has no checkpoint yet, an initial checkpoint is written so the log
+    has a baseline to replay against. *)
+val attach : ?sync_every:int -> ?auto_checkpoint:int -> dir:string -> Db.t -> t
+
+(** [recover ~dir schema] rebuilds the database from the last checkpoint
+    plus the intact write-ahead-log prefix, truncates any torn tail, and
+    re-attaches.  Engine/pager options mirror {!Db.create}. *)
+val recover :
+  ?strategy:Engine.strategy ->
+  ?sched:Sched.strategy ->
+  ?block_capacity:int ->
+  ?buffer_capacity:int ->
+  ?sync_every:int ->
+  ?auto_checkpoint:int ->
+  dir:string ->
+  Schema.t ->
+  t
+
+val db : t -> Db.t
+val dir : t -> string
+
+(** Deltas replayed from the log by the last {!recover}. *)
+val replayed : t -> int
+
+(** Did the last {!recover} discard a torn log tail? *)
+val recovered_torn : t -> bool
+
+(** [checkpoint t] writes a fresh binary snapshot (atomic replace) and
+    truncates the log — recovery afterwards replays nothing.
+    @raise Errors.Type_error inside a transaction. *)
+val checkpoint : t -> unit
+
+(** WAL frame bytes appended since the last checkpoint — the O(delta)
+    commit cost the persistence experiments measure. *)
+val wal_bytes : t -> int
+
+(** Force an fsync of everything appended so far (group commit flush). *)
+val sync : t -> unit
+
+(** Detach the hook and close the log (final fsync included). *)
+val close : t -> unit

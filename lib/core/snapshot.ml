@@ -48,7 +48,10 @@ type cursor = {
   mutable pos : int;
 }
 
-let fail_at _c fmt = Format.kasprintf (fun m -> failwith m) fmt
+(* Value-parse failures carry the cursor's byte offset; [load] adds the
+   snapshot line number on top when one is available. *)
+let fail_at c fmt =
+  Format.kasprintf (fun m -> failwith (Printf.sprintf "at byte %d: %s" c.pos m)) fmt
 
 let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
 
@@ -180,7 +183,7 @@ let rec read_value c : Value.t =
 let value_of_string s =
   let c = { src = s; pos = 0 } in
   let v = read_value c in
-  if c.pos <> String.length s then failwith "trailing garbage after value";
+  if c.pos <> String.length s then fail_at c "trailing garbage after value";
   v
 
 (* ------------------------------------------------------------------ *)
@@ -280,4 +283,278 @@ let load ?strategy ?sched ?block_capacity ?buffer_capacity schema text =
   (* Constraint attributes of loaded instances must hold; register them
      as pending so the first propagation checks them. *)
   List.iter (fun id -> Engine.on_new_instance (Db.engine db) id) (Db.instance_ids db);
+  db
+
+(* ------------------------------------------------------------------ *)
+(* Binary format (the hot persistence path)                            *)
+
+(* Layout after an 8-byte magic:
+     symbol table   varint count, then length-prefixed names (each
+                    type/attribute/relationship name written once)
+     instances      varint count; per instance: varint id, varint type
+                    ref, varint intrinsic count, (varint attr ref,
+                    value)*
+     links          varint count; per link: varint from, varint rel
+                    ref, varint to (canonical direction only)
+   Values use the Codec encoding (raw IEEE float bits, length-prefixed
+   strings), so round-trips are exact without any escaping. *)
+
+let binary_magic = "CACTISB1"
+
+(* Per-layout write plan: the canonical-direction class of one link slot
+   and the file refs of the type and every intrinsic slot. *)
+type ownership = Own_always | Own_never | Own_ties
+
+type link_plan = { lp_ref : int; lp_own : ownership }
+
+type lay_plan = {
+  pl_ty_ref : int;
+  pl_intrinsics : int;
+  pl_attr_refs : int array;  (* per slot index; -1 = derived, not written *)
+  pl_links : link_plan array;
+}
+
+let is_binary s =
+  String.length s >= String.length binary_magic
+  && String.equal (String.sub s 0 (String.length binary_magic)) binary_magic
+
+let save_binary db =
+  let store = Db.store db in
+  (* File-local symbol table: interned process symbols map to dense file
+     refs, so each name is written once in the header and every slot
+     carries only a varint. *)
+  let sym_refs : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let names = ref [] in
+  let n_names = ref 0 in
+  let ref_of_sym sym name =
+    match Hashtbl.find_opt sym_refs sym with
+    | Some r -> r
+    | None ->
+      let r = !n_names in
+      Hashtbl.add sym_refs sym r;
+      names := name :: !names;
+      incr n_names;
+      r
+  in
+  let ref_of name = ref_of_sym (Cactis_util.Symbol.intern name) name in
+  (* Everything name-dependent is resolved once per layout rather than
+     once per instance or link: the type/attr/rel file refs and the
+     canonical-direction verdict for each link slot (the (type, rel) key
+     comparison of [owns_link], hoisted out of the per-link loop). *)
+  let plans = ref [] in
+  let plan_of (inst : Instance.t) =
+    let lay = inst.Instance.layout in
+    match List.assq_opt lay !plans with
+    | Some p -> p
+    | None ->
+      Schema.refresh_layout lay;
+      let tn = inst.Instance.type_name in
+      let attr_refs =
+        Array.map
+          (fun (si : Schema.slot_info) ->
+            if si.Schema.si_derived then -1 else ref_of_sym si.Schema.si_sym si.Schema.si_name)
+          lay.Schema.lay_slots
+      in
+      let intrinsics = Array.fold_left (fun n r -> if r >= 0 then n + 1 else n) 0 attr_refs in
+      let links =
+        Array.map
+          (fun (li : Schema.link_info) ->
+            let rd = li.Schema.li_def in
+            let this_key = (tn, li.Schema.li_name) in
+            let other_key = (rd.Schema.target, rd.Schema.inverse) in
+            let own =
+              if this_key < other_key then Own_always
+              else if this_key > other_key then Own_never
+              else Own_ties
+            in
+            { lp_ref = ref_of li.Schema.li_name; lp_own = own })
+          lay.Schema.lay_links
+      in
+      let p =
+        { pl_ty_ref = ref_of tn; pl_intrinsics = intrinsics; pl_attr_refs = attr_refs;
+          pl_links = links }
+      in
+      plans := (lay, p) :: !plans;
+      p
+  in
+  let ids = Db.instance_ids db in
+  (* Counting pre-pass: resolves every layout's plan (which fills the
+     symbol table), counts instances and owned links, and upper-bounds
+     the encoded size, so the file streams into one exactly-sized buffer
+     — no staging buffers to compose and no doubling copies, which on a
+     memory-bound host each cost an extra pass over the whole file. *)
+  let rec value_hint (v : Value.t) =
+    match v with
+    | Value.Str s -> 11 + String.length s
+    | Value.Arr a -> Array.fold_left (fun n x -> n + value_hint x) 11 a
+    | Value.Rec fields ->
+      List.fold_left (fun n (name, x) -> n + String.length name + 11 + value_hint x) 11 fields
+    | _ -> 11
+  in
+  let n_instances = ref 0 in
+  let n_links = ref 0 in
+  let bytes = ref 64 in
+  List.iter
+    (fun id ->
+      let inst = Store.get store id in
+      let plan = plan_of inst in
+      incr n_instances;
+      bytes := !bytes + 33;
+      Array.iteri
+        (fun ix aref ->
+          if aref >= 0 then
+            bytes := !bytes + 6 + value_hint (Instance.slot_ix inst ix).Instance.value)
+        plan.pl_attr_refs;
+      Array.iteri
+        (fun ix (lp : link_plan) ->
+          match lp.lp_own with
+          | Own_never -> ()
+          | Own_always -> n_links := !n_links + Instance.link_count_ix inst ix
+          | Own_ties -> Instance.iter_linked inst ix (fun j -> if id <= j then incr n_links))
+        plan.pl_links)
+    ids;
+  List.iter (fun n -> bytes := !bytes + String.length n + 6) !names;
+  let out = Buffer.create (!bytes + (!n_links * 16)) in
+  Buffer.add_string out binary_magic;
+  Codec.write_uint out !n_names;
+  List.iter (fun n -> Codec.write_string out n) (List.rev !names);
+  Codec.write_uint out !n_instances;
+  List.iter
+    (fun id ->
+      let inst = Store.get store id in
+      let plan = plan_of inst in
+      Codec.write_uint out id;
+      Codec.write_uint out plan.pl_ty_ref;
+      Codec.write_uint out plan.pl_intrinsics;
+      Array.iteri
+        (fun ix aref ->
+          if aref >= 0 then begin
+            Codec.write_uint out aref;
+            Codec.write_value out (Instance.slot_ix inst ix).Instance.value
+          end)
+        plan.pl_attr_refs)
+    ids;
+  Codec.write_uint out !n_links;
+  List.iter
+    (fun id ->
+      let inst = Store.get store id in
+      let plan = plan_of inst in
+      Array.iteri
+        (fun ix (lp : link_plan) ->
+          let emit j =
+            Codec.write_uint out id;
+            Codec.write_uint out lp.lp_ref;
+            Codec.write_uint out j
+          in
+          match lp.lp_own with
+          | Own_never -> ()
+          | Own_always -> Instance.iter_linked inst ix emit
+          | Own_ties -> Instance.iter_linked inst ix (fun j -> if id <= j then emit j))
+        plan.pl_links)
+    ids;
+  Buffer.contents out
+
+let load_binary ?strategy ?sched ?block_capacity ?buffer_capacity schema data =
+  if not (is_binary data) then
+    parse_error 1 "missing %S binary snapshot magic" binary_magic;
+  let db = Db.create ?strategy ?sched ?block_capacity ?buffer_capacity schema in
+  let store = Db.store db in
+  let r = Codec.reader ~pos:(String.length binary_magic) data in
+  let n_names = Codec.read_uint r in
+  let names = Array.init n_names (fun _ -> Codec.read_string r) in
+  let name_of rf =
+    if rf < 0 || rf >= n_names then
+      raise (Codec.Error { offset = r.Codec.pos; message = Printf.sprintf "symbol ref %d out of range" rf });
+    names.(rf)
+  in
+  (* Per-type slot resolution is done once per (type ref, attr ref) pair
+     and cached as int arrays, so the per-instance loop never touches a
+     name after the first instance of each type. *)
+  let layouts : Schema.layout option array = Array.make (max 1 n_names) None in
+  let slot_ix : int array option array = Array.make (max 1 n_names) None in
+  let layout_of rf =
+    match layouts.(rf) with
+    | Some lay -> lay
+    | None ->
+      let lay = Schema.layout schema (name_of rf) in
+      layouts.(rf) <- Some lay;
+      lay
+  in
+  let slot_of tyref lay attr_ref =
+    let table =
+      match slot_ix.(tyref) with
+      | Some t -> t
+      | None ->
+        let t = Array.make n_names (-2) in
+        slot_ix.(tyref) <- Some t;
+        t
+    in
+    match table.(attr_ref) with
+    | -2 ->
+      let attr = name_of attr_ref in
+      let ix =
+        match Schema.slot_index lay attr with
+        | Some ix ->
+          if lay.Schema.lay_slots.(ix).Schema.si_derived then
+            Errors.type_error "attr %s of type %s is derived; snapshots store intrinsics only"
+              attr lay.Schema.lay_type
+          else ix
+        | None -> Errors.unknown "type %s has no attribute %s" lay.Schema.lay_type attr
+      in
+      table.(attr_ref) <- ix;
+      ix
+    | ix -> ix
+  in
+  let n_instances = Codec.read_uint r in
+  let loaded_ids = ref [] in
+  for _ = 1 to n_instances do
+    let id = Codec.read_uint r in
+    let tyref = Codec.read_uint r in
+    let lay = layout_of tyref in
+    let inst = Store.recreate_instance store ~id lay.Schema.lay_type in
+    loaded_ids := id :: !loaded_ids;
+    let n_attrs = Codec.read_uint r in
+    for _ = 1 to n_attrs do
+      let attr_ref = Codec.read_uint r in
+      let v = Codec.read_value r in
+      Store.load_value_ix store inst (slot_of tyref lay attr_ref) v
+    done
+  done;
+  let n_links = Codec.read_uint r in
+  (* Link slots are resolved once per (layout, rel ref) — the scan list
+     holds one entry per type owning links of that name — so the
+     per-link work is two instance lookups and the wiring itself. *)
+  let link_cache : (Schema.layout * (int * Schema.rel_def)) list array =
+    Array.make (max 1 n_names) []
+  in
+  for _ = 1 to n_links do
+    let from_id = Codec.read_uint r in
+    let rel_ref = Codec.read_uint r in
+    let to_id = Codec.read_uint r in
+    if rel_ref < 0 || rel_ref >= n_names then ignore (name_of rel_ref);
+    let a = Store.get store from_id and b = Store.get store to_id in
+    let lay = a.Instance.layout in
+    let ix, rd =
+      match List.assq_opt lay link_cache.(rel_ref) with
+      | Some resolved -> resolved
+      | None ->
+        let rel = name_of rel_ref in
+        (match Instance.find_link a rel with
+        | None -> Errors.unknown "type %s has no relationship %s" a.Instance.type_name rel
+        | Some ix ->
+          let resolved = (ix, lay.Schema.lay_links.(ix).Schema.li_def) in
+          link_cache.(rel_ref) <- (lay, resolved) :: link_cache.(rel_ref);
+          resolved)
+    in
+    if not (String.equal b.Instance.type_name rd.Schema.target) then
+      Errors.type_error "relationship %s.%s targets %s, not %s" a.Instance.type_name
+        rd.Schema.rel_name rd.Schema.target b.Instance.type_name;
+    Store.load_link_ix store a ix b
+  done;
+  if not (Codec.at_end r) then
+    raise (Codec.Error { offset = r.Codec.pos; message = "trailing bytes after snapshot" });
+  (* The ids were collected during the instance pass — registration order
+     does not matter to the engine, so skip rebuilding the sorted id
+     list. *)
+  List.iter (fun id -> Engine.on_new_instance (Db.engine db) id) !loaded_ids;
   db

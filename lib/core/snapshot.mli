@@ -45,7 +45,40 @@ val load :
   Db.t
 
 (** [value_to_string] / [value_of_string] — the tagged scalar encoding
-    used by the snapshot format (exposed for tests and tools). *)
+    used by the snapshot format (exposed for tests and tools).
+    Parse failures report the byte offset within the encoded value. *)
 val value_to_string : Value.t -> string
 
 val value_of_string : string -> Value.t
+
+(** {1 Binary snapshots (the hot persistence path)}
+
+    Same data model as the text format, encoded with {!Codec}: an
+    8-byte magic, a header symbol table writing each type/attribute/
+    relationship name once (slots then carry only varint refs — the
+    interned-symbol idea applied to disk), varint-packed instances and
+    canonical-direction links.  Several times faster to save and load
+    than the text format; the text format stays for debugging and
+    compatibility. *)
+
+(** [save_binary db] serializes all live instances in binary form. *)
+val save_binary : Db.t -> string
+
+(** [load_binary schema data] rebuilds a database from a binary
+    snapshot.
+    @raise Codec.Error on framing errors (with byte offset).
+    @raise Parse_error when the magic is missing.
+    @raise Errors.Unknown / Errors.Type_error when the snapshot
+    references types or attributes the schema lacks (or derived ones). *)
+val load_binary :
+  ?strategy:Engine.strategy ->
+  ?sched:Sched.strategy ->
+  ?block_capacity:int ->
+  ?buffer_capacity:int ->
+  Schema.t ->
+  string ->
+  Db.t
+
+(** [is_binary data] — does [data] start with the binary magic?  Lets
+    tools auto-detect which loader to use. *)
+val is_binary : string -> bool

@@ -15,6 +15,8 @@ type t = {
   counters : Counters.t;
   c_touches : int ref;
   c_misses : int ref;
+  c_slot_writes : int ref;
+  c_links : int ref;
   link_tags : (int, Decaying_avg.t) Hashtbl.t;  (* packed (id, rel symbol) *)
   mutable write_observers : (int -> string -> Value.t -> unit) list;
   mutable create_observers : (int -> unit) list;
@@ -34,6 +36,8 @@ let create ?block_capacity ?buffer_capacity schema =
     counters;
     c_touches = Counters.cell counters "instance_touches";
     c_misses = Counters.cell counters "block_misses";
+    c_slot_writes = Counters.cell counters "slot_writes";
+    c_links = Counters.cell counters "links_established";
     link_tags = Hashtbl.create 256;
     write_observers = [];
     create_observers = [];
@@ -196,6 +200,40 @@ let write_value t id attr v =
   s.Instance.state <- Instance.Up_to_date;
   Counters.incr t.counters "slot_writes";
   notify_write t id attr v
+
+(* Bulk-load write used by the binary snapshot loader: the slot index is
+   already resolved against the instance's layout, and the pager/usage
+   charge is skipped — a snapshot load streams every instance exactly
+   once, so per-slot residency accounting would only measure the loader
+   itself. *)
+let load_value_ix t (inst : Instance.t) ix v =
+  let s = Instance.slot_ix inst ix in
+  s.Instance.value <- v;
+  s.Instance.state <- Instance.Up_to_date;
+  incr t.c_slot_writes;
+  if t.write_observers <> [] then
+    notify_write t inst.Instance.id inst.Instance.layout.Schema.lay_slots.(ix).Schema.si_name v
+
+(* Bulk-load link used by the binary snapshot loader: the caller has
+   resolved the link slot against [a]'s layout and checked that [b]'s
+   type matches the declared target, so only the cardinality invariants
+   remain; like [load_value_ix] it skips the pager/usage charge. *)
+let load_link_ix t (a : Instance.t) ix (b : Instance.t) =
+  let li = a.Instance.layout.Schema.lay_links.(ix) in
+  let rd = li.Schema.li_def in
+  let inv_ix = li.Schema.li_inverse_ix in
+  if inv_ix < 0 then
+    Errors.unknown "type %s has no relationship %s" rd.Schema.target rd.Schema.inverse;
+  if rd.Schema.card = Schema.One && Instance.link_count_ix a ix > 0 then
+    Errors.cardinality "instance %d: relationship %s already occupied" a.Instance.id
+      li.Schema.li_name;
+  let ird = b.Instance.layout.Schema.lay_links.(inv_ix).Schema.li_def in
+  if ird.Schema.card = Schema.One && Instance.link_count_ix b inv_ix > 0 then
+    Errors.cardinality "instance %d: relationship %s already occupied" b.Instance.id
+      rd.Schema.inverse;
+  Instance.add_link_ix a ix b.Instance.id;
+  Instance.add_link_ix b inv_ix a.Instance.id;
+  incr t.c_links
 
 let recluster t =
   let instances =

@@ -87,6 +87,17 @@ val read_slot : t -> int -> string -> Instance.slot
 (** [write_value t id attr v] stores [v] and marks the slot up to date. *)
 val write_value : t -> int -> string -> Value.t -> unit
 
+(** [load_value_ix t inst ix v] — bulk-load write with a pre-resolved
+    slot index and no pager/usage charge (binary snapshot loader). *)
+val load_value_ix : t -> Instance.t -> int -> Value.t -> unit
+
+(** [load_link_ix t a ix b] — bulk-load link with the slot pre-resolved
+    against [a]'s layout and [b]'s type already checked against the
+    declared target; keeps the cardinality invariants but skips the
+    pager/usage charge of {!link}.
+    @raise Errors.Cardinality on an occupied [One] side. *)
+val load_link_ix : t -> Instance.t -> int -> Instance.t -> unit
+
 (** {1 Observers}
 
     Lightweight notification hooks used by secondary structures (attribute

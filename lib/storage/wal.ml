@@ -1,0 +1,190 @@
+(* Write-ahead log: an append-only file of CRC-framed binary records.
+
+   The log is payload-agnostic — Cactis commits encode transaction
+   deltas into records upstream (lib/core), this module only guarantees
+   that whatever prefix of records survives a crash can be identified
+   exactly.  Framing per record:
+
+     [u32 LE payload length][u32 LE CRC-32 of payload][payload bytes]
+
+   preceded by a fixed file header.  A reader walks records until the
+   file ends cleanly or a record is torn (truncated frame, impossible
+   length, CRC mismatch); everything from the first bad frame on is
+   discarded, so recovery lands on the last durably completed append. *)
+
+let magic = "CWAL1\n"
+let header_len = String.length magic
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320)                     *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let ix = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl) in
+      c := Int32.logxor table.(ix) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+
+type read_result = {
+  records : string list;  (** intact records, oldest first *)
+  valid_end : int;  (** byte offset where the intact prefix ends *)
+  torn : bool;  (** true if trailing bytes were discarded *)
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let u32_le s pos =
+  Int32.to_int (String.get_int32_le s pos) land 0xFFFFFFFF
+
+let read path =
+  if not (Sys.file_exists path) then { records = []; valid_end = 0; torn = false }
+  else begin
+    let s = read_file path in
+    let len = String.length s in
+    if len < header_len || not (String.equal (String.sub s 0 header_len) magic) then
+      { records = []; valid_end = 0; torn = len > 0 }
+    else begin
+      let records = ref [] in
+      let pos = ref header_len in
+      let torn = ref false in
+      let continue = ref true in
+      while !continue do
+        if !pos = len then continue := false
+        else if len - !pos < 8 then begin
+          torn := true;
+          continue := false
+        end
+        else begin
+          let plen = u32_le s !pos in
+          let crc = Int32.of_int (u32_le s (!pos + 4)) in
+          if plen > len - !pos - 8 then begin
+            torn := true;
+            continue := false
+          end
+          else begin
+            let payload = String.sub s (!pos + 8) plen in
+            if not (Int32.equal (crc32 payload) crc) then begin
+              torn := true;
+              continue := false
+            end
+            else begin
+              records := payload :: !records;
+              pos := !pos + 8 + plen
+            end
+          end
+        end
+      done;
+      { records = List.rev !records; valid_end = !pos; torn = !torn }
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+
+type writer = {
+  path : string;
+  fd : Unix.file_descr;
+  oc : out_channel;
+  sync_every : int;  (* fsync after this many appends; 0 = only explicit *)
+  mutable pending : int;  (* appends since the last fsync *)
+  mutable appends : int;
+  mutable appended_bytes : int;  (* frame bytes written through this writer *)
+}
+
+let fsync w =
+  flush w.oc;
+  Unix.fsync w.fd
+
+let open_writer ?(sync_every = 1) ?truncate_at path =
+  let fresh = not (Sys.file_exists path) in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+  (match truncate_at with
+  | Some n when not fresh -> Unix.ftruncate fd n
+  | Some _ | None -> ());
+  ignore (Unix.lseek fd 0 Unix.SEEK_END);
+  let oc = Unix.out_channel_of_descr fd in
+  set_binary_mode_out oc true;
+  let w = { path; fd; oc; sync_every; pending = 0; appends = 0; appended_bytes = 0 } in
+  if fresh || Unix.lseek fd 0 Unix.SEEK_CUR = 0 then begin
+    output_string oc magic;
+    fsync w
+  end;
+  w
+
+let append w payload =
+  let plen = String.length payload in
+  let frame = Bytes.create 8 in
+  Bytes.set_int32_le frame 0 (Int32.of_int plen);
+  Bytes.set_int32_le frame 4 (crc32 payload);
+  output_bytes w.oc frame;
+  output_string w.oc payload;
+  w.appends <- w.appends + 1;
+  w.appended_bytes <- w.appended_bytes + 8 + plen;
+  w.pending <- w.pending + 1;
+  if w.sync_every > 0 && w.pending >= w.sync_every then begin
+    fsync w;
+    w.pending <- 0
+  end
+
+let sync w =
+  fsync w;
+  w.pending <- 0
+
+(* Truncate back to an empty log (after a checkpoint made the records
+   redundant). *)
+let reset w =
+  flush w.oc;
+  Unix.ftruncate w.fd header_len;
+  ignore (Unix.lseek w.fd 0 Unix.SEEK_END);
+  Unix.fsync w.fd;
+  w.pending <- 0
+
+let close w =
+  fsync w;
+  close_out w.oc
+
+let path w = w.path
+let appends w = w.appends
+let appended_bytes w = w.appended_bytes
+
+(* ------------------------------------------------------------------ *)
+(* Durable whole-file writes (checkpoints)                             *)
+
+(* Write-to-temp, fsync, rename: a crash leaves either the old file or
+   the new one, never a torn mixture. *)
+let write_file_durable path contents =
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let oc = Unix.out_channel_of_descr fd in
+  set_binary_mode_out oc true;
+  (try
+     output_string oc contents;
+     flush oc;
+     Unix.fsync fd;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  Sys.rename tmp path

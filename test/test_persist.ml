@@ -6,6 +6,7 @@ module Schema = Cactis.Schema
 module Rule = Cactis.Rule
 module Errors = Cactis.Errors
 module Snapshot = Cactis.Snapshot
+module Codec = Cactis.Codec
 module Query = Cactis_ddl.Query
 module Elaborate = Cactis_ddl.Elaborate
 
@@ -105,7 +106,13 @@ let value_gen =
         map (fun n -> Value.Int n) int;
         map (fun f -> Value.Float f) (float_range (-1e6) 1e6);
         return (Value.Float infinity);
+        return (Value.Float neg_infinity);
+        return (Value.Float nan);
+        return (Value.Float (-0.0));
         map (fun s -> Value.Str s) (string_size ~gen:printable (int_range 0 12));
+        (* Arbitrary bytes: NULs, newlines, quotes, backslashes. *)
+        map (fun s -> Value.Str s) (string_size ~gen:char (int_range 0 24));
+        return (Value.Str "a\000b\nc\"d\\e");
         map (fun f -> Value.Time (Cactis_util.Vtime.of_days f)) (float_range 0.0 1000.0);
         return (Value.Time Cactis_util.Vtime.far_future);
       ]
@@ -128,6 +135,124 @@ let prop_value_roundtrip =
   QCheck.Test.make ~name:"snapshot value encoding round-trips" ~count:500
     (QCheck.make ~print:Value.to_string value_gen)
     (fun v -> Value.equal (Snapshot.value_of_string (Snapshot.value_to_string v)) v)
+
+let prop_binary_value_roundtrip =
+  QCheck.Test.make ~name:"binary value codec round-trips" ~count:500
+    (QCheck.make ~print:Value.to_string value_gen)
+    (fun v -> Value.equal (Codec.value_of_string (Codec.value_to_string v)) v)
+
+(* ---- binary snapshots ---- *)
+
+let test_binary_roundtrip () =
+  let db, _, _, _ = build () in
+  let bin = Snapshot.save_binary db in
+  Alcotest.(check bool) "binary magic detected" true (Snapshot.is_binary bin);
+  Alcotest.(check bool) "text not mistaken for binary" false
+    (Snapshot.is_binary (Snapshot.save db));
+  let db2 = Snapshot.load_binary (Db.schema db) bin in
+  Alcotest.(check bool) "identical state" true (full_state db = full_state db2);
+  Alcotest.(check bool) "re-save is byte-identical" true
+    (String.equal bin (Snapshot.save_binary db2))
+
+let test_binary_special_values () =
+  (* NaN, infinities and raw-byte strings survive a database-level
+     binary round-trip exactly. *)
+  let sch = Schema.create () in
+  Schema.add_type sch "blob";
+  Schema.add_attr sch ~type_name:"blob" (Rule.intrinsic "s" (Value.Str ""));
+  Schema.add_attr sch ~type_name:"blob" (Rule.intrinsic "f" (Value.Float 0.0));
+  let db = Db.create sch in
+  let mk s f =
+    Db.with_txn db (fun () ->
+        let id = Db.create_instance db "blob" in
+        Db.set db id "s" (Value.Str s);
+        Db.set db id "f" (Value.Float f);
+        id)
+  in
+  let a = mk "nul\000embedded\nnewline\"quote\\backslash" nan in
+  let b = mk (String.init 256 Char.chr) neg_infinity in
+  let db2 = Snapshot.load_binary sch (Snapshot.save_binary db) in
+  List.iter
+    (fun (id, attr) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "instance %d %s preserved" id attr)
+        true
+        (Value.equal (Db.get db ~watch:false id attr) (Db.get db2 ~watch:false id attr)))
+    [ (a, "s"); (a, "f"); (b, "s"); (b, "f") ]
+
+let test_binary_agrees_with_text () =
+  (* On random databases the two codecs load identical states: compare
+     through the canonical binary re-encoding of each loaded copy. *)
+  let rng = Cactis_util.Rng.create 7 in
+  for _ = 1 to 10 do
+    let db, _, _, _ = build () in
+    for _ = 1 to 20 do
+      let ids = Array.of_list (Db.instance_ids db) in
+      let pick () = ids.(Cactis_util.Rng.int rng (Array.length ids)) in
+      match Cactis_util.Rng.int rng 3 with
+      | 0 ->
+        Db.with_txn db (fun () ->
+            let id = Db.create_instance db "milestone" in
+            Db.set db id "name"
+              (Value.Str (Printf.sprintf "m%d" (Cactis_util.Rng.int rng 1000)));
+            Db.set db id "local_work" (Value.Float (Cactis_util.Rng.float rng 20.0)))
+      | 1 ->
+        Db.set db (pick ()) "local_work" (Value.Float (Cactis_util.Rng.float rng 20.0))
+      | _ ->
+        let a = pick () and b = pick () in
+        if a <> b && not (List.mem b (Db.related db a "depends_on")) then
+          Db.link db ~from_id:a ~rel:"depends_on" ~to_id:b
+    done;
+    let from_text = Snapshot.load (Db.schema db) (Snapshot.save db) in
+    let from_bin = Snapshot.load_binary (Db.schema db) (Snapshot.save_binary db) in
+    let canon d = Snapshot.save_binary d in
+    Alcotest.(check bool) "text and binary loads agree" true
+      (String.equal (canon from_text) (canon from_bin));
+    Alcotest.(check bool) "binary load matches source" true
+      (String.equal (canon db) (canon from_bin))
+  done
+
+let test_binary_bad_input () =
+  let db, _, _, _ = build () in
+  let sch = Db.schema db in
+  let bin = Snapshot.save_binary db in
+  let expect_fail label data =
+    match Snapshot.load_binary sch data with
+    | _ -> Alcotest.fail ("expected failure: " ^ label)
+    | exception (Snapshot.Parse_error _ | Codec.Error _ | Errors.Unknown _ | Errors.Type_error _)
+      -> ()
+  in
+  expect_fail "bad magic" ("XACTISB1" ^ String.sub bin 8 (String.length bin - 8));
+  expect_fail "truncated mid-stream" (String.sub bin 0 (String.length bin - 3));
+  expect_fail "trailing garbage" (bin ^ "\x07");
+  (* Corrupting any single byte of the body must raise, never load a
+     wrong database silently... except where the byte is genuinely
+     redundant; here we spot-check a few offsets. *)
+  List.iter
+    (fun off ->
+      let mutated = Bytes.of_string bin in
+      Bytes.set mutated off (Char.chr (Char.code (Bytes.get mutated off) lxor 0xff));
+      match Snapshot.load_binary sch (Bytes.to_string mutated) with
+      | _ -> ()
+      | exception (Snapshot.Parse_error _ | Codec.Error _ | Errors.Unknown _
+                  | Errors.Type_error _ | Errors.Cardinality _) -> ())
+    [ 0; 8; 12; String.length bin - 1 ]
+
+let test_binary_error_offsets () =
+  (* Codec errors carry the byte offset; the text codec's value errors
+     carry it too (the fail_at fix). *)
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  (match Codec.value_of_string "\x05" with
+  | _ -> Alcotest.fail "expected Codec.Error"
+  | exception Codec.Error { offset; _ } -> Alcotest.(check int) "offset reported" 1 offset);
+  match Snapshot.value_of_string "a:[null," with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure m ->
+    Alcotest.(check bool) "byte offset in message" true (contains m "at byte")
 
 let test_snapshot_array_values () =
   (* Array-valued intrinsics (the flow-analysis database) survive the
@@ -211,6 +336,15 @@ let () =
           Alcotest.test_case "bad input rejected" `Quick test_snapshot_bad_input;
           Alcotest.test_case "array values (flow db)" `Quick test_snapshot_array_values;
           QCheck_alcotest.to_alcotest prop_value_roundtrip;
+        ] );
+      ( "binary snapshot",
+        [
+          Alcotest.test_case "round-trip" `Quick test_binary_roundtrip;
+          Alcotest.test_case "NaN/inf/raw bytes" `Quick test_binary_special_values;
+          Alcotest.test_case "agrees with text codec" `Quick test_binary_agrees_with_text;
+          Alcotest.test_case "bad input rejected" `Quick test_binary_bad_input;
+          Alcotest.test_case "error offsets" `Quick test_binary_error_offsets;
+          QCheck_alcotest.to_alcotest prop_binary_value_roundtrip;
         ] );
       ( "query",
         [
