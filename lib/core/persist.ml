@@ -7,6 +7,7 @@ type t = {
   mutable wal : Wal.writer;
   sync_every : int;
   auto_checkpoint : int;  (* WAL bytes that trigger a checkpoint; 0 = never *)
+  mutable generation : int;  (* checkpoint generation on disk *)
   mutable cp_base : int;  (* appended_bytes at the last checkpoint *)
   mutable replayed : int;
   mutable torn : bool;
@@ -27,20 +28,53 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* The snapshot file wraps Snapshot.save_binary in a small header
+   carrying the checkpoint generation — the number that pairs the
+   snapshot with the log that follows it (the same value lives in the
+   WAL header, see Wal). *)
+let snap_magic = "CSNP1\n"
+let snap_header_len = String.length snap_magic + 8
+
+let encode_snapshot generation data =
+  let b = Bytes.create snap_header_len in
+  Bytes.blit_string snap_magic 0 b 0 (String.length snap_magic);
+  Bytes.set_int64_le b (String.length snap_magic) (Int64.of_int generation);
+  Bytes.to_string b ^ data
+
+let decode_snapshot path s =
+  if
+    String.length s < snap_header_len
+    || not (String.equal (String.sub s 0 (String.length snap_magic)) snap_magic)
+  then Errors.type_error "%s: not a Cactis checkpoint (bad header)" path;
+  ( Int64.to_int (String.get_int64_le s (String.length snap_magic)),
+    String.sub s snap_header_len (String.length s - snap_header_len) )
+
+let snapshot_generation path = fst (decode_snapshot path (read_file path))
+
 let db t = t.db
 let dir t = t.dir
 let replayed t = t.replayed
 let recovered_torn t = t.torn
+let generation t = t.generation
 
 (* WAL frame bytes appended since the last checkpoint — the O(delta)
-   commit cost the experiments measure. *)
+   commit cost the experiments measure.  [cp_base] is negative right
+   after attach/recover over a log that already held frames, so bytes
+   that predate this writer still count toward [auto_checkpoint]. *)
 let wal_bytes t = Wal.appended_bytes t.wal - t.cp_base
 
 let checkpoint t =
   if Db.in_txn t.db then Errors.type_error "cannot checkpoint inside a transaction";
+  let generation = t.generation + 1 in
   let data = Snapshot.save_binary t.db in
-  Wal.write_file_durable (snapshot_file t.dir) data;
-  Wal.reset t.wal;
+  (* Snapshot first (atomic replace + directory fsync), then the log
+     reset stamped with the same fresh generation.  A crash between the
+     two leaves the new snapshot over a log still stamped with the old
+     generation; recover sees the mismatch and skips those records
+     instead of double-applying deltas the snapshot already contains. *)
+  Wal.write_file_durable (snapshot_file t.dir) (encode_snapshot generation data);
+  Wal.reset t.wal ~generation;
+  t.generation <- generation;
   t.cp_base <- Wal.appended_bytes t.wal;
   Counters.incr (Db.counters t.db) "checkpoints"
 
@@ -54,8 +88,13 @@ let install_hook t =
 
 let attach ?(sync_every = 1) ?(auto_checkpoint = 0) ~dir db =
   ensure_dir dir;
+  let sf = snapshot_file dir in
+  let snap_gen = if Sys.file_exists sf then snapshot_generation sf else 0 in
   let existing = Wal.read (wal_file dir) in
-  let wal = Wal.open_writer ~sync_every ~truncate_at:existing.Wal.valid_end (wal_file dir) in
+  let generation = max snap_gen existing.Wal.generation in
+  let wal =
+    Wal.open_writer ~sync_every ~generation ~truncate_at:existing.Wal.valid_end (wal_file dir)
+  in
   let t =
     {
       dir;
@@ -63,31 +102,55 @@ let attach ?(sync_every = 1) ?(auto_checkpoint = 0) ~dir db =
       wal;
       sync_every;
       auto_checkpoint;
+      generation;
       cp_base = 0;
       replayed = 0;
       torn = false;
       closed = false;
     }
   in
-  (* A database that already holds state needs a baseline the log can
-     replay against. *)
-  if Db.instance_ids db <> [] && not (Sys.file_exists (snapshot_file dir)) then checkpoint t;
+  (* The log is only replayable against a baseline snapshot of this
+     exact database.  Anything already in the directory — an old
+     snapshot, leftover log records, a torn tail — was not loaded into
+     [db], so force a checkpoint: it stamps a fresh baseline and resets
+     the log, discarding the stale state.  (Use {!recover} to continue
+     from a directory's contents instead of overriding them.) *)
+  if
+    Sys.file_exists sf || existing.Wal.records <> [] || existing.Wal.torn
+    || Db.instance_ids db <> []
+  then checkpoint t;
   install_hook t;
   t
 
 let recover ?strategy ?sched ?block_capacity ?buffer_capacity ?(sync_every = 1)
     ?(auto_checkpoint = 0) ~dir schema =
   ensure_dir dir;
-  let db =
-    let sf = snapshot_file dir in
-    if Sys.file_exists sf then
-      Snapshot.load_binary ?strategy ?sched ?block_capacity ?buffer_capacity schema (read_file sf)
-    else Db.create ?strategy ?sched ?block_capacity ?buffer_capacity schema
+  let sf = snapshot_file dir in
+  let snap_gen, db =
+    if Sys.file_exists sf then begin
+      let generation, payload = decode_snapshot sf (read_file sf) in
+      ( generation,
+        Snapshot.load_binary ?strategy ?sched ?block_capacity ?buffer_capacity schema payload )
+    end
+    else (0, Db.create ?strategy ?sched ?block_capacity ?buffer_capacity schema)
   in
-  let { Wal.records; valid_end; torn } = Wal.read (wal_file dir) in
+  let { Wal.records; valid_end; torn; generation = wal_gen } = Wal.read (wal_file dir) in
+  if wal_gen > snap_gen then
+    Errors.type_error
+      "cannot recover %s: log generation %d is ahead of checkpoint generation %d (checkpoint \
+       file deleted or replaced?)"
+      dir wal_gen snap_gen;
+  (* A log older than the checkpoint is the crash window between the two
+     checkpoint steps: its records are already folded into the snapshot,
+     so replaying them would double-apply.  Discard them and reset. *)
+  let stale = wal_gen < snap_gen in
+  let records = if stale then [] else records in
   List.iter (fun record -> Db.replay_delta db (Codec.decode_delta record)) records;
   Engine.propagate (Db.engine db);
-  let wal = Wal.open_writer ~sync_every ~truncate_at:valid_end (wal_file dir) in
+  let wal =
+    Wal.open_writer ~sync_every ~generation:snap_gen ~truncate_at:valid_end (wal_file dir)
+  in
+  if stale then Wal.reset wal ~generation:snap_gen;
   let t =
     {
       dir;
@@ -95,9 +158,11 @@ let recover ?strategy ?sched ?block_capacity ?buffer_capacity ?(sync_every = 1)
       wal;
       sync_every;
       auto_checkpoint;
-      cp_base = 0;
+      generation = snap_gen;
+      cp_base =
+        (if stale then Wal.appended_bytes wal else -(max 0 (valid_end - Wal.header_len)));
       replayed = List.length records;
-      torn;
+      torn = torn && not stale;
       closed = false;
     }
   in

@@ -7,15 +7,24 @@
     the initial changes made" (§3); this module extends that argument to
     the disk.  A persistence directory holds two files:
 
-    - [snapshot.bin] — the last binary checkpoint ({!Snapshot.save_binary}),
-      replaced atomically (write-temp, fsync, rename);
+    - [snapshot.bin] — the last binary checkpoint ({!Snapshot.save_binary}
+      behind a small generation-stamped header), replaced atomically
+      (write-temp, fsync, rename, directory fsync);
     - [wal.log] — CRC-framed {!Codec.encode_delta} records
       ({!Cactis_storage.Wal}), one per delta the database state moved
       across since the checkpoint (commits, undos, redos, checkouts).
 
-    {!recover} loads the checkpoint, replays the intact log prefix
-    (discarding any torn tail, so a crash mid-append rolls back to the
-    last durable transaction) and re-attaches for further commits. *)
+    Snapshot and log carry a matching {e checkpoint generation} number:
+    each checkpoint writes the snapshot under generation [g+1] first,
+    then resets the log stamped [g+1].  A crash between those two steps
+    leaves the new snapshot over a log still stamped [g]; {!recover}
+    detects the mismatch and skips the stale records (they are already
+    folded into the snapshot) instead of double-applying them.
+
+    {!recover} loads the checkpoint, replays the intact log prefix of
+    the matching generation (discarding any torn tail, so a crash
+    mid-append rolls back to the last durable transaction) and
+    re-attaches for further commits. *)
 
 type t
 
@@ -24,14 +33,24 @@ type t
     log.  [sync_every] batches fsyncs (group commit): 1 (default) syncs
     every commit, [n] every [n]-th, 0 only on {!sync}/{!close}.
     [auto_checkpoint] (bytes, 0 = never) checkpoints whenever the log
-    grows past the threshold.  If [db] already holds instances and [dir]
-    has no checkpoint yet, an initial checkpoint is written so the log
-    has a baseline to replay against. *)
+    grows past the threshold.  If [db] holds instances, or [dir] already
+    holds any persistent state (a checkpoint, log records, a torn tail)
+    — state that was {e not} loaded into [db] — an initial checkpoint is
+    written so the log has exactly this database as its baseline; stale
+    directory contents are superseded.  Use {!recover} to continue from
+    a directory's contents instead of overriding them. *)
 val attach : ?sync_every:int -> ?auto_checkpoint:int -> dir:string -> Db.t -> t
 
 (** [recover ~dir schema] rebuilds the database from the last checkpoint
     plus the intact write-ahead-log prefix, truncates any torn tail, and
-    re-attaches.  Engine/pager options mirror {!Db.create}. *)
+    re-attaches.  A log stamped with an older generation than the
+    checkpoint (crash inside {!checkpoint}) is discarded rather than
+    replayed; a log stamped {e newer} than the checkpoint means the
+    checkpoint file was deleted or replaced and raises rather than
+    replaying deltas against a state they do not belong to.
+    Engine/pager options mirror {!Db.create}.
+    @raise Errors.Type_error on generation mismatch or a corrupt
+    checkpoint header. *)
 val recover :
   ?strategy:Engine.strategy ->
   ?sched:Sched.strategy ->
@@ -52,8 +71,14 @@ val replayed : t -> int
 (** Did the last {!recover} discard a torn log tail? *)
 val recovered_torn : t -> bool
 
-(** [checkpoint t] writes a fresh binary snapshot (atomic replace) and
-    truncates the log — recovery afterwards replays nothing.
+(** Checkpoint generation currently on disk (0 before any checkpoint). *)
+val generation : t -> int
+
+(** [checkpoint t] writes a fresh binary snapshot (atomic replace,
+    stamped with the next generation) and then resets the log under the
+    same generation — recovery afterwards replays nothing, and a crash
+    between the two steps is recognized by the generation mismatch and
+    recovers to the snapshot.
     @raise Errors.Type_error inside a transaction. *)
 val checkpoint : t -> unit
 

@@ -7,13 +7,36 @@
 
      [u32 LE payload length][u32 LE CRC-32 of payload][payload bytes]
 
-   preceded by a fixed file header.  A reader walks records until the
-   file ends cleanly or a record is torn (truncated frame, impossible
-   length, CRC mismatch); everything from the first bad frame on is
-   discarded, so recovery lands on the last durably completed append. *)
+   preceded by a fixed file header: the magic plus a u64 LE generation
+   number.  The generation links the log to the checkpoint it follows —
+   a checkpoint stamps its snapshot and the reset log with the same
+   fresh generation, so a crash between the two steps leaves a log whose
+   generation no longer matches the snapshot and recovery can tell the
+   records were already folded into the snapshot.
 
-let magic = "CWAL1\n"
-let header_len = String.length magic
+   A reader walks records until the file ends cleanly or a record is
+   torn (truncated frame, impossible length, CRC mismatch); everything
+   from the first bad frame on is discarded, so recovery lands on the
+   last durably completed append. *)
+
+let magic = "CWAL2\n"
+let header_len = String.length magic + 8
+
+let header generation =
+  let b = Bytes.create header_len in
+  Bytes.blit_string magic 0 b 0 (String.length magic);
+  Bytes.set_int64_le b (String.length magic) (Int64.of_int generation);
+  Bytes.to_string b
+
+(* Make a directory-entry change (create, rename) itself durable.
+   Best-effort: some filesystems reject fsync on a directory fd. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
 
 (* ------------------------------------------------------------------ *)
 (* CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320)                     *)
@@ -47,6 +70,7 @@ type read_result = {
   records : string list;  (** intact records, oldest first *)
   valid_end : int;  (** byte offset where the intact prefix ends *)
   torn : bool;  (** true if trailing bytes were discarded *)
+  generation : int;  (** checkpoint generation from the header (0 if unreadable) *)
 }
 
 let read_file path =
@@ -59,13 +83,14 @@ let u32_le s pos =
   Int32.to_int (String.get_int32_le s pos) land 0xFFFFFFFF
 
 let read path =
-  if not (Sys.file_exists path) then { records = []; valid_end = 0; torn = false }
+  if not (Sys.file_exists path) then { records = []; valid_end = 0; torn = false; generation = 0 }
   else begin
     let s = read_file path in
     let len = String.length s in
-    if len < header_len || not (String.equal (String.sub s 0 header_len) magic) then
-      { records = []; valid_end = 0; torn = len > 0 }
+    if len < header_len || not (String.equal (String.sub s 0 (String.length magic)) magic) then
+      { records = []; valid_end = 0; torn = len > 0; generation = 0 }
     else begin
+      let generation = Int64.to_int (String.get_int64_le s (String.length magic)) in
       let records = ref [] in
       let pos = ref header_len in
       let torn = ref false in
@@ -96,7 +121,7 @@ let read path =
           end
         end
       done;
-      { records = List.rev !records; valid_end = !pos; torn = !torn }
+      { records = List.rev !records; valid_end = !pos; torn = !torn; generation }
     end
   end
 
@@ -117,7 +142,7 @@ let fsync w =
   flush w.oc;
   Unix.fsync w.fd
 
-let open_writer ?(sync_every = 1) ?truncate_at path =
+let open_writer ?(sync_every = 1) ?(generation = 0) ?truncate_at path =
   let fresh = not (Sys.file_exists path) in
   let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
   (match truncate_at with
@@ -128,8 +153,9 @@ let open_writer ?(sync_every = 1) ?truncate_at path =
   set_binary_mode_out oc true;
   let w = { path; fd; oc; sync_every; pending = 0; appends = 0; appended_bytes = 0 } in
   if fresh || Unix.lseek fd 0 Unix.SEEK_CUR = 0 then begin
-    output_string oc magic;
-    fsync w
+    output_string oc (header generation);
+    fsync w;
+    fsync_dir (Filename.dirname path)
   end;
   w
 
@@ -153,11 +179,16 @@ let sync w =
   w.pending <- 0
 
 (* Truncate back to an empty log (after a checkpoint made the records
-   redundant). *)
-let reset w =
+   redundant), stamping the header with the checkpoint's generation.  A
+   crash mid-reset leaves a short/empty file, which [read] reports as
+   generation 0 — older than any real checkpoint, so recovery treats it
+   the same as an un-reset stale log. *)
+let reset w ~generation =
   flush w.oc;
-  Unix.ftruncate w.fd header_len;
-  ignore (Unix.lseek w.fd 0 Unix.SEEK_END);
+  Unix.ftruncate w.fd 0;
+  seek_out w.oc 0;
+  output_string w.oc (header generation);
+  flush w.oc;
   Unix.fsync w.fd;
   w.pending <- 0
 
@@ -172,8 +203,10 @@ let appended_bytes w = w.appended_bytes
 (* ------------------------------------------------------------------ *)
 (* Durable whole-file writes (checkpoints)                             *)
 
-(* Write-to-temp, fsync, rename: a crash leaves either the old file or
-   the new one, never a torn mixture. *)
+(* Write-to-temp, fsync, rename, fsync the directory: a crash leaves
+   either the old file or the new one, never a torn mixture — and the
+   directory fsync makes the rename itself durable, so nothing that
+   runs after this call can become durable before the new file is. *)
 let write_file_durable path contents =
   let tmp = path ^ ".tmp" in
   let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
@@ -187,4 +220,5 @@ let write_file_durable path contents =
    with e ->
      close_out_noerr oc;
      raise e);
-  Sys.rename tmp path
+  Sys.rename tmp path;
+  fsync_dir (Filename.dirname path)

@@ -3,10 +3,11 @@
     Payload-agnostic: the core library encodes transaction deltas into
     records; this module guarantees that after a crash the intact prefix
     of records can be identified exactly.  Each record is framed as
-    [[u32 LE length][u32 LE CRC-32][payload]] after a fixed file header;
-    {!read} stops at the first torn or corrupt frame and reports where
-    the durable prefix ends, so recovery can truncate the tail and land
-    on the last completed append.
+    [[u32 LE length][u32 LE CRC-32][payload]] after a fixed file header
+    (magic plus a u64 LE checkpoint {e generation}, linking the log to
+    the snapshot its records follow); {!read} stops at the first torn or
+    corrupt frame and reports where the durable prefix ends, so recovery
+    can truncate the tail and land on the last completed append.
 
     Durability is batched ({e group commit}): a writer fsyncs after every
     [sync_every] appends (default 1 = every append durable immediately;
@@ -18,20 +19,27 @@ type read_result = {
   records : string list;  (** intact records, oldest first *)
   valid_end : int;  (** byte offset where the intact prefix ends *)
   torn : bool;  (** true if trailing bytes were discarded *)
+  generation : int;  (** checkpoint generation from the header (0 if unreadable) *)
 }
 
 (** [read path] scans the log.  A missing file reads as empty; a file
-    with a bad header reads as empty-and-torn. *)
+    with a bad header reads as empty-and-torn with generation 0. *)
 val read : string -> read_result
+
+(** Size in bytes of the file header (magic + generation). *)
+val header_len : int
 
 (** {1 Writing} *)
 
 type writer
 
-(** [open_writer ?sync_every ?truncate_at path] opens (creating if
-    needed) a log for appending.  [truncate_at] drops a torn tail
-    identified by {!read} before the first append. *)
-val open_writer : ?sync_every:int -> ?truncate_at:int -> string -> writer
+(** [open_writer ?sync_every ?generation ?truncate_at path] opens
+    (creating if needed) a log for appending.  [truncate_at] drops a
+    torn tail identified by {!read} before the first append;
+    [generation] (default 0) is stamped into the header when one is
+    freshly written (an existing intact header is left untouched — use
+    {!reset} to restamp). *)
+val open_writer : ?sync_every:int -> ?generation:int -> ?truncate_at:int -> string -> writer
 
 (** [append w payload] appends one framed record (fsyncs if the group
     commit quota is reached). *)
@@ -40,9 +48,10 @@ val append : writer -> string -> unit
 (** Flush and fsync everything appended so far. *)
 val sync : writer -> unit
 
-(** [reset w] truncates back to an empty log (checkpoint made the
-    records redundant) and fsyncs. *)
-val reset : writer -> unit
+(** [reset w ~generation] truncates back to an empty log (checkpoint
+    made the records redundant), restamps the header with the
+    checkpoint's generation, and fsyncs. *)
+val reset : writer -> generation:int -> unit
 
 val close : writer -> unit
 val path : writer -> string
@@ -56,7 +65,8 @@ val appended_bytes : writer -> int
 (** CRC-32 (IEEE) of a string — exposed for tests and tools. *)
 val crc32 : string -> int32
 
-(** [write_file_durable path contents] — write-to-temp, fsync, rename:
-    a crash leaves either the old file or the new one, never a torn
-    mixture.  Used for checkpoint snapshots. *)
+(** [write_file_durable path contents] — write-to-temp, fsync, rename,
+    fsync the parent directory: a crash leaves either the old file or
+    the new one, never a torn mixture, and the rename itself is durable
+    before the call returns.  Used for checkpoint snapshots. *)
 val write_file_durable : string -> string -> unit

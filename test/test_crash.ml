@@ -226,6 +226,105 @@ let test_checkpoint_plus_tail () =
     ];
   rm_rf dir
 
+let test_checkpoint_crash_window () =
+  (* Crash between the two checkpoint steps — the snapshot renamed into
+     place but the WAL not yet reset: the log still holds every
+     pre-checkpoint delta, now also folded into the snapshot.  Recovery
+     must recognize the older log generation and skip the records, not
+     double-apply them (Create would collide with existing ids, Link
+     would double-insert). *)
+  let dir = temp_dir () in
+  let db = Db.create (node_schema ()) in
+  let p = Persist.attach ~sync_every:1 ~dir db in
+  let a =
+    Db.with_txn db (fun () ->
+        let a = Db.create_instance db "node" in
+        Db.set db a "v" (Value.Int 1);
+        a)
+  in
+  Db.with_txn db (fun () ->
+      let b = Db.create_instance db "node" in
+      Db.link db ~from_id:a ~rel:"deps" ~to_id:b);
+  let stale_wal = read_file (Filename.concat dir "wal.log") in
+  Persist.checkpoint p;
+  let cp_state = Snapshot.save_binary db in
+  Persist.close p;
+  let snap = read_file (Filename.concat dir "snapshot.bin") in
+  (* New snapshot over every truncation of the old log, full length
+     included: always the checkpoint state, never a replay. *)
+  for t = 0 to String.length stale_wal do
+    let d2 = temp_dir () in
+    Wal.write_file_durable (Filename.concat d2 "snapshot.bin") snap;
+    write_file (Filename.concat d2 "wal.log") (String.sub stale_wal 0 t);
+    let p2 = Persist.recover ~dir:d2 (node_schema ()) in
+    Alcotest.(check int) (Printf.sprintf "stale cut %d: nothing replayed" t) 0 (Persist.replayed p2);
+    Alcotest.(check bool)
+      (Printf.sprintf "stale cut %d: state = checkpoint" t)
+      true
+      (String.equal (Snapshot.save_binary (Persist.db p2)) cp_state);
+    Alcotest.(check bool)
+      (Printf.sprintf "stale cut %d: stale log is not a torn tail" t)
+      false (Persist.recovered_torn p2);
+    Persist.close p2;
+    rm_rf d2
+  done;
+  (* Commits after recovering through the window land in the reset log
+     and survive the next recovery. *)
+  let d3 = temp_dir () in
+  Wal.write_file_durable (Filename.concat d3 "snapshot.bin") snap;
+  write_file (Filename.concat d3 "wal.log") stale_wal;
+  let p3 = Persist.recover ~sync_every:1 ~dir:d3 (node_schema ()) in
+  let db3 = Persist.db p3 in
+  Db.with_txn db3 (fun () ->
+      let c = Db.create_instance db3 "node" in
+      Db.set db3 c "v" (Value.Int 9));
+  let after = Snapshot.save_binary db3 in
+  Persist.close p3;
+  let p4 = Persist.recover ~dir:d3 (node_schema ()) in
+  Alcotest.(check int) "post-window commit replayed" 1 (Persist.replayed p4);
+  Alcotest.(check bool) "post-window commit durable" true
+    (String.equal (Snapshot.save_binary (Persist.db p4)) after);
+  Persist.close p4;
+  rm_rf d3;
+  rm_rf dir
+
+let test_attach_resets_foreign_wal () =
+  (* Attaching a database to a directory whose WAL already holds records
+     that were never replayed into it must re-baseline (checkpoint +
+     log reset) instead of appending after the stale records. *)
+  let dir = temp_dir () in
+  let _wal = build_history dir in
+  let db = Db.create (node_schema ()) in
+  let p = Persist.attach ~sync_every:1 ~dir db in
+  Db.with_txn db (fun () ->
+      let a = Db.create_instance db "node" in
+      Db.set db a "v" (Value.Int 5));
+  let state = Snapshot.save_binary db in
+  Persist.close p;
+  let p2 = Persist.recover ~dir (node_schema ()) in
+  Alcotest.(check bool) "recovered = attached db, stale records discarded" true
+    (String.equal (Snapshot.save_binary (Persist.db p2)) state);
+  Alcotest.(check int) "only the post-attach commit replays" 1 (Persist.replayed p2);
+  Persist.close p2;
+  rm_rf dir
+
+let test_wal_ahead_of_snapshot_rejected () =
+  (* A log stamped newer than the checkpoint means the checkpoint file
+     was deleted or replaced: the deltas belong to a state we no longer
+     have, so recovery must refuse rather than replay them. *)
+  let dir = temp_dir () in
+  let db = Db.create (node_schema ()) in
+  let p = Persist.attach ~sync_every:1 ~dir db in
+  Db.with_txn db (fun () -> ignore (Db.create_instance db "node"));
+  Persist.checkpoint p;
+  Db.with_txn db (fun () -> ignore (Db.create_instance db "node"));
+  Persist.close p;
+  Sys.remove (Filename.concat dir "snapshot.bin");
+  (match Persist.recover ~dir (node_schema ()) with
+  | _ -> Alcotest.fail "expected recover to refuse a log ahead of the checkpoint"
+  | exception Cactis.Errors.Type_error _ -> ());
+  rm_rf dir
+
 let () =
   Alcotest.run "cactis-crash"
     [
@@ -235,5 +334,11 @@ let () =
           Alcotest.test_case "corrupt at every offset" `Quick test_corrupt_every_offset;
           Alcotest.test_case "recovery resumes durably" `Quick test_recovery_resumes_durably;
           Alcotest.test_case "checkpoint + tail cuts" `Quick test_checkpoint_plus_tail;
+          Alcotest.test_case "crash between snapshot and log reset" `Quick
+            test_checkpoint_crash_window;
+          Alcotest.test_case "attach re-baselines a foreign log" `Quick
+            test_attach_resets_foreign_wal;
+          Alcotest.test_case "log ahead of checkpoint rejected" `Quick
+            test_wal_ahead_of_snapshot_rejected;
         ] );
     ]
