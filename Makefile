@@ -1,10 +1,16 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build check test bench bench-fast bench-json bench-persist examples clean
+.PHONY: all build check test bench bench-fast bench-json bench-persist stats trace examples clean
 
 # Output path for the machine-readable experiment record; override with
 # `make bench-json BENCH_JSON=BENCH_1.json` to regenerate earlier runs.
-BENCH_JSON ?= BENCH_2.json
+BENCH_JSON ?= BENCH_3.json
+
+# Schema/script pair driven by `make stats` / `make trace`; override to
+# inspect your own workload.
+OBS_SCHEMA ?= examples/schemas/milestones.cactis
+OBS_SCRIPT ?= examples/schemas/project.script
+TRACE_JSON ?= trace.json
 
 all: build
 
@@ -34,6 +40,16 @@ bench-json:
 # Just the persistence experiments (binary snapshots + write-ahead log).
 bench-persist:
 	dune exec bench/main.exe -- E14
+
+# Run $(OBS_SCRIPT) and report counters, latency histograms and the last
+# commit's propagation profile (evaluated-at-most-once check included).
+stats:
+	dune exec bin/cactis_cli.exe -- stats $(OBS_SCHEMA) $(OBS_SCRIPT)
+
+# Run $(OBS_SCRIPT) with the span tracer on and export $(TRACE_JSON),
+# loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+trace:
+	dune exec bin/cactis_cli.exe -- trace $(OBS_SCHEMA) $(OBS_SCRIPT) -o $(TRACE_JSON)
 
 examples:
 	dune exec examples/quickstart.exe

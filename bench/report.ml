@@ -106,6 +106,27 @@ let count diff name = match List.assoc_opt name diff with Some v -> v | None -> 
 let disk_reads db =
   Cactis_storage.Disk.reads (Cactis_storage.Pager.disk (Cactis.Store.pager (Cactis.Db.store db)))
 
+(* Counter and latency-histogram snapshots of one database, printed as
+   tables so they ride into the --json capture with everything else. *)
+let obs_tables db =
+  let hists = Cactis_obs.Histogram.snapshot (Cactis.Db.obs db).Cactis_obs.Ctx.hists in
+  let us f = Printf.sprintf "%.1f" (f *. 1e6) in
+  table
+    ~headers:[ "histogram"; "count"; "p50 (us)"; "p95 (us)"; "p99 (us)"; "max (us)" ]
+    (List.map
+       (fun (st : Cactis_obs.Histogram.stats) ->
+         [
+           st.Cactis_obs.Histogram.st_name;
+           string_of_int st.st_count;
+           us st.st_p50;
+           us st.st_p95;
+           us st.st_p99;
+           us st.st_max;
+         ])
+       hists);
+  table ~headers:[ "counter"; "value" ]
+    (List.map (fun (n, v) -> [ n; string_of_int v ]) (Counters.snapshot (Cactis.Db.counters db)))
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel timing                                                     *)
 

@@ -4,6 +4,8 @@
      check   FILE.cactis            parse + elaborate a schema, report it
      fmt     FILE.cactis            pretty-print the schema
      run     FILE.cactis SCRIPT     load a schema and execute a script
+     stats   FILE.cactis SCRIPT     run a script, report counters/latencies/profile
+     trace   FILE.cactis SCRIPT     run a script, export a Chrome trace JSON
      save    FILE.cactis SNAPSHOT   re-encode a snapshot (text <-> binary)
      recover FILE.cactis DIR        recover a database from checkpoint + WAL
      demo    milestones|make|flow   run a built-in demonstration
@@ -14,6 +16,10 @@ module Schema = Cactis.Schema
 module Db = Cactis.Db
 module Snapshot = Cactis.Snapshot
 module Persist = Cactis.Persist
+module Counters = Cactis_util.Counters
+module Trace = Cactis_obs.Trace
+module Histogram = Cactis_obs.Histogram
+module Profile = Cactis_obs.Profile
 
 let read_file path =
   let ic = open_in_bin path in
@@ -169,6 +175,108 @@ let recover_cmd schema_path dir script checkpoint =
       end;
       Persist.close p)
 
+(* ---- stats / trace ---- *)
+
+(* Open the database the way `run` does: fresh, or recovered from a
+   persistence directory so the WAL/checkpoint instrumentation is live. *)
+let open_script_db sch persist =
+  match persist with
+  | Some dir ->
+    let p = Persist.recover ~dir sch in
+    (Some p, Persist.db p)
+  | None -> (None, Db.create sch)
+
+let pp_duration s =
+  if s >= 1.0 then Printf.sprintf "%.3fs" s
+  else if s >= 1e-3 then Printf.sprintf "%.3fms" (s *. 1e3)
+  else Printf.sprintf "%.1fus" (s *. 1e6)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let profile_json (s : Profile.snapshot) =
+  Printf.sprintf
+    "{\"nodes_marked\":%d,\"edges_walked\":%d,\"cutoffs\":%d,\"evals\":%d,\
+     \"distinct_evaluated\":%d,\"max_evals_per_attr\":%d,\"bound\":%d,\"work\":%d,\
+     \"at_most_once\":%b,\"work_ratio\":%.4f}"
+    s.Profile.p_nodes_marked s.p_edges_walked s.p_cutoffs s.p_evals s.p_distinct_evaluated
+    s.p_max_evals_per_attr s.p_bound s.p_work (Profile.at_most_once s) (Profile.work_ratio s)
+
+let hist_json (st : Histogram.stats) =
+  Printf.sprintf
+    "{\"name\":\"%s\",\"count\":%d,\"sum_s\":%.6f,\"mean_us\":%.2f,\"p50_us\":%.2f,\
+     \"p95_us\":%.2f,\"p99_us\":%.2f,\"max_us\":%.2f}"
+    (json_escape st.Histogram.st_name)
+    st.Histogram.st_count st.Histogram.st_sum (st.Histogram.st_mean *. 1e6)
+    (st.Histogram.st_p50 *. 1e6) (st.Histogram.st_p95 *. 1e6) (st.Histogram.st_p99 *. 1e6)
+    (st.Histogram.st_max *. 1e6)
+
+let stats_cmd schema_path script_path persist json show_output =
+  handle_errors (fun () ->
+      let _, sch = load_schema schema_path in
+      let p, db = open_script_db sch persist in
+      Db.set_profiling db true;
+      let output = Script.run db (read_file script_path) in
+      if show_output then print_string output;
+      (match p with Some p -> Persist.close p | None -> ());
+      let counters = Counters.snapshot (Db.counters db) in
+      let hists = Histogram.snapshot (Db.obs db).Cactis_obs.Ctx.hists in
+      let prof = Db.last_profile db in
+      if json then begin
+        let counters_j =
+          counters
+          |> List.map (fun (n, v) -> Printf.sprintf "\"%s\":%d" (json_escape n) v)
+          |> String.concat ","
+        in
+        let hists_j = hists |> List.map hist_json |> String.concat "," in
+        let prof_j = match prof with Some s -> profile_json s | None -> "null" in
+        Printf.printf "{\"counters\":{%s},\"histograms\":[%s],\"last_profile\":%s}\n" counters_j
+          hists_j prof_j
+      end
+      else begin
+        print_endline "== counters ==";
+        List.iter (fun (n, v) -> Printf.printf "  %-28s %d\n" n v) counters;
+        print_endline "== latencies ==";
+        Printf.printf "  %-16s %8s  %10s %10s %10s %10s\n" "histogram" "count" "p50" "p95" "p99"
+          "max";
+        List.iter
+          (fun (st : Histogram.stats) ->
+            Printf.printf "  %-16s %8d  %10s %10s %10s %10s\n" st.Histogram.st_name
+              st.Histogram.st_count (pp_duration st.st_p50) (pp_duration st.st_p95)
+              (pp_duration st.st_p99) (pp_duration st.st_max))
+          hists;
+        match prof with
+        | Some s ->
+          print_endline "== last propagation profile ==";
+          Printf.printf "  %s\n" (Profile.to_string s);
+          Printf.printf "  evaluated-at-most-once: %s\n"
+            (if Profile.at_most_once s then "holds" else "VIOLATED")
+        | None -> ()
+      end)
+
+let trace_cmd schema_path script_path persist out show_output =
+  handle_errors (fun () ->
+      let _, sch = load_schema schema_path in
+      let p, db = open_script_db sch persist in
+      Db.set_tracing db true;
+      let output = Script.run db (read_file script_path) in
+      if show_output then print_string output;
+      (match p with Some p -> Persist.close p | None -> ());
+      let tr = (Db.obs db).Cactis_obs.Ctx.trace in
+      write_file out (Trace.to_chrome_json tr);
+      Printf.printf "%s: %d events (%d dropped) — load in Perfetto or chrome://tracing\n" out
+        (Trace.recorded tr) (Trace.dropped tr))
+
 (* ---- demo ---- *)
 
 let demo_cmd which =
@@ -310,6 +418,49 @@ let recover_t =
   Cmd.v (Cmd.info "recover" ~doc)
     Term.(const recover_cmd $ schema_arg $ dir_arg $ script_arg $ checkpoint_arg)
 
+let script_pos_arg =
+  Arg.(required & pos 1 (some file) None & info [] ~docv:"SCRIPT" ~doc:"Script file.")
+
+let persist_opt_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "persist" ] ~docv:"DIR"
+        ~doc:
+          "Run against a durable persistence directory (recover first), so WAL appends, fsyncs \
+           and checkpoints show up in the instrumentation.")
+
+let show_output_arg =
+  Arg.(value & flag & info [ "show-output" ] ~doc:"Also print the script's own output.")
+
+let stats_t =
+  let doc =
+    "Execute a script with per-commit propagation profiling armed, then report event counters, \
+     latency histograms (p50/p95/p99/max) and the last commit's propagation profile — including \
+     whether the evaluated-at-most-once invariant held."
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object instead of tables.")
+  in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(
+      const stats_cmd $ schema_arg $ script_pos_arg $ persist_opt_arg $ json_arg $ show_output_arg)
+
+let trace_t =
+  let doc =
+    "Execute a script with the span tracer enabled and export the events as Chrome trace-event \
+     JSON, loadable in Perfetto or chrome://tracing."
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "trace.json"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Trace output file (default trace.json).")
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const trace_cmd $ schema_arg $ script_pos_arg $ persist_opt_arg $ out_arg $ show_output_arg)
+
 let demo_t =
   let doc = "Run a built-in demo (milestones, make, flow)." in
   let which = Arg.(required & pos 0 (some string) None & info [] ~docv:"DEMO" ~doc) in
@@ -329,6 +480,6 @@ let main =
   let doc = "Cactis: object-oriented database with functionally-defined data" in
   Cmd.group
     (Cmd.info "cactis" ~version:"1.0.0" ~doc)
-    [ check_t; fmt_t; run_t; repl_t; save_t; recover_t; demo_t ]
+    [ check_t; fmt_t; run_t; repl_t; stats_t; trace_t; save_t; recover_t; demo_t ]
 
 let () = exit (Cmd.eval main)

@@ -1,4 +1,8 @@
 module Counters = Cactis_util.Counters
+module Clock = Cactis_obs.Clock
+module Trace = Cactis_obs.Trace
+module Histogram = Cactis_obs.Histogram
+module Profile = Cactis_obs.Profile
 
 (* Committed deltas form a tree: undoing back and committing again grows
    a sibling branch instead of discarding the old one ("the ability to
@@ -21,6 +25,9 @@ type t = {
   mutable redo_stack : vnode list;  (* nodes stepped back from, nearest first *)
   mutable next_vid : int;
   tag_tbl : (string, vnode option) Hashtbl.t;
+  h_commit : Histogram.h;
+  mutable profiling : bool;  (* arm a fresh propagation profile per commit *)
+  mutable last_profile : Profile.snapshot option;
   mutable commit_hook : (Txn.delta -> unit) option;
       (* durability observer (see Persist): called with every delta the
          database state moves across — commits, undos (inverted), redos
@@ -41,6 +48,9 @@ let create ?block_capacity ?buffer_capacity ?strategy ?sched sch =
       redo_stack = [];
       next_vid = 1;
       tag_tbl = Hashtbl.create 8;
+      h_commit = Histogram.cell (Store.obs st).Cactis_obs.Ctx.hists "commit";
+      profiling = false;
+      last_profile = None;
       commit_hook = None;
     }
   in
@@ -67,6 +77,26 @@ let schema t = t.sch
 let store t = t.st
 let engine t = t.eng
 let counters t = Store.counters t.st
+let obs t = Store.obs t.st
+let tracer t = (Store.obs t.st).Cactis_obs.Ctx.trace
+
+let set_tracing t on =
+  let tr = tracer t in
+  if on then Trace.enable tr else Trace.disable tr
+
+let set_profiling t on =
+  t.profiling <- on;
+  if not on then Engine.set_profile t.eng None
+
+let last_profile t = t.last_profile
+
+(* Capture and disarm the per-commit profile (both commit outcomes). *)
+let harvest_profile t =
+  match Engine.profile t.eng with
+  | Some p ->
+    t.last_profile <- Some (Profile.snapshot p);
+    Engine.set_profile t.eng None
+  | None -> ()
 
 let set_commit_hook t hook = t.commit_hook <- hook
 
@@ -118,6 +148,12 @@ let in_txn t = t.current <> None
 let begin_txn t =
   if in_txn t then Errors.type_error "transaction already open";
   Counters.incr (counters t) "txns_started";
+  let tr = tracer t in
+  if Trace.enabled tr then Trace.instant tr ~cat:"txn" "begin_txn";
+  (* The propagation window opens here: mark waves run as the
+     transaction mutates, so the profile must be armed before them, not
+     at commit. *)
+  if t.profiling then Engine.set_profile t.eng (Some (Profile.create ()));
   t.current <- Some []
 
 let rollback_current t =
@@ -125,11 +161,15 @@ let rollback_current t =
   | None -> ()
   | Some ops ->
     t.current <- None;
+    let tr = tracer t in
+    if Trace.enabled tr then
+      Trace.instant tr ~cat:"txn" ~args:[ ("ops", Trace.I (List.length ops)) ] "rollback";
     apply_inverse_newest_first t ops;
     Counters.incr (counters t) "txns_aborted";
     (* The restored state satisfied all constraints when it was current;
        propagate to settle watched attributes. *)
-    Engine.propagate t.eng
+    Engine.propagate t.eng;
+    harvest_profile t
 
 let abort t =
   if not (in_txn t) then Errors.type_error "no open transaction to abort";
@@ -139,10 +179,17 @@ let commit t =
   match t.current with
   | None -> Errors.type_error "no open transaction to commit"
   | Some ops ->
+    let start_ns = Clock.now_ns () in
+    (* Normally armed by [begin_txn]; covers profiling enabled mid-txn. *)
+    (match Engine.profile t.eng with
+    | None when t.profiling -> Engine.set_profile t.eng (Some (Profile.create ()))
+    | _ -> ());
     (try Engine.propagate t.eng
      with e ->
+       harvest_profile t;
        rollback_current t;
        raise e);
+    harvest_profile t;
     t.current <- None;
     Counters.incr (counters t) "txns_committed";
     let ops = List.rev ops in
@@ -155,7 +202,13 @@ let commit t =
       t.head <- Some { vid = t.next_vid; delta; parent = t.head; depth };
       t.next_vid <- t.next_vid + 1;
       notify_hook t delta
-    end
+    end;
+    Histogram.observe t.h_commit (Clock.elapsed_s ~since:start_ns);
+    let tr = tracer t in
+    if Trace.enabled tr then
+      Trace.complete tr ~cat:"txn"
+        ~args:[ ("ops", Trace.I (List.length ops)) ]
+        ~start_ns "commit"
 
 let with_txn t f =
   begin_txn t;
@@ -324,7 +377,10 @@ let undo_last t =
   if in_txn t then Errors.type_error "cannot undo while a transaction is open";
   let n = step_back t in
   t.redo_stack <- n :: t.redo_stack;
-  Counters.incr (counters t) "undos"
+  Counters.incr (counters t) "undos";
+  let tr = tracer t in
+  if Trace.enabled tr then
+    Trace.instant tr ~cat:"txn" ~args:[ ("version", Trace.I n.vid) ] "undo"
 
 let redo t =
   if in_txn t then Errors.type_error "cannot redo while a transaction is open";
@@ -333,7 +389,10 @@ let redo t =
   | n :: rest ->
     step_forward t n;
     t.redo_stack <- rest;
-    Counters.incr (counters t) "redos"
+    Counters.incr (counters t) "redos";
+    let tr = tracer t in
+    if Trace.enabled tr then
+      Trace.instant tr ~cat:"txn" ~args:[ ("version", Trace.I n.vid) ] "redo"
 
 let tag t name = Hashtbl.replace t.tag_tbl name t.head
 
@@ -347,6 +406,7 @@ let tags t =
    to the target along recorded parent pointers. *)
 let checkout t name =
   if in_txn t then Errors.type_error "cannot checkout while a transaction is open";
+  let start_ns = Clock.now_ns () in
   let target =
     match Hashtbl.find_opt t.tag_tbl name with
     | Some node -> node
@@ -376,7 +436,10 @@ let checkout t name =
     | Some n -> if Some n.vid = lca_vid then acc else path (n :: acc) n.parent
   in
   List.iter (step_forward t) (path [] target);
-  t.redo_stack <- []
+  t.redo_stack <- [];
+  let tr = tracer t in
+  if Trace.enabled tr then
+    Trace.complete tr ~cat:"txn" ~args:[ ("tag", Trace.S name) ] ~start_ns "checkout"
 
 (* ------------------------------------------------------------------ *)
 (* Recovery replay                                                     *)

@@ -29,6 +29,34 @@ val store : t -> Store.t
 val engine : t -> Engine.t
 val counters : t -> Cactis_util.Counters.t
 
+(** {1 Observability}
+
+    Latency histograms ([commit], [mark_wave], [eval_wave], [propagate],
+    [wal_append], [wal_fsync], …) are always on — a handful of float
+    operations per observation.  The span tracer and the per-commit
+    propagation profile are off by default and cost one branch per
+    observation site until enabled. *)
+
+(** The observability context shared by the store, engine and (when
+    attached) the persistence layer. *)
+val obs : t -> Cactis_obs.Ctx.t
+
+(** [set_tracing t true] starts recording spans and instants into the
+    context's ring buffer (export with {!Cactis_obs.Trace.to_chrome_json});
+    [false] stops recording (already-captured events are kept). *)
+val set_tracing : t -> bool -> unit
+
+(** [set_profiling t true] arms a fresh propagation profile on every
+    {!commit}; after the commit, {!last_profile} holds its snapshot:
+    nodes marked, edges walked, cutoffs, evaluations, and the
+    per-attribute evaluation high-water mark that checks the paper's
+    evaluated-at-most-once claim. *)
+val set_profiling : t -> bool -> unit
+
+(** Snapshot of the most recent profiled commit (including one that
+    rolled back), or [None] if profiling has never produced one. *)
+val last_profile : t -> Cactis_obs.Profile.snapshot option
+
 (** {1 Transactions} *)
 
 (** @raise Errors.Type_error if a transaction is already open. *)

@@ -2,6 +2,10 @@ module Counters = Cactis_util.Counters
 module Decaying_avg = Cactis_util.Decaying_avg
 module Symbol = Cactis_util.Symbol
 module Usage = Cactis_storage.Usage
+module Clock = Cactis_obs.Clock
+module Trace = Cactis_obs.Trace
+module Histogram = Cactis_obs.Histogram
+module Profile = Cactis_obs.Profile
 
 type strategy =
   | Cactis
@@ -35,11 +39,26 @@ type t = {
   c_constraint_checks : int ref;
   c_intrinsic_sets : int ref;
   c_misses : int ref;
+  (* Observability: shared tracer + per-phase latency histograms (always
+     on) and an optional propagation profile (installed per commit by
+     [Db.set_profiling]). *)
+  obs : Cactis_obs.Ctx.t;
+  h_mark_wave : Histogram.h;
+  h_eval_wave : Histogram.h;
+  h_propagate : Histogram.h;
+  mutable prof : Profile.t option;
 }
 
 let create ?(strategy = Cactis) ?(sched = Sched.Greedy) store =
   let counters = Store.counters store in
+  let obs = Store.obs store in
+  let hists = obs.Cactis_obs.Ctx.hists in
   {
+    obs;
+    h_mark_wave = Histogram.cell hists "mark_wave";
+    h_eval_wave = Histogram.cell hists "eval_wave";
+    h_propagate = Histogram.cell hists "propagate";
+    prof = None;
     store;
     strategy;
     sched;
@@ -66,6 +85,9 @@ let sched_strategy t = t.sched
 let set_sched_strategy t s = t.sched <- s
 let set_repair t f = t.repair <- Some f
 let register_recovery t name f = Hashtbl.replace t.recoveries name f
+let set_profile t p = t.prof <- p
+let profile t = t.prof
+let trace t = t.obs.Cactis_obs.Ctx.trace
 
 let schema t = Store.schema t.store
 let counters t = Store.counters t.store
@@ -255,6 +277,9 @@ let rec eval_rec t path id ix =
           raise e
       in
       incr t.c_rule_evals;
+      (match t.prof with
+      | Some p -> Profile.on_eval p ~key:(Symbol.pack id si.Schema.si_sym)
+      | None -> ());
       s.Instance.value <- v;
       s.Instance.state <- Instance.Up_to_date;
       Store.notify_write t.store id si.Schema.si_name v;
@@ -269,39 +294,59 @@ let rec eval_rec t path id ix =
 let mark_cost t j = if Store.resident t.store j then 0.0 else 1.0
 
 let run_marks t targets =
-  let sched = Sched.create t.sched t.store in
-  let usage = Store.usage t.store in
-  let schedule tgt =
-    (match tgt.t_via with
-    | Some (i, rsym) -> Usage.cross_sym usage ~from_instance:i ~rel_sym:rsym ~to_instance:tgt.t_id
-    | None -> ());
-    Sched.schedule sched ~instance:tgt.t_id ~cost:(mark_cost t tgt.t_id) tgt
-  in
-  List.iter schedule targets;
-  let rec loop () =
-    match Sched.next sched with
-    | None -> ()
-    | Some tgt ->
-      (match Store.get_opt t.store tgt.t_id with
+  if targets <> [] then begin
+    let start_ns = Clock.now_ns () in
+    let visits0 = !(t.c_mark_visits) and cutoffs0 = !(t.c_mark_cutoffs) in
+    let sched = Sched.create t.sched t.store in
+    let usage = Store.usage t.store in
+    let schedule tgt =
+      (match t.prof with Some p -> Profile.on_edge p | None -> ());
+      (match tgt.t_via with
+      | Some (i, rsym) -> Usage.cross_sym usage ~from_instance:i ~rel_sym:rsym ~to_instance:tgt.t_id
+      | None -> ());
+      Sched.schedule sched ~instance:tgt.t_id ~cost:(mark_cost t tgt.t_id) tgt
+    in
+    List.iter schedule targets;
+    let rec loop () =
+      match Sched.next sched with
       | None -> ()
-      | Some inst ->
-        Store.touch t.store tgt.t_id;
-        incr t.c_mark_visits;
-        let s = Instance.slot_ix inst tgt.t_ix in
-        (match s.Instance.state with
-        | Instance.Out_of_date ->
-          (* Already out of date: the traversal is cut short here — this
-             is the source of the O(1) repeated-update behaviour. *)
-          incr t.c_mark_cutoffs
-        | Instance.Up_to_date | Instance.In_progress ->
-          s.Instance.state <- Instance.Out_of_date;
-          Store.notify_mark t.store tgt.t_id (Symbol.name tgt.t_sym);
-          if important_si t tgt.t_id (slot_info inst tgt.t_ix) then
-            Hashtbl.replace t.pending_important (Symbol.pack tgt.t_id tgt.t_sym) ();
-          iter_dependents inst tgt.t_ix schedule));
-      loop ()
-  in
-  loop ()
+      | Some tgt ->
+        (match Store.get_opt t.store tgt.t_id with
+        | None -> ()
+        | Some inst ->
+          Store.touch t.store tgt.t_id;
+          incr t.c_mark_visits;
+          let s = Instance.slot_ix inst tgt.t_ix in
+          (match s.Instance.state with
+          | Instance.Out_of_date ->
+            (* Already out of date: the traversal is cut short here — this
+               is the source of the O(1) repeated-update behaviour. *)
+            incr t.c_mark_cutoffs;
+            (match t.prof with Some p -> Profile.on_cutoff p | None -> ())
+          | Instance.Up_to_date | Instance.In_progress ->
+            s.Instance.state <- Instance.Out_of_date;
+            (match t.prof with
+            | Some p -> Profile.on_mark p ~key:(Symbol.pack tgt.t_id tgt.t_sym)
+            | None -> ());
+            Store.notify_mark t.store tgt.t_id (Symbol.name tgt.t_sym);
+            if important_si t tgt.t_id (slot_info inst tgt.t_ix) then
+              Hashtbl.replace t.pending_important (Symbol.pack tgt.t_id tgt.t_sym) ();
+            iter_dependents inst tgt.t_ix schedule));
+        loop ()
+    in
+    loop ();
+    Histogram.observe t.h_mark_wave (Clock.elapsed_s ~since:start_ns);
+    let tr = trace t in
+    if Trace.enabled tr then
+      Trace.complete tr ~cat:"engine"
+        ~args:
+          [
+            ("targets", Trace.I (List.length targets));
+            ("visits", Trace.I (!(t.c_mark_visits) - visits0));
+            ("cutoffs", Trace.I (!(t.c_mark_cutoffs) - cutoffs0));
+          ]
+        ~start_ns "mark_wave"
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Demand-driven evaluation phase (chunked)                            *)
@@ -325,7 +370,7 @@ type eval_proc =
     }
   | Finish of frame
 
-let run_eval t roots =
+let run_eval_inner t roots =
   let sched = Sched.create t.sched t.store in
   let frames : (int, frame) Hashtbl.t = Hashtbl.create 32 in
   let waiters : (int, frame list ref) Hashtbl.t = Hashtbl.create 32 in
@@ -416,6 +461,7 @@ let run_eval t roots =
       let env = build_env t cr inst ~fetch_value in
       let v = cr.Schema.cr_rule.Schema.compute env in
       incr t.c_rule_evals;
+      (match t.prof with Some p -> Profile.on_eval p ~key | None -> ());
       let s = Instance.slot_ix inst frame.f_ix in
       s.Instance.value <- v;
       s.Instance.state <- Instance.Up_to_date;
@@ -527,6 +573,33 @@ let run_eval t roots =
          (List.sort compare (List.map (fun f -> (f.f_id, Symbol.name f.f_sym)) stuck)))
   end
 
+(* Timed wrapper around one demand-evaluation wave.  The histogram is
+   always fed; the (richer) trace span only when the tracer is on.  The
+   observation happens even when a rule raises, so failed waves still
+   show up in the latency profile. *)
+let run_eval t roots =
+  if roots <> [] then begin
+    let start_ns = Clock.now_ns () in
+    let evals0 = !(t.c_rule_evals) in
+    let observe () =
+      Histogram.observe t.h_eval_wave (Clock.elapsed_s ~since:start_ns);
+      let tr = t.obs.Cactis_obs.Ctx.trace in
+      if Trace.enabled tr then
+        Trace.complete tr ~cat:"engine"
+          ~args:
+            [
+              ("roots", Trace.I (List.length roots));
+              ("evals", Trace.I (!(t.c_rule_evals) - evals0));
+            ]
+          ~start_ns "eval_wave"
+    in
+    match run_eval_inner t roots with
+    | () -> observe ()
+    | exception e ->
+      observe ();
+      raise e
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Constraint-violation handling                                       *)
 
@@ -569,8 +642,15 @@ let rec handle_violations t =
               match (Hashtbl.find_opt t.recoveries name, t.repair) with
               | Some action, Some apply ->
                 t.in_recovery <- true;
+                let tr = t.obs.Cactis_obs.Ctx.trace in
+                let start_ns = Clock.now_ns () in
                 Fun.protect
-                  ~finally:(fun () -> t.in_recovery <- false)
+                  ~finally:(fun () ->
+                    t.in_recovery <- false;
+                    if Trace.enabled tr then
+                      Trace.complete tr ~cat:"engine"
+                        ~args:[ ("instance", Trace.I id); ("action", Trace.S name) ]
+                        ~start_ns "recovery")
                   (fun () ->
                     Counters.incr (counters t) "recoveries_run";
                     List.iter (fun (j, b, v) -> apply j b v) (action t.store id);
@@ -641,6 +721,9 @@ let rec fire_trigger t tgt =
     let env = build_env t cr inst ~fetch_value in
     let v = cr.Schema.cr_rule.Schema.compute env in
     incr t.c_rule_evals;
+    (match t.prof with
+    | Some p -> Profile.on_eval p ~key:(Symbol.pack tgt.t_id si.Schema.si_sym)
+    | None -> ());
     let s = Instance.slot_ix inst tgt.t_ix in
     s.Instance.value <- v;
     s.Instance.state <- Instance.Up_to_date;
@@ -820,8 +903,23 @@ let propagate t =
     let roots = pending_roots t in
     Hashtbl.reset t.pending_important;
     if roots <> [] then begin
-      run_eval t (List.map (fun (id, _, ix) -> (id, ix)) roots);
-      handle_violations t
+      let start_ns = Clock.now_ns () in
+      let observe () =
+        Histogram.observe t.h_propagate (Clock.elapsed_s ~since:start_ns);
+        let tr = t.obs.Cactis_obs.Ctx.trace in
+        if Trace.enabled tr then
+          Trace.complete tr ~cat:"engine"
+            ~args:[ ("roots", Trace.I (List.length roots)) ]
+            ~start_ns "propagate"
+      in
+      (match
+         run_eval t (List.map (fun (id, _, ix) -> (id, ix)) roots);
+         handle_violations t
+       with
+      | () -> observe ()
+      | exception e ->
+        observe ();
+        raise e)
     end
   | Eager_triggers | Recompute_all ->
     let roots = pending_roots t in

@@ -101,6 +101,22 @@ val pending_important_count : t -> int
     out of date (bulk schema change, oracle resets). *)
 val invalidate_all : t -> unit
 
+(** {1 Observability} *)
+
+(** [set_profile t (Some p)] arms per-commit propagation profiling: the
+    mark and evaluation phases report nodes marked, edges walked,
+    cutoffs and per-attribute evaluation counts into [p], which lets
+    callers check the paper's evaluated-at-most-once invariant
+    mechanically.  [None] (the default) disarms it. *)
+val set_profile : t -> Cactis_obs.Profile.t option -> unit
+
+val profile : t -> Cactis_obs.Profile.t option
+
+(** The span tracer shared with the store's {!Cactis_obs.Ctx}.  Mark
+    waves, evaluation waves, propagation and recovery actions emit
+    spans here when it is enabled. *)
+val trace : t -> Cactis_obs.Trace.t
+
 (** {1 Testing support} *)
 
 (** [oracle_value t id attr] computes the attribute's correct value from

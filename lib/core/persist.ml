@@ -1,5 +1,8 @@
 module Wal = Cactis_storage.Wal
 module Counters = Cactis_util.Counters
+module Clock = Cactis_obs.Clock
+module Trace = Cactis_obs.Trace
+module Histogram = Cactis_obs.Histogram
 
 type t = {
   dir : string;
@@ -65,6 +68,7 @@ let wal_bytes t = Wal.appended_bytes t.wal - t.cp_base
 
 let checkpoint t =
   if Db.in_txn t.db then Errors.type_error "cannot checkpoint inside a transaction";
+  let start_ns = Clock.now_ns () in
   let generation = t.generation + 1 in
   let data = Snapshot.save_binary t.db in
   (* Snapshot first (atomic replace + directory fsync), then the log
@@ -76,7 +80,16 @@ let checkpoint t =
   Wal.reset t.wal ~generation;
   t.generation <- generation;
   t.cp_base <- Wal.appended_bytes t.wal;
-  Counters.incr (Db.counters t.db) "checkpoints"
+  Counters.incr (Db.counters t.db) "checkpoints";
+  let obs = Db.obs t.db in
+  Histogram.observe_named obs.Cactis_obs.Ctx.hists "checkpoint"
+    (Clock.elapsed_s ~since:start_ns);
+  let tr = obs.Cactis_obs.Ctx.trace in
+  if Trace.enabled tr then
+    Trace.complete tr ~cat:"persist"
+      ~args:
+        [ ("generation", Trace.I generation); ("snapshot_bytes", Trace.I (String.length data)) ]
+      ~start_ns "checkpoint"
 
 let install_hook t =
   Db.set_commit_hook t.db
@@ -93,7 +106,8 @@ let attach ?(sync_every = 1) ?(auto_checkpoint = 0) ~dir db =
   let existing = Wal.read (wal_file dir) in
   let generation = max snap_gen existing.Wal.generation in
   let wal =
-    Wal.open_writer ~sync_every ~generation ~truncate_at:existing.Wal.valid_end (wal_file dir)
+    Wal.open_writer ~sync_every ~generation ~truncate_at:existing.Wal.valid_end ~obs:(Db.obs db)
+      (wal_file dir)
   in
   let t =
     {
@@ -134,6 +148,7 @@ let recover ?strategy ?sched ?block_capacity ?buffer_capacity ?(sync_every = 1)
     end
     else (0, Db.create ?strategy ?sched ?block_capacity ?buffer_capacity schema)
   in
+  let replay_start_ns = Clock.now_ns () in
   let { Wal.records; valid_end; torn; generation = wal_gen } = Wal.read (wal_file dir) in
   if wal_gen > snap_gen then
     Errors.type_error
@@ -147,8 +162,16 @@ let recover ?strategy ?sched ?block_capacity ?buffer_capacity ?(sync_every = 1)
   let records = if stale then [] else records in
   List.iter (fun record -> Db.replay_delta db (Codec.decode_delta record)) records;
   Engine.propagate (Db.engine db);
+  let obs = Db.obs db in
+  Histogram.observe_named obs.Cactis_obs.Ctx.hists "recovery_replay"
+    (Clock.elapsed_s ~since:replay_start_ns);
+  let tr = obs.Cactis_obs.Ctx.trace in
+  if Trace.enabled tr then
+    Trace.complete tr ~cat:"persist"
+      ~args:[ ("records", Trace.I (List.length records)); ("torn", Trace.B torn) ]
+      ~start_ns:replay_start_ns "recovery_replay";
   let wal =
-    Wal.open_writer ~sync_every ~generation:snap_gen ~truncate_at:valid_end (wal_file dir)
+    Wal.open_writer ~sync_every ~generation:snap_gen ~truncate_at:valid_end ~obs (wal_file dir)
   in
   if stale then Wal.reset wal ~generation:snap_gen;
   let t =

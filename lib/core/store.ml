@@ -13,6 +13,7 @@ type t = {
   pager : Pager.t;
   usage : Usage.t;
   counters : Counters.t;
+  obs : Cactis_obs.Ctx.t;
   c_touches : int ref;
   c_misses : int ref;
   c_slot_writes : int ref;
@@ -34,6 +35,7 @@ let create ?block_capacity ?buffer_capacity schema =
     pager = Pager.create ?block_capacity ?buffer_capacity ();
     usage = Usage.create ();
     counters;
+    obs = Cactis_obs.Ctx.create ();
     c_touches = Counters.cell counters "instance_touches";
     c_misses = Counters.cell counters "block_misses";
     c_slot_writes = Counters.cell counters "slot_writes";
@@ -56,6 +58,7 @@ let schema t = t.schema
 let pager t = t.pager
 let usage t = t.usage
 let counters t = t.counters
+let obs t = t.obs
 
 let link_tag_sym t id rel_sym =
   let key = Symbol.pack id rel_sym in

@@ -17,6 +17,11 @@ val pager : t -> Cactis_storage.Pager.t
 val usage : t -> Cactis_storage.Usage.t
 val counters : t -> Cactis_util.Counters.t
 
+(** Observability context shared by every layer attached to this store:
+    the span tracer (disabled until enabled via [Db.set_tracing]) and
+    the always-on latency histogram registry. *)
+val obs : t -> Cactis_obs.Ctx.t
+
 (** Per-link decaying-average disk-cost tags (§2.3), keyed by
     (instance id, relationship).  Fresh tags start at the worst-case
     estimate of 1 block. *)

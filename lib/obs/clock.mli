@@ -1,0 +1,12 @@
+(** Monotonic wall clock.
+
+    All observability timestamps come from the OS monotonic clock
+    (CLOCK_MONOTONIC via bechamel's stub), so spans are immune to NTP
+    steps and wall-clock adjustments.  Readings are nanoseconds from an
+    arbitrary epoch; only differences are meaningful. *)
+
+(** Current monotonic reading, nanoseconds. *)
+val now_ns : unit -> int64
+
+(** [elapsed_s ~since] — seconds since an earlier [now_ns] reading. *)
+val elapsed_s : since:int64 -> float

@@ -1,0 +1,21 @@
+type t = {
+  trace : Trace.t;
+  hists : Histogram.t;
+}
+
+let create ?trace_capacity () =
+  { trace = Trace.create ?capacity:trace_capacity (); hists = Histogram.create () }
+
+let time t h ?cat name f =
+  let start_ns = Clock.now_ns () in
+  let finish () =
+    Histogram.observe h (Clock.elapsed_s ~since:start_ns);
+    Trace.complete t.trace ?cat ~start_ns name
+  in
+  match f () with
+  | v ->
+    finish ();
+    v
+  | exception e ->
+    finish ();
+    raise e

@@ -1,0 +1,18 @@
+(** Per-database observability context.
+
+    One [Ctx.t] travels with each store/database: a shared tracer
+    (disabled by default) and a shared histogram registry (always on).
+    Layers cache the histogram cells they observe into at construction
+    time and consult [trace] at each recording site. *)
+
+type t = {
+  trace : Trace.t;
+  hists : Histogram.t;
+}
+
+val create : ?trace_capacity:int -> unit -> t
+
+(** [time ctx h name f] — run [f], observe its duration into [h], and
+    record a span named [name] when tracing is enabled.  The duration is
+    recorded even if [f] raises. *)
+val time : t -> Histogram.h -> ?cat:string -> string -> (unit -> 'a) -> 'a

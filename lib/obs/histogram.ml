@@ -1,0 +1,101 @@
+(* Bucket i covers [2^(i-1), 2^i) microseconds; bucket 0 is everything
+   under 1us.  64 buckets reach ~292 years, so clamping at the top is
+   theoretical. *)
+let buckets = 64
+
+type h = {
+  counts : int array;
+  mutable n : int;
+  mutable sum : float;  (* seconds *)
+  mutable max : float;  (* seconds *)
+}
+
+type t = (string, h) Hashtbl.t
+
+type stats = {
+  st_name : string;
+  st_count : int;
+  st_sum : float;
+  st_mean : float;
+  st_p50 : float;
+  st_p95 : float;
+  st_p99 : float;
+  st_max : float;
+}
+
+let create () : t = Hashtbl.create 16
+
+let cell t name =
+  match Hashtbl.find_opt t name with
+  | Some h -> h
+  | None ->
+    let h = { counts = Array.make buckets 0; n = 0; sum = 0.0; max = 0.0 } in
+    Hashtbl.add t name h;
+    h
+
+let bucket_of seconds =
+  let us = seconds *. 1e6 in
+  if us < 1.0 then 0
+  else begin
+    (* frexp gives the base-2 exponent directly: us in [2^(e-1), 2^e). *)
+    let _, e = Float.frexp us in
+    min (buckets - 1) (max 0 e)
+  end
+
+let observe h seconds =
+  let seconds = if Float.is_finite seconds && seconds > 0.0 then seconds else 0.0 in
+  h.counts.(bucket_of seconds) <- h.counts.(bucket_of seconds) + 1;
+  h.n <- h.n + 1;
+  h.sum <- h.sum +. seconds;
+  if seconds > h.max then h.max <- seconds
+
+let observe_named t name seconds = observe (cell t name) seconds
+
+let count h = h.n
+
+(* Upper bound of bucket i in seconds. *)
+let upper i = Float.ldexp 1.0 i *. 1e-6
+
+let quantile h q =
+  if h.n = 0 then 0.0
+  else begin
+    let rank = Float.to_int (Float.of_int h.n *. q +. 0.5) in
+    let rank = max 1 (min h.n rank) in
+    let rec find i acc =
+      if i >= buckets then h.max
+      else
+        let acc = acc + h.counts.(i) in
+        if acc >= rank then
+          if i = 0 then 0.5e-6
+          else
+            (* Geometric midpoint of [2^(i-1), 2^i) us. *)
+            Float.min h.max (upper i /. Float.sqrt 2.0)
+        else find (i + 1) acc
+    in
+    find 0 0
+  end
+
+let stats name h =
+  {
+    st_name = name;
+    st_count = h.n;
+    st_sum = h.sum;
+    st_mean = (if h.n = 0 then 0.0 else h.sum /. Float.of_int h.n);
+    st_p50 = quantile h 0.50;
+    st_p95 = quantile h 0.95;
+    st_p99 = quantile h 0.99;
+    st_max = h.max;
+  }
+
+let snapshot t =
+  Hashtbl.fold (fun name h acc -> if h.n > 0 then stats name h :: acc else acc) t []
+  |> List.sort (fun a b -> String.compare a.st_name b.st_name)
+
+let reset t =
+  Hashtbl.iter
+    (fun _ h ->
+      Array.fill h.counts 0 buckets 0;
+      h.n <- 0;
+      h.sum <- 0.0;
+      h.max <- 0.0)
+    t

@@ -1,0 +1,55 @@
+(** Log-bucketed latency histograms.
+
+    Each histogram spreads observed durations over power-of-two
+    microsecond buckets (bucket [i] covers [[2^(i-1), 2^i)] µs), so an
+    observation is two float ops and an array increment — cheap enough
+    to leave on permanently, unlike the tracer.  Quantiles are
+    reconstructed from the buckets (geometric midpoint), exact to within
+    one bucket (~2x); [max] is exact.
+
+    A [t] is a registry of named histograms, mirroring
+    {!Cactis_util.Counters}: hot paths cache the [h] cell once and skip
+    the name lookup. *)
+
+type h
+(** A single histogram. *)
+
+type t
+(** A registry of named histograms. *)
+
+type stats = {
+  st_name : string;
+  st_count : int;
+  st_sum : float;  (** seconds *)
+  st_mean : float;  (** seconds *)
+  st_p50 : float;  (** seconds *)
+  st_p95 : float;  (** seconds *)
+  st_p99 : float;  (** seconds *)
+  st_max : float;  (** seconds *)
+}
+
+val create : unit -> t
+
+(** [cell t name] — the named histogram, created empty on first use.
+    [reset] clears cells in place, so cached cells stay valid. *)
+val cell : t -> string -> h
+
+(** [observe h seconds] records one duration. *)
+val observe : h -> float -> unit
+
+(** [observe_named t name seconds] — {!cell} + {!observe} (cold paths). *)
+val observe_named : t -> string -> float -> unit
+
+val count : h -> int
+
+(** [quantile h q] for [q] in [[0,1]]; 0 when empty. *)
+val quantile : h -> float -> float
+
+val stats : string -> h -> stats
+
+(** Stats for every named histogram with at least one observation,
+    sorted by name. *)
+val snapshot : t -> stats list
+
+(** Zero every histogram in place. *)
+val reset : t -> unit

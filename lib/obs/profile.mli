@@ -1,0 +1,60 @@
+(** Propagation profile.
+
+    Records what one propagation window (the mutations of a transaction
+    plus the evaluation wave of its commit) actually did: dependency
+    nodes marked out of date, dependency edges walked, traversal cutoffs
+    taken, and rule evaluations performed — keyed per attribute so the
+    paper's central invariant is {e mechanically checkable}:
+
+    - "no attribute is evaluated more than once per propagation" (§2.2):
+      {!snapshot} reports the maximum number of evaluations any single
+      (instance, attribute) received between invalidations;
+      {!at_most_once} is true iff that maximum is ≤ 1;
+    - "amortized overhead is O(Nodes(Could_Change) + Edges(Could_Change))"
+      (§2.2): [work] (mark visits + evaluations) is reported against
+      [bound] (nodes marked + edges walked, the traversal's measure of
+      the reachable subgraph).
+
+    The engine feeds a profile only when one is installed
+    (see [Db.set_profiling]); hot paths otherwise pay one option match
+    per event. *)
+
+type t
+
+type snapshot = {
+  p_nodes_marked : int;  (** slots newly marked out of date *)
+  p_edges_walked : int;  (** dependency edges scheduled during marking *)
+  p_cutoffs : int;  (** visits stopped at an already-marked slot *)
+  p_evals : int;  (** rule evaluations *)
+  p_distinct_evaluated : int;  (** distinct (instance, attr) evaluated *)
+  p_max_evals_per_attr : int;  (** highest per-attribute evaluation count *)
+  p_bound : int;  (** nodes marked + edges walked: the O(N+E) measure *)
+  p_work : int;  (** mark visits (incl. cutoffs) + evaluations *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+(** {1 Engine hooks} ([key] is the packed (instance, attr-symbol)) *)
+
+(** A slot transitioned to out-of-date.  Re-arms the at-most-once
+    tracking for [key]: an invalidation legitimately permits one more
+    evaluation. *)
+val on_mark : t -> key:int -> unit
+
+val on_cutoff : t -> unit
+val on_edge : t -> unit
+val on_eval : t -> key:int -> unit
+
+(** {1 Reporting} *)
+
+val snapshot : t -> snapshot
+
+(** The evaluated-at-most-once invariant held. *)
+val at_most_once : snapshot -> bool
+
+(** [work] / [bound] (1.0 when the bound is 0 and no work was done). *)
+val work_ratio : snapshot -> float
+
+(** One-line rendering for CLIs and logs. *)
+val to_string : snapshot -> string

@@ -1,0 +1,144 @@
+type arg =
+  | S of string
+  | I of int
+  | F of float
+  | B of bool
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_instant : bool;
+  ev_ts : float;
+  ev_dur : float;
+  ev_args : (string * arg) list;
+}
+
+let dummy = { ev_name = ""; ev_cat = ""; ev_instant = true; ev_ts = 0.0; ev_dur = 0.0; ev_args = [] }
+
+type t = {
+  mutable on : bool;
+  ring : event array;
+  mutable written : int;  (* total events ever pushed; ring slot = written mod capacity *)
+  epoch_ns : int64;
+}
+
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { on = false; ring = Array.make capacity dummy; written = 0; epoch_ns = Clock.now_ns () }
+
+let enable t = t.on <- true
+let disable t = t.on <- false
+let enabled t = t.on
+let recorded t = t.written
+let dropped t = max 0 (t.written - Array.length t.ring)
+
+let clear t = t.written <- 0
+
+let now_ns = Clock.now_ns
+
+let us_since_epoch t ns = Int64.to_float (Int64.sub ns t.epoch_ns) *. 1e-3
+
+let push t ev =
+  t.ring.(t.written mod Array.length t.ring) <- ev;
+  t.written <- t.written + 1
+
+let complete t ?(cat = "cactis") ?(args = []) ~start_ns name =
+  if t.on then begin
+    let now = Clock.now_ns () in
+    push t
+      {
+        ev_name = name;
+        ev_cat = cat;
+        ev_instant = false;
+        ev_ts = us_since_epoch t start_ns;
+        ev_dur = Int64.to_float (Int64.sub now start_ns) *. 1e-3;
+        ev_args = args;
+      }
+  end
+
+let instant t ?(cat = "cactis") ?(args = []) name =
+  if t.on then
+    push t
+      {
+        ev_name = name;
+        ev_cat = cat;
+        ev_instant = true;
+        ev_ts = us_since_epoch t (Clock.now_ns ());
+        ev_dur = 0.0;
+        ev_args = args;
+      }
+
+let span t ?cat ?args name f =
+  if not t.on then f ()
+  else begin
+    let start_ns = Clock.now_ns () in
+    match f () with
+    | v ->
+      complete t ?cat ?args ~start_ns name;
+      v
+    | exception e ->
+      complete t ?cat ?args ~start_ns name;
+      raise e
+  end
+
+let events t =
+  let cap = Array.length t.ring in
+  let n = min t.written cap in
+  let first = t.written - n in
+  List.init n (fun i -> t.ring.((first + i) mod cap))
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event JSON                                             *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let arg_json = function
+  | S s -> Printf.sprintf "\"%s\"" (escape s)
+  | I n -> string_of_int n
+  | F f -> if Float.is_finite f then Printf.sprintf "%g" f else Printf.sprintf "\"%g\"" f
+  | B b -> string_of_bool b
+
+let event_json buf ev =
+  Buffer.add_string buf
+    (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f" (escape ev.ev_name)
+       (escape ev.ev_cat)
+       (if ev.ev_instant then "i" else "X")
+       ev.ev_ts);
+  if ev.ev_instant then Buffer.add_string buf ",\"s\":\"t\""
+  else Buffer.add_string buf (Printf.sprintf ",\"dur\":%.3f" ev.ev_dur);
+  Buffer.add_string buf ",\"pid\":1,\"tid\":1";
+  (match ev.ev_args with
+  | [] -> ()
+  | args ->
+    Buffer.add_string buf ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (Printf.sprintf "\"%s\":%s" (escape k) (arg_json v)))
+      args;
+    Buffer.add_char buf '}');
+  Buffer.add_char buf '}'
+
+let to_chrome_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf '\n';
+      event_json buf ev)
+    (events t);
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf

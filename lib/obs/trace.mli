@@ -1,0 +1,72 @@
+(** Span/event tracer.
+
+    A fixed-capacity ring buffer of timestamped events over the
+    monotonic clock.  The tracer starts {e disabled}: every recording
+    entry point checks one boolean first, so instrumented hot paths pay
+    a single load-and-branch when tracing is off.  When the ring fills,
+    the oldest events are overwritten (and counted as dropped) — tracing
+    never allocates without bound and never fails.
+
+    Exported traces use the Chrome trace-event JSON format, loadable in
+    Perfetto or chrome://tracing: spans become ["X"] (complete) events,
+    instants become ["i"] events. *)
+
+(** Structured span/instant arguments (rendered into the JSON [args]
+    object). *)
+type arg =
+  | S of string
+  | I of int
+  | F of float
+  | B of bool
+
+type event = {
+  ev_name : string;
+  ev_cat : string;  (** Chrome category, e.g. ["engine"], ["txn"], ["wal"] *)
+  ev_instant : bool;
+  ev_ts : float;  (** microseconds since tracer creation *)
+  ev_dur : float;  (** microseconds; 0 for instants *)
+  ev_args : (string * arg) list;
+}
+
+type t
+
+(** [create ?capacity ()] — a disabled tracer holding up to [capacity]
+    events (default 65536). *)
+val create : ?capacity:int -> unit -> t
+
+val enable : t -> unit
+val disable : t -> unit
+val enabled : t -> bool
+
+(** Total events recorded since creation/[clear] (including any that
+    have since been overwritten). *)
+val recorded : t -> int
+
+(** Events lost to ring wrap-around. *)
+val dropped : t -> int
+
+(** Drop all buffered events (keeps the enabled flag). *)
+val clear : t -> unit
+
+(** Monotonic reading for a span start (see {!complete}). *)
+val now_ns : unit -> int64
+
+(** [complete t ~start_ns name] records a span that began at [start_ns]
+    and ends now.  No-op when disabled. *)
+val complete :
+  t -> ?cat:string -> ?args:(string * arg) list -> start_ns:int64 -> string -> unit
+
+(** [instant t name] records a zero-duration event.  No-op when
+    disabled. *)
+val instant : t -> ?cat:string -> ?args:(string * arg) list -> string -> unit
+
+(** [span t name f] runs [f] inside a span (recorded even if [f]
+    raises).  When disabled, runs [f] with no overhead beyond the
+    flag check. *)
+val span : t -> ?cat:string -> ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
+
+(** Buffered events, oldest first. *)
+val events : t -> event list
+
+(** Chrome trace-event JSON ({["traceEvents"]} array object). *)
+val to_chrome_json : t -> string

@@ -136,13 +136,23 @@ type writer = {
   mutable pending : int;  (* appends since the last fsync *)
   mutable appends : int;
   mutable appended_bytes : int;  (* frame bytes written through this writer *)
+  obs : Cactis_obs.Ctx.t;
+  h_append : Cactis_obs.Histogram.h;
+  h_fsync : Cactis_obs.Histogram.h;
 }
 
 let fsync w =
-  flush w.oc;
-  Unix.fsync w.fd
+  Cactis_obs.Ctx.time w.obs w.h_fsync ~cat:"wal" "wal_fsync" (fun () ->
+      flush w.oc;
+      Unix.fsync w.fd)
 
-let open_writer ?(sync_every = 1) ?(generation = 0) ?truncate_at path =
+let open_writer ?(sync_every = 1) ?(generation = 0) ?truncate_at ?obs path =
+  (* Without a caller-supplied observability context, appends/fsyncs are
+     still timed — into a private, never-read registry (negligible cost
+     next to the I/O being measured). *)
+  let obs =
+    match obs with Some o -> o | None -> Cactis_obs.Ctx.create ~trace_capacity:1 ()
+  in
   let fresh = not (Sys.file_exists path) in
   let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
   (match truncate_at with
@@ -151,7 +161,20 @@ let open_writer ?(sync_every = 1) ?(generation = 0) ?truncate_at path =
   ignore (Unix.lseek fd 0 Unix.SEEK_END);
   let oc = Unix.out_channel_of_descr fd in
   set_binary_mode_out oc true;
-  let w = { path; fd; oc; sync_every; pending = 0; appends = 0; appended_bytes = 0 } in
+  let w =
+    {
+      path;
+      fd;
+      oc;
+      sync_every;
+      pending = 0;
+      appends = 0;
+      appended_bytes = 0;
+      obs;
+      h_append = Cactis_obs.Histogram.cell obs.Cactis_obs.Ctx.hists "wal_append";
+      h_fsync = Cactis_obs.Histogram.cell obs.Cactis_obs.Ctx.hists "wal_fsync";
+    }
+  in
   if fresh || Unix.lseek fd 0 Unix.SEEK_CUR = 0 then begin
     output_string oc (header generation);
     fsync w;
@@ -160,6 +183,7 @@ let open_writer ?(sync_every = 1) ?(generation = 0) ?truncate_at path =
   w
 
 let append w payload =
+  let start_ns = Cactis_obs.Clock.now_ns () in
   let plen = String.length payload in
   let frame = Bytes.create 8 in
   Bytes.set_int32_le frame 0 (Int32.of_int plen);
@@ -172,7 +196,13 @@ let append w payload =
   if w.sync_every > 0 && w.pending >= w.sync_every then begin
     fsync w;
     w.pending <- 0
-  end
+  end;
+  Cactis_obs.Histogram.observe w.h_append (Cactis_obs.Clock.elapsed_s ~since:start_ns);
+  let trace = w.obs.Cactis_obs.Ctx.trace in
+  if Cactis_obs.Trace.enabled trace then
+    Cactis_obs.Trace.complete trace ~cat:"wal"
+      ~args:[ ("bytes", Cactis_obs.Trace.I (8 + plen)) ]
+      ~start_ns "wal_append"
 
 let sync w =
   fsync w;

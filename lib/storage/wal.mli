@@ -33,13 +33,21 @@ val header_len : int
 
 type writer
 
-(** [open_writer ?sync_every ?generation ?truncate_at path] opens
+(** [open_writer ?sync_every ?generation ?truncate_at ?obs path] opens
     (creating if needed) a log for appending.  [truncate_at] drops a
     torn tail identified by {!read} before the first append;
     [generation] (default 0) is stamped into the header when one is
     freshly written (an existing intact header is left untouched — use
-    {!reset} to restamp). *)
-val open_writer : ?sync_every:int -> ?generation:int -> ?truncate_at:int -> string -> writer
+    {!reset} to restamp).  [obs] receives per-append and per-fsync
+    latency histograms ([wal_append], [wal_fsync]) and trace spans when
+    its tracer is enabled. *)
+val open_writer :
+  ?sync_every:int ->
+  ?generation:int ->
+  ?truncate_at:int ->
+  ?obs:Cactis_obs.Ctx.t ->
+  string ->
+  writer
 
 (** [append w payload] appends one framed record (fsyncs if the group
     commit quota is reached). *)

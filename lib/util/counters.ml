@@ -20,13 +20,18 @@ let snapshot t =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let diff ~before ~after =
-  let base = Hashtbl.create 16 in
-  List.iter (fun (name, v) -> Hashtbl.replace base name v) before;
-  List.map
+  (* Union of both name sets: a counter present only in [before] (e.g.
+     dropped by a reset between snapshots) reports its negative delta
+     instead of silently disappearing. *)
+  let deltas = Hashtbl.create 16 in
+  List.iter (fun (name, v) -> Hashtbl.replace deltas name (-v)) before;
+  List.iter
     (fun (name, v) ->
-      let b = Option.value ~default:0 (Hashtbl.find_opt base name) in
-      (name, v - b))
-    after
+      let b = Option.value ~default:0 (Hashtbl.find_opt deltas name) in
+      Hashtbl.replace deltas name (b + v))
+    after;
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) deltas []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let pp fmt t =
   let entries = snapshot t in

@@ -32,7 +32,9 @@ val reset : t -> unit
 val snapshot : t -> (string * int) list
 
 (** [diff ~before ~after] is the per-counter increase between two
-    snapshots (counters absent from [before] count from 0). *)
+    snapshots, over the union of both name sets: counters absent from
+    [before] count from 0, and counters present only in [before] report
+    their negative delta.  Sorted by name. *)
 val diff : before:(string * int) list -> after:(string * int) list -> (string * int) list
 
 val pp : Format.formatter -> t -> unit

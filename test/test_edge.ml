@@ -332,6 +332,51 @@ let test_explain_tree () =
   (* Explaining must not evaluate. *)
   Alcotest.(check bool) "still stale" true (Cactis.Engine.is_out_of_date (Db.engine db) a "total")
 
+let test_explain_render_markers () =
+  let db = Db.create (node_schema ()) in
+  let a = Db.create_instance db "node" in
+  let b = Db.create_instance db "node" in
+  let c = Db.create_instance db "node" in
+  Db.link db ~from_id:a ~rel:"deps" ~to_id:b;
+  Db.link db ~from_id:a ~rel:"deps" ~to_id:c;
+  Db.link db ~from_id:b ~rel:"deps" ~to_id:c;
+  ignore (Db.get db ~watch:false a "total");
+  let module E = Cactis.Explain in
+  (* Invalidate the shared sub-derivation: every node above it goes
+     stale, and the explanation must report cached values untouched. *)
+  Db.set db c "local" (int 10);
+  let t = E.tree db a "total" in
+  let rec find_shared (n : E.node) =
+    if n.E.kind = `Shared then Some n
+    else List.find_map find_shared n.E.children
+  in
+  let shared = match find_shared t with Some n -> n | None -> Alcotest.fail "no shared node" in
+  Alcotest.(check int) "shared node is c" c shared.E.id;
+  Alcotest.(check bool) "shared node reports staleness" false shared.E.fresh;
+  Alcotest.(check (option string)) "shared node names the link" (Some "deps") shared.E.via;
+  Alcotest.(check string) "shared node keeps the cached value" "1"
+    (Value.to_string shared.E.value);
+  let rendered = E.render db a "total" in
+  let lines = String.split_on_char '\n' rendered in
+  let has_sub line needle =
+    let nl = String.length needle and ll = String.length line in
+    let rec go i = i + nl <= ll && (String.sub line i nl = needle || go (i + 1)) in
+    go 0
+  in
+  let shared_lines = List.filter (fun l -> has_sub l "(shared, expanded above)") lines in
+  Alcotest.(check int) "one shared marker" 1 (List.length shared_lines);
+  Alcotest.(check bool) "shared line also marked stale" true
+    (has_sub (List.hd shared_lines) "(stale)");
+  Alcotest.(check bool) "some line marked stale" true
+    (List.exists (fun l -> has_sub l "(stale)") lines);
+  (* Rendering is diagnostic only: nothing got evaluated. *)
+  Alcotest.(check bool) "still stale after render" true
+    (Cactis.Engine.is_out_of_date (Db.engine db) a "total");
+  (* Once re-evaluated, the markers disappear. *)
+  ignore (Db.get db ~watch:false a "total");
+  let rendered2 = E.render db a "total" in
+  Alcotest.(check bool) "no stale marker when fresh" false (has_sub rendered2 "(stale)")
+
 let test_nested_txn_rejected () =
   let db = Db.create (node_schema ()) in
   Db.begin_txn db;
@@ -367,6 +412,7 @@ let () =
           Alcotest.test_case "recluster preserves semantics" `Quick test_recluster_preserves_semantics;
           Alcotest.test_case "deep chain (chunked evaluator)" `Quick test_deep_chain_no_stack_overflow;
           Alcotest.test_case "explain tree" `Quick test_explain_tree;
+          Alcotest.test_case "explain render markers" `Quick test_explain_render_markers;
         ] );
       ( "transactions",
         [

@@ -1,0 +1,261 @@
+(* Observability layer tests: tracer ring buffer and Chrome export,
+   log-bucketed histograms, the propagation profile's at-most-once
+   accounting, and the end-to-end wiring through Db. *)
+
+module Trace = Cactis_obs.Trace
+module Histogram = Cactis_obs.Histogram
+module Profile = Cactis_obs.Profile
+module Ctx = Cactis_obs.Ctx
+module Clock = Cactis_obs.Clock
+module Value = Cactis.Value
+module Schema = Cactis.Schema
+module Rule = Cactis.Rule
+module Db = Cactis.Db
+
+let int n = Value.Int n
+
+(* ---- Trace ---- *)
+
+let test_trace_disabled_records_nothing () =
+  let t = Trace.create () in
+  Trace.instant t "nothing";
+  Trace.complete t ~start_ns:(Trace.now_ns ()) "nothing";
+  ignore (Trace.span t "nothing" (fun () -> 42));
+  Alcotest.(check int) "no events" 0 (Trace.recorded t);
+  Alcotest.(check (list string)) "empty" [] (List.map (fun e -> e.Trace.ev_name) (Trace.events t))
+
+let test_trace_records_in_order () =
+  let t = Trace.create () in
+  Trace.enable t;
+  Trace.instant t ~cat:"a" "first";
+  ignore (Trace.span t "second" (fun () -> ()));
+  Trace.instant t "third";
+  Alcotest.(check (list string))
+    "oldest first" [ "first"; "second"; "third" ]
+    (List.map (fun e -> e.Trace.ev_name) (Trace.events t));
+  let span = List.nth (Trace.events t) 1 in
+  Alcotest.(check bool) "span is not instant" false span.Trace.ev_instant;
+  Alcotest.(check bool) "timestamps non-negative" true
+    (List.for_all (fun e -> e.Trace.ev_ts >= 0.0) (Trace.events t))
+
+let test_trace_ring_wraps () =
+  let t = Trace.create ~capacity:4 () in
+  Trace.enable t;
+  for i = 1 to 10 do
+    Trace.instant t (string_of_int i)
+  done;
+  Alcotest.(check int) "recorded counts all" 10 (Trace.recorded t);
+  Alcotest.(check int) "dropped = overflow" 6 (Trace.dropped t);
+  Alcotest.(check (list string))
+    "ring keeps the newest, oldest first" [ "7"; "8"; "9"; "10" ]
+    (List.map (fun e -> e.Trace.ev_name) (Trace.events t))
+
+let test_trace_span_records_on_raise () =
+  let t = Trace.create () in
+  Trace.enable t;
+  (try Trace.span t "boom" (fun () -> failwith "x") with Failure _ -> ());
+  Alcotest.(check (list string))
+    "span captured despite raise" [ "boom" ]
+    (List.map (fun e -> e.Trace.ev_name) (Trace.events t))
+
+let test_trace_chrome_json_shape () =
+  let t = Trace.create () in
+  Trace.enable t;
+  Trace.instant t ~cat:"test" ~args:[ ("k", Trace.S "v\"q"); ("n", Trace.I 3) ] "tick";
+  let start_ns = Trace.now_ns () in
+  Trace.complete t ~cat:"test" ~args:[ ("ok", Trace.B true) ] ~start_ns "work";
+  let json = Trace.to_chrome_json t in
+  let has needle =
+    let nl = String.length needle and jl = String.length json in
+    let rec go i = i + nl <= jl && (String.sub json i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "traceEvents wrapper" true (has "\"traceEvents\"");
+  Alcotest.(check bool) "instant phase" true (has "\"ph\":\"i\"");
+  Alcotest.(check bool) "complete phase" true (has "\"ph\":\"X\"");
+  Alcotest.(check bool) "string arg escaped" true (has "\"k\":\"v\\\"q\"");
+  Alcotest.(check bool) "int arg" true (has "\"n\":3");
+  Alcotest.(check bool) "bool arg" true (has "\"ok\":true")
+
+(* ---- Histogram ---- *)
+
+let test_histogram_quantiles () =
+  let reg = Histogram.create () in
+  let h = Histogram.cell reg "latency" in
+  (* 90 fast observations around 2us, 10 slow around 1ms. *)
+  for _ = 1 to 90 do
+    Histogram.observe h 2e-6
+  done;
+  for _ = 1 to 10 do
+    Histogram.observe h 1e-3
+  done;
+  Alcotest.(check int) "count" 100 (Histogram.count h);
+  let p50 = Histogram.quantile h 0.5 and p99 = Histogram.quantile h 0.99 in
+  Alcotest.(check bool) "p50 in the fast bucket" true (p50 < 1e-4);
+  Alcotest.(check bool) "p99 in the slow bucket" true (p99 > 1e-4);
+  let st = Histogram.stats "latency" h in
+  Alcotest.(check bool) "max is exact" true (st.Histogram.st_max = 1e-3);
+  Alcotest.(check bool) "quantiles clamp at max" true (st.Histogram.st_p99 <= st.Histogram.st_max)
+
+let test_histogram_snapshot_and_reset () =
+  let reg = Histogram.create () in
+  let h = Histogram.cell reg "b" in
+  Histogram.observe h 1e-5;
+  Histogram.observe_named reg "a" 2e-5;
+  ignore (Histogram.cell reg "never_observed");
+  Alcotest.(check (list string))
+    "non-empty only, sorted" [ "a"; "b" ]
+    (List.map (fun st -> st.Histogram.st_name) (Histogram.snapshot reg));
+  Histogram.reset reg;
+  Alcotest.(check (list string)) "reset empties" []
+    (List.map (fun st -> st.Histogram.st_name) (Histogram.snapshot reg));
+  (* Cached cells survive a reset. *)
+  Histogram.observe h 1e-5;
+  Alcotest.(check int) "cached cell still live" 1 (Histogram.count h)
+
+let test_ctx_time_observes_on_raise () =
+  let ctx = Ctx.create () in
+  let h = Histogram.cell ctx.Ctx.hists "op" in
+  Trace.enable ctx.Ctx.trace;
+  (try Ctx.time ctx h "op" (fun () -> failwith "x") with Failure _ -> ());
+  Alcotest.(check int) "histogram fed" 1 (Histogram.count h);
+  Alcotest.(check (list string))
+    "span recorded" [ "op" ]
+    (List.map (fun e -> e.Trace.ev_name) (Trace.events ctx.Ctx.trace))
+
+(* ---- Profile ---- *)
+
+let test_profile_at_most_once () =
+  let p = Profile.create () in
+  Profile.on_mark p ~key:1;
+  Profile.on_mark p ~key:2;
+  Profile.on_edge p;
+  Profile.on_edge p;
+  Profile.on_edge p;
+  Profile.on_cutoff p;
+  Profile.on_eval p ~key:1;
+  Profile.on_eval p ~key:2;
+  let s = Profile.snapshot p in
+  Alcotest.(check int) "marked" 2 s.Profile.p_nodes_marked;
+  Alcotest.(check int) "edges" 3 s.Profile.p_edges_walked;
+  Alcotest.(check int) "cutoffs" 1 s.Profile.p_cutoffs;
+  Alcotest.(check int) "evals" 2 s.Profile.p_evals;
+  Alcotest.(check int) "distinct" 2 s.Profile.p_distinct_evaluated;
+  Alcotest.(check bool) "invariant holds" true (Profile.at_most_once s);
+  Alcotest.(check int) "bound = nodes+edges" 5 s.Profile.p_bound;
+  Alcotest.(check int) "work = marks+cutoffs+evals" 5 s.Profile.p_work
+
+let test_profile_detects_double_eval () =
+  let p = Profile.create () in
+  Profile.on_eval p ~key:7;
+  Profile.on_eval p ~key:7;
+  Alcotest.(check bool) "double eval flagged" false (Profile.at_most_once (Profile.snapshot p))
+
+let test_profile_remark_permits_reeval () =
+  let p = Profile.create () in
+  Profile.on_eval p ~key:7;
+  (* An invalidation between the two evaluations makes the second one
+     legitimate (recovery actions do this). *)
+  Profile.on_mark p ~key:7;
+  Profile.on_eval p ~key:7;
+  let s = Profile.snapshot p in
+  Alcotest.(check bool) "re-marked eval is legitimate" true (Profile.at_most_once s);
+  Alcotest.(check int) "both evals counted" 2 s.Profile.p_evals;
+  Alcotest.(check int) "one distinct attr" 1 s.Profile.p_distinct_evaluated
+
+(* ---- End-to-end through Db ---- *)
+
+let diamond_schema () =
+  (* top depends on left and right, which both depend on base: the
+     diamond that makes naive triggers evaluate top twice. *)
+  let sch = Schema.create () in
+  Schema.add_type sch "node";
+  Schema.declare_relationship sch ~from_type:"node" ~rel:"deps" ~to_type:"node" ~inverse:"rdeps"
+    ~card:Schema.Multi ~inverse_card:Schema.Multi;
+  Schema.add_attr sch ~type_name:"node" (Rule.intrinsic "local" (int 1));
+  Schema.add_attr sch ~type_name:"node"
+    (Rule.derived "total"
+       (Rule.combine_self_rel "local" "deps" "total" ~f:(fun local totals ->
+            Value.add local (Value.sum totals))));
+  sch
+
+let diamond db =
+  let n () = Db.create_instance db "node" in
+  let top = n () and left = n () and right = n () and base = n () in
+  Db.link db ~from_id:top ~rel:"deps" ~to_id:left;
+  Db.link db ~from_id:top ~rel:"deps" ~to_id:right;
+  Db.link db ~from_id:left ~rel:"deps" ~to_id:base;
+  Db.link db ~from_id:right ~rel:"deps" ~to_id:base;
+  (top, base)
+
+let test_db_profile_on_diamond () =
+  let db = Db.create (diamond_schema ()) in
+  let top, base = diamond db in
+  Alcotest.(check string) "diamond total" "5" (Value.to_string (Db.get db top "total"));
+  Db.set_profiling db true;
+  Db.begin_txn db;
+  Db.set db base "local" (int 10);
+  Db.commit db;
+  let s = match Db.last_profile db with Some s -> s | None -> Alcotest.fail "no profile" in
+  Alcotest.(check bool) "marks happened" true (s.Profile.p_nodes_marked > 0);
+  Alcotest.(check bool) "evals happened" true (s.Profile.p_evals > 0);
+  Alcotest.(check bool) "at most once on the diamond" true (Profile.at_most_once s);
+  Alcotest.(check bool) "work within constant of bound" true
+    (Profile.work_ratio s <= 2.0);
+  (* The profile is per-commit: an unprofiled commit leaves the last
+     snapshot in place, a profiled one replaces it. *)
+  Db.set_profiling db false;
+  Db.begin_txn db;
+  Db.set db base "local" (int 11);
+  Db.commit db;
+  Alcotest.(check bool) "snapshot kept" true (Db.last_profile db = Some s)
+
+let test_db_tracing_and_histograms () =
+  let db = Db.create (diamond_schema ()) in
+  let top, base = diamond db in
+  ignore (Db.get db top "total");
+  Db.set_tracing db true;
+  Db.begin_txn db;
+  Db.set db base "local" (int 3);
+  Db.commit db;
+  Db.set_tracing db false;
+  let tr = (Db.obs db).Cactis_obs.Ctx.trace in
+  let names = List.map (fun e -> e.Trace.ev_name) (Trace.events tr) in
+  Alcotest.(check bool) "begin_txn instant" true (List.mem "begin_txn" names);
+  Alcotest.(check bool) "mark wave span" true (List.mem "mark_wave" names);
+  Alcotest.(check bool) "commit span" true (List.mem "commit" names);
+  (* Histograms run with tracing off too. *)
+  let hists = Histogram.snapshot (Db.obs db).Cactis_obs.Ctx.hists in
+  let hnames = List.map (fun st -> st.Histogram.st_name) hists in
+  Alcotest.(check bool) "commit histogram" true (List.mem "commit" hnames);
+  Alcotest.(check bool) "mark_wave histogram" true (List.mem "mark_wave" hnames)
+
+let () =
+  Alcotest.run "cactis-obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "disabled records nothing" `Quick test_trace_disabled_records_nothing;
+          Alcotest.test_case "records in order" `Quick test_trace_records_in_order;
+          Alcotest.test_case "ring wraps" `Quick test_trace_ring_wraps;
+          Alcotest.test_case "span on raise" `Quick test_trace_span_records_on_raise;
+          Alcotest.test_case "chrome json shape" `Quick test_trace_chrome_json_shape;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "quantiles" `Quick test_histogram_quantiles;
+          Alcotest.test_case "snapshot and reset" `Quick test_histogram_snapshot_and_reset;
+          Alcotest.test_case "ctx time on raise" `Quick test_ctx_time_observes_on_raise;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "at most once" `Quick test_profile_at_most_once;
+          Alcotest.test_case "double eval detected" `Quick test_profile_detects_double_eval;
+          Alcotest.test_case "remark permits re-eval" `Quick test_profile_remark_permits_reeval;
+        ] );
+      ( "db",
+        [
+          Alcotest.test_case "profile on diamond" `Quick test_db_profile_on_diamond;
+          Alcotest.test_case "tracing and histograms" `Quick test_db_tracing_and_histograms;
+        ] );
+    ]

@@ -135,6 +135,18 @@ let test_counters () =
   Counters.reset c;
   Alcotest.(check int) "reset" 0 (Counters.get c "a")
 
+(* Counters seen only on one side of a diff: new names count from 0,
+   names that disappeared (e.g. across a reset) report their negative
+   delta instead of being dropped. *)
+let test_counters_diff_asymmetric () =
+  let d =
+    Counters.diff ~before:[ ("gone", 4); ("kept", 2) ] ~after:[ ("kept", 5); ("new", 7) ]
+  in
+  Alcotest.(check int) "only in before -> negative" (-4) (List.assoc "gone" d);
+  Alcotest.(check int) "present in both" 3 (List.assoc "kept" d);
+  Alcotest.(check int) "only in after -> from 0" 7 (List.assoc "new" d);
+  Alcotest.(check (list string)) "sorted by name" [ "gone"; "kept"; "new" ] (List.map fst d)
+
 (* ---- Vtime ---- *)
 
 let test_vtime () =
@@ -185,7 +197,11 @@ let () =
           Alcotest.test_case "converges" `Quick test_decaying_avg_converges;
           Alcotest.test_case "recency" `Quick test_decaying_avg_recency;
         ] );
-      ("counters", [ Alcotest.test_case "basics" `Quick test_counters ]);
+      ( "counters",
+        [
+          Alcotest.test_case "basics" `Quick test_counters;
+          Alcotest.test_case "asymmetric diff" `Quick test_counters_diff_asymmetric;
+        ] );
       ("vtime", [ Alcotest.test_case "basics" `Quick test_vtime ]);
       ( "ascii-table",
         [
