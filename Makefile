@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build check test bench bench-fast bench-json bench-persist stats trace examples clean
+.PHONY: all build check test lint bench bench-fast bench-json bench-persist stats trace examples clean
 
 # Output path for the machine-readable experiment record; override with
 # `make bench-json BENCH_JSON=BENCH_1.json` to regenerate earlier runs.
@@ -26,6 +26,14 @@ check:
 
 test:
 	dune runtest --force
+
+# Static schema analysis over every shipped .cactis schema plus the
+# built-in application schemas.  Fails on error-severity findings only;
+# add `LINT_FLAGS=--strict` to fail on warnings too.
+LINT_FLAGS ?=
+lint:
+	dune exec bin/cactis_cli.exe -- lint $(LINT_FLAGS) --apps \
+	  $(shell find examples lib -name '*.cactis')
 
 bench:
 	dune exec bench/main.exe

@@ -925,6 +925,112 @@ let e14 () =
   Printf.printf "(%d docs, %d tail transactions of 8 ops)\n" rec_docs tail_txns
 
 (* ================================================================== *)
+(* E15: static schema analysis cost                                    *)
+
+(* A synthetic schema: [classes] object classes in a chain, each with an
+   intrinsic [base], [depth] chained derived attributes, and a rule
+   reading the neighbour's last derived attribute across a relationship.
+   Type-level size grows, data size is irrelevant — the analyzer never
+   touches instances. *)
+let analysis_schema ~classes ~depth =
+  let sch = Schema.create () in
+  let cname k = Printf.sprintf "c%d" k in
+  for k = 0 to classes - 1 do
+    Schema.add_type sch (cname k)
+  done;
+  for k = 0 to classes - 2 do
+    Schema.declare_relationship sch ~from_type:(cname k) ~rel:"down" ~to_type:(cname (k + 1))
+      ~inverse:"up" ~card:Schema.Multi ~inverse_card:Schema.One
+  done;
+  for k = 0 to classes - 1 do
+    let tn = cname k in
+    Schema.add_attr sch ~type_name:tn (Rule.intrinsic "base" (int 1));
+    for d = 0 to depth - 1 do
+      let prev = if d = 0 then "base" else Printf.sprintf "d%d" (d - 1) in
+      Schema.add_attr sch ~type_name:tn
+        (Rule.derived
+           (Printf.sprintf "d%d" d)
+           (Rule.map1 prev (fun v -> int (Value.as_int v + 1))))
+    done;
+    if k < classes - 1 then
+      Schema.add_attr sch ~type_name:tn
+        (Rule.derived "agg"
+           (Rule.make
+              [ Schema.Rel ("down", Printf.sprintf "d%d" (depth - 1)) ]
+              (fun env ->
+                int
+                  (List.fold_left
+                     (fun acc v -> acc + Value.as_int v)
+                     0
+                     (env.Schema.related_values "down" (Printf.sprintf "d%d" (depth - 1)))))))
+  done;
+  sch
+
+let e15 () =
+  R.section "E15" "static schema analysis cost"
+    "the circularity test and lint passes run on the type-level graph: cost scales with \
+     declared schema size, never with instance count";
+  let module Analyze = Cactis_analysis.Analyze in
+  let module Diag = Cactis_analysis.Diag in
+  let analyze_counted sch =
+    let counters = Cactis_util.Counters.create () in
+    let t0 = Unix.gettimeofday () in
+    let diags = Analyze.analyze_schema ~counters sch in
+    let dt = Unix.gettimeofday () -. t0 in
+    (Cactis_util.Counters.snapshot counters, diags, dt)
+  in
+  let row name sch =
+    let counters, diags, dt = analyze_counted sch in
+    let get k = try List.assoc k counters with Not_found -> 0 in
+    let errors = List.length (Diag.errors diags) in
+    [
+      name;
+      string_of_int (get "analysis_nodes");
+      string_of_int (get "analysis_edges");
+      string_of_int (get "analysis_sccs");
+      string_of_int (get "analysis_diags");
+      string_of_int errors;
+      Printf.sprintf "%.1f" (dt *. 1e6);
+    ]
+  in
+  let sizes = scale [ (10, 4); (40, 8); (120, 12) ] in
+  let rows =
+    [
+      row "milestone (app)" (Db.schema (Cactis_apps.Milestone.db (Cactis_apps.Milestone.create ())));
+      row "flowan (app)" (Cactis_apps.Flowan.schema ());
+    ]
+    @ List.map
+        (fun (classes, depth) ->
+          row
+            (Printf.sprintf "chain %dx%d" classes depth)
+            (analysis_schema ~classes ~depth))
+        sizes
+  in
+  R.table ~headers:[ "schema"; "nodes"; "edges"; "cyclic sccs"; "diags"; "errors"; "wall us" ] rows;
+  (* Same schema, growing data: the analyzer's work is constant — it is
+     a function of the declarations alone. *)
+  let sch () = analysis_schema ~classes:10 ~depth:4 in
+  let const_rows =
+    List.map
+      (fun instances ->
+        let s = sch () in
+        let db = Db.create s in
+        for _ = 1 to instances do
+          ignore (Db.create_instance db "c0")
+        done;
+        let counters, _, dt = analyze_counted s in
+        let get k = try List.assoc k counters with Not_found -> 0 in
+        [
+          string_of_int instances;
+          string_of_int (get "analysis_nodes");
+          string_of_int (get "analysis_edges");
+          Printf.sprintf "%.1f" (dt *. 1e6);
+        ])
+      (scale [ 0; 1000; 10000 ])
+  in
+  R.table ~headers:[ "instances"; "nodes"; "edges"; "wall us" ] const_rows
+
+(* ================================================================== *)
 (* Timing (Bechamel)                                                   *)
 
 let timing () =
@@ -1002,7 +1108,7 @@ let () =
   let experiments =
     [
       ("F1", f1); ("F2", f2); ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5);
-      ("E6", e6); ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13); ("E14", e14); ("T", timing);
+      ("E6", e6); ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("T", timing);
     ]
   in
   List.iter (fun (id, f) -> if wants id then f ()) experiments;

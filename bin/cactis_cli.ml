@@ -3,6 +3,7 @@
    Subcommands:
      check   FILE.cactis            parse + elaborate a schema, report it
      fmt     FILE.cactis            pretty-print the schema
+     lint    FILE.cactis...         static analysis: circularity, dead rules, dangling refs
      run     FILE.cactis SCRIPT     load a schema and execute a script
      stats   FILE.cactis SCRIPT     run a script, report counters/latencies/profile
      trace   FILE.cactis SCRIPT     run a script, export a Chrome trace JSON
@@ -277,6 +278,61 @@ let trace_cmd schema_path script_path persist out show_output =
       Printf.printf "%s: %d events (%d dropped) — load in Perfetto or chrome://tracing\n" out
         (Trace.recorded tr) (Trace.dropped tr))
 
+(* ---- lint ---- *)
+
+module Diag = Cactis_analysis.Diag
+module Analyze = Cactis_analysis.Analyze
+
+(* Built-in application schemas, linted with `--apps` — these live in
+   OCaml, not in .cactis files, so they are reconstructed here. *)
+let app_schemas () =
+  let module A = Cactis_apps in
+  [
+    ("app:milestone", Db.schema (A.Milestone.db (A.Milestone.create ())));
+    ("app:configman", Db.schema (A.Configman.db (A.Configman.create ())));
+    ("app:traceability", Db.schema (A.Traceability.db (A.Traceability.create ())));
+    ("app:makefac", Db.schema (A.Makefac.db (A.Makefac.create (A.Fs_sim.create ()))));
+    ("app:uidemo", Db.schema (A.Uidemo.db (A.Uidemo.create ())));
+    ("app:flowan", A.Flowan.schema ());
+  ]
+
+let lint_cmd paths apps json strict =
+  handle_errors (fun () ->
+      let counters = Counters.create () in
+      let lint_file path =
+        let items = Cactis_ddl.Parser.parse_schema (read_file path) in
+        let diags =
+          Cactis_ddl.Lint.typecheck_diags items @ Cactis_ddl.Lint.analyze_ast ~counters items
+        in
+        (path, List.stable_sort Diag.compare diags)
+      in
+      let reports =
+        List.map lint_file paths
+        @
+        if apps then
+          List.map (fun (name, sch) -> (name, Analyze.analyze_schema ~counters sch)) (app_schemas ())
+        else []
+      in
+      let failing d = Diag.is_error d || (strict && d.Diag.severity = Diag.Warning) in
+      let any_failing = List.exists (fun (_, ds) -> List.exists failing ds) reports in
+      if json then begin
+        let file_json (name, ds) =
+          Printf.sprintf "{\"file\":\"%s\",\"diagnostics\":%s}" (json_escape name)
+            (Analyze.to_json ds)
+        in
+        Printf.printf "[%s]\n" (String.concat "," (List.map file_json reports))
+      end
+      else
+        List.iter
+          (fun (name, ds) ->
+            match ds with
+            | [] -> Printf.printf "%s: clean\n" name
+            | ds ->
+              Printf.printf "%s: %s\n" name (Diag.summary ds);
+              List.iter (fun d -> Printf.printf "  %s\n" (Diag.to_string d)) ds)
+          reports;
+      if any_failing then exit 1)
+
 (* ---- demo ---- *)
 
 let demo_cmd which =
@@ -461,6 +517,30 @@ let trace_t =
     Term.(
       const trace_cmd $ schema_arg $ script_pos_arg $ persist_opt_arg $ out_arg $ show_output_arg)
 
+let lint_t =
+  let doc =
+    "Statically analyze schema files without instantiating any objects: the attribute-grammar \
+     circularity test (with a concrete witness cycle for every strongly connected component), \
+     dead derived attributes, dangling references and constraint lint.  Exits non-zero when any \
+     error-severity finding is reported."
+  in
+  let schemas_arg =
+    Arg.(value & pos_all file [] & info [] ~docv:"SCHEMA" ~doc:"Schema (.cactis) files to lint.")
+  in
+  let apps_arg =
+    Arg.(
+      value & flag
+      & info [ "apps" ] ~doc:"Also lint the built-in application schemas (milestone, flowan, …).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON array instead of text.")
+  in
+  let strict_arg =
+    Arg.(value & flag & info [ "strict" ] ~doc:"Treat warnings as failing too (infos never fail).")
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(const lint_cmd $ schemas_arg $ apps_arg $ json_arg $ strict_arg)
+
 let demo_t =
   let doc = "Run a built-in demo (milestones, make, flow)." in
   let which = Arg.(required & pos 0 (some string) None & info [] ~docv:"DEMO" ~doc) in
@@ -480,6 +560,10 @@ let main =
   let doc = "Cactis: object-oriented database with functionally-defined data" in
   Cmd.group
     (Cmd.info "cactis" ~version:"1.0.0" ~doc)
-    [ check_t; fmt_t; run_t; repl_t; stats_t; trace_t; save_t; recover_t; demo_t ]
+    [ check_t; fmt_t; lint_t; run_t; repl_t; stats_t; trace_t; save_t; recover_t; demo_t ]
 
-let () = exit (Cmd.eval main)
+let () =
+  (* Register the analyzer as the schema validator, so Schema.validate /
+     strict mode work for everything the CLI loads. *)
+  Cactis_analysis.Analyze.install ();
+  exit (Cmd.eval main)

@@ -1,0 +1,389 @@
+module Schema = Cactis.Schema
+module Counters = Cactis_util.Counters
+
+(* ------------------------------------------------------------------ *)
+(* Circularity                                                         *)
+
+(* Severity classes for one witness cycle, most severe first. *)
+type cycle_class =
+  | Cycle_self  (* no relationship step: cycles within every instance *)
+  | Cycle_link  (* rel word reduces to empty: cycles on acyclic data *)
+  | Cycle_data of string list  (* needs a data cycle along these rels *)
+
+let class_rank = function Cycle_self -> 0 | Cycle_link -> 1 | Cycle_data _ -> 2
+
+(* A relationship step at a node of type [tn] via [r], canonicalized so
+   that both directions of one relationship pair share a key; [sign]
+   distinguishes the directions. *)
+let rel_step_key v tn r =
+  match View.find_type v tn with
+  | None -> ((tn, r, "", ""), 1)
+  | Some t -> (
+    match View.find_rel t r with
+    | None -> ((tn, r, "", ""), 1)
+    | Some rd ->
+      let this = (tn, r) and that = (rd.View.r_target, rd.View.r_inverse) in
+      if compare this that <= 0 then ((tn, r, rd.View.r_target, rd.View.r_inverse), 1)
+      else ((rd.View.r_target, rd.View.r_inverse, tn, r), -1))
+
+(* Free-group reduction of the cycle's relationship word: a step across
+   r cancels an adjacent step back across r's inverse (they can retrace
+   the same link), so a cycle whose word vanishes is realizable on
+   tree-shaped — acyclic — data. *)
+let classify_cycle v (cycle : (Diag.node * Diag.step) list) =
+  let rel_steps =
+    List.filter_map
+      (fun ((n : Diag.node), step) ->
+        match step with
+        | Diag.S_self -> None
+        | Diag.S_rel r -> Some (r, rel_step_key v n.Diag.n_type r))
+      cycle
+  in
+  if rel_steps = [] then Cycle_self
+  else begin
+    let reduce stack (_, (key, sign)) =
+      match stack with
+      | (k, s) :: rest when k = key && s = -sign -> rest
+      | _ -> (key, sign) :: stack
+    in
+    (* The word is cyclic: reduce it twice so cancellations across the
+       wrap-around point are found too. *)
+    let once = List.fold_left reduce [] rel_steps in
+    let twice = List.fold_left reduce once rel_steps in
+    if once = [] || 2 * List.length once = List.length twice then
+      if once = [] then Cycle_link
+      else
+        Cycle_data
+          (List.map fst rel_steps |> List.sort_uniq String.compare)
+    else
+      (* The second pass cancelled against the first: the doubled word
+         shrank, meaning the cyclic word reduces further; treat a fully
+         vanishing doubled word as link-realizable. *)
+      if twice = [] then Cycle_link
+      else Cycle_data (List.map fst rel_steps |> List.sort_uniq String.compare)
+  end
+
+(* Shortest path v -> u inside the SCC (BFS); returns the (node, step)
+   sequence realizing it, or None. *)
+let scc_path g in_scc v u =
+  let n = Depgraph.node_count g in
+  let prev = Array.make n None in
+  let seen = Array.make n false in
+  let q = Queue.create () in
+  seen.(v) <- true;
+  Queue.add v q;
+  let found = ref (v = u) in
+  while (not !found) && not (Queue.is_empty q) do
+    let x = Queue.take q in
+    List.iter
+      (fun (y, step) ->
+        if in_scc.(y) && not seen.(y) then begin
+          seen.(y) <- true;
+          prev.(y) <- Some (x, step);
+          if y = u then found := true;
+          Queue.add y q
+        end)
+      (Depgraph.adj g x)
+  done;
+  if not seen.(u) then None
+  else begin
+    (* Walk back u -> v collecting (from, step) pairs. *)
+    let rec back acc node =
+      match prev.(node) with
+      | None -> acc
+      | Some (from, step) -> back ((Depgraph.node g from, step) :: acc) from
+    in
+    Some (back [] u)
+  end
+
+let rotate_cycle cycle =
+  let least =
+    List.mapi (fun i ((n : Diag.node), _) -> ((n.Diag.n_type, n.Diag.n_attr), i)) cycle
+    |> List.sort compare |> List.hd |> snd
+  in
+  let rec split i acc = function
+    | [] -> (List.rev acc, [])
+    | l when i = 0 -> (List.rev acc, l)
+    | x :: rest -> split (i - 1) (x :: acc) rest
+  in
+  let before, after = split least [] cycle in
+  after @ before
+
+let circularity v g =
+  Depgraph.cyclic_sccs g
+  |> List.map (fun comp ->
+         let in_scc = Array.make (Depgraph.node_count g) false in
+         List.iter (fun i -> in_scc.(i) <- true) comp;
+         (* Candidate cycles: every SCC edge closed by a shortest return
+            path.  Keep the most severe class (shortest, then lexico-
+            graphically first, on ties) — a mixed SCC may hide a
+            link-realizable cycle behind a longer data-conditional one. *)
+         let best = ref None in
+         List.iter
+           (fun u ->
+             List.iter
+               (fun (w, step) ->
+                 if in_scc.(w) then
+                   match scc_path g in_scc w u with
+                   | None -> ()
+                   | Some path ->
+                     let cycle = rotate_cycle ((Depgraph.node g u, step) :: path) in
+                     let cls = classify_cycle v cycle in
+                     let key =
+                       (class_rank cls, List.length cycle, Diag.witness_to_string cycle)
+                     in
+                     let better =
+                       match !best with None -> true | Some (k, _, _) -> key < k
+                     in
+                     if better then best := Some (key, cls, cycle))
+               (Depgraph.adj g u))
+           comp;
+         let _, cls, cycle = Option.get !best in
+         let anchor = fst (List.hd cycle) in
+         let path = anchor.Diag.n_type ^ "." ^ anchor.Diag.n_attr in
+         match cls with
+         | Cycle_self ->
+           Diag.make Diag.Error ~code:"cycle" ~path ~witness:cycle
+             ~hint:"break the rule cycle: no evaluation order exists for these attributes"
+             (Printf.sprintf
+                "unconditionally circular: the dependency cycle stays within one instance, so \
+                 every instance of %s cycles"
+                anchor.Diag.n_type)
+         | Cycle_link ->
+           Diag.make Diag.Error ~code:"cycle" ~path ~witness:cycle
+             ~hint:
+               "the cycle crosses a relationship and its inverse, which can retrace one link; \
+                break the rule cycle or transmit in one direction only"
+             "circular on acyclic data: a single link is enough to realize this dependency cycle"
+         | Cycle_data rels ->
+           Diag.make Diag.Warning ~code:"potential-cycle" ~path ~witness:cycle
+             ~hint:
+               (Printf.sprintf
+                  "keep the data acyclic along %s (the engine raises Errors.Cycle and rolls the \
+                   transaction back otherwise)"
+                  (String.concat ", " rels))
+             (Printf.sprintf
+                "potentially circular: evaluation cycles whenever the data graph has a cycle \
+                 along %s"
+                (String.concat ", " rels)))
+
+(* ------------------------------------------------------------------ *)
+(* Dead derived attributes                                             *)
+
+let dead_attrs (v : View.t) g =
+  let read = Depgraph.read_nodes g in
+  v.View.v_types
+  |> List.concat_map (fun (t : View.vtype) ->
+         let exported = View.exported_attrs t in
+         t.View.t_attrs
+         |> List.filter_map (fun (a : View.attr) ->
+                let is_read =
+                  match Depgraph.find g t.View.t_name a.View.a_name with
+                  | Some i -> read.(i)
+                  | None -> false
+                in
+                if
+                  a.View.a_intrinsic || a.View.a_constrained
+                  || View.is_membership a.View.a_name
+                  || List.mem a.View.a_name exported
+                  || is_read
+                then None
+                else
+                  Some
+                    (Diag.make Diag.Info ~code:"dead-attr"
+                       ~path:(t.View.t_name ^ "." ^ a.View.a_name)
+                       ~hint:
+                         (Printf.sprintf
+                            "if no application queries %s.%s, delete the rule; otherwise ignore"
+                            t.View.t_name a.View.a_name)
+                       "derived attribute is never read by a rule or predicate, never \
+                        transmitted, and carries no constraint — nothing in the schema depends \
+                        on it")))
+
+(* ------------------------------------------------------------------ *)
+(* Dangling references                                                 *)
+
+let dangling (v : View.t) =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  List.iter
+    (fun (t : View.vtype) ->
+      let tn = t.View.t_name in
+      (* Rule sources. *)
+      List.iter
+        (fun (a : View.attr) ->
+          let path = tn ^ "." ^ a.View.a_name in
+          let who = View.attr_display a.View.a_name in
+          List.iter
+            (fun src ->
+              match src with
+              | Schema.Self b ->
+                if View.find_attr t b = None then
+                  emit
+                    (Diag.make Diag.Error ~code:"dangling-attr" ~path
+                       ~hint:(Printf.sprintf "declare %s.%s or fix the reference" tn b)
+                       (Printf.sprintf "%s reads undeclared attribute %s.%s" who tn b))
+              | Schema.Rel (r, name) -> (
+                match View.find_rel t r with
+                | None ->
+                  emit
+                    (Diag.make Diag.Error ~code:"dangling-rel" ~path
+                       ~hint:(Printf.sprintf "declare relationship %s.%s" tn r)
+                       (Printf.sprintf "%s reads across undeclared relationship %s.%s" who tn r))
+                | Some rd -> (
+                  match View.find_type v rd.View.r_target with
+                  | None -> ()  (* reported once, against the relationship *)
+                  | Some target ->
+                    let resolved =
+                      View.resolve_export v ~target:rd.View.r_target ~inverse:rd.View.r_inverse
+                        name
+                    in
+                    if View.find_attr target resolved = None then
+                      emit
+                        (Diag.make Diag.Warning ~code:"dangling-transmission" ~path
+                           ~hint:
+                             (Printf.sprintf
+                                "declare %s.%s (or a transmission alias for it); the engine \
+                                 reports the missing attribute only when a link over %s is \
+                                 traversed"
+                                rd.View.r_target resolved r)
+                           (Printf.sprintf
+                              "%s reads %s across %s, but %s declares no attribute %s" who name r
+                              rd.View.r_target resolved)))))
+            a.View.a_sources)
+        t.View.t_attrs;
+      (* Relationship wiring. *)
+      List.iter
+        (fun (r : View.rel) ->
+          let path = tn ^ "." ^ r.View.r_name in
+          match View.find_type v r.View.r_target with
+          | None ->
+            emit
+              (Diag.make Diag.Error ~code:"dangling-target" ~path
+                 ~hint:(Printf.sprintf "declare class %s" r.View.r_target)
+                 (Printf.sprintf "relationship targets undeclared class %s" r.View.r_target))
+          | Some target -> (
+            match View.find_rel target r.View.r_inverse with
+            | None ->
+              emit
+                (Diag.make Diag.Error ~code:"dangling-inverse" ~path
+                   ~hint:(Printf.sprintf "declare %s.%s" r.View.r_target r.View.r_inverse)
+                   (Printf.sprintf "inverse %s.%s is not declared" r.View.r_target r.View.r_inverse))
+            | Some inv ->
+              if not (String.equal inv.View.r_inverse r.View.r_name) then
+                emit
+                  (Diag.make Diag.Error ~code:"inverse-mismatch" ~path
+                     ~hint:"the two ends of a relationship must name each other as inverses"
+                     (Printf.sprintf "%s.%s names %s as its inverse, not %s" r.View.r_target
+                        r.View.r_inverse inv.View.r_inverse r.View.r_name))
+              else if not (String.equal inv.View.r_target tn) then
+                emit
+                  (Diag.make Diag.Error ~code:"inverse-mismatch" ~path
+                     ~hint:"the two ends of a relationship must target each other's classes"
+                     (Printf.sprintf "inverse %s.%s targets %s, not %s" r.View.r_target
+                        r.View.r_inverse inv.View.r_target tn))))
+        t.View.t_rels;
+      (* Transmission aliases. *)
+      List.iter
+        (fun ((r, export), a) ->
+          let path = tn ^ "." ^ export in
+          if View.find_rel t r = None then
+            emit
+              (Diag.make Diag.Error ~code:"dangling-export" ~path
+                 ~hint:(Printf.sprintf "declare relationship %s.%s" tn r)
+                 (Printf.sprintf "transmission %s = %s crosses undeclared relationship %s" export
+                    a r));
+          if View.find_attr t a = None then
+            emit
+              (Diag.make Diag.Error ~code:"dangling-export" ~path
+                 ~hint:(Printf.sprintf "declare %s.%s" tn a)
+                 (Printf.sprintf "transmission %s names undeclared attribute %s.%s" export tn a)))
+        t.View.t_exports)
+    v.View.v_types;
+  List.iter
+    (fun (s, parent) ->
+      if View.find_type v parent = None then
+        emit
+          (Diag.make Diag.Error ~code:"dangling-parent" ~path:s
+             ~hint:(Printf.sprintf "declare class %s" parent)
+             (Printf.sprintf "subtype %s refines undeclared class %s" s parent)))
+    v.View.v_subtypes;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* Constraint lint                                                     *)
+
+let constraint_lint (v : View.t) g =
+  v.View.v_types
+  |> List.concat_map (fun (t : View.vtype) ->
+         t.View.t_attrs
+         |> List.filter_map (fun (a : View.attr) ->
+                if not a.View.a_constrained then None
+                else
+                  match Depgraph.find g t.View.t_name a.View.a_name with
+                  | None -> None
+                  | Some i ->
+                    let cone, via_rel = Depgraph.reachable g i in
+                    let has_intrinsic = ref false in
+                    Array.iteri
+                      (fun j in_cone ->
+                        if in_cone then
+                          let n = Depgraph.node g j in
+                          match View.find_type v n.Diag.n_type with
+                          | None -> ()
+                          | Some vt -> (
+                            match View.find_attr vt n.Diag.n_attr with
+                            | Some d when d.View.a_intrinsic -> has_intrinsic := true
+                            | _ -> ()))
+                      cone;
+                    let path = t.View.t_name ^ "." ^ a.View.a_name in
+                    if !has_intrinsic then None
+                    else if not via_rel then
+                      Some
+                        (Diag.make Diag.Warning ~code:"constraint-constant" ~path
+                           ~hint:
+                             "a constraint that is always true is dead weight; one that is \
+                              always false makes every instance creation fail — reference an \
+                              intrinsic attribute"
+                           "vacuously constant: the constraint's input cone contains no \
+                            intrinsic attribute and never crosses a relationship, so its value \
+                            is fixed at schema-definition time")
+                    else
+                      Some
+                        (Diag.make Diag.Info ~code:"constraint-topology-only" ~path
+                           ~hint:"reference an intrinsic attribute if values should matter"
+                           "no intrinsic attribute in the input cone: the constraint depends \
+                            only on the link structure, never on stored values")))
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+
+let analyze_view ?counters v =
+  let g = Depgraph.build v in
+  let diags =
+    circularity v g @ dead_attrs v g @ dangling v @ constraint_lint v g
+    |> List.stable_sort Diag.compare
+  in
+  (match counters with
+  | None -> ()
+  | Some c ->
+    Counters.incr c "analysis_runs";
+    Counters.add c "analysis_nodes" (Depgraph.node_count g);
+    Counters.add c "analysis_edges" (Depgraph.edge_count g);
+    Counters.add c "analysis_sccs" (List.length (Depgraph.cyclic_sccs g));
+    Counters.add c "analysis_diags" (List.length diags));
+  diags
+
+let analyze_schema ?counters sch = analyze_view ?counters (View.of_schema sch)
+
+let render diags =
+  match diags with
+  | [] -> ""
+  | _ ->
+    String.concat "\n" (List.map Diag.to_string diags) ^ "\n" ^ Diag.summary diags ^ "\n"
+
+let to_json diags = "[" ^ String.concat "," (List.map Diag.to_json diags) ^ "]"
+
+let install () =
+  Schema.set_validator (fun sch ->
+      analyze_schema sch |> Diag.errors |> List.map Diag.to_string)

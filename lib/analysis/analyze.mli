@@ -1,0 +1,48 @@
+(** Static schema analysis: pass pipeline over the type-level attribute
+    dependency graph ({!Depgraph}).
+
+    Passes:
+
+    - {b circularity} — the attribute-grammar circularity test.  Each
+      strongly connected component yields one diagnostic with a concrete
+      witness cycle.  Severity is decided by {e word reduction} over the
+      relationship steps (a relationship and its inverse cancel like a
+      generator and its inverse in a free group): a cycle whose word
+      reduces to the empty word is realizable on acyclic — even
+      single-link — data, so it is an {e error}; an irreducible word
+      needs a data cycle along the residual relationships, which Cactis
+      already rejects dynamically, so it is a {e warning} carrying the
+      relationship set that must stay acyclic.  Pure [Self] cycles (no
+      relationship step at all) cycle on every instance: error.
+    - {b dead-attr} — derived attributes nothing in the schema depends
+      on: no constraint, no transmission alias, no reading rule or
+      subtype predicate (info: an application may still query them).
+    - {b dangling} — rules reading undeclared attributes or
+      relationships, transmissions of undeclared attributes,
+      relationship targets/inverses that do not resolve, subtypes of
+      unknown parents.
+    - {b constraint lint} — constraints whose transitive input cone
+      contains no intrinsic attribute: vacuously constant when the cone
+      also never crosses a relationship (warning), link-topology-only
+      otherwise (info).
+
+    Analysis cost is observable: pass [?counters] (e.g. a database's
+    registry) and the analyzer bumps [analysis_runs], [analysis_nodes],
+    [analysis_edges], [analysis_sccs] and [analysis_diags]. *)
+
+val analyze_view : ?counters:Cactis_util.Counters.t -> View.t -> Diag.t list
+
+val analyze_schema : ?counters:Cactis_util.Counters.t -> Cactis.Schema.t -> Diag.t list
+
+(** Render a diagnostic list as compiler-style text, one finding per
+    paragraph, followed by a summary line.  Empty string for []. *)
+val render : Diag.t list -> string
+
+(** JSON array of diagnostics. *)
+val to_json : Diag.t list -> string
+
+(** [install ()] registers the analyzer as {!Cactis.Schema.set_validator},
+    so [Schema.validate] — and every layout refresh of a schema in
+    strict mode ({!Cactis.Schema.set_strict}) — rejects schemas carrying
+    error-severity diagnostics. *)
+val install : unit -> unit

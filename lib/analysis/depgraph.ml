@@ -1,0 +1,129 @@
+module Schema = Cactis.Schema
+
+type t = {
+  nodes : Diag.node array;
+  index : (string * string, int) Hashtbl.t;
+  mutable edges : int;
+  out_edges : (int * Diag.step) list array;  (* reversed during build, fixed after *)
+}
+
+let node_count g = Array.length g.nodes
+let edge_count g = g.edges
+let node g i = g.nodes.(i)
+let find g tn a = Hashtbl.find_opt g.index (tn, a)
+let adj g i = g.out_edges.(i)
+
+let build (v : View.t) =
+  let nodes =
+    v.View.v_types
+    |> List.concat_map (fun (t : View.vtype) ->
+           List.map (fun (a : View.attr) -> { Diag.n_type = t.View.t_name; n_attr = a.View.a_name })
+             t.View.t_attrs)
+    |> Array.of_list
+  in
+  let index = Hashtbl.create (Array.length nodes) in
+  Array.iteri (fun i (n : Diag.node) -> Hashtbl.replace index (n.Diag.n_type, n.Diag.n_attr) i) nodes;
+  let g = { nodes; index; edges = 0; out_edges = Array.make (Array.length nodes) [] } in
+  List.iter
+    (fun (t : View.vtype) ->
+      List.iter
+        (fun (a : View.attr) ->
+          match Hashtbl.find_opt index (t.View.t_name, a.View.a_name) with
+          | None -> ()
+          | Some from ->
+            List.iter
+              (fun src ->
+                let target =
+                  match src with
+                  | Schema.Self b -> Option.map (fun i -> (i, Diag.S_self)) (find g t.View.t_name b)
+                  | Schema.Rel (r, name) -> (
+                    match View.find_rel t r with
+                    | None -> None
+                    | Some rd ->
+                      let resolved =
+                        View.resolve_export v ~target:rd.View.r_target ~inverse:rd.View.r_inverse
+                          name
+                      in
+                      Option.map
+                        (fun i -> (i, Diag.S_rel r))
+                        (find g rd.View.r_target resolved))
+                in
+                match target with
+                | None -> ()
+                | Some e ->
+                  g.edges <- g.edges + 1;
+                  g.out_edges.(from) <- e :: g.out_edges.(from))
+              a.View.a_sources)
+        t.View.t_attrs)
+    v.View.v_types;
+  Array.iteri (fun i es -> g.out_edges.(i) <- List.rev es) g.out_edges;
+  g
+
+let read_nodes g =
+  let read = Array.make (node_count g) false in
+  Array.iteri (fun _ es -> List.iter (fun (j, _) -> read.(j) <- true) es) g.out_edges;
+  read
+
+(* Tarjan's algorithm, recursive: schema graphs are small (one node per
+   declared attribute). *)
+let cyclic_sccs g =
+  let n = node_count g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let next = ref 0 in
+  let sccs = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !next;
+    lowlink.(v) <- !next;
+    incr next;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun (w, _) ->
+        if index.(w) < 0 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      (adj g v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      let comp = pop [] in
+      let cyclic =
+        match comp with
+        | [ w ] -> List.exists (fun (x, _) -> x = w) (adj g w)
+        | _ -> true
+      in
+      if cyclic then sccs := List.sort Int.compare comp :: !sccs
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then strongconnect v
+  done;
+  List.rev !sccs
+
+let reachable g start =
+  let n = node_count g in
+  let seen = Array.make n false in
+  let via_rel = ref false in
+  let rec go v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter
+        (fun (w, step) ->
+          (match step with Diag.S_rel _ -> via_rel := true | Diag.S_self -> ());
+          go w)
+        (adj g v)
+    end
+  in
+  go start;
+  (seen, !via_rel)

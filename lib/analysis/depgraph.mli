@@ -1,0 +1,41 @@
+(** Type-level attribute dependency graph.
+
+    One node per declared attribute [(type, attr)]; one edge from each
+    derived attribute to each of its resolved inputs: [Self b] yields an
+    {!Diag.S_self} edge within the type, [Rel (r, name)] yields an
+    {!Diag.S_rel} edge to the target type's attribute after transmission
+    aliases are resolved (Figure 1's [exp_time = exp_compl]).  Sources
+    that do not resolve (unknown relationship, attribute the target does
+    not declare yet) produce {e no} edge — the dangling-reference pass
+    reports them from the view directly.
+
+    A cycle in this graph is exactly a {e potential} evaluation cycle:
+    any instance-level dependency cycle projects onto a closed walk
+    here, so an acyclic type graph proves no data graph can ever make
+    the engine raise [Errors.Cycle]. *)
+
+type t
+
+val build : View.t -> t
+val node_count : t -> int
+val edge_count : t -> int
+
+(** Nodes in deterministic (declaration) order. *)
+val node : t -> int -> Diag.node
+
+val find : t -> string -> string -> int option
+
+(** Outgoing [(target, step)] edges, in declared source order. *)
+val adj : t -> int -> (int * Diag.step) list
+
+(** Node ids with at least one incoming edge (attributes some rule or
+    predicate reads, post alias resolution). *)
+val read_nodes : t -> bool array
+
+(** Strongly connected components (Tarjan), each sorted ascending;
+    singletons included only when the node has a self-edge. *)
+val cyclic_sccs : t -> int list list
+
+(** Forward-reachable node set from [start] (inclusive), plus whether
+    any {!Diag.S_rel} edge was traversed reaching it. *)
+val reachable : t -> int -> bool array * bool

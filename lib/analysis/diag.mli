@@ -1,0 +1,58 @@
+(** Structured diagnostics produced by the schema analyzer.
+
+    Every pass reports findings as {!t} values: a severity, a stable
+    machine-readable code, the [type.attr] path the finding anchors to,
+    a human message, an optional {e witness} (for circularity: the
+    concrete cycle through the type-level dependency graph) and an
+    optional fix hint.  Diagnostics render both as compiler-style text
+    and as JSON (for [cactis lint --json] and CI gates). *)
+
+type severity =
+  | Error  (** the schema is broken for essentially all data *)
+  | Warning  (** breaks for data shapes the schema permits *)
+  | Info  (** suspicious but harmless *)
+
+(** One step of a witness path: how the next node is reached. *)
+type step =
+  | S_self  (** dependency within the same instance *)
+  | S_rel of string  (** dependency across the named relationship *)
+
+(** A node of the type-level dependency graph. *)
+type node = {
+  n_type : string;
+  n_attr : string;
+}
+
+type t = {
+  severity : severity;
+  code : string;  (** stable slug, e.g. ["potential-cycle"], ["dead-attr"] *)
+  path : string;  (** anchor, ["type.attr"] (or ["type"] for type-level findings) *)
+  message : string;
+  witness : (node * step) list;
+      (** for cycles: [witness] closes back on its first node; empty otherwise *)
+  hint : string option;
+}
+
+val make :
+  ?witness:(node * step) list -> ?hint:string -> severity -> code:string -> path:string -> string -> t
+
+val severity_name : severity -> string
+
+(** Errors sort before warnings before infos; ties break on path/code. *)
+val compare : t -> t -> int
+
+val is_error : t -> bool
+val errors : t list -> t list
+
+(** ["milestone.exp_compl -[depends_on]-> milestone.exp_compl"] — the
+    final arrow loops back to the first node. *)
+val witness_to_string : (node * step) list -> string
+
+(** Compiler-style one-finding rendering (multi-line when a witness or
+    hint is present). *)
+val to_string : t -> string
+
+val to_json : t -> string
+
+(** [summary diags] — e.g. ["2 diagnostics (1 error, 1 warning)"]. *)
+val summary : t list -> string

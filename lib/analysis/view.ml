@@ -1,0 +1,89 @@
+module Schema = Cactis.Schema
+
+type attr = {
+  a_name : string;
+  a_intrinsic : bool;
+  a_constrained : bool;
+  a_sources : Schema.source list;
+}
+
+type rel = {
+  r_name : string;
+  r_target : string;
+  r_inverse : string;
+}
+
+type vtype = {
+  t_name : string;
+  t_attrs : attr list;
+  t_rels : rel list;
+  t_exports : ((string * string) * string) list;
+}
+
+type t = {
+  v_types : vtype list;
+  v_subtypes : (string * string) list;
+}
+
+let of_schema sch =
+  let types =
+    Schema.type_names sch
+    |> List.map (fun tn ->
+           let attrs =
+             Schema.attrs sch ~type_name:tn
+             |> List.map (fun (d : Schema.attr_def) ->
+                    let intrinsic, sources =
+                      match d.Schema.kind with
+                      | Schema.Intrinsic _ -> (true, [])
+                      | Schema.Derived r -> (false, r.Schema.sources)
+                    in
+                    {
+                      a_name = d.Schema.attr_name;
+                      a_intrinsic = intrinsic;
+                      a_constrained = d.Schema.constraint_ <> None;
+                      a_sources = sources;
+                    })
+           in
+           let rels =
+             Schema.rels sch ~type_name:tn
+             |> List.map (fun (r : Schema.rel_def) ->
+                    { r_name = r.Schema.rel_name; r_target = r.Schema.target; r_inverse = r.Schema.inverse })
+           in
+           let exports =
+             Schema.exports sch ~type_name:tn
+             |> List.map (fun (r, e, a) -> ((r, e), a))
+           in
+           { t_name = tn; t_attrs = attrs; t_rels = rels; t_exports = exports })
+  in
+  let subtypes =
+    Schema.subtype_names sch
+    |> List.map (fun s -> (s, (Schema.subtype sch s).Schema.parent))
+  in
+  { v_types = types; v_subtypes = subtypes }
+
+let find_type v tn = List.find_opt (fun t -> String.equal t.t_name tn) v.v_types
+let find_attr t a = List.find_opt (fun d -> String.equal d.a_name a) t.t_attrs
+let find_rel t r = List.find_opt (fun d -> String.equal d.r_name r) t.t_rels
+
+let resolve_export v ~target ~inverse name =
+  match find_type v target with
+  | None -> name
+  | Some t -> (
+    match List.assoc_opt (inverse, name) t.t_exports with
+    | Some a -> a
+    | None -> name)
+
+let exported_attrs t = List.map snd t.t_exports |> List.sort_uniq String.compare
+
+let membership_prefix = "$in:"
+
+let is_membership a =
+  String.length a > String.length membership_prefix
+  && String.sub a 0 (String.length membership_prefix) = membership_prefix
+
+let attr_display a =
+  if is_membership a then
+    Printf.sprintf "subtype %s predicate"
+      (String.sub a (String.length membership_prefix)
+         (String.length a - String.length membership_prefix))
+  else a

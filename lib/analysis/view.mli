@@ -1,0 +1,58 @@
+(** Neutral, declaration-only view of a schema.
+
+    The analyzer runs over this view rather than over {!Cactis.Schema.t}
+    directly so the same passes serve two front doors: compiled schemas
+    ({!of_schema}) and parsed-but-not-yet-elaborated DDL
+    ({!Cactis_ddl.Lint.view_of_ast}).  The DDL path matters because
+    elaboration aborts on the first structural error, while a linter
+    wants {e all} of them; the view is permissive by construction —
+    dangling names are representable and reported by the passes. *)
+
+type attr = {
+  a_name : string;
+  a_intrinsic : bool;
+  a_constrained : bool;
+  a_sources : Cactis.Schema.source list;  (** empty for intrinsics *)
+}
+
+type rel = {
+  r_name : string;
+  r_target : string;
+  r_inverse : string;
+}
+
+type vtype = {
+  t_name : string;
+  t_attrs : attr list;  (** declaration order *)
+  t_rels : rel list;
+  t_exports : ((string * string) * string) list;  (** (rel, export name) -> attr *)
+}
+
+type t = {
+  v_types : vtype list;
+  v_subtypes : (string * string) list;  (** (subtype, declared parent) *)
+}
+
+val of_schema : Cactis.Schema.t -> t
+
+(** Lookups used by the passes; [None] for dangling names. *)
+val find_type : t -> string -> vtype option
+
+val find_attr : vtype -> string -> attr option
+val find_rel : vtype -> string -> rel option
+
+(** [resolve_export view ~target ~inverse name] — the attribute actually
+    transmitted when [name] is requested across a relationship whose
+    target type is [target] and whose inverse (the transmitter's side)
+    is [inverse]; [name] itself when no alias is declared. *)
+val resolve_export : t -> target:string -> inverse:string -> string -> string
+
+(** Attribute names of [vtype] aliased outward by some transmission. *)
+val exported_attrs : vtype -> string list
+
+(** Membership attributes ({!Cactis.Schema.membership_attr}) read as
+    ["subtype X predicate"] in messages; this maps an attribute name to
+    its display form. *)
+val attr_display : string -> string
+
+val is_membership : string -> bool

@@ -58,6 +58,13 @@ let install_schema sch =
     (Rule.derived "reach_out"
        (Rule.map3 "gen" "reach_in" "kill" (fun gen rin kill -> union2 gen (diff rin kill))))
 
+let schema () =
+  let sch = Schema.create () in
+  install_schema sch;
+  sch
+
+let static_diagnostics () = Cactis_analysis.Analyze.analyze_schema (schema ())
+
 (* ---- CFG construction ---- *)
 
 (* All labels assigning each variable, for kill sets. *)
@@ -67,9 +74,40 @@ let rec assignments acc = function
   | If { then_; else_; _ } -> assignments (assignments acc then_) else_
   | While { body; _ } -> assignments acc body
 
-let analyze ?(exit_live = []) program =
-  let sch = Schema.create () in
-  install_schema sch;
+let rec has_loop = function
+  | Assign _ -> false
+  | Seq (a, b) -> has_loop a || has_loop b
+  | If { then_; else_; _ } -> has_loop then_ || has_loop else_
+  | While _ -> true
+
+exception Rejected of { message : string; witness : string }
+
+(* The analyzer's verdict on the flow schema: the liveness and reaching
+   rules are potentially circular along succ/pred, manifesting exactly
+   when the data graph cycles along them — which a [While] creates.  So
+   a looping program is rejected before a single object is built,
+   carrying the analyzer's type-level witness path. *)
+let static_reject () =
+  let diag =
+    List.find_opt
+      (fun d -> String.equal d.Cactis_analysis.Diag.code "potential-cycle")
+      (static_diagnostics ())
+  in
+  match diag with
+  | None -> assert false (* the flow schema's rules are circular by construction *)
+  | Some d ->
+    raise
+      (Rejected
+         {
+           message =
+             "program contains a loop: the flow rules cycle on a cyclic control-flow graph ("
+             ^ d.Cactis_analysis.Diag.message ^ ")";
+           witness = Cactis_analysis.Diag.witness_to_string d.Cactis_analysis.Diag.witness;
+         })
+
+let analyze ?(static_check = true) ?(exit_live = []) program =
+  if static_check && has_loop program then static_reject ();
+  let sch = schema () in
   let database = Db.create sch in
   let all_assigns = assignments [] program in
   let order = ref [] in

@@ -12,10 +12,16 @@
     - {e reaching definitions} (forward): [reach_in = ∪ pred.reach_out],
       [reach_out = gen ∪ (reach_in − kill)].
 
-    Loops would make the attribute graph cyclic; building a program with
-    a [While] raises {!Cactis.Errors.Cycle} when queried, matching the
-    paper's stated limitation (the fixed-point techniques of [Far86] are
-    future work there too). *)
+    Loops would make the attribute graph cyclic, matching the paper's
+    stated limitation (the fixed-point techniques of [Far86] are future
+    work there too).  The static analyzer knows this {e from the schema
+    alone}: the flow rules are potentially circular along [succ]/[pred],
+    realized exactly when the control-flow graph has a cycle.  So
+    {!analyze} rejects [While]-ful programs up front ({!Rejected},
+    carrying the analyzer's witness path) without building a single
+    object; bypass the check ([~static_check:false]) and the engine's
+    dynamic detector raises {!Cactis.Errors.Cycle} at query time
+    instead. *)
 
 type program =
   | Assign of { target : string; uses : string list; label : string }
@@ -26,12 +32,27 @@ type program =
 
 type t
 
-(** [analyze ?exit_live program] builds the CFG database.  [exit_live]
-    names the variables live at program exit (results, globals); when
-    non-empty a synthetic ["exit"] node carries them, so final
-    assignments to them are not flagged dead.  Querying a [While]-ful
-    program's attributes raises [Errors.Cycle]. *)
-val analyze : ?exit_live:string list -> program -> t
+(** Raised by {!analyze} for programs with loops: [witness] is the
+    analyzer's type-level dependency cycle (e.g.
+    [flow_node.live_in -> flow_node.live_out -[succ]-> flow_node.live_in]). *)
+exception Rejected of { message : string; witness : string }
+
+(** A fresh copy of the flow-analysis schema (for inspection/linting). *)
+val schema : unit -> Cactis.Schema.t
+
+(** The static analyzer's verdict on {!schema} — two potential-cycle
+    warnings (liveness backward, reaching forward), each with a witness. *)
+val static_diagnostics : unit -> Cactis_analysis.Diag.t list
+
+(** [analyze ?static_check ?exit_live program] builds the CFG database.
+    [exit_live] names the variables live at program exit (results,
+    globals); when non-empty a synthetic ["exit"] node carries them, so
+    final assignments to them are not flagged dead.
+    @raise Rejected for [While]-ful programs when [static_check] (the
+    default) is on — before any object is created.  With
+    [~static_check:false] the program builds, and querying its
+    attributes raises [Errors.Cycle] dynamically. *)
+val analyze : ?static_check:bool -> ?exit_live:string list -> program -> t
 
 val db : t -> Cactis.Db.t
 

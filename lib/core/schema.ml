@@ -74,6 +74,8 @@ type t = {
      and never replaced: instances hold direct pointers to them. *)
   layouts : (string, layout) Hashtbl.t;
   mutable layouts_version : int;
+  mutable strict : bool;
+  mutable validating : bool;  (* re-entrancy guard: the validator reads the schema *)
 }
 
 and layout = {
@@ -142,6 +144,8 @@ let create () =
     rel_dep_cache = Hashtbl.create 64;
     layouts = Hashtbl.create 16;
     layouts_version = -1;
+    strict = false;
+    validating = false;
   }
 
 let bump t = t.schema_version <- t.schema_version + 1
@@ -288,6 +292,33 @@ let resolve_export t ~type_name ~rel:r name =
   match Hashtbl.find_opt td.exports (r, name) with
   | Some a -> a
   | None -> name
+
+let exports t ~type_name =
+  let td = find_type t type_name in
+  Hashtbl.fold (fun (r, e) a acc -> (r, e, a) :: acc) td.exports []
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Validator hook.                                                     *)
+
+let validator : (t -> string list) option ref = ref None
+
+let set_validator f = validator := Some f
+
+let validation_errors t =
+  match !validator with
+  | None -> []
+  | Some f ->
+    if t.validating then []
+    else begin
+      t.validating <- true;
+      Fun.protect ~finally:(fun () -> t.validating <- false) (fun () -> f t)
+    end
+
+let validate t =
+  match validation_errors t with
+  | [] -> ()
+  | msgs -> Errors.type_error "schema rejected by validator:\n%s" (String.concat "\n" msgs)
 
 (* ------------------------------------------------------------------ *)
 (* Reverse-dependency tables.                                          *)
@@ -507,8 +538,26 @@ let refresh_layouts t =
         List.iteri (fun ix r -> Hashtbl.replace lay.lay_link_ix r ix) (List.rev td.rel_order))
       tns;
     (* Pass 2: compile slot/link infos against the fresh index maps. *)
-    List.iter (fun tn -> compile_layout t (Hashtbl.find t.layouts tn)) tns
+    List.iter (fun tn -> compile_layout t (Hashtbl.find t.layouts tn)) tns;
+    if t.strict && not t.validating then begin
+      match validation_errors t with
+      | [] -> ()
+      | msgs ->
+        (* Stay dirty: every access keeps failing until the schema is
+           fixed, not just the first one after the bad mutation. *)
+        t.layouts_version <- -1;
+        Errors.type_error "schema rejected by validator:\n%s" (String.concat "\n" msgs)
+    end
   end
+
+let set_strict t flag =
+  t.strict <- flag;
+  if flag then begin
+    t.layouts_version <- -1;
+    refresh_layouts t
+  end
+
+let strict t = t.strict
 
 let layout t tn =
   refresh_layouts t;

@@ -228,6 +228,36 @@ val add_export : t -> type_name:string -> rel:string -> export:string -> attr:st
     [name] itself when no alias is declared (direct attribute access). *)
 val resolve_export : t -> type_name:string -> rel:string -> string -> string
 
+(** All transmission aliases declared on a type, as [(rel, export, attr)]
+    triples in deterministic (sorted) order. *)
+val exports : t -> type_name:string -> (string * string * string) list
+
+(** {1 Validation}
+
+    The core stays analysis-agnostic: a validator — typically
+    [Cactis_analysis.Analyze.install] — registers itself here, and the
+    schema calls back into it on demand ({!validate}) or on every layout
+    refresh when the schema is in strict mode ({!set_strict}). *)
+
+(** [set_validator f] registers the (process-global) validator.  [f]
+    returns one message per error-severity finding; [[]] means clean. *)
+val set_validator : (t -> string list) -> unit
+
+(** [validate t] runs the registered validator (no-op when none is
+    registered).
+    @raise Errors.Type_error listing the findings when the schema is
+    rejected. *)
+val validate : t -> unit
+
+(** [set_strict t true] validates [t] immediately and re-validates after
+    every subsequent schema mutation (piggy-backing on layout refresh):
+    DDL that introduces an error-severity finding raises
+    [Errors.Type_error] at the next schema access and keeps raising
+    until repaired. *)
+val set_strict : t -> bool -> unit
+
+val strict : t -> bool
+
 (** {1 Lookup} *)
 
 val has_type : t -> string -> bool

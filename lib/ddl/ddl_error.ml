@@ -1,0 +1,9 @@
+(** DDL-level failure: parse-adjacent structural problems, typecheck
+    rejections and analysis rejections all surface as this exception.
+    Defined in its own module so that {!Typecheck} (raised from) and
+    {!Elaborate} (which re-exports it as [Elaborate.Error] for
+    compatibility) need not depend on each other. *)
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt

@@ -1,0 +1,6 @@
+(** Shared DDL failure exception (see also [Elaborate.Error], an alias). *)
+
+exception Error of string
+
+(** [error fmt ...] raises {!Error} with a formatted message. *)
+val error : ('a, Format.formatter, unit, 'b) format4 -> 'a

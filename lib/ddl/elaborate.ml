@@ -3,9 +3,9 @@ module Schema = Cactis.Schema
 module Errors = Cactis.Errors
 module Vtime = Cactis_util.Vtime
 
-exception Error of string
+exception Error = Ddl_error.Error
 
-let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+let error fmt = Ddl_error.error fmt
 
 (* ------------------------------------------------------------------ *)
 (* Source extraction                                                   *)
@@ -195,12 +195,30 @@ let extend sch (items : Ast.schema) =
         })
     subtypes
 
-let schema items =
+(* Elaboration runs first so that structurally broken schemas keep
+   failing with the engine's own exceptions (Errors.Unknown,
+   Errors.Type_error, inverse mismatches as Error) exactly as before;
+   the typechecker and the static analyzer then vet what elaborated. *)
+let schema ?(typecheck = true) ?(analyze = true) items =
   let sch = Schema.create () in
   extend sch items;
+  if typecheck then begin
+    match Typecheck.check items with
+    | [] -> ()
+    | errs -> raise (Error (String.concat "\n" errs))
+  end;
+  if analyze then begin
+    match Cactis_analysis.Diag.errors (Cactis_analysis.Analyze.analyze_schema sch) with
+    | [] -> ()
+    | errs ->
+      raise
+        (Error
+           ("schema analysis failed:\n"
+           ^ String.concat "\n" (List.map Cactis_analysis.Diag.to_string errs)))
+  end;
   sch
 
-let load_string src = schema (Parser.parse_schema src)
+let load_string ?typecheck ?analyze src = schema ?typecheck ?analyze (Parser.parse_schema src)
 
 let extend_db db src =
   let items = Parser.parse_schema src in

@@ -4,7 +4,13 @@
     pairs; the declared sources are extracted syntactically from the
     expression, so the engine's dependency graph is exact. *)
 
+(** Alias of {!Ddl_error.Error}: one exception covers elaboration,
+    typecheck and analysis rejections. *)
 exception Error of string
+
+(** [sources expr] — the declared sources a rule expression reads,
+    extracted syntactically (sorted, deduplicated). *)
+val sources : Ast.expr -> Cactis.Schema.source list
 
 (** [compile_rule expr] compiles a rule expression. *)
 val compile_rule : Ast.expr -> Cactis.Schema.rule
@@ -25,12 +31,24 @@ val const_value : Ast.expr -> Cactis.Value.t
     declarations (unknown targets, mismatched inverses, duplicates). *)
 val extend : Cactis.Schema.t -> Ast.schema -> unit
 
-(** [schema items] elaborates into a fresh schema. *)
-val schema : Ast.schema -> Cactis.Schema.t
+(** [schema items] elaborates into a fresh schema, then — unless
+    disabled — vets it: [?typecheck] (default [true]) runs
+    {!Typecheck.check} and raises {!Error} listing every type error;
+    [?analyze] (default [true]) runs the static analyzer
+    ({!Cactis_analysis.Analyze}) and raises {!Error} when any
+    {e error}-severity diagnostic (unresolvable circularity, dangling
+    reference) is found.  Warnings and infos never reject — use
+    {!Lint.analyze_ast} or [cactis lint] to see them. *)
+val schema : ?typecheck:bool -> ?analyze:bool -> Ast.schema -> Cactis.Schema.t
 
-(** [load_string src] parses and elaborates. *)
-val load_string : string -> Cactis.Schema.t
+(** [load_string src] parses and elaborates (same checks as {!schema}). *)
+val load_string : ?typecheck:bool -> ?analyze:bool -> string -> Cactis.Schema.t
 
 (** [extend_db db src] parses [src] and extends a live database's schema,
-    installing new attributes on existing instances. *)
+    installing new attributes on existing instances.  Runs neither the
+    typechecker nor the analyzer: incremental items lack the context of
+    the already-live schema (subtype parents, relationship targets), so
+    whole-schema vetting would reject valid extensions — put the live
+    schema in strict mode ({!Cactis.Schema.set_strict}) to re-validate
+    after each extension instead. *)
 val extend_db : Cactis.Db.t -> string -> unit

@@ -1,0 +1,119 @@
+module View = Cactis_analysis.View
+module Diag = Cactis_analysis.Diag
+module Analyze = Cactis_analysis.Analyze
+module Schema = Cactis.Schema
+
+let attr_of_decl (d : Ast.attr_decl) =
+  { View.a_name = d.Ast.ad_name; a_intrinsic = true; a_constrained = false; a_sources = [] }
+
+let attr_of_rule (d : Ast.rule_decl) =
+  {
+    View.a_name = d.Ast.ru_name;
+    a_intrinsic = false;
+    a_constrained = false;
+    a_sources = Elaborate.sources d.Ast.ru_expr;
+  }
+
+let attr_of_constraint (d : Ast.constraint_decl) =
+  {
+    View.a_name = d.Ast.cd_name;
+    a_intrinsic = false;
+    a_constrained = true;
+    a_sources = Elaborate.sources d.Ast.cd_expr;
+  }
+
+let view_of_ast (items : Ast.schema) =
+  let classes = List.filter_map (function Ast.Class c -> Some c | Ast.Subtype _ -> None) items in
+  let subtypes = List.filter_map (function Ast.Subtype s -> Some s | Ast.Class _ -> None) items in
+  let vtypes =
+    classes
+    |> List.map (fun (cl : Ast.class_def) ->
+           let subs =
+             List.filter (fun (s : Ast.subtype_def) -> String.equal s.Ast.su_parent cl.Ast.cl_name) subtypes
+           in
+           let sub_attrs =
+             subs
+             |> List.concat_map (fun (su : Ast.subtype_def) ->
+                    {
+                      View.a_name = Schema.membership_attr su.Ast.su_name;
+                      a_intrinsic = false;
+                      a_constrained = false;
+                      a_sources = Elaborate.sources su.Ast.su_predicate;
+                    }
+                    :: (List.map attr_of_decl su.Ast.su_attrs @ List.map attr_of_rule su.Ast.su_rules))
+           in
+           {
+             View.t_name = cl.Ast.cl_name;
+             t_attrs =
+               List.map attr_of_decl cl.Ast.cl_attrs
+               @ List.map attr_of_rule cl.Ast.cl_rules
+               @ List.map attr_of_constraint cl.Ast.cl_constraints
+               @ sub_attrs;
+             t_rels =
+               List.map
+                 (fun (r : Ast.rel_decl) ->
+                   { View.r_name = r.Ast.rd_name; r_target = r.Ast.rd_target; r_inverse = r.Ast.rd_inverse })
+                 cl.Ast.cl_rels;
+             t_exports =
+               List.map
+                 (fun (t : Ast.transmit_decl) -> ((t.Ast.tr_rel, t.Ast.tr_export), t.Ast.tr_attr))
+                 cl.Ast.cl_transmits;
+           })
+  in
+  {
+    View.v_types = vtypes;
+    v_subtypes = List.map (fun (s : Ast.subtype_def) -> (s.Ast.su_name, s.Ast.su_parent)) subtypes;
+  }
+
+(* AST-only checks: duplicates disappear in the view (hash-joined away
+   during elaboration they raise), so report them here. *)
+let duplicate_diags (items : Ast.schema) =
+  let diags = ref [] in
+  let seen_dup tbl key =
+    if Hashtbl.mem tbl key then true
+    else begin
+      Hashtbl.add tbl key ();
+      false
+    end
+  in
+  let class_names = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Ast.Subtype _ -> ()
+      | Ast.Class cl ->
+        let cn = cl.Ast.cl_name in
+        if seen_dup class_names cn then
+          diags :=
+            Diag.make Diag.Error ~code:"duplicate-class" ~path:cn
+              ~hint:"merge the two declarations or rename one"
+              "class declared more than once"
+            :: !diags;
+        let attr_names = Hashtbl.create 8 in
+        let attr name =
+          if seen_dup attr_names name then
+            diags :=
+              Diag.make Diag.Error ~code:"duplicate-attr" ~path:(cn ^ "." ^ name)
+                ~hint:"attributes, rules and constraints share one namespace per class"
+                "attribute declared more than once" :: !diags
+        in
+        List.iter (fun (d : Ast.attr_decl) -> attr d.Ast.ad_name) cl.Ast.cl_attrs;
+        List.iter (fun (d : Ast.rule_decl) -> attr d.Ast.ru_name) cl.Ast.cl_rules;
+        List.iter (fun (d : Ast.constraint_decl) -> attr d.Ast.cd_name) cl.Ast.cl_constraints;
+        let rel_names = Hashtbl.create 4 in
+        List.iter
+          (fun (r : Ast.rel_decl) ->
+            if seen_dup rel_names r.Ast.rd_name then
+              diags :=
+                Diag.make Diag.Error ~code:"duplicate-rel" ~path:(cn ^ "." ^ r.Ast.rd_name)
+                  "relationship declared more than once" :: !diags)
+          cl.Ast.cl_rels)
+    items;
+  List.rev !diags
+
+let analyze_ast ?counters (items : Ast.schema) =
+  List.stable_sort Diag.compare
+    (duplicate_diags items @ Analyze.analyze_view ?counters (view_of_ast items))
+
+let typecheck_diags (items : Ast.schema) =
+  Typecheck.check items
+  |> List.map (fun msg -> Diag.make Diag.Error ~code:"type" ~path:"schema" msg)

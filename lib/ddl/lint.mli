@@ -1,0 +1,23 @@
+(** Linting parsed DDL: run the static analyzer
+    ({!Cactis_analysis.Analyze}) over an {!Ast.schema} {e without}
+    elaborating it — no compute closures are built and nothing can
+    raise, so even schemas the elaborator would reject (dangling
+    inverses, unknown classes) produce diagnostics instead of
+    exceptions.  This is what [cactis lint] runs. *)
+
+(** [view_of_ast items] — the analyzer's declaration-only view of a
+    parsed schema.  Mirrors elaboration: subtype predicates become
+    hidden membership attributes on the parent ({!Cactis.Schema.membership_attr}),
+    subtype extra rules land on the parent too. *)
+val view_of_ast : Ast.schema -> Cactis_analysis.View.t
+
+(** [analyze_ast items] = [Cactis_analysis.Analyze.analyze_view (view_of_ast items)],
+    plus AST-level checks the view cannot express (duplicate class,
+    attribute and relationship declarations). *)
+val analyze_ast :
+  ?counters:Cactis_util.Counters.t -> Ast.schema -> Cactis_analysis.Diag.t list
+
+(** [typecheck_diags items] — {!Typecheck.check} results wrapped as
+    error-severity diagnostics (code ["type"]), for a combined lint
+    report. *)
+val typecheck_diags : Ast.schema -> Cactis_analysis.Diag.t list

@@ -367,7 +367,7 @@ let check items =
 let check_exn items =
   match check items with
   | [] -> ()
-  | e :: _ -> raise (Elaborate.Error e)
+  | e :: _ -> raise (Ddl_error.Error e)
 
 let infer items ~class_name ~attr =
   let env = build_tables items in

@@ -35,7 +35,8 @@ val ty_name : ty -> string
     messages (empty = well-typed). *)
 val check : Ast.schema -> string list
 
-(** [check_exn items] raises {!Elaborate.Error} with the first error. *)
+(** [check_exn items] raises {!Ddl_error.Error} (= [Elaborate.Error])
+    with the first error. *)
 val check_exn : Ast.schema -> unit
 
 (** [infer items ~class_name ~attr] — the inferred type of an attribute

@@ -1,0 +1,89 @@
+(* Random-schema generator shared by the full-pipeline property test
+   (test_gen_schema.ml) and the analyzer soundness properties
+   (test_analysis.ml).
+
+   Schemas are well-formed by construction: each class has int
+   intrinsics [a0..], derived rules [r0..] where rule k only references
+   intrinsics, earlier rules of the same instance, or — when [cross] is
+   on — any rule/intrinsic across the class's self-relationship.  With
+   [cross = true] the byte stream of RNG draws is identical to the
+   historical generator, so seeds reproduce. *)
+
+module Rng = Cactis_util.Rng
+
+type cfg = {
+  seed : int;
+  classes : int;  (* 1..2 *)
+  intrinsics : int;  (* 1..3 per class *)
+  rules : int;  (* 1..3 per class *)
+  instances : int;  (* 2..12 *)
+  ops : int;  (* 0..20 *)
+  use_alias : bool;
+}
+
+let gen =
+  QCheck.Gen.(
+    let* seed = int_range 0 100_000 in
+    let* classes = int_range 1 2 in
+    let* intrinsics = int_range 1 3 in
+    let* rules = int_range 1 3 in
+    let* instances = int_range 2 12 in
+    let* ops = int_range 0 20 in
+    let* use_alias = bool in
+    return { seed; classes; intrinsics; rules; instances; ops; use_alias })
+
+let print_cfg c =
+  Printf.sprintf "seed=%d classes=%d intr=%d rules=%d inst=%d ops=%d alias=%b" c.seed c.classes
+    c.intrinsics c.rules c.instances c.ops c.use_alias
+
+(* Build the DDL source for one random schema.  [cross = false] keeps
+   every rule within its own instance: the type-level dependency graph
+   is acyclic by construction, so the analyzer must give those schemas a
+   clean circularity verdict. *)
+let schema_source ?(cross = true) cfg =
+  let rng = Rng.create cfg.seed in
+  let buf = Buffer.create 512 in
+  for c = 0 to cfg.classes - 1 do
+    let cname = Printf.sprintf "k%d" c in
+    Buffer.add_string buf (Printf.sprintf "object class %s is\n" cname);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  relationships\n    down : %s multi socket inverse up;\n    up : %s multi plug inverse down;\n"
+         cname cname);
+    Buffer.add_string buf "  attributes\n";
+    for a = 0 to cfg.intrinsics - 1 do
+      Buffer.add_string buf (Printf.sprintf "    a%d : int := %d;\n" a (Rng.int rng 10))
+    done;
+    Buffer.add_string buf "  rules\n";
+    for r = 0 to cfg.rules - 1 do
+      (* Safe expression: combination of intrinsics, earlier same-instance
+         rules, and aggregates across [down]. *)
+      let atom () =
+        let choice = Rng.int rng (if r > 0 then 4 else 3) in
+        (* Without cross-instance references, downgrade that case to a
+           plain intrinsic read (same number of RNG draws either way is
+           not required here: only the cross=true stream is pinned). *)
+        let choice = if choice = 2 && not cross then 1 else choice in
+        match choice with
+        | 0 -> string_of_int (Rng.int rng 20)
+        | 1 -> Printf.sprintf "a%d" (Rng.int rng cfg.intrinsics)
+        | 2 ->
+          (* Cross-instance: may reference any rule or intrinsic, including
+             this very rule (recursion over the DAG), or an alias. *)
+          let target =
+            if cfg.use_alias && Rng.chance rng 0.3 then "exported"
+            else if Rng.bool rng then Printf.sprintf "r%d" (Rng.int rng cfg.rules)
+            else Printf.sprintf "a%d" (Rng.int rng cfg.intrinsics)
+          in
+          let agg = match Rng.int rng 3 with 0 -> "sum" | 1 -> "max" | _ -> "min" in
+          Printf.sprintf "%s(down.%s default 0)" agg target
+        | _ -> Printf.sprintf "r%d" (Rng.int rng r)
+      in
+      let op = match Rng.int rng 3 with 0 -> "+" | 1 -> "-" | _ -> "*" in
+      Buffer.add_string buf (Printf.sprintf "    r%d = %s %s %s;\n" r (atom ()) op (atom ()))
+    done;
+    if cfg.use_alias then
+      Buffer.add_string buf "  transmits\n    up.exported = r0;\n";
+    Buffer.add_string buf "end object;\n"
+  done;
+  Buffer.contents buf

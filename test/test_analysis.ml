@@ -1,0 +1,607 @@
+(* The static schema analyzer: circularity with witnesses, dead-rule,
+   dangling-reference and constraint lint — over DDL sources
+   (Cactis_ddl.Lint), compiled schemas (Cactis_analysis.Analyze), the
+   Schema.validate/strict hooks, and the Elaborate gate.  Two QCheck
+   properties tie the static verdict to the engine's dynamic behaviour:
+   a clean circularity verdict really does rule out Errors.Cycle on
+   arbitrary (even cyclic) instance graphs. *)
+
+module Value = Cactis.Value
+module Db = Cactis.Db
+module Schema = Cactis.Schema
+module Rule = Cactis.Rule
+module Errors = Cactis.Errors
+module Rng = Cactis_util.Rng
+module Diag = Cactis_analysis.Diag
+module Analyze = Cactis_analysis.Analyze
+module Lint = Cactis_ddl.Lint
+
+let lint src = Lint.analyze_ast (Cactis_ddl.Parser.parse_schema src)
+
+let codes ds = List.map (fun d -> d.Diag.code) ds
+let with_code c ds = List.filter (fun d -> String.equal d.Diag.code c) ds
+let has_code c ds = with_code c ds <> []
+
+let severity_of c ds =
+  match with_code c ds with
+  | d :: _ -> Some d.Diag.severity
+  | [] -> None
+
+let check_codes what expected ds =
+  Alcotest.(check (list string)) what expected (List.sort_uniq compare (codes ds))
+
+(* A little well-formed base schema most cases extend. *)
+let base_class body = Printf.sprintf "object class node is\n%s\nend object;\n" body
+
+(* ---- circularity ---- *)
+
+let test_self_cycle_error () =
+  (* r1 and r2 read each other within one instance: no evaluation order
+     exists for any instance — error, with a two-node witness. *)
+  let ds =
+    lint
+      (base_class
+         "  attributes\n    a : int;\n  rules\n    r1 = r2 + 1;\n    r2 = r1 + a;")
+  in
+  Alcotest.(check (option string)) "error severity" (Some "error")
+    (Option.map Diag.severity_name (severity_of "cycle" ds));
+  let d = List.hd (with_code "cycle" ds) in
+  Alcotest.(check int) "witness length" 2 (List.length d.Diag.witness);
+  List.iter
+    (fun ((n : Diag.node), step) ->
+      Alcotest.(check string) "witness type" "node" n.Diag.n_type;
+      Alcotest.(check bool) "self steps only" true (step = Diag.S_self);
+      Alcotest.(check bool) "witness names a declared rule" true
+        (List.mem n.Diag.n_attr [ "r1"; "r2" ]))
+    d.Diag.witness
+
+let test_link_cycle_error () =
+  (* rx reads ry across down, ry reads rx back across up: the two steps
+     retrace one link, so a single link cycles — error, not warning. *)
+  let ds =
+    lint
+      (base_class
+         "  relationships\n\
+         \    down : node multi socket inverse up;\n\
+         \    up : node multi plug inverse down;\n\
+         \  attributes\n\
+         \    a : int;\n\
+         \  rules\n\
+         \    rx = sum(down.ry default 0);\n\
+         \    ry = sum(up.rx default 0);")
+  in
+  Alcotest.(check (option string)) "error severity" (Some "error")
+    (Option.map Diag.severity_name (severity_of "cycle" ds))
+
+let test_potential_cycle_warning () =
+  (* rx reads its own attribute across down: cycles only when the data
+     cycles along down — warning, witness crossing down. *)
+  let ds =
+    lint
+      (base_class
+         "  relationships\n\
+         \    down : node multi socket inverse up;\n\
+         \    up : node multi plug inverse down;\n\
+         \  attributes\n\
+         \    a : int;\n\
+         \  rules\n\
+         \    rx = a + sum(down.rx default 0);")
+  in
+  Alcotest.(check (option string)) "warning severity" (Some "warning")
+    (Option.map Diag.severity_name (severity_of "potential-cycle" ds));
+  Alcotest.(check bool) "no hard cycle" false (has_code "cycle" ds);
+  let d = List.hd (with_code "potential-cycle" ds) in
+  Alcotest.(check bool) "witness crosses down" true
+    (List.exists (fun (_, s) -> s = Diag.S_rel "down") d.Diag.witness)
+
+let test_acyclic_clean () =
+  (* True negative: a chain of rules, including a cross-relationship read
+     of an intrinsic, has no circularity finding of any severity. *)
+  let ds =
+    lint
+      (base_class
+         "  relationships\n\
+         \    down : node multi socket inverse up;\n\
+         \    up : node multi plug inverse down;\n\
+         \  attributes\n\
+         \    a : int;\n\
+         \  rules\n\
+         \    r1 = a + 1;\n\
+         \    r2 = r1 + sum(down.a default 0);\n\
+         \    r3 = r2 * 2;")
+  in
+  Alcotest.(check bool) "no cycle" false (has_code "cycle" ds);
+  Alcotest.(check bool) "no potential cycle" false (has_code "potential-cycle" ds)
+
+(* ---- dead attributes ---- *)
+
+let test_dead_attr_info () =
+  let ds =
+    lint (base_class "  attributes\n    a : int;\n  rules\n    unused = a + 1;")
+  in
+  Alcotest.(check (option string)) "info severity" (Some "info")
+    (Option.map Diag.severity_name (severity_of "dead-attr" ds));
+  Alcotest.(check string) "names the attribute" "node.unused"
+    (List.hd (with_code "dead-attr" ds)).Diag.path
+
+let test_dead_attr_negatives () =
+  (* Read by a rule, constraint-carrying, or transmitted: none is dead.
+     (`top` itself is unread but constrained, `sent` is exported.) *)
+  let ds =
+    lint
+      (base_class
+         "  relationships\n\
+         \    down : node multi socket inverse up;\n\
+         \    up : node multi plug inverse down;\n\
+         \  attributes\n\
+         \    a : int;\n\
+         \  rules\n\
+         \    mid = a + 1;\n\
+         \    sent = mid * 2;\n\
+         \  constraints\n\
+         \    top = mid > 0 message \"mid must be positive\";\n\
+         \  transmits\n\
+         \    up.exported = sent;")
+  in
+  Alcotest.(check bool) "no dead attrs" false (has_code "dead-attr" ds)
+
+let test_dead_attr_subtype_predicate_reads () =
+  (* An attribute read only by a subtype predicate is not dead. *)
+  let ds =
+    lint
+      (base_class "  attributes\n    a : int;\n  rules\n    r = a + 1;"
+      ^ "subtype big of node where r > 10 is\nend subtype;\n")
+  in
+  Alcotest.(check bool) "predicate read keeps r alive" false (has_code "dead-attr" ds)
+
+(* ---- dangling references ---- *)
+
+let test_dangling_attr_and_rel () =
+  let ds =
+    lint
+      (base_class
+         "  attributes\n    a : int;\n  rules\n    r1 = ghost + 1;\n    r2 = sum(phantom.a default 0);")
+  in
+  Alcotest.(check (option string)) "dangling attr is error" (Some "error")
+    (Option.map Diag.severity_name (severity_of "dangling-attr" ds));
+  Alcotest.(check (option string)) "dangling rel is error" (Some "error")
+    (Option.map Diag.severity_name (severity_of "dangling-rel" ds))
+
+let test_dangling_transmission_warning () =
+  (* Reading an attribute the target does not declare: the paper treats
+     this as extensibility (the attribute may arrive later), and the
+     engine defers it to link traversal — warning, not error. *)
+  let ds =
+    lint
+      (base_class
+         "  relationships\n\
+         \    down : node multi socket inverse up;\n\
+         \    up : node multi plug inverse down;\n\
+         \  attributes\n\
+         \    a : int;\n\
+         \  rules\n\
+         \    r = sum(down.future default 0);")
+  in
+  Alcotest.(check (option string)) "transmission gap is warning" (Some "warning")
+    (Option.map Diag.severity_name (severity_of "dangling-transmission" ds))
+
+let test_dangling_rel_wiring () =
+  let ds =
+    lint
+      "object class a is\n\
+      \  relationships\n\
+      \    to_ghost : ghost multi socket inverse back;\n\
+      \    to_b : b multi socket inverse wrong;\n\
+      \  attributes\n\
+      \    x : int;\n\
+       end object;\n\
+       object class b is\n\
+      \  attributes\n\
+      \    y : int;\n\
+       end object;\n"
+  in
+  Alcotest.(check (option string)) "unknown target class" (Some "error")
+    (Option.map Diag.severity_name (severity_of "dangling-target" ds));
+  Alcotest.(check (option string)) "undeclared inverse" (Some "error")
+    (Option.map Diag.severity_name (severity_of "dangling-inverse" ds))
+
+let test_dangling_export_and_parent () =
+  let ds =
+    lint
+      (base_class
+         "  relationships\n\
+         \    down : node multi socket inverse up;\n\
+         \    up : node multi plug inverse down;\n\
+         \  attributes\n\
+         \    a : int;\n\
+         \  transmits\n\
+         \    up.exported = ghost;"
+      ^ "subtype orphan of nowhere where 1 > 0 is\nend subtype;\n")
+  in
+  Alcotest.(check (option string)) "export of unknown attr" (Some "error")
+    (Option.map Diag.severity_name (severity_of "dangling-export" ds));
+  Alcotest.(check (option string)) "subtype of unknown parent" (Some "error")
+    (Option.map Diag.severity_name (severity_of "dangling-parent" ds))
+
+let test_subtype_predicate_dangling () =
+  (* Predicate over an attribute the parent does not declare. *)
+  let ds =
+    lint
+      (base_class "  attributes\n    a : int;"
+      ^ "subtype big of node where missing > 10 is\nend subtype;\n")
+  in
+  let d = List.hd (with_code "dangling-attr" ds) in
+  Alcotest.(check (option string)) "is error" (Some "error")
+    (Option.map Diag.severity_name (severity_of "dangling-attr" ds));
+  Alcotest.(check bool) "message blames the predicate" true
+    (String.length d.Diag.message > 0
+    &&
+    let sub = "subtype big predicate" in
+    let n = String.length d.Diag.message and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub d.Diag.message i m = sub || go (i + 1)) in
+    go 0)
+
+let test_dangling_negative () =
+  (* True negative: everything resolves (including through an alias). *)
+  let ds =
+    lint
+      (base_class
+         "  relationships\n\
+         \    down : node multi socket inverse up;\n\
+         \    up : node multi plug inverse down;\n\
+         \  attributes\n\
+         \    a : int;\n\
+         \  rules\n\
+         \    r = sum(down.exported default 0);\n\
+         \  transmits\n\
+         \    up.exported = a;")
+  in
+  check_codes "only clean codes" [] (with_code "dangling-attr" ds @ with_code "dangling-rel" ds
+    @ with_code "dangling-transmission" ds @ with_code "dangling-target" ds
+    @ with_code "dangling-inverse" ds @ with_code "dangling-export" ds)
+
+(* ---- constraint lint ---- *)
+
+let test_constraint_constant () =
+  let ds =
+    lint
+      (base_class
+         "  attributes\n    a : int;\n  rules\n    two = 1 + 1;\n  constraints\n    always = two > 0 message \"always true\";")
+  in
+  Alcotest.(check (option string)) "constant constraint is warning" (Some "warning")
+    (Option.map Diag.severity_name (severity_of "constraint-constant" ds))
+
+let test_constraint_topology_only () =
+  let ds =
+    lint
+      (base_class
+         "  relationships\n\
+         \    down : node multi socket inverse up;\n\
+         \    up : node multi plug inverse down;\n\
+         \  attributes\n\
+         \    a : int;\n\
+         \  rules\n\
+         \    two = 1 + 1;\n\
+         \  constraints\n\
+         \    shaped = count(down.two) > 0 message \"needs children\";")
+  in
+  Alcotest.(check (option string)) "topology-only constraint is info" (Some "info")
+    (Option.map Diag.severity_name (severity_of "constraint-topology-only" ds));
+  Alcotest.(check bool) "not flagged constant" false (has_code "constraint-constant" ds)
+
+let test_constraint_negative () =
+  (* True negative: the constraint's cone reaches an intrinsic. *)
+  let ds =
+    lint
+      (base_class
+         "  attributes\n    a : int;\n  rules\n    r = a + 1;\n  constraints\n    ok = r > 0 message \"must be positive\";")
+  in
+  Alcotest.(check bool) "no constant finding" false (has_code "constraint-constant" ds);
+  Alcotest.(check bool) "no topology finding" false (has_code "constraint-topology-only" ds)
+
+(* ---- AST-level duplicates ---- *)
+
+let test_duplicates () =
+  let ds =
+    lint
+      "object class a is\n  attributes\n    x : int;\n  rules\n    x = 1 + 1;\nend object;\n\
+       object class a is\n  attributes\n    y : int;\nend object;\n"
+  in
+  Alcotest.(check (option string)) "duplicate class" (Some "error")
+    (Option.map Diag.severity_name (severity_of "duplicate-class" ds));
+  Alcotest.(check (option string)) "duplicate attr" (Some "error")
+    (Option.map Diag.severity_name (severity_of "duplicate-attr" ds))
+
+(* ---- shipped schemas ---- *)
+
+let test_shipped_schemas_error_free () =
+  let shipped =
+    [
+      ("milestone", Db.schema (Cactis_apps.Milestone.db (Cactis_apps.Milestone.create ())));
+      ("configman", Db.schema (Cactis_apps.Configman.db (Cactis_apps.Configman.create ())));
+      ("traceability", Db.schema (Cactis_apps.Traceability.db (Cactis_apps.Traceability.create ())));
+      ("makefac", Db.schema (Cactis_apps.Makefac.db (Cactis_apps.Makefac.create (Cactis_apps.Fs_sim.create ()))));
+      ("uidemo", Db.schema (Cactis_apps.Uidemo.db (Cactis_apps.Uidemo.create ())));
+      ("flowan", Cactis_apps.Flowan.schema ());
+    ]
+  in
+  List.iter
+    (fun (name, sch) ->
+      Alcotest.(check (list string)) (name ^ " has no errors") []
+        (List.map Diag.to_string (Diag.errors (Analyze.analyze_schema sch))))
+    shipped
+
+let test_flowan_flagged_with_witness () =
+  let ds = Cactis_apps.Flowan.static_diagnostics () in
+  let pc = with_code "potential-cycle" ds in
+  Alcotest.(check int) "liveness and reaching both flagged" 2 (List.length pc);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "witness non-empty" true (d.Diag.witness <> []);
+      List.iter
+        (fun ((n : Diag.node), _) ->
+          Alcotest.(check string) "witness on flow_node" "flow_node" n.Diag.n_type;
+          (* Every witness node is a real declared attribute. *)
+          Alcotest.(check bool)
+            (n.Diag.n_attr ^ " declared") true
+            (Schema.attr_opt (Cactis_apps.Flowan.schema ()) ~type_name:"flow_node" n.Diag.n_attr
+            <> None))
+        d.Diag.witness)
+    pc
+
+(* ---- hooks: Schema.validate / strict mode / Elaborate gate ---- *)
+
+(* Self sources are checked eagerly by add_attr (no forward refs), so a
+   constructible hard cycle goes through a relationship pair: rx reads
+   ry across down, ry reads rx back across up — one link realizes it. *)
+let add_link_cycle sch =
+  Schema.add_attr sch ~type_name:"t"
+    (Rule.derived "rx"
+       (Rule.make [ Schema.Rel ("down", "ry") ] (fun env ->
+            Value.sum (env.Schema.related_values "down" "ry"))));
+  Schema.add_attr sch ~type_name:"t"
+    (Rule.derived "ry"
+       (Rule.make [ Schema.Rel ("up", "rx") ] (fun env ->
+            Value.sum (env.Schema.related_values "up" "rx"))))
+
+let cyclic_schema () =
+  let sch = Schema.create () in
+  Schema.add_type sch "t";
+  Schema.declare_relationship sch ~from_type:"t" ~rel:"down" ~to_type:"t" ~inverse:"up"
+    ~card:Schema.Multi ~inverse_card:Schema.Multi;
+  Schema.add_attr sch ~type_name:"t" (Rule.intrinsic "a" (Value.Int 0));
+  add_link_cycle sch;
+  sch
+
+let test_validate_hook () =
+  Analyze.install ();
+  let sch = cyclic_schema () in
+  (match Schema.validate sch with
+  | () -> Alcotest.fail "expected Type_error from validate"
+  | exception Errors.Type_error _ -> ());
+  (* A clean schema validates fine. *)
+  let ok = Schema.create () in
+  Schema.add_type ok "t";
+  Schema.add_attr ok ~type_name:"t" (Rule.intrinsic "a" (Value.Int 0));
+  Schema.validate ok
+
+let test_strict_mode () =
+  Analyze.install ();
+  let sch = Schema.create () in
+  Schema.add_type sch "t";
+  Schema.declare_relationship sch ~from_type:"t" ~rel:"down" ~to_type:"t" ~inverse:"up"
+    ~card:Schema.Multi ~inverse_card:Schema.Multi;
+  Schema.add_attr sch ~type_name:"t" (Rule.intrinsic "a" (Value.Int 0));
+  Schema.set_strict sch true;
+  let db = Db.create sch in
+  let id = Db.create_instance db "t" in
+  ignore (Db.get db ~watch:false id "a");
+  (* A mutation that introduces a hard cycle is caught at the next
+     schema access — and keeps failing until repaired. *)
+  add_link_cycle sch;
+  (match Db.get db ~watch:false id "a" with
+  | _ -> Alcotest.fail "strict mode let a cyclic schema through"
+  | exception Errors.Type_error _ -> ());
+  match Db.get db ~watch:false id "a" with
+  | _ -> Alcotest.fail "second access should fail too"
+  | exception Errors.Type_error _ -> ()
+
+let test_elaborate_gate () =
+  (* A Self cycle is rejected during elaboration itself (no forward Self
+     refs), so gate on the link-realizable cycle the elaborator accepts. *)
+  let src =
+    base_class
+      "  relationships\n\
+      \    down : node multi socket inverse up;\n\
+      \    up : node multi plug inverse down;\n\
+      \  attributes\n\
+      \    a : int;\n\
+      \  rules\n\
+      \    rx = sum(down.ry default 0);\n\
+      \    ry = sum(up.rx default 0);"
+  in
+  (match Cactis_ddl.Elaborate.load_string src with
+  | _ -> Alcotest.fail "expected the analysis gate to reject"
+  | exception Cactis_ddl.Elaborate.Error msg ->
+    Alcotest.(check bool) "message mentions the cycle" true
+      (let sub = "cycle" in
+       let n = String.length msg and m = String.length sub in
+       let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+       go 0));
+  (* The escape hatch still elaborates (the dynamic detector remains). *)
+  ignore (Cactis_ddl.Elaborate.load_string ~analyze:false src)
+
+let test_warning_schemas_still_elaborate () =
+  (* Warnings (potential cycles) never block elaboration: milestones.cactis
+     carries one and must keep loading. *)
+  let src =
+    base_class
+      "  relationships\n\
+      \    down : node multi socket inverse up;\n\
+      \    up : node multi plug inverse down;\n\
+      \  attributes\n\
+      \    a : int;\n\
+      \  rules\n\
+      \    rx = a + sum(down.rx default 0);"
+  in
+  ignore (Cactis_ddl.Elaborate.load_string src)
+
+(* ---- counters ---- *)
+
+let test_counters_instrumented () =
+  let counters = Cactis_util.Counters.create () in
+  let sch = Db.schema (Cactis_apps.Milestone.db (Cactis_apps.Milestone.create ())) in
+  ignore (Analyze.analyze_schema ~counters sch);
+  ignore (Analyze.analyze_schema ~counters sch);
+  Alcotest.(check int) "runs counted" 2 (Cactis_util.Counters.get counters "analysis_runs");
+  Alcotest.(check bool) "nodes counted" true
+    (Cactis_util.Counters.get counters "analysis_nodes" > 0);
+  Alcotest.(check bool) "edges counted" true
+    (Cactis_util.Counters.get counters "analysis_edges" > 0)
+
+(* ---- JSON shape ---- *)
+
+let test_json_rendering () =
+  let ds = Cactis_apps.Flowan.static_diagnostics () in
+  let json = Analyze.to_json ds in
+  (* Parseable enough to check the shape without a JSON library. *)
+  Alcotest.(check bool) "is an array" true
+    (String.length json >= 2 && json.[0] = '[' && json.[String.length json - 1] = ']');
+  let contains sub =
+    let n = String.length json and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub json i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has severity field" true (contains "\"severity\":\"warning\"");
+  Alcotest.(check bool) "has witness steps" true (contains "\"step\":\"succ\"");
+  Alcotest.(check bool) "has code field" true (contains "\"code\":\"potential-cycle\"")
+
+(* ---- QCheck: static verdict vs dynamic behaviour ---- *)
+
+module G = Gen_schemas
+
+(* Build a database over [src] with RANDOM links — cycles allowed — and
+   query every derived attribute everywhere.  Returns true if any query
+   raised Errors.Cycle. *)
+let any_dynamic_cycle cfg src =
+  let db =
+    Db.create (Cactis_ddl.Elaborate.schema ~analyze:false (Cactis_ddl.Parser.parse_schema src))
+  in
+  let rng = Rng.create (cfg.G.seed + 7) in
+  let ids =
+    Array.init cfg.G.instances (fun i ->
+        Db.create_instance db (Printf.sprintf "k%d" (i mod cfg.G.classes)))
+  in
+  (* Arbitrary same-class links, including back-links and self-loops. *)
+  for _ = 1 to cfg.G.instances * 2 do
+    let i = Rng.int rng cfg.G.instances in
+    let j_candidates =
+      Array.to_list ids
+      |> List.filteri (fun j _ -> j mod cfg.G.classes = i mod cfg.G.classes)
+    in
+    let target = Rng.pick_list rng j_candidates in
+    if not (List.mem target (Db.related db ids.(i) "down")) then
+      Db.link db ~from_id:ids.(i) ~rel:"down" ~to_id:target
+  done;
+  let cycled = ref false in
+  Array.iter
+    (fun id ->
+      for r = 0 to cfg.G.rules - 1 do
+        match Db.get db ~watch:false id (Printf.sprintf "r%d" r) with
+        | _ -> ()
+        | exception Errors.Cycle _ -> cycled := true
+      done)
+    ids;
+  !cycled
+
+let prop_clean_verdict_sound =
+  (* Soundness of the circularity test: schemas whose type-level graph
+     the analyzer calls acyclic never raise Errors.Cycle, no matter how
+     cyclic the data graph is. *)
+  QCheck.Test.make ~name:"clean static verdict => no dynamic Errors.Cycle" ~count:80
+    (QCheck.make ~print:G.print_cfg G.gen)
+    (fun cfg ->
+      let src = G.schema_source ~cross:false cfg in
+      let ds = lint src in
+      if has_code "cycle" ds || has_code "potential-cycle" ds then
+        QCheck.Test.fail_reportf "cross-free schema flagged circular:\n%s" src;
+      not (any_dynamic_cycle cfg src))
+
+let prop_witness_names_real_attrs =
+  (* Completeness of witnesses: whenever a generated schema is flagged,
+     every node of the witness is a declared attribute of its class. *)
+  QCheck.Test.make ~name:"witness paths name declared attributes" ~count:80
+    (QCheck.make ~print:G.print_cfg G.gen)
+    (fun cfg ->
+      let src = G.schema_source ~cross:true cfg in
+      let items = Cactis_ddl.Parser.parse_schema src in
+      let v = Lint.view_of_ast items in
+      Lint.analyze_ast items
+      |> List.for_all (fun d ->
+             List.for_all
+               (fun ((n : Diag.node), _) ->
+                 match Cactis_analysis.View.find_type v n.Diag.n_type with
+                 | None -> false
+                 | Some t -> Cactis_analysis.View.find_attr t n.Diag.n_attr <> None)
+               d.Diag.witness))
+
+let () =
+  Alcotest.run "cactis-analysis"
+    [
+      ( "circularity",
+        [
+          Alcotest.test_case "self cycle is an error with witness" `Quick test_self_cycle_error;
+          Alcotest.test_case "rel+inverse cycle is an error" `Quick test_link_cycle_error;
+          Alcotest.test_case "one-way rel cycle is a warning" `Quick test_potential_cycle_warning;
+          Alcotest.test_case "acyclic schema is clean" `Quick test_acyclic_clean;
+        ] );
+      ( "dead attrs",
+        [
+          Alcotest.test_case "unread rule flagged info" `Quick test_dead_attr_info;
+          Alcotest.test_case "read/constrained/exported not dead" `Quick test_dead_attr_negatives;
+          Alcotest.test_case "predicate reads keep attrs alive" `Quick
+            test_dead_attr_subtype_predicate_reads;
+        ] );
+      ( "dangling",
+        [
+          Alcotest.test_case "unknown attr and rel in rules" `Quick test_dangling_attr_and_rel;
+          Alcotest.test_case "missing transmitted attr is warning" `Quick
+            test_dangling_transmission_warning;
+          Alcotest.test_case "unknown target and inverse" `Quick test_dangling_rel_wiring;
+          Alcotest.test_case "bad export and orphan subtype" `Quick test_dangling_export_and_parent;
+          Alcotest.test_case "predicate over missing attr" `Quick test_subtype_predicate_dangling;
+          Alcotest.test_case "fully resolved schema is clean" `Quick test_dangling_negative;
+        ] );
+      ( "constraints",
+        [
+          Alcotest.test_case "constant constraint flagged" `Quick test_constraint_constant;
+          Alcotest.test_case "topology-only constraint is info" `Quick
+            test_constraint_topology_only;
+          Alcotest.test_case "intrinsic-grounded constraint clean" `Quick test_constraint_negative;
+        ] );
+      ( "ast lint",
+        [ Alcotest.test_case "duplicate class and attr" `Quick test_duplicates ] );
+      ( "shipped schemas",
+        [
+          Alcotest.test_case "all app schemas error-free" `Quick test_shipped_schemas_error_free;
+          Alcotest.test_case "flowan flagged with real witness" `Quick
+            test_flowan_flagged_with_witness;
+        ] );
+      ( "hooks",
+        [
+          Alcotest.test_case "Schema.validate uses the analyzer" `Quick test_validate_hook;
+          Alcotest.test_case "strict mode rejects bad DDL" `Quick test_strict_mode;
+          Alcotest.test_case "Elaborate gates on errors" `Quick test_elaborate_gate;
+          Alcotest.test_case "warnings still elaborate" `Quick test_warning_schemas_still_elaborate;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "analysis counters bump" `Quick test_counters_instrumented;
+          Alcotest.test_case "json rendering shape" `Quick test_json_rendering;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_clean_verdict_sound;
+          QCheck_alcotest.to_alcotest prop_witness_names_real_attrs;
+        ] );
+    ]

@@ -20,74 +20,12 @@ module Db = Cactis.Db
 module Engine = Cactis.Engine
 module Rng = Cactis_util.Rng
 
-type gen_schema = {
-  seed : int;
-  classes : int;  (* 1..2 *)
-  intrinsics : int;  (* 1..3 per class *)
-  rules : int;  (* 1..3 per class *)
-  instances : int;  (* 2..12 *)
-  ops : int;  (* 0..20 *)
-  use_alias : bool;
-}
+(* Generator shared with test_analysis.ml. *)
+module G = Gen_schemas
 
-let gen =
-  QCheck.Gen.(
-    let* seed = int_range 0 100_000 in
-    let* classes = int_range 1 2 in
-    let* intrinsics = int_range 1 3 in
-    let* rules = int_range 1 3 in
-    let* instances = int_range 2 12 in
-    let* ops = int_range 0 20 in
-    let* use_alias = bool in
-    return { seed; classes; intrinsics; rules; instances; ops; use_alias })
-
-let print_cfg c =
-  Printf.sprintf "seed=%d classes=%d intr=%d rules=%d inst=%d ops=%d alias=%b" c.seed c.classes
-    c.intrinsics c.rules c.instances c.ops c.use_alias
-
-(* Build the DDL source for one random schema. *)
-let schema_source cfg =
-  let rng = Rng.create cfg.seed in
-  let buf = Buffer.create 512 in
-  for c = 0 to cfg.classes - 1 do
-    let cname = Printf.sprintf "k%d" c in
-    Buffer.add_string buf (Printf.sprintf "object class %s is\n" cname);
-    Buffer.add_string buf
-      (Printf.sprintf
-         "  relationships\n    down : %s multi socket inverse up;\n    up : %s multi plug inverse down;\n"
-         cname cname);
-    Buffer.add_string buf "  attributes\n";
-    for a = 0 to cfg.intrinsics - 1 do
-      Buffer.add_string buf (Printf.sprintf "    a%d : int := %d;\n" a (Rng.int rng 10))
-    done;
-    Buffer.add_string buf "  rules\n";
-    for r = 0 to cfg.rules - 1 do
-      (* Safe expression: combination of intrinsics, earlier same-instance
-         rules, and aggregates across [down]. *)
-      let atom () =
-        match Rng.int rng (if r > 0 then 4 else 3) with
-        | 0 -> string_of_int (Rng.int rng 20)
-        | 1 -> Printf.sprintf "a%d" (Rng.int rng cfg.intrinsics)
-        | 2 ->
-          (* Cross-instance: may reference any rule or intrinsic, including
-             this very rule (recursion over the DAG), or an alias. *)
-          let target =
-            if cfg.use_alias && Rng.chance rng 0.3 then "exported"
-            else if Rng.bool rng then Printf.sprintf "r%d" (Rng.int rng cfg.rules)
-            else Printf.sprintf "a%d" (Rng.int rng cfg.intrinsics)
-          in
-          let agg = match Rng.int rng 3 with 0 -> "sum" | 1 -> "max" | _ -> "min" in
-          Printf.sprintf "%s(down.%s default 0)" agg target
-        | _ -> Printf.sprintf "r%d" (Rng.int rng r)
-      in
-      let op = match Rng.int rng 3 with 0 -> "+" | 1 -> "-" | _ -> "*" in
-      Buffer.add_string buf (Printf.sprintf "    r%d = %s %s %s;\n" r (atom ()) op (atom ()))
-    done;
-    if cfg.use_alias then
-      Buffer.add_string buf "  transmits\n    up.exported = r0;\n";
-    Buffer.add_string buf "end object;\n"
-  done;
-  Buffer.contents buf
+let gen = G.gen
+let print_cfg = G.print_cfg
+let schema_source = G.schema_source ~cross:true
 
 let run_pipeline cfg =
   let src = schema_source cfg in
@@ -98,19 +36,19 @@ let run_pipeline cfg =
     QCheck.Test.fail_reportf "type errors in generated schema:\n%s\n%s"
       (String.concat "\n" type_errors) src;
   let db = Db.create (Cactis_ddl.Elaborate.schema items) in
-  let rng = Rng.create (cfg.seed + 1) in
+  let rng = Rng.create (cfg.G.seed + 1) in
   (* 2: populate: instances round-robin across classes; links old->new
      within the same class *)
   let ids =
-    Array.init cfg.instances (fun i -> Db.create_instance db (Printf.sprintf "k%d" (i mod cfg.classes)))
+    Array.init cfg.G.instances (fun i -> Db.create_instance db (Printf.sprintf "k%d" (i mod cfg.G.classes)))
   in
   Array.iteri
     (fun i id ->
-      if i >= cfg.classes && Rng.chance rng 0.7 then begin
+      if i >= cfg.G.classes && Rng.chance rng 0.7 then begin
         (* link to a same-class newer instance: [down] points old->new *)
         let candidates =
           Array.to_list ids
-          |> List.filteri (fun j _ -> j > i && j mod cfg.classes = i mod cfg.classes)
+          |> List.filteri (fun j _ -> j > i && j mod cfg.G.classes = i mod cfg.G.classes)
         in
         match candidates with
         | [] -> ()
@@ -121,12 +59,12 @@ let run_pipeline cfg =
       end)
     ids;
   (* 3: random updates and queries *)
-  for _ = 1 to cfg.ops do
-    let id = ids.(Rng.int rng cfg.instances) in
+  for _ = 1 to cfg.G.ops do
+    let id = ids.(Rng.int rng cfg.G.instances) in
     if Rng.chance rng 0.6 then
-      Db.set db id (Printf.sprintf "a%d" (Rng.int rng cfg.intrinsics)) (Value.Int (Rng.int rng 50))
+      Db.set db id (Printf.sprintf "a%d" (Rng.int rng cfg.G.intrinsics)) (Value.Int (Rng.int rng 50))
     else
-      ignore (Db.get db ~watch:(Rng.bool rng) id (Printf.sprintf "r%d" (Rng.int rng cfg.rules)))
+      ignore (Db.get db ~watch:(Rng.bool rng) id (Printf.sprintf "r%d" (Rng.int rng cfg.G.rules)))
   done;
   (* 4: every derived value matches the oracle; structure intact *)
   let ok_values =
@@ -137,7 +75,7 @@ let run_pipeline cfg =
             let attr = Printf.sprintf "r%d" r in
             Value.equal (Db.get db ~watch:false id attr)
               (Engine.oracle_value (Db.engine db) id attr))
-          (List.init cfg.rules (fun r -> r)))
+          (List.init cfg.G.rules (fun r -> r)))
       ids
   in
   let clean = Cactis.Integrity.check db = [] in
