@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build check test lint bench bench-fast bench-json bench-persist stats trace examples clean
+.PHONY: all build check test format-compat lint bench bench-fast bench-json bench-persist stats trace examples clean
 
 # Output path for the machine-readable experiment record; override with
 # `make bench-json BENCH_JSON=BENCH_1.json` to regenerate earlier runs.
@@ -17,15 +17,24 @@ all: build
 build:
 	dune build @all
 
-# Everything CI needs: full build, full test suite, and a fast pass over
-# every experiment to catch harness regressions.
+# Everything CI needs: full build, full test suite (which includes the
+# schema-versioning suite and its on-disk format-compat fixture check),
+# an explicit format-compat pass, and a fast pass over every experiment
+# to catch harness regressions.
 check:
 	dune build @all
 	dune runtest --force
+	$(MAKE) format-compat
 	dune exec bench/main.exe -- --fast
 
 test:
 	dune runtest --force
+
+# On-disk format compatibility: recover the committed legacy CWAL2
+# fixture under the current CWAL3 reader and compare against the
+# recorded recovery output (test/fixtures/cwal2/expected.json).
+format-compat:
+	dune exec test/test_schema_versioning.exe -- test "format compat"
 
 # Static schema analysis over every shipped .cactis schema plus the
 # built-in application schemas.  Fails on error-severity findings only;

@@ -9,6 +9,7 @@
      trace   FILE.cactis SCRIPT     run a script, export a Chrome trace JSON
      save    FILE.cactis SNAPSHOT   re-encode a snapshot (text <-> binary)
      recover FILE.cactis DIR        recover a database from checkpoint + WAL
+     log     FILE.cactis DIR        show version history incl. schema steps
      demo    milestones|make|flow   run a built-in demonstration
 
    Built with cmdliner; see `cactis --help`. *)
@@ -174,6 +175,31 @@ let recover_cmd schema_path dir script checkpoint =
         Persist.checkpoint p;
         Printf.printf "checkpointed: log truncated\n"
       end;
+      Persist.close p)
+
+(* ---- log ---- *)
+
+let log_cmd schema_path dir ops =
+  handle_errors (fun () ->
+      let _, sch = load_schema schema_path in
+      let p = Persist.recover ~dir sch in
+      let db = Persist.db p in
+      let history = Db.history db in
+      Printf.printf "%s: %d committed versions, schema version %d\n" dir (List.length history)
+        (Db.schema_step_count db);
+      List.iter
+        (fun (vid, (delta : Cactis.Txn.delta)) ->
+          let schema_ops = List.filter Cactis.Txn.is_schema_op delta.Cactis.Txn.ops in
+          Printf.printf "v%-4d %3d op%s%s%s\n" vid
+            (List.length delta.Cactis.Txn.ops)
+            (if List.length delta.Cactis.Txn.ops = 1 then "" else "s")
+            (match delta.Cactis.Txn.label with Some l -> "  [" ^ l ^ "]" | None -> "")
+            (if schema_ops = [] then ""
+             else Printf.sprintf "  (%d schema step%s)" (List.length schema_ops)
+                 (if List.length schema_ops = 1 then "" else "s"));
+          let shown = if ops then delta.Cactis.Txn.ops else schema_ops in
+          List.iter (fun op -> Format.printf "        %a@." Cactis.Txn.pp_op op) shown)
+        history;
       Persist.close p)
 
 (* ---- stats / trace ---- *)
@@ -474,6 +500,19 @@ let recover_t =
   Cmd.v (Cmd.info "recover" ~doc)
     Term.(const recover_cmd $ schema_arg $ dir_arg $ script_arg $ checkpoint_arg)
 
+let log_t =
+  let doc =
+    "Show the committed version history of a persistence directory: one line per version with \
+     its delta size and label, schema steps (type/attribute/subtype declarations) spelled out."
+  in
+  let dir_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"DIR" ~doc:"Persistence directory.")
+  in
+  let ops_arg =
+    Arg.(value & flag & info [ "ops" ] ~doc:"Spell out every op of every delta, not just schema steps.")
+  in
+  Cmd.v (Cmd.info "log" ~doc) Term.(const log_cmd $ schema_arg $ dir_arg $ ops_arg)
+
 let script_pos_arg =
   Arg.(required & pos 1 (some file) None & info [] ~docv:"SCRIPT" ~doc:"Script file.")
 
@@ -560,7 +599,7 @@ let main =
   let doc = "Cactis: object-oriented database with functionally-defined data" in
   Cmd.group
     (Cmd.info "cactis" ~version:"1.0.0" ~doc)
-    [ check_t; fmt_t; lint_t; run_t; repl_t; stats_t; trace_t; save_t; recover_t; demo_t ]
+    [ check_t; fmt_t; lint_t; run_t; repl_t; stats_t; trace_t; save_t; recover_t; log_t; demo_t ]
 
 let () =
   (* Register the analyzer as the schema validator, so Schema.validate /

@@ -87,7 +87,11 @@ let exec_line env lineno raw =
     | [ "undo" ] -> Db.undo_last env.db
     | [ "redo" ] -> Db.redo env.db
     | [ "tag"; name ] -> Db.tag env.db name
-    | [ "checkout"; name ] -> Db.checkout env.db name
+    | [ "checkout"; name ] ->
+      Db.checkout env.db name;
+      (* Checkout traverses schema deltas along with data deltas, so
+         report where the schema landed. *)
+      print env "checkout %s: schema version %d" name (Db.schema_step_count env.db)
     | [ "members"; sub ] ->
       let ids = Db.subtype_members env.db sub in
       print env "%s members: [%s]" sub (String.concat "; " (List.map string_of_int ids))

@@ -181,6 +181,157 @@ and op_link = 1
 and op_unlink = 2
 and op_create = 3
 and op_delete = 4
+and op_schema = 5
+
+(* Schema deltas: a derived rule is a closure at run time, so the log
+   stores its DDL expression source ([repr]) and decoding recompiles it
+   through {!Schema.compile_rule_repr}.  Encoding a derived attribute
+   without a source is a typed error — Db refuses to log such a change
+   in the first place (see Db's serializability check), this is the
+   backstop for snapshots of histories built without a WAL attached. *)
+
+let write_attr_def buf (def : Schema.attr_def) (repr : string option) =
+  write_string buf def.Schema.attr_name;
+  (match def.Schema.kind with
+  | Schema.Intrinsic v ->
+    Buffer.add_char buf '\000';
+    write_value buf v
+  | Schema.Derived _ -> (
+    match repr with
+    | Some src ->
+      Buffer.add_char buf '\001';
+      write_string buf src
+    | None ->
+      Errors.type_error
+        "cannot serialize schema delta: derived attribute %s carries no rule expression (declare \
+         it through the DDL front end or pass ~expr)"
+        def.Schema.attr_name));
+  match def.Schema.constraint_ with
+  | None -> Buffer.add_char buf '\000'
+  | Some c -> (
+    Buffer.add_char buf '\001';
+    write_string buf c.Schema.message;
+    match c.Schema.recovery with
+    | None -> Buffer.add_char buf '\000'
+    | Some action ->
+      Buffer.add_char buf '\001';
+      write_string buf action)
+
+let read_flag r =
+  let start = r.pos in
+  match read_byte r with
+  | 0 -> false
+  | 1 -> true
+  | b -> error start "unknown flag byte %d" b
+
+let read_attr_def r =
+  let attr_name = read_string r in
+  let kind, repr =
+    if read_flag r then begin
+      let src = read_string r in
+      (Schema.Derived (Schema.compile_rule_repr src), Some src)
+    end
+    else (Schema.Intrinsic (read_value r), None)
+  in
+  let constraint_ =
+    if read_flag r then begin
+      let message = read_string r in
+      let recovery = if read_flag r then Some (read_string r) else None in
+      Some { Schema.message; recovery }
+    end
+    else None
+  in
+  ({ Schema.attr_name; kind; constraint_ }, repr)
+
+let change_type = 0
+and change_rel = 1
+and change_export = 2
+and change_attr = 3
+and change_subtype = 4
+
+let write_schema_change buf (c : Txn.schema_change) =
+  match c with
+  | Txn.Schema_add_type { type_name } ->
+    Buffer.add_char buf (Char.chr change_type);
+    write_string buf type_name
+  | Txn.Schema_add_rel { type_name; rel } ->
+    Buffer.add_char buf (Char.chr change_rel);
+    write_string buf type_name;
+    write_string buf rel.Schema.rel_name;
+    write_string buf rel.Schema.target;
+    write_string buf rel.Schema.inverse;
+    Buffer.add_char buf (match rel.Schema.card with Schema.One -> '\000' | Schema.Multi -> '\001');
+    Buffer.add_char buf
+      (match rel.Schema.polarity with Schema.Plug -> '\000' | Schema.Socket -> '\001')
+  | Txn.Schema_add_export { type_name; rel; export; attr } ->
+    Buffer.add_char buf (Char.chr change_export);
+    write_string buf type_name;
+    write_string buf rel;
+    write_string buf export;
+    write_string buf attr
+  | Txn.Schema_add_attr { type_name; def; repr } ->
+    Buffer.add_char buf (Char.chr change_attr);
+    write_string buf type_name;
+    write_attr_def buf def repr
+  | Txn.Schema_add_subtype { def; predicate_repr; attr_reprs } ->
+    Buffer.add_char buf (Char.chr change_subtype);
+    write_string buf def.Schema.sub_name;
+    write_string buf def.Schema.parent;
+    (match predicate_repr with
+    | Some src -> write_string buf src
+    | None ->
+      Errors.type_error
+        "cannot serialize schema delta: subtype %s carries no predicate expression (declare it \
+         through the DDL front end or pass ~predicate_expr)"
+        def.Schema.sub_name);
+    write_uint buf (List.length def.Schema.extra_attrs);
+    List.iter2 (fun a repr -> write_attr_def buf a repr) def.Schema.extra_attrs attr_reprs
+
+let read_schema_change r : Txn.schema_change =
+  let start = r.pos in
+  let tag = read_byte r in
+  if tag = change_type then Txn.Schema_add_type { type_name = read_string r }
+  else if tag = change_rel then begin
+    let type_name = read_string r in
+    let rel_name = read_string r in
+    let target = read_string r in
+    let inverse = read_string r in
+    let card = if read_flag r then Schema.Multi else Schema.One in
+    let polarity = if read_flag r then Schema.Socket else Schema.Plug in
+    Txn.Schema_add_rel { type_name; rel = { Schema.rel_name; target; inverse; card; polarity } }
+  end
+  else if tag = change_export then begin
+    let type_name = read_string r in
+    let rel = read_string r in
+    let export = read_string r in
+    let attr = read_string r in
+    Txn.Schema_add_export { type_name; rel; export; attr }
+  end
+  else if tag = change_attr then begin
+    let type_name = read_string r in
+    let def, repr = read_attr_def r in
+    Txn.Schema_add_attr { type_name; def; repr }
+  end
+  else if tag = change_subtype then begin
+    let sub_name = read_string r in
+    let parent = read_string r in
+    let predicate_src = read_string r in
+    let n = read_uint r in
+    let pairs = List.init n (fun _ -> read_attr_def r) in
+    Txn.Schema_add_subtype
+      {
+        def =
+          {
+            Schema.sub_name;
+            parent;
+            predicate = Schema.compile_rule_repr predicate_src;
+            extra_attrs = List.map fst pairs;
+          };
+        predicate_repr = Some predicate_src;
+        attr_reprs = List.map snd pairs;
+      }
+  end
+  else error start "unknown schema change tag %d" tag
 
 let write_op buf (op : Txn.op) =
   match op with
@@ -214,6 +365,10 @@ let write_op buf (op : Txn.op) =
         write_string buf a;
         write_value buf v)
       intrinsics
+  | Txn.Schema { change; retract } ->
+    Buffer.add_char buf (Char.chr op_schema);
+    Buffer.add_char buf (if retract then '\001' else '\000');
+    write_schema_change buf change
 
 let read_op r : Txn.op =
   let start = r.pos in
@@ -252,6 +407,11 @@ let read_op r : Txn.op =
           (a, read_value r))
     in
     Txn.Delete { id; type_name; intrinsics }
+  end
+  else if tag = op_schema then begin
+    let retract = read_flag r in
+    let change = read_schema_change r in
+    Txn.Schema { change; retract }
   end
   else error start "unknown op tag %d" tag
 

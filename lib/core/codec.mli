@@ -51,6 +51,12 @@ val value_of_string : string -> Value.t
     are process-local; the log outlives the process), keeping each
     record self-describing and O(ops in the transaction). *)
 
+(** Schema ops store derived rules as their DDL expression source;
+    encoding raises [Errors.Type_error] when a change carries an opaque
+    closure with no source, and decoding recompiles the source through
+    {!Schema.compile_rule_repr} (typed error when no compiler is
+    registered — link the DDL front end). *)
+
 val write_op : Buffer.t -> Txn.op -> unit
 val read_op : reader -> Txn.op
 val encode_delta : Txn.delta -> string

@@ -33,6 +33,11 @@ type t = {
          database state moves across — commits, undos (inverted), redos
          and checkout steps — so a write-ahead log replays to the same
          state. *)
+  mutable baseline_schema_ops : Txn.op list;
+      (* schema deltas already folded into the code-supplied schema this
+         database was created with (loaded from a snapshot's schema
+         section, oldest first).  The database's schema version is the
+         count of these plus the schema ops on the root->head path. *)
 }
 
 let create ?block_capacity ?buffer_capacity ?strategy ?sched sch =
@@ -52,6 +57,7 @@ let create ?block_capacity ?buffer_capacity ?strategy ?sched sch =
       profiling = false;
       last_profile = None;
       commit_hook = None;
+      baseline_schema_ops = [];
     }
   in
   (* Recovery actions repair constraints through the logged primitive
@@ -104,6 +110,54 @@ let notify_hook t delta =
   match t.commit_hook with None -> () | Some f -> f delta
 
 (* ------------------------------------------------------------------ *)
+(* Schema deltas
+
+   A schema mutation is an ordinary transaction op: applying it mutates
+   the live schema and initializes fresh slots on existing instances;
+   retracting it (the inverse, reached through undo/checkout) purges the
+   engine's per-attribute bookkeeping and pops the declaration.  Because
+   deltas replay in exact reverse order, a retraction always targets the
+   newest declaration of its kind (Schema enforces this), so slot/link
+   indexes of surviving attributes never move. *)
+
+let apply_schema_change t (c : Txn.schema_change) =
+  match c with
+  | Txn.Schema_add_type { type_name } -> Schema.add_type t.sch type_name
+  | Txn.Schema_add_rel { type_name; rel } -> Schema.add_rel t.sch ~type_name rel
+  | Txn.Schema_add_export { type_name; rel; export; attr } ->
+    Schema.add_export t.sch ~type_name ~rel ~export ~attr
+  | Txn.Schema_add_attr { type_name; def; repr = _ } ->
+    Schema.add_attr t.sch ~type_name def;
+    Engine.after_attr_added t.eng ~type_name ~attr:def.Schema.attr_name
+  | Txn.Schema_add_subtype { def; _ } ->
+    Schema.add_subtype t.sch def;
+    Engine.after_attr_added t.eng ~type_name:def.Schema.parent
+      ~attr:(Schema.membership_attr def.Schema.sub_name);
+    List.iter
+      (fun (a : Schema.attr_def) ->
+        Engine.after_attr_added t.eng ~type_name:def.Schema.parent ~attr:a.Schema.attr_name)
+      def.Schema.extra_attrs
+
+let retract_schema_change t (c : Txn.schema_change) =
+  match c with
+  | Txn.Schema_add_type { type_name } -> Schema.retract_type t.sch type_name
+  | Txn.Schema_add_rel { type_name; rel } ->
+    Schema.retract_rel t.sch ~type_name rel.Schema.rel_name
+  | Txn.Schema_add_export { type_name; rel; export; attr = _ } ->
+    Schema.retract_export t.sch ~type_name ~rel ~export
+  | Txn.Schema_add_attr { type_name; def; repr = _ } ->
+    Engine.after_attr_retracted t.eng ~type_name ~attr:def.Schema.attr_name;
+    Schema.retract_attr t.sch ~type_name def.Schema.attr_name
+  | Txn.Schema_add_subtype { def; _ } ->
+    List.iter
+      (fun (a : Schema.attr_def) ->
+        Engine.after_attr_retracted t.eng ~type_name:def.Schema.parent ~attr:a.Schema.attr_name)
+      (List.rev def.Schema.extra_attrs);
+    Engine.after_attr_retracted t.eng ~type_name:def.Schema.parent
+      ~attr:(Schema.membership_attr def.Schema.sub_name);
+    Schema.retract_subtype t.sch def.Schema.sub_name
+
+(* ------------------------------------------------------------------ *)
 (* Unlogged replay (undo / redo)                                       *)
 
 let exec_forward_unlogged t op =
@@ -123,6 +177,12 @@ let exec_forward_unlogged t op =
   | Txn.Delete { id; _ } ->
     Engine.on_delete_instance t.eng id;
     Store.delete_instance t.st id
+  | Txn.Schema { change; retract } ->
+    if retract then retract_schema_change t change else apply_schema_change t change;
+    (* Strict mode re-validates the schema at every replayed version
+       (undo/redo/checkout/recovery), so a walk across a version whose
+       schema the analyzer rejects raises at that version. *)
+    if Schema.strict t.sch then Schema.refresh t.sch
 
 let undo_one_op t op =
   match op with
@@ -326,22 +386,111 @@ let subtype_members t sub_name =
   instances_of_type t def.Schema.parent |> List.filter (fun id -> in_subtype t id sub_name)
 
 (* ------------------------------------------------------------------ *)
-(* Schema extension                                                    *)
+(* Schema extension
 
-let add_attr t ~type_name def =
-  Schema.add_attr t.sch ~type_name def;
-  Engine.after_attr_added t.eng ~type_name ~attr:def.Schema.attr_name
+   Schema changes are first-class transaction deltas: each entry point
+   applies the mutation and logs a {!Txn.Schema} op in the enclosing
+   (or an automatic) transaction, so undo/redo/checkout traverse schema
+   versions in order with data deltas and an attached WAL persists
+   them. *)
 
-let add_subtype t (def : Schema.subtype_def) =
-  Schema.add_subtype t.sch def;
-  Engine.after_attr_added t.eng ~type_name:def.Schema.parent
-    ~attr:(Schema.membership_attr def.Schema.sub_name);
-  List.iter
-    (fun (a : Schema.attr_def) ->
-      Engine.after_attr_added t.eng ~type_name:def.Schema.parent ~attr:a.Schema.attr_name)
-    def.Schema.extra_attrs
+(* The name of a derived definition in [change] that carries no DDL
+   expression source, if any — such a change cannot be encoded into the
+   WAL (rules are closures at run time). *)
+let serializability_gap (change : Txn.schema_change) =
+  let derived_without_repr (def : Schema.attr_def) repr =
+    match (def.Schema.kind, repr) with
+    | Schema.Derived _, None -> Some def.Schema.attr_name
+    | _ -> None
+  in
+  match change with
+  | Txn.Schema_add_attr { type_name; def; repr } ->
+    Option.map (fun a -> type_name ^ "." ^ a) (derived_without_repr def repr)
+  | Txn.Schema_add_subtype { def; predicate_repr; attr_reprs } ->
+    if predicate_repr = None then Some ("the predicate of subtype " ^ def.Schema.sub_name)
+    else
+      List.fold_left2
+        (fun acc a repr ->
+          match acc with
+          | Some _ -> acc
+          | None -> Option.map (fun n -> def.Schema.parent ^ "." ^ n) (derived_without_repr a repr))
+        None def.Schema.extra_attrs attr_reprs
+  | Txn.Schema_add_type _ | Txn.Schema_add_rel _ | Txn.Schema_add_export _ -> None
+
+let run_schema_change t change =
+  (* Fail fast when a durability hook is attached: the hook encodes this
+     delta at commit, and Codec raising mid-hook on an opaque closure
+     would be too late.  Without a hook (in-memory databases), opaque
+     closures remain allowed. *)
+  (match t.commit_hook with
+  | None -> ()
+  | Some _ -> (
+    match serializability_gap change with
+    | None -> ()
+    | Some what ->
+      Errors.type_error
+        "cannot log schema change: %s has no serializable rule expression (declare it through \
+         the DDL front end, or pass ~expr / ~predicate_expr / ~attr_exprs)"
+        what));
+  with_auto t (fun () ->
+      apply_schema_change t change;
+      log t (Txn.Schema { change; retract = false });
+      if Schema.strict t.sch then Schema.refresh t.sch)
+
+let add_type t type_name = run_schema_change t (Txn.Schema_add_type { type_name })
+
+let add_rel t ~type_name rel = run_schema_change t (Txn.Schema_add_rel { type_name; rel })
+
+let add_export t ~type_name ~rel ~export ~attr =
+  run_schema_change t (Txn.Schema_add_export { type_name; rel; export; attr })
+
+let add_attr t ?expr ~type_name def =
+  run_schema_change t (Txn.Schema_add_attr { type_name; def; repr = expr })
+
+let add_subtype t ?predicate_expr ?(attr_exprs = []) (def : Schema.subtype_def) =
+  (* [attr_exprs] aligns positionally with [extra_attrs]; pad with None
+     so partial annotation stays legal on in-memory databases. *)
+  let rec pad reprs attrs =
+    match (reprs, attrs) with
+    | _, [] -> []
+    | [], _ :: rest -> None :: pad [] rest
+    | r :: rrest, _ :: arest -> r :: pad rrest arest
+  in
+  run_schema_change t
+    (Txn.Schema_add_subtype
+       { def; predicate_repr = predicate_expr; attr_reprs = pad attr_exprs def.Schema.extra_attrs })
 
 let register_recovery t name action = Engine.register_recovery t.eng name action
+
+(* ------------------------------------------------------------------ *)
+(* Schema versions                                                     *)
+
+let install_baseline_schema t ops =
+  if t.head <> None || in_txn t then
+    Errors.type_error "baseline schema deltas must be installed on a fresh database";
+  (* Retractions are legal here: a database recovered from a log
+     linearizes undo into forward deltas, so its path — and hence the
+     schema section of a checkpoint taken from it — can carry
+     add/retract pairs.  Replayed in order they reproduce the same
+     schema state. *)
+  List.iter
+    (function
+      | Txn.Schema { change; retract } ->
+        if retract then retract_schema_change t change else apply_schema_change t change
+      | op ->
+        Errors.type_error "baseline schema delta contains a non-schema op: %s"
+          (Format.asprintf "%a" Txn.pp_op op))
+    ops;
+  t.baseline_schema_ops <- t.baseline_schema_ops @ ops
+
+let schema_ops_on_path t =
+  let rec collect acc = function
+    | None -> acc
+    | Some n -> collect (List.filter Txn.is_schema_op n.delta.Txn.ops @ acc) n.parent
+  in
+  t.baseline_schema_ops @ collect [] t.head
+
+let schema_step_count t = List.length (schema_ops_on_path t)
 
 (* ------------------------------------------------------------------ *)
 (* Undo / redo / versions                                              *)
@@ -352,6 +501,13 @@ let delta_sizes t =
   let rec collect acc = function
     | None -> acc
     | Some n -> collect (Txn.size n.delta :: acc) n.parent
+  in
+  collect [] t.head
+
+let history t =
+  let rec collect acc = function
+    | None -> acc
+    | Some n -> collect ((n.vid, n.delta) :: acc) n.parent
   in
   collect [] t.head
 

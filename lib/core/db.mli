@@ -124,15 +124,45 @@ val in_subtype : t -> int -> string -> bool
 (** Members of a subtype among live instances of its parent type. *)
 val subtype_members : t -> string -> int list
 
-(** {1 Schema extension (dynamic, §3)} *)
+(** {1 Schema extension (dynamic, §3)}
 
-(** [add_attr t ~type_name def] extends a type while instances exist:
-    existing instances get the default (intrinsic) or an out-of-date slot
-    (derived).  Schema changes are not undoable. *)
-val add_attr : t -> type_name:string -> Schema.attr_def -> unit
+    Schema changes are {e first-class transaction deltas}: each entry
+    point applies the mutation and logs a {!Txn.Schema} op in the
+    enclosing (or an automatic) transaction, so schema versions
+    interleave with data versions in the history — undo retracts the
+    declaration, redo/checkout re-applies it, and an attached WAL
+    persists it.
 
-(** [add_subtype t def] — dynamic subtype addition. *)
-val add_subtype : t -> Schema.subtype_def -> unit
+    Derived rules are closures; to be serializable into the WAL they
+    need their DDL expression source alongside ([~expr],
+    [~predicate_expr], [~attr_exprs] — supplied automatically when
+    declaring through [Cactis_ddl.Elaborate]).  When a durability hook
+    is attached ({!set_commit_hook}), declaring a derived definition
+    {e without} its source raises [Errors.Type_error] up front; purely
+    in-memory databases accept opaque closures as before. *)
+
+(** [add_type t name] declares a fresh object class. *)
+val add_type : t -> string -> unit
+
+(** [add_rel t ~type_name rel] declares one end of a relationship (see
+    {!Schema.add_rel}). *)
+val add_rel : t -> type_name:string -> Schema.rel_def -> unit
+
+(** [add_export t ~type_name ~rel ~export ~attr] declares a transmission
+    alias (see {!Schema.add_export}). *)
+val add_export : t -> type_name:string -> rel:string -> export:string -> attr:string -> unit
+
+(** [add_attr t ?expr ~type_name def] extends a type while instances
+    exist: existing instances get the default (intrinsic) or an
+    out-of-date slot (derived).  [expr] is the DDL source of a derived
+    rule, required when a WAL is attached. *)
+val add_attr : t -> ?expr:string -> type_name:string -> Schema.attr_def -> unit
+
+(** [add_subtype t ?predicate_expr ?attr_exprs def] — dynamic subtype
+    addition.  [attr_exprs] aligns positionally with
+    [def.extra_attrs] (padded with [None] when shorter). *)
+val add_subtype :
+  t -> ?predicate_expr:string -> ?attr_exprs:string option list -> Schema.subtype_def -> unit
 
 (** {1 Constraints} *)
 
@@ -179,6 +209,34 @@ val checkout : t -> string -> unit
 
 (** Tag names with the depth of the version they name. *)
 val tags : t -> (string * int) list
+
+(** The committed deltas on the path from the initial state to the
+    current version, oldest first, with their version ids. *)
+val history : t -> (int * Txn.delta) list
+
+(** {1 Schema versions}
+
+    The database's {e schema version} is the number of schema deltas
+    folded into its current state: the baseline deltas loaded from a
+    snapshot plus the {!Txn.Schema} ops on the root→head path.
+    {!Persist} stamps this number into snapshot and WAL headers so
+    recovery can refuse a snapshot/log pair whose schema states
+    diverge. *)
+
+(** [install_baseline_schema t ops] replays a snapshot's schema-delta
+    section (oldest first — declarations and, for histories that
+    linearized an undo, retractions) onto a freshly created database
+    and records them as the baseline.
+    @raise Errors.Type_error if the database already has history, an
+    open transaction, or [ops] contains a non-schema op. *)
+val install_baseline_schema : t -> Txn.op list -> unit
+
+(** All schema ops in the current state, oldest first: the baseline,
+    then those on the root→head path. *)
+val schema_ops_on_path : t -> Txn.op list
+
+(** [List.length (schema_ops_on_path t)] — the current schema version. *)
+val schema_step_count : t -> int
 
 (** {1 Durability (see {!Persist})} *)
 

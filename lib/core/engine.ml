@@ -838,6 +838,22 @@ let after_attr_added t ~type_name ~attr =
               Hashtbl.replace t.pending_important (Symbol.pack id (Symbol.intern attr)) ())))
     (Store.instances_of_type t.store type_name)
 
+let after_attr_retracted t ~type_name ~attr =
+  (* Mirror of [after_attr_added] for schema-delta undo: drop the
+     watch/pending bookkeeping keyed on the retracted attribute so a
+     later propagate never chases a slot the layout no longer compiles.
+     The physical slot value needs no repair — undo restored it to the
+     default before the retraction (deltas replay in reverse), and a
+     re-declaration (redo) re-initializes it through
+     [after_attr_added]. *)
+  let sym = Symbol.intern attr in
+  List.iter
+    (fun id ->
+      let key = Symbol.pack id sym in
+      Hashtbl.remove t.watched key;
+      Hashtbl.remove t.pending_important key)
+    (Store.instances_of_type t.store type_name)
+
 (* ------------------------------------------------------------------ *)
 (* Reading and propagation                                             *)
 

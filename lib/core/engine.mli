@@ -72,6 +72,12 @@ val after_link_change : t -> from_id:int -> rel:string -> to_id:int -> unit
     for it (derived) or the default (intrinsic). *)
 val after_attr_added : t -> type_name:string -> attr:string -> unit
 
+(** [after_attr_retracted t ~type_name ~attr] — the attribute is being
+    retracted (schema-delta undo): drops watch/pending bookkeeping keyed
+    on it for every instance of the type, so propagation never chases a
+    slot the layout no longer compiles. *)
+val after_attr_retracted : t -> type_name:string -> attr:string -> unit
+
 (** {1 Reading and propagation} *)
 
 (** [read t ?watch id attr] returns the attribute's current value,

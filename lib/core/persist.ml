@@ -52,7 +52,12 @@ let decode_snapshot path s =
   ( Int64.to_int (String.get_int64_le s (String.length snap_magic)),
     String.sub s snap_header_len (String.length s - snap_header_len) )
 
-let snapshot_generation path = fst (decode_snapshot path (read_file path))
+(* Generation and schema version of a checkpoint file, without loading
+   it (the schema version is the count of schema deltas in the
+   snapshot's schema section — no rule compiler needed). *)
+let snapshot_versions path =
+  let generation, payload = decode_snapshot path (read_file path) in
+  (generation, Snapshot.binary_schema_version payload)
 
 let db t = t.db
 let dir t = t.dir
@@ -77,7 +82,11 @@ let checkpoint t =
      generation; recover sees the mismatch and skips those records
      instead of double-applying deltas the snapshot already contains. *)
   Wal.write_file_durable (snapshot_file t.dir) (encode_snapshot generation data);
-  Wal.reset t.wal ~generation;
+  (* The log header records the schema version at log start — the number
+     of schema deltas folded into the snapshot it follows.  Appended
+     schema deltas then move the live version past it; recovery replays
+     them on top, exactly like data deltas. *)
+  Wal.reset t.wal ~generation ~schema_version:(Db.schema_step_count t.db);
   t.generation <- generation;
   t.cp_base <- Wal.appended_bytes t.wal;
   Counters.incr (Db.counters t.db) "checkpoints";
@@ -102,12 +111,22 @@ let install_hook t =
 let attach ?(sync_every = 1) ?(auto_checkpoint = 0) ~dir db =
   ensure_dir dir;
   let sf = snapshot_file dir in
-  let snap_gen = if Sys.file_exists sf then snapshot_generation sf else 0 in
+  let snap_gen, snap_sv = if Sys.file_exists sf then snapshot_versions sf else (0, 0) in
   let existing = Wal.read (wal_file dir) in
+  (* A same-generation log whose schema version is ahead of the snapshot
+     holds schema deltas the snapshot does not know about — the snapshot
+     file was deleted or replaced with an older one.  Re-baselining over
+     it would silently destroy those deltas, so refuse (mirror of
+     recover's log-ahead generation check). *)
+  if existing.Wal.generation = snap_gen && existing.Wal.schema_version > snap_sv then
+    Errors.type_error
+      "cannot attach %s: log schema version %d is ahead of checkpoint schema version %d \
+       (checkpoint file deleted or replaced?)"
+      dir existing.Wal.schema_version snap_sv;
   let generation = max snap_gen existing.Wal.generation in
   let wal =
-    Wal.open_writer ~sync_every ~generation ~truncate_at:existing.Wal.valid_end ~obs:(Db.obs db)
-      (wal_file dir)
+    Wal.open_writer ~sync_every ~generation ~schema_version:(Db.schema_step_count db)
+      ~truncate_at:existing.Wal.valid_end ~obs:(Db.obs db) (wal_file dir)
   in
   let t =
     {
@@ -131,7 +150,7 @@ let attach ?(sync_every = 1) ?(auto_checkpoint = 0) ~dir db =
      from a directory's contents instead of overriding them.) *)
   if
     Sys.file_exists sf || existing.Wal.records <> [] || existing.Wal.torn
-    || Db.instance_ids db <> []
+    || Db.instance_ids db <> [] || Db.history db <> []
   then checkpoint t;
   install_hook t;
   t
@@ -148,8 +167,14 @@ let recover ?strategy ?sched ?block_capacity ?buffer_capacity ?(sync_every = 1)
     end
     else (0, Db.create ?strategy ?sched ?block_capacity ?buffer_capacity schema)
   in
+  (* The snapshot's schema version is the count of baseline schema
+     deltas it carried (zero for CACTISB1 snapshots and fresh dirs). *)
+  let snap_sv = Db.schema_step_count db in
   let replay_start_ns = Clock.now_ns () in
-  let { Wal.records; valid_end; torn; generation = wal_gen } = Wal.read (wal_file dir) in
+  let { Wal.records; valid_end; torn; generation = wal_gen; schema_version = wal_sv; data_start }
+      =
+    Wal.read (wal_file dir)
+  in
   if wal_gen > snap_gen then
     Errors.type_error
       "cannot recover %s: log generation %d is ahead of checkpoint generation %d (checkpoint \
@@ -159,6 +184,11 @@ let recover ?strategy ?sched ?block_capacity ?buffer_capacity ?(sync_every = 1)
      checkpoint steps: its records are already folded into the snapshot,
      so replaying them would double-apply.  Discard them and reset. *)
   let stale = wal_gen < snap_gen in
+  if (not stale) && wal_sv <> snap_sv then
+    Errors.type_error
+      "cannot recover %s: log starts at schema version %d but the checkpoint is at schema \
+       version %d (checkpoint file deleted or replaced?)"
+      dir wal_sv snap_sv;
   let records = if stale then [] else records in
   List.iter (fun record -> Db.replay_delta db (Codec.decode_delta record)) records;
   Engine.propagate (Db.engine db);
@@ -171,9 +201,10 @@ let recover ?strategy ?sched ?block_capacity ?buffer_capacity ?(sync_every = 1)
       ~args:[ ("records", Trace.I (List.length records)); ("torn", Trace.B torn) ]
       ~start_ns:replay_start_ns "recovery_replay";
   let wal =
-    Wal.open_writer ~sync_every ~generation:snap_gen ~truncate_at:valid_end ~obs (wal_file dir)
+    Wal.open_writer ~sync_every ~generation:snap_gen ~schema_version:snap_sv
+      ~truncate_at:valid_end ~obs (wal_file dir)
   in
-  if stale then Wal.reset wal ~generation:snap_gen;
+  if stale then Wal.reset wal ~generation:snap_gen ~schema_version:snap_sv;
   let t =
     {
       dir;
@@ -182,8 +213,7 @@ let recover ?strategy ?sched ?block_capacity ?buffer_capacity ?(sync_every = 1)
       sync_every;
       auto_checkpoint;
       generation = snap_gen;
-      cp_base =
-        (if stale then Wal.appended_bytes wal else -(max 0 (valid_end - Wal.header_len)));
+      cp_base = (if stale then Wal.appended_bytes wal else -(max 0 (valid_end - data_start)));
       replayed = List.length records;
       torn = torn && not stale;
       closed = false;

@@ -287,6 +287,90 @@ let add_export t ~type_name ~rel:r ~export ~attr:a =
   Hashtbl.add td.exports (r, export) a;
   bump t
 
+(* ------------------------------------------------------------------ *)
+(* Retraction (the inverse of declaration).
+
+   Undo and checkout replay deltas in exact reverse order, so a schema
+   declaration is only ever retracted while it is still the {e newest}
+   of its kind — which is why every retraction below head-checks the
+   declaration-order list (stored reversed, newest first).  Popping the
+   head keeps all surviving slot/link indexes stable: a retraction
+   followed by a re-declaration (redo) reassigns the same indexes. *)
+
+let retract_order what name order =
+  match order with
+  | n :: rest when String.equal n name -> rest
+  | _ -> Errors.type_error "cannot retract %s: it is not the most recently declared" what
+
+let retract_attr t ~type_name name =
+  let td = find_type t type_name in
+  td.attr_order <-
+    retract_order (Printf.sprintf "attribute %s.%s" type_name name) name td.attr_order;
+  Hashtbl.remove td.attr_tbl name;
+  bump t
+
+let retract_rel t ~type_name name =
+  let td = find_type t type_name in
+  td.rel_order <-
+    retract_order (Printf.sprintf "relationship %s.%s" type_name name) name td.rel_order;
+  Hashtbl.remove td.rel_tbl name;
+  bump t
+
+let retract_export t ~type_name ~rel:r ~export =
+  let td = find_type t type_name in
+  if not (Hashtbl.mem td.exports (r, export)) then
+    Errors.type_error "cannot retract transmission %s.%s: type %s does not declare it" r export
+      type_name;
+  Hashtbl.remove td.exports (r, export);
+  bump t
+
+let retract_type t name =
+  t.type_order <- retract_order ("type " ^ name) name t.type_order;
+  Hashtbl.remove t.types name;
+  (* The compiled layout must go too: [refresh_layouts] only recompiles
+     layouts of declared types, so a stale survivor would keep serving
+     lookups for a type that no longer exists.  A later re-declaration
+     (redo) allocates a fresh layout record; that is safe because
+     retraction is only reachable once every instance of the type has
+     been deleted (undo replays the instance deletions first). *)
+  Hashtbl.remove t.layouts name;
+  bump t
+
+let retract_subtype t name =
+  let def = subtype t name in
+  t.sub_order <- retract_order ("subtype " ^ name) name t.sub_order;
+  let td = find_type t def.parent in
+  td.sub_names <- retract_order ("subtype " ^ name) name td.sub_names;
+  (* Reverse of add_subtype: extra attributes (newest first), then the
+     hidden membership attribute. *)
+  List.iter
+    (fun (a : attr_def) -> retract_attr t ~type_name:def.parent a.attr_name)
+    (List.rev def.extra_attrs);
+  retract_attr t ~type_name:def.parent (membership_attr name);
+  Hashtbl.remove t.subs name;
+  bump t
+
+(* ------------------------------------------------------------------ *)
+(* Rule recompilation hook.
+
+   Derived rules are closures; the WAL stores their DDL expression
+   source instead.  The DDL front end (which the core does not depend
+   on) registers a compiler here so {!Codec} can rebuild the closure
+   when a schema delta is decoded. *)
+
+let rule_compiler : (string -> rule) option ref = ref None
+
+let set_rule_compiler f = rule_compiler := Some f
+
+let compile_rule_repr src =
+  match !rule_compiler with
+  | Some f -> f src
+  | None ->
+    Errors.type_error
+      "no rule compiler registered: cannot rebuild derived rule from %S (link the DDL front end \
+       and call Elaborate.install_rule_compiler)"
+      src
+
 let resolve_export t ~type_name ~rel:r name =
   let td = find_type t type_name in
   match Hashtbl.find_opt td.exports (r, name) with
@@ -394,10 +478,13 @@ let rel_dependents t ~type_name r =
 (* ------------------------------------------------------------------ *)
 (* Compiled layouts                                                    *)
 
-(* Slot and link indexes are {e stable}: [attr_order] / [rel_order] only
-   ever grow (there is no removal API), so a recompile after a DDL
-   change assigns every pre-existing name the same index and instances
-   only ever need to {e extend} their slot arrays, never remap them. *)
+(* Slot and link indexes are {e stable}: [attr_order] / [rel_order] grow
+   at the head and shrink only by popping the head (retraction is
+   restricted to the newest declaration, see above), so a recompile
+   after a DDL change assigns every surviving name the same index and
+   instances only ever need to {e extend} their slot arrays, never remap
+   them.  A retracted slot's index is reused by the next declaration,
+   which re-initializes it (Engine.after_attr_added). *)
 
 let empty_layout t tn =
   {
@@ -549,6 +636,8 @@ let refresh_layouts t =
         Errors.type_error "schema rejected by validator:\n%s" (String.concat "\n" msgs)
     end
   end
+
+let refresh t = refresh_layouts t
 
 let set_strict t flag =
   t.strict <- flag;

@@ -90,8 +90,10 @@ type t
     slots in flat arrays addressed by these indexes, and the engine's
     mark/evaluate traversals run entirely on ints.
 
-    Indexes are {e stable}: declaration orders only grow, so a DDL
-    change never renumbers existing slots — instances extend their
+    Indexes are {e stable}: declaration orders grow at the head and
+    shrink only by retracting the newest declaration (see
+    {!retract_attr} and friends — the shape undo needs), so a DDL
+    change never renumbers surviving slots — instances extend their
     arrays lazily and keep their layout pointer forever.  The layout
     record for a type is allocated once; its contents are recompiled in
     place when the schema version moves (checked by {!refresh_layout},
@@ -223,6 +225,48 @@ val add_subtype : t -> subtype_def -> unit
     @raise Errors.Unknown for unknown rel/attr. *)
 val add_export : t -> type_name:string -> rel:string -> export:string -> attr:string -> unit
 
+(** {1 Retraction}
+
+    Schema deltas are undoable ({!Txn.schema_change}): the inverse of a
+    declaration is a retraction.  Because undo/checkout replay deltas in
+    exact reverse order, a declaration is only ever retracted while it
+    is still the {e newest} of its kind; each retraction below enforces
+    that with a typed error, which keeps surviving slot/link indexes
+    stable.  Retracting a type requires all its instances to be gone —
+    guaranteed by the same reverse-replay discipline. *)
+
+(** @raise Errors.Type_error unless [name] is the newest declared type. *)
+val retract_type : t -> string -> unit
+
+(** @raise Errors.Type_error unless the attribute is the type's newest. *)
+val retract_attr : t -> type_name:string -> string -> unit
+
+(** @raise Errors.Type_error unless the relationship is the type's
+    newest. *)
+val retract_rel : t -> type_name:string -> string -> unit
+
+(** @raise Errors.Type_error when the transmission is not declared. *)
+val retract_export : t -> type_name:string -> rel:string -> export:string -> unit
+
+(** Retracts the subtype plus its extra attributes and hidden membership
+    attribute (reverse of {!add_subtype}).
+    @raise Errors.Type_error unless it is the newest subtype. *)
+val retract_subtype : t -> string -> unit
+
+(** {1 Rule recompilation}
+
+    Derived rules are closures; the WAL stores their DDL expression
+    source.  The DDL front end registers a compiler here
+    ([Elaborate.install_rule_compiler]) so decoded schema deltas can
+    rebuild their closures without the core depending on the parser. *)
+
+val set_rule_compiler : (string -> rule) -> unit
+
+(** [compile_rule_repr src] compiles a stored rule expression with the
+    registered compiler.
+    @raise Errors.Type_error when no compiler is registered. *)
+val compile_rule_repr : string -> rule
+
 (** [resolve_export t ~type_name ~rel name] — the attribute actually
     transmitted when [name] is requested across the transmitter's [rel];
     [name] itself when no alias is declared (direct attribute access). *)
@@ -257,6 +301,13 @@ val validate : t -> unit
 val set_strict : t -> bool -> unit
 
 val strict : t -> bool
+
+(** [refresh t] forces a layout recompile if any DDL happened since the
+    last one (a no-op otherwise).  In strict mode this re-runs the
+    registered validator — used by {!Db} to re-validate the schema at
+    every version replayed by undo/redo/checkout/recovery.
+    @raise Errors.Type_error when strict validation rejects the schema. *)
+val refresh : t -> unit
 
 (** {1 Lookup} *)
 

@@ -299,7 +299,12 @@ let load ?strategy ?sched ?block_capacity ?buffer_capacity schema text =
    Values use the Codec encoding (raw IEEE float bits, length-prefixed
    strings), so round-trips are exact without any escaping. *)
 
-let binary_magic = "CACTISB1"
+let binary_magic = "CACTISB2"
+
+(* The previous binary format: identical except there is no schema-delta
+   section between the magic and the symbol table.  Still loadable; such
+   snapshots have schema version 0 (no baseline schema deltas). *)
+let binary_magic_v1 = "CACTISB1"
 
 (* Per-layout write plan: the canonical-direction class of one link slot
    and the file refs of the type and every intrinsic slot. *)
@@ -314,9 +319,25 @@ type lay_plan = {
   pl_links : link_plan array;
 }
 
-let is_binary s =
-  String.length s >= String.length binary_magic
-  && String.equal (String.sub s 0 (String.length binary_magic)) binary_magic
+let has_magic s m =
+  String.length s >= String.length m && String.equal (String.sub s 0 (String.length m)) m
+
+let is_binary s = has_magic s binary_magic || has_magic s binary_magic_v1
+
+(* Schema version (count of baseline schema deltas) of a binary
+   snapshot, read shallowly — the section's label flag and op count are
+   decoded but the ops themselves are not, so no rule compiler is
+   needed. *)
+let binary_schema_version data =
+  if has_magic data binary_magic_v1 then 0
+  else if has_magic data binary_magic then begin
+    let r = Codec.reader ~pos:(String.length binary_magic) data in
+    let section = Codec.read_string r in
+    let sr = Codec.reader section in
+    if Codec.read_uint sr <> 0 then ignore (Codec.read_string sr);
+    Codec.read_uint sr
+  end
+  else parse_error 1 "missing %S binary snapshot magic" binary_magic
 
 let save_binary db =
   let store = Db.store db in
@@ -414,8 +435,22 @@ let save_binary db =
         plan.pl_links)
     ids;
   List.iter (fun n -> bytes := !bytes + String.length n + 6) !names;
-  let out = Buffer.create (!bytes + (!n_links * 16)) in
+  (* Schema-delta section: every schema op folded into the current state
+     (snapshot baseline plus the ops on the history path), so loading
+     replays them onto the caller's code-supplied schema before any
+     instance is decoded.  Encoding raises a typed error on derived
+     rules that carry no DDL source (they cannot be rebuilt). *)
+  let schema_section =
+    Codec.encode_delta { Txn.ops = Db.schema_ops_on_path db; label = None }
+  in
+  let out = Buffer.create (!bytes + (!n_links * 16) + String.length schema_section + 10) in
   Buffer.add_string out binary_magic;
+  Codec.write_string out schema_section;
+  (* The id-allocation counter: ids are never reused, so a history with
+     undone creates leaves holes above the live ids.  Restoring the
+     counter keeps post-restore allocation identical to a database that
+     never went through a snapshot. *)
+  Codec.write_uint out (Store.next_id store);
   Codec.write_uint out !n_names;
   List.iter (fun n -> Codec.write_string out n) (List.rev !names);
   Codec.write_uint out !n_instances;
@@ -460,6 +495,15 @@ let load_binary ?strategy ?sched ?block_capacity ?buffer_capacity schema data =
   let db = Db.create ?strategy ?sched ?block_capacity ?buffer_capacity schema in
   let store = Db.store db in
   let r = Codec.reader ~pos:(String.length binary_magic) data in
+  (* CACTISB2: replay the schema-delta section onto the caller's schema
+     before decoding instances — slots saved under an evolved schema
+     resolve only once those deltas are applied.  CACTISB1 has no such
+     section (baseline stays empty). *)
+  if not (has_magic data binary_magic_v1) then begin
+    let ops = (Codec.decode_delta (Codec.read_string r)).Txn.ops in
+    Db.install_baseline_schema db ops;
+    Store.reserve_ids store (Codec.read_uint r)
+  end;
   let n_names = Codec.read_uint r in
   let names = Array.init n_names (fun _ -> Codec.read_string r) in
   let name_of rf =

@@ -54,12 +54,20 @@ val value_of_string : string -> Value.t
 (** {1 Binary snapshots (the hot persistence path)}
 
     Same data model as the text format, encoded with {!Codec}: an
-    8-byte magic, a header symbol table writing each type/attribute/
-    relationship name once (slots then carry only varint refs — the
-    interned-symbol idea applied to disk), varint-packed instances and
-    canonical-direction links.  Several times faster to save and load
-    than the text format; the text format stays for debugging and
-    compatibility. *)
+    8-byte magic ([CACTISB2]), a schema-delta section (the encoded
+    schema ops the database had accumulated when the snapshot was
+    taken, replayed onto the caller's schema before instances decode —
+    this is the snapshot's {e schema version}), the id-allocation
+    counter (ids are never reused, even across undone creates), a
+    header symbol table
+    writing each type/attribute/relationship name once (slots then
+    carry only varint refs — the interned-symbol idea applied to
+    disk), varint-packed instances and canonical-direction links.
+    Several times faster to save and load than the text format; the
+    text format stays for debugging and compatibility.
+
+    Snapshots in the previous [CACTISB1] format (no schema-delta
+    section) still load, with an empty baseline (schema version 0). *)
 
 (** [save_binary db] serializes all live instances in binary form. *)
 val save_binary : Db.t -> string
@@ -79,6 +87,14 @@ val load_binary :
   string ->
   Db.t
 
-(** [is_binary data] — does [data] start with the binary magic?  Lets
-    tools auto-detect which loader to use. *)
+(** [is_binary data] — does [data] start with a binary magic
+    ([CACTISB2] or legacy [CACTISB1])?  Lets tools auto-detect which
+    loader to use. *)
 val is_binary : string -> bool
+
+(** [binary_schema_version data] — the number of schema deltas in the
+    snapshot's schema section (0 for [CACTISB1]), without decoding
+    instances or compiling rules.  Persistence uses this to pair a
+    checkpoint with its log's schema-version stamp.
+    @raise Parse_error when the magic is missing. *)
+val binary_schema_version : string -> int

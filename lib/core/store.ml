@@ -96,6 +96,9 @@ let create_instance t type_name =
   List.iter (fun f -> f id) t.create_observers;
   inst
 
+let next_id t = t.next_id
+let reserve_ids t n = if n > t.next_id then t.next_id <- n
+
 let recreate_instance t ~id type_name =
   if mem t id then Errors.type_error "instance %d already live" id;
   let layout = Schema.layout t.schema type_name in

@@ -43,6 +43,16 @@ val create_instance : t -> string -> Instance.t
     instance under its original id (undo of a delete). *)
 val recreate_instance : t -> id:int -> string -> Instance.t
 
+(** The id the next {!create_instance} will allocate.  Ids are never
+    reused, so histories holding undone creates leave holes; snapshots
+    record this counter so a restored database keeps allocating above
+    them. *)
+val next_id : t -> int
+
+(** [reserve_ids t n] raises the allocation counter to at least [n]
+    (snapshot restore). *)
+val reserve_ids : t -> int -> unit
+
 (** @raise Errors.Unknown for dead or absent ids. *)
 val get : t -> int -> Instance.t
 

@@ -1,9 +1,21 @@
+type schema_change =
+  | Schema_add_type of { type_name : string }
+  | Schema_add_rel of { type_name : string; rel : Schema.rel_def }
+  | Schema_add_export of { type_name : string; rel : string; export : string; attr : string }
+  | Schema_add_attr of { type_name : string; def : Schema.attr_def; repr : string option }
+  | Schema_add_subtype of {
+      def : Schema.subtype_def;
+      predicate_repr : string option;
+      attr_reprs : string option list;
+    }
+
 type op =
   | Set_intrinsic of { id : int; attr : string; old_value : Value.t; new_value : Value.t }
   | Link of { from_id : int; rel : string; to_id : int }
   | Unlink of { from_id : int; rel : string; to_id : int }
   | Create of { id : int; type_name : string }
   | Delete of { id : int; type_name : string; intrinsics : (string * Value.t) list }
+  | Schema of { change : schema_change; retract : bool }
 
 type delta = {
   ops : op list;
@@ -21,10 +33,26 @@ let inverse_op = function
        restored by the surrounding replay (see Db.apply_inverse), which
        has access to the recorded snapshot. *)
     Create { id; type_name }
+  | Schema { change; retract } -> Schema { change; retract = not retract }
 
 let inverse d = { ops = List.rev_map inverse_op d.ops; label = d.label }
 
 let size d = List.length d.ops
+
+let is_schema_op = function Schema _ -> true | _ -> false
+
+let pp_schema_change fmt = function
+  | Schema_add_type { type_name } -> Format.fprintf fmt "type %s" type_name
+  | Schema_add_rel { type_name; rel } ->
+    Format.fprintf fmt "rel %s.%s -> %s" type_name rel.Schema.rel_name rel.Schema.target
+  | Schema_add_export { type_name; rel; export; attr } ->
+    Format.fprintf fmt "transmit %s.%s.%s = %s" type_name rel export attr
+  | Schema_add_attr { type_name; def; _ } ->
+    Format.fprintf fmt "%s %s.%s"
+      (match def.Schema.kind with Schema.Intrinsic _ -> "attr" | Schema.Derived _ -> "rule")
+      type_name def.Schema.attr_name
+  | Schema_add_subtype { def; _ } ->
+    Format.fprintf fmt "subtype %s of %s" def.Schema.sub_name def.Schema.parent
 
 let pp_op fmt = function
   | Set_intrinsic { id; attr; old_value; new_value } ->
@@ -34,6 +62,8 @@ let pp_op fmt = function
   | Create { id; type_name } -> Format.fprintf fmt "create %d : %s" id type_name
   | Delete { id; type_name; intrinsics } ->
     Format.fprintf fmt "delete %d : %s (%d intrinsics)" id type_name (List.length intrinsics)
+  | Schema { change; retract } ->
+    Format.fprintf fmt "schema %s %a" (if retract then "retract" else "add") pp_schema_change change
 
 let pp fmt d =
   Format.fprintf fmt "@[<v>delta%s (%d ops):@,%a@]"

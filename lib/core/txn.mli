@@ -10,6 +10,24 @@
     created/deleted); derived consequences are re-derived by the engine
     after the inverse operations are replayed. *)
 
+(** A schema mutation, carried inside a transaction delta with enough
+    detail to replay {e and} invert it.  Derived rules and subtype
+    predicates are closures at run time; the optional [repr]/[*_repr]
+    fields hold their DDL expression source so the change can be
+    serialized to the WAL and recompiled on recovery
+    (see {!Schema.compile_rule_repr}).  [attr_reprs] is positionally
+    aligned with [def.extra_attrs]. *)
+type schema_change =
+  | Schema_add_type of { type_name : string }
+  | Schema_add_rel of { type_name : string; rel : Schema.rel_def }
+  | Schema_add_export of { type_name : string; rel : string; export : string; attr : string }
+  | Schema_add_attr of { type_name : string; def : Schema.attr_def; repr : string option }
+  | Schema_add_subtype of {
+      def : Schema.subtype_def;
+      predicate_repr : string option;
+      attr_reprs : string option list;
+    }
+
 type op =
   | Set_intrinsic of { id : int; attr : string; old_value : Value.t; new_value : Value.t }
   | Link of { from_id : int; rel : string; to_id : int }
@@ -17,6 +35,10 @@ type op =
   | Create of { id : int; type_name : string }
   | Delete of { id : int; type_name : string; intrinsics : (string * Value.t) list }
       (** all links are guaranteed broken (and logged) before deletion *)
+  | Schema of { change : schema_change; retract : bool }
+      (** slot-layout extension is append-only, so the inverse of a
+          declaration is a retraction of that declaration (the newest
+          one of its kind), not a repack *)
 
 (** A committed transaction's log, oldest op first. *)
 type delta = {
@@ -34,5 +56,10 @@ val inverse : delta -> delta
 (** Number of primitive ops — the paper's "size of the delta". *)
 val size : delta -> int
 
+(** [is_schema_op op] — true for {!Schema} ops (used to count schema
+    versions along a history path). *)
+val is_schema_op : op -> bool
+
+val pp_schema_change : Format.formatter -> schema_change -> unit
 val pp_op : Format.formatter -> op -> unit
 val pp : Format.formatter -> delta -> unit

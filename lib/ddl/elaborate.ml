@@ -220,27 +220,102 @@ let schema ?(typecheck = true) ?(analyze = true) items =
 
 let load_string ?typecheck ?analyze src = schema ?typecheck ?analyze (Parser.parse_schema src)
 
+(* The compiler the core uses to turn a logged rule expression back
+   into a closure: schema deltas store derived rules as DDL expression
+   text, and decoding one (WAL recovery, snapshot load) recompiles it
+   here.  Parse failures surface as typed errors — a corrupt repr is a
+   data problem, not a parser crash. *)
+let install_rule_compiler () =
+  Schema.set_rule_compiler (fun src ->
+      match Parser.parse_expr src with
+      | expr -> compile_rule expr
+      | exception Parser.Error { line; col; message } ->
+        Errors.type_error "cannot recompile logged rule expression %S: %d:%d: %s" src line col
+          message)
+
+let () = install_rule_compiler ()
+
 let extend_db db src =
+  (* The module initializer above already registered the compiler, but
+     linkers may drop a module nobody references — entry points that
+     need recompilation re-register explicitly. *)
+  install_rule_compiler ();
   let items = Parser.parse_schema src in
-  let sch = Cactis.Db.schema db in
-  (* New classes have no instances yet, so elaborating them into the live
-     schema is enough; subtypes of existing classes must additionally
-     install slots on live instances, which Db.add_subtype handles.
-     (Adding relationships or attributes to an existing class goes
-     through Db.add_attr / Schema.add_rel directly: the DDL's class
-     syntax declares whole classes, and redeclaration is rejected.) *)
-  extend sch
-    (List.filter (function Ast.Subtype _ -> false | Ast.Class _ -> true) items);
-  List.iter
-    (function
-      | Ast.Class _ -> ()
-      | Ast.Subtype su ->
-        Cactis.Db.add_subtype db
-          {
-            Schema.sub_name = su.Ast.su_name;
-            parent = su.Ast.su_parent;
-            predicate = compile_rule su.Ast.su_predicate;
-            extra_attrs =
-              List.map elaborate_attr su.Ast.su_attrs @ List.map elaborate_rule su.Ast.su_rules;
-          })
-    items
+  let classes = List.filter_map (function Ast.Class c -> Some c | Ast.Subtype _ -> None) items in
+  let subtypes = List.filter_map (function Ast.Subtype s -> Some s | Ast.Class _ -> None) items in
+  (* Every declaration goes through the logged Db entry points so the
+     whole extension lands in ONE transaction delta: undo retracts the
+     extension atomically, and recovery replays it interleaved with the
+     data deltas around it.  Derived members carry their expression
+     text so the delta can be serialized. *)
+  let run f = if Cactis.Db.in_txn db then f () else Cactis.Db.with_txn db f in
+  run (fun () ->
+      (* Pass 1: declare all class names so relationships can target
+         forward references. *)
+      List.iter (fun (cl : Ast.class_def) -> Cactis.Db.add_type db cl.Ast.cl_name) classes;
+      (* Pass 2: relationships. *)
+      List.iter
+        (fun (cl : Ast.class_def) ->
+          List.iter
+            (fun (rd : Ast.rel_decl) ->
+              Cactis.Db.add_rel db ~type_name:cl.Ast.cl_name
+                {
+                  Schema.rel_name = rd.rd_name;
+                  target = rd.rd_target;
+                  inverse = rd.rd_inverse;
+                  card = (match rd.rd_card with `One -> Schema.One | `Multi -> Schema.Multi);
+                  polarity =
+                    (match rd.rd_polarity with `Plug -> Schema.Plug | `Socket -> Schema.Socket);
+                })
+            cl.Ast.cl_rels)
+        classes;
+      check_inverses (Cactis.Db.schema db) items;
+      (* Pass 3: attributes, rules, constraints. *)
+      List.iter
+        (fun (cl : Ast.class_def) ->
+          let tn = cl.Ast.cl_name in
+          List.iter
+            (fun d -> Cactis.Db.add_attr db ~type_name:tn (elaborate_attr d))
+            cl.Ast.cl_attrs;
+          List.iter
+            (fun (d : Ast.rule_decl) ->
+              Cactis.Db.add_attr db ~expr:(Pretty.expr_to_string d.ru_expr) ~type_name:tn
+                (elaborate_rule d))
+            cl.Ast.cl_rules;
+          List.iter
+            (fun (d : Ast.constraint_decl) ->
+              Cactis.Db.add_attr db ~expr:(Pretty.expr_to_string d.cd_expr) ~type_name:tn
+                (elaborate_constraint d))
+            cl.Ast.cl_constraints)
+        classes;
+      (* Pass 3b: transmission aliases (attributes now exist). *)
+      List.iter
+        (fun (cl : Ast.class_def) ->
+          List.iter
+            (fun (d : Ast.transmit_decl) ->
+              Cactis.Db.add_export db ~type_name:cl.Ast.cl_name ~rel:d.tr_rel ~export:d.tr_export
+                ~attr:d.tr_attr)
+            cl.Ast.cl_transmits)
+        classes;
+      (* Pass 4: subtypes.  [attr_exprs] aligns positionally with
+         [extra_attrs]: intrinsics carry their value in the delta (no
+         expression), rules carry their source text. *)
+      List.iter
+        (fun (su : Ast.subtype_def) ->
+          let attr_exprs =
+            List.map (fun (_ : Ast.attr_decl) -> None) su.Ast.su_attrs
+            @ List.map
+                (fun (d : Ast.rule_decl) -> Some (Pretty.expr_to_string d.ru_expr))
+                su.Ast.su_rules
+          in
+          Cactis.Db.add_subtype db
+            ~predicate_expr:(Pretty.expr_to_string su.Ast.su_predicate)
+            ~attr_exprs
+            {
+              Schema.sub_name = su.Ast.su_name;
+              parent = su.Ast.su_parent;
+              predicate = compile_rule su.Ast.su_predicate;
+              extra_attrs =
+                List.map elaborate_attr su.Ast.su_attrs @ List.map elaborate_rule su.Ast.su_rules;
+            })
+        subtypes)

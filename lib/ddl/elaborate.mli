@@ -44,11 +44,25 @@ val schema : ?typecheck:bool -> ?analyze:bool -> Ast.schema -> Cactis.Schema.t
 (** [load_string src] parses and elaborates (same checks as {!schema}). *)
 val load_string : ?typecheck:bool -> ?analyze:bool -> string -> Cactis.Schema.t
 
-(** [extend_db db src] parses [src] and extends a live database's schema,
-    installing new attributes on existing instances.  Runs neither the
-    typechecker nor the analyzer: incremental items lack the context of
-    the already-live schema (subtype parents, relationship targets), so
-    whole-schema vetting would reject valid extensions — put the live
-    schema in strict mode ({!Cactis.Schema.set_strict}) to re-validate
-    after each extension instead. *)
+(** [install_rule_compiler ()] registers this module's expression
+    compiler as the core's rule-repr compiler
+    ({!Cactis.Schema.set_rule_compiler}): decoding a logged schema
+    delta (WAL recovery, snapshot load) recompiles its derived-rule
+    expression text through the DDL parser.  Runs automatically when
+    this module is linked; call it explicitly before
+    {!Cactis.Persist.recover} in programs that never touch the DDL
+    otherwise. *)
+val install_rule_compiler : unit -> unit
+
+(** [extend_db db src] parses [src] and extends a live database's
+    schema through the {e logged} entry points ({!Cactis.Db.add_type},
+    [add_rel], [add_attr], [add_subtype], …): the whole extension lands
+    in one transaction delta — undoable, WAL-replayable — with derived
+    rules carried as expression text.  New attributes are installed on
+    existing instances.  Runs neither the typechecker nor the analyzer:
+    incremental items lack the context of the already-live schema
+    (subtype parents, relationship targets), so whole-schema vetting
+    would reject valid extensions — put the live schema in strict mode
+    ({!Cactis.Schema.set_strict}) to re-validate after each extension
+    instead. *)
 val extend_db : Cactis.Db.t -> string -> unit

@@ -19,13 +19,20 @@
    from the first bad frame on is discarded, so recovery lands on the
    last durably completed append. *)
 
-let magic = "CWAL2\n"
-let header_len = String.length magic + 8
+let magic = "CWAL3\n"
+let header_len = String.length magic + 16
 
-let header generation =
+(* The previous format: same framing, but the header carried only the
+   generation (no schema version).  Still readable — old logs recover
+   byte-identically, reporting schema version 0. *)
+let magic_v2 = "CWAL2\n"
+let header_len_v2 = String.length magic_v2 + 8
+
+let header ~generation ~schema_version =
   let b = Bytes.create header_len in
   Bytes.blit_string magic 0 b 0 (String.length magic);
   Bytes.set_int64_le b (String.length magic) (Int64.of_int generation);
+  Bytes.set_int64_le b (String.length magic + 8) (Int64.of_int schema_version);
   Bytes.to_string b
 
 (* Make a directory-entry change (create, rename) itself durable.
@@ -71,6 +78,8 @@ type read_result = {
   valid_end : int;  (** byte offset where the intact prefix ends *)
   torn : bool;  (** true if trailing bytes were discarded *)
   generation : int;  (** checkpoint generation from the header (0 if unreadable) *)
+  schema_version : int;  (** schema version at log start (0 for CWAL2 / unreadable) *)
+  data_start : int;  (** offset of the first record frame = header length of the format read *)
 }
 
 let read_file path =
@@ -82,17 +91,32 @@ let read_file path =
 let u32_le s pos =
   Int32.to_int (String.get_int32_le s pos) land 0xFFFFFFFF
 
+let has_magic s m = String.length s >= String.length m && String.equal (String.sub s 0 (String.length m)) m
+
 let read path =
-  if not (Sys.file_exists path) then { records = []; valid_end = 0; torn = false; generation = 0 }
+  if not (Sys.file_exists path) then
+    { records = []; valid_end = 0; torn = false; generation = 0; schema_version = 0;
+      data_start = header_len }
   else begin
     let s = read_file path in
     let len = String.length s in
-    if len < header_len || not (String.equal (String.sub s 0 (String.length magic)) magic) then
-      { records = []; valid_end = 0; torn = len > 0; generation = 0 }
-    else begin
-      let generation = Int64.to_int (String.get_int64_le s (String.length magic)) in
+    let hdr =
+      if len >= header_len && has_magic s magic then
+        Some
+          ( Int64.to_int (String.get_int64_le s (String.length magic)),
+            Int64.to_int (String.get_int64_le s (String.length magic + 8)),
+            header_len )
+      else if len >= header_len_v2 && has_magic s magic_v2 then
+        Some (Int64.to_int (String.get_int64_le s (String.length magic_v2)), 0, header_len_v2)
+      else None
+    in
+    match hdr with
+    | None ->
+      { records = []; valid_end = 0; torn = len > 0; generation = 0; schema_version = 0;
+        data_start = header_len }
+    | Some (generation, schema_version, data_start) ->
       let records = ref [] in
-      let pos = ref header_len in
+      let pos = ref data_start in
       let torn = ref false in
       let continue = ref true in
       while !continue do
@@ -121,8 +145,14 @@ let read path =
           end
         end
       done;
-      { records = List.rev !records; valid_end = !pos; torn = !torn; generation }
-    end
+      {
+        records = List.rev !records;
+        valid_end = !pos;
+        torn = !torn;
+        generation;
+        schema_version;
+        data_start;
+      }
   end
 
 (* ------------------------------------------------------------------ *)
@@ -146,7 +176,7 @@ let fsync w =
       flush w.oc;
       Unix.fsync w.fd)
 
-let open_writer ?(sync_every = 1) ?(generation = 0) ?truncate_at ?obs path =
+let open_writer ?(sync_every = 1) ?(generation = 0) ?(schema_version = 0) ?truncate_at ?obs path =
   (* Without a caller-supplied observability context, appends/fsyncs are
      still timed — into a private, never-read registry (negligible cost
      next to the I/O being measured). *)
@@ -176,7 +206,7 @@ let open_writer ?(sync_every = 1) ?(generation = 0) ?truncate_at ?obs path =
     }
   in
   if fresh || Unix.lseek fd 0 Unix.SEEK_CUR = 0 then begin
-    output_string oc (header generation);
+    output_string oc (header ~generation ~schema_version);
     fsync w;
     fsync_dir (Filename.dirname path)
   end;
@@ -213,11 +243,11 @@ let sync w =
    crash mid-reset leaves a short/empty file, which [read] reports as
    generation 0 — older than any real checkpoint, so recovery treats it
    the same as an un-reset stale log. *)
-let reset w ~generation =
+let reset w ~generation ~schema_version =
   flush w.oc;
   Unix.ftruncate w.fd 0;
   seek_out w.oc 0;
-  output_string w.oc (header generation);
+  output_string w.oc (header ~generation ~schema_version);
   flush w.oc;
   Unix.fsync w.fd;
   w.pending <- 0

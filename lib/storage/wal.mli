@@ -4,10 +4,14 @@
     records; this module guarantees that after a crash the intact prefix
     of records can be identified exactly.  Each record is framed as
     [[u32 LE length][u32 LE CRC-32][payload]] after a fixed file header
-    (magic plus a u64 LE checkpoint {e generation}, linking the log to
-    the snapshot its records follow); {!read} stops at the first torn or
-    corrupt frame and reports where the durable prefix ends, so recovery
-    can truncate the tail and land on the last completed append.
+    ([CWAL3] magic plus a u64 LE checkpoint {e generation} linking the
+    log to the snapshot its records follow, plus a u64 LE
+    {e schema version} — the number of schema deltas folded into that
+    snapshot); {!read} stops at the first torn or corrupt frame and
+    reports where the durable prefix ends, so recovery can truncate the
+    tail and land on the last completed append.  Logs written by the
+    previous [CWAL2] format (no schema version field) are still read,
+    reporting schema version 0.
 
     Durability is batched ({e group commit}): a writer fsyncs after every
     [sync_every] appends (default 1 = every append durable immediately;
@@ -20,30 +24,40 @@ type read_result = {
   valid_end : int;  (** byte offset where the intact prefix ends *)
   torn : bool;  (** true if trailing bytes were discarded *)
   generation : int;  (** checkpoint generation from the header (0 if unreadable) *)
+  schema_version : int;
+      (** schema version stamped at log start (0 for CWAL2 logs and
+          unreadable headers) *)
+  data_start : int;
+      (** offset of the first record frame — the header length of the
+          format actually read (CWAL2 headers are shorter) *)
 }
 
-(** [read path] scans the log.  A missing file reads as empty; a file
-    with a bad header reads as empty-and-torn with generation 0. *)
+(** [read path] scans the log (current [CWAL3] or legacy [CWAL2]
+    format).  A missing file reads as empty; a file with a bad header
+    reads as empty-and-torn with generation 0. *)
 val read : string -> read_result
 
-(** Size in bytes of the file header (magic + generation). *)
+(** Size in bytes of the current-format file header
+    (magic + generation + schema version).  For the header length of a
+    specific file, use {!read}'s [data_start]. *)
 val header_len : int
 
 (** {1 Writing} *)
 
 type writer
 
-(** [open_writer ?sync_every ?generation ?truncate_at ?obs path] opens
-    (creating if needed) a log for appending.  [truncate_at] drops a
-    torn tail identified by {!read} before the first append;
-    [generation] (default 0) is stamped into the header when one is
-    freshly written (an existing intact header is left untouched — use
-    {!reset} to restamp).  [obs] receives per-append and per-fsync
-    latency histograms ([wal_append], [wal_fsync]) and trace spans when
-    its tracer is enabled. *)
+(** [open_writer ?sync_every ?generation ?schema_version ?truncate_at
+    ?obs path] opens (creating if needed) a log for appending.
+    [truncate_at] drops a torn tail identified by {!read} before the
+    first append; [generation] and [schema_version] (default 0) are
+    stamped into the header when one is freshly written (an existing
+    intact header is left untouched — use {!reset} to restamp).  [obs]
+    receives per-append and per-fsync latency histograms ([wal_append],
+    [wal_fsync]) and trace spans when its tracer is enabled. *)
 val open_writer :
   ?sync_every:int ->
   ?generation:int ->
+  ?schema_version:int ->
   ?truncate_at:int ->
   ?obs:Cactis_obs.Ctx.t ->
   string ->
@@ -56,10 +70,10 @@ val append : writer -> string -> unit
 (** Flush and fsync everything appended so far. *)
 val sync : writer -> unit
 
-(** [reset w ~generation] truncates back to an empty log (checkpoint
-    made the records redundant), restamps the header with the
-    checkpoint's generation, and fsyncs. *)
-val reset : writer -> generation:int -> unit
+(** [reset w ~generation ~schema_version] truncates back to an empty
+    log (checkpoint made the records redundant), restamps the header
+    with the checkpoint's generation and schema version, and fsyncs. *)
+val reset : writer -> generation:int -> schema_version:int -> unit
 
 val close : writer -> unit
 val path : writer -> string

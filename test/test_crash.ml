@@ -325,6 +325,115 @@ let test_wal_ahead_of_snapshot_rejected () =
   | exception Cactis.Errors.Type_error _ -> ());
   rm_rf dir
 
+(* ---- schema deltas interleaved with data deltas ---- *)
+
+let parse_rule src = Cactis_ddl.Elaborate.compile_rule (Cactis_ddl.Parser.parse_expr src)
+
+(* Observable-state fingerprint: intrinsic data (text snapshot) plus the
+   schema's description.  Binary snapshot bytes are no good here — a
+   replayed history linearizes undo/redo into fresh deltas, so the two
+   sides carry different (but observably equivalent) schema-op paths. *)
+let fingerprint db = Snapshot.save db ^ "\n--schema--\n" ^ Schema.describe (Db.schema db)
+
+(* A history interleaving data commits with logged schema deltas:
+   intrinsic and derived add_attr, a subtype added in the same
+   transaction as a data op, and an undo/redo pair over the
+   schema-bearing delta (so the log also holds retraction records). *)
+let build_schema_history dir =
+  Cactis_ddl.Elaborate.install_rule_compiler ();
+  let db = Db.create (node_schema ()) in
+  let p = Persist.attach ~sync_every:1 ~dir db in
+  let states = ref [ fingerprint db ] in
+  let frame_bytes = ref [ 0 ] in
+  let mark () =
+    states := fingerprint db :: !states;
+    frame_bytes := Persist.wal_bytes p :: !frame_bytes
+  in
+  let a =
+    Db.with_txn db (fun () ->
+        let a = Db.create_instance db "node" in
+        Db.set db a "v" (Value.Int 3);
+        a)
+  in
+  mark ();
+  Db.add_attr db ~type_name:"node" (Rule.intrinsic "w" (Value.Int 1));
+  mark ();
+  Db.with_txn db (fun () -> Db.set db a "w" (Value.Int 8));
+  mark ();
+  Db.add_attr db ~expr:"v + w" ~type_name:"node" (Rule.derived "dv" (parse_rule "v + w"));
+  mark ();
+  Db.with_txn db (fun () ->
+      let b = Db.create_instance db "node" in
+      Db.link db ~from_id:a ~rel:"deps" ~to_id:b);
+  mark ();
+  (* Schema and data change in ONE transaction: a torn frame must drop
+     both, an intact one must apply both. *)
+  Db.with_txn db (fun () ->
+      Db.add_subtype db ~predicate_expr:"v > 0" ~attr_exprs:[ None ]
+        {
+          Schema.sub_name = "hot";
+          parent = "node";
+          predicate = parse_rule "v > 0";
+          extra_attrs = [ Rule.intrinsic "heat" (Value.Int 2) ];
+        };
+      Db.set db a "v" (Value.Int 5));
+  mark ();
+  (* Undo appends the inverse delta — a schema *retraction* record in
+     the log; redo re-appends the forward delta. *)
+  Db.undo_last db;
+  mark ();
+  Db.redo db;
+  mark ();
+  Persist.close p;
+  let wal = read_file (Filename.concat dir "wal.log") in
+  let total = List.hd !frame_bytes in
+  let header = String.length wal - total in
+  let offsets = List.rev_map (fun b -> header + b) !frame_bytes in
+  (wal, Array.of_list offsets, Array.of_list (List.rev !states))
+
+let recover_fingerprint dir wal_bytes =
+  let d2 = temp_dir () in
+  write_file (Filename.concat d2 "wal.log") wal_bytes;
+  let sf = Filename.concat dir "snapshot.bin" in
+  if Sys.file_exists sf then
+    Wal.write_file_durable (Filename.concat d2 "snapshot.bin") (read_file sf);
+  let p = Persist.recover ~dir:d2 (node_schema ()) in
+  let state = fingerprint (Persist.db p) in
+  let replayed = Persist.replayed p in
+  Persist.close p;
+  rm_rf d2;
+  (state, replayed)
+
+let test_schema_truncate_every_offset () =
+  let dir = temp_dir () in
+  let wal, offsets, states = build_schema_history dir in
+  for t = 0 to String.length wal do
+    let state, replayed = recover_fingerprint dir (String.sub wal 0 t) in
+    let e = expected_state offsets t in
+    Alcotest.(check int) (Printf.sprintf "cut at %d: deltas replayed" t) e replayed;
+    Alcotest.(check bool)
+      (Printf.sprintf "cut at %d: schema delta fully applied or fully dropped" t)
+      true
+      (String.equal state states.(e))
+  done;
+  rm_rf dir
+
+let test_schema_corrupt_every_offset () =
+  let dir = temp_dir () in
+  let wal, offsets, states = build_schema_history dir in
+  for c = offsets.(0) to String.length wal - 1 do
+    let mutated = Bytes.of_string wal in
+    Bytes.set mutated c (Char.chr (Char.code (Bytes.get mutated c) lxor 0x40));
+    let state, replayed = recover_fingerprint dir (Bytes.to_string mutated) in
+    let e = expected_state offsets c in
+    Alcotest.(check int) (Printf.sprintf "flip at %d: deltas replayed" c) e replayed;
+    Alcotest.(check bool)
+      (Printf.sprintf "flip at %d: schema delta fully applied or fully dropped" c)
+      true
+      (String.equal state states.(e))
+  done;
+  rm_rf dir
+
 let () =
   Alcotest.run "cactis-crash"
     [
@@ -340,5 +449,12 @@ let () =
             test_attach_resets_foreign_wal;
           Alcotest.test_case "log ahead of checkpoint rejected" `Quick
             test_wal_ahead_of_snapshot_rejected;
+        ] );
+      ( "schema deltas",
+        [
+          Alcotest.test_case "truncate at every offset (interleaved schema)" `Quick
+            test_schema_truncate_every_offset;
+          Alcotest.test_case "corrupt at every offset (interleaved schema)" `Quick
+            test_schema_corrupt_every_offset;
         ] );
     ]

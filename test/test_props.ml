@@ -192,10 +192,12 @@ let prop_compiled_layout_oracle =
       let db = Db.create (rich_schema ()) in
       apply_ops db setup;
       (* DDL while instances exist: the new attr must get a fresh slot in
-         every live instance's (already compiled) layout. *)
+         every live instance's (already compiled) layout.  add_attr is a
+         logged schema delta now, so keep undo out of the follow-up batch
+         — it would retract the attribute this property reads. *)
       Db.add_attr db ~type_name:"node"
         (Rule.derived "boosted" (Rule.map2 "total" "weight" Value.add));
-      apply_ops db more;
+      apply_ops ~allow_undo:false db more;
       let ok attr id =
         Value.equal (Db.get db ~watch:false id attr) (Engine.oracle_value (Db.engine db) id attr)
       in

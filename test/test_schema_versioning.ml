@@ -1,0 +1,538 @@
+(* Schema versioning: schema changes are first-class, WAL-logged,
+   undoable transaction deltas.
+
+   - QCheck property: a random interleaving of data commits, schema
+     changes (intrinsic/derived add_attr, add_subtype), undo/redo and
+     checkpoint/close/recover round-trips ends observably identical to
+     the same interleaving run in memory with no persistence at all.
+   - Regression: checkout to a version predating an add_attr must not
+     expose the attribute; moving forward again (checkout/redo)
+     restores it — checked through Explain and strict-mode validation.
+   - Typed-error rejections: Persist.attach and Persist.recover refuse
+     a WAL whose schema version disagrees with the checkpoint's.
+   - Format compatibility: a committed CWAL2-era fixture log recovers
+     under the CWAL3 reader with exactly the recorded counters/values
+     (test/fixtures/cwal2). *)
+
+module Value = Cactis.Value
+module Db = Cactis.Db
+module Schema = Cactis.Schema
+module Rule = Cactis.Rule
+module Errors = Cactis.Errors
+module Snapshot = Cactis.Snapshot
+module Persist = Cactis.Persist
+module Explain = Cactis.Explain
+module Wal = Cactis_storage.Wal
+module Rng = Cactis_util.Rng
+module G = Gen_schemas
+
+let parse_rule src = Cactis_ddl.Elaborate.compile_rule (Cactis_ddl.Parser.parse_expr src)
+let () = Cactis_ddl.Elaborate.install_rule_compiler ()
+
+(* Scratch dirs live in dune's per-test sandbox. *)
+let tmp_seq = ref 0
+
+let temp_dir () =
+  incr tmp_seq;
+  let dir = Printf.sprintf "schema_ver_scratch_%d" !tmp_seq in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  dir
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Property: persisted interleavings match the in-memory run            *)
+
+type action =
+  | Create of int  (* class index *)
+  | SetA of int * int * int  (* instance index, intrinsic index, value *)
+  | LinkDown of int * int  (* older instance index -> newer, same class *)
+  | AddIntr of int * int  (* class, name counter *)
+  | AddRule of int * int * int  (* class, name counter, constant *)
+  | AddSub of int * int * int  (* class, name counter, threshold *)
+  | Undo
+  | Redo
+  | Roundtrip of bool  (* checkpoint before close+recover? *)
+
+let cname c = Printf.sprintf "k%d" c
+
+(* Deterministic action sequence from a seed.  Book-keeping here only
+   approximates the run (undo makes the simulated counts drift), but it
+   is the SAME approximation for both runs — execution guards the rest
+   symmetrically.  Undo/redo stop once a Roundtrip has happened: a
+   recovered database linearizes undo into forward deltas, so its undo
+   depth legitimately differs from the uninterrupted run's. *)
+let gen_actions rng (cfg : G.cfg) n =
+  let sim_classes = ref [] in
+  let sim_count = ref 0 in
+  let sim_pos = ref 0 in
+  let sim_redo = ref 0 in
+  let roundtripped = ref false in
+  let ctr = ref 0 in
+  let commit () =
+    incr sim_pos;
+    sim_redo := 0
+  in
+  let acts = ref [] in
+  for _ = 1 to n do
+    let pick = Rng.int rng 100 in
+    let act =
+      if pick < 28 || !sim_count = 0 then begin
+        let c = Rng.int rng cfg.G.classes in
+        sim_classes := c :: !sim_classes;
+        incr sim_count;
+        commit ();
+        Create c
+      end
+      else if pick < 52 then begin
+        commit ();
+        SetA (Rng.int rng !sim_count, Rng.int rng cfg.G.intrinsics, Rng.int rng 50)
+      end
+      else if pick < 62 then begin
+        (* down points old -> new within one class: data graph stays
+           acyclic, so the generated cross-instance rules terminate. *)
+        let arr = Array.of_list (List.rev !sim_classes) in
+        let pairs = ref [] in
+        Array.iteri
+          (fun i ci ->
+            Array.iteri (fun j cj -> if j > i && ci = cj then pairs := (i, j) :: !pairs) arr)
+          arr;
+        commit ();
+        match !pairs with
+        | [] -> SetA (Rng.int rng !sim_count, 0, Rng.int rng 50)
+        | l ->
+          let i, j = Rng.pick_list rng l in
+          LinkDown (i, j)
+      end
+      else if pick < 70 then begin
+        incr ctr;
+        commit ();
+        AddIntr (Rng.int rng cfg.G.classes, !ctr)
+      end
+      else if pick < 78 then begin
+        incr ctr;
+        commit ();
+        AddRule (Rng.int rng cfg.G.classes, !ctr, Rng.int rng 10)
+      end
+      else if pick < 84 then begin
+        incr ctr;
+        commit ();
+        AddSub (Rng.int rng cfg.G.classes, !ctr, Rng.int rng 20)
+      end
+      else if pick < 91 && (not !roundtripped) && !sim_pos > 0 then begin
+        decr sim_pos;
+        incr sim_redo;
+        Undo
+      end
+      else if pick < 95 && (not !roundtripped) && !sim_redo > 0 then begin
+        incr sim_pos;
+        decr sim_redo;
+        Redo
+      end
+      else begin
+        roundtripped := true;
+        Roundtrip (Rng.bool rng)
+      end
+    in
+    acts := act :: !acts
+  done;
+  List.rev !acts
+
+(* Execute one action against [db].  Returns an error string when the
+   action was rejected — rejections must line up exactly across the two
+   runs, so they are collected, not swallowed. *)
+let exec_action db ids action =
+  let attempt f = try f () with Errors.Unknown m | Errors.Type_error m -> Some m in
+  match action with
+  | Create c ->
+    ids := !ids @ [ Db.create_instance db (cname c) ];
+    None
+  | SetA (k, a, v) ->
+    let id = List.nth !ids k in
+    attempt (fun () ->
+        Db.set db id (Printf.sprintf "a%d" a) (Value.Int v);
+        None)
+  | LinkDown (i, j) ->
+    let from_id = List.nth !ids i and to_id = List.nth !ids j in
+    attempt (fun () ->
+        if not (List.mem to_id (Db.related db from_id "down")) then
+          Db.link db ~from_id ~rel:"down" ~to_id;
+        None)
+  | AddIntr (c, n) ->
+    attempt (fun () ->
+        Db.add_attr db ~type_name:(cname c) (Rule.intrinsic (Printf.sprintf "x%d" n) (Value.Int n));
+        None)
+  | AddRule (c, n, k) ->
+    let src = Printf.sprintf "a0 * 2 + %d" k in
+    attempt (fun () ->
+        Db.add_attr db ~expr:src ~type_name:(cname c)
+          (Rule.derived (Printf.sprintf "d%d" n) (parse_rule src));
+        None)
+  | AddSub (c, n, th) ->
+    let src = Printf.sprintf "a0 >= %d" th in
+    attempt (fun () ->
+        Db.add_subtype db ~predicate_expr:src ~attr_exprs:[ None ]
+          {
+            Schema.sub_name = Printf.sprintf "s%d" n;
+            parent = cname c;
+            predicate = parse_rule src;
+            extra_attrs = [ Rule.intrinsic (Printf.sprintf "h%d" n) (Value.Int 1) ];
+          };
+        None)
+  | Undo -> attempt (fun () -> Db.undo_last db; None)
+  | Redo -> attempt (fun () -> Db.redo db; None)
+  | Roundtrip _ -> None
+
+(* Observable state: every attribute of every live instance, plus
+   subtype memberships and the schema description.  Schema *versions*
+   are deliberately excluded — a replayed history linearizes undo into
+   extra deltas, so its op count legitimately differs. *)
+let observe db =
+  let b = Buffer.create 512 in
+  let sch = Db.schema db in
+  List.iter
+    (fun id ->
+      let tn = Db.type_of db id in
+      Buffer.add_string b (Printf.sprintf "%d:%s" id tn);
+      List.iter
+        (fun (d : Schema.attr_def) ->
+          Buffer.add_string b
+            (Printf.sprintf " %s=%s" d.Schema.attr_name
+               (Value.to_string (Db.get db ~watch:false id d.Schema.attr_name))))
+        (Schema.attrs sch ~type_name:tn);
+      List.iter
+        (fun id' -> Buffer.add_string b (Printf.sprintf " ->%d" id'))
+        (List.sort compare (Db.related db id "down"));
+      Buffer.add_char b '\n')
+    (List.sort compare (Db.instance_ids db));
+  List.iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf "%s members: %s\n" s
+           (String.concat ","
+              (List.map string_of_int (List.sort compare (Db.subtype_members db s))))))
+    (List.sort compare (Schema.subtype_names sch));
+  Buffer.add_string b (Schema.describe sch);
+  Buffer.contents b
+
+let run_interleaving cfg aseed =
+  let src = G.schema_source ~cross:true cfg in
+  let actions = gen_actions (Rng.create aseed) cfg 30 in
+  (* Reference: in-memory, no persistence. *)
+  let ref_db = Db.create (Cactis_ddl.Elaborate.load_string src) in
+  let ref_ids = ref [] in
+  let ref_errs =
+    List.filter_map (fun a -> exec_action ref_db ref_ids a) actions
+  in
+  (* Persisted: same actions; Roundtrip points close the store and
+     recover it from disk (optionally checkpointing first). *)
+  let dir = temp_dir () in
+  let db = ref (Db.create (Cactis_ddl.Elaborate.load_string src)) in
+  let p = ref (Persist.attach ~sync_every:0 ~dir !db) in
+  let ids = ref [] in
+  let errs = ref [] in
+  List.iter
+    (fun a ->
+      match a with
+      | Roundtrip cp ->
+        if cp then Persist.checkpoint !p;
+        Persist.close !p;
+        p := Persist.recover ~sync_every:0 ~dir (Cactis_ddl.Elaborate.load_string src);
+        db := Persist.db !p
+      | a -> (
+        match exec_action !db ids a with
+        | Some e -> errs := e :: !errs
+        | None -> ()))
+    actions;
+  (* One final full round-trip so the end state itself is proven
+     recoverable, whatever the interleaving did. *)
+  Persist.checkpoint !p;
+  Persist.close !p;
+  let p_final = Persist.recover ~sync_every:0 ~dir (Cactis_ddl.Elaborate.load_string src) in
+  let final_db = Persist.db p_final in
+  let ok_state = String.equal (observe ref_db) (observe final_db) in
+  let ok_errs = List.rev !errs = ref_errs in
+  let ok_integrity =
+    Cactis.Integrity.check ref_db = [] && Cactis.Integrity.check final_db = []
+  in
+  Persist.close p_final;
+  rm_rf dir;
+  if not ok_state then
+    QCheck.Test.fail_reportf "state diverged for schema:\n%s\nref:\n%s\npersisted:\n%s" src
+      (observe ref_db) (observe final_db);
+  if not ok_errs then QCheck.Test.fail_reportf "rejected-action mismatch for schema:\n%s" src;
+  if not ok_integrity then QCheck.Test.fail_reportf "integrity violation for schema:\n%s" src;
+  true
+
+let prop_interleaving =
+  QCheck.Test.make
+    ~name:"commit/schema-change/undo/redo/recover interleavings match the in-memory run"
+    ~count:220
+    QCheck.(make ~print:(fun (c, s) -> G.print_cfg c ^ Printf.sprintf " aseed=%d" s)
+              Gen.(pair G.gen (int_range 0 1_000_000)))
+    (fun (cfg, aseed) -> run_interleaving cfg aseed)
+
+(* ------------------------------------------------------------------ *)
+(* Regression: checkout across an add_attr boundary                     *)
+
+let base_schema () =
+  let sch = Schema.create () in
+  Schema.add_type sch "k";
+  Schema.add_attr sch ~type_name:"k" (Rule.intrinsic "a" (Value.Int 1));
+  sch
+
+let test_checkout_predates_add_attr () =
+  let sch = base_schema () in
+  Schema.set_strict sch true;
+  let db = Db.create sch in
+  let i = Db.with_txn db (fun () ->
+      let i = Db.create_instance db "k" in
+      Db.set db i "a" (Value.Int 2);
+      i)
+  in
+  Db.tag db "before";
+  Db.add_attr db ~expr:"a + 1" ~type_name:"k" (Rule.derived "b" (parse_rule "a + 1"));
+  Db.tag db "after";
+  Alcotest.(check bool) "b evaluates after add_attr" true
+    (Value.equal (Db.get db i "b") (Value.Int 3));
+  (* Back before the attribute existed: it must be gone — from the
+     schema, from evaluation, and from Explain. *)
+  Db.checkout db "before";
+  Alcotest.(check bool) "b absent from schema at old version" true
+    (Schema.attr_opt sch ~type_name:"k" "b" = None);
+  (match Db.get db i "b" with
+  | _ -> Alcotest.fail "reading b at a version predating add_attr must fail"
+  | exception Errors.Unknown _ -> ());
+  (match Explain.render db i "b" with
+  | _ -> Alcotest.fail "explaining b at a version predating add_attr must fail"
+  | exception Errors.Unknown _ -> ());
+  Alcotest.(check bool) "a still explains" true
+    (String.length (Explain.render db i "a") > 0);
+  (* Strict-mode validation accepts the rolled-back schema. *)
+  Schema.validate sch;
+  (* Forward again: the attribute and its value come back. *)
+  Db.checkout db "after";
+  Alcotest.(check bool) "checkout forward restores b" true
+    (Value.equal (Db.get db i "b") (Value.Int 3));
+  Schema.validate sch;
+  (* The same boundary via undo/redo. *)
+  Db.undo_last db;
+  Alcotest.(check bool) "undo retracts b" true
+    (Schema.attr_opt sch ~type_name:"k" "b" = None);
+  Schema.validate sch;
+  Db.redo db;
+  Alcotest.(check bool) "redo restores b" true
+    (Value.equal (Db.get db i "b") (Value.Int 3));
+  Alcotest.(check bool) "redo restores b in Explain" true
+    (String.length (Explain.render db i "b") > 0);
+  Schema.validate sch
+
+(* ------------------------------------------------------------------ *)
+(* Typed rejections on schema-version mismatches                        *)
+
+(* A directory whose checkpoint says schema version 0 but whose log
+   header claims 7: the checkpoint file was replaced with one that
+   misses schema deltas the log assumes. *)
+let make_sv_mismatch_dir () =
+  let dir = temp_dir () in
+  let db = Db.create (base_schema ()) in
+  let p = Persist.attach ~sync_every:1 ~dir db in
+  Db.with_txn db (fun () -> ignore (Db.create_instance db "k"));
+  Persist.checkpoint p;
+  let gen = Persist.generation p in
+  Persist.close p;
+  let wal_path = Filename.concat dir "wal.log" in
+  Sys.remove wal_path;
+  let w = Wal.open_writer ~generation:gen ~schema_version:7 wal_path in
+  Wal.close w;
+  dir
+
+let test_attach_rejects_sv_ahead () =
+  let dir = make_sv_mismatch_dir () in
+  let db2 = Db.create (base_schema ()) in
+  (match Persist.attach ~dir db2 with
+  | _ -> Alcotest.fail "attach must refuse a log schema version ahead of the checkpoint"
+  | exception Errors.Type_error m ->
+    let contains hay needle =
+      let n = String.length needle in
+      let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "message names the schema version" true
+      (contains m "schema version"));
+  rm_rf dir
+
+let test_recover_rejects_sv_mismatch () =
+  let dir = make_sv_mismatch_dir () in
+  (match Persist.recover ~dir (base_schema ()) with
+  | _ -> Alcotest.fail "recover must refuse a log whose schema version mismatches the checkpoint"
+  | exception Errors.Type_error _ -> ());
+  rm_rf dir
+
+let test_schema_delta_roundtrip_recovers () =
+  (* The happy path: schema deltas before and after a checkpoint both
+     survive recovery, and the recovered schema version matches. *)
+  let dir = temp_dir () in
+  let db = Db.create (base_schema ()) in
+  let p = Persist.attach ~sync_every:1 ~dir db in
+  let i = Db.with_txn db (fun () -> Db.create_instance db "k") in
+  Db.add_attr db ~expr:"a * 10" ~type_name:"k" (Rule.derived "b" (parse_rule "a * 10"));
+  Persist.checkpoint p;
+  Db.add_attr db ~type_name:"k" (Rule.intrinsic "c" (Value.Int 5));
+  Db.with_txn db (fun () -> Db.set db i "c" (Value.Int 6));
+  let sv = Db.schema_step_count db in
+  Persist.close p;
+  let p2 = Persist.recover ~dir (base_schema ()) in
+  let db2 = Persist.db p2 in
+  Alcotest.(check int) "schema version survives recovery" sv (Db.schema_step_count db2);
+  Alcotest.(check bool) "pre-checkpoint derived attr recovered" true
+    (Value.equal (Db.get db2 i "b") (Value.Int 10));
+  Alcotest.(check bool) "post-checkpoint intrinsic recovered" true
+    (Value.equal (Db.get db2 i "c") (Value.Int 6));
+  Persist.close p2;
+  rm_rf dir
+
+(* ------------------------------------------------------------------ *)
+(* CWAL2 fixture: old logs recover under the CWAL3 reader               *)
+
+(* Under `dune runtest` the fixture is copied next to the test binary's
+   cwd; under a bare `dune exec` from the repo root it lives in test/. *)
+let fixture_dir =
+  if Sys.file_exists "fixtures/cwal2" then "fixtures/cwal2" else "test/fixtures/cwal2"
+
+let fixture_schema () =
+  let sch = Schema.create () in
+  Schema.add_type sch "node";
+  Schema.declare_relationship sch ~from_type:"node" ~rel:"deps" ~to_type:"node" ~inverse:"rdeps"
+    ~card:Schema.Multi ~inverse_card:Schema.Multi;
+  Schema.add_attr sch ~type_name:"node" (Rule.intrinsic "v" (Value.Int 0));
+  sch
+
+(* The JSON record the fixture's expected.json holds: recovery counters
+   and the full observable data state. *)
+let fixture_json dir =
+  let { Wal.generation; schema_version; torn; valid_end; records; _ } =
+    Wal.read (Filename.concat dir "wal.log")
+  in
+  let p = Persist.recover ~dir (fixture_schema ()) in
+  let db = Persist.db p in
+  let ids = List.sort compare (Db.instance_ids db) in
+  let inst id =
+    Printf.sprintf "[%d,%s]" id (Value.to_string (Db.get db ~watch:false id "v"))
+  in
+  let links =
+    List.concat_map
+      (fun id ->
+        List.map (Printf.sprintf "[%d,%d]" id) (List.sort compare (Db.related db id "deps")))
+      ids
+  in
+  let json =
+    Printf.sprintf
+      "{\"generation\":%d,\"schema_version\":%d,\"torn\":%b,\"valid_end\":%d,\"records\":%d,\"replayed\":%d,\"instances\":[%s],\"links\":[%s]}"
+      generation schema_version torn valid_end (List.length records) (Persist.replayed p)
+      (String.concat "," (List.map inst ids))
+      (String.concat "," links)
+  in
+  Persist.close p;
+  json
+
+let test_cwal2_fixture_recovers () =
+  let wal_src = Filename.concat fixture_dir "wal.log" in
+  let expected = String.trim (read_file (Filename.concat fixture_dir "expected.json")) in
+  (* Recover in a scratch copy: recovery truncates/appends to the log,
+     and the committed fixture must stay pristine. *)
+  let dir = temp_dir () in
+  write_file (Filename.concat dir "wal.log") (read_file wal_src);
+  Alcotest.(check string) "CWAL2 log recovers to the recorded counters and state" expected
+    (fixture_json dir);
+  rm_rf dir
+
+(* Regenerate the fixture pair (CWAL2-header log + expected.json):
+     CACTIS_REGEN_CWAL2=test/fixtures/cwal2 dune exec test/test_schema_versioning.exe
+   The log is produced by the current writer, then its CWAL3 header is
+   swapped for a CWAL2 one (record framing is format-independent). *)
+let regenerate_fixture out_dir =
+  let dir = temp_dir () in
+  let db = Db.create (fixture_schema ()) in
+  let p = Persist.attach ~sync_every:1 ~dir db in
+  let a =
+    Db.with_txn db (fun () ->
+        let a = Db.create_instance db "node" in
+        Db.set db a "v" (Value.Int 10);
+        a)
+  in
+  let b =
+    Db.with_txn db (fun () ->
+        let b = Db.create_instance db "node" in
+        Db.set db b "v" (Value.Int (-7));
+        Db.link db ~from_id:a ~rel:"deps" ~to_id:b;
+        b)
+  in
+  Db.with_txn db (fun () -> Db.set db a "v" (Value.Int 42));
+  Db.undo_last db;
+  Db.redo db;
+  Db.with_txn db (fun () ->
+      let c = Db.create_instance db "node" in
+      Db.link db ~from_id:b ~rel:"deps" ~to_id:c);
+  Persist.close p;
+  let wal = read_file (Filename.concat dir "wal.log") in
+  let body = String.sub wal Wal.header_len (String.length wal - Wal.header_len) in
+  let v2_header = Bytes.make 14 '\000' in
+  Bytes.blit_string "CWAL2\n" 0 v2_header 0 6;
+  (* generation 0: the log was never checkpointed *)
+  let converted = Bytes.to_string v2_header ^ body in
+  write_file (Filename.concat out_dir "wal.log") converted;
+  rm_rf dir;
+  let check_dir = temp_dir () in
+  write_file (Filename.concat check_dir "wal.log") converted;
+  write_file (Filename.concat out_dir "expected.json") (fixture_json check_dir ^ "\n");
+  rm_rf check_dir;
+  Printf.printf "regenerated %s/{wal.log,expected.json}\n" out_dir
+
+let () =
+  match Sys.getenv_opt "CACTIS_REGEN_CWAL2" with
+  | Some out_dir ->
+    regenerate_fixture out_dir;
+    exit 0
+  | None -> ()
+
+let () =
+  Alcotest.run "cactis-schema-versioning"
+    [
+      ( "property",
+        [ QCheck_alcotest.to_alcotest prop_interleaving ] );
+      ( "checkout",
+        [
+          Alcotest.test_case "checkout predating add_attr hides the attribute" `Quick
+            test_checkout_predates_add_attr;
+        ] );
+      ( "version stamps",
+        [
+          Alcotest.test_case "attach rejects log schema version ahead" `Quick
+            test_attach_rejects_sv_ahead;
+          Alcotest.test_case "recover rejects schema version mismatch" `Quick
+            test_recover_rejects_sv_mismatch;
+          Alcotest.test_case "schema deltas round-trip through checkpoint+recover" `Quick
+            test_schema_delta_roundtrip_recovers;
+        ] );
+      ( "format compat",
+        [
+          Alcotest.test_case "CWAL2 fixture recovers under the CWAL3 reader" `Quick
+            test_cwal2_fixture_recovers;
+        ] );
+    ]
