@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build check test format-compat lint bench bench-fast bench-json bench-persist stats trace examples clean
+.PHONY: all build check test format-compat lint bench bench-fast bench-json bench-persist bench-cluster bench-cluster-smoke stats trace examples clean
 
 # Output path for the machine-readable experiment record; override with
 # `make bench-json BENCH_JSON=BENCH_1.json` to regenerate earlier runs.
@@ -57,6 +57,17 @@ bench-json:
 # Just the persistence experiments (binary snapshots + write-ahead log).
 bench-persist:
 	dune exec bench/main.exe -- E14
+
+# Clustering shoot-out on a real block file (E16): per-strategy block
+# reads, buffer hit rate and wall time, plus the incremental-maintenance
+# disruption table.  The full run records its results in
+# $(CLUSTER_JSON); the smoke variant is the CI gate.
+CLUSTER_JSON ?= BENCH_4.json
+bench-cluster:
+	dune exec bench/main.exe -- E16 --json $(CLUSTER_JSON)
+
+bench-cluster-smoke:
+	dune exec bench/main.exe -- --fast E16
 
 # Run $(OBS_SCRIPT) and report counters, latency histograms and the last
 # commit's propagation profile (evaluated-at-most-once check included).

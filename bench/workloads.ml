@@ -201,6 +201,117 @@ let doc_edit_txn db ids ~ops ~rng =
         | _ -> Db.set db id "body" (Value.Str (random_body rng))
       done)
 
+(* ------------------------------------------------------------------ *)
+(* OCB-style synthetic workload (E16)
+
+   After Darmont, Petit & Schneider's Object Clustering Benchmark: a
+   random object base whose objects carry a payload and reference a few
+   other objects, exercised by stochastic depth-first traversals from
+   Zipf-distributed roots.  Traversals build genuine usage locality (hot
+   paths through an otherwise scattered graph), which is exactly what
+   the clustering strategies compete on.  All randomness is seeded, so
+   replaying a trace after re-clustering traverses the same edges. *)
+
+(* Objects are all intrinsic (payload only): OCB graphs are arbitrary
+   digraphs, and derived attributes over a cyclic reference graph would
+   trip the evaluator's cycle check. *)
+let ocb_schema () =
+  let sch = Schema.create () in
+  Schema.add_type sch "obj";
+  Schema.declare_relationship sch ~from_type:"obj" ~rel:"refs" ~to_type:"obj" ~inverse:"rrefs"
+    ~card:Schema.Multi ~inverse_card:Schema.Multi;
+  Schema.add_attr sch ~type_name:"obj" (Rule.intrinsic "payload" (int 0));
+  sch
+
+let make_ocb_db ?block_capacity ?buffer_capacity ?disk_path ?disk_block_bytes () =
+  Db.create ?block_capacity ?buffer_capacity ?disk_path ?disk_block_bytes (ocb_schema ())
+
+(* Populate [objects] instances, each referencing [fanout] distinct
+   others (self-references skipped).  Per OCB's reference-locality
+   model, references mostly stay inside the object's {e module} — a
+   random group of [module_size] objects (membership is a shuffled
+   permutation, so modules are invisible to the sequential id-order
+   layout) — with a [1 - locality] chance of escaping to a uniformly
+   random object.  Batched transactions keep the version-history deltas
+   reasonably sized. *)
+let ocb_populate ?(module_size = 64) ?(locality = 0.9) db rng ~objects ~fanout =
+  let ids = Array.make objects 0 in
+  let i = ref 0 in
+  while !i < objects do
+    Db.begin_txn db;
+    let stop = min objects (!i + 500) in
+    while !i < stop do
+      let id = Db.create_instance db "obj" in
+      Db.set db id "payload" (int !i);
+      ids.(!i) <- id;
+      incr i
+    done;
+    Db.commit db
+  done;
+  (* module_of.(j) = position of object j in a shuffled permutation;
+     objects sharing position / module_size are module-mates. *)
+  let perm = Array.init objects (fun k -> k) in
+  Rng.shuffle rng perm;
+  let inv = Array.make objects 0 in
+  Array.iteri (fun pos k -> inv.(k) <- pos) perm;
+  let pick_target j =
+    if Rng.chance rng locality then begin
+      let base = inv.(j) / module_size * module_size in
+      let span = min module_size (objects - base) in
+      perm.(base + Rng.int rng span)
+    end
+    else Rng.int rng objects
+  in
+  let j = ref 0 in
+  while !j < objects do
+    Db.begin_txn db;
+    let stop = min objects (!j + 500) in
+    while !j < stop do
+      for _ = 1 to fanout do
+        let other = pick_target !j in
+        if
+          other <> !j
+          && not (List.mem ids.(other) (Db.related db ids.(!j) "refs"))
+        then Db.link db ~from_id:ids.(!j) ~rel:"refs" ~to_id:ids.(other)
+      done;
+      incr j
+    done;
+    Db.commit db
+  done;
+  ids
+
+(* One hierarchy traversal (OCB's deterministic depth-first): read the
+   payload, then recurse into {e all} of the object's references,
+   [depth] levels deep.  A given root always touches the same subgraph,
+   so repeated traversals of hot roots build exactly the usage locality
+   a clustering strategy can exploit. *)
+let rec ocb_descend db id ~depth =
+  ignore (Db.get db id "payload");
+  if depth > 0 then
+    List.iter (fun r -> ocb_descend db r ~depth:(depth - 1)) (Db.related db id "refs")
+
+(* [ocb_traversals db rng ids ~rounds ~depth] runs [rounds] hierarchy
+   traversals whose roots are Zipf-distributed over the object base — a
+   hot head of popular roots and a long cold tail, per OCB. *)
+let ocb_traversals db rng ids ~rounds ~depth =
+  let n = Array.length ids in
+  for _ = 1 to rounds do
+    ocb_descend db ids.(Rng.zipf rng n 1.1) ~depth
+  done
+
+(* Commit-heavy edit workload over the object base: [txns] transactions
+   of [ops] payload updates each, targets Zipf-skewed.  Used to measure
+   commit-latency disruption from incremental re-clustering
+   maintenance. *)
+let ocb_edit_txns db rng ids ~txns ~ops =
+  let n = Array.length ids in
+  for v = 1 to txns do
+    Db.with_txn db (fun () ->
+        for _ = 1 to ops do
+          Db.set db ids.(Rng.zipf rng n 0.9) "payload" (int v)
+        done)
+  done
+
 (* Community graph for the clustering experiment: [communities] groups of
    [size] members; each member's [total] depends on the next member in
    its community (ring), so evaluating one community touches all its

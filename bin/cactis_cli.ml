@@ -259,6 +259,16 @@ let stats_cmd schema_path script_path persist json show_output =
       let counters = Counters.snapshot (Db.counters db) in
       let hists = Histogram.snapshot (Db.obs db).Cactis_obs.Ctx.hists in
       let prof = Db.last_profile db in
+      (* Storage maintenance summary: buffer-pool effectiveness and
+         incremental re-clustering progress (§2.3). *)
+      let pager = Cactis.Store.pager (Db.store db) in
+      let pool = Cactis_storage.Pager.pool pager in
+      let hits = Cactis_storage.Buffer_pool.hits pool in
+      let misses = Cactis_storage.Buffer_pool.misses pool in
+      let hit_rate = 100. *. float_of_int hits /. float_of_int (max 1 (hits + misses)) in
+      let recluster_steps = Counters.get (Db.counters db) "recluster_steps" in
+      let recluster_moves = Counters.get (Db.counters db) "recluster_moves" in
+      let pending = Cactis.Store.pending_moves (Db.store db) in
       if json then begin
         let counters_j =
           counters
@@ -267,12 +277,23 @@ let stats_cmd schema_path script_path persist json show_output =
         in
         let hists_j = hists |> List.map hist_json |> String.concat "," in
         let prof_j = match prof with Some s -> profile_json s | None -> "null" in
-        Printf.printf "{\"counters\":{%s},\"histograms\":[%s],\"last_profile\":%s}\n" counters_j
-          hists_j prof_j
+        let storage_j =
+          Printf.sprintf
+            "{\"pool_hits\":%d,\"pool_misses\":%d,\"hit_rate_pct\":%.1f,\
+             \"recluster_steps\":%d,\"recluster_moves\":%d,\"pending_moves\":%d}"
+            hits misses hit_rate recluster_steps recluster_moves pending
+        in
+        Printf.printf "{\"counters\":{%s},\"storage\":%s,\"histograms\":[%s],\"last_profile\":%s}\n"
+          counters_j storage_j hists_j prof_j
       end
       else begin
         print_endline "== counters ==";
         List.iter (fun (n, v) -> Printf.printf "  %-28s %d\n" n v) counters;
+        print_endline "== storage ==";
+        Printf.printf "  pager hit rate               %.1f%% (%d hits / %d misses)\n" hit_rate
+          hits misses;
+        Printf.printf "  recluster steps              %d (%d moves, %d pending)\n" recluster_steps
+          recluster_moves pending;
         print_endline "== latencies ==";
         Printf.printf "  %-16s %8s  %10s %10s %10s %10s\n" "histogram" "count" "p50" "p95" "p99"
           "max";

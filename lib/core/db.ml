@@ -16,6 +16,17 @@ type vnode = {
   depth : int;
 }
 
+(* Incremental re-clustering maintenance, armed by
+   [set_auto_recluster]: when usage drift since the last plan crosses
+   [drift_threshold], a migration plan is computed, and every commit
+   thereafter applies at most [max_moves] moves until it drains. *)
+type auto_recluster = {
+  ar_strategy : Cactis_storage.Cluster.strategy;
+  drift_threshold : int;
+  max_moves : int;
+  mutable last_touches : int;  (* instance_touches when the last plan was cut *)
+}
+
 type t = {
   sch : Schema.t;
   st : Store.t;
@@ -26,6 +37,9 @@ type t = {
   mutable next_vid : int;
   tag_tbl : (string, vnode option) Hashtbl.t;
   h_commit : Histogram.h;
+  h_recluster_step : Histogram.h;
+  h_recluster_plan : Histogram.h;
+  mutable auto : auto_recluster option;
   mutable profiling : bool;  (* arm a fresh propagation profile per commit *)
   mutable last_profile : Profile.snapshot option;
   mutable commit_hook : (Txn.delta -> unit) option;
@@ -40,8 +54,8 @@ type t = {
          count of these plus the schema ops on the root->head path. *)
 }
 
-let create ?block_capacity ?buffer_capacity ?strategy ?sched sch =
-  let st = Store.create ?block_capacity ?buffer_capacity sch in
+let create ?block_capacity ?buffer_capacity ?disk_path ?disk_block_bytes ?strategy ?sched sch =
+  let st = Store.create ?block_capacity ?buffer_capacity ?disk_path ?disk_block_bytes sch in
   let eng = Engine.create ?strategy ?sched st in
   let t =
     {
@@ -54,6 +68,9 @@ let create ?block_capacity ?buffer_capacity ?strategy ?sched sch =
       next_vid = 1;
       tag_tbl = Hashtbl.create 8;
       h_commit = Histogram.cell (Store.obs st).Cactis_obs.Ctx.hists "commit";
+      h_recluster_step = Histogram.cell (Store.obs st).Cactis_obs.Ctx.hists "recluster_step";
+      h_recluster_plan = Histogram.cell (Store.obs st).Cactis_obs.Ctx.hists "recluster_plan";
+      auto = None;
       profiling = false;
       last_profile = None;
       commit_hook = None;
@@ -235,6 +252,61 @@ let abort t =
   if not (in_txn t) then Errors.type_error "no open transaction to abort";
   rollback_current t
 
+(* One bounded slice of incremental re-clustering maintenance, run at
+   commit time (inside the commit latency window, so the disruption is
+   visible in the [commit] histogram and bounded by [max_moves]).  A
+   plan in flight is drained first; otherwise a new plan is cut when
+   instance touches since the last plan exceed the drift threshold. *)
+let maintenance_step t =
+  match t.auto with
+  | None -> ()
+  | Some a ->
+    let ready =
+      Store.pending_moves t.st > 0
+      ||
+      let touches = Counters.get (counters t) "instance_touches" in
+      touches - a.last_touches >= a.drift_threshold
+      && begin
+           a.last_touches <- touches;
+           (* The plan cut (a full pack over the usage statistics) is
+              the one slice whose cost scales with database size rather
+              than [max_moves]; it gets its own histogram so the bounded
+              migration slices are measured apart from it. *)
+           let plan_ns = Clock.now_ns () in
+           let pending = Store.begin_recluster ~strategy:a.ar_strategy t.st in
+           Histogram.observe t.h_recluster_plan (Clock.elapsed_s ~since:plan_ns);
+           pending > 0
+         end
+    in
+    if ready then begin
+      let start_ns = Clock.now_ns () in
+      let moved = Store.recluster_step t.st ~max_moves:a.max_moves in
+      if moved > 0 then begin
+        Histogram.observe t.h_recluster_step (Clock.elapsed_s ~since:start_ns);
+        let tr = tracer t in
+        if Trace.enabled tr then
+          Trace.complete tr ~cat:"storage" ~args:[ ("moves", Trace.I moved) ] ~start_ns
+            "recluster_step"
+      end
+    end
+
+let set_auto_recluster ?(strategy = Cactis_storage.Cluster.Greedy) ?(drift_threshold = 1024)
+    ?(max_moves = 16) t on =
+  if on then begin
+    if drift_threshold < 1 then
+      Errors.type_error "auto recluster: drift_threshold must be >= 1";
+    if max_moves < 1 then Errors.type_error "auto recluster: max_moves must be >= 1";
+    t.auto <-
+      Some
+        {
+          ar_strategy = strategy;
+          drift_threshold;
+          max_moves;
+          last_touches = Counters.get (counters t) "instance_touches";
+        }
+  end
+  else t.auto <- None
+
 let commit t =
   match t.current with
   | None -> Errors.type_error "no open transaction to commit"
@@ -263,6 +335,7 @@ let commit t =
       t.next_vid <- t.next_vid + 1;
       notify_hook t delta
     end;
+    maintenance_step t;
     Histogram.observe t.h_commit (Clock.elapsed_s ~since:start_ns);
     let tr = tracer t in
     if Trace.enabled tr then
@@ -617,6 +690,6 @@ let replay_delta t (d : Txn.delta) =
 (* ------------------------------------------------------------------ *)
 (* Storage management                                                  *)
 
-let recluster t =
+let recluster ?strategy t =
   if in_txn t then Errors.type_error "cannot re-cluster inside a transaction";
-  Store.recluster t.st
+  Store.recluster ?strategy t.st

@@ -16,9 +16,15 @@
 
 type t
 
+(** [create ?block_capacity ?buffer_capacity ?disk_path ?disk_block_bytes
+    ?strategy ?sched schema] — when [disk_path] is given, the pager is
+    backed by a real block file (see {!Cactis_storage.Disk}); otherwise
+    mass storage is simulated counters only. *)
 val create :
   ?block_capacity:int ->
   ?buffer_capacity:int ->
+  ?disk_path:string ->
+  ?disk_block_bytes:int ->
   ?strategy:Engine.strategy ->
   ?sched:Sched.strategy ->
   Schema.t ->
@@ -256,6 +262,27 @@ val replay_delta : t -> Txn.delta -> unit
 
 (** {1 Storage management} *)
 
-(** Re-cluster instances into blocks from usage statistics (§2.3);
-    returns the number of blocks. *)
-val recluster : t -> int
+(** [recluster ?strategy t] re-clusters instances into blocks from usage
+    statistics (§2.3) with the chosen strategy (default: the paper's
+    greedy packer); returns the number of blocks.
+    @raise Errors.Type_error inside a transaction. *)
+val recluster : ?strategy:Cactis_storage.Cluster.strategy -> t -> int
+
+(** [set_auto_recluster ?strategy ?drift_threshold ?max_moves t on]
+    arms (or, with [on = false], disarms) incremental re-clustering
+    maintenance: when instance touches since the last plan exceed
+    [drift_threshold] (default 1024), a migration plan is cut from the
+    current usage statistics, and each commit applies at most
+    [max_moves] (default 16) moves until the plan drains — so
+    reorganization cost is amortized across commits instead of one
+    stop-the-world pass.  Each slice's latency lands in the
+    [recluster_step] histogram and inside the commit's own [commit]
+    histogram window; progress shows in the [recluster_steps] /
+    [recluster_moves] counters. *)
+val set_auto_recluster :
+  ?strategy:Cactis_storage.Cluster.strategy ->
+  ?drift_threshold:int ->
+  ?max_moves:int ->
+  t ->
+  bool ->
+  unit

@@ -19,20 +19,25 @@ type t = {
   c_slot_writes : int ref;
   c_links : int ref;
   link_tags : (int, Decaying_avg.t) Hashtbl.t;  (* packed (id, rel symbol) *)
+  (* Incremental re-clustering plan: (id, target block) moves not yet
+     applied.  [plan_pos] is the cursor; the plan is drained by
+     {!recluster_step}. *)
+  mutable plan : (int * int) array;
+  mutable plan_pos : int;
   mutable write_observers : (int -> string -> Value.t -> unit) list;
   mutable create_observers : (int -> unit) list;
   mutable delete_observers : (int -> unit) list;
   mutable mark_observers : (int -> string -> unit) list;
 }
 
-let create ?block_capacity ?buffer_capacity schema =
+let create ?block_capacity ?buffer_capacity ?disk_path ?disk_block_bytes schema =
   let counters = Counters.create () in
   {
     schema;
     instances = Hashtbl.create 256;
     next_id = 1;
     ids_cache = Some [];
-    pager = Pager.create ?block_capacity ?buffer_capacity ();
+    pager = Pager.create ?block_capacity ?buffer_capacity ?disk_path ?disk_block_bytes ();
     usage = Usage.create ();
     counters;
     obs = Cactis_obs.Ctx.create ();
@@ -41,6 +46,8 @@ let create ?block_capacity ?buffer_capacity schema =
     c_slot_writes = Counters.cell counters "slot_writes";
     c_links = Counters.cell counters "links_established";
     link_tags = Hashtbl.create 256;
+    plan = [||];
+    plan_pos = 0;
     write_observers = [];
     create_observers = [];
     delete_observers = [];
@@ -192,7 +199,17 @@ let linked t id rel =
   let inst = get t id in
   touch t id;
   match Instance.find_link inst rel with
-  | Some ix -> Instance.linked_ix inst ix
+  | Some ix ->
+    let ids = Instance.linked_ix inst ix in
+    (* Listing a relationship traverses it: record one crossing per
+       related instance (§2.3's self-adaptive statistics), so plain
+       structural traversals — not just dependency propagation — feed
+       the clustering strategies. *)
+    let rel_sym = Symbol.intern rel in
+    List.iter
+      (fun other -> Usage.cross_sym t.usage ~from_instance:id ~rel_sym ~to_instance:other)
+      ids;
+    ids
   | None -> Errors.unknown "type %s has no relationship %s" inst.Instance.type_name rel
 
 let read_slot t id attr =
@@ -241,13 +258,15 @@ let load_link_ix t (a : Instance.t) ix (b : Instance.t) =
   Instance.add_link_ix b inv_ix a.Instance.id;
   incr t.c_links
 
-let recluster t =
+(* Usage statistics snapshot for the clustering strategies: every live
+   instance with its access count, and every structural link with its
+   accumulated crossing count (0 for never-traversed links) — the greedy
+   inner loop can then pull cold neighbours into a hot block before
+   opening a new one. *)
+let usage_snapshot t =
   let instances =
     instance_ids t |> List.map (fun id -> (id, Usage.instance_count t.usage id))
   in
-  (* Every structural link participates, with its accumulated crossing
-     count (0 for never-traversed links): the inner greedy loop can then
-     pull cold neighbours into a hot block before opening a new one. *)
   let links =
     instance_ids t
     |> List.concat_map (fun id ->
@@ -269,13 +288,12 @@ let recluster t =
                       else None)
                     ids))
   in
-  let assignment =
-    Cluster.pack ~block_capacity:(Pager.block_capacity t.pager) ~instances ~links
-  in
-  Pager.apply_clustering t.pager assignment;
-  (* Cluster time refreshes the worst-case statistics used as initial
-     estimates for the decaying averages (§2.3): a link whose two ends now
-     share a block costs 0 extra blocks in the worst case, 1 otherwise. *)
+  (instances, links)
+
+(* Cluster time refreshes the worst-case statistics used as initial
+   estimates for the decaying averages (§2.3): a link whose two ends now
+   share a block costs 0 extra blocks in the worst case, 1 otherwise. *)
+let reseed_link_tags t =
   Hashtbl.iter
     (fun key tag ->
       let id = Symbol.pack_id key in
@@ -292,6 +310,80 @@ let recluster t =
           List.fold_left (fun acc o -> if same_block o then acc else acc +. 1.0) 0.0 neighbours
         in
         Decaying_avg.reset tag ~initial:worst)
-    t.link_tags;
+    t.link_tags
+
+let pack_current t strategy =
+  let instances, links = usage_snapshot t in
+  Cluster.pack_with strategy ~block_capacity:(Pager.block_capacity t.pager) ~instances ~links
+
+let recluster ?(strategy = Cluster.Greedy) t =
+  let assignment = pack_current t strategy in
+  Pager.apply_clustering t.pager assignment;
+  (* A wholesale reorganization supersedes any in-flight migration. *)
+  t.plan <- [||];
+  t.plan_pos <- 0;
+  reseed_link_tags t;
   Counters.incr t.counters "reclusterings";
   assignment.Cluster.block_count
+
+(* Incremental re-clustering: compute the target placement now, move a
+   bounded number of instances per {!recluster_step}.  Target blocks are
+   laid out in a fresh region past the current maximum block (copying
+   style), so half-migrated states never overfill a block: plan moves
+   are the only writers of target blocks, and new instances keep
+   appending to the old region until the plan completes. *)
+let begin_recluster ?(strategy = Cluster.Greedy) t =
+  let assignment = pack_current t strategy in
+  let base =
+    1
+    + List.fold_left
+        (fun acc id -> match Pager.block_of t.pager id with Some b -> max acc b | None -> acc)
+        (-1) (instance_ids t)
+  in
+  let moves =
+    Hashtbl.fold (fun id block acc -> (id, base + block) :: acc) assignment.Cluster.block_of []
+    (* Fill one target block at a time: moves sorted by destination keep
+       the dirty working set of a step small and deterministic. *)
+    |> List.sort (fun (id1, b1) (id2, b2) ->
+           match compare b1 b2 with 0 -> compare id1 id2 | c -> c)
+  in
+  t.plan <- Array.of_list moves;
+  t.plan_pos <- 0;
+  (* Reserve the whole target region up front: appends while the
+     migration is in flight land beyond it, so plan moves stay the only
+     writers of target blocks and their capacity bound holds even when
+     instances are created mid-migration. *)
+  if moves <> [] then Pager.advance_tail t.pager (base + assignment.Cluster.block_count);
+  Array.length t.plan
+
+let pending_moves t = Array.length t.plan - t.plan_pos
+
+let recluster_step t ~max_moves =
+  if max_moves < 1 then invalid_arg "Store.recluster_step: max_moves must be >= 1";
+  let remaining = pending_moves t in
+  if remaining = 0 then 0
+  else begin
+    let n = min max_moves remaining in
+    let max_target = ref (-1) in
+    for i = t.plan_pos to t.plan_pos + n - 1 do
+      let id, block = t.plan.(i) in
+      (* Instances deleted since the plan was computed are skipped;
+         relocate is a no-op for unplaced ids. *)
+      Pager.relocate t.pager id ~block;
+      if block > !max_target then max_target := block
+    done;
+    t.plan_pos <- t.plan_pos + n;
+    Counters.add t.counters "recluster_moves" n;
+    Counters.incr t.counters "recluster_steps";
+    if pending_moves t = 0 then begin
+      (* Migration complete: future appends join the migrated region,
+         and the link cost tags are reseeded exactly as after a full
+         re-clustering. *)
+      Pager.advance_tail t.pager (!max_target + 1);
+      t.plan <- [||];
+      t.plan_pos <- 0;
+      reseed_link_tags t;
+      Counters.incr t.counters "reclusterings"
+    end;
+    n
+  end

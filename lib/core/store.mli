@@ -9,8 +9,17 @@
 
 type t
 
+(** [create ?block_capacity ?buffer_capacity ?disk_path ?disk_block_bytes
+    schema] — when [disk_path] is given, the pager is backed by a real
+    block file at that path (see {!Cactis_storage.Disk}); otherwise mass
+    storage is simulated counters only. *)
 val create :
-  ?block_capacity:int -> ?buffer_capacity:int -> Schema.t -> t
+  ?block_capacity:int ->
+  ?buffer_capacity:int ->
+  ?disk_path:string ->
+  ?disk_block_bytes:int ->
+  Schema.t ->
+  t
 
 val schema : t -> Schema.t
 val pager : t -> Cactis_storage.Pager.t
@@ -141,7 +150,37 @@ val notify_write : t -> int -> string -> Value.t -> unit
 
 (** {1 Re-clustering (§2.3)} *)
 
-(** [recluster t] packs instances into blocks with the paper's greedy
-    usage-count algorithm, installs the layout, flushes the buffer pool
-    and re-seeds the per-link cost tags. Returns the number of blocks. *)
-val recluster : t -> int
+(** [recluster ?strategy t] packs instances into blocks with the chosen
+    clustering strategy (default: the paper's greedy usage-count
+    algorithm), installs the layout, cancels any in-flight incremental
+    plan, and re-seeds the per-link cost tags.  Returns the number of
+    blocks. *)
+val recluster : ?strategy:Cactis_storage.Cluster.strategy -> t -> int
+
+(** {2 Incremental re-clustering}
+
+    [begin_recluster] computes the target placement from the current
+    usage statistics but applies nothing; [recluster_step] then migrates
+    a bounded number of instances at a time, so maintenance cost is
+    amortized across quiet moments instead of one stop-the-world
+    reorganization.  Target blocks live in a fresh region past the
+    current maximum block (copying style), and the region is reserved
+    up front so instances created mid-migration append beyond it: a
+    half-migrated placement never overfills a block, and a crash
+    mid-migration loses nothing —
+    placement is rebuilt from snapshot + WAL replay at recovery.  When
+    the last move lands, the link cost tags are reseeded exactly as
+    after a full {!recluster}. *)
+
+(** [begin_recluster ?strategy t] computes a migration plan and returns
+    the number of pending moves.  Replaces any previous plan. *)
+val begin_recluster : ?strategy:Cactis_storage.Cluster.strategy -> t -> int
+
+(** [recluster_step t ~max_moves] applies up to [max_moves] moves of the
+    pending plan and returns how many were applied (0 when no plan is in
+    flight).  Bumps the [recluster_steps]/[recluster_moves] counters.
+    @raise Invalid_argument if [max_moves < 1]. *)
+val recluster_step : t -> max_moves:int -> int
+
+(** Moves remaining in the in-flight plan (0 when idle). *)
+val pending_moves : t -> int

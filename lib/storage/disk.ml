@@ -1,14 +1,128 @@
+(* Block device: logical access counters plus (optionally) a real
+   fixed-size block file.
+
+   The simulated mode is the original accounting stub — reading a block
+   that is not buffered costs one logical read, no bytes move — and it
+   remains the default so the engine's deterministic experiments keep
+   their exact counters.  Real mode backs every block with [block_bytes]
+   bytes of an ordinary file: [read_block] seeks and reads the block's
+   extent, [write_block] seeks and writes it, [sync] fsyncs.  The
+   read/write counters count the same logical events in both modes, so
+   the paper's §2.3 metric (number of disk accesses) is identical; real
+   mode adds the physical I/O underneath it. *)
+
+type backing = {
+  fd : Unix.file_descr;
+  path : string;
+}
+
 type t = {
   mutable read_count : int;
   mutable write_count : int;
+  block_size : int;
+  backing : backing option;
+  scratch : bytes;  (* read target; one allocation per device *)
 }
 
-let create () = { read_count = 0; write_count = 0 }
+let default_block_bytes = 4096
+
+let create ?path ?(block_bytes = default_block_bytes) () =
+  if block_bytes < 16 then invalid_arg "Disk.create: block_bytes must be >= 16";
+  let backing =
+    match path with
+    | None -> None
+    | Some p ->
+      let fd = Unix.openfile p [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+      Some { fd; path = p }
+  in
+  {
+    read_count = 0;
+    write_count = 0;
+    block_size = block_bytes;
+    backing;
+    scratch = Bytes.create block_bytes;
+  }
+
+let is_real t = t.backing <> None
+let block_bytes t = t.block_size
+let path t = match t.backing with Some b -> Some b.path | None -> None
+
 let read t = t.read_count <- t.read_count + 1
 let write t = t.write_count <- t.write_count + 1
 let reads t = t.read_count
 let writes t = t.write_count
 let accesses t = t.read_count + t.write_count
+
+(* Positioned I/O: the OCaml Unix module has no pread/pwrite binding, so
+   each block access is an explicit seek plus a full-extent read/write
+   loop.  The device is driven from one domain, so the file offset is
+   not shared state. *)
+
+let really_read fd buf len =
+  let got = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !got < len do
+    let n = Unix.read fd buf !got (len - !got) in
+    if n = 0 then eof := true else got := !got + n
+  done;
+  !got
+
+let really_write fd buf len =
+  let sent = ref 0 in
+  while !sent < len do
+    sent := !sent + Unix.write fd buf !sent (len - !sent)
+  done
+
+(* [read_block t block] — one logical read; in real mode also the
+   physical read of the block's extent.  A block beyond the current end
+   of file (never yet written) reads as zeroes, like a fresh page. *)
+let read_block t block =
+  t.read_count <- t.read_count + 1;
+  match t.backing with
+  | None -> t.scratch
+  | Some b ->
+    ignore (Unix.lseek b.fd (block * t.block_size) Unix.SEEK_SET);
+    let got = really_read b.fd t.scratch t.block_size in
+    if got < t.block_size then Bytes.fill t.scratch got (t.block_size - got) '\000';
+    t.scratch
+
+(* [write_block t block data] — one logical write; in real mode the
+   physical write of exactly one block extent.  [data] shorter than the
+   block is zero-padded; longer is an error (block images are fixed
+   size). *)
+let write_block t block data =
+  t.write_count <- t.write_count + 1;
+  match t.backing with
+  | None -> ()
+  | Some b ->
+    let len = Bytes.length data in
+    if len > t.block_size then
+      invalid_arg
+        (Printf.sprintf "Disk.write_block: %d bytes exceeds block size %d" len t.block_size);
+    ignore (Unix.lseek b.fd (block * t.block_size) Unix.SEEK_SET);
+    if len = t.block_size then really_write b.fd data t.block_size
+    else begin
+      Bytes.blit data 0 t.scratch 0 len;
+      Bytes.fill t.scratch len (t.block_size - len) '\000';
+      really_write b.fd t.scratch t.block_size
+    end
+
+(* fsync the block file.  Ordering discipline against the WAL: the log
+   is the source of truth and is fsynced by its own writer at commit;
+   block images are a rebuildable materialization, synced only at
+   re-clustering boundaries (see DESIGN.md §9). *)
+let sync t =
+  match t.backing with
+  | None -> ()
+  | Some b -> ( try Unix.fsync b.fd with Unix.Unix_error _ -> ())
+
+let file_size t =
+  match t.backing with None -> 0 | Some b -> (Unix.fstat b.fd).Unix.st_size
+
+let close t =
+  match t.backing with
+  | None -> ()
+  | Some b -> ( try Unix.close b.fd with Unix.Unix_error _ -> ())
 
 let reset t =
   t.read_count <- 0;

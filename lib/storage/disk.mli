@@ -1,21 +1,58 @@
-(** Simulated block device.
+(** Block device: logical access accounting over an optional real file.
 
     The paper's Cactis is "a mass storage database, not an in-memory
     system"; its performance arguments in Section 2.3 are about the
     *number of disk accesses* induced by traversal order and clustering.
-    We therefore model the disk purely as an accounting device: reading a
-    block that is not buffered costs one logical read.  No bytes are
-    actually stored — instance data lives in the heap — which preserves
-    exactly the metric the paper reasons about. *)
+    The default (simulated) mode models the disk purely as an accounting
+    device, preserving exactly the metric the paper reasons about.
+
+    Passing [~path] backs the device with a real fixed-size block file:
+    {!read_block} and {!write_block} then perform a positioned read /
+    write of the block's [block_bytes]-byte extent, and {!sync} fsyncs
+    the file.  The logical counters count the same events in both modes,
+    so experiments can report the paper's metric alongside physical
+    wall-clock I/O. *)
 
 type t
 
-val create : unit -> t
+(** [create ?path ?block_bytes ()] — simulated device when [path] is
+    omitted; otherwise a real block file at [path] (created or
+    truncated), [block_bytes] per block (default 4096, minimum 16). *)
+val create : ?path:string -> ?block_bytes:int -> unit -> t
 
-(** Record one block read / one block write. *)
+(** Whether the device is file-backed. *)
+val is_real : t -> bool
+
+val block_bytes : t -> int
+val path : t -> string option
+
+(** Record one block read / one block write (counter only, no data —
+    used by accounting-only call sites). *)
 val read : t -> unit
 
 val write : t -> unit
+
+(** [read_block t block] counts one read and, in real mode, reads the
+    block's extent.  The returned buffer is the device's scratch buffer,
+    valid until the next block operation; blocks never written read as
+    zeroes. *)
+val read_block : t -> int -> bytes
+
+(** [write_block t block data] counts one write and, in real mode,
+    writes [data] (zero-padded to the block size) at the block's extent.
+    @raise Invalid_argument if [data] exceeds the block size. *)
+val write_block : t -> int -> bytes -> unit
+
+(** fsync the backing file (no-op when simulated).  The WAL, not the
+    block file, is the durability source of truth — see DESIGN.md §9
+    for the ordering discipline. *)
+val sync : t -> unit
+
+(** Current byte size of the backing file (0 when simulated). *)
+val file_size : t -> int
+
+(** Close the backing file descriptor (no-op when simulated). *)
+val close : t -> unit
 
 val reads : t -> int
 val writes : t -> int
