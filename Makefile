@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build check test format-compat lint bench bench-fast bench-json bench-persist bench-cluster bench-cluster-smoke stats trace examples clean
+.PHONY: all build check test format-compat lint bench bench-fast bench-json bench-persist bench-cluster bench-cluster-smoke bench-qps bench-qps-smoke stats trace examples clean
 
 # Output path for the machine-readable experiment record; override with
 # `make bench-json BENCH_JSON=BENCH_1.json` to regenerate earlier runs.
@@ -68,6 +68,17 @@ bench-cluster:
 
 bench-cluster-smoke:
 	dune exec bench/main.exe -- --fast E16
+
+# Multi-client QPS over TCP (E17): 4 client processes against the
+# domain-parallel server at 1/2/4 reader domains.  The full run records
+# $(QPS_JSON); the smoke variant is the CI gate (the >=2x scaling
+# assertion arms itself only on machines with >=4 cores).
+QPS_JSON ?= BENCH_5.json
+bench-qps:
+	dune exec bench/main.exe -- E17 --json $(QPS_JSON)
+
+bench-qps-smoke:
+	dune exec bench/main.exe -- --fast E17
 
 # Run $(OBS_SCRIPT) and report counters, latency histograms and the last
 # commit's propagation profile (evaluated-at-most-once check included).

@@ -5,7 +5,9 @@
      fmt     FILE.cactis            pretty-print the schema
      lint    FILE.cactis...         static analysis: circularity, dead rules, dangling refs
      run     FILE.cactis SCRIPT     load a schema and execute a script
+     serve   FILE.cactis            serve the database to TCP clients (parallel readers)
      stats   FILE.cactis SCRIPT     run a script, report counters/latencies/profile
+     stats   --connect PORT         live counters/latencies of a running server (--watch)
      trace   FILE.cactis SCRIPT     run a script, export a Chrome trace JSON
      save    FILE.cactis SNAPSHOT   re-encode a snapshot (text <-> binary)
      recover FILE.cactis DIR        recover a database from checkpoint + WAL
@@ -22,6 +24,8 @@ module Counters = Cactis_util.Counters
 module Trace = Cactis_obs.Trace
 module Histogram = Cactis_obs.Histogram
 module Profile = Cactis_obs.Profile
+module Server = Cactis_net.Server
+module Client = Cactis_net.Client
 
 let read_file path =
   let ic = open_in_bin path in
@@ -248,7 +252,74 @@ let hist_json (st : Histogram.stats) =
     (st.Histogram.st_p50 *. 1e6) (st.Histogram.st_p95 *. 1e6) (st.Histogram.st_p99 *. 1e6)
     (st.Histogram.st_max *. 1e6)
 
-let stats_cmd schema_path script_path persist json show_output =
+(* Remote mode: sample a running server's counters and per-verb service
+   latencies over its own Stats verb.  With [--watch] the tables refresh
+   in place (ANSI home+clear) until interrupted. *)
+let remote_stats port watch json =
+  let render c =
+    let counters, lats = Client.stats c in
+    if json then begin
+      let counters_j =
+        counters
+        |> List.map (fun (n, v) -> Printf.sprintf "\"%s\":%d" (json_escape n) v)
+        |> String.concat ","
+      in
+      let lat_j =
+        lats
+        |> List.map (fun (l : Cactis_net.Proto.latency) ->
+               Printf.sprintf
+                 "{\"name\":\"%s\",\"count\":%d,\"mean_us\":%.2f,\"p50_us\":%.2f,\
+                  \"p95_us\":%.2f,\"p99_us\":%.2f,\"max_us\":%.2f}"
+                 (json_escape l.l_name) l.l_count (l.l_mean *. 1e6) (l.l_p50 *. 1e6)
+                 (l.l_p95 *. 1e6) (l.l_p99 *. 1e6) (l.l_max *. 1e6))
+        |> String.concat ","
+      in
+      Printf.printf "{\"counters\":{%s},\"latencies\":[%s]}\n%!" counters_j lat_j
+    end
+    else begin
+      Printf.printf "== server counters (127.0.0.1:%d) ==\n" port;
+      List.iter (fun (n, v) -> Printf.printf "  %-28s %d\n" n v) counters;
+      print_endline "== per-verb service latencies ==";
+      Printf.printf "  %-16s %8s  %10s %10s %10s %10s\n" "verb" "count" "p50" "p95" "p99" "max";
+      List.iter
+        (fun (l : Cactis_net.Proto.latency) ->
+          Printf.printf "  %-16s %8d  %10s %10s %10s %10s\n" l.l_name l.l_count
+            (pp_duration l.l_p50) (pp_duration l.l_p95) (pp_duration l.l_p99)
+            (pp_duration l.l_max))
+        lats;
+      flush stdout
+    end
+  in
+  let c =
+    try Client.connect ~port ()
+    with Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "cannot connect to 127.0.0.1:%d: %s\n" port (Unix.error_message e);
+      exit 1
+  in
+  Fun.protect
+    ~finally:(fun () -> try Client.close c with _ -> ())
+    (fun () ->
+      if not watch then render c
+      else
+        while true do
+          (* Home + clear-to-end: repaint without scrollback spam. *)
+          print_string "\027[H\027[J";
+          render c;
+          flush stdout;
+          Unix.sleepf 1.0
+        done)
+
+let stats_cmd connect watch schema_path script_path persist json show_output =
+  match connect with
+  | Some port -> remote_stats port watch json
+  | None ->
+  let schema_path, script_path =
+    match (schema_path, script_path) with
+    | Some a, Some b -> (a, b)
+    | _ ->
+      prerr_endline "stats: SCHEMA and SCRIPT are required (or use --connect PORT)";
+      exit 2
+  in
   handle_errors (fun () ->
       let _, sch = load_schema schema_path in
       let p, db = open_script_db sch persist in
@@ -324,6 +395,42 @@ let trace_cmd schema_path script_path persist out show_output =
       write_file out (Trace.to_chrome_json tr);
       Printf.printf "%s: %d events (%d dropped) — load in Perfetto or chrome://tracing\n" out
         (Trace.recorded tr) (Trace.dropped tr))
+
+(* ---- serve ---- *)
+
+let serve_cmd schema_path script_path port readers trace_sample persist =
+  handle_errors (fun () ->
+      let src = read_file schema_path in
+      (* Each reader replica needs its own schema (schemas are mutable
+         and cannot cross domains): re-elaborate from source per call. *)
+      let make_schema () = Cactis_ddl.Elaborate.load_string src in
+      let sch = make_schema () in
+      let p, db = open_script_db sch persist in
+      (match script_path with
+      | Some s -> ignore (Script.run db (read_file s))
+      | None -> ());
+      let server =
+        Server.start ~config:(Server.config ~port ~readers ~trace_sample ()) ~make_schema db
+      in
+      Printf.printf "cactis: serving on 127.0.0.1:%d  (%d reader domain%s, version %d)\n"
+        (Server.port server) readers
+        (if readers = 1 then "" else "s")
+        (Server.published_version server);
+      Printf.printf "cactis: live stats:  cactis stats --connect %d --watch\n" (Server.port server);
+      Printf.printf "cactis: stop with Ctrl-C\n%!";
+      let stop = Atomic.make false in
+      let handler = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+      Sys.set_signal Sys.sigint handler;
+      Sys.set_signal Sys.sigterm handler;
+      while not (Atomic.get stop) do
+        try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      Printf.printf "\ncactis: shutting down (version %d)\n%!" (Server.published_version server);
+      Server.stop server;
+      (match p with Some p -> Persist.close p | None -> ());
+      List.iter
+        (fun (n, v) -> Printf.printf "  %-28s %d\n" n v)
+        (Counters.snapshot (Server.counters server)))
 
 (* ---- lint ---- *)
 
@@ -553,14 +660,69 @@ let stats_t =
   let doc =
     "Execute a script with per-commit propagation profiling armed, then report event counters, \
      latency histograms (p50/p95/p99/max) and the last commit's propagation profile — including \
-     whether the evaluated-at-most-once invariant held."
+     whether the evaluated-at-most-once invariant held.  With $(b,--connect), report a running \
+     $(b,cactis serve) instance's counters and per-verb service latencies instead (add \
+     $(b,--watch) for a live view)."
   in
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object instead of tables.")
   in
+  let connect_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "connect" ] ~docv:"PORT"
+          ~doc:"Query a running server on 127.0.0.1:$(docv) instead of executing a script.")
+  in
+  let watch_arg =
+    Arg.(
+      value & flag
+      & info [ "watch" ]
+          ~doc:"With $(b,--connect): refresh the tables in place every second until interrupted.")
+  in
+  let schema_opt_arg =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"SCHEMA" ~doc:"Schema (.cactis) file.")
+  in
+  let script_opt_arg =
+    Arg.(value & pos 1 (some file) None & info [] ~docv:"SCRIPT" ~doc:"Script file.")
+  in
   Cmd.v (Cmd.info "stats" ~doc)
     Term.(
-      const stats_cmd $ schema_arg $ script_pos_arg $ persist_opt_arg $ json_arg $ show_output_arg)
+      const stats_cmd $ connect_arg $ watch_arg $ schema_opt_arg $ script_opt_arg
+      $ persist_opt_arg $ json_arg $ show_output_arg)
+
+let serve_t =
+  let doc =
+    "Serve the database to TCP clients: one writer domain applies commits (through the \
+     write-ahead log when $(b,--persist) is given), N reader domains answer reads and \
+     traversals over immutable snapshot replicas kept current by per-commit delta broadcast.  \
+     Listens on loopback; stop with Ctrl-C."
+  in
+  let script_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "script" ] ~docv:"FILE" ~doc:"Populate the database with a script before serving.")
+  in
+  let port_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "port" ] ~docv:"PORT" ~doc:"TCP port (default 0: pick an ephemeral port).")
+  in
+  let readers_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "readers" ] ~docv:"N" ~doc:"Reader domains serving snapshot reads (default 2).")
+  in
+  let sample_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "trace-sample" ] ~docv:"N" ~doc:"Record a span for one commit in $(docv) (default 64).")
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const serve_cmd $ schema_arg $ script_arg $ port_arg $ readers_arg $ sample_arg
+      $ persist_opt_arg)
 
 let trace_t =
   let doc =
@@ -620,7 +782,10 @@ let main =
   let doc = "Cactis: object-oriented database with functionally-defined data" in
   Cmd.group
     (Cmd.info "cactis" ~version:"1.0.0" ~doc)
-    [ check_t; fmt_t; lint_t; run_t; repl_t; stats_t; trace_t; save_t; recover_t; log_t; demo_t ]
+    [
+      check_t; fmt_t; lint_t; run_t; repl_t; serve_t; stats_t; trace_t; save_t; recover_t;
+      log_t; demo_t;
+    ]
 
 let () =
   (* Register the analyzer as the schema validator, so Schema.validate /

@@ -1,0 +1,87 @@
+module Value = Cactis.Value
+
+type stats = {
+  committed : int;
+  restarts : int;
+  starved : int;
+  ops_executed : int;
+  committed_scripts : (int * Workload.script) list;
+}
+
+(* Same op semantics as the deterministic interleaver: an [Incr]'s read
+   and write execute back-to-back within one atomic step. *)
+let exec_op cc txn op =
+  match op with
+  | Workload.Read (id, a) | Workload.Read_derived (id, a) -> (
+    match Timestamp_cc.read cc txn id a with Ok _ -> Ok () | Error `Abort -> Error `Abort)
+  | Workload.Write (id, a, v) -> Timestamp_cc.write cc txn id a v
+  | Workload.Incr (id, a, n) -> (
+    match Timestamp_cc.read cc txn id a with
+    | Error `Abort -> Error `Abort
+    | Ok v -> Timestamp_cc.write cc txn id a (Value.Int (Value.as_int v + n)))
+
+type client_stats = {
+  mutable c_committed : int;
+  mutable c_restarts : int;
+  mutable c_starved : int;
+  mutable c_ops : int;
+  mutable c_scripts : (int * Workload.script) list;
+}
+
+let run ?(max_restarts = 1000) ~cc ~clients () =
+  let mu = Mutex.create () in
+  let locked f =
+    Mutex.lock mu;
+    match f () with
+    | v ->
+      Mutex.unlock mu;
+      v
+    | exception e ->
+      Mutex.unlock mu;
+      raise e
+  in
+  let run_client scripts =
+    let st = { c_committed = 0; c_restarts = 0; c_starved = 0; c_ops = 0; c_scripts = [] } in
+    List.iter
+      (fun script ->
+        let rec attempt tries =
+          if tries > max_restarts then st.c_starved <- st.c_starved + 1
+          else begin
+            let txn = locked (fun () -> Timestamp_cc.begin_txn cc) in
+            let restart () =
+              locked (fun () ->
+                  try Timestamp_cc.abort cc txn with Invalid_argument _ -> ());
+              st.c_restarts <- st.c_restarts + 1;
+              attempt (tries + 1)
+            in
+            let rec go = function
+              | op :: rest -> (
+                st.c_ops <- st.c_ops + 1;
+                match locked (fun () -> exec_op cc txn op) with
+                | Ok () -> go rest
+                | Error `Abort -> restart ())
+              | [] -> (
+                match locked (fun () -> Timestamp_cc.commit cc txn) with
+                | Ok () ->
+                  st.c_committed <- st.c_committed + 1;
+                  st.c_scripts <- (Timestamp_cc.timestamp txn, script) :: st.c_scripts
+                | Error `Abort -> restart ())
+            in
+            go script
+          end
+        in
+        attempt 0)
+      scripts;
+    st
+  in
+  let domains = List.map (fun scripts -> Domain.spawn (fun () -> run_client scripts)) clients in
+  let per_client = List.map Domain.join domains in
+  {
+    committed = List.fold_left (fun a s -> a + s.c_committed) 0 per_client;
+    restarts = List.fold_left (fun a s -> a + s.c_restarts) 0 per_client;
+    starved = List.fold_left (fun a s -> a + s.c_starved) 0 per_client;
+    ops_executed = List.fold_left (fun a s -> a + s.c_ops) 0 per_client;
+    committed_scripts =
+      List.concat_map (fun s -> s.c_scripts) per_client
+      |> List.sort (fun (a, _) (b, _) -> compare a b);
+  }

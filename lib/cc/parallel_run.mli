@@ -1,0 +1,29 @@
+(** Real-parallel multi-client driver for {!Timestamp_cc}.
+
+    The deterministic {!Interleave} driver simulates concurrency by
+    picking whose operation runs next from a seeded RNG.  This driver
+    runs each client on its {e own OCaml 5 domain}: the interleaving is
+    whatever the OS scheduler produces — genuinely nondeterministic —
+    while a single global mutex keeps the granularity identical to the
+    interleaver's (one workload op, including the read+write of an
+    [Incr], executes atomically against the shared manager).
+
+    Timestamp ordering must deliver serializability {e regardless} of
+    interleaving, so the same oracle applies: sort the committed scripts
+    by commit timestamp and replay serially
+    ({!Serial_oracle.replay} / {!Serial_oracle.equivalent}).  Only the
+    abort/restart counts and the commit order vary run to run. *)
+
+type stats = {
+  committed : int;
+  restarts : int;
+  starved : int;  (** scripts dropped after [max_restarts] attempts *)
+  ops_executed : int;
+  committed_scripts : (int * Workload.script) list;
+      (** commit timestamp + script, sorted by timestamp — the serial
+          oracle's input order *)
+}
+
+(** [run ~cc ~clients ()] — one domain per client; returns after every
+    domain has drained its scripts. *)
+val run : ?max_restarts:int -> cc:Timestamp_cc.t -> clients:Workload.script list list -> unit -> stats

@@ -122,6 +122,7 @@ let harvest_profile t =
   | None -> ()
 
 let set_commit_hook t hook = t.commit_hook <- hook
+let commit_hook t = t.commit_hook
 
 let notify_hook t delta =
   match t.commit_hook with None -> () | Some f -> f delta

@@ -253,6 +253,12 @@ val schema_step_count : t -> int
     to a write-ahead log lets recovery replay to the same state. *)
 val set_commit_hook : t -> (Txn.delta -> unit) option -> unit
 
+(** The currently installed hook, if any.  A layer that needs to stack
+    another observer on top (e.g. the server broadcasting deltas to
+    reader replicas after {!Persist.attach} installed the WAL hook)
+    reads the current hook and installs a wrapper that calls both. *)
+val commit_hook : t -> (Txn.delta -> unit) option
+
 (** [replay_delta t d] re-applies a logged delta during crash recovery:
     ops run unlogged (no hook — the log already holds this record) and
     the delta joins the version history so undo works across a restart.

@@ -34,6 +34,22 @@ val random : Cactis_util.Rng.t -> ids:int list -> sites:int -> t
     naive system would produce). *)
 val round_robin : ids:int list -> sites:int -> t
 
+(** [by_range ~ids ~sites] — contiguous id-range sharding: the sorted
+    ids are split into [sites] near-equal chunks.  Range placements can
+    route ids created {e after} the partition was drawn (see
+    {!site_of_range}), which the server's reader-affinity routing
+    relies on. *)
+val by_range : ids:int list -> sites:int -> t
+
+(** [site_of_range t id] — the site whose id range contains [id]
+    (total: every id maps to some site).  Raises [Invalid_argument] if
+    [t] was not built by {!by_range}. *)
+val site_of_range : t -> int -> int
+
+(** The range partition's inclusive lower bounds, by site index
+    ([bounds.(0)] is [min_int]).  Empty for non-range placements. *)
+val range_bounds : t -> int array
+
 (** [by_usage store ~sites] — usage-driven placement: the paper's greedy
     clustering with per-site capacity ⌈n/sites⌉, seeded from the store's
     accumulated access and crossing counts. *)

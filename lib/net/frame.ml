@@ -1,0 +1,107 @@
+let header_len = 4
+let max_payload = 16 * 1024 * 1024
+
+exception Too_large of int
+exception Truncated of { expected : int; got : int }
+
+let check_len n = if n > max_payload then raise (Too_large n)
+
+let encode payload =
+  let n = String.length payload in
+  check_len n;
+  let b = Bytes.create (header_len + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b header_len n;
+  Bytes.unsafe_to_string b
+
+(* Big-endian u32 at [off]; lengths are bounded by [max_payload] so the
+   Int32 round-trip is lossless. *)
+let be32 s off =
+  let v = Int32.to_int (String.get_int32_be s off) in
+  if v < 0 then raise (Too_large max_int);
+  v
+
+(* ---- Blocking I/O ---- *)
+
+let rec restart f = try f () with Unix.Unix_error (Unix.EINTR, _, _) -> restart f
+
+(* Writes also serve non-blocking descriptors (the server's worker
+   domains reply on fds its event loop reads from): on EAGAIN, wait for
+   writability and retry. *)
+let rec write_chunk fd s off len =
+  match Unix.write_substring fd s off len with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_chunk fd s off len
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    ignore (restart (fun () -> Unix.select [] [ fd ] [] (-1.0)));
+    write_chunk fd s off len
+
+let send fd payload =
+  let s = encode payload in
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + write_chunk fd s !off (len - !off)
+  done
+
+(* Reads exactly [n] bytes; [None] on EOF before the first byte. *)
+let read_exactly fd n =
+  let b = Bytes.create n in
+  let got = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !got < n do
+    let r = restart (fun () -> Unix.read fd b !got (n - !got)) in
+    if r = 0 then eof := true else got := !got + r
+  done;
+  if !got = n then Some (Bytes.unsafe_to_string b)
+  else if !got = 0 then None
+  else raise (Truncated { expected = n; got = !got })
+
+let recv fd =
+  match read_exactly fd header_len with
+  | None -> None
+  | Some hdr ->
+    let n = be32 hdr 0 in
+    check_len n;
+    if n = 0 then Some ""
+    else begin
+      match read_exactly fd n with
+      | Some payload -> Some payload
+      | None -> raise (Truncated { expected = n; got = 0 })
+    end
+
+(* ---- Incremental decoding ---- *)
+
+type decoder = {
+  buf : Buffer.t;
+  mutable off : int;  (* consumed prefix of [buf] *)
+}
+
+let decoder () = { buf = Buffer.create 4096; off = 0 }
+let feed d s = Buffer.add_string d.buf s
+let buffered d = Buffer.length d.buf - d.off
+
+(* Drop the consumed prefix once it dominates the buffer, so a
+   long-lived connection doesn't grow without bound. *)
+let compact d =
+  if d.off > 65536 && d.off * 2 > Buffer.length d.buf then begin
+    let rest = Buffer.sub d.buf d.off (Buffer.length d.buf - d.off) in
+    Buffer.clear d.buf;
+    Buffer.add_string d.buf rest;
+    d.off <- 0
+  end
+
+let next d =
+  let avail = buffered d in
+  if avail < header_len then None
+  else begin
+    let n = be32 (Buffer.sub d.buf d.off header_len) 0 in
+    check_len n;
+    if avail - header_len < n then None
+    else begin
+      let payload = Buffer.sub d.buf (d.off + header_len) n in
+      d.off <- d.off + header_len + n;
+      compact d;
+      Some payload
+    end
+  end

@@ -1,0 +1,59 @@
+(** Length-prefixed frames over a byte stream.
+
+    Every message on the wire is a 4-byte big-endian unsigned length
+    followed by that many payload bytes.  The payload is opaque here —
+    {!Proto} gives it meaning — so the same framing carries requests,
+    responses and (in tests) arbitrary junk.
+
+    Two consumption styles:
+    - {!recv}/{!send} block on a [Unix] descriptor (client side, and
+      worker replies);
+    - a {!decoder} accumulates whatever bytes a non-blocking read
+      produced and yields complete frames as they form (the server's
+      event loop, and the torn-frame tests).
+
+    Lengths above {!max_payload} (16 MiB) are rejected {e before} any
+    allocation, so a corrupt or malicious header cannot make the
+    receiver reserve gigabytes. *)
+
+val max_payload : int
+
+(** A header announced a payload larger than {!max_payload}. *)
+exception Too_large of int
+
+(** The stream ended mid-header or mid-payload. *)
+exception Truncated of { expected : int; got : int }
+
+(** [encode payload] is the wire form: header + payload.
+    @raise Too_large *)
+val encode : string -> string
+
+(** {1 Blocking I/O} *)
+
+(** [send fd payload] writes one whole frame (restarting on [EINTR]).
+    @raise Too_large *)
+val send : Unix.file_descr -> string -> unit
+
+(** [recv fd] reads one whole frame.  [None] on clean end-of-stream (EOF
+    at a frame boundary).
+    @raise Truncated on EOF mid-frame
+    @raise Too_large *)
+val recv : Unix.file_descr -> string option
+
+(** {1 Incremental decoding} *)
+
+type decoder
+
+val decoder : unit -> decoder
+
+(** [feed d bytes] appends raw stream bytes (any split is fine, down to
+    one byte at a time). *)
+val feed : decoder -> string -> unit
+
+(** [next d] pops the next complete frame, or [None] if more bytes are
+    needed.
+    @raise Too_large as soon as a bad header is visible *)
+val next : decoder -> string option
+
+(** Bytes fed but not yet returned as frames. *)
+val buffered : decoder -> int

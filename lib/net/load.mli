@@ -1,0 +1,40 @@
+(** Multi-process load-driver plumbing.
+
+    OCaml 5 forbids forking a process that has running domains, so the
+    QPS benchmark never forks workers from a parallel parent: it
+    re-executes {e its own binary} ([Sys.executable_name]) via
+    fork+exec ([Unix.create_process]) with role-selecting argv, and
+    only the children spawn domains.  A child talks back over its
+    stdout, one line at a time:
+
+    {v
+    READY port=4217          (server child, once listening)
+    RESULT ops=8123 ...      (client child, before exiting)
+    STAT server.req.read=…   (server child, after SIGTERM)
+    v}
+
+    The parent reads lines with a timeout (a wedged child fails the
+    run, it does not hang it), terminates the server with SIGTERM and
+    checks for a clean exit. *)
+
+type child
+
+(** [spawn ~args] — fork+exec this very binary with [args] appended
+    after [argv0], stdout piped to the parent, stderr inherited. *)
+val spawn : args:string list -> child
+
+val pid : child -> int
+
+(** [read_line c] — next stdout line.  [None] on EOF.
+    @raise Failure on [timeout_s] (default 30s) expiring. *)
+val read_line : ?timeout_s:float -> child -> string option
+
+(** [wait c] — drain remaining lines until EOF, reap the child. *)
+val wait : child -> string list * Unix.process_status
+
+(** [terminate c] — SIGTERM, then {!wait}.  Safe if already dead. *)
+val terminate : child -> string list * Unix.process_status
+
+(** [kv line] — parse ["k1=v1 k2=v2 …"] after a one-word tag into
+    assoc pairs; [("_tag", tag)] holds the leading word. *)
+val kv : string -> (string * string) list

@@ -1,0 +1,334 @@
+module Codec = Cactis.Codec
+module Value = Cactis.Value
+module Errors = Cactis.Errors
+
+type update =
+  | Set of { instance : int; attr : string; value : Value.t }
+  | Create of { type_name : string }
+  | Link of { from_id : int; rel : string; to_id : int }
+  | Unlink of { from_id : int; rel : string; to_id : int }
+
+type req =
+  | Ping
+  | Open_session
+  | Read of { min_version : int; instance : int; attr : string }
+  | Traverse of { min_version : int; root : int; rel : string; attr : string; depth : int }
+  | Commit of update list
+  | Stats
+
+type error_code =
+  | E_unknown
+  | E_type
+  | E_constraint
+  | E_cardinality
+  | E_cycle
+  | E_protocol
+  | E_server
+
+type latency = {
+  l_name : string;
+  l_count : int;
+  l_mean : float;
+  l_p50 : float;
+  l_p95 : float;
+  l_p99 : float;
+  l_max : float;
+}
+
+type resp =
+  | Pong
+  | Opened of { version : int; readers : int; instances : int }
+  | Value of { version : int; value : Value.t }
+  | Traversed of { version : int; visited : int; total : Value.t }
+  | Committed of { version : int; created : int list }
+  | Stats_reply of { counters : (string * int) list; latencies : latency list }
+  | Error of { code : error_code; message : string }
+
+type envelope = {
+  req_id : int;
+  span_id : int;
+}
+
+exception Malformed of string
+
+let malformed fmt = Format.kasprintf (fun s -> raise (Malformed s)) fmt
+
+(* Decoders run under this wrapper so codec faults surface as the
+   protocol's own typed error, byte offset preserved. *)
+let guarded name f s =
+  try
+    let r = Codec.reader s in
+    let v = f r in
+    if not (Codec.at_end r) then malformed "%s: %d trailing bytes" name (String.length s - r.Codec.pos);
+    v
+  with Codec.Error { offset; message } -> malformed "%s: %s at byte %d" name message offset
+
+let write_float b f = Codec.write_value b (Value.Float f)
+let read_float r = Value.as_float (Codec.read_value r)
+
+(* ---- Envelope ---- *)
+
+let write_envelope b env =
+  Codec.write_uint b env.req_id;
+  Codec.write_uint b env.span_id
+
+let read_envelope r =
+  let req_id = Codec.read_uint r in
+  let span_id = Codec.read_uint r in
+  { req_id; span_id }
+
+(* ---- Requests ---- *)
+
+let write_update b = function
+  | Set { instance; attr; value } ->
+    Codec.write_uint b 0;
+    Codec.write_uint b instance;
+    Codec.write_string b attr;
+    Codec.write_value b value
+  | Create { type_name } ->
+    Codec.write_uint b 1;
+    Codec.write_string b type_name
+  | Link { from_id; rel; to_id } ->
+    Codec.write_uint b 2;
+    Codec.write_uint b from_id;
+    Codec.write_string b rel;
+    Codec.write_uint b to_id
+  | Unlink { from_id; rel; to_id } ->
+    Codec.write_uint b 3;
+    Codec.write_uint b from_id;
+    Codec.write_string b rel;
+    Codec.write_uint b to_id
+
+let read_update r =
+  match Codec.read_uint r with
+  | 0 ->
+    let instance = Codec.read_uint r in
+    let attr = Codec.read_string r in
+    let value = Codec.read_value r in
+    Set { instance; attr; value }
+  | 1 -> Create { type_name = Codec.read_string r }
+  | 2 ->
+    let from_id = Codec.read_uint r in
+    let rel = Codec.read_string r in
+    let to_id = Codec.read_uint r in
+    Link { from_id; rel; to_id }
+  | 3 ->
+    let from_id = Codec.read_uint r in
+    let rel = Codec.read_string r in
+    let to_id = Codec.read_uint r in
+    Unlink { from_id; rel; to_id }
+  | tag -> malformed "update: unknown tag %d" tag
+
+let encode_req env req =
+  let b = Buffer.create 64 in
+  write_envelope b env;
+  (match req with
+  | Ping -> Codec.write_uint b 0
+  | Open_session -> Codec.write_uint b 1
+  | Read { min_version; instance; attr } ->
+    Codec.write_uint b 2;
+    Codec.write_uint b min_version;
+    Codec.write_uint b instance;
+    Codec.write_string b attr
+  | Traverse { min_version; root; rel; attr; depth } ->
+    Codec.write_uint b 3;
+    Codec.write_uint b min_version;
+    Codec.write_uint b root;
+    Codec.write_string b rel;
+    Codec.write_string b attr;
+    Codec.write_int b depth
+  | Commit updates ->
+    Codec.write_uint b 4;
+    Codec.write_uint b (List.length updates);
+    List.iter (write_update b) updates
+  | Stats -> Codec.write_uint b 5);
+  Buffer.contents b
+
+let decode_req =
+  guarded "request" (fun r ->
+      let env = read_envelope r in
+      let req =
+        match Codec.read_uint r with
+        | 0 -> Ping
+        | 1 -> Open_session
+        | 2 ->
+          let min_version = Codec.read_uint r in
+          let instance = Codec.read_uint r in
+          let attr = Codec.read_string r in
+          Read { min_version; instance; attr }
+        | 3 ->
+          let min_version = Codec.read_uint r in
+          let root = Codec.read_uint r in
+          let rel = Codec.read_string r in
+          let attr = Codec.read_string r in
+          let depth = Codec.read_int r in
+          Traverse { min_version; root; rel; attr; depth }
+        | 4 ->
+          let n = Codec.read_uint r in
+          Commit (List.init n (fun _ -> read_update r))
+        | 5 -> Stats
+        | tag -> malformed "request: unknown verb tag %d" tag
+      in
+      (env, req))
+
+(* ---- Responses ---- *)
+
+let error_code_tag = function
+  | E_unknown -> 0
+  | E_type -> 1
+  | E_constraint -> 2
+  | E_cardinality -> 3
+  | E_cycle -> 4
+  | E_protocol -> 5
+  | E_server -> 6
+
+let error_code_of_tag = function
+  | 0 -> E_unknown
+  | 1 -> E_type
+  | 2 -> E_constraint
+  | 3 -> E_cardinality
+  | 4 -> E_cycle
+  | 5 -> E_protocol
+  | 6 -> E_server
+  | tag -> malformed "error: unknown code tag %d" tag
+
+let error_code_name = function
+  | E_unknown -> "unknown"
+  | E_type -> "type_error"
+  | E_constraint -> "constraint"
+  | E_cardinality -> "cardinality"
+  | E_cycle -> "cycle"
+  | E_protocol -> "protocol"
+  | E_server -> "server"
+
+let write_latency b l =
+  Codec.write_string b l.l_name;
+  Codec.write_uint b l.l_count;
+  write_float b l.l_mean;
+  write_float b l.l_p50;
+  write_float b l.l_p95;
+  write_float b l.l_p99;
+  write_float b l.l_max
+
+let read_latency r =
+  let l_name = Codec.read_string r in
+  let l_count = Codec.read_uint r in
+  let l_mean = read_float r in
+  let l_p50 = read_float r in
+  let l_p95 = read_float r in
+  let l_p99 = read_float r in
+  let l_max = read_float r in
+  { l_name; l_count; l_mean; l_p50; l_p95; l_p99; l_max }
+
+let encode_resp env resp =
+  let b = Buffer.create 64 in
+  write_envelope b env;
+  (match resp with
+  | Pong -> Codec.write_uint b 0
+  | Opened { version; readers; instances } ->
+    Codec.write_uint b 1;
+    Codec.write_uint b version;
+    Codec.write_uint b readers;
+    Codec.write_uint b instances
+  | Value { version; value } ->
+    Codec.write_uint b 2;
+    Codec.write_uint b version;
+    Codec.write_value b value
+  | Traversed { version; visited; total } ->
+    Codec.write_uint b 3;
+    Codec.write_uint b version;
+    Codec.write_uint b visited;
+    Codec.write_value b total
+  | Committed { version; created } ->
+    Codec.write_uint b 4;
+    Codec.write_uint b version;
+    Codec.write_uint b (List.length created);
+    List.iter (Codec.write_uint b) created
+  | Stats_reply { counters; latencies } ->
+    Codec.write_uint b 5;
+    Codec.write_uint b (List.length counters);
+    List.iter
+      (fun (name, v) ->
+        Codec.write_string b name;
+        Codec.write_int b v)
+      counters;
+    Codec.write_uint b (List.length latencies);
+    List.iter (write_latency b) latencies
+  | Error { code; message } ->
+    Codec.write_uint b 6;
+    Codec.write_uint b (error_code_tag code);
+    Codec.write_string b message);
+  Buffer.contents b
+
+let decode_resp =
+  guarded "response" (fun r ->
+      let env = read_envelope r in
+      let resp =
+        match Codec.read_uint r with
+        | 0 -> Pong
+        | 1 ->
+          let version = Codec.read_uint r in
+          let readers = Codec.read_uint r in
+          let instances = Codec.read_uint r in
+          Opened { version; readers; instances }
+        | 2 ->
+          let version = Codec.read_uint r in
+          let value = Codec.read_value r in
+          Value { version; value }
+        | 3 ->
+          let version = Codec.read_uint r in
+          let visited = Codec.read_uint r in
+          let total = Codec.read_value r in
+          Traversed { version; visited; total }
+        | 4 ->
+          let version = Codec.read_uint r in
+          let n = Codec.read_uint r in
+          let created = List.init n (fun _ -> Codec.read_uint r) in
+          Committed { version; created }
+        | 5 ->
+          let n = Codec.read_uint r in
+          let counters =
+            List.init n (fun _ ->
+                let name = Codec.read_string r in
+                let v = Codec.read_int r in
+                (name, v))
+          in
+          let m = Codec.read_uint r in
+          let latencies = List.init m (fun _ -> read_latency r) in
+          Stats_reply { counters; latencies }
+        | 6 ->
+          let code = error_code_of_tag (Codec.read_uint r) in
+          let message = Codec.read_string r in
+          Error { code; message }
+        | tag -> malformed "response: unknown tag %d" tag
+      in
+      (env, resp))
+
+let verb_name = function
+  | Ping -> "ping"
+  | Open_session -> "open"
+  | Read _ -> "read"
+  | Traverse _ -> "traverse"
+  | Commit _ -> "commit"
+  | Stats -> "stats"
+
+let error_of_exn = function
+  | Errors.Unknown m -> Error { code = E_unknown; message = m }
+  | Errors.Type_error m -> Error { code = E_type; message = m }
+  | Errors.Constraint_violation { instance; attr; message } ->
+    Error
+      {
+        code = E_constraint;
+        message = Printf.sprintf "instance %d, %s: %s" instance attr message;
+      }
+  | Errors.Cardinality m -> Error { code = E_cardinality; message = m }
+  | Errors.Cycle cycle ->
+    Error
+      {
+        code = E_cycle;
+        message =
+          String.concat " -> "
+            (List.map (fun (id, attr) -> Printf.sprintf "%d.%s" id attr) cycle);
+      }
+  | Malformed m -> Error { code = E_protocol; message = m }
+  | e -> Error { code = E_server; message = Printexc.to_string e }

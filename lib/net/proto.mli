@@ -1,0 +1,99 @@
+(** The client/server request protocol.
+
+    One request or response per {!Frame}.  Payloads reuse the
+    {!Cactis.Codec} primitives (zigzag varints, length-prefixed strings,
+    tagged values), so the wire shares its byte-level vocabulary with
+    the WAL and binary snapshots.
+
+    Every frame opens with an {!envelope}: the client's request id
+    (echoed verbatim in the response, so a pipelining client can match
+    replies out of order) and a trace span id.  The span id propagates
+    the client's trace context into the server — sampled server-side
+    spans carry it as an argument, so a cross-process Chrome trace can
+    be stitched by span id.
+
+    Read and Traverse carry [min_version]: the lowest committed version
+    the serving replica must have applied before answering.  A client
+    that just committed version [v] passes [min_version = v] to get
+    read-your-writes; [0] accepts any snapshot. *)
+
+type update =
+  | Set of { instance : int; attr : string; value : Cactis.Value.t }
+  | Create of { type_name : string }
+  | Link of { from_id : int; rel : string; to_id : int }
+  | Unlink of { from_id : int; rel : string; to_id : int }
+
+type req =
+  | Ping
+  | Open_session
+  | Read of { min_version : int; instance : int; attr : string }
+      (** One attribute of one instance. *)
+  | Traverse of { min_version : int; root : int; rel : string; attr : string; depth : int }
+      (** Evaluate [attr] over the [rel]-reachable closure of [root] up
+          to [depth] hops ([depth < 0] = unbounded) — the paper's
+          attribute-evaluation traversal as a server verb. *)
+  | Commit of update list  (** Apply all updates as one transaction. *)
+  | Stats
+
+(** Typed error categories, mirroring {!Cactis.Errors} plus transport
+    faults.  [Protocol] is a malformed or unknown frame; [Server] is an
+    unexpected internal failure. *)
+type error_code =
+  | E_unknown
+  | E_type
+  | E_constraint
+  | E_cardinality
+  | E_cycle
+  | E_protocol
+  | E_server
+
+(** Per-verb server-side latency digest (seconds). *)
+type latency = {
+  l_name : string;
+  l_count : int;
+  l_mean : float;
+  l_p50 : float;
+  l_p95 : float;
+  l_p99 : float;
+  l_max : float;
+}
+
+type resp =
+  | Pong
+  | Opened of { version : int; readers : int; instances : int }
+  | Value of { version : int; value : Cactis.Value.t }
+      (** [version] is the snapshot version that served the read. *)
+  | Traversed of { version : int; visited : int; total : Cactis.Value.t }
+  | Committed of { version : int; created : int list }
+      (** [created] are the new instance ids, in [Create] order. *)
+  | Stats_reply of { counters : (string * int) list; latencies : latency list }
+  | Error of { code : error_code; message : string }
+
+type envelope = {
+  req_id : int;
+  span_id : int;
+}
+
+(** Malformed payload (bad tag, trailing bytes, codec error — the
+    message says which, with the byte offset when known). *)
+exception Malformed of string
+
+val encode_req : envelope -> req -> string
+
+(** @raise Malformed *)
+val decode_req : string -> envelope * req
+
+val encode_resp : envelope -> resp -> string
+
+(** @raise Malformed *)
+val decode_resp : string -> envelope * resp
+
+(** The verb's metric name ("read", "commit", …), used for per-verb
+    latency histograms on both sides. *)
+val verb_name : req -> string
+
+val error_code_name : error_code -> string
+
+(** Map a server-side exception to the typed wire error ([E_server] with
+    [Printexc.to_string] for anything unrecognised). *)
+val error_of_exn : exn -> resp

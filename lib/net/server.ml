@@ -1,0 +1,436 @@
+module Db = Cactis.Db
+module Schema = Cactis.Schema
+module Snapshot = Cactis.Snapshot
+module Codec = Cactis.Codec
+module Value = Cactis.Value
+module Engine = Cactis.Engine
+module Counters = Cactis_util.Counters
+module Histogram = Cactis_obs.Histogram
+module Trace = Cactis_obs.Trace
+module Partition = Cactis_dist.Partition
+
+type config = {
+  cfg_port : int;
+  cfg_readers : int;
+  cfg_trace_sample : int;
+  cfg_backlog : int;
+}
+
+let config ?(port = 0) ?(readers = 1) ?(trace_sample = 64) ?(backlog = 64) () =
+  if readers < 1 then invalid_arg "Server.config: readers must be >= 1";
+  { cfg_port = port; cfg_readers = readers; cfg_trace_sample = trace_sample; cfg_backlog = backlog }
+
+(* A connection is read only by the front end; responses are written by
+   whichever domain served the request, serialized per connection by
+   [out_mu] so frames never interleave. *)
+type conn = {
+  fd : Unix.file_descr;
+  dec : Frame.decoder;
+  out_mu : Mutex.t;
+  mutable alive : bool;
+}
+
+type job = {
+  j_conn : conn;
+  j_env : Proto.envelope;
+  j_req : Proto.req;
+  j_start_ns : int64;
+}
+
+type msg =
+  | Apply of int * string  (* version, encoded delta *)
+  | Serve of job
+  | Quit
+
+type queue = {
+  qmu : Mutex.t;
+  qcond : Condition.t;
+  qitems : msg Queue.t;
+}
+
+let queue () = { qmu = Mutex.create (); qcond = Condition.create (); qitems = Queue.create () }
+
+let push q m =
+  Mutex.lock q.qmu;
+  Queue.push m q.qitems;
+  Condition.signal q.qcond;
+  Mutex.unlock q.qmu
+
+let pop q =
+  Mutex.lock q.qmu;
+  while Queue.is_empty q.qitems do
+    Condition.wait q.qcond q.qmu
+  done;
+  let m = Queue.pop q.qitems in
+  Mutex.unlock q.qmu;
+  m
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  stop_flag : bool Atomic.t;
+  published : int Atomic.t;
+  writer_q : queue;
+  reader_qs : queue array;
+  partition : Partition.t;
+  ctrs : Counters.t;
+  lats : Histogram.t;
+  tracer : Trace.t;
+  db_counters : Counters.t;
+  mutable domains : unit Domain.t list;
+}
+
+let port t = t.bound_port
+let readers t = Array.length t.reader_qs
+let published_version t = Atomic.get t.published
+let counters t = t.ctrs
+let latencies t = t.lats
+let trace t = t.tracer
+
+let elapsed_s start_ns = Int64.to_float (Int64.sub (Trace.now_ns ()) start_ns) *. 1e-9
+
+(* Reply on the job's connection.  A dead peer only kills that
+   connection, never the serving domain. *)
+let send_resp t conn env resp ~verb ~start_ns =
+  let payload = Proto.encode_resp env resp in
+  (* Record the latency before the bytes leave: once a client holds the
+     response, a Stats request is guaranteed to see this observation. *)
+  Histogram.observe (Histogram.cell t.lats ("serve." ^ verb)) (elapsed_s start_ns);
+  Mutex.lock conn.out_mu;
+  (try if conn.alive then Frame.send conn.fd payload
+   with _ -> conn.alive <- false);
+  Mutex.unlock conn.out_mu;
+  match resp with
+  | Proto.Error { code; _ } ->
+    Counters.incr t.ctrs ("server.error." ^ Proto.error_code_name code)
+  | _ -> ()
+
+(* ---- Writer domain ---- *)
+
+let apply_update db created = function
+  | Proto.Set { instance; attr; value } -> Db.set db instance attr value
+  | Proto.Create { type_name } -> created := Db.create_instance db type_name :: !created
+  | Proto.Link { from_id; rel; to_id } -> Db.link db ~from_id ~rel ~to_id
+  | Proto.Unlink { from_id; rel; to_id } -> Db.unlink db ~from_id ~rel ~to_id
+
+let writer_serve t db { j_conn; j_env; j_req; j_start_ns } =
+  match j_req with
+  | Proto.Commit updates ->
+    let resp =
+      try
+        let created = ref [] in
+        Db.with_txn db (fun () -> List.iter (apply_update db created) updates);
+        let version = Atomic.get t.published in
+        (* Sampled tracing: one commit in [trace_sample] records a span
+           carrying the client's span id, so traces stitch across the
+           wire. *)
+        if t.cfg.cfg_trace_sample > 0 && version mod t.cfg.cfg_trace_sample = 0 then
+          Trace.complete t.tracer ~cat:"server"
+            ~args:[ ("span_id", Trace.I j_env.Proto.span_id); ("version", Trace.I version) ]
+            ~start_ns:j_start_ns "commit";
+        Proto.Committed { version; created = List.rev !created }
+      with e -> Proto.error_of_exn e
+    in
+    send_resp t j_conn j_env resp ~verb:"commit" ~start_ns:j_start_ns
+  | Proto.Open_session ->
+    let resp =
+      Proto.Opened
+        {
+          version = Atomic.get t.published;
+          readers = Array.length t.reader_qs;
+          instances = List.length (Db.instance_ids db);
+        }
+    in
+    send_resp t j_conn j_env resp ~verb:"open" ~start_ns:j_start_ns
+  | req ->
+    send_resp t j_conn j_env
+      (Proto.Error
+         { code = Proto.E_server; message = "writer cannot serve " ^ Proto.verb_name req })
+      ~verb:(Proto.verb_name req) ~start_ns:j_start_ns
+
+let writer_loop t db =
+  (* Chain the delta broadcast after whatever durability hook (the WAL)
+     is already installed; runs on this domain, during commit, so the
+     broadcast always precedes the client's Committed response — which
+     is what makes a subsequent min_version read safe to route. *)
+  let prior = Db.commit_hook db in
+  Db.set_commit_hook db
+    (Some
+       (fun delta ->
+         (match prior with Some f -> f delta | None -> ());
+         let v = Atomic.get t.published + 1 in
+         let encoded = Codec.encode_delta delta in
+         Array.iter (fun q -> push q (Apply (v, encoded))) t.reader_qs;
+         Atomic.set t.published v));
+  let rec loop () =
+    match pop t.writer_q with
+    | Quit -> ()
+    | Apply _ -> loop ()
+    | Serve job ->
+      writer_serve t db job;
+      loop ()
+  in
+  loop ()
+
+(* ---- Reader domains ---- *)
+
+(* Depth-limited reachability: a node is visited at the shallowest
+   depth it is seen at, so [depth] bounds hops from the root ([< 0] =
+   unbounded). *)
+let traverse db ~root ~rel ~attr ~depth =
+  let seen = Hashtbl.create 64 in
+  let values = ref [] in
+  let frontier = ref [ root ] in
+  let d = ref 0 in
+  while !frontier <> [] && (depth < 0 || !d <= depth) do
+    let next = ref [] in
+    List.iter
+      (fun id ->
+        if not (Hashtbl.mem seen id) then begin
+          Hashtbl.add seen id ();
+          values := Db.get db id attr :: !values;
+          next := List.rev_append (Db.related db id rel) !next
+        end)
+      !frontier;
+    frontier := !next;
+    incr d
+  done;
+  (Hashtbl.length seen, Value.sum !values)
+
+let reader_serve t replica ~applied { j_conn; j_env; j_req; j_start_ns } =
+  let resp =
+    try
+      match j_req with
+      | Proto.Read { instance; attr; _ } ->
+        Proto.Value { version = applied; value = Db.get replica instance attr }
+      | Proto.Traverse { root; rel; attr; depth; _ } ->
+        let visited, total = traverse replica ~root ~rel ~attr ~depth in
+        Proto.Traversed { version = applied; visited; total }
+      | req ->
+        Proto.Error
+          { code = Proto.E_server; message = "reader cannot serve " ^ Proto.verb_name req }
+    with e -> Proto.error_of_exn e
+  in
+  send_resp t j_conn j_env resp ~verb:(Proto.verb_name j_req) ~start_ns:j_start_ns
+
+let job_min_version job =
+  match job.j_req with
+  | Proto.Read { min_version; _ } | Proto.Traverse { min_version; _ } -> min_version
+  | _ -> 0
+
+let reader_loop t master_snapshot make_schema =
+  let replica = Snapshot.load_binary (make_schema ()) master_snapshot in
+  let applied = ref 0 in
+  (* The broadcast happens during commit, strictly before the Committed
+     response, so a read naming version v always queues behind Apply v.
+     [deferred] is a safety net, not the expected path. *)
+  let deferred = ref [] in
+  let flush_deferred q_self =
+    let ready, still = List.partition (fun j -> job_min_version j <= !applied) !deferred in
+    deferred := still;
+    List.iter (fun j -> reader_serve t replica ~applied:!applied j) ready;
+    ignore q_self
+  in
+  let rec loop q =
+    match pop q with
+    | Quit -> ()
+    | Apply (v, delta) ->
+      Db.replay_delta replica (Codec.decode_delta delta);
+      Engine.propagate (Db.engine replica);
+      applied := v;
+      flush_deferred q;
+      loop q
+    | Serve job ->
+      if job_min_version job <= !applied then reader_serve t replica ~applied:!applied job
+      else deferred := job :: !deferred;
+      loop q
+  in
+  loop
+
+(* ---- Front end ---- *)
+
+(* Closing takes the same mutex responses are written under, so a
+   worker mid-reply either finishes its frame first or sees [alive =
+   false] — the fd is never closed (and possibly reused) under a
+   concurrent write. *)
+let kill_conn conn =
+  Mutex.lock conn.out_mu;
+  if conn.alive then begin
+    conn.alive <- false;
+    (try Unix.close conn.fd with _ -> ())
+  end;
+  Mutex.unlock conn.out_mu
+
+let close_conn conns conn =
+  kill_conn conn;
+  Hashtbl.remove conns conn.fd
+
+let stats_reply t =
+  let server = Counters.snapshot t.ctrs in
+  let db = List.map (fun (n, v) -> ("db." ^ n, v)) (Counters.snapshot t.db_counters) in
+  let latencies =
+    List.map
+      (fun st ->
+        {
+          Proto.l_name = st.Histogram.st_name;
+          l_count = st.Histogram.st_count;
+          l_mean = st.Histogram.st_mean;
+          l_p50 = st.Histogram.st_p50;
+          l_p95 = st.Histogram.st_p95;
+          l_p99 = st.Histogram.st_p99;
+          l_max = st.Histogram.st_max;
+        })
+      (Histogram.snapshot t.lats)
+  in
+  Proto.Stats_reply { counters = server @ db; latencies }
+
+let route t id = Partition.site_of_range t.partition id
+
+let dispatch t conn payload =
+  let start_ns = Trace.now_ns () in
+  match Proto.decode_req payload with
+  | exception Proto.Malformed m ->
+    send_resp t conn { Proto.req_id = 0; span_id = 0 }
+      (Proto.Error { code = Proto.E_protocol; message = m })
+      ~verb:"protocol" ~start_ns
+  | env, req -> (
+    Counters.incr t.ctrs ("server.req." ^ Proto.verb_name req);
+    let job = { j_conn = conn; j_env = env; j_req = req; j_start_ns = start_ns } in
+    let check_version min_version k =
+      if min_version > Atomic.get t.published then
+        send_resp t conn env
+          (Proto.Error
+             {
+               code = Proto.E_protocol;
+               message =
+                 Printf.sprintf "min_version %d not yet committed (latest %d)" min_version
+                   (Atomic.get t.published);
+             })
+          ~verb:(Proto.verb_name req) ~start_ns
+      else k ()
+    in
+    match req with
+    | Proto.Ping -> send_resp t conn env Proto.Pong ~verb:"ping" ~start_ns
+    | Proto.Stats -> send_resp t conn env (stats_reply t) ~verb:"stats" ~start_ns
+    | Proto.Open_session | Proto.Commit _ -> push t.writer_q (Serve job)
+    | Proto.Read { min_version; instance; _ } ->
+      check_version min_version (fun () ->
+          push t.reader_qs.(route t instance) (Serve job))
+    | Proto.Traverse { min_version; root; _ } ->
+      check_version min_version (fun () -> push t.reader_qs.(route t root) (Serve job)))
+
+let frontend_loop t =
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
+  let buf = Bytes.create 65536 in
+  let handle_readable conn =
+    match Unix.read conn.fd buf 0 (Bytes.length buf) with
+    | 0 -> close_conn conns conn
+    | n -> (
+      Frame.feed conn.dec (Bytes.sub_string buf 0 n);
+      try
+        let rec drain () =
+          match Frame.next conn.dec with
+          | Some payload ->
+            dispatch t conn payload;
+            drain ()
+          | None -> ()
+        in
+        drain ()
+      with Frame.Too_large len ->
+        send_resp t conn { Proto.req_id = 0; span_id = 0 }
+          (Proto.Error
+             {
+               code = Proto.E_protocol;
+               message = Printf.sprintf "frame length %d exceeds %d" len Frame.max_payload;
+             })
+          ~verb:"protocol" ~start_ns:(Trace.now_ns ());
+        close_conn conns conn)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+    | exception _ -> close_conn conns conn
+  in
+  while not (Atomic.get t.stop_flag) do
+    let fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [ t.listen_fd ] in
+    match Unix.select fds [] [] 0.2 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, _, _ ->
+      List.iter
+        (fun fd ->
+          if fd = t.listen_fd then begin
+            match Unix.accept ~cloexec:true t.listen_fd with
+            | client_fd, _ ->
+              Unix.set_nonblock client_fd;
+              Counters.incr t.ctrs "server.connections";
+              Hashtbl.replace conns client_fd
+                {
+                  fd = client_fd;
+                  dec = Frame.decoder ();
+                  out_mu = Mutex.create ();
+                  alive = true;
+                }
+            | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+              -> ()
+            | exception _ -> ()
+          end
+          else
+            match Hashtbl.find_opt conns fd with
+            | Some conn -> handle_readable conn
+            | None -> ())
+        readable
+  done;
+  Hashtbl.iter (fun _ conn -> kill_conn conn) conns
+
+(* ---- Lifecycle ---- *)
+
+let start ?(config = config ()) ~make_schema db =
+  (* A client that disconnects mid-reply must surface as EPIPE on the
+     write (handled per connection), not as a process-killing SIGPIPE. *)
+  if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let master_snapshot = Snapshot.save_binary db in
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, config.cfg_port));
+  Unix.listen listen_fd config.cfg_backlog;
+  Unix.set_nonblock listen_fd;
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let tracer = Trace.create () in
+  Trace.enable tracer;
+  let t =
+    {
+      cfg = config;
+      listen_fd;
+      bound_port;
+      stop_flag = Atomic.make false;
+      published = Atomic.make 0;
+      writer_q = queue ();
+      reader_qs = Array.init config.cfg_readers (fun _ -> queue ());
+      partition = Partition.by_range ~ids:(Db.instance_ids db) ~sites:config.cfg_readers;
+      ctrs = Counters.create ();
+      lats = Histogram.create ();
+      tracer;
+      db_counters = Db.counters db;
+      domains = [];
+    }
+  in
+  let reader_domains =
+    Array.to_list
+      (Array.map
+         (fun q -> Domain.spawn (fun () -> reader_loop t master_snapshot make_schema q))
+         t.reader_qs)
+  in
+  let writer_domain = Domain.spawn (fun () -> writer_loop t db) in
+  let frontend_domain = Domain.spawn (fun () -> frontend_loop t) in
+  t.domains <- (frontend_domain :: writer_domain :: reader_domains);
+  t
+
+let stop t =
+  if not (Atomic.exchange t.stop_flag true) then begin
+    push t.writer_q Quit;
+    Array.iter (fun q -> push q Quit) t.reader_qs;
+    List.iter Domain.join t.domains;
+    (try Unix.close t.listen_fd with _ -> ())
+  end

@@ -1,0 +1,74 @@
+(** Multi-client Cactis server on OCaml 5 domains.
+
+    The paper closes with the distributed direction: several users'
+    tools working against one database, "various sub-traversals …
+    actually running at the same time".  This server realises the
+    shared-database half on one machine:
+
+    - {b one writer domain} owns the master {!Cactis.Db} and applies
+      every [Commit] through it (and through whatever durability hook —
+      the WAL — was attached before {!start});
+    - {b N reader domains} each hold an immutable-between-versions
+      {e replica}, built from a binary snapshot of the master against a
+      fresh schema, and serve [Read]/[Traverse] without ever touching
+      the writer's structures.  Readers never block the writer and the
+      writer never blocks readers;
+    - {b snapshot handoff}: after each commit the writer broadcasts the
+      encoded delta (the same bytes the WAL stores) to every reader's
+      mailbox, tagged with a monotonically increasing {e version}.
+      Readers apply deltas in order; a request's [min_version] names the
+      snapshot it is content with (read-your-writes when it names the
+      client's own last commit);
+    - {b a front-end event loop} (its own domain) accepts TCP
+      connections on loopback, decodes frames incrementally, answers
+      [Ping]/[Stats] inline, and routes everything else: commits to the
+      writer, reads to the reader whose {!Cactis_dist.Partition}
+      id-range contains the target instance (affinity routing — every
+      replica is complete, the range only decides who serves whom).
+
+    Observability is always on: per-verb request counters and latency
+    histograms (domain-safe registries, merged on read), and sampled
+    tracing — one commit in [trace_sample] records a span carrying the
+    client's span id from the request envelope, so client and server
+    traces stitch. *)
+
+type config
+
+(** [config ()] — loopback TCP on an ephemeral port ([port = 0]), one
+    reader, every 64th commit traced. *)
+val config :
+  ?port:int -> ?readers:int -> ?trace_sample:int -> ?backlog:int -> unit -> config
+
+type t
+
+(** [start ?config ~make_schema db] snapshots [db], spawns the domains
+    and begins accepting connections.  [make_schema] must build a fresh
+    schema equivalent to [db]'s (schemas are mutable and cannot be
+    shared across domains; each replica loads the snapshot against its
+    own).  After [start] the caller must not touch [db] again — it
+    belongs to the writer domain.  Attach {!Cactis.Persist} {e before}
+    starting; the server chains its delta broadcast after the existing
+    commit hook. *)
+val start : ?config:config -> make_schema:(unit -> Cactis.Schema.t) -> Cactis.Db.t -> t
+
+(** The bound TCP port (useful with [port = 0]). *)
+val port : t -> int
+
+val readers : t -> int
+
+(** Highest committed (and broadcast) version. *)
+val published_version : t -> int
+
+(** Server-side request/connection counters (names under [server.]). *)
+val counters : t -> Cactis_util.Counters.t
+
+(** Per-verb service latencies (names under [serve.]). *)
+val latencies : t -> Cactis_obs.Histogram.t
+
+(** The sampled-span ring (always enabled; ~1-in-[trace_sample]
+    commits). *)
+val trace : t -> Cactis_obs.Trace.t
+
+(** Stop accepting, drain the domains, close every socket.
+    Idempotent. *)
+val stop : t -> unit

@@ -10,7 +10,15 @@ type h = {
   mutable max : float;  (* seconds *)
 }
 
-type t = (string, h) Hashtbl.t
+(* Like Counters, the registry is sharded per domain: [cell] returns a
+   histogram private to the calling domain so [observe] stays a plain
+   (race-free) array increment, and [snapshot] merges shards by name —
+   bucket counts sum, maxima max.  Single-domain programs see exactly
+   one shard and bit-identical statistics to the unsharded registry. *)
+type t = {
+  mu : Mutex.t;
+  mutable shards : (int * (string, h) Hashtbl.t) list;  (* domain id -> shard *)
+}
 
 type stats = {
   st_name : string;
@@ -23,15 +31,44 @@ type stats = {
   st_max : float;
 }
 
-let create () : t = Hashtbl.create 16
+let create () : t = { mu = Mutex.create (); shards = [] }
+
+let with_lock t f =
+  Mutex.lock t.mu;
+  match f () with
+  | v ->
+    Mutex.unlock t.mu;
+    v
+  | exception e ->
+    Mutex.unlock t.mu;
+    raise e
+
+let fresh_h () = { counts = Array.make buckets 0; n = 0; sum = 0.0; max = 0.0 }
+
+let shard t =
+  let did = (Domain.self () :> int) in
+  with_lock t (fun () ->
+      match List.assoc_opt did t.shards with
+      | Some s -> s
+      | None ->
+        let s = Hashtbl.create 16 in
+        t.shards <- (did, s) :: t.shards;
+        s)
 
 let cell t name =
-  match Hashtbl.find_opt t name with
+  let s = shard t in
+  match Hashtbl.find_opt s name with
   | Some h -> h
   | None ->
-    let h = { counts = Array.make buckets 0; n = 0; sum = 0.0; max = 0.0 } in
-    Hashtbl.add t name h;
-    h
+    (* Snapshot iterates this shard from other domains; guard the
+       structural insert. *)
+    with_lock t (fun () ->
+        match Hashtbl.find_opt s name with
+        | Some h -> h
+        | None ->
+          let h = fresh_h () in
+          Hashtbl.add s name h;
+          h)
 
 let bucket_of seconds =
   let us = seconds *. 1e6 in
@@ -87,15 +124,46 @@ let stats name h =
     st_max = h.max;
   }
 
+(* Merge-on-read: one combined histogram per name across all shards. *)
+let merged t =
+  with_lock t (fun () ->
+      let acc = Hashtbl.create 16 in
+      List.iter
+        (fun (_, s) ->
+          Hashtbl.iter
+            (fun name h ->
+              let m =
+                match Hashtbl.find_opt acc name with
+                | Some m -> m
+                | None ->
+                  let m = fresh_h () in
+                  Hashtbl.add acc name m;
+                  m
+              in
+              for i = 0 to buckets - 1 do
+                m.counts.(i) <- m.counts.(i) + h.counts.(i)
+              done;
+              m.n <- m.n + h.n;
+              m.sum <- m.sum +. h.sum;
+              if h.max > m.max then m.max <- h.max)
+            s)
+        t.shards;
+      acc)
+
 let snapshot t =
-  Hashtbl.fold (fun name h acc -> if h.n > 0 then stats name h :: acc else acc) t []
+  Hashtbl.fold (fun name h acc -> if h.n > 0 then stats name h :: acc else acc) (merged t) []
   |> List.sort (fun a b -> String.compare a.st_name b.st_name)
 
 let reset t =
-  Hashtbl.iter
-    (fun _ h ->
-      Array.fill h.counts 0 buckets 0;
-      h.n <- 0;
-      h.sum <- 0.0;
-      h.max <- 0.0)
-    t
+  (* Zeroes every shard's cells in place, so cached cells stay valid. *)
+  with_lock t (fun () ->
+      List.iter
+        (fun (_, s) ->
+          Hashtbl.iter
+            (fun _ h ->
+              Array.fill h.counts 0 buckets 0;
+              h.n <- 0;
+              h.sum <- 0.0;
+              h.max <- 0.0)
+            s)
+        t.shards)

@@ -9,7 +9,17 @@
 
     A [t] is a registry of named histograms, mirroring
     {!Cactis_util.Counters}: hot paths cache the [h] cell once and skip
-    the name lookup. *)
+    the name lookup.
+
+    Registries are {e domain-safe}: {!cell} returns a histogram private
+    to the calling domain (so {!observe} is a race-free plain array
+    increment with exactly one writer), and {!snapshot} merges the
+    per-domain shards by name — bucket counts sum, maxima max.  Totals
+    are exact once the observing domains have been joined; snapshots
+    taken while other domains observe are monitoring-grade (never torn,
+    possibly mid-burst).  Single-domain programs see bit-identical
+    statistics to the historical unsharded registry.  A cached [h] must
+    only be observed from the domain that obtained it. *)
 
 type h
 (** A single histogram. *)
@@ -30,8 +40,9 @@ type stats = {
 
 val create : unit -> t
 
-(** [cell t name] — the named histogram, created empty on first use.
-    [reset] clears cells in place, so cached cells stay valid. *)
+(** [cell t name] — the named histogram for the calling domain, created
+    empty on first use.  [reset] clears cells in place, so cached cells
+    stay valid. *)
 val cell : t -> string -> h
 
 (** [observe h seconds] records one duration. *)

@@ -1,22 +1,88 @@
-type t = (string, int ref) Hashtbl.t
+(* Counters are sharded per domain: [cell] hands out a cell private to
+   the calling domain, so hot-path increments stay plain (non-atomic)
+   [int ref] bumps with no cross-domain races — each cell has exactly
+   one writer.  Readers ([get]/[snapshot]) merge the shards by summing
+   per name.  In a single-domain program there is exactly one shard and
+   every observable value is bit-identical to the unsharded
+   implementation; the registry mutex is uncontended and costs a few
+   nanoseconds per lookup (hot paths cache the cell anyway).
 
-let create () : t = Hashtbl.create 32
+   A concurrent [snapshot] may observe another domain's cell mid-burst;
+   int loads are word-sized so the read is some previously-written
+   value, never torn.  Exact totals are guaranteed once the writing
+   domains have been joined (the hammer test checks this). *)
+
+type shard = (string, int ref) Hashtbl.t
+
+type t = {
+  mu : Mutex.t;
+  mutable shards : (int * shard) list;  (* domain id -> shard; few domains *)
+}
+
+let create () : t = { mu = Mutex.create (); shards = [] }
+
+let with_lock t f =
+  Mutex.lock t.mu;
+  match f () with
+  | v ->
+    Mutex.unlock t.mu;
+    v
+  | exception e ->
+    Mutex.unlock t.mu;
+    raise e
+
+(* The calling domain's shard, created on first use. *)
+let shard t =
+  let did = (Domain.self () :> int) in
+  with_lock t (fun () ->
+      match List.assoc_opt did t.shards with
+      | Some s -> s
+      | None ->
+        let s : shard = Hashtbl.create 32 in
+        t.shards <- (did, s) :: t.shards;
+        s)
 
 let cell t name =
-  match Hashtbl.find_opt t name with
+  let s = shard t in
+  match Hashtbl.find_opt s name with
   | Some r -> r
   | None ->
-    let r = ref 0 in
-    Hashtbl.add t name r;
-    r
+    (* Only the owning domain inserts into its shard, but [snapshot]
+       iterates it from other domains; guard the structural change. *)
+    with_lock t (fun () ->
+        match Hashtbl.find_opt s name with
+        | Some r -> r
+        | None ->
+          let r = ref 0 in
+          Hashtbl.add s name r;
+          r)
 
 let incr t name = Stdlib.incr (cell t name)
 let add t name n = cell t name := !(cell t name) + n
-let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
-let reset t = Hashtbl.iter (fun _ r -> r := 0) t
+
+let fold_merged t f acc =
+  with_lock t (fun () ->
+      List.fold_left
+        (fun acc (_, s) -> Hashtbl.fold (fun name r acc -> f acc name !r) s acc)
+        acc t.shards)
+
+let get t name =
+  fold_merged t (fun acc n v -> if String.equal n name then acc + v else acc) 0
+
+let reset t =
+  (* Zeroes every cell of every shard in place, so cached refs stay
+     valid (same contract as before sharding). *)
+  with_lock t (fun () ->
+      List.iter (fun (_, s) -> Hashtbl.iter (fun _ r -> r := 0) s) t.shards)
 
 let snapshot t =
-  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t []
+  let merged = Hashtbl.create 32 in
+  fold_merged t
+    (fun () name v ->
+      let prev = Option.value ~default:0 (Hashtbl.find_opt merged name) in
+      Hashtbl.replace merged name (prev + v))
+    ();
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) merged []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let diff ~before ~after =

@@ -5,7 +5,16 @@
     increments a counter in one of these registries.  Experiments snapshot
     and diff registries rather than timing wall clocks, because the
     paper's performance claims are stated in terms of counts (attributes
-    recomputed, disk accesses incurred). *)
+    recomputed, disk accesses incurred).
+
+    Registries are {e domain-safe}: cells are sharded per domain
+    ({!cell} returns a cell private to the calling domain, so
+    increments are race-free plain [int ref] bumps), and readers
+    ({!get}, {!snapshot}, {!pp}) merge the shards by summing per name.
+    Totals are exact once the incrementing domains have been joined; a
+    snapshot taken {e while} other domains increment sees a consistent
+    prefix of each cell (int loads never tear).  Single-domain programs
+    see bit-identical values to the historical unsharded registry. *)
 
 type t
 
@@ -20,9 +29,11 @@ val add : t -> string -> int -> unit
 (** [get t name] is the current value (0 if never touched). *)
 val get : t -> string -> int
 
-(** [cell t name] is the counter's underlying cell (created at 0 on
-    first use).  Hot paths cache the ref to skip the string lookup;
-    [reset] zeroes cells in place, so cached refs stay valid. *)
+(** [cell t name] is the counter's underlying cell for the {e calling
+    domain} (created at 0 on first use).  Hot paths cache the ref to
+    skip the string lookup; [reset] zeroes cells in place, so cached
+    refs stay valid.  A cached cell must only be incremented from the
+    domain that obtained it (merge-on-read sums all domains' cells). *)
 val cell : t -> string -> int ref
 
 (** [reset t] zeroes every counter. *)

@@ -171,9 +171,52 @@ let test_derived_reads_under_cc () =
   Alcotest.(check bool) "all committed" true (stats.Interleave.committed = 3);
   Alcotest.(check int) "total correct" 420 (Value.as_int (Db.get db totals "total"))
 
+(* Real domains instead of the seeded interleaver: the schedule is
+   whatever the OS produces, but timestamp ordering must still be
+   equivalent to serial execution in commit-timestamp order.  Repeated
+   a few times since each run is a different schedule. *)
+let test_parallel_domains_serializable () =
+  let module P = Cactis_cc.Parallel_run in
+  for round = 1 to 3 do
+    let db, accounts, _ = Workload.counters_db ~instances:6 () in
+    let cc = Cc.create db in
+    let rng = Rng.create (100 + round) in
+    let clients =
+      List.init 4 (fun _ ->
+          Workload.generate (Rng.split rng) ~accounts ~txns:8 ~ops_per_txn:4 ~hot_fraction:0.5
+            ~read_fraction:0.3)
+    in
+    let stats = P.run ~cc ~clients () in
+    let total_scripts = List.fold_left (fun a c -> a + List.length c) 0 clients in
+    Alcotest.(check int)
+      (Printf.sprintf "round %d: every script commits or starves" round)
+      total_scripts (stats.P.committed + stats.P.starved);
+    Alcotest.(check int)
+      (Printf.sprintf "round %d: manager agrees on commits" round)
+      stats.P.committed (Cc.commits cc);
+    (* Timestamps are unique, so the oracle's replay order is total. *)
+    let ts = List.map fst stats.P.committed_scripts in
+    Alcotest.(check bool)
+      (Printf.sprintf "round %d: commit timestamps strictly increase" round)
+      true
+      (List.for_all2 ( < ) (List.filteri (fun i _ -> i < List.length ts - 1) ts) (List.tl ts));
+    let oracle =
+      Serial_oracle.replay ~setup:(setup_db 6) ~committed:stats.P.committed_scripts
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "round %d: serializable" round)
+      true
+      (Serial_oracle.equivalent db oracle [ "balance" ])
+  done
+
 let () =
   Alcotest.run "cactis-cc"
     [
+      ( "parallel",
+        [
+          Alcotest.test_case "domain clients serializable" `Quick
+            test_parallel_domains_serializable;
+        ] );
       ( "rules",
         [
           Alcotest.test_case "read too late aborts" `Quick test_basic_rules;

@@ -105,6 +105,36 @@ let test_random_deterministic () =
         (Partition.site_of p2 id))
     ids
 
+let test_by_range () =
+  let ids = [ 7; 3; 11; 1; 5; 9; 13; 15 ] in
+  let p = Partition.by_range ~ids ~sites:4 in
+  Alcotest.(check int) "all placed" (List.length ids)
+    (Array.fold_left ( + ) 0 (Partition.balance p));
+  (* Contiguity: site index is monotone in id. *)
+  let sorted = List.sort compare ids in
+  let sites_in_order = List.map (fun id -> Option.get (Partition.site_of p id)) sorted in
+  Alcotest.(check (list int)) "monotone contiguous chunks" [ 0; 0; 1; 1; 2; 2; 3; 3 ]
+    sites_in_order;
+  (* site_of_range agrees with site_of on known ids... *)
+  List.iter
+    (fun id ->
+      Alcotest.(check int) "range routing agrees" (Option.get (Partition.site_of p id))
+        (Partition.site_of_range p id))
+    ids;
+  (* ...and is total: unseen ids route to the surrounding chunk. *)
+  Alcotest.(check int) "below everything" 0 (Partition.site_of_range p (-100));
+  Alcotest.(check int) "between 5 and 7" 1 (Partition.site_of_range p 6);
+  Alcotest.(check int) "above everything" 3 (Partition.site_of_range p 1000);
+  Alcotest.(check int) "bounds length" 4 (Array.length (Partition.range_bounds p));
+  Alcotest.(check int) "first bound open" min_int (Partition.range_bounds p).(0);
+  (* Non-range partitions refuse range routing. *)
+  (match Partition.site_of_range (Partition.round_robin ~ids ~sites:2) 3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument");
+  (* More sites than ids still places everything. *)
+  let tiny = Partition.by_range ~ids:[ 42 ] ~sites:4 in
+  Alcotest.(check (option int)) "single id placed" (Some 0) (Partition.site_of tiny 42)
+
 let () =
   Alcotest.run "cactis-dist"
     [
@@ -115,5 +145,6 @@ let () =
           Alcotest.test_case "usage beats striping" `Quick test_usage_beats_striping;
           Alcotest.test_case "single site" `Quick test_single_site_no_traffic;
           Alcotest.test_case "random deterministic" `Quick test_random_deterministic;
+          Alcotest.test_case "by_range sharding" `Quick test_by_range;
         ] );
     ]

@@ -1,0 +1,468 @@
+(* The TCP serving layer: frame robustness (partial reads, torn frames,
+   oversized headers), QCheck protocol roundtrips, and an in-process
+   end-to-end server exercising every verb, read-your-writes,
+   multi-domain clients and the WAL chain. *)
+
+module Value = Cactis.Value
+module Db = Cactis.Db
+module Schema = Cactis.Schema
+module Rule = Cactis.Rule
+module Persist = Cactis.Persist
+module Frame = Cactis_net.Frame
+module Proto = Cactis_net.Proto
+module Server = Cactis_net.Server
+module Client = Cactis_net.Client
+
+let int n = Value.Int n
+
+(* ---- Frames ---- *)
+
+let test_frame_roundtrip () =
+  List.iter
+    (fun payload ->
+      let d = Frame.decoder () in
+      Frame.feed d (Frame.encode payload);
+      Alcotest.(check (option string)) "roundtrip" (Some payload) (Frame.next d);
+      Alcotest.(check (option string)) "drained" None (Frame.next d);
+      Alcotest.(check int) "no residue" 0 (Frame.buffered d))
+    [ ""; "x"; String.make 1000 '\xff'; "embedded\x00nul\nnewline" ]
+
+let test_frame_byte_at_a_time () =
+  let payload = "hello frames" in
+  let wire = Frame.encode payload in
+  let d = Frame.decoder () in
+  String.iteri
+    (fun i c ->
+      (* Until the last byte arrives, no frame may be produced. *)
+      if i < String.length wire - 1 then
+        Alcotest.(check (option string))
+          (Printf.sprintf "partial at %d" i) None (Frame.next d);
+      Frame.feed d (String.make 1 c))
+    wire;
+  Alcotest.(check (option string)) "complete" (Some payload) (Frame.next d)
+
+let test_frame_torn_then_completed () =
+  let a = Frame.encode "first" and b = Frame.encode "second" in
+  let d = Frame.decoder () in
+  (* Feed: all of a + half of b's header, then the rest. *)
+  Frame.feed d (a ^ String.sub b 0 2);
+  Alcotest.(check (option string)) "first pops" (Some "first") (Frame.next d);
+  Alcotest.(check (option string)) "second torn" None (Frame.next d);
+  Frame.feed d (String.sub b 2 (String.length b - 2));
+  Alcotest.(check (option string)) "second completes" (Some "second") (Frame.next d)
+
+let test_frame_multiple_in_one_feed () =
+  let d = Frame.decoder () in
+  Frame.feed d (Frame.encode "a" ^ Frame.encode "bb" ^ Frame.encode "ccc");
+  Alcotest.(check (list string)) "all three" [ "a"; "bb"; "ccc" ]
+    (List.filter_map (fun () -> Frame.next d) [ (); (); () ])
+
+let test_frame_oversized_rejected () =
+  (* A poisoned header must raise as soon as it is visible, before the
+     body arrives — the receiver must not wait for (or allocate) 2 GiB. *)
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_be hdr 0 0x7fff_ffffl;
+  let d = Frame.decoder () in
+  Frame.feed d (Bytes.to_string hdr);
+  (match Frame.next d with
+  | exception Frame.Too_large n -> Alcotest.(check int) "length reported" 0x7fffffff n
+  | _ -> Alcotest.fail "expected Too_large");
+  match Frame.encode (String.make (Frame.max_payload + 1) 'x') with
+  | exception Frame.Too_large _ -> ()
+  | _ -> Alcotest.fail "encode should reject oversized payload"
+
+(* ---- Protocol roundtrips ---- *)
+
+let value_gen =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        let scalar =
+          oneof
+            [
+              return Value.Null;
+              map (fun b -> Value.Bool b) bool;
+              map (fun i -> Value.Int i) small_signed_int;
+              map (fun f -> Value.Float f) (float_bound_inclusive 1e6);
+              map (fun s -> Value.Str s) string_small;
+            ]
+        in
+        if n = 0 then scalar
+        else
+          frequency
+            [
+              (4, scalar);
+              (1, map (fun vs -> Value.Arr (Array.of_list vs)) (list_size (int_bound 4) (self (n / 2))));
+            ]))
+
+let update_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map3
+          (fun instance attr value -> Proto.Set { instance; attr; value })
+          small_nat string_small value_gen;
+        map (fun type_name -> Proto.Create { type_name }) string_small;
+        map3 (fun from_id rel to_id -> Proto.Link { from_id; rel; to_id }) small_nat string_small
+          small_nat;
+        map3
+          (fun from_id rel to_id -> Proto.Unlink { from_id; rel; to_id })
+          small_nat string_small small_nat;
+      ])
+
+let req_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return Proto.Ping;
+        return Proto.Open_session;
+        return Proto.Stats;
+        map3
+          (fun min_version instance attr -> Proto.Read { min_version; instance; attr })
+          small_nat small_nat string_small;
+        map3
+          (fun min_version root (rel, depth) ->
+            Proto.Traverse { min_version; root; rel; attr = "total"; depth })
+          small_nat small_nat
+          (pair string_small (int_range (-1) 8));
+        map (fun updates -> Proto.Commit updates) (list_size (int_bound 6) update_gen);
+      ])
+
+let env_gen =
+  QCheck.Gen.(map2 (fun req_id span_id -> { Proto.req_id; span_id }) small_nat small_nat)
+
+let test_qcheck_req_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"request encode/decode roundtrip"
+    (QCheck.make QCheck.Gen.(pair env_gen req_gen))
+    (fun (env, req) ->
+      let env', req' = Proto.decode_req (Proto.encode_req env req) in
+      env' = env && req' = req)
+
+let resp_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return Proto.Pong;
+        map3
+          (fun version readers instances -> Proto.Opened { version; readers; instances })
+          small_nat small_nat small_nat;
+        map2 (fun version value -> Proto.Value { version; value }) small_nat value_gen;
+        map3
+          (fun version visited total -> Proto.Traversed { version; visited; total })
+          small_nat small_nat value_gen;
+        map2
+          (fun version created -> Proto.Committed { version; created })
+          small_nat
+          (list_size (int_bound 5) small_nat);
+        map2
+          (fun counters latencies ->
+            let latencies =
+              List.map
+                (fun (l_name, l_count) ->
+                  {
+                    Proto.l_name;
+                    l_count;
+                    l_mean = 1e-4;
+                    l_p50 = 1e-4;
+                    l_p95 = 2e-4;
+                    l_p99 = 3e-4;
+                    l_max = 4e-4;
+                  })
+                latencies
+            in
+            Proto.Stats_reply { counters; latencies })
+          (list_size (int_bound 5) (pair string_small small_signed_int))
+          (list_size (int_bound 3) (pair string_small small_nat));
+        map2
+          (fun tag message ->
+            let code =
+              match tag mod 7 with
+              | 0 -> Proto.E_unknown
+              | 1 -> Proto.E_type
+              | 2 -> Proto.E_constraint
+              | 3 -> Proto.E_cardinality
+              | 4 -> Proto.E_cycle
+              | 5 -> Proto.E_protocol
+              | _ -> Proto.E_server
+            in
+            Proto.Error { code; message })
+          small_nat string_small;
+      ])
+
+let test_qcheck_resp_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"response encode/decode roundtrip"
+    (QCheck.make QCheck.Gen.(pair env_gen resp_gen))
+    (fun (env, resp) ->
+      let env', resp' = Proto.decode_resp (Proto.encode_resp env resp) in
+      env' = env && resp' = resp)
+
+let test_malformed_payloads () =
+  List.iter
+    (fun bad ->
+      match Proto.decode_req bad with
+      | exception Proto.Malformed _ -> ()
+      | _ -> Alcotest.failf "payload %S should not decode" bad)
+    [
+      "";
+      "\x00";  (* envelope truncated *)
+      "\x00\x00\x63";  (* unknown verb tag 99 *)
+      Proto.encode_req { Proto.req_id = 1; span_id = 0 } Proto.Ping ^ "junk";
+    ]
+
+(* ---- End-to-end server ---- *)
+
+let node_schema () =
+  let sch = Schema.create () in
+  Schema.add_type sch "node";
+  Schema.declare_relationship sch ~from_type:"node" ~rel:"deps" ~to_type:"node" ~inverse:"rdeps"
+    ~card:Schema.Multi ~inverse_card:Schema.Multi;
+  Schema.add_attr sch ~type_name:"node" (Rule.intrinsic "local" (int 1));
+  Schema.add_attr sch ~type_name:"node"
+    (Rule.derived "total"
+       (Rule.combine_self_rel "local" "deps" "total" ~f:(fun own totals ->
+            Value.add own (Value.sum totals))));
+  sch
+
+(* Three-node chain a -> b -> c with local values 1, 2, 3. *)
+let chain_db () =
+  let db = Db.create (node_schema ()) in
+  let a = Db.create_instance db "node" in
+  let b = Db.create_instance db "node" in
+  let c = Db.create_instance db "node" in
+  Db.link db ~from_id:a ~rel:"deps" ~to_id:b;
+  Db.link db ~from_id:b ~rel:"deps" ~to_id:c;
+  Db.set db a "local" (int 1);
+  Db.set db b "local" (int 2);
+  Db.set db c "local" (int 3);
+  (db, a, b, c)
+
+let with_server ?(readers = 2) ?(prepare = fun _ -> ()) f =
+  let db, a, b, c = chain_db () in
+  prepare db;
+  let server =
+    Server.start ~config:(Server.config ~readers ()) ~make_schema:node_schema db
+  in
+  Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f server (a, b, c))
+
+let test_server_verbs () =
+  with_server (fun server (a, _, c) ->
+      let cl = Client.connect ~port:(Server.port server) () in
+      Fun.protect ~finally:(fun () -> Client.close cl) @@ fun () ->
+      Client.ping cl;
+      let info = Client.open_session cl in
+      Alcotest.(check int) "readers" 2 info.Client.readers;
+      Alcotest.(check int) "instances" 3 info.Client.instances;
+      (* Reads come from a reader replica, never the writer. *)
+      let v, ver = Client.read cl ~instance:c ~attr:"local" in
+      Alcotest.(check bool) "c local" true (Value.equal v (int 3));
+      Alcotest.(check int) "snapshot version 0" 0 ver;
+      let visited, total, _ = Client.traverse cl ~root:a ~rel:"deps" ~attr:"local" in
+      Alcotest.(check int) "traversal visits chain" 3 visited;
+      Alcotest.(check bool) "traversal total" true (Value.equal total (int 6));
+      let visited, total, _ = Client.traverse cl ~depth:1 ~root:a ~rel:"deps" ~attr:"local" in
+      Alcotest.(check int) "depth 1 stops at b" 2 visited;
+      Alcotest.(check bool) "depth 1 total" true (Value.equal total (int 3));
+      let visited, _, _ = Client.traverse cl ~depth:0 ~root:a ~rel:"deps" ~attr:"local" in
+      Alcotest.(check int) "depth 0 is just the root" 1 visited;
+      (* Derived attribute on the replica. *)
+      let v, _ = Client.read cl ~instance:a ~attr:"total" in
+      Alcotest.(check bool) "derived total" true (Value.equal v (int 6)))
+
+let test_read_your_writes () =
+  with_server (fun server (a, _, c) ->
+      let cl = Client.connect ~port:(Server.port server) () in
+      Fun.protect ~finally:(fun () -> Client.close cl) @@ fun () ->
+      let version, created =
+        Client.commit cl [ Proto.Set { instance = c; attr = "local"; value = int 30 } ]
+      in
+      Alcotest.(check int) "first commit is version 1" 1 version;
+      Alcotest.(check (list int)) "nothing created" [] created;
+      (* Default min_version is the commit we just made: the replica
+         must show the write and the derived ripple. *)
+      let v, ver = Client.read cl ~instance:c ~attr:"local" in
+      Alcotest.(check bool) "write visible" true (Value.equal v (int 30));
+      Alcotest.(check bool) "served at or after commit" true (ver >= version);
+      let v, _ = Client.read cl ~instance:a ~attr:"total" in
+      Alcotest.(check bool) "derived rippled" true (Value.equal v (int 33));
+      (* Create + link through the wire. *)
+      let _, created =
+        Client.commit cl
+          [
+            Proto.Create { type_name = "node" };
+            Proto.Set { instance = a; attr = "local"; value = int 10 };
+          ]
+      in
+      (match created with
+      | [ fresh ] ->
+        let version, _ =
+          Client.commit cl
+            [
+              Proto.Link { from_id = fresh; rel = "deps"; to_id = a };
+              Proto.Set { instance = fresh; attr = "local"; value = int 100 };
+            ]
+        in
+        let visited, total, ver = Client.traverse cl ~root:fresh ~rel:"deps" ~attr:"local" in
+        Alcotest.(check int) "new node reaches chain" 4 visited;
+        Alcotest.(check bool) "totals include new node" true
+          (Value.equal total (int (100 + 10 + 2 + 30)));
+        Alcotest.(check bool) "fresh enough" true (ver >= version)
+      | other -> Alcotest.failf "expected one created id, got %d" (List.length other)))
+
+let test_typed_errors () =
+  with_server (fun server (a, _, _) ->
+      let cl = Client.connect ~port:(Server.port server) () in
+      Fun.protect ~finally:(fun () -> Client.close cl) @@ fun () ->
+      (match Client.read cl ~instance:a ~attr:"no_such_attr" with
+      | exception Client.Remote { code = Proto.E_unknown; _ } -> ()
+      | _ -> Alcotest.fail "expected E_unknown");
+      (match Client.read cl ~instance:99999 ~attr:"local" with
+      | exception Client.Remote { code = Proto.E_unknown; _ } -> ()
+      | _ -> Alcotest.fail "expected E_unknown for missing instance");
+      (* Writing a derived attribute is a type error, and the failed
+         transaction must not poison the writer. *)
+      (match
+         Client.commit cl [ Proto.Set { instance = a; attr = "total"; value = int 0 } ]
+       with
+      | exception Client.Remote { code = Proto.E_type; _ } -> ()
+      | _ -> Alcotest.fail "expected E_type");
+      let version, _ =
+        Client.commit cl [ Proto.Set { instance = a; attr = "local"; value = int 5 } ]
+      in
+      Alcotest.(check bool) "writer survives failed txn" true (version >= 1);
+      (* Asking for an uncommitted version is a protocol error. *)
+      match Client.read cl ~min_version:9999 ~instance:a ~attr:"local" with
+      | exception Client.Remote { code = Proto.E_protocol; _ } -> ()
+      | _ -> Alcotest.fail "expected E_protocol")
+
+let test_stats_verb () =
+  with_server (fun server (a, _, _) ->
+      let cl = Client.connect ~port:(Server.port server) () in
+      Fun.protect ~finally:(fun () -> Client.close cl) @@ fun () ->
+      Client.ping cl;
+      ignore (Client.read cl ~instance:a ~attr:"local");
+      ignore (Client.commit cl [ Proto.Set { instance = a; attr = "local"; value = int 2 } ]);
+      let counters, latencies = Client.stats cl in
+      let get name = Option.value ~default:0 (List.assoc_opt name counters) in
+      Alcotest.(check bool) "ping counted" true (get "server.req.ping" >= 1);
+      Alcotest.(check bool) "read counted" true (get "server.req.read" >= 1);
+      Alcotest.(check bool) "commit counted" true (get "server.req.commit" >= 1);
+      Alcotest.(check bool) "connection counted" true (get "server.connections" >= 1);
+      Alcotest.(check bool) "db counters forwarded" true
+        (List.exists (fun (n, _) -> String.length n > 3 && String.sub n 0 3 = "db.") counters);
+      let lat_names = List.map (fun l -> l.Proto.l_name) latencies in
+      Alcotest.(check bool) "read latency present" true (List.mem "serve.read" lat_names);
+      Alcotest.(check bool) "commit latency present" true (List.mem "serve.commit" lat_names);
+      List.iter
+        (fun l ->
+          Alcotest.(check bool)
+            (l.Proto.l_name ^ " quantiles ordered")
+            true
+            (l.Proto.l_p50 <= l.Proto.l_p99 +. 1e-12 && l.Proto.l_count > 0))
+        latencies)
+
+let test_garbage_frame_gets_protocol_error () =
+  with_server (fun server _ ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ()) @@ fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port server));
+      Frame.send fd "\xde\xad\xbe\xef";
+      match Frame.recv fd with
+      | Some payload -> (
+        match Proto.decode_resp payload with
+        | _, Proto.Error { code = Proto.E_protocol; _ } -> ()
+        | _ -> Alcotest.fail "expected protocol error response")
+      | None -> Alcotest.fail "expected a response frame")
+
+let test_concurrent_clients () =
+  with_server ~readers:2 (fun server (a, b, c) ->
+      let port = Server.port server in
+      let clients = 4 and rounds = 50 in
+      let workers =
+        Array.init clients (fun w ->
+            Domain.spawn (fun () ->
+                let cl = Client.connect ~port () in
+                Fun.protect ~finally:(fun () -> Client.close cl) @@ fun () ->
+                let writes = ref 0 in
+                for i = 1 to rounds do
+                  if w = 0 then begin
+                    (* One writer client; the others read under it. *)
+                    let _ =
+                      Client.commit cl
+                        [ Proto.Set { instance = c; attr = "local"; value = int i } ]
+                    in
+                    incr writes;
+                    let v, _ = Client.read cl ~instance:c ~attr:"local" in
+                    if not (Value.equal v (int i)) then failwith "lost read-your-write"
+                  end
+                  else begin
+                    let target = match i mod 3 with 0 -> a | 1 -> b | _ -> c in
+                    let v, _ = Client.read cl ~min_version:0 ~instance:target ~attr:"local" in
+                    ignore v;
+                    let visited, _, _ =
+                      Client.traverse cl ~min_version:0 ~root:a ~rel:"deps" ~attr:"local"
+                    in
+                    if visited < 3 then failwith "truncated traversal"
+                  end
+                done;
+                !writes))
+      in
+      let writes = Array.fold_left (fun acc d -> acc + Domain.join d) 0 workers in
+      Alcotest.(check int) "writer client committed every round" rounds writes;
+      Alcotest.(check int) "all commits published" rounds (Server.published_version server))
+
+let test_wal_chain_survives_restart () =
+  let dir = "net_scratch_wal" in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir)
+  else Sys.mkdir dir 0o755;
+  let captured = ref [] in
+  with_server
+    ~prepare:(fun db -> ignore (Persist.attach ~dir db))
+    (fun server (a, _, c) ->
+      let cl = Client.connect ~port:(Server.port server) () in
+      Fun.protect ~finally:(fun () -> Client.close cl) @@ fun () ->
+      ignore (Client.commit cl [ Proto.Set { instance = c; attr = "local"; value = int 42 } ]);
+      ignore (Client.commit cl [ Proto.Set { instance = a; attr = "local"; value = int 7 } ]);
+      captured := [ (a, 7); (c, 42) ]);
+  (* The server is gone; the WAL (written by the chained hook) must
+     replay both commits. *)
+  let p = Persist.recover ~dir (node_schema ()) in
+  let db = Persist.db p in
+  List.iter
+    (fun (id, expected) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "instance %d recovered" id)
+        true
+        (Value.equal (Db.get db id "local") (int expected)))
+    !captured;
+  Persist.close p;
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+let () =
+  Alcotest.run "cactis-net"
+    [
+      ( "frame",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "byte at a time" `Quick test_frame_byte_at_a_time;
+          Alcotest.test_case "torn then completed" `Quick test_frame_torn_then_completed;
+          Alcotest.test_case "multiple per feed" `Quick test_frame_multiple_in_one_feed;
+          Alcotest.test_case "oversized rejected" `Quick test_frame_oversized_rejected;
+        ] );
+      ( "proto",
+        [
+          QCheck_alcotest.to_alcotest test_qcheck_req_roundtrip;
+          QCheck_alcotest.to_alcotest test_qcheck_resp_roundtrip;
+          Alcotest.test_case "malformed payloads" `Quick test_malformed_payloads;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "verbs" `Quick test_server_verbs;
+          Alcotest.test_case "read your writes" `Quick test_read_your_writes;
+          Alcotest.test_case "typed errors" `Quick test_typed_errors;
+          Alcotest.test_case "stats" `Quick test_stats_verb;
+          Alcotest.test_case "garbage frame" `Quick test_garbage_frame_gets_protocol_error;
+          Alcotest.test_case "concurrent clients" `Quick test_concurrent_clients;
+          Alcotest.test_case "wal chain survives restart" `Quick test_wal_chain_survives_restart;
+        ] );
+    ]

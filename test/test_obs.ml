@@ -123,6 +123,72 @@ let test_ctx_time_observes_on_raise () =
     "span recorded" [ "op" ]
     (List.map (fun e -> e.Trace.ev_name) (Trace.events ctx.Ctx.trace))
 
+(* ---- Domain safety (per-domain shards, merge-on-read) ---- *)
+
+let test_counters_multi_domain_hammer () =
+  let module Counters = Cactis_util.Counters in
+  let c = Counters.create () in
+  let domains = 4 and per_domain = 50_000 in
+  let workers =
+    Array.init domains (fun d ->
+        Domain.spawn (fun () ->
+            (* Each domain hammers a shared name through its own cached
+               cell plus the cold [incr] path. *)
+            let r = Counters.cell c "hits" in
+            for _ = 1 to per_domain do
+              Stdlib.incr r
+            done;
+            Counters.add c "per_domain" 1;
+            Counters.incr c (Printf.sprintf "domain_%d" d)))
+  in
+  Array.iter Domain.join workers;
+  Alcotest.(check int) "no lost increments" (domains * per_domain) (Counters.get c "hits");
+  Alcotest.(check int) "adds merged" domains (Counters.get c "per_domain");
+  for d = 0 to domains - 1 do
+    Alcotest.(check int) "per-domain name" 1 (Counters.get c (Printf.sprintf "domain_%d" d))
+  done;
+  (* Merge-on-read snapshots must diff cleanly in both directions
+     (Counters.diff reports before-only names as negative deltas). *)
+  let before = Counters.snapshot c in
+  Counters.incr c "hits";
+  let after = Counters.snapshot c in
+  Alcotest.(check (list (pair string int)))
+    "diff sees the merged increase"
+    [ ("hits", 1) ]
+    (List.filter (fun (_, v) -> v <> 0) (Counters.diff ~before ~after));
+  Alcotest.(check (list (pair string int)))
+    "reverse diff is the negation"
+    [ ("hits", -1) ]
+    (List.filter (fun (_, v) -> v <> 0) (Counters.diff ~before:after ~after:before));
+  Counters.reset c;
+  Alcotest.(check int) "reset zeroes all shards" 0 (Counters.get c "hits")
+
+let test_histogram_multi_domain_hammer () =
+  let reg = Histogram.create () in
+  let domains = 4 and per_domain = 20_000 in
+  let workers =
+    Array.init domains (fun d ->
+        Domain.spawn (fun () ->
+            let h = Histogram.cell reg "lat" in
+            for i = 1 to per_domain do
+              (* Spread observations across buckets; one domain owns the
+                 global maximum so the merged max is checkable. *)
+              Histogram.observe h (float_of_int (1 + (i mod 64)) *. 1e-6)
+            done;
+            if d = 0 then Histogram.observe h 1.0))
+  in
+  Array.iter Domain.join workers;
+  match Histogram.snapshot reg with
+  | [ st ] ->
+    Alcotest.(check string) "name" "lat" st.Histogram.st_name;
+    Alcotest.(check int) "no lost observations" ((domains * per_domain) + 1) st.Histogram.st_count;
+    Alcotest.(check (float 1e-9)) "merged max" 1.0 st.Histogram.st_max;
+    Alcotest.(check bool) "p99 below max" true (st.Histogram.st_p99 <= st.Histogram.st_max);
+    Histogram.reset reg;
+    Alcotest.(check int) "reset zeroes all shards" 0
+      (List.length (Histogram.snapshot reg))
+  | other -> Alcotest.failf "expected one merged histogram, got %d" (List.length other)
+
 (* ---- Profile ---- *)
 
 let test_profile_at_most_once () =
@@ -246,6 +312,11 @@ let () =
           Alcotest.test_case "quantiles" `Quick test_histogram_quantiles;
           Alcotest.test_case "snapshot and reset" `Quick test_histogram_snapshot_and_reset;
           Alcotest.test_case "ctx time on raise" `Quick test_ctx_time_observes_on_raise;
+        ] );
+      ( "domain-safe",
+        [
+          Alcotest.test_case "counters hammer" `Quick test_counters_multi_domain_hammer;
+          Alcotest.test_case "histogram hammer" `Quick test_histogram_multi_domain_hammer;
         ] );
       ( "profile",
         [
