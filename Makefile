@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build check test format-compat lint bench bench-fast bench-json bench-persist bench-cluster bench-cluster-smoke bench-qps bench-qps-smoke stats trace examples clean
+.PHONY: all build check test format-compat lint bench bench-fast bench-json bench-persist bench-cluster bench-cluster-smoke bench-qps bench-qps-smoke bench-flight bench-flight-smoke stats trace examples clean
 
 # Output path for the machine-readable experiment record; override with
 # `make bench-json BENCH_JSON=BENCH_1.json` to regenerate earlier runs.
@@ -79,6 +79,17 @@ bench-qps:
 
 bench-qps-smoke:
 	dune exec bench/main.exe -- --fast E17
+
+# Flight-recorder overhead (E18): the E13 incremental workload with the
+# ring recording vs switched off.  Counters must be bit-identical; the
+# full run also gates cpu overhead at 5% (the smoke variant measures a
+# run too short to judge and skips the gate).
+FLIGHT_JSON ?= BENCH_6.json
+bench-flight:
+	dune exec bench/main.exe -- E18 --json $(FLIGHT_JSON)
+
+bench-flight-smoke:
+	dune exec bench/main.exe -- --fast E18
 
 # Run $(OBS_SCRIPT) and report counters, latency histograms and the last
 # commit's propagation profile (evaluated-at-most-once check included).

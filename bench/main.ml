@@ -1470,6 +1470,116 @@ let e17 () =
     ]
 
 (* ================================================================== *)
+(* E18: flight-recorder overhead — always-on observability must not    *)
+(* perturb the engine                                                  *)
+
+let e18 () =
+  R.section "E18" "flight recorder overhead: E13 incremental workload, recording on vs off"
+    "the ring records every txn/WAL/pager event in production; this run proves the \
+     instrumentation neither perturbs the engine's counters nor costs measurable cpu";
+  let module M = Cactis_apps.Milestone in
+  let layers = if !fast then 10 else 25 in
+  let width = if !fast then 8 else 20 in
+  let rounds = if !fast then 60 else 200 in
+  let reps = if !fast then 1 else 3 in
+  (* The E13 incremental workload, verbatim: layered DAG, slips, ship-date
+     polls, periodic full reports.  Returns cpu seconds for the editing
+     loop and the full engine counter snapshot. *)
+  let run_once () =
+    let m = M.create ~strategy:Engine.Cactis () in
+    let rng = Rng.create 17 in
+    let prev = ref [] in
+    let final = M.add m ~name:"ship" ~scheduled:(float_of_int (10 * layers)) ~local_work:1.0 in
+    for l = 1 to layers do
+      let layer =
+        List.init width (fun i ->
+            M.add m
+              ~name:(Printf.sprintf "t%d_%d" l i)
+              ~scheduled:(float_of_int (10 * (layers - l)))
+              ~local_work:(1.0 +. Rng.float rng 3.0))
+      in
+      (match !prev with
+      | [] -> List.iter (fun id -> M.depends_on m final id) layer
+      | above ->
+        List.iter
+          (fun upper ->
+            let deps = 1 + Rng.int rng 2 in
+            for _ = 1 to deps do
+              let lower = Rng.pick_list rng layer in
+              if not (List.mem lower (Db.related (M.db m) upper "depends_on")) then
+                M.depends_on m upper lower
+            done)
+          above);
+      prev := layer
+    done;
+    let db = M.db m in
+    ignore (M.expected m final);
+    let all_arr = Array.of_list (Db.instances_of_type db "milestone") in
+    let t0 = Sys.time () in
+    for round = 1 to rounds do
+      let victim = all_arr.(Rng.int rng (Array.length all_arr)) in
+      M.slip m victim (Rng.float rng 2.0);
+      ignore (M.expected m final);
+      ignore (M.is_late m final);
+      if round mod 10 = 0 then ignore (M.report m)
+    done;
+    let elapsed = Sys.time () -. t0 in
+    (elapsed, Cactis_util.Counters.snapshot (Db.counters db))
+  in
+  let best recording =
+    Cactis_obs.Flight.set_recording recording;
+    let best_t = ref infinity in
+    let snap = ref [] in
+    let events = ref 0 in
+    for _ = 1 to reps do
+      Cactis_obs.Flight.reset ();
+      let t, s = run_once () in
+      if t < !best_t then best_t := t;
+      snap := s;
+      let d = Cactis_obs.Flight.snapshot () in
+      events :=
+        List.fold_left
+          (fun a (sec : Cactis_obs.Flight.section) -> a + sec.Cactis_obs.Flight.fs_total)
+          0 d.Cactis_obs.Flight.d_sections
+    done;
+    (!best_t, !snap, !events)
+  in
+  let t_on, snap_on, events_on = best true in
+  let t_off, snap_off, events_off = best false in
+  Cactis_obs.Flight.set_recording true;
+  Cactis_obs.Flight.reset ();
+  let overhead_pct = if t_off > 0.0 then (t_on -. t_off) /. t_off *. 100.0 else 0.0 in
+  R.table
+    ~headers:[ "recording"; "best-of cpu (s)"; "flight events"; "engine counters" ]
+    [
+      [ "on"; Printf.sprintf "%.3f" t_on; string_of_int events_on;
+        string_of_int (List.length snap_on) ];
+      [ "off"; Printf.sprintf "%.3f" t_off; string_of_int events_off;
+        string_of_int (List.length snap_off) ];
+    ];
+  (* The observability layer must be invisible to the engine: every
+     counter the workload bumps must come out bit-identical whether the
+     ring was recording or not. *)
+  if snap_on <> snap_off then begin
+    let dump s = String.concat ", " (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) s) in
+    Printf.printf "ERROR: counters differ with recording on vs off\n  on : %s\n  off: %s\n"
+      (dump snap_on) (dump snap_off);
+    exit 1
+  end;
+  if events_off <> 0 then begin
+    Printf.printf "ERROR: %d events recorded while recording was off\n" events_off;
+    exit 1
+  end;
+  Printf.printf "counters bit-identical across %d counter cells; overhead %+.2f%%\n"
+    (List.length snap_on) overhead_pct;
+  (* The cpu gate only judges full runs: --fast does one short rep and a
+     single noisy measurement would fail good code. *)
+  if (not !fast) && overhead_pct > 5.0 then begin
+    Printf.printf "ERROR: recording overhead %.2f%% exceeds the 5%% budget\n" overhead_pct;
+    exit 1
+  end
+
+(* ================================================================== *)
 
 let () =
   (* Child roles for the E17 multi-process load driver run before
@@ -1506,7 +1616,7 @@ let () =
   let experiments =
     [
       ("F1", f1); ("F2", f2); ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5);
-      ("E6", e6); ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("T", timing);
+      ("E6", e6); ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18); ("T", timing);
     ]
   in
   List.iter (fun (id, f) -> if wants id then f ()) experiments;

@@ -12,6 +12,8 @@
      save    FILE.cactis SNAPSHOT   re-encode a snapshot (text <-> binary)
      recover FILE.cactis DIR        recover a database from checkpoint + WAL
      log     FILE.cactis DIR        show version history incl. schema steps
+     doctor  DUMP.cfr               post-mortem: flight-dump timeline correlated with the WAL
+     metrics-lint FILE              validate an OpenMetrics text exposition (CI scrape check)
      demo    milestones|make|flow   run a built-in demonstration
 
    Built with cmdliner; see `cactis --help`. *)
@@ -26,6 +28,10 @@ module Histogram = Cactis_obs.Histogram
 module Profile = Cactis_obs.Profile
 module Server = Cactis_net.Server
 module Client = Cactis_net.Client
+module Flight = Cactis_obs.Flight
+module Metrics = Cactis_obs.Metrics
+module Watchdog = Cactis_obs.Watchdog
+module Doctor = Cactis.Doctor
 
 let read_file path =
   let ic = open_in_bin path in
@@ -254,8 +260,10 @@ let hist_json (st : Histogram.stats) =
 
 (* Remote mode: sample a running server's counters and per-verb service
    latencies over its own Stats verb.  With [--watch] the tables refresh
-   in place (ANSI home+clear) until interrupted. *)
-let remote_stats port watch json =
+   in place (ANSI home+clear) every [interval] seconds until
+   interrupted, reconnecting with exponential backoff (0.5 s doubling
+   to 5 s) when the server restarts mid-watch. *)
+let remote_stats port watch interval json =
   let render c =
     let counters, lats = Client.stats c in
     if json then begin
@@ -290,28 +298,47 @@ let remote_stats port watch json =
       flush stdout
     end
   in
-  let c =
-    try Client.connect ~port ()
-    with Unix.Unix_error (e, _, _) ->
-      Printf.eprintf "cannot connect to 127.0.0.1:%d: %s\n" port (Unix.error_message e);
-      exit 1
-  in
-  Fun.protect
-    ~finally:(fun () -> try Client.close c with _ -> ())
-    (fun () ->
-      if not watch then render c
-      else
-        while true do
+  if not watch then begin
+    let c =
+      try Client.connect ~port ()
+      with Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "cannot connect to 127.0.0.1:%d: %s\n" port (Unix.error_message e);
+        exit 1
+    in
+    Fun.protect ~finally:(fun () -> try Client.close c with _ -> ()) (fun () -> render c)
+  end
+  else begin
+    let conn = ref None in
+    let backoff = ref 0.5 in
+    while true do
+      (match !conn with
+      | Some c -> (
+        match
           (* Home + clear-to-end: repaint without scrollback spam. *)
           print_string "\027[H\027[J";
           render c;
-          flush stdout;
-          Unix.sleepf 1.0
-        done)
+          flush stdout
+        with
+        | () ->
+          backoff := 0.5;
+          Unix.sleepf interval
+        | exception (Client.Transport _ | Unix.Unix_error _ | Sys_error _) ->
+          (try Client.close c with _ -> ());
+          conn := None)
+      | None -> (
+        match Client.connect ~port () with
+        | c -> conn := Some c
+        | exception (Unix.Unix_error _ | Sys_error _) ->
+          Printf.printf "\027[H\027[Jcactis stats: 127.0.0.1:%d unreachable, retrying in %.1fs\n%!"
+            port !backoff;
+          Unix.sleepf !backoff;
+          backoff := Float.min 5.0 (!backoff *. 2.0)))
+    done
+  end
 
-let stats_cmd connect watch schema_path script_path persist json show_output =
+let stats_cmd connect watch interval schema_path script_path persist json show_output =
   match connect with
-  | Some port -> remote_stats port watch json
+  | Some port -> remote_stats port watch interval json
   | None ->
   let schema_path, script_path =
     match (schema_path, script_path) with
@@ -398,7 +425,8 @@ let trace_cmd schema_path script_path persist out show_output =
 
 (* ---- serve ---- *)
 
-let serve_cmd schema_path script_path port readers trace_sample persist =
+let serve_cmd schema_path script_path port readers trace_sample persist metrics_port slow_ms
+    watchdog_interval flight_dir =
   handle_errors (fun () ->
       let src = read_file schema_path in
       (* Each reader replica needs its own schema (schemas are mutable
@@ -409,19 +437,42 @@ let serve_cmd schema_path script_path port readers trace_sample persist =
       (match script_path with
       | Some s -> ignore (Script.run db (read_file s))
       | None -> ());
+      let watchdog =
+        Option.map
+          (fun s -> { Watchdog.default_config with Watchdog.wd_interval_s = s })
+          watchdog_interval
+      in
       let server =
-        Server.start ~config:(Server.config ~port ~readers ~trace_sample ()) ~make_schema db
+        Server.start
+          ~config:
+            (Server.config ~port ~readers ~trace_sample ?metrics_port ~slow_ms ?watchdog
+               ?flight_dir ())
+          ~make_schema db
       in
       Printf.printf "cactis: serving on 127.0.0.1:%d  (%d reader domain%s, version %d)\n"
         (Server.port server) readers
         (if readers = 1 then "" else "s")
         (Server.published_version server);
+      (match Server.metrics_port server with
+      | Some mp -> Printf.printf "cactis: metrics:     curl http://127.0.0.1:%d/metrics\n" mp
+      | None -> ());
       Printf.printf "cactis: live stats:  cactis stats --connect %d --watch\n" (Server.port server);
       Printf.printf "cactis: stop with Ctrl-C\n%!";
       let stop = Atomic.make false in
       let handler = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
       Sys.set_signal Sys.sigint handler;
       Sys.set_signal Sys.sigterm handler;
+      (* SIGQUIT / SIGUSR2: dump the flight recorder without stopping —
+         "what is the server doing right now" from another terminal. *)
+      let dump_handler =
+        Sys.Signal_handle
+          (fun _ ->
+            match Server.dump_flight server ~reason:"signal" with
+            | Some path -> Printf.eprintf "cactis: flight dump written to %s\n%!" path
+            | None -> Printf.eprintf "cactis: flight dump skipped (no --flight-dir)\n%!")
+      in
+      (try Sys.set_signal Sys.sigquit dump_handler with _ -> ());
+      (try Sys.set_signal Sys.sigusr2 dump_handler with _ -> ());
       while not (Atomic.get stop) do
         try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
       done;
@@ -431,6 +482,30 @@ let serve_cmd schema_path script_path port readers trace_sample persist =
       List.iter
         (fun (n, v) -> Printf.printf "  %-28s %d\n" n v)
         (Counters.snapshot (Server.counters server)))
+
+(* ---- doctor ---- *)
+
+let doctor_cmd dump_path wal_dir json limit =
+  handle_errors (fun () ->
+      match Doctor.load dump_path with
+      | Error msg ->
+        Printf.eprintf "%s: %s\n" dump_path msg;
+        exit 1
+      | Ok dump ->
+        let report = Doctor.analyze ?wal_dir dump in
+        if json then print_endline (Doctor.render_json report)
+        else print_string (Doctor.render ?limit report))
+
+(* ---- metrics-lint ---- *)
+
+let metrics_lint_cmd path =
+  handle_errors (fun () ->
+      let text = if path = "-" then In_channel.input_all stdin else read_file path in
+      match Metrics.lint text with
+      | [] -> Printf.printf "%s: valid OpenMetrics exposition\n" path
+      | errors ->
+        List.iter (fun e -> Printf.eprintf "%s: %s\n" path e) errors;
+        exit 1)
 
 (* ---- lint ---- *)
 
@@ -678,7 +753,15 @@ let stats_t =
     Arg.(
       value & flag
       & info [ "watch" ]
-          ~doc:"With $(b,--connect): refresh the tables in place every second until interrupted.")
+          ~doc:
+            "With $(b,--connect): refresh the tables in place until interrupted, reconnecting \
+             with backoff if the server goes away.")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"SECS"
+          ~doc:"With $(b,--watch): seconds between refreshes (default 1).")
   in
   let schema_opt_arg =
     Arg.(value & pos 0 (some file) None & info [] ~docv:"SCHEMA" ~doc:"Schema (.cactis) file.")
@@ -688,7 +771,7 @@ let stats_t =
   in
   Cmd.v (Cmd.info "stats" ~doc)
     Term.(
-      const stats_cmd $ connect_arg $ watch_arg $ schema_opt_arg $ script_opt_arg
+      const stats_cmd $ connect_arg $ watch_arg $ interval_arg $ schema_opt_arg $ script_opt_arg
       $ persist_opt_arg $ json_arg $ show_output_arg)
 
 let serve_t =
@@ -719,10 +802,45 @@ let serve_t =
       value & opt int 64
       & info [ "trace-sample" ] ~docv:"N" ~doc:"Record a span for one commit in $(docv) (default 64).")
   in
+  let metrics_port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ] ~docv:"PORT"
+          ~doc:
+            "Also answer plain-HTTP $(b,GET /metrics) (OpenMetrics text) on loopback at $(docv) \
+             (0: ephemeral, printed at startup).")
+  in
+  let slow_ms_arg =
+    Arg.(
+      value & opt float 100.0
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Slow-op deadline: ops slower than $(docv) milliseconds are logged as one JSON line \
+             each to stderr (0 disables; default 100).")
+  in
+  let watchdog_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "watchdog" ] ~docv:"SECS"
+          ~doc:
+            "Enable the latency/error watchdog, sampling per-verb latency windows every $(docv) \
+             seconds; a p99 regression or error burst dumps the flight recorder.")
+  in
+  let flight_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-dir" ] ~docv:"DIR"
+          ~doc:
+            "Write flight-recorder dumps (domain crash, watchdog trip, SIGQUIT/SIGUSR2) to \
+             $(docv); analyze them with $(b,cactis doctor).")
+  in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const serve_cmd $ schema_arg $ script_arg $ port_arg $ readers_arg $ sample_arg
-      $ persist_opt_arg)
+      $ persist_opt_arg $ metrics_port_arg $ slow_ms_arg $ watchdog_arg $ flight_dir_arg)
 
 let trace_t =
   let doc =
@@ -763,6 +881,51 @@ let lint_t =
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(const lint_cmd $ schemas_arg $ apps_arg $ json_arg $ strict_arg)
 
+let doctor_t =
+  let doc =
+    "Post-mortem analysis of a flight-recorder dump: merged per-domain event timeline, last \
+     durable version against the last commit the process attempted (correlated with the WAL \
+     when $(b,--dir) names the persistence directory), and what each domain had in flight."
+  in
+  let dump_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"DUMP" ~doc:"Flight dump (.cfr) written by the server or a signal.")
+  in
+  let dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Persistence directory whose WAL tail to correlate with the dump.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the verdict as one JSON object.")
+  in
+  let limit_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit" ] ~docv:"N" ~doc:"Show only the newest $(docv) timeline lines.")
+  in
+  Cmd.v (Cmd.info "doctor" ~doc)
+    Term.(const doctor_cmd $ dump_arg $ dir_arg $ json_arg $ limit_arg)
+
+let metrics_lint_t =
+  let doc =
+    "Validate an OpenMetrics text exposition (e.g. a file captured from $(b,GET /metrics)): \
+     structure, type/suffix agreement, family contiguity, cumulative histogram buckets.  Exits \
+     non-zero on any violation.  Reads stdin when FILE is $(b,-)."
+  in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Exposition file ($(b,-) for stdin).")
+  in
+  Cmd.v (Cmd.info "metrics-lint" ~doc) Term.(const metrics_lint_cmd $ file_arg)
+
 let demo_t =
   let doc = "Run a built-in demo (milestones, make, flow)." in
   let which = Arg.(required & pos 0 (some string) None & info [] ~docv:"DEMO" ~doc) in
@@ -784,7 +947,7 @@ let main =
     (Cmd.info "cactis" ~version:"1.0.0" ~doc)
     [
       check_t; fmt_t; lint_t; run_t; repl_t; serve_t; stats_t; trace_t; save_t; recover_t;
-      log_t; demo_t;
+      log_t; doctor_t; metrics_lint_t; demo_t;
     ]
 
 let () =

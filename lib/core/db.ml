@@ -3,6 +3,7 @@ module Clock = Cactis_obs.Clock
 module Trace = Cactis_obs.Trace
 module Histogram = Cactis_obs.Histogram
 module Profile = Cactis_obs.Profile
+module Flight = Cactis_obs.Flight
 
 (* Committed deltas form a tree: undoing back and committing again grows
    a sibling branch instead of discarding the old one ("the ability to
@@ -226,6 +227,7 @@ let in_txn t = t.current <> None
 let begin_txn t =
   if in_txn t then Errors.type_error "transaction already open";
   Counters.incr (counters t) "txns_started";
+  Flight.record Flight.Txn_begin ~a:t.next_vid ~b:0;
   let tr = tracer t in
   if Trace.enabled tr then Trace.instant tr ~cat:"txn" "begin_txn";
   (* The propagation window opens here: mark waves run as the
@@ -239,6 +241,7 @@ let rollback_current t =
   | None -> ()
   | Some ops ->
     t.current <- None;
+    Flight.record Flight.Txn_abort ~a:(List.length ops) ~b:0;
     let tr = tracer t in
     if Trace.enabled tr then
       Trace.instant tr ~cat:"txn" ~args:[ ("ops", Trace.I (List.length ops)) ] "rollback";
@@ -283,6 +286,7 @@ let maintenance_step t =
       let start_ns = Clock.now_ns () in
       let moved = Store.recluster_step t.st ~max_moves:a.max_moves in
       if moved > 0 then begin
+        Flight.record Flight.Recluster_slice ~a:moved ~b:0;
         Histogram.observe t.h_recluster_step (Clock.elapsed_s ~since:start_ns);
         let tr = tracer t in
         if Trace.enabled tr then
@@ -333,6 +337,7 @@ let commit t =
       let delta = { Txn.ops; label = None } in
       let depth = match t.head with Some n -> n.depth + 1 | None -> 1 in
       t.head <- Some { vid = t.next_vid; delta; parent = t.head; depth };
+      Flight.record Flight.Txn_commit ~a:t.next_vid ~b:(List.length ops);
       t.next_vid <- t.next_vid + 1;
       notify_hook t delta
     end;
@@ -506,9 +511,18 @@ let run_schema_change t change =
         "cannot log schema change: %s has no serializable rule expression (declare it through \
          the DDL front end, or pass ~expr / ~predicate_expr / ~attr_exprs)"
         what));
+  let change_name =
+    match change with
+    | Txn.Schema_add_type _ -> "add_type"
+    | Txn.Schema_add_rel _ -> "add_rel"
+    | Txn.Schema_add_export _ -> "add_export"
+    | Txn.Schema_add_attr _ -> "add_attr"
+    | Txn.Schema_add_subtype _ -> "add_subtype"
+  in
   with_auto t (fun () ->
       apply_schema_change t change;
       log t (Txn.Schema { change; retract = false });
+      Flight.record_s Flight.Schema_delta ~a:t.next_vid ~b:0 change_name;
       if Schema.strict t.sch then Schema.refresh t.sch)
 
 let add_type t type_name = run_schema_change t (Txn.Schema_add_type { type_name })

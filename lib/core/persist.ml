@@ -89,6 +89,8 @@ let checkpoint t =
   Wal.reset t.wal ~generation ~schema_version:(Db.schema_step_count t.db);
   t.generation <- generation;
   t.cp_base <- Wal.appended_bytes t.wal;
+  Cactis_obs.Flight.record Cactis_obs.Flight.Checkpoint ~a:generation
+    ~b:(Db.schema_step_count t.db);
   Counters.incr (Db.counters t.db) "checkpoints";
   let obs = Db.obs t.db in
   Histogram.observe_named obs.Cactis_obs.Ctx.hists "checkpoint"

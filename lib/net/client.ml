@@ -79,3 +79,8 @@ let stats t =
   match request t Proto.Stats with
   | Proto.Stats_reply { counters; latencies } -> (counters, latencies)
   | r -> fail_unexpected r
+
+let metrics t =
+  match request t Proto.Metrics with
+  | Proto.Metrics_reply text -> text
+  | r -> fail_unexpected r

@@ -58,3 +58,7 @@ val commit : ?span:int -> t -> Proto.update list -> int * int list
 val last_commit : t -> int
 
 val stats : t -> (string * int) list * Proto.latency list
+
+(** The server's OpenMetrics text exposition (same body the HTTP
+    [GET /metrics] endpoint serves). *)
+val metrics : t -> string

@@ -15,6 +15,7 @@ type req =
   | Traverse of { min_version : int; root : int; rel : string; attr : string; depth : int }
   | Commit of update list
   | Stats
+  | Metrics
 
 type error_code =
   | E_unknown
@@ -42,6 +43,7 @@ type resp =
   | Traversed of { version : int; visited : int; total : Value.t }
   | Committed of { version : int; created : int list }
   | Stats_reply of { counters : (string * int) list; latencies : latency list }
+  | Metrics_reply of string  (* OpenMetrics text exposition *)
   | Error of { code : error_code; message : string }
 
 type envelope = {
@@ -141,7 +143,8 @@ let encode_req env req =
     Codec.write_uint b 4;
     Codec.write_uint b (List.length updates);
     List.iter (write_update b) updates
-  | Stats -> Codec.write_uint b 5);
+  | Stats -> Codec.write_uint b 5
+  | Metrics -> Codec.write_uint b 6);
   Buffer.contents b
 
 let decode_req =
@@ -167,6 +170,7 @@ let decode_req =
           let n = Codec.read_uint r in
           Commit (List.init n (fun _ -> read_update r))
         | 5 -> Stats
+        | 6 -> Metrics
         | tag -> malformed "request: unknown verb tag %d" tag
       in
       (env, req))
@@ -254,6 +258,9 @@ let encode_resp env resp =
       counters;
     Codec.write_uint b (List.length latencies);
     List.iter (write_latency b) latencies
+  | Metrics_reply text ->
+    Codec.write_uint b 7;
+    Codec.write_string b text
   | Error { code; message } ->
     Codec.write_uint b 6;
     Codec.write_uint b (error_code_tag code);
@@ -300,6 +307,7 @@ let decode_resp =
           let code = error_code_of_tag (Codec.read_uint r) in
           let message = Codec.read_string r in
           Error { code; message }
+        | 7 -> Metrics_reply (Codec.read_string r)
         | tag -> malformed "response: unknown tag %d" tag
       in
       (env, resp))
@@ -311,6 +319,7 @@ let verb_name = function
   | Traverse _ -> "traverse"
   | Commit _ -> "commit"
   | Stats -> "stats"
+  | Metrics -> "metrics"
 
 let error_of_exn = function
   | Errors.Unknown m -> Error { code = E_unknown; message = m }

@@ -34,6 +34,10 @@ type req =
           attribute-evaluation traversal as a server verb. *)
   | Commit of update list  (** Apply all updates as one transaction. *)
   | Stats
+  | Metrics
+      (** The same merged counters/latencies as [Stats], rendered as an
+          OpenMetrics text exposition — for scrapers speaking the cactis
+          protocol rather than HTTP. *)
 
 (** Typed error categories, mirroring {!Cactis.Errors} plus transport
     faults.  [Protocol] is a malformed or unknown frame; [Server] is an
@@ -67,6 +71,9 @@ type resp =
   | Committed of { version : int; created : int list }
       (** [created] are the new instance ids, in [Create] order. *)
   | Stats_reply of { counters : (string * int) list; latencies : latency list }
+  | Metrics_reply of string
+      (** OpenMetrics text exposition (identical to what
+          [GET /metrics] serves). *)
   | Error of { code : error_code; message : string }
 
 type envelope = {

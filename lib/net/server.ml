@@ -4,9 +4,16 @@ module Snapshot = Cactis.Snapshot
 module Codec = Cactis.Codec
 module Value = Cactis.Value
 module Engine = Cactis.Engine
+module Store = Cactis.Store
 module Counters = Cactis_util.Counters
 module Histogram = Cactis_obs.Histogram
 module Trace = Cactis_obs.Trace
+module Flight = Cactis_obs.Flight
+module Metrics = Cactis_obs.Metrics
+module Slowlog = Cactis_obs.Slowlog
+module Watchdog = Cactis_obs.Watchdog
+module Pager = Cactis_storage.Pager
+module Buffer_pool = Cactis_storage.Buffer_pool
 module Partition = Cactis_dist.Partition
 
 type config = {
@@ -14,11 +21,27 @@ type config = {
   cfg_readers : int;
   cfg_trace_sample : int;
   cfg_backlog : int;
+  cfg_metrics_port : int option;  (* plain-HTTP GET /metrics listener (0 = ephemeral) *)
+  cfg_slow_ms : float;  (* slow-op deadline; <= 0 disables the slowlog *)
+  cfg_slowlog_sink : (string -> unit) option;  (* default: one line to stderr *)
+  cfg_watchdog : Watchdog.config option;
+  cfg_flight_dir : string option;  (* where crash/watchdog flight dumps land *)
 }
 
-let config ?(port = 0) ?(readers = 1) ?(trace_sample = 64) ?(backlog = 64) () =
+let config ?(port = 0) ?(readers = 1) ?(trace_sample = 64) ?(backlog = 64) ?metrics_port
+    ?(slow_ms = 100.0) ?slowlog_sink ?watchdog ?flight_dir () =
   if readers < 1 then invalid_arg "Server.config: readers must be >= 1";
-  { cfg_port = port; cfg_readers = readers; cfg_trace_sample = trace_sample; cfg_backlog = backlog }
+  {
+    cfg_port = port;
+    cfg_readers = readers;
+    cfg_trace_sample = trace_sample;
+    cfg_backlog = backlog;
+    cfg_metrics_port = metrics_port;
+    cfg_slow_ms = slow_ms;
+    cfg_slowlog_sink = slowlog_sink;
+    cfg_watchdog = watchdog;
+    cfg_flight_dir = flight_dir;
+  }
 
 (* A connection is read only by the front end; responses are written by
    whichever domain served the request, serialized per connection by
@@ -69,6 +92,8 @@ type t = {
   cfg : config;
   listen_fd : Unix.file_descr;
   bound_port : int;
+  metrics_fd : Unix.file_descr option;
+  bound_metrics_port : int option;
   stop_flag : bool Atomic.t;
   published : int Atomic.t;
   writer_q : queue;
@@ -78,33 +103,76 @@ type t = {
   lats : Histogram.t;
   tracer : Trace.t;
   db_counters : Counters.t;
+  db_hists : Histogram.t;
+  slowlog : Slowlog.t option;
+  mutable watchdog : Watchdog.t option;
+  names_mu : Mutex.t;
+  mutable domain_names : (int * string) list;  (* domain id -> server role *)
   mutable domains : unit Domain.t list;
 }
 
 let port t = t.bound_port
+let metrics_port t = t.bound_metrics_port
 let readers t = Array.length t.reader_qs
 let published_version t = Atomic.get t.published
 let counters t = t.ctrs
 let latencies t = t.lats
 let trace t = t.tracer
+let slowlog t = t.slowlog
+let watchdog t = t.watchdog
 
 let elapsed_s start_ns = Int64.to_float (Int64.sub (Trace.now_ns ()) start_ns) *. 1e-9
 
+let domain_label t =
+  let did = (Domain.self () :> int) in
+  Mutex.lock t.names_mu;
+  let name = List.assoc_opt did t.domain_names in
+  Mutex.unlock t.names_mu;
+  match name with Some n -> n | None -> Printf.sprintf "domain-%d" did
+
 (* Reply on the job's connection.  A dead peer only kills that
-   connection, never the serving domain. *)
-let send_resp t conn env resp ~verb ~start_ns =
+   connection, never the serving domain.  [version] is the snapshot /
+   commit version that served the op and [pager] the (hits, misses)
+   the op cost — both feed the slow-op log. *)
+let send_resp ?(version = 0) ?(pager = (0, 0)) t conn env resp ~verb ~start_ns =
   let payload = Proto.encode_resp env resp in
   (* Record the latency before the bytes leave: once a client holds the
      response, a Stats request is guaranteed to see this observation. *)
-  Histogram.observe (Histogram.cell t.lats ("serve." ^ verb)) (elapsed_s start_ns);
+  let dur = elapsed_s start_ns in
+  Histogram.observe (Histogram.cell t.lats ("serve." ^ verb)) dur;
+  Flight.record_s Flight.Net_verb ~a:(int_of_float (dur *. 1e6)) ~b:env.Proto.req_id verb;
+  (match t.slowlog with
+  | Some sl when dur >= Slowlog.deadline_for sl verb ->
+    let hits, misses = pager in
+    Counters.incr t.ctrs "server.slow_ops";
+    ignore
+      (Slowlog.observe sl
+         {
+           Slowlog.sr_wall_us = Int64.of_float (Unix.gettimeofday () *. 1e6);
+           sr_verb = verb;
+           sr_dur_s = dur;
+           sr_deadline_s = 0.0;  (* stamped by observe *)
+           sr_span = env.Proto.span_id;
+           sr_req = env.Proto.req_id;
+           sr_version = version;
+           sr_domain = domain_label t;
+           sr_pager_hits = hits;
+           sr_pager_misses = misses;
+         })
+  | _ -> ());
   Mutex.lock conn.out_mu;
   (try if conn.alive then Frame.send conn.fd payload
    with _ -> conn.alive <- false);
   Mutex.unlock conn.out_mu;
   match resp with
   | Proto.Error { code; _ } ->
+    Flight.record_s Flight.Net_error ~a:env.Proto.req_id ~b:0 (Proto.error_code_name code);
     Counters.incr t.ctrs ("server.error." ^ Proto.error_code_name code)
   | _ -> ()
+
+let pool_stats db =
+  let pool = Pager.pool (Store.pager (Db.store db)) in
+  (Buffer_pool.hits pool, Buffer_pool.misses pool)
 
 (* ---- Writer domain ---- *)
 
@@ -117,6 +185,7 @@ let apply_update db created = function
 let writer_serve t db { j_conn; j_env; j_req; j_start_ns } =
   match j_req with
   | Proto.Commit updates ->
+    let h0, m0 = pool_stats db in
     let resp =
       try
         let created = ref [] in
@@ -132,7 +201,10 @@ let writer_serve t db { j_conn; j_env; j_req; j_start_ns } =
         Proto.Committed { version; created = List.rev !created }
       with e -> Proto.error_of_exn e
     in
+    let h1, m1 = pool_stats db in
     send_resp t j_conn j_env resp ~verb:"commit" ~start_ns:j_start_ns
+      ~version:(Atomic.get t.published)
+      ~pager:(h1 - h0, m1 - m0)
   | Proto.Open_session ->
     let resp =
       Proto.Opened
@@ -199,6 +271,7 @@ let traverse db ~root ~rel ~attr ~depth =
   (Hashtbl.length seen, Value.sum !values)
 
 let reader_serve t replica ~applied { j_conn; j_env; j_req; j_start_ns } =
+  let h0, m0 = pool_stats replica in
   let resp =
     try
       match j_req with
@@ -212,7 +285,10 @@ let reader_serve t replica ~applied { j_conn; j_env; j_req; j_start_ns } =
           { code = Proto.E_server; message = "reader cannot serve " ^ Proto.verb_name req }
     with e -> Proto.error_of_exn e
   in
+  let h1, m1 = pool_stats replica in
   send_resp t j_conn j_env resp ~verb:(Proto.verb_name j_req) ~start_ns:j_start_ns
+    ~version:applied
+    ~pager:(h1 - h0, m1 - m0)
 
 let job_min_version job =
   match job.j_req with
@@ -285,6 +361,21 @@ let stats_reply t =
   in
   Proto.Stats_reply { counters = server @ db; latencies }
 
+(* The OpenMetrics exposition: server counters/latencies merged with
+   the writer db's — the same numbers Stats reports, rendered for a
+   Prometheus scraper.  Served both as the Metrics proto verb and over
+   plain HTTP on the metrics port. *)
+let metrics_body t =
+  let counters =
+    Counters.snapshot t.ctrs
+    @ List.map (fun (n, v) -> ("db." ^ n, v)) (Counters.snapshot t.db_counters)
+  in
+  let hists =
+    Histogram.merged_cells t.lats
+    @ List.map (fun (n, h) -> ("db." ^ n, h)) (Histogram.merged_cells t.db_hists)
+  in
+  Metrics.render ~counters ~hists
+
 let route t id = Partition.site_of_range t.partition id
 
 let dispatch t conn payload =
@@ -313,12 +404,55 @@ let dispatch t conn payload =
     match req with
     | Proto.Ping -> send_resp t conn env Proto.Pong ~verb:"ping" ~start_ns
     | Proto.Stats -> send_resp t conn env (stats_reply t) ~verb:"stats" ~start_ns
+    | Proto.Metrics ->
+      send_resp t conn env (Proto.Metrics_reply (metrics_body t)) ~verb:"metrics" ~start_ns
     | Proto.Open_session | Proto.Commit _ -> push t.writer_q (Serve job)
     | Proto.Read { min_version; instance; _ } ->
       check_version min_version (fun () ->
           push t.reader_qs.(route t instance) (Serve job))
     | Proto.Traverse { min_version; root; _ } ->
       check_version min_version (fun () -> push t.reader_qs.(route t root) (Serve job)))
+
+(* One-shot plain-HTTP scrape endpoint: accept, answer [GET /metrics]
+   (anything else gets 404), close.  Blocking is fine — the body is
+   built from in-memory snapshots and the peer is a scraper on
+   loopback; a stalled scraper delays the front end at most one
+   request, never the serving domains. *)
+let handle_metrics_conn t mfd =
+  match Unix.accept ~cloexec:true mfd with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception _ -> ()
+  | client_fd, _ ->
+    Counters.incr t.ctrs "server.metrics_scrapes";
+    (try
+       let buf = Bytes.create 4096 in
+       let n = Unix.read client_fd buf 0 (Bytes.length buf) in
+       let req = Bytes.sub_string buf 0 (max n 0) in
+       let line = match String.index_opt req '\r' with
+         | Some i -> String.sub req 0 i
+         | None -> (match String.index_opt req '\n' with
+           | Some i -> String.sub req 0 i
+           | None -> req)
+       in
+       let response =
+         if line = "GET /metrics HTTP/1.1" || line = "GET /metrics HTTP/1.0" then
+           let body = metrics_body t in
+           Printf.sprintf
+             "HTTP/1.0 200 OK\r\n\
+              Content-Type: application/openmetrics-text; version=1.0.0; charset=utf-8\r\n\
+              Content-Length: %d\r\n\r\n%s"
+             (String.length body) body
+         else "HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\n\r\n"
+       in
+       let rec write_all off len =
+         if len > 0 then begin
+           let w = Unix.write_substring client_fd response off len in
+           write_all (off + w) (len - w)
+         end
+       in
+       write_all 0 (String.length response)
+     with _ -> ());
+    (try Unix.close client_fd with _ -> ())
 
 let frontend_loop t =
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
@@ -349,9 +483,12 @@ let frontend_loop t =
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
     | exception _ -> close_conn conns conn
   in
+  let base_fds =
+    match t.metrics_fd with Some m -> [ t.listen_fd; m ] | None -> [ t.listen_fd ]
+  in
   while not (Atomic.get t.stop_flag) do
-    let fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [ t.listen_fd ] in
-    match Unix.select fds [] [] 0.2 with
+    let fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) conns base_fds in
+    (match Unix.select fds [] [] 0.2 with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | readable, _, _ ->
       List.iter
@@ -367,20 +504,59 @@ let frontend_loop t =
                   dec = Frame.decoder ();
                   out_mu = Mutex.create ();
                   alive = true;
-                }
+                };
+              Flight.record Flight.Net_accept ~a:(Hashtbl.length conns) ~b:0
             | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
               -> ()
             | exception _ -> ()
           end
+          else if Some fd = t.metrics_fd then handle_metrics_conn t fd
           else
             match Hashtbl.find_opt conns fd with
             | Some conn -> handle_readable conn
             | None -> ())
-        readable
+        readable);
+    (* The watchdog rides the front end's idle heartbeat: at most one
+       histogram diff per interval, on a domain that never serves
+       queries. *)
+    match t.watchdog with Some wd -> Watchdog.tick wd | None -> ()
   done;
   Hashtbl.iter (fun _ conn -> kill_conn conn) conns
 
 (* ---- Lifecycle ---- *)
+
+(* Where crash/watchdog flight dumps land; stderr-only when no dir was
+   configured. *)
+let flight_dump t reason =
+  match t.cfg.cfg_flight_dir with
+  | None -> None
+  | Some dir -> (
+    try Some (Flight.dump_to_file ~dir ~reason)
+    with e ->
+      (* A failed dump must not take the server down with it, but it
+         must not vanish either. *)
+      Printf.eprintf "cactis: flight dump to %s failed: %s\n%!" dir (Printexc.to_string e);
+      None)
+
+(* Every server domain runs under this wrapper: names the domain for
+   flight dumps / trace export / slowlog attribution, and turns an
+   uncaught exception into a post-mortem flight dump instead of a
+   silent [Domain.join] surprise. *)
+let run_domain t name f =
+  Mutex.lock t.names_mu;
+  t.domain_names <- ((Domain.self () :> int), name) :: t.domain_names;
+  Mutex.unlock t.names_mu;
+  Flight.name_domain name;
+  Trace.name_thread t.tracer name;
+  try f ()
+  with e ->
+    let bt = Printexc.get_raw_backtrace () in
+    Counters.incr t.ctrs "server.domain_crashes";
+    Flight.record_s Flight.Note ~a:0 ~b:0 ("crash: " ^ Printexc.to_string e);
+    let dumped = flight_dump t ("crash-" ^ name) in
+    Printf.eprintf "cactis-server: domain %s died: %s%s\n%!" name (Printexc.to_string e)
+      (match dumped with Some p -> " (flight dump: " ^ p ^ ")" | None -> "");
+    Printexc.raise_with_backtrace e bt
 
 let start ?(config = config ()) ~make_schema db =
   (* A client that disconnects mid-reply must surface as EPIPE on the
@@ -397,13 +573,50 @@ let start ?(config = config ()) ~make_schema db =
     | Unix.ADDR_INET (_, p) -> p
     | _ -> assert false
   in
+  let metrics_fd, bound_metrics_port =
+    match config.cfg_metrics_port with
+    | None -> (None, None)
+    | Some p ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, p));
+      Unix.listen fd 8;
+      Unix.set_nonblock fd;
+      let bp =
+        match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> assert false
+      in
+      (Some fd, Some bp)
+  in
   let tracer = Trace.create () in
   Trace.enable tracer;
+  let slowlog =
+    if config.cfg_slow_ms <= 0.0 then None
+    else
+      let sink =
+        match config.cfg_slowlog_sink with
+        | Some f -> f
+        | None ->
+          let mu = Mutex.create () in
+          fun line ->
+            Mutex.lock mu;
+            Printf.eprintf "cactis-slowop %s\n%!" line;
+            Mutex.unlock mu
+      in
+      (* Commits do WAL + fsync + broadcast work reads never pay; give
+         them 2.5x the read budget rather than flooding the log. *)
+      let deadline_s = config.cfg_slow_ms *. 1e-3 in
+      Some
+        (Slowlog.create ~deadline_s
+           ~per_verb:[ ("commit", deadline_s *. 2.5) ]
+           ~sink ())
+  in
   let t =
     {
       cfg = config;
       listen_fd;
       bound_port;
+      metrics_fd;
+      bound_metrics_port;
       stop_flag = Atomic.make false;
       published = Atomic.make 0;
       writer_q = queue ();
@@ -413,24 +626,59 @@ let start ?(config = config ()) ~make_schema db =
       lats = Histogram.create ();
       tracer;
       db_counters = Db.counters db;
+      db_hists = (Db.obs db).Cactis_obs.Ctx.hists;
+      slowlog;
+      watchdog = None;
+      names_mu = Mutex.create ();
+      domain_names = [];
       domains = [];
     }
   in
+  (match config.cfg_watchdog with
+  | None -> ()
+  | Some wd_cfg ->
+    let errors () =
+      List.fold_left
+        (fun acc (name, v) ->
+          if String.length name >= 13 && String.sub name 0 13 = "server.error." then acc + v
+          else acc)
+        0
+        (Counters.snapshot t.ctrs)
+    in
+    let on_trip ~reason ~detail =
+      Counters.incr t.ctrs "server.watchdog_trips";
+      let dumped = flight_dump t ("watchdog-" ^ reason) in
+      Printf.eprintf "cactis-anomaly reason=%s detail=%S%s\n%!" reason detail
+        (match dumped with Some p -> " flight=" ^ p | None -> "")
+    in
+    t.watchdog <- Some (Watchdog.create wd_cfg ~lats:t.lats ~errors ~on_trip));
   let reader_domains =
     Array.to_list
-      (Array.map
-         (fun q -> Domain.spawn (fun () -> reader_loop t master_snapshot make_schema q))
+      (Array.mapi
+         (fun i q ->
+           Domain.spawn (fun () ->
+               run_domain t (Printf.sprintf "reader-%d" i) (fun () ->
+                   reader_loop t master_snapshot make_schema q)))
          t.reader_qs)
   in
-  let writer_domain = Domain.spawn (fun () -> writer_loop t db) in
-  let frontend_domain = Domain.spawn (fun () -> frontend_loop t) in
+  let writer_domain =
+    Domain.spawn (fun () -> run_domain t "writer" (fun () -> writer_loop t db))
+  in
+  let frontend_domain =
+    Domain.spawn (fun () -> run_domain t "frontend" (fun () -> frontend_loop t))
+  in
   t.domains <- (frontend_domain :: writer_domain :: reader_domains);
   t
+
+let dump_flight t ~reason = flight_dump t reason
 
 let stop t =
   if not (Atomic.exchange t.stop_flag true) then begin
     push t.writer_q Quit;
     Array.iter (fun q -> push q Quit) t.reader_qs;
     List.iter Domain.join t.domains;
-    (try Unix.close t.listen_fd with _ -> ())
+    (try Unix.close t.listen_fd with _ -> ());
+    match t.metrics_fd with
+    | Some fd -> ( try Unix.close fd with _ -> ())
+    | None -> ()
   end

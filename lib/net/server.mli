@@ -27,17 +27,46 @@
       replica is complete, the range only decides who serves whom).
 
     Observability is always on: per-verb request counters and latency
-    histograms (domain-safe registries, merged on read), and sampled
+    histograms (domain-safe registries, merged on read), sampled
     tracing — one commit in [trace_sample] records a span carrying the
     client's span id from the request envelope, so client and server
-    traces stitch. *)
+    traces stitch — and the {!Cactis_obs.Flight} recorder (net accepts,
+    verbs, typed errors; every server domain runs under a wrapper that
+    dumps the recorder on an uncaught exception).
+
+    Production forensics are opt-in per config knob: a plain-HTTP
+    [GET /metrics] OpenMetrics endpoint ([metrics_port]), a slow-op
+    JSONL log ([slow_ms] deadline, one structured line per blown
+    deadline), and a latency/error {!Cactis_obs.Watchdog} sampled from
+    the front end's idle heartbeat ([watchdog]), which dumps the flight
+    recorder on a p99 regression or error burst. *)
 
 type config
 
 (** [config ()] — loopback TCP on an ephemeral port ([port = 0]), one
-    reader, every 64th commit traced. *)
+    reader, every 64th commit traced; no metrics endpoint, slow-op
+    deadline 100 ms logged to stderr, no watchdog, no flight-dump
+    directory.
+
+    [metrics_port]: also listen on loopback at this port ([0] =
+    ephemeral; see {!metrics_port}) and answer [GET /metrics] with the
+    OpenMetrics exposition.  [slow_ms <= 0] disables the slow-op log;
+    [slowlog_sink] redirects its JSON lines (default: stderr, prefixed
+    [cactis-slowop ]).  [watchdog] enables the latency/error watchdog.
+    [flight_dir] is where crash/watchdog flight dumps are written;
+    without it dumps are skipped (stderr still reports the crash). *)
 val config :
-  ?port:int -> ?readers:int -> ?trace_sample:int -> ?backlog:int -> unit -> config
+  ?port:int ->
+  ?readers:int ->
+  ?trace_sample:int ->
+  ?backlog:int ->
+  ?metrics_port:int ->
+  ?slow_ms:float ->
+  ?slowlog_sink:(string -> unit) ->
+  ?watchdog:Cactis_obs.Watchdog.config ->
+  ?flight_dir:string ->
+  unit ->
+  config
 
 type t
 
@@ -54,6 +83,9 @@ val start : ?config:config -> make_schema:(unit -> Cactis.Schema.t) -> Cactis.Db
 (** The bound TCP port (useful with [port = 0]). *)
 val port : t -> int
 
+(** The bound metrics port, when a metrics endpoint was configured. *)
+val metrics_port : t -> int option
+
 val readers : t -> int
 
 (** Highest committed (and broadcast) version. *)
@@ -68,6 +100,17 @@ val latencies : t -> Cactis_obs.Histogram.t
 (** The sampled-span ring (always enabled; ~1-in-[trace_sample]
     commits). *)
 val trace : t -> Cactis_obs.Trace.t
+
+(** The slow-op log, when enabled ([slow_ms > 0]). *)
+val slowlog : t -> Cactis_obs.Slowlog.t option
+
+(** The watchdog, when configured. *)
+val watchdog : t -> Cactis_obs.Watchdog.t option
+
+(** [dump_flight t ~reason] — write a flight dump to the configured
+    [flight_dir] now ([None] when no directory was configured or the
+    write failed).  The CLI wires SIGQUIT/SIGUSR2 to this. *)
+val dump_flight : t -> reason:string -> string option
 
 (** Stop accepting, drain the domains, close every socket.
     Idempotent. *)

@@ -89,9 +89,14 @@ let observe h seconds =
 let observe_named t name seconds = observe (cell t name) seconds
 
 let count h = h.n
+let sum h = h.sum
+let max_value h = h.max
+let num_buckets = buckets
+let bucket_counts h = Array.copy h.counts
 
 (* Upper bound of bucket i in seconds. *)
 let upper i = Float.ldexp 1.0 i *. 1e-6
+let bucket_upper = upper
 
 let quantile h q =
   if h.n = 0 then 0.0
@@ -153,6 +158,10 @@ let merged t =
 let snapshot t =
   Hashtbl.fold (fun name h acc -> if h.n > 0 then stats name h :: acc else acc) (merged t) []
   |> List.sort (fun a b -> String.compare a.st_name b.st_name)
+
+let merged_cells t =
+  Hashtbl.fold (fun name h acc -> if h.n > 0 then (name, h) :: acc else acc) (merged t) []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let reset t =
   (* Zeroes every shard's cells in place, so cached cells stay valid. *)

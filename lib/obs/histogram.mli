@@ -53,6 +53,23 @@ val observe_named : t -> string -> float -> unit
 
 val count : h -> int
 
+(** Exact sum of observed durations, seconds (OpenMetrics [_sum]). *)
+val sum : h -> float
+
+(** Exact maximum observed duration, seconds. *)
+val max_value : h -> float
+
+(** Number of buckets (fixed). *)
+val num_buckets : int
+
+(** [bucket_upper i] — upper bound of bucket [i] in seconds (bucket [i]
+    covers [[2^(i-1), 2^i)] µs; bucket 0 is everything under 1µs). *)
+val bucket_upper : int -> float
+
+(** Per-bucket observation counts (a fresh copy, length
+    {!num_buckets}). *)
+val bucket_counts : h -> int array
+
 (** [quantile h q] for [q] in [[0,1]]; 0 when empty. *)
 val quantile : h -> float -> float
 
@@ -61,6 +78,12 @@ val stats : string -> h -> stats
 (** Stats for every named histogram with at least one observation,
     sorted by name. *)
 val snapshot : t -> stats list
+
+(** One merged histogram per name across all shards (fresh private
+    copies — safe to read at leisure), names sorted, empty histograms
+    omitted.  The raw-bucket counterpart of {!snapshot}, for OpenMetrics
+    exposition and window diffing. *)
+val merged_cells : t -> (string * h) list
 
 (** Zero every histogram in place. *)
 val reset : t -> unit

@@ -1,0 +1,306 @@
+(* OpenMetrics text exposition: rendering (for the server's /metrics
+   endpoint and the Metrics proto verb) and a structural linter (for
+   tests and CI to validate a real scrape without network deps). *)
+
+let is_name_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+
+let metric_name n = "cactis_" ^ String.map (fun c -> if is_name_char c then c else '_') n
+
+(* %.9g keeps every bucket bound and sum exact enough to round-trip
+   (bounds are powers of two times 1e-6) while staying deterministic. *)
+let float_repr f = Printf.sprintf "%.9g" f
+
+let render ~counters ~hists =
+  let buf = Buffer.create 4096 in
+  (* Counters whose sanitized names collide are summed into one sample. *)
+  let ctr_tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (name, v) ->
+      let m = metric_name name in
+      Hashtbl.replace ctr_tbl m (v + Option.value ~default:0 (Hashtbl.find_opt ctr_tbl m)))
+    counters;
+  let ctrs =
+    Hashtbl.fold (fun m v acc -> (m, v) :: acc) ctr_tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (m, v) ->
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" m);
+      Buffer.add_string buf (Printf.sprintf "%s_total %d\n" m v))
+    ctrs;
+  let seen_hist = Hashtbl.create 16 in
+  let hists =
+    List.filter_map
+      (fun (name, h) ->
+        let m = metric_name name ^ "_seconds" in
+        if Hashtbl.mem seen_hist m then None
+        else begin
+          Hashtbl.add seen_hist m ();
+          Some (m, h)
+        end)
+      hists
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (m, h) ->
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" m);
+      let counts = Histogram.bucket_counts h in
+      let cum = ref 0 in
+      Array.iteri
+        (fun i c ->
+          cum := !cum + c;
+          (* Only buckets that gained observations — cumulative values
+             stay valid over any subset of bounds, and 64 mostly-empty
+             lines per histogram would drown the scrape. *)
+          if c > 0 then
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" m
+                 (float_repr (Histogram.bucket_upper i))
+                 !cum))
+        counts;
+      Buffer.add_string buf (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" m (Histogram.count h));
+      Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" m (float_repr (Histogram.sum h)));
+      Buffer.add_string buf (Printf.sprintf "%s_count %d\n" m (Histogram.count h)))
+    hists;
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Linter                                                              *)
+
+type sample = {
+  s_name : string;
+  s_labels : (string * string) list;
+  s_value : float;
+}
+
+let parse_value s =
+  match s with
+  | "+Inf" | "Inf" -> Some infinity
+  | "-Inf" -> Some neg_infinity
+  | "NaN" -> Some Float.nan
+  | _ -> float_of_string_opt s
+
+(* [name{label="v",...} value [timestamp]] — returns None with a reason
+   on malformed lines. *)
+let parse_sample line =
+  let len = String.length line in
+  let pos = ref 0 in
+  let fail msg = Error msg in
+  if len = 0 || not (is_name_start line.[0]) then fail "sample does not start with a metric name"
+  else begin
+    while !pos < len && is_name_char line.[!pos] do
+      incr pos
+    done;
+    let name = String.sub line 0 !pos in
+    let labels = ref [] in
+    let label_err = ref None in
+    if !pos < len && line.[!pos] = '{' then begin
+      incr pos;
+      let rec loop () =
+        if !pos >= len then label_err := Some "unterminated label set"
+        else if line.[!pos] = '}' then incr pos
+        else begin
+          let start = !pos in
+          while !pos < len && is_name_char line.[!pos] do
+            incr pos
+          done;
+          let lname = String.sub line start (!pos - start) in
+          if lname = "" || !pos + 1 >= len || line.[!pos] <> '=' || line.[!pos + 1] <> '"' then
+            label_err := Some "malformed label"
+          else begin
+            pos := !pos + 2;
+            let b = Buffer.create 16 in
+            let rec scan () =
+              if !pos >= len then label_err := Some "unterminated label value"
+              else
+                match line.[!pos] with
+                | '"' -> incr pos
+                | '\\' when !pos + 1 < len ->
+                  Buffer.add_char b line.[!pos + 1];
+                  pos := !pos + 2;
+                  scan ()
+                | c ->
+                  Buffer.add_char b c;
+                  incr pos;
+                  scan ()
+            in
+            scan ();
+            if !label_err = None then begin
+              labels := (lname, Buffer.contents b) :: !labels;
+              if !pos < len && line.[!pos] = ',' then begin
+                incr pos;
+                loop ()
+              end
+              else loop ()
+            end
+          end
+        end
+      in
+      loop ()
+    end;
+    match !label_err with
+    | Some msg -> fail msg
+    | None ->
+      if !pos >= len || line.[!pos] <> ' ' then fail "missing space before sample value"
+      else begin
+        let rest = String.sub line (!pos + 1) (len - !pos - 1) in
+        let value_str, _ts =
+          match String.index_opt rest ' ' with
+          | Some i -> (String.sub rest 0 i, Some (String.sub rest (i + 1) (String.length rest - i - 1)))
+          | None -> (rest, None)
+        in
+        match parse_value value_str with
+        | None -> fail (Printf.sprintf "unparseable sample value %S" value_str)
+        | Some v -> Ok { s_name = name; s_labels = List.rev !labels; s_value = v }
+      end
+  end
+
+let known_types = [ "counter"; "gauge"; "histogram"; "gaugehistogram"; "summary"; "info"; "stateset"; "unknown" ]
+
+(* Suffixes a sample name may carry, per family type. *)
+let family_of types name =
+  let try_family f = Hashtbl.find_opt types f |> Option.map (fun ty -> (f, ty)) in
+  let strip suffix =
+    if String.length name > String.length suffix && Filename.check_suffix name suffix then
+      Some (String.sub name 0 (String.length name - String.length suffix))
+    else None
+  in
+  let candidates =
+    name
+    :: List.filter_map strip [ "_total"; "_created"; "_bucket"; "_sum"; "_count"; "_info" ]
+  in
+  let rec first = function
+    | [] -> None
+    | f :: rest -> ( match try_family f with Some r -> Some r | None -> first rest)
+  in
+  first candidates
+
+let suffix_allowed ty family name =
+  let suffix =
+    if name = family then ""
+    else String.sub name (String.length family) (String.length name - String.length family)
+  in
+  match ty with
+  | "counter" -> List.mem suffix [ "_total"; "_created" ]
+  | "histogram" -> List.mem suffix [ "_bucket"; "_sum"; "_count"; "_created" ]
+  | "gaugehistogram" -> List.mem suffix [ "_bucket"; "_gsum"; "_gcount" ]
+  | "summary" -> List.mem suffix [ ""; "_sum"; "_count"; "_created" ]
+  | "info" -> suffix = "_info"
+  | _ -> suffix = ""
+
+let lint text =
+  let errors = ref [] in
+  let err line msg = errors := Printf.sprintf "line %d: %s" line msg :: !errors in
+  if text = "" then [ "empty exposition" ]
+  else begin
+    if not (Filename.check_suffix text "\n") then errors := "missing final newline" :: !errors;
+    let lines = String.split_on_char '\n' text in
+    (* split_on_char leaves one trailing "" for a newline-terminated text *)
+    let lines =
+      match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
+    in
+    let types = Hashtbl.create 16 in
+    let sampled = Hashtbl.create 16 in  (* families that have emitted samples *)
+    let completed = Hashtbl.create 16 in  (* families whose sample run ended *)
+    let current = ref None in
+    (* per-histogram-family accumulation: (le, cumulative value) list,
+       count sample value *)
+    let hbuckets = ref [] in
+    let hcount = ref None in
+    let finalize line =
+      (match !current with
+      | Some (f, "histogram") ->
+        let bs = List.rev !hbuckets in
+        if bs = [] then err line (Printf.sprintf "histogram %s has no buckets" f)
+        else begin
+          let rec mono = function
+            | (le1, v1) :: ((le2, v2) :: _ as rest) ->
+              if not (le1 < le2) then
+                err line (Printf.sprintf "histogram %s: le bounds not increasing" f);
+              if v1 > v2 then
+                err line (Printf.sprintf "histogram %s: bucket counts not cumulative" f);
+              mono rest
+            | _ -> ()
+          in
+          mono bs;
+          let last_le, last_v = List.nth bs (List.length bs - 1) in
+          if last_le <> infinity then err line (Printf.sprintf "histogram %s: no +Inf bucket" f);
+          match !hcount with
+          | Some c when last_le = infinity && c <> last_v ->
+            err line (Printf.sprintf "histogram %s: +Inf bucket (%g) <> _count (%g)" f last_v c)
+          | None -> err line (Printf.sprintf "histogram %s: missing _count" f)
+          | Some _ -> ()
+        end
+      | _ -> ());
+      (match !current with
+      | Some (f, _) -> Hashtbl.replace completed f ()
+      | None -> ());
+      current := None;
+      hbuckets := [];
+      hcount := None
+    in
+    let eof_line = ref None in
+    List.iteri
+      (fun i line ->
+        let n = i + 1 in
+        match !eof_line with
+        | Some e -> err n (Printf.sprintf "content after # EOF (line %d)" e)
+        | None ->
+          if line = "" then err n "empty line"
+          else if line = "# EOF" then begin
+            finalize n;
+            eof_line := Some n
+          end
+          else if String.length line > 0 && line.[0] = '#' then begin
+            match String.split_on_char ' ' line with
+            | "#" :: "TYPE" :: name :: [ ty ] ->
+              finalize n;
+              if not (List.mem ty known_types) then
+                err n (Printf.sprintf "unknown metric type %S" ty);
+              if name = "" || not (is_name_start name.[0]) || String.exists (fun c -> not (is_name_char c)) name
+              then err n (Printf.sprintf "invalid metric name %S" name);
+              if Hashtbl.mem types name then err n (Printf.sprintf "duplicate TYPE for %s" name)
+              else if Hashtbl.mem sampled name then
+                err n (Printf.sprintf "TYPE for %s after its samples" name)
+              else Hashtbl.replace types name ty
+            | "#" :: "HELP" :: name :: _ when name <> "" -> ignore name
+            | "#" :: "UNIT" :: name :: [ _unit ] when name <> "" -> ignore name
+            | _ -> err n (Printf.sprintf "malformed comment line %S" line)
+          end
+          else begin
+            match parse_sample line with
+            | Error msg -> err n msg
+            | Ok s -> (
+              match family_of types s.s_name with
+              | None -> err n (Printf.sprintf "sample %s has no declared family" s.s_name)
+              | Some (f, ty) ->
+                if not (suffix_allowed ty f s.s_name) then
+                  err n (Printf.sprintf "sample %s not allowed for %s family %s" s.s_name ty f);
+                (match !current with
+                | Some (cf, _) when cf = f -> ()
+                | _ ->
+                  finalize n;
+                  if Hashtbl.mem completed f then
+                    err n (Printf.sprintf "samples of family %s are not contiguous" f);
+                  current := Some (f, ty));
+                Hashtbl.replace sampled f ();
+                if ty = "histogram" then begin
+                  if s.s_name = f ^ "_bucket" then begin
+                    match List.assoc_opt "le" s.s_labels with
+                    | None -> err n (Printf.sprintf "%s_bucket sample without le label" f)
+                    | Some le_str -> (
+                      match parse_value le_str with
+                      | None -> err n (Printf.sprintf "unparseable le label %S" le_str)
+                      | Some le -> hbuckets := (le, s.s_value) :: !hbuckets)
+                  end
+                  else if s.s_name = f ^ "_count" then hcount := Some s.s_value
+                end)
+          end)
+      lines;
+    (match !eof_line with
+    | None -> errors := "missing # EOF terminator" :: !errors
+    | Some _ -> ());
+    List.rev !errors
+  end

@@ -1,0 +1,36 @@
+(** OpenMetrics / Prometheus text exposition.
+
+    Renders merged {!Cactis_util.Counters} and {!Histogram} snapshots
+    in the OpenMetrics text format (the format Prometheus scrapes):
+    counters become [<name>_total] samples, histograms become
+    [<name>_seconds] families with cumulative [le]-labelled buckets
+    plus exact [_sum]/[_count], and the exposition ends with the
+    mandatory [# EOF] terminator.
+
+    Metric names are derived by prefixing ["cactis_"] and mapping every
+    character outside [[a-zA-Z0-9_:]] to ['_'] (so the registry name
+    ["serve.read"] becomes [cactis_serve_read_seconds]).  Counters
+    whose sanitized names collide are summed.
+
+    {!lint} is a standalone structural validator for the same format —
+    used by tests and CI to check what a real scrape of
+    [GET /metrics] returns, without any network dependency. *)
+
+(** [metric_name n] — ["cactis_"] + sanitized [n]. *)
+val metric_name : string -> string
+
+(** [render ~counters ~hists] — a complete exposition: counter
+    families first, then histogram families (seconds), each sorted by
+    metric name, terminated by [# EOF]. *)
+val render : counters:(string * int) list -> hists:(string * Histogram.h) list -> string
+
+(** [lint text] — structural errors in an OpenMetrics text exposition
+    ([[]] = valid).  Checks: [# EOF] terminator; every line is a
+    [TYPE]/[HELP]/[UNIT] declaration or a parseable sample; sample
+    names carry the suffixes their family's type allows ([_total] for
+    counters; [_bucket]/[_sum]/[_count] for histograms); families are
+    declared before use, not re-declared, and samples of one family
+    are contiguous; histogram buckets have parseable, strictly
+    increasing [le] labels with cumulative non-decreasing counts, a
+    [+Inf] bucket, and [+Inf] count equal to [_count]. *)
+val lint : string -> string list

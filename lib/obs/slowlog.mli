@@ -1,0 +1,49 @@
+(** Slow-operation log.
+
+    Per-verb latency deadlines: every served operation is offered to
+    the log, and the ones that blow their verb's deadline are rendered
+    as one structured JSON line each (machine-parseable forensics:
+    wall-clock stamp, verb, duration vs deadline, client span id,
+    request id, the replica version that served the op, the serving
+    domain, and the pager hit/miss delta over the op — enough to tell
+    "cold cache" from "slow disk" from "replica lag" after the fact).
+
+    A [t] is safe to share across serving domains: the deadline table
+    is immutable and the sink is called under no lock (hand it one
+    that serializes, e.g. a mutex-guarded [output_string]). *)
+
+type record = {
+  sr_wall_us : int64;  (** wall clock when the op completed, µs *)
+  sr_verb : string;
+  sr_dur_s : float;
+  sr_deadline_s : float;  (** the deadline it was judged against *)
+  sr_span : int;  (** client trace span id (0 = none) *)
+  sr_req : int;  (** request id from the envelope *)
+  sr_version : int;  (** snapshot/commit version serving the op *)
+  sr_domain : string;  (** serving domain label *)
+  sr_pager_hits : int;  (** buffer-pool hits during the op *)
+  sr_pager_misses : int;  (** buffer-pool misses during the op *)
+}
+
+(** Deterministic single-line JSON (stable key order, no trailing
+    newline). *)
+val to_json : record -> string
+
+type t
+
+(** [create ~deadline_s ?per_verb ~sink ()] — [deadline_s] is the
+    default per-op deadline; [per_verb] overrides it for named verbs.
+    [sink] receives one JSON line (no newline) per slow op. *)
+val create :
+  deadline_s:float -> ?per_verb:(string * float) list -> sink:(string -> unit) -> unit -> t
+
+(** The deadline that applies to [verb]. *)
+val deadline_for : t -> string -> float
+
+(** [observe t record] — if [record.sr_dur_s] meets or exceeds the
+    verb's deadline, stamp the deadline into the record, sink its JSON
+    line and return [true]. *)
+val observe : t -> record -> bool
+
+(** Slow ops logged so far. *)
+val logged : t -> int

@@ -10,21 +10,38 @@ type event = {
   ev_instant : bool;
   ev_ts : float;
   ev_dur : float;
+  ev_tid : int;
   ev_args : (string * arg) list;
 }
 
-let dummy = { ev_name = ""; ev_cat = ""; ev_instant = true; ev_ts = 0.0; ev_dur = 0.0; ev_args = [] }
+let dummy =
+  { ev_name = ""; ev_cat = ""; ev_instant = true; ev_ts = 0.0; ev_dur = 0.0; ev_tid = 0; ev_args = [] }
 
 type t = {
   mutable on : bool;
   ring : event array;
   mutable written : int;  (* total events ever pushed; ring slot = written mod capacity *)
   epoch_ns : int64;
+  names_mu : Mutex.t;
+  mutable names : (int * string) list;  (* domain id -> track name, for export *)
 }
 
 let create ?(capacity = 65536) () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
-  { on = false; ring = Array.make capacity dummy; written = 0; epoch_ns = Clock.now_ns () }
+  {
+    on = false;
+    ring = Array.make capacity dummy;
+    written = 0;
+    epoch_ns = Clock.now_ns ();
+    names_mu = Mutex.create ();
+    names = [];
+  }
+
+let name_thread t name =
+  let tid = (Domain.self () :> int) in
+  Mutex.lock t.names_mu;
+  t.names <- (tid, name) :: List.remove_assoc tid t.names;
+  Mutex.unlock t.names_mu
 
 let enable t = t.on <- true
 let disable t = t.on <- false
@@ -52,6 +69,7 @@ let complete t ?(cat = "cactis") ?(args = []) ~start_ns name =
         ev_instant = false;
         ev_ts = us_since_epoch t start_ns;
         ev_dur = Int64.to_float (Int64.sub now start_ns) *. 1e-3;
+        ev_tid = (Domain.self () :> int);
         ev_args = args;
       }
   end
@@ -65,6 +83,7 @@ let instant t ?(cat = "cactis") ?(args = []) name =
         ev_instant = true;
         ev_ts = us_since_epoch t (Clock.now_ns ());
         ev_dur = 0.0;
+        ev_tid = (Domain.self () :> int);
         ev_args = args;
       }
 
@@ -118,7 +137,7 @@ let event_json buf ev =
        ev.ev_ts);
   if ev.ev_instant then Buffer.add_string buf ",\"s\":\"t\""
   else Buffer.add_string buf (Printf.sprintf ",\"dur\":%.3f" ev.ev_dur);
-  Buffer.add_string buf ",\"pid\":1,\"tid\":1";
+  Buffer.add_string buf (Printf.sprintf ",\"pid\":1,\"tid\":%d" ev.ev_tid);
   (match ev.ev_args with
   | [] -> ()
   | args ->
@@ -131,14 +150,39 @@ let event_json buf ev =
     Buffer.add_char buf '}');
   Buffer.add_char buf '}'
 
+(* Metadata ("ph":"M") events give every domain its own named track in
+   Perfetto.  Synthesized only at export time, so [events] (and the
+   tests over it) see exactly what was recorded. *)
+let metadata_json buf t evs =
+  Mutex.lock t.names_mu;
+  let names = t.names in
+  Mutex.unlock t.names_mu;
+  let tids = List.sort_uniq compare (List.map (fun ev -> ev.ev_tid) evs @ List.map fst names) in
+  Buffer.add_string buf
+    "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"cactis\"}}";
+  List.iter
+    (fun tid ->
+      let name =
+        match List.assoc_opt tid names with
+        | Some n -> n
+        | None -> Printf.sprintf "domain-%d" tid
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+           tid (escape name)))
+    tids
+
 let to_chrome_json t =
   let buf = Buffer.create 4096 in
+  let evs = events t in
   Buffer.add_string buf "{\"traceEvents\":[";
-  List.iteri
-    (fun i ev ->
-      if i > 0 then Buffer.add_char buf ',';
+  metadata_json buf t evs;
+  List.iter
+    (fun ev ->
+      Buffer.add_char buf ',';
       Buffer.add_char buf '\n';
       event_json buf ev)
-    (events t);
+    evs;
   Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
   Buffer.contents buf

@@ -25,6 +25,7 @@ type event = {
   ev_instant : bool;
   ev_ts : float;  (** microseconds since tracer creation *)
   ev_dur : float;  (** microseconds; 0 for instants *)
+  ev_tid : int;  (** recording domain's id — its Perfetto track *)
   ev_args : (string * arg) list;
 }
 
@@ -37,6 +38,12 @@ val create : ?capacity:int -> unit -> t
 val enable : t -> unit
 val disable : t -> unit
 val enabled : t -> bool
+
+(** [name_thread t name] labels the calling domain's track in the
+    exported trace (a ["thread_name"] metadata event; multi-domain
+    traces render as separate named tracks in Perfetto).  Unnamed
+    domains export as ["domain-N"]. *)
+val name_thread : t -> string -> unit
 
 (** Total events recorded since creation/[clear] (including any that
     have since been overwritten). *)

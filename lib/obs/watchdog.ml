@@ -1,0 +1,95 @@
+type config = {
+  wd_interval_s : float;
+  wd_p99_factor : float;
+  wd_min_count : int;
+  wd_error_burst : int;
+}
+
+let default_config =
+  { wd_interval_s = 5.0; wd_p99_factor = 4.0; wd_min_count = 64; wd_error_burst = 32 }
+
+type t = {
+  cfg : config;
+  now : unit -> float;
+  lats : Histogram.t;
+  errors : unit -> int;
+  on_trip : reason:string -> detail:string -> unit;
+  mutable last_check : float;
+  prev_counts : (string, int array) Hashtbl.t;  (* cumulative bucket counts at last sample *)
+  prev_p99 : (string, float) Hashtbl.t;  (* previous *window* p99 per verb *)
+  mutable prev_errors : int;
+  trips : int Atomic.t;
+}
+
+let mono_now () = Int64.to_float (Clock.now_ns ()) *. 1e-9
+
+let create ?(now = mono_now) cfg ~lats ~errors ~on_trip =
+  {
+    cfg;
+    now;
+    lats;
+    errors;
+    on_trip;
+    last_check = now ();
+    prev_counts = Hashtbl.create 16;
+    prev_p99 = Hashtbl.create 16;
+    prev_errors = errors ();
+    trips = Atomic.make 0;
+  }
+
+(* p99 upper bound of a window reconstructed from diffed bucket counts:
+   the bucket upper bound at the 99th-percentile rank. *)
+let window_p99 counts total =
+  let rank = max 1 (int_of_float (ceil (0.99 *. float_of_int total))) in
+  let rec find i acc =
+    if i >= Array.length counts then Histogram.bucket_upper (Array.length counts - 1)
+    else
+      let acc = acc + counts.(i) in
+      if acc >= rank then Histogram.bucket_upper i else find (i + 1) acc
+  in
+  find 0 0
+
+let trip t ~reason ~detail =
+  Atomic.incr t.trips;
+  Flight.record_s Flight.Watchdog ~a:(Atomic.get t.trips) ~b:0 (reason ^ ": " ^ detail);
+  t.on_trip ~reason ~detail
+
+let check_now t =
+  List.iter
+    (fun (name, h) ->
+      let counts = Histogram.bucket_counts h in
+      let prev =
+        match Hashtbl.find_opt t.prev_counts name with
+        | Some p -> p
+        | None -> Array.make (Array.length counts) 0
+      in
+      let window = Array.mapi (fun i c -> c - prev.(i)) counts in
+      let total = Array.fold_left ( + ) 0 window in
+      Hashtbl.replace t.prev_counts name counts;
+      if total >= t.cfg.wd_min_count then begin
+        let p99 = window_p99 window total in
+        (match Hashtbl.find_opt t.prev_p99 name with
+        | Some base when base > 0.0 && p99 > base *. t.cfg.wd_p99_factor ->
+          trip t ~reason:"p99-regression"
+            ~detail:
+              (Printf.sprintf "%s window p99 %.3fms > %.1fx previous %.3fms (%d ops)" name
+                 (p99 *. 1e3) t.cfg.wd_p99_factor (base *. 1e3) total)
+        | _ -> ());
+        Hashtbl.replace t.prev_p99 name p99
+      end)
+    (Histogram.merged_cells t.lats);
+  let errs = t.errors () in
+  let burst = errs - t.prev_errors in
+  t.prev_errors <- errs;
+  if t.cfg.wd_error_burst > 0 && burst >= t.cfg.wd_error_burst then
+    trip t ~reason:"error-burst"
+      ~detail:(Printf.sprintf "%d errors in one %.1fs window" burst t.cfg.wd_interval_s)
+
+let tick t =
+  let now = t.now () in
+  if now -. t.last_check >= t.cfg.wd_interval_s then begin
+    t.last_check <- now;
+    check_now t
+  end
+
+let trips t = Atomic.get t.trips

@@ -1,0 +1,49 @@
+(** Latency/error watchdog.
+
+    Samples a per-verb latency {!Histogram} registry on an interval
+    and compares each verb's {e window} (the observations since the
+    previous sample, reconstructed by diffing raw bucket counts)
+    against the previous window.  Trips when a verb's window p99
+    regresses by more than a configured factor, or when the error
+    count bursts past a threshold within one window.  A trip records a
+    {!Flight.Watchdog} event and invokes the [on_trip] callback — the
+    server uses it to dump the flight recorder and emit an anomaly
+    line.
+
+    Designed to be driven from one domain's idle loop ({!tick} is a
+    clock comparison until the interval elapses). *)
+
+type config = {
+  wd_interval_s : float;  (** seconds between samples *)
+  wd_p99_factor : float;  (** trip when window p99 > factor × previous window p99 *)
+  wd_min_count : int;  (** windows with fewer observations are never judged *)
+  wd_error_burst : int;  (** trip when a window gains this many errors (0 = off) *)
+}
+
+(** 5 s interval, 4× p99 factor, 64-observation minimum, 32-error
+    burst. *)
+val default_config : config
+
+type t
+
+(** [create config ~lats ~errors ~on_trip] — [errors] returns the
+    current cumulative error count (diffed per window); [on_trip]
+    receives a reason tag (["p99-regression"], ["error-burst"]) and a
+    human-readable detail line.  [now] (seconds, monotonic) is
+    injectable for tests. *)
+val create :
+  ?now:(unit -> float) ->
+  config ->
+  lats:Histogram.t ->
+  errors:(unit -> int) ->
+  on_trip:(reason:string -> detail:string -> unit) ->
+  t
+
+(** Sample if the interval has elapsed (cheap otherwise). *)
+val tick : t -> unit
+
+(** Sample unconditionally (tests). *)
+val check_now : t -> unit
+
+(** Trips since creation. *)
+val trips : t -> int

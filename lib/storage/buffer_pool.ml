@@ -70,6 +70,7 @@ let write_back t f =
   if f.dirty then begin
     f.dirty <- false;
     t.writeback_count <- t.writeback_count + 1;
+    Cactis_obs.Flight.record Cactis_obs.Flight.Pager_writeback ~a:f.block ~b:t.writeback_count;
     match t.render with
     | Some render -> Disk.write_block t.disk f.block (render f.block)
     | None -> Disk.write t.disk
@@ -98,6 +99,7 @@ let touch ?(dirty = false) t block =
     `Hit
   | None ->
     t.miss_count <- t.miss_count + 1;
+    Cactis_obs.Flight.record Cactis_obs.Flight.Pager_miss ~a:block ~b:t.miss_count;
     ignore (Disk.read_block t.disk block);
     if t.count >= t.cap then evict_lru t;
     let f = { block; dirty; prev = None; next = None } in

@@ -172,6 +172,7 @@ type writer = {
 }
 
 let fsync w =
+  Cactis_obs.Flight.record Cactis_obs.Flight.Wal_fsync ~a:w.pending ~b:w.appends;
   Cactis_obs.Ctx.time w.obs w.h_fsync ~cat:"wal" "wal_fsync" (fun () ->
       flush w.oc;
       Unix.fsync w.fd)
@@ -223,6 +224,7 @@ let append w payload =
   w.appends <- w.appends + 1;
   w.appended_bytes <- w.appended_bytes + 8 + plen;
   w.pending <- w.pending + 1;
+  Cactis_obs.Flight.record Cactis_obs.Flight.Wal_append ~a:(8 + plen) ~b:w.appends;
   if w.sync_every > 0 && w.pending >= w.sync_every then begin
     fsync w;
     w.pending <- 0

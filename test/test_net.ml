@@ -409,6 +409,141 @@ let test_concurrent_clients () =
       Alcotest.(check int) "writer client committed every round" rounds writes;
       Alcotest.(check int) "all commits published" rounds (Server.published_version server))
 
+(* ---- Observability endpoints ---- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let with_server_cfg config f =
+  let db, a, b, c = chain_db () in
+  let server = Server.start ~config ~make_schema:node_schema db in
+  Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f server (a, b, c))
+
+let test_metrics_verb () =
+  with_server_cfg (Server.config ()) (fun server (a, _, _) ->
+      let cl = Client.connect ~port:(Server.port server) () in
+      Fun.protect ~finally:(fun () -> Client.close cl) @@ fun () ->
+      Client.ping cl;
+      ignore (Client.read cl ~instance:a ~attr:"local");
+      let text = Client.metrics cl in
+      (match Cactis_obs.Metrics.lint text with
+      | [] -> ()
+      | errors ->
+        Alcotest.failf "exposition fails lint:\n%s" (String.concat "\n" errors));
+      Alcotest.(check bool) "ping counted" true (contains text "cactis_server_req_ping_total");
+      Alcotest.(check bool) "read latency exposed" true
+        (contains text "cactis_serve_read_seconds_bucket");
+      Alcotest.(check bool) "db-side merged in" true (contains text "cactis_db_"))
+
+(* A raw HTTP/1.0 scrape against the metrics listener: status line,
+   OpenMetrics content type, body identical in validity to the proto
+   verb's. *)
+let test_http_metrics_scrape () =
+  with_server_cfg (Server.config ~metrics_port:0 ()) (fun server _ ->
+      let mport =
+        match Server.metrics_port server with
+        | Some p -> p
+        | None -> Alcotest.fail "metrics port not bound"
+      in
+      let scrape path =
+        let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ()) @@ fun () ->
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, mport));
+        let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+        ignore (Unix.write_substring fd req 0 (String.length req));
+        let buf = Buffer.create 4096 in
+        let chunk = Bytes.create 4096 in
+        let rec drain () =
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> ()
+          | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            drain ()
+        in
+        drain ();
+        Buffer.contents buf
+      in
+      let resp = scrape "/metrics" in
+      Alcotest.(check bool) "200" true (contains resp "HTTP/1.0 200 OK");
+      Alcotest.(check bool) "openmetrics content type" true
+        (contains resp "application/openmetrics-text");
+      let body =
+        match String.index_opt resp '\n' with
+        | None -> Alcotest.fail "no header/body split"
+        | Some _ -> (
+          let rec find i =
+            if i + 4 > String.length resp then Alcotest.fail "no blank line"
+            else if String.sub resp i 4 = "\r\n\r\n" then String.sub resp (i + 4) (String.length resp - i - 4)
+            else find (i + 1)
+          in
+          find 0)
+      in
+      (match Cactis_obs.Metrics.lint body with
+      | [] -> ()
+      | errors -> Alcotest.failf "scraped body fails lint:\n%s" (String.concat "\n" errors));
+      (* Anything but /metrics is a 404; the server survives both. *)
+      let resp404 = scrape "/other" in
+      Alcotest.(check bool) "404 for other paths" true (contains resp404 "404"))
+
+let test_slowlog_catches_slow_verbs () =
+  let mu = Mutex.create () in
+  let lines = ref [] in
+  let sink l =
+    Mutex.lock mu;
+    lines := l :: !lines;
+    Mutex.unlock mu
+  in
+  (* A 1 ns deadline makes every op "slow": the log must fire with the
+     verb, version and pager fields populated. *)
+  with_server_cfg
+    (Server.config ~slow_ms:1e-6 ~slowlog_sink:sink ())
+    (fun server (a, _, c) ->
+      let cl = Client.connect ~port:(Server.port server) () in
+      Fun.protect ~finally:(fun () -> Client.close cl) @@ fun () ->
+      ignore (Client.commit cl [ Proto.Set { instance = c; attr = "local"; value = int 7 } ]);
+      ignore (Client.read cl ~instance:a ~attr:"total");
+      Mutex.lock mu;
+      let all = String.concat "\n" !lines in
+      Mutex.unlock mu;
+      Alcotest.(check bool) "commit logged" true (contains all "\"verb\":\"commit\"");
+      Alcotest.(check bool) "read logged" true (contains all "\"verb\":\"read\"");
+      Alcotest.(check bool) "domain attributed" true (contains all "\"domain\":\"");
+      Alcotest.(check bool) "version stamped" true (contains all "\"version\":1");
+      match Server.slowlog server with
+      | Some sl -> Alcotest.(check bool) "logged counter" true (Cactis_obs.Slowlog.logged sl >= 2)
+      | None -> Alcotest.fail "slowlog not enabled")
+
+let test_flight_records_server_era () =
+  Cactis_obs.Flight.reset ();
+  with_server_cfg (Server.config ()) (fun server (_, _, c) ->
+      let cl = Client.connect ~port:(Server.port server) () in
+      Fun.protect ~finally:(fun () -> Client.close cl) @@ fun () ->
+      ignore (Client.commit cl [ Proto.Set { instance = c; attr = "local"; value = int 9 } ]);
+      ignore (Client.read cl ~instance:c ~attr:"local");
+      ignore (Client.request cl (Proto.Read { min_version = 0; instance = 999999; attr = "x" }));
+      ());
+  (* After stop the domains are joined: the snapshot is complete. *)
+  let dump = Cactis_obs.Flight.snapshot () in
+  let all_events =
+    List.concat_map (fun (s : Cactis_obs.Flight.section) -> s.Cactis_obs.Flight.fs_events)
+      dump.Cactis_obs.Flight.d_sections
+  in
+  let names =
+    List.map (fun (s : Cactis_obs.Flight.section) -> s.Cactis_obs.Flight.fs_name)
+      dump.Cactis_obs.Flight.d_sections
+  in
+  let has_kind k =
+    List.exists (fun (e : Cactis_obs.Flight.event) -> e.Cactis_obs.Flight.fe_kind = k) all_events
+  in
+  Alcotest.(check bool) "net_accept recorded" true (has_kind Cactis_obs.Flight.Net_accept);
+  Alcotest.(check bool) "net_verb recorded" true (has_kind Cactis_obs.Flight.Net_verb);
+  Alcotest.(check bool) "txn_commit recorded" true (has_kind Cactis_obs.Flight.Txn_commit);
+  Alcotest.(check bool) "error recorded" true (has_kind Cactis_obs.Flight.Net_error);
+  Alcotest.(check bool) "writer named" true (List.mem "writer" names);
+  Alcotest.(check bool) "frontend named" true (List.mem "frontend" names)
+
 let test_wal_chain_survives_restart () =
   let dir = "net_scratch_wal" in
   if Sys.file_exists dir then
@@ -464,5 +599,12 @@ let () =
           Alcotest.test_case "garbage frame" `Quick test_garbage_frame_gets_protocol_error;
           Alcotest.test_case "concurrent clients" `Quick test_concurrent_clients;
           Alcotest.test_case "wal chain survives restart" `Quick test_wal_chain_survives_restart;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "metrics verb lints clean" `Quick test_metrics_verb;
+          Alcotest.test_case "http scrape" `Quick test_http_metrics_scrape;
+          Alcotest.test_case "slowlog fires" `Quick test_slowlog_catches_slow_verbs;
+          Alcotest.test_case "flight records server era" `Quick test_flight_records_server_era;
         ] );
     ]

@@ -7,12 +7,30 @@ module Histogram = Cactis_obs.Histogram
 module Profile = Cactis_obs.Profile
 module Ctx = Cactis_obs.Ctx
 module Clock = Cactis_obs.Clock
+module Flight = Cactis_obs.Flight
+module Metrics = Cactis_obs.Metrics
+module Slowlog = Cactis_obs.Slowlog
+module Watchdog = Cactis_obs.Watchdog
+module Counters = Cactis_util.Counters
 module Value = Cactis.Value
 module Schema = Cactis.Schema
 module Rule = Cactis.Rule
 module Db = Cactis.Db
+module Persist = Cactis.Persist
+module Doctor = Cactis.Doctor
 
 let int n = Value.Int n
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
 
 (* ---- Trace ---- *)
 
@@ -296,6 +314,487 @@ let test_db_tracing_and_histograms () =
   Alcotest.(check bool) "commit histogram" true (List.mem "commit" hnames);
   Alcotest.(check bool) "mark_wave histogram" true (List.mem "mark_wave" hnames)
 
+(* ---- Flight recorder ---- *)
+
+let sole_section (d : Flight.dump) =
+  match d.Flight.d_sections with
+  | [ s ] -> s
+  | ss -> Alcotest.failf "expected one section, got %d" (List.length ss)
+
+let test_flight_wraparound () =
+  Flight.reset ();
+  let n = Flight.capacity + 100 in
+  for i = 1 to n do
+    Flight.record Flight.Note ~a:i ~b:0
+  done;
+  let s = sole_section (Flight.snapshot ()) in
+  Alcotest.(check int) "total counts every record" n s.Flight.fs_total;
+  let events = s.Flight.fs_events in
+  Alcotest.(check bool) "retained at most capacity" true
+    (List.length events <= Flight.capacity);
+  Alcotest.(check bool) "retained most of capacity" true
+    (List.length events >= Flight.capacity - 1);
+  (match List.rev events with
+  | last :: _ -> Alcotest.(check int) "newest survives the wrap" n last.Flight.fe_a
+  | [] -> Alcotest.fail "no events retained");
+  (* Oldest-first, contiguous: the wrap dropped a prefix, nothing else. *)
+  ignore
+    (List.fold_left
+       (fun prev (e : Flight.event) ->
+         (match prev with
+         | Some p -> Alcotest.(check int) "contiguous run" (p + 1) e.Flight.fe_a
+         | None -> ());
+         Some e.Flight.fe_a)
+       None events)
+
+let test_flight_roundtrip () =
+  Flight.reset ();
+  Flight.name_domain "main";
+  Flight.record Flight.Txn_begin ~a:1 ~b:0;
+  Flight.record Flight.Txn_commit ~a:1 ~b:3;
+  Flight.record_s Flight.Net_verb ~a:1500 ~b:7 "read";
+  Flight.record_s Flight.Schema_delta ~a:2 ~b:0 "add_type";
+  Flight.note "marker";
+  let d = Flight.snapshot () in
+  match Flight.decode (Flight.encode d) with
+  | Error msg -> Alcotest.failf "decode failed: %s" msg
+  | Ok d' ->
+    Alcotest.(check int64) "wall clock survives" d.Flight.d_wall_us d'.Flight.d_wall_us;
+    Alcotest.(check int64) "mono clock survives" d.Flight.d_mono_ns d'.Flight.d_mono_ns;
+    let s = sole_section d and s' = sole_section d' in
+    Alcotest.(check string) "domain name survives" s.Flight.fs_name s'.Flight.fs_name;
+    Alcotest.(check int) "total survives" s.Flight.fs_total s'.Flight.fs_total;
+    Alcotest.(check (list string))
+      "kinds survive"
+      (List.map (fun e -> Flight.kind_name e.Flight.fe_kind) s.Flight.fs_events)
+      (List.map (fun e -> Flight.kind_name e.Flight.fe_kind) s'.Flight.fs_events);
+    List.iter2
+      (fun (e : Flight.event) (e' : Flight.event) ->
+        Alcotest.(check int64) "ts survives" e.Flight.fe_ts_ns e'.Flight.fe_ts_ns;
+        Alcotest.(check int) "a survives" e.Flight.fe_a e'.Flight.fe_a;
+        Alcotest.(check int) "b survives" e.Flight.fe_b e'.Flight.fe_b;
+        Alcotest.(check string) "detail survives" e.Flight.fe_detail e'.Flight.fe_detail)
+      s.Flight.fs_events s'.Flight.fs_events
+
+let test_flight_decode_rejects_garbage () =
+  (match Flight.decode "not a dump" with
+  | Ok _ -> Alcotest.fail "garbage decoded"
+  | Error _ -> ());
+  let good = Flight.encode (Flight.snapshot ()) in
+  match Flight.decode (String.sub good 0 (String.length good - 3)) with
+  | Ok _ -> Alcotest.fail "truncated dump decoded"
+  | Error _ -> ()
+
+(* The tentpole consistency claim: snapshots taken while other domains
+   record see, per domain, a contiguous oldest-first run with no torn
+   or reordered events. *)
+let test_flight_snapshot_while_recording () =
+  Flight.reset ();
+  let per_domain = 30_000 in
+  let writers = 3 in
+  let workers =
+    Array.init writers (fun d ->
+        Domain.spawn (fun () ->
+            Flight.name_domain (Printf.sprintf "hammer-%d" d);
+            for i = 1 to per_domain do
+              Flight.record Flight.Note ~a:i ~b:d
+            done))
+  in
+  for _ = 1 to 25 do
+    let d = Flight.snapshot () in
+    List.iter
+      (fun (s : Flight.section) ->
+        Alcotest.(check bool) "within capacity" true
+          (List.length s.Flight.fs_events <= Flight.capacity);
+        ignore
+          (List.fold_left
+             (fun prev (e : Flight.event) ->
+               (match prev with
+               | Some p ->
+                 if e.Flight.fe_a <> p + 1 then
+                   Alcotest.failf "torn snapshot: %d then %d" p e.Flight.fe_a
+               | None -> ());
+               Some e.Flight.fe_a)
+             None s.Flight.fs_events))
+      d.Flight.d_sections
+  done;
+  Array.iter Domain.join workers;
+  let d = Flight.snapshot () in
+  Alcotest.(check int) "all rings present" writers (List.length d.Flight.d_sections);
+  List.iter
+    (fun (s : Flight.section) ->
+      Alcotest.(check int) "nothing lost" per_domain s.Flight.fs_total;
+      match List.rev s.Flight.fs_events with
+      | last :: _ -> Alcotest.(check int) "last record retained" per_domain last.Flight.fe_a
+      | [] -> Alcotest.fail "empty section")
+    d.Flight.d_sections
+
+let test_flight_recording_switch () =
+  Flight.reset ();
+  Flight.record Flight.Note ~a:1 ~b:0;
+  Flight.set_recording false;
+  Flight.record Flight.Note ~a:2 ~b:0;
+  Flight.set_recording true;
+  Flight.record Flight.Note ~a:3 ~b:0;
+  let s = sole_section (Flight.snapshot ()) in
+  Alcotest.(check (list int))
+    "suppressed window recorded nothing" [ 1; 3 ]
+    (List.map (fun e -> e.Flight.fe_a) s.Flight.fs_events)
+
+(* ---- Histogram exactness and error bound ---- *)
+
+let test_histogram_sum_count_exact () =
+  let reg = Histogram.create () in
+  let h = Histogram.cell reg "lat" in
+  let values = [ 1e-6; 3e-5; 4.2e-4; 0.011; 0.25; 1.75 ] in
+  List.iter (Histogram.observe h) values;
+  Alcotest.(check int) "count exact" (List.length values) (Histogram.count h);
+  Alcotest.(check (float 1e-12)) "sum exact" (List.fold_left ( +. ) 0.0 values) (Histogram.sum h);
+  Alcotest.(check (float 1e-12)) "max exact" 1.75 (Histogram.max_value h)
+
+(* Log2 buckets promise relative error <= sqrt 2 on any quantile: for a
+   single observation v, the reconstructed median is the geometric
+   bucket midpoint clamped by the exact max, so it lands in
+   [v/sqrt 2, v].  Pinned across nine orders of magnitude. *)
+let test_histogram_error_bound () =
+  let check_value v =
+    let reg = Histogram.create () in
+    let h = Histogram.cell reg "one" in
+    Histogram.observe h v;
+    let q = Histogram.quantile h 0.5 in
+    if q > v +. 1e-15 then Alcotest.failf "q50 %g above exact value %g" q v;
+    if q < (v /. sqrt 2.0) -. 1e-15 then
+      Alcotest.failf "q50 %g below %g / sqrt 2 (relative error > sqrt 2)" q v
+  in
+  List.iter check_value
+    [ 1e-6; 2.5e-6; 7e-6; 1e-5; 9e-5; 1.3e-4; 1e-3; 0.02; 0.6; 1.0; 5.0; 60.0; 900.0 ]
+
+(* ---- OpenMetrics exposition ---- *)
+
+let sample_registry () =
+  let ctrs = Counters.create () in
+  Counters.add ctrs "server.req.read" 7;
+  Counters.add ctrs "server.req.commit" 3;
+  Counters.add ctrs "server.error.type_error" 1;
+  let lats = Histogram.create () in
+  let h = Histogram.cell lats "serve.read" in
+  List.iter (Histogram.observe h) [ 1e-5; 2e-5; 4e-4; 0.01 ];
+  Histogram.observe (Histogram.cell lats "serve.commit") 3e-4;
+  (Counters.snapshot ctrs, Histogram.merged_cells lats)
+
+let test_metrics_render_passes_lint () =
+  let counters, hists = sample_registry () in
+  let text = Metrics.render ~counters ~hists in
+  (match Metrics.lint text with
+  | [] -> ()
+  | errors -> Alcotest.failf "self-lint failed:\n%s" (String.concat "\n" errors));
+  let has needle = contains text needle in
+  Alcotest.(check bool) "counter family" true (has "# TYPE cactis_server_req_read counter");
+  Alcotest.(check bool) "counter sample" true (has "cactis_server_req_read_total 7");
+  Alcotest.(check bool) "histogram family" true
+    (has "# TYPE cactis_serve_read_seconds histogram");
+  Alcotest.(check bool) "+Inf bucket" true (has "cactis_serve_read_seconds_bucket{le=\"+Inf\"} 4");
+  Alcotest.(check bool) "exact count" true (has "cactis_serve_read_seconds_count 4");
+  Alcotest.(check bool) "sum present" true (has "cactis_serve_read_seconds_sum ");
+  Alcotest.(check bool) "EOF terminated" true
+    (String.length text >= 6 && String.sub text (String.length text - 6) 6 = "# EOF\n")
+
+let test_metrics_name_collision_sums () =
+  (* "a.b" and "a:b"? no — both sanitize differently; "a.b" and "a b"
+     both become a_b and must merge into one counter. *)
+  let text = Metrics.render ~counters:[ ("a.b", 2); ("a b", 3) ] ~hists:[] in
+  (match Metrics.lint text with
+  | [] -> ()
+  | errors -> Alcotest.failf "collision lint failed:\n%s" (String.concat "\n" errors));
+  let has needle = contains text needle in
+  Alcotest.(check bool) "collided counters summed" true (has "cactis_a_b_total 5")
+
+let test_metrics_lint_rejects () =
+  let reject label text =
+    match Metrics.lint text with
+    | [] -> Alcotest.failf "%s: lint accepted invalid exposition" label
+    | _ -> ()
+  in
+  reject "missing EOF" "# TYPE cactis_x counter\ncactis_x_total 1\n";
+  reject "no final newline" "# TYPE cactis_x counter\ncactis_x_total 1\n# EOF";
+  reject "bad suffix for counter" "# TYPE cactis_x counter\ncactis_x_sum 1\n# EOF\n";
+  reject "duplicate TYPE"
+    "# TYPE cactis_x counter\ncactis_x_total 1\n# TYPE cactis_x counter\ncactis_x_total 2\n# EOF\n";
+  reject "non-cumulative buckets"
+    "# TYPE cactis_h histogram\n\
+     cactis_h_bucket{le=\"0.1\"} 5\n\
+     cactis_h_bucket{le=\"1\"} 3\n\
+     cactis_h_bucket{le=\"+Inf\"} 5\n\
+     cactis_h_sum 1\ncactis_h_count 5\n# EOF\n";
+  reject "missing +Inf bucket"
+    "# TYPE cactis_h histogram\n\
+     cactis_h_bucket{le=\"0.1\"} 5\ncactis_h_sum 1\ncactis_h_count 5\n# EOF\n";
+  reject "+Inf disagrees with count"
+    "# TYPE cactis_h histogram\n\
+     cactis_h_bucket{le=\"+Inf\"} 4\ncactis_h_sum 1\ncactis_h_count 5\n# EOF\n";
+  reject "interleaved families"
+    "# TYPE cactis_a counter\n# TYPE cactis_b counter\n\
+     cactis_a_total 1\ncactis_b_total 1\ncactis_a_total 2\n# EOF\n";
+  reject "unparseable sample" "# TYPE cactis_x counter\ncactis_x_total banana\n# EOF\n"
+
+(* ---- Slow-op log ---- *)
+
+let slow_records =
+  [
+    (* Under the 100 ms default deadline: never logged. *)
+    {
+      Slowlog.sr_wall_us = 1_700_000_000_000_000L;
+      sr_verb = "read";
+      sr_dur_s = 0.012;
+      sr_deadline_s = 0.0;
+      sr_span = 6;
+      sr_req = 41;
+      sr_version = 9;
+      sr_domain = "reader-0";
+      sr_pager_hits = 2;
+      sr_pager_misses = 0;
+    };
+    {
+      Slowlog.sr_wall_us = 1_700_000_000_100_000L;
+      sr_verb = "read";
+      sr_dur_s = 0.25;
+      sr_deadline_s = 0.0;
+      sr_span = 7;
+      sr_req = 42;
+      sr_version = 9;
+      sr_domain = "reader-0";
+      sr_pager_hits = 10;
+      sr_pager_misses = 3;
+    };
+    (* Slower than the default but the per-verb commit deadline is what
+       gets stamped into the line. *)
+    {
+      Slowlog.sr_wall_us = 1_700_000_000_200_000L;
+      sr_verb = "commit";
+      sr_dur_s = 0.3;
+      sr_deadline_s = 0.0;
+      sr_span = 8;
+      sr_req = 43;
+      sr_version = 10;
+      sr_domain = "writer";
+      sr_pager_hits = 0;
+      sr_pager_misses = 1;
+    };
+  ]
+
+let test_slowlog_golden () =
+  let lines = ref [] in
+  let sl =
+    Slowlog.create ~deadline_s:0.1
+      ~per_verb:[ ("commit", 0.25) ]
+      ~sink:(fun l -> lines := l :: !lines)
+      ()
+  in
+  Alcotest.(check (float 0.0)) "per-verb deadline" 0.25 (Slowlog.deadline_for sl "commit");
+  Alcotest.(check (float 0.0)) "default deadline" 0.1 (Slowlog.deadline_for sl "read");
+  let verdicts = List.map (Slowlog.observe sl) slow_records in
+  Alcotest.(check (list bool)) "only deadline-blowers logged" [ false; true; true ] verdicts;
+  Alcotest.(check int) "logged count" 2 (Slowlog.logged sl);
+  let got = String.concat "\n" (List.rev !lines) ^ "\n" in
+  Alcotest.(check string) "golden JSONL" (read_file "fixtures/obs/slowlog_golden.jsonl") got
+
+(* ---- Watchdog ---- *)
+
+let test_watchdog_p99_regression () =
+  let lats = Histogram.create () in
+  let h = Histogram.cell lats "serve.read" in
+  let trips = ref [] in
+  let now = ref 0.0 in
+  let wd =
+    Watchdog.create ~now:(fun () -> !now)
+      { Watchdog.wd_interval_s = 1.0; wd_p99_factor = 4.0; wd_min_count = 50; wd_error_burst = 0 }
+      ~lats
+      ~errors:(fun () -> 0)
+      ~on_trip:(fun ~reason ~detail -> trips := (reason, detail) :: !trips)
+  in
+  (* Window 1: healthy baseline. *)
+  for _ = 1 to 100 do
+    Histogram.observe h 1e-5
+  done;
+  Watchdog.check_now wd;
+  Alcotest.(check int) "baseline never trips" 0 (Watchdog.trips wd);
+  (* Window 2: 1000x regression. *)
+  for _ = 1 to 100 do
+    Histogram.observe h 1e-2
+  done;
+  Watchdog.check_now wd;
+  Alcotest.(check int) "regression trips" 1 (Watchdog.trips wd);
+  (match !trips with
+  | [ (reason, detail) ] ->
+    Alcotest.(check string) "reason" "p99-regression" reason;
+    Alcotest.(check bool) "detail names the verb" true (contains detail "serve.read")
+  | _ -> Alcotest.fail "expected exactly one trip");
+  (* Window 3: still slow but no further regression — no re-trip. *)
+  for _ = 1 to 100 do
+    Histogram.observe h 1e-2
+  done;
+  Watchdog.check_now wd;
+  Alcotest.(check int) "steady state does not re-trip" 1 (Watchdog.trips wd)
+
+let test_watchdog_small_windows_never_judged () =
+  let lats = Histogram.create () in
+  let h = Histogram.cell lats "serve.read" in
+  let trips = ref 0 in
+  let wd =
+    Watchdog.create ~now:(fun () -> 0.0)
+      { Watchdog.wd_interval_s = 1.0; wd_p99_factor = 2.0; wd_min_count = 64; wd_error_burst = 0 }
+      ~lats
+      ~errors:(fun () -> 0)
+      ~on_trip:(fun ~reason:_ ~detail:_ -> incr trips)
+  in
+  for _ = 1 to 10 do
+    Histogram.observe h 1e-5
+  done;
+  Watchdog.check_now wd;
+  for _ = 1 to 10 do
+    Histogram.observe h 1.0
+  done;
+  Watchdog.check_now wd;
+  Alcotest.(check int) "10-sample windows below min_count" 0 !trips
+
+let test_watchdog_error_burst () =
+  let lats = Histogram.create () in
+  let errors = ref 0 in
+  let trips = ref [] in
+  let wd =
+    Watchdog.create ~now:(fun () -> 0.0)
+      { Watchdog.wd_interval_s = 1.0; wd_p99_factor = 4.0; wd_min_count = 64; wd_error_burst = 32 }
+      ~lats
+      ~errors:(fun () -> !errors)
+      ~on_trip:(fun ~reason ~detail:_ -> trips := reason :: !trips)
+  in
+  errors := 10;
+  Watchdog.check_now wd;
+  Alcotest.(check int) "small burst tolerated" 0 (Watchdog.trips wd);
+  errors := 10 + 33;
+  Watchdog.check_now wd;
+  Alcotest.(check (list string)) "burst trips" [ "error-burst" ] !trips
+
+(* ---- Doctor ---- *)
+
+let golden_dump () =
+  let ev ts kind a b detail =
+    { Flight.fe_ts_ns = ts; fe_kind = kind; fe_a = a; fe_b = b; fe_detail = detail }
+  in
+  {
+    Flight.d_wall_us = 1_700_000_000_000_000L;
+    d_mono_ns = 2_000_000_000L;
+    d_sections =
+      [
+        {
+          Flight.fs_domain = 1;
+          fs_name = "writer";
+          fs_total = 4;
+          fs_events =
+            [
+              ev 1_000_000_000L Flight.Txn_begin 1 0 "";
+              ev 1_002_000_000L Flight.Txn_commit 1 2 "";
+              ev 1_010_000_000L Flight.Wal_append 64 1 "";
+              ev 1_015_000_000L Flight.Txn_begin 2 0 "";
+            ];
+        };
+        {
+          Flight.fs_domain = 2;
+          fs_name = "frontend";
+          fs_total = 2;
+          fs_events =
+            [
+              ev 1_001_000_000L Flight.Net_accept 1 0 "";
+              ev 1_012_000_000L Flight.Net_verb 1500 7 "read";
+            ];
+        };
+      ];
+  }
+
+let test_doctor_golden_timeline () =
+  let report = Doctor.analyze (golden_dump ()) in
+  Alcotest.(check int) "last commit" 1 report.Doctor.r_last_commit;
+  Alcotest.(check int) "last attempt" 2 report.Doctor.r_last_attempt;
+  Alcotest.(check (list (pair string int)))
+    "writer holds v2 open"
+    [ ("writer", 2) ]
+    report.Doctor.r_open_txns;
+  Alcotest.(check string) "golden timeline"
+    (read_file "fixtures/obs/doctor_golden.txt")
+    (Doctor.render report)
+
+let test_doctor_limit_elides () =
+  let report = Doctor.analyze (golden_dump ()) in
+  let out = Doctor.render ~limit:2 report in
+  let has needle = contains out needle in
+  Alcotest.(check bool) "elision marker" true (has "4 older events elided");
+  Alcotest.(check bool) "newest line kept" true (has "txn_begin v2");
+  Alcotest.(check bool) "oldest line dropped" false (has "txn_begin v1")
+
+(* The acceptance scenario: a server-era process crashes with a txn in
+   flight; the flight dump plus the WAL tail must reconstruct what was
+   durable.  We drive a persistent Db to three durable commits, open a
+   fourth txn, dump mid-txn (the "crash"), and check the doctor's
+   verdict against what recovery actually replays. *)
+let obs_tmp_seq = ref 0
+
+let temp_dir () =
+  incr obs_tmp_seq;
+  let dir = Printf.sprintf "obs_scratch_%d" !obs_tmp_seq in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  dir
+
+let simple_schema () =
+  let sch = Schema.create () in
+  Schema.add_type sch "item";
+  Schema.add_attr sch ~type_name:"item" (Rule.intrinsic "n" (int 0));
+  sch
+
+let test_doctor_crash_matches_recovery () =
+  Flight.reset ();
+  let dir = temp_dir () in
+  let p = Persist.recover ~dir (simple_schema ()) in
+  let db = Persist.db p in
+  Db.begin_txn db;
+  let id = Db.create_instance db "item" in
+  Db.commit db;
+  Db.begin_txn db;
+  Db.set db id "n" (int 1);
+  Db.commit db;
+  Db.begin_txn db;
+  Db.set db id "n" (int 2);
+  Db.commit db;
+  (* Fourth transaction opened, never committed: the crash window. *)
+  Db.begin_txn db;
+  Db.set db id "n" (int 99);
+  let dump_path = Flight.dump_to_file ~dir ~reason:"test-crash" in
+  (* Process "dies" here: no commit, no close. *)
+  let dump =
+    match Doctor.load dump_path with
+    | Ok d -> d
+    | Error m -> Alcotest.failf "dump unreadable: %s" m
+  in
+  let report = Doctor.analyze ~wal_dir:dir dump in
+  Alcotest.(check int) "three commits visible in flight" 3 report.Doctor.r_last_commit;
+  Alcotest.(check int) "fourth txn attempted" 4 report.Doctor.r_last_attempt;
+  Alcotest.(check bool) "open txn attributed" true
+    (List.exists (fun (_, v) -> v = 4) report.Doctor.r_open_txns);
+  let durable =
+    match report.Doctor.r_last_durable with
+    | Some d -> d
+    | None -> Alcotest.fail "no WAL verdict"
+  in
+  (* The doctor's durable count must match what recovery replays. *)
+  let p2 = Persist.recover ~dir (simple_schema ()) in
+  Alcotest.(check int) "doctor verdict = recovery replay" (Persist.replayed p2) durable;
+  Alcotest.(check string) "uncommitted write rolled back" "2"
+    (Value.to_string (Db.get (Persist.db p2) id "n"));
+  Persist.close p2;
+  let rendered = Doctor.render report in
+  let has needle = contains rendered needle in
+  Alcotest.(check bool) "verdict calls out the lost txn" true
+    (has "attempted v4 never became durable")
+
 let () =
   Alcotest.run "cactis-obs"
     [
@@ -328,5 +827,39 @@ let () =
         [
           Alcotest.test_case "profile on diamond" `Quick test_db_profile_on_diamond;
           Alcotest.test_case "tracing and histograms" `Quick test_db_tracing_and_histograms;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "ring wraps, newest wins" `Quick test_flight_wraparound;
+          Alcotest.test_case "CFR1 round-trip" `Quick test_flight_roundtrip;
+          Alcotest.test_case "decode rejects garbage" `Quick test_flight_decode_rejects_garbage;
+          Alcotest.test_case "snapshot while recording" `Quick test_flight_snapshot_while_recording;
+          Alcotest.test_case "recording switch" `Quick test_flight_recording_switch;
+        ] );
+      ( "histogram-exact",
+        [
+          Alcotest.test_case "sum/count/max exact" `Quick test_histogram_sum_count_exact;
+          Alcotest.test_case "log2 error bound" `Quick test_histogram_error_bound;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "render passes own lint" `Quick test_metrics_render_passes_lint;
+          Alcotest.test_case "name collisions sum" `Quick test_metrics_name_collision_sums;
+          Alcotest.test_case "lint rejects invalid" `Quick test_metrics_lint_rejects;
+        ] );
+      ( "slowlog",
+        [ Alcotest.test_case "golden JSONL" `Quick test_slowlog_golden ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "p99 regression" `Quick test_watchdog_p99_regression;
+          Alcotest.test_case "small windows ignored" `Quick test_watchdog_small_windows_never_judged;
+          Alcotest.test_case "error burst" `Quick test_watchdog_error_burst;
+        ] );
+      ( "doctor",
+        [
+          Alcotest.test_case "golden timeline" `Quick test_doctor_golden_timeline;
+          Alcotest.test_case "limit elides oldest" `Quick test_doctor_limit_elides;
+          Alcotest.test_case "crash verdict matches recovery" `Quick
+            test_doctor_crash_matches_recovery;
         ] );
     ]
