@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build check test format-compat lint bench bench-fast bench-json bench-persist bench-cluster bench-cluster-smoke bench-qps bench-qps-smoke bench-flight bench-flight-smoke stats trace examples clean
+.PHONY: all build check test format-compat lint analyze bench bench-fast bench-json bench-persist bench-cluster bench-cluster-smoke bench-qps bench-qps-smoke bench-flight bench-flight-smoke bench-analyze bench-analyze-smoke stats trace examples clean
 
 # Output path for the machine-readable experiment record; override with
 # `make bench-json BENCH_JSON=BENCH_1.json` to regenerate earlier runs.
@@ -43,6 +43,20 @@ LINT_FLAGS ?=
 lint:
 	dune exec bin/cactis_cli.exe -- lint $(LINT_FLAGS) --apps \
 	  $(shell find examples lib -name '*.cactis')
+
+# Abstract interpretation over the shipped example schemas: run the
+# cost/convergence analyzer and compare its JSON against the committed
+# goldens in test/golden/analyze/ (fails on drift — regenerate the
+# golden on an intentional change and commit both).
+analyze:
+	@set -e; \
+	for s in examples/schemas/*.cactis; do \
+	  name=$$(basename $$s .cactis); \
+	  dune exec bin/cactis_cli.exe -- analyze $$s --json \
+	    | diff -u test/golden/analyze/$$name.json - \
+	    || { echo "analyze golden drift for $$s"; exit 1; }; \
+	  echo "analyze golden ok: $$s"; \
+	done
 
 bench:
 	dune exec bench/main.exe
@@ -90,6 +104,18 @@ bench-flight:
 
 bench-flight-smoke:
 	dune exec bench/main.exe -- --fast E18
+
+# Cost/convergence analysis + bounded fixed-point evaluation (E19): the
+# per-attribute cost tables, the instance-count invariance measurement,
+# and flowan While-loop CFGs run to a proven fixed point with the sweep
+# count gated by the static iteration bound.  The full run records
+# $(ANALYZE_JSON); the smoke variant is the CI gate.
+ANALYZE_JSON ?= BENCH_7.json
+bench-analyze:
+	dune exec bench/main.exe -- E19 --json $(ANALYZE_JSON)
+
+bench-analyze-smoke:
+	dune exec bench/main.exe -- --fast E19
 
 # Run $(OBS_SCRIPT) and report counters, latency histograms and the last
 # commit's propagation profile (evaluated-at-most-once check included).

@@ -1580,6 +1580,135 @@ let e18 () =
   end
 
 (* ================================================================== *)
+(* E19: abstract-interpretation cost model + [Far86] fixed points      *)
+
+let e19 () =
+  R.section "E19" "cost/convergence abstract interpretation + fixed-point evaluation"
+    "per-attribute cost intervals and convergence verdicts come from the type-level graph \
+     alone — analyzer runtime is invariant in instance count — and convergent cycles \
+     evaluate to fixed points within the statically computed sweep bound";
+  let module Cost = Cactis_analysis.Cost in
+  let module Fixpoint = Cactis_analysis.Fixpoint in
+  let module View = Cactis_analysis.View in
+  let module Depgraph = Cactis_analysis.Depgraph in
+  (* 1. Planner-grade per-attribute cost intervals over app schemas. *)
+  let cost_rows name sch =
+    let c = Cost.analyze_schema sch in
+    List.filter_map
+      (fun (a : Cost.attr_cost) ->
+        (* Intrinsics are free (direct cost exactly [0,0]); everything
+           else is a rule worth a row, shaped or not. *)
+        let free =
+          a.Cost.ac_direct.Cost.lo = 0. && a.Cost.ac_direct.Cost.hi = Some 0.
+        in
+        if free then None
+        else
+          Some
+            [
+              name;
+              a.Cost.ac_type ^ "." ^ a.Cost.ac_attr;
+              (match a.Cost.ac_shape with Some s -> Schema.shape_name s | None -> "-");
+              Cost.interval_to_string a.Cost.ac_direct;
+              Cost.interval_to_string a.Cost.ac_cumulative;
+            ])
+      c.Cost.per_attr
+  in
+  R.table
+    ~headers:[ "schema"; "attribute"; "shape"; "direct"; "cumulative" ]
+    (cost_rows "milestone" (Db.schema (Cactis_apps.Milestone.db (Cactis_apps.Milestone.create ())))
+    @ cost_rows "flowan" (Cactis_apps.Flowan.schema ()));
+  (* 2. Invariance in instance count: the static cost pass never touches
+     instances, so its runtime is flat while the database grows. *)
+  let inv_rows =
+    List.map
+      (fun instances ->
+        let sch = Db.schema (Cactis_apps.Milestone.db (Cactis_apps.Milestone.create ())) in
+        let db = Db.create sch in
+        for _ = 1 to instances do
+          ignore (Db.create_instance db "milestone")
+        done;
+        ignore db;
+        let t0 = Unix.gettimeofday () in
+        let c = Cost.analyze_schema sch in
+        let dt = Unix.gettimeofday () -. t0 in
+        [
+          string_of_int instances;
+          string_of_int (List.length c.Cost.per_attr);
+          string_of_int c.Cost.convergent_sccs;
+          string_of_int c.Cost.divergent_sccs;
+          Printf.sprintf "%.1f" (dt *. 1e6);
+        ])
+      (scale [ 0; 1000; 10000 ])
+  in
+  R.table
+    ~headers:[ "instances"; "attrs costed"; "convergent sccs"; "divergent sccs"; "wall us" ]
+    inv_rows;
+  (* 3. Fixed-point evaluation: flowan While-loop CFGs of growing body
+     size, measured sweeps against the static iteration bound. *)
+  let module F = Cactis_apps.Flowan in
+  let loop_program n =
+    let body =
+      List.fold_left
+        (fun acc k ->
+          let a =
+            F.Assign
+              { target = "i"; uses = [ "i" ]; label = Printf.sprintf "L%d" k }
+          in
+          match acc with None -> Some a | Some p -> Some (F.Seq (p, a)))
+        None
+        (List.init n (fun k -> k))
+      |> Option.get
+    in
+    F.Seq
+      ( F.Assign { target = "i"; uses = []; label = "init" },
+        F.Seq (F.While { cond_uses = [ "i" ]; body }, F.Assign { target = "r"; uses = [ "i" ]; label = "out" }) )
+  in
+  let fp_rows =
+    List.map
+      (fun n ->
+        let t = F.analyze ~fixed_point:true ~exit_live:[ "r" ] (loop_program n) in
+        let db = F.db t in
+        let nodes = F.nodes t in
+        let v = View.of_schema (Db.schema db) in
+        let g = Depgraph.build v in
+        let bound =
+          List.fold_left
+            (fun acc scc ->
+              match
+                Fixpoint.iteration_bound ~instances:(List.length nodes)
+                  (Fixpoint.classify v g scc)
+              with
+              | Some b -> acc + b
+              | None -> acc)
+            0 (Depgraph.cyclic_sccs g)
+        in
+        List.iter
+          (fun id ->
+            ignore (F.live_in t id);
+            ignore (F.reaching_out t id))
+          nodes;
+        let snap = Cactis_util.Counters.snapshot (Db.counters db) in
+        let get k = try List.assoc k snap with Not_found -> 0 in
+        let runs = get "fixpoint_runs" and sweeps = get "fixpoint_sweeps" in
+        if sweeps > bound then begin
+          Printf.printf "ERROR: E19 measured %d sweeps, static bound is %d\n" sweeps bound;
+          exit 1
+        end;
+        [
+          string_of_int n;
+          string_of_int (List.length nodes);
+          string_of_int runs;
+          string_of_int sweeps;
+          string_of_int bound;
+        ])
+      (scale [ 2; 8; 32 ])
+  in
+  R.table
+    ~headers:[ "loop body"; "cfg nodes"; "fixpoint runs"; "sweeps"; "static bound" ]
+    fp_rows;
+  print_endline "measured sweeps never exceed the static iteration bound"
+
+(* ================================================================== *)
 
 let () =
   (* Child roles for the E17 multi-process load driver run before
@@ -1616,7 +1745,7 @@ let () =
   let experiments =
     [
       ("F1", f1); ("F2", f2); ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5);
-      ("E6", e6); ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18); ("T", timing);
+      ("E6", e6); ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18); ("E19", e19); ("T", timing);
     ]
   in
   List.iter (fun (id, f) -> if wants id then f ()) experiments;

@@ -4,6 +4,8 @@
      check   FILE.cactis            parse + elaborate a schema, report it
      fmt     FILE.cactis            pretty-print the schema
      lint    FILE.cactis...         static analysis: circularity, dead rules, dangling refs
+                                    (--fix applies machine-applicable repairs via the printer)
+     analyze FILE.cactis            cost/convergence abstract interpretation (--db, --json)
      run     FILE.cactis SCRIPT     load a schema and execute a script
      serve   FILE.cactis            serve the database to TCP clients (parallel readers)
      stats   FILE.cactis SCRIPT     run a script, report counters/latencies/profile
@@ -525,15 +527,37 @@ let app_schemas () =
     ("app:flowan", A.Flowan.schema ());
   ]
 
-let lint_cmd paths apps json strict =
+let lint_cmd paths apps json strict fix dry_run =
   handle_errors (fun () ->
       let counters = Counters.create () in
+      let lint_ast items =
+        Cactis_ddl.Lint.typecheck_diags items @ Cactis_ddl.Lint.analyze_ast ~counters items
+      in
+      (* --fix: apply the machine-applicable fix directives to a
+         fixpoint and re-emit through the pretty-printer; --dry-run
+         prints the patched DDL instead of rewriting the file. *)
+      let fix_file path =
+        let items = Cactis_ddl.Parser.parse_schema (read_file path) in
+        let items', applied = Cactis_ddl.Fix.run ~lint:lint_ast items in
+        (match applied with
+        | [] -> Printf.eprintf "%s: no applicable fixes\n" path
+        | ds ->
+          List.iter
+            (fun d ->
+              Printf.eprintf "%s: %s %s\n" path
+                (if dry_run then "would apply" else "applied")
+                (Cactis_ddl.Fix.directive_to_string d))
+            ds);
+        if applied <> [] then begin
+          let out = Cactis_ddl.Pretty.schema_to_string items' in
+          if dry_run then print_string out else write_file path out
+        end
+      in
+      if fix then List.iter fix_file paths;
+      if fix && dry_run then exit 0;
       let lint_file path =
         let items = Cactis_ddl.Parser.parse_schema (read_file path) in
-        let diags =
-          Cactis_ddl.Lint.typecheck_diags items @ Cactis_ddl.Lint.analyze_ast ~counters items
-        in
-        (path, List.stable_sort Diag.compare diags)
+        (path, List.stable_sort Diag.compare (lint_ast items))
       in
       let reports =
         List.map lint_file paths
@@ -561,6 +585,42 @@ let lint_cmd paths apps json strict =
               List.iter (fun d -> Printf.printf "  %s\n" (Diag.to_string d)) ds)
           reports;
       if any_failing then exit 1)
+
+(* ---- analyze ---- *)
+
+module Cost = Cactis_analysis.Cost
+
+let analyze_cmd path db_dir json =
+  handle_errors (fun () ->
+      let _, sch = load_schema path in
+      let diags = List.stable_sort Diag.compare (Analyze.analyze_schema sch) in
+      let finish cost hot =
+        if json then
+          Printf.printf "{\"file\":\"%s\",\"diagnostics\":%s,\"cost\":%s}\n" (json_escape path)
+            (Analyze.to_json diags) (Cost.to_json cost)
+        else begin
+          (match Analyze.render diags with
+          | "" -> Printf.printf "%s: no findings\n" path
+          | r -> print_string r);
+          print_string (Cost.render cost);
+          match hot with
+          | [] -> ()
+          | hot ->
+            print_endline "hot relationships (usage crossings):";
+            List.iter (fun (rel, n) -> Printf.printf "  %-24s %6d\n" rel n) hot
+        end
+      in
+      match db_dir with
+      | None -> finish (Cost.analyze_schema sch) []
+      | Some dir ->
+        (* A live database sharpens fan-out bounds to measured values and
+           prices I/O from the links' decaying-average tags. *)
+        let p = Persist.recover ~dir sch in
+        let db = Persist.db p in
+        let cost = Cost.analyze_schema ~db sch in
+        let hot = Cactis_storage.Usage.rel_totals (Cactis.Store.usage (Db.store db)) in
+        Persist.close p;
+        finish cost hot)
 
 (* ---- demo ---- *)
 
@@ -878,8 +938,42 @@ let lint_t =
   let strict_arg =
     Arg.(value & flag & info [ "strict" ] ~doc:"Treat warnings as failing too (infos never fail).")
   in
+  let fix_arg =
+    Arg.(
+      value & flag
+      & info [ "fix" ]
+          ~doc:
+            "Apply machine-applicable fixes (dead rules dropped, dangling transmission targets \
+             declared) and rewrite the schema files in place, then lint the result.")
+  in
+  let dry_run_arg =
+    Arg.(
+      value & flag
+      & info [ "dry-run" ]
+          ~doc:"With $(b,--fix): print the patched DDL to stdout instead of rewriting files.")
+  in
   Cmd.v (Cmd.info "lint" ~doc)
-    Term.(const lint_cmd $ schemas_arg $ apps_arg $ json_arg $ strict_arg)
+    Term.(const lint_cmd $ schemas_arg $ apps_arg $ json_arg $ strict_arg $ fix_arg $ dry_run_arg)
+
+let analyze_t =
+  let doc =
+    "Abstract interpretation over the compiled rules and the dependency graph: per-attribute \
+     evaluation-cost intervals (rule operation counts, transmit fan-out bounds, expected I/O \
+     when a live database is attached with $(b,--db)) and a convergence verdict for every \
+     potential cycle — the cost-model substrate for the query planner.  $(b,--json) emits a \
+     stable document suitable for golden-file comparison."
+  in
+  let db_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "db" ] ~docv:"DIR"
+          ~doc:"Persistence directory: sharpen static bounds with measured fan-outs and I/O tags.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object instead of text.")
+  in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const analyze_cmd $ schema_arg $ db_arg $ json_arg)
 
 let doctor_t =
   let doc =
@@ -946,8 +1040,8 @@ let main =
   Cmd.group
     (Cmd.info "cactis" ~version:"1.0.0" ~doc)
     [
-      check_t; fmt_t; lint_t; run_t; repl_t; serve_t; stats_t; trace_t; save_t; recover_t;
-      log_t; doctor_t; metrics_lint_t; demo_t;
+      check_t; fmt_t; lint_t; analyze_t; run_t; repl_t; serve_t; stats_t; trace_t; save_t;
+      recover_t; log_t; doctor_t; metrics_lint_t; demo_t;
     ]
 
 let () =

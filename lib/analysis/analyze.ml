@@ -109,8 +109,8 @@ let rotate_cycle cycle =
   let before, after = split least [] cycle in
   after @ before
 
-let circularity v g =
-  Depgraph.cyclic_sccs g
+let circularity ?(only = fun _ -> true) v g =
+  Depgraph.cyclic_sccs g |> List.filter only
   |> List.map (fun comp ->
          let in_scc = Array.make (Depgraph.node_count g) false in
          List.iter (fun i -> in_scc.(i) <- true) comp;
@@ -155,17 +155,35 @@ let circularity v g =
                "the cycle crosses a relationship and its inverse, which can retrace one link; \
                 break the rule cycle or transmit in one direction only"
              "circular on acyclic data: a single link is enough to realize this dependency cycle"
-         | Cycle_data rels ->
-           Diag.make Diag.Warning ~code:"potential-cycle" ~path ~witness:cycle
-             ~hint:
+         | Cycle_data rels -> (
+           (* A data-conditional cycle may still be fine: if every rule
+              on the SCC is monotone over a bounded lattice ([Far86]),
+              fixed-point iteration provably terminates and the engine
+              can run cyclic data under [Db.set_fixed_point]. *)
+           match Fixpoint.classify v g comp with
+           | Fixpoint.Convergent { shapes; coeff } ->
+             Diag.make Diag.Info ~code:"convergent-cycle" ~path ~witness:cycle
+               ~hint:
+                 (Printf.sprintf
+                    "cyclic data along %s is safe under Db.set_fixed_point; without it the \
+                     engine still raises Errors.Cycle"
+                    (String.concat ", " rels))
                (Printf.sprintf
-                  "keep the data acyclic along %s (the engine raises Errors.Cycle and rolls the \
-                   transaction back otherwise)"
-                  (String.concat ", " rels))
-             (Printf.sprintf
-                "potentially circular: evaluation cycles whenever the data graph has a cycle \
-                 along %s"
-                (String.concat ", " rels)))
+                  "provably convergent cycle: every rule is monotone over a bounded lattice \
+                   (%s); fixed-point iteration needs at most %d sweep(s) per participating \
+                   slot"
+                  (Fixpoint.shapes_summary shapes) coeff)
+           | Fixpoint.Divergent { culprit; why } ->
+             Diag.make Diag.Warning ~code:"potential-cycle" ~path ~witness:cycle
+               ~hint:
+                 (Printf.sprintf
+                    "keep the data acyclic along %s (the engine raises Errors.Cycle and rolls \
+                     the transaction back otherwise)"
+                    (String.concat ", " rels))
+               (Printf.sprintf
+                  "potentially circular: evaluation cycles whenever the data graph has a cycle \
+                   along %s; not provably convergent — %s.%s %s"
+                  (String.concat ", " rels) culprit.Diag.n_type culprit.Diag.n_attr why)))
 
 (* ------------------------------------------------------------------ *)
 (* Dead derived attributes                                             *)
@@ -196,6 +214,7 @@ let dead_attrs (v : View.t) g =
                          (Printf.sprintf
                             "if no application queries %s.%s, delete the rule; otherwise ignore"
                             t.View.t_name a.View.a_name)
+                       ~fix:(Printf.sprintf "drop-rule:%s.%s" t.View.t_name a.View.a_name)
                        "derived attribute is never read by a rule or predicate, never \
                         transmitted, and carries no constraint — nothing in the schema depends \
                         on it")))
@@ -247,6 +266,8 @@ let dangling (v : View.t) =
                                  reports the missing attribute only when a link over %s is \
                                  traversed"
                                 rd.View.r_target resolved r)
+                           ~fix:
+                             (Printf.sprintf "declare-attr:%s.%s:int" rd.View.r_target resolved)
                            (Printf.sprintf
                               "%s reads %s across %s, but %s declares no attribute %s" who name r
                               rd.View.r_target resolved)))))
@@ -384,6 +405,43 @@ let render diags =
 
 let to_json diags = "[" ^ String.concat "," (List.map Diag.to_json diags) ^ "]"
 
-let install () =
+(* Re-validation restricted to the SCCs reachable from attributes added
+   since the last clean validation.  Sound because [Schema.add_attr] is
+   the only mutation that preserves the touched set, and it can only
+   introduce new {e errors} of the circularity class (unknown self/rel
+   sources are rejected eagerly by the schema itself; missing
+   transmitted attributes are warning-severity): every edge a new
+   attribute adds — its own reads, and previously-dangling reads of it
+   by older rules — has that attribute as an endpoint, so any new cycle
+   runs through a touched node's SCC. *)
+let incremental_errors ?counters sch touched =
+  let v = View.of_schema sch in
+  let g = Depgraph.build v in
+  let touches comp =
+    List.exists
+      (fun i ->
+        let n = Depgraph.node g i in
+        List.exists
+          (fun (tn, a) ->
+            String.equal tn n.Diag.n_type && String.equal a n.Diag.n_attr)
+          touched)
+      comp
+  in
+  (match counters with
+  | None -> ()
+  | Some c -> Counters.incr c "analysis_incremental_runs");
+  Diag.errors (circularity ~only:touches v g)
+
+let install ?counters () =
   Schema.set_validator (fun sch ->
-      analyze_schema sch |> Diag.errors |> List.map Diag.to_string)
+      let errs =
+        match Schema.touched_since_validation sch with
+        | Some [] ->
+          (match counters with
+          | None -> ()
+          | Some c -> Counters.incr c "analysis_validation_skips");
+          []
+        | Some touched -> incremental_errors ?counters sch touched
+        | None -> Diag.errors (analyze_schema ?counters sch)
+      in
+      List.map Diag.to_string errs)

@@ -44,5 +44,14 @@ val to_json : Diag.t list -> string
 (** [install ()] registers the analyzer as {!Cactis.Schema.set_validator},
     so [Schema.validate] — and every layout refresh of a schema in
     strict mode ({!Cactis.Schema.set_strict}) — rejects schemas carrying
-    error-severity diagnostics. *)
-val install : unit -> unit
+    error-severity diagnostics.
+
+    Re-validation is incremental: when only attributes were added since
+    the last clean validation ({!Cactis.Schema.touched_since_validation}),
+    only the circularity pass runs, restricted to SCCs containing a
+    touched attribute (the one error class such a mutation can
+    introduce); an untouched clean schema skips analysis entirely.
+    With [?counters], full runs bump [analysis_runs] as usual while the
+    cheap paths bump [analysis_incremental_runs] /
+    [analysis_validation_skips], so the saving is observable. *)
+val install : ?counters:Cactis_util.Counters.t -> unit -> unit

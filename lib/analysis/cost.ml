@@ -1,0 +1,342 @@
+module Schema = Cactis.Schema
+module Store = Cactis.Store
+module Usage = Cactis_storage.Usage
+module Decaying_avg = Cactis_util.Decaying_avg
+
+(* ------------------------------------------------------------------ *)
+(* Intervals                                                           *)
+
+type interval = {
+  lo : float;
+  hi : float option;  (* None = unbounded *)
+}
+
+let exact x = { lo = x; hi = Some x }
+let zero = exact 0.0
+let unbounded_above lo = { lo; hi = None }
+
+let add a b =
+  {
+    lo = a.lo +. b.lo;
+    hi = (match (a.hi, b.hi) with Some x, Some y -> Some (x +. y) | _ -> None);
+  }
+
+let mul a b =
+  {
+    lo = a.lo *. b.lo;
+    hi = (match (a.hi, b.hi) with Some x, Some y -> Some (x *. y) | _ -> None);
+  }
+
+let scale k a =
+  { lo = k *. a.lo; hi = (match a.hi with Some x -> Some (k *. x) | None -> None) }
+
+(* ------------------------------------------------------------------ *)
+(* Fan-out statistics                                                  *)
+
+(* Per (type, relationship): how many related instances one traversal
+   yields, and what crossing one link costs in expected block reads.
+   Static bounds come from the declared cardinality; a live store
+   sharpens them to the measured extremes and prices crossings with the
+   links' decaying-average cost tags (§2.3). *)
+type rel_stats = {
+  fan : interval;
+  fan_mean : float;  (* for expected-I/O weighting *)
+  io_per_cross : float;  (* expected blocks per link traversal *)
+}
+
+let static_rel_stats (r : View.rel) =
+  match r.View.r_card with
+  | Schema.One -> { fan = { lo = 0.0; hi = Some 1.0 }; fan_mean = 1.0; io_per_cross = 1.0 }
+  | Schema.Multi -> { fan = unbounded_above 0.0; fan_mean = 1.0; io_per_cross = 1.0 }
+
+let measured_rel_stats st tn (r : View.rel) =
+  let ids = Store.instances_of_type st tn in
+  match ids with
+  | [] -> static_rel_stats r
+  | _ ->
+    let counts = List.map (fun id -> List.length (Store.linked st id r.View.r_name)) ids in
+    let lo = List.fold_left min max_int counts and hi = List.fold_left max 0 counts in
+    let total = List.fold_left ( + ) 0 counts in
+    let tags =
+      List.map (fun id -> Decaying_avg.value (Store.link_tag st id r.View.r_name)) ids
+    in
+    let io =
+      match tags with
+      | [] -> 1.0
+      | _ -> List.fold_left ( +. ) 0.0 tags /. float_of_int (List.length tags)
+    in
+    {
+      fan = { lo = float_of_int lo; hi = Some (float_of_int hi) };
+      fan_mean = float_of_int total /. float_of_int (List.length ids);
+      io_per_cross = io;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Results                                                             *)
+
+type attr_cost = {
+  ac_type : string;
+  ac_attr : string;
+  ac_shape : Schema.rule_shape option;
+  ac_direct : interval;  (* one rule evaluation, sources assumed fresh *)
+  ac_cumulative : interval;  (* worst case: every transitive source recomputes *)
+  ac_io : float option;  (* expected blocks per evaluation; None without a store *)
+}
+
+type t = {
+  per_attr : attr_cost list;  (* sorted by (type, attr) *)
+  per_type : (string * interval) list;  (* cumulative rollup, sorted *)
+  total : interval;
+  convergent_sccs : int;
+  divergent_sccs : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Analysis                                                            *)
+
+let analyze ?store (v : View.t) =
+  let g = Depgraph.build v in
+  let rel_stats_tbl : (string * string, rel_stats) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (t : View.vtype) ->
+      List.iter
+        (fun (r : View.rel) ->
+          let stats =
+            match store with
+            | Some st -> measured_rel_stats st t.View.t_name r
+            | None -> static_rel_stats r
+          in
+          Hashtbl.replace rel_stats_tbl (t.View.t_name, r.View.r_name) stats)
+        t.View.t_rels)
+    v.View.v_types;
+  let rel_stats tn r =
+    match Hashtbl.find_opt rel_stats_tbl (tn, r) with
+    | Some s -> s
+    | None -> { fan = zero; fan_mean = 0.0; io_per_cross = 0.0 }  (* dangling rel *)
+  in
+  let attr_of tn a =
+    Option.bind (View.find_type v tn) (fun t -> View.find_attr t a)
+  in
+  (* Direct cost: the rule's own operations plus one unit per fetched
+     source value (fan-out-many sources contribute their fan-out). *)
+  let direct tn (a : View.attr) =
+    if a.View.a_intrinsic then zero
+    else
+      List.fold_left
+        (fun acc src ->
+          match src with
+          | Schema.Self _ -> add acc (exact 1.0)
+          | Schema.Rel (r, _) -> add acc (rel_stats tn r).fan)
+        (exact (float_of_int a.View.a_ops))
+        a.View.a_sources
+  in
+  let expected_io tn (a : View.attr) =
+    match store with
+    | None -> None
+    | Some _ ->
+      if a.View.a_intrinsic then Some 0.0
+      else
+        Some
+          (List.fold_left
+             (fun acc src ->
+               match src with
+               | Schema.Self _ -> acc
+               | Schema.Rel (r, _) ->
+                 let s = rel_stats tn r in
+                 acc +. (s.fan_mean *. s.io_per_cross))
+             0.0 a.View.a_sources)
+  in
+  (* Resolved sources of a node as (fan interval, target node id). *)
+  let resolved_sources tn (a : View.attr) =
+    List.filter_map
+      (fun src ->
+        match src with
+        | Schema.Self b ->
+          Option.map (fun i -> (exact 1.0, i)) (Depgraph.find g tn b)
+        | Schema.Rel (r, name) -> (
+          match Option.bind (View.find_type v tn) (fun t -> View.find_rel t r) with
+          | None -> None
+          | Some rd ->
+            let resolved =
+              View.resolve_export v ~target:rd.View.r_target ~inverse:rd.View.r_inverse name
+            in
+            Option.map
+              (fun i -> ((rel_stats tn r).fan, i))
+              (Depgraph.find g rd.View.r_target resolved)))
+      a.View.a_sources
+  in
+  (* Cumulative cost by SCC condensation: sources outside the SCC first,
+     then the component as a whole.  A convergent SCC re-evaluates its
+     members at most [coeff] times per participating slot (type-level
+    coefficient from the convergence pass); a divergent one has no
+     upper bound. *)
+  let sccs = Depgraph.cyclic_sccs g in
+  let verdicts = List.map (Fixpoint.classify v g) sccs in
+  let scc_of : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iteri (fun si comp -> List.iter (fun i -> Hashtbl.replace scc_of i si) comp) sccs;
+  let verdict_arr = Array.of_list verdicts in
+  let scc_arr = Array.of_list sccs in
+  let memo : (int, interval) Hashtbl.t = Hashtbl.create 64 in
+  let rec cum i =
+    match Hashtbl.find_opt memo i with
+    | Some c -> c
+    | None ->
+      (match Hashtbl.find_opt scc_of i with
+      | Some si -> compute_scc si
+      | None ->
+        let n = Depgraph.node g i in
+        let c =
+          match attr_of n.Diag.n_type n.Diag.n_attr with
+          | None -> zero
+          | Some a ->
+            List.fold_left
+              (fun acc (fan, j) -> add acc (mul fan (cum j)))
+              (direct n.Diag.n_type a)
+              (resolved_sources n.Diag.n_type a)
+        in
+        Hashtbl.add memo i c);
+      Hashtbl.find memo i
+  and compute_scc si =
+    let comp = scc_arr.(si) in
+    let member = Hashtbl.create 8 in
+    List.iter (fun i -> Hashtbl.replace member i ()) comp;
+    (* Each member's one-round cost: direct plus external inputs. *)
+    let locals =
+      List.map
+        (fun i ->
+          let n = Depgraph.node g i in
+          let c =
+            match attr_of n.Diag.n_type n.Diag.n_attr with
+            | None -> zero
+            | Some a ->
+              List.fold_left
+                (fun acc (fan, j) ->
+                  if Hashtbl.mem member j then acc else add acc (mul fan (cum j)))
+                (direct n.Diag.n_type a)
+                (resolved_sources n.Diag.n_type a)
+          in
+          (i, c))
+        comp
+    in
+    let round = List.fold_left (fun acc (_, c) -> add acc c) zero locals in
+    let scc_hi =
+      match verdict_arr.(si) with
+      | Fixpoint.Convergent { coeff; _ } -> scale (float_of_int coeff) round
+      | Fixpoint.Divergent _ -> unbounded_above round.lo
+    in
+    List.iter (fun (i, c) -> Hashtbl.add memo i { lo = c.lo; hi = scc_hi.hi }) locals
+  in
+  let per_attr =
+    v.View.v_types
+    |> List.concat_map (fun (t : View.vtype) ->
+           t.View.t_attrs
+           |> List.map (fun (a : View.attr) ->
+                  let tn = t.View.t_name in
+                  let cumulative =
+                    match Depgraph.find g tn a.View.a_name with
+                    | Some i -> cum i
+                    | None -> zero
+                  in
+                  {
+                    ac_type = tn;
+                    ac_attr = a.View.a_name;
+                    ac_shape = a.View.a_shape;
+                    ac_direct = direct tn a;
+                    ac_cumulative = cumulative;
+                    ac_io = expected_io tn a;
+                  }))
+    |> List.sort (fun a b ->
+           match String.compare a.ac_type b.ac_type with
+           | 0 -> String.compare a.ac_attr b.ac_attr
+           | c -> c)
+  in
+  let per_type =
+    v.View.v_types
+    |> List.map (fun (t : View.vtype) ->
+           ( t.View.t_name,
+             List.fold_left
+               (fun acc ac ->
+                 if String.equal ac.ac_type t.View.t_name then add acc ac.ac_cumulative
+                 else acc)
+               zero per_attr ))
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let total = List.fold_left (fun acc (_, c) -> add acc c) zero per_type in
+  let convergent_sccs =
+    List.length (List.filter (function Fixpoint.Convergent _ -> true | _ -> false) verdicts)
+  in
+  {
+    per_attr;
+    per_type;
+    total;
+    convergent_sccs;
+    divergent_sccs = List.length verdicts - convergent_sccs;
+  }
+
+let analyze_schema ?db sch =
+  analyze ?store:(Option.map Cactis.Db.store db) (View.of_schema sch)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
+let num x =
+  (* Stable fixed-precision rendering; integral values print bare. *)
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.2f" x
+
+let interval_to_json i =
+  Printf.sprintf "{\"lo\":%s,\"hi\":%s}" (num i.lo)
+    (match i.hi with Some h -> num h | None -> "null")
+
+let to_json t =
+  let attrs =
+    t.per_attr
+    |> List.map (fun a ->
+           Printf.sprintf
+             "{\"type\":\"%s\",\"attr\":\"%s\",\"shape\":%s,\"direct\":%s,\"cumulative\":%s,\"io\":%s}"
+             a.ac_type a.ac_attr
+             (match a.ac_shape with
+             | Some s -> Printf.sprintf "\"%s\"" (Schema.shape_name s)
+             | None -> "null")
+             (interval_to_json a.ac_direct)
+             (interval_to_json a.ac_cumulative)
+             (match a.ac_io with Some io -> num io | None -> "null"))
+    |> String.concat ","
+  in
+  let types =
+    t.per_type
+    |> List.map (fun (tn, c) ->
+           Printf.sprintf "{\"name\":\"%s\",\"cumulative\":%s}" tn (interval_to_json c))
+    |> String.concat ","
+  in
+  Printf.sprintf
+    "{\"schema\":{\"total\":%s,\"convergent_sccs\":%d,\"divergent_sccs\":%d},\"types\":[%s],\"attrs\":[%s]}"
+    (interval_to_json t.total) t.convergent_sccs t.divergent_sccs types attrs
+
+let interval_to_string i =
+  match i.hi with
+  | Some h when h = i.lo -> num i.lo
+  | Some h -> Printf.sprintf "[%s, %s]" (num i.lo) (num h)
+  | None -> Printf.sprintf "[%s, unbounded)" (num i.lo)
+
+let render t =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun a ->
+      if a.ac_direct.hi <> Some 0.0 || a.ac_direct.lo <> 0.0 then
+        Buffer.add_string buf
+          (Printf.sprintf "%-40s direct %-14s cumulative %-18s%s%s\n"
+             (a.ac_type ^ "." ^ a.ac_attr)
+             (interval_to_string a.ac_direct)
+             (interval_to_string a.ac_cumulative)
+             (match a.ac_shape with
+             | Some s -> " shape " ^ Schema.shape_name s
+             | None -> "")
+             (match a.ac_io with
+             | Some io when io > 0.0 -> Printf.sprintf " io %s" (num io)
+             | _ -> "")))
+    t.per_attr;
+  Buffer.add_string buf
+    (Printf.sprintf "schema total %s (%d convergent cycle(s), %d divergent)\n"
+       (interval_to_string t.total) t.convergent_sccs t.divergent_sccs);
+  Buffer.contents buf

@@ -1,0 +1,59 @@
+(** Abstract-interpretation cost pass: per-attribute evaluation-cost
+    intervals over the dependency graph.
+
+    For every attribute the pass computes
+
+    - a {e direct} interval — the cost of one rule evaluation with all
+      sources fresh: the rule's abstract operation count
+      ({!View.attr.a_ops}) plus one unit per fetched source value,
+      with relationship fetches multiplied by the fan-out bound of the
+      relationship ([one] caps at 1; [many] is statically unbounded);
+    - a {e cumulative} interval — the worst case where every transitive
+      source must itself be recomputed, folded over the SCC
+      condensation of the dependency graph in topological order.
+      Cyclic SCCs use the convergence pass ({!Fixpoint}): a convergent
+      SCC's upper bound is one round of the component times its sweep
+      coefficient; a divergent SCC is unbounded above.
+
+    When a live store is attached ([?store] / [?db]), static fan-out
+    bounds sharpen to the measured min/max over the store's instances,
+    and an expected-I/O estimate per evaluation is added: mean fan-out
+    times the links' decaying-average block-cost tags (§2.3).
+
+    This is the cost-model substrate for the planned query planner:
+    [cactis analyze --json] emits it as stable JSON (attributes sorted
+    by [(type, attr)], fixed-precision numbers). *)
+
+type interval = {
+  lo : float;
+  hi : float option;  (** [None] = unbounded above *)
+}
+
+type attr_cost = {
+  ac_type : string;
+  ac_attr : string;
+  ac_shape : Cactis.Schema.rule_shape option;
+  ac_direct : interval;
+  ac_cumulative : interval;
+  ac_io : float option;  (** expected blocks per evaluation; [None] without a store *)
+}
+
+type t = {
+  per_attr : attr_cost list;  (** sorted by [(type, attr)] *)
+  per_type : (string * interval) list;  (** cumulative rollup per type, sorted *)
+  total : interval;
+  convergent_sccs : int;
+  divergent_sccs : int;
+}
+
+val analyze : ?store:Cactis.Store.t -> View.t -> t
+val analyze_schema : ?db:Cactis.Db.t -> Cactis.Schema.t -> t
+
+val interval_to_string : interval -> string
+
+(** Stable JSON (used by [make analyze] golden files): one [schema]
+    rollup object, [types] and [attrs] arrays in sorted order. *)
+val to_json : t -> string
+
+(** Human-readable table, one derived attribute per line. *)
+val render : t -> string

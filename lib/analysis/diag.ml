@@ -19,10 +19,11 @@ type t = {
   message : string;
   witness : (node * step) list;
   hint : string option;
+  fix : string option;
 }
 
-let make ?(witness = []) ?hint severity ~code ~path message =
-  { severity; code; path; message; witness; hint }
+let make ?(witness = []) ?hint ?fix severity ~code ~path message =
+  { severity; code; path; message; witness; hint; fix }
 
 let severity_name = function
   | Error -> "error"
@@ -95,10 +96,12 @@ let to_json d =
              (match step with S_self -> jstr "self" | S_rel r -> jstr r))
     |> String.concat ","
   in
-  Printf.sprintf "{\"severity\":%s,\"code\":%s,\"path\":%s,\"message\":%s,\"witness\":[%s],\"hint\":%s}"
+  Printf.sprintf
+    "{\"severity\":%s,\"code\":%s,\"path\":%s,\"message\":%s,\"witness\":[%s],\"hint\":%s,\"fix\":%s}"
     (jstr (severity_name d.severity))
     (jstr d.code) (jstr d.path) (jstr d.message) witness
     (match d.hint with Some h -> jstr h | None -> "null")
+    (match d.fix with Some f -> jstr f | None -> "null")
 
 let summary ds =
   let count s = List.length (List.filter (fun d -> d.severity = s) ds) in

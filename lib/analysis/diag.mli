@@ -31,10 +31,22 @@ type t = {
   witness : (node * step) list;
       (** for cycles: [witness] closes back on its first node; empty otherwise *)
   hint : string option;
+  fix : string option;
+      (** machine-applicable patch directive, when one exists —
+          ["drop-rule:type.attr"] (delete the derived rule) or
+          ["declare-attr:type.attr:int"] (materialize a missing
+          transmitted attribute); consumed by [cactis lint --fix] *)
 }
 
 val make :
-  ?witness:(node * step) list -> ?hint:string -> severity -> code:string -> path:string -> string -> t
+  ?witness:(node * step) list ->
+  ?hint:string ->
+  ?fix:string ->
+  severity ->
+  code:string ->
+  path:string ->
+  string ->
+  t
 
 val severity_name : severity -> string
 

@@ -1,0 +1,77 @@
+module Schema = Cactis.Schema
+
+type verdict =
+  | Convergent of {
+      shapes : (Diag.node * Schema.rule_shape) list;
+      coeff : int;
+    }
+  | Divergent of {
+      culprit : Diag.node;
+      why : string;
+    }
+
+let shape_of_node (v : View.t) (n : Diag.node) =
+  match View.find_type v n.Diag.n_type with
+  | None -> None
+  | Some t -> (
+    match View.find_attr t n.Diag.n_attr with
+    | None -> None
+    | Some a -> a.View.a_shape)
+
+(* Longest strictly-increasing chain one slot of this shape can climb.
+   Min/max rules only select among values already present, so their
+   chains are bounded by the number of participating slots — [n] at the
+   type level, scaled by the instance count in {!iteration_bound}. *)
+let chain_height ~n = function
+  | Schema.Shape_bool | Schema.Shape_count -> 1
+  | Schema.Shape_lattice { height; _ } -> height
+  | Schema.Shape_min | Schema.Shape_max -> max 1 n
+  | Schema.Shape_unbounded -> 0
+
+let classify (v : View.t) g comp =
+  let nodes = List.map (Depgraph.node g) comp in
+  let rec go acc = function
+    | [] ->
+      let shapes = List.rev acc in
+      let n = List.length shapes in
+      let coeff =
+        List.fold_left (fun sum (_, s) -> sum + chain_height ~n s) 1 shapes
+      in
+      Convergent { shapes; coeff }
+    | node :: rest -> (
+      match shape_of_node v node with
+      | None ->
+        Divergent { culprit = node; why = "carries no declared convergence shape" }
+      | Some Schema.Shape_unbounded ->
+        Divergent
+          {
+            culprit = node;
+            why = "has an unbounded rule shape (its value can grow on every iteration)";
+          }
+      | Some s -> go ((node, s) :: acc) rest)
+  in
+  go [] nodes
+
+let iteration_bound ~instances = function
+  | Divergent _ -> None
+  | Convergent { shapes; coeff = _ } ->
+    let n = List.length shapes in
+    let slots = instances * n in
+    let per_slot s =
+      match s with
+      | Schema.Shape_min | Schema.Shape_max -> max 1 slots
+      | s -> chain_height ~n s
+    in
+    (* One settling sweep, plus one sweep per lattice step any slot can
+       climb, plus one per slot for frames stuck above the cycle. *)
+    Some
+      (1 + slots
+      + instances * List.fold_left (fun acc (_, s) -> acc + per_slot s) 0 shapes)
+
+let verdict_name = function Convergent _ -> "convergent" | Divergent _ -> "divergent"
+
+let shapes_summary shapes =
+  shapes
+  |> List.map (fun ((n : Diag.node), s) ->
+         Printf.sprintf "%s.%s: %s" n.Diag.n_type n.Diag.n_attr (Schema.shape_name s))
+  |> String.concat ", "

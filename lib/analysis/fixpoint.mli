@@ -1,0 +1,41 @@
+(** Convergence classification of potential evaluation cycles ([Far86]).
+
+    A dependency cycle whose every rule is monotone over a bounded
+    lattice converges under fixed-point iteration.  This pass inspects
+    the {!Cactis.Schema.rule_shape} of every attribute on a cyclic SCC
+    of the dependency graph: all bounded — the SCC is {e convergent}
+    and the engine's opt-in fixed-point mode
+    ({!Cactis.Db.set_fixed_point}) can run cyclic data to a proven
+    fixed point; any unbounded or undeclared shape — {e divergent},
+    with the offending attribute as witness.  The verdict is sound but
+    not complete: "divergent" means "not provably convergent". *)
+
+type verdict =
+  | Convergent of {
+      shapes : (Diag.node * Cactis.Schema.rule_shape) list;
+          (** every SCC member with its shape, in SCC node order *)
+      coeff : int;
+          (** type-level sweep-bound coefficient: [1 + sum of chain
+              heights], the factor the cost pass multiplies a cyclic
+              SCC's per-evaluation cost by *)
+    }
+  | Divergent of {
+      culprit : Diag.node;  (** first SCC member that breaks the proof *)
+      why : string;
+    }
+
+(** [classify view graph scc] — verdict for one cyclic SCC (node ids as
+    returned by {!Depgraph.cyclic_sccs}). *)
+val classify : View.t -> Depgraph.t -> int list -> verdict
+
+(** [iteration_bound ~instances verdict] — a static upper bound on the
+    number of Gauss-Seidel sweeps the engine needs for any instance
+    graph with at most [instances] participating instances; [None] for
+    divergent verdicts.  Dominates the engine's own dynamic cap, so
+    measured [fixpoint_sweeps] never exceed it (property-tested). *)
+val iteration_bound : instances:int -> verdict -> int option
+
+val verdict_name : verdict -> string
+
+(** ["cfg_node.live_in: lattice(8), cfg_node.live_out: lattice(8)"] *)
+val shapes_summary : (Diag.node * Cactis.Schema.rule_shape) list -> string

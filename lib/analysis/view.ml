@@ -5,12 +5,15 @@ type attr = {
   a_intrinsic : bool;
   a_constrained : bool;
   a_sources : Schema.source list;
+  a_shape : Schema.rule_shape option;
+  a_ops : int;
 }
 
 type rel = {
   r_name : string;
   r_target : string;
   r_inverse : string;
+  r_card : Schema.cardinality;
 }
 
 type vtype = {
@@ -42,12 +45,21 @@ let of_schema sch =
                       a_intrinsic = intrinsic;
                       a_constrained = d.Schema.constraint_ <> None;
                       a_sources = sources;
+                      a_shape = Schema.rule_shape sch ~type_name:tn ~attr:d.Schema.attr_name;
+                      (* Compute closures are opaque: charge one op per
+                         declared source plus one for the combination. *)
+                      a_ops = (if intrinsic then 0 else List.length sources + 1);
                     })
            in
            let rels =
              Schema.rels sch ~type_name:tn
              |> List.map (fun (r : Schema.rel_def) ->
-                    { r_name = r.Schema.rel_name; r_target = r.Schema.target; r_inverse = r.Schema.inverse })
+                    {
+                      r_name = r.Schema.rel_name;
+                      r_target = r.Schema.target;
+                      r_inverse = r.Schema.inverse;
+                      r_card = r.Schema.card;
+                    })
            in
            let exports =
              Schema.exports sch ~type_name:tn

@@ -13,12 +13,21 @@ type attr = {
   a_intrinsic : bool;
   a_constrained : bool;
   a_sources : Cactis.Schema.source list;  (** empty for intrinsics *)
+  a_shape : Cactis.Schema.rule_shape option;
+      (** convergence shape: declared on the schema or inferred from the
+          DDL expression; [None] = unknown (treated as divergent) *)
+  a_ops : int;
+      (** abstract operation count of one rule evaluation (expression
+          size for DDL rules; sources+1 for opaque closures; 0 for
+          intrinsics) — the cost pass's per-evaluation unit *)
 }
 
 type rel = {
   r_name : string;
   r_target : string;
   r_inverse : string;
+  r_card : Cactis.Schema.cardinality;
+      (** static fan-out bound: [One] caps transmission reads at one *)
 }
 
 type vtype = {

@@ -105,10 +105,39 @@ let static_reject () =
            witness = Cactis_analysis.Diag.witness_to_string d.Cactis_analysis.Diag.witness;
          })
 
-let analyze ?(static_check = true) ?(exit_live = []) program =
-  if static_check && has_loop program then static_reject ();
+(* Distinct assignment labels and variables: chain heights of the two
+   powerset lattices the flow sets live in (every strict step of a
+   Kleene iteration adds at least one element). *)
+let rec variables acc = function
+  | Assign { target; uses; _ } -> (target :: uses) @ acc
+  | Seq (a, b) -> variables (variables acc a) b
+  | If { cond_uses; then_; else_ } -> cond_uses @ variables (variables acc then_) else_
+  | While { cond_uses; body } -> cond_uses @ variables acc body
+
+let lattice_height ~exit_live program =
+  let labels = List.map snd (assignments [] program) in
+  let vars = List.sort_uniq compare (exit_live @ variables [] program) in
+  max 1 (max (List.length (List.sort_uniq compare labels)) (List.length vars))
+
+(* [Far86] mode: the flow sets are monotone over the powerset lattices
+   of variables (liveness) and labels (reaching), both of height bounded
+   by [lattice_height].  Declaring that shape makes the analyzer classify
+   the succ/pred cycles convergent, and [Db.set_fixed_point] lets the
+   engine iterate While-loop CFGs to their least fixed point instead of
+   raising [Errors.Cycle]. *)
+let declare_lattice_shapes sch ~height =
+  List.iter
+    (fun attr ->
+      Schema.declare_rule_shape sch ~type_name:"flow_node" ~attr
+        (Schema.Shape_lattice { height; bottom = empty_set }))
+    [ "live_out"; "live_in"; "reach_in"; "reach_out" ]
+
+let analyze ?(static_check = true) ?(fixed_point = false) ?(exit_live = []) program =
+  if static_check && has_loop program && not fixed_point then static_reject ();
   let sch = schema () in
+  if fixed_point then declare_lattice_shapes sch ~height:(lattice_height ~exit_live program);
   let database = Db.create sch in
+  if fixed_point then Db.set_fixed_point database true;
   let all_assigns = assignments [] program in
   let order = ref [] in
   let new_node ~label ~def ~use ~gen ~kill =

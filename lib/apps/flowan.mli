@@ -44,15 +44,22 @@ val schema : unit -> Cactis.Schema.t
     warnings (liveness backward, reaching forward), each with a witness. *)
 val static_diagnostics : unit -> Cactis_analysis.Diag.t list
 
-(** [analyze ?static_check ?exit_live program] builds the CFG database.
-    [exit_live] names the variables live at program exit (results,
-    globals); when non-empty a synthetic ["exit"] node carries them, so
-    final assignments to them are not flagged dead.
+(** [analyze ?static_check ?fixed_point ?exit_live program] builds the
+    CFG database.  [exit_live] names the variables live at program exit
+    (results, globals); when non-empty a synthetic ["exit"] node carries
+    them, so final assignments to them are not flagged dead.
+
+    With [~fixed_point:true] the [Far86] extension is enabled: the four
+    flow attributes are declared monotone over their powerset lattices
+    (height = the program's distinct variable/label count, bottom = the
+    empty set) and the database runs under {!Cactis.Db.set_fixed_point},
+    so [While]-ful programs evaluate to their least fixed point — the
+    textbook iterative-dataflow solution — instead of being rejected.
     @raise Rejected for [While]-ful programs when [static_check] (the
-    default) is on — before any object is created.  With
-    [~static_check:false] the program builds, and querying its
-    attributes raises [Errors.Cycle] dynamically. *)
-val analyze : ?static_check:bool -> ?exit_live:string list -> program -> t
+    default) is on and [fixed_point] is off — before any object is
+    created.  With [~static_check:false] the program builds, and
+    querying its attributes raises [Errors.Cycle] dynamically. *)
+val analyze : ?static_check:bool -> ?fixed_point:bool -> ?exit_live:string list -> program -> t
 
 val db : t -> Cactis.Db.t
 

@@ -108,6 +108,9 @@ let set_tracing t on =
   let tr = tracer t in
   if on then Trace.enable tr else Trace.disable tr
 
+let set_fixed_point ?max_iters t on = Engine.set_fixed_point ?max_iters t.eng on
+let fixed_point t = Engine.fixed_point t.eng
+
 let set_profiling t on =
   t.profiling <- on;
   if not on then Engine.set_profile t.eng None
@@ -533,7 +536,15 @@ let add_export t ~type_name ~rel ~export ~attr =
   run_schema_change t (Txn.Schema_add_export { type_name; rel; export; attr })
 
 let add_attr t ?expr ~type_name def =
-  run_schema_change t (Txn.Schema_add_attr { type_name; def; repr = expr })
+  run_schema_change t (Txn.Schema_add_attr { type_name; def; repr = expr });
+  (* A DDL-sourced rule carries its convergence shape into the schema's
+     shape registry (pure metadata: not part of the logged delta). *)
+  match (def.Schema.kind, expr) with
+  | Schema.Derived _, Some src -> (
+    match Schema.classify_rule_repr src with
+    | Some shape -> Schema.declare_rule_shape t.sch ~type_name ~attr:def.Schema.attr_name shape
+    | None -> ())
+  | _ -> ()
 
 let add_subtype t ?predicate_expr ?(attr_exprs = []) (def : Schema.subtype_def) =
   (* [attr_exprs] aligns positionally with [extra_attrs]; pad with None

@@ -52,6 +52,17 @@ val obs : t -> Cactis_obs.Ctx.t
     [false] stops recording (already-captured events are kept). *)
 val set_tracing : t -> bool -> unit
 
+(** [set_fixed_point ?max_iters t true] arms the engine's bounded
+    fixed-point evaluation of dependency cycles (see
+    {!Engine.set_fixed_point}): reads that would raise
+    {!Errors.Cycle} instead iterate on-cycle attributes that all carry
+    bounded {!Schema.rule_shape}s to a proven fixed point, capped at
+    [max_iters] sweeps (default 1000).  [false] disarms. *)
+val set_fixed_point : ?max_iters:int -> t -> bool -> unit
+
+(** Currently configured sweep cap; [None] when the mode is off. *)
+val fixed_point : t -> int option
+
 (** [set_profiling t true] arms a fresh propagation profile on every
     {!commit}; after the commit, {!last_profile} holds its snapshot:
     nodes marked, edges walked, cutoffs, evaluations, and the

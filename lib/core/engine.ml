@@ -47,6 +47,12 @@ type t = {
   h_eval_wave : Histogram.h;
   h_propagate : Histogram.h;
   mutable prof : Profile.t option;
+  (* Bounded fixed-point evaluation of convergent cycles ([Far86]):
+     [None] = off (cycles raise), [Some n] = iterate up to [n] sweeps. *)
+  mutable fixpoint : int option;
+  c_fixpoint_runs : int ref;
+  c_fixpoint_sweeps : int ref;
+  h_fixpoint_iters : Histogram.h;
 }
 
 let create ?(strategy = Cactis) ?(sched = Sched.Greedy) store =
@@ -58,7 +64,9 @@ let create ?(strategy = Cactis) ?(sched = Sched.Greedy) store =
     h_mark_wave = Histogram.cell hists "mark_wave";
     h_eval_wave = Histogram.cell hists "eval_wave";
     h_propagate = Histogram.cell hists "propagate";
+    h_fixpoint_iters = Histogram.cell hists "fixpoint_iters";
     prof = None;
+    fixpoint = None;
     store;
     strategy;
     sched;
@@ -76,6 +84,8 @@ let create ?(strategy = Cactis) ?(sched = Sched.Greedy) store =
     c_constraint_checks = Counters.cell counters "constraint_checks";
     c_intrinsic_sets = Counters.cell counters "intrinsic_sets";
     c_misses = Counters.cell counters "block_misses";
+    c_fixpoint_runs = Counters.cell counters "fixpoint_runs";
+    c_fixpoint_sweeps = Counters.cell counters "fixpoint_sweeps";
   }
 
 let store t = t.store
@@ -87,6 +97,12 @@ let set_repair t f = t.repair <- Some f
 let register_recovery t name f = Hashtbl.replace t.recoveries name f
 let set_profile t p = t.prof <- p
 let profile t = t.prof
+
+let set_fixed_point ?(max_iters = 1000) t on =
+  if max_iters < 1 then Errors.type_error "set_fixed_point: max_iters must be positive";
+  t.fixpoint <- (if on then Some max_iters else None)
+
+let fixed_point t = t.fixpoint
 let trace t = t.obs.Cactis_obs.Ctx.trace
 
 let schema t = Store.schema t.store
@@ -370,6 +386,267 @@ type eval_proc =
     }
   | Finish of frame
 
+(* ------------------------------------------------------------------ *)
+(* Bounded fixed-point evaluation of stuck (cyclic) frames ([Far86])   *)
+
+(* When the demand scheduler drains with frames still open, the
+   pending-wait graph contains at least one dependency cycle.  With
+   fixed-point mode armed ([set_fixed_point]) and every attribute on a
+   cycle carrying a bounded convergence shape ({!Schema.rule_shape}),
+   the stuck slots are iterated Gauss-Seidel-style: cycle members with
+   a lattice bottom are seeded there (Kleene iteration from bottom, the
+   least-fixed-point semantics flow analyses want), the rest join the
+   sweeps lazily, and contributions of slots not yet evaluated in the
+   current run are dropped from aggregate reads.  Convergence is
+   claimed only after an actually change-free sweep, so a mis-declared
+   shape costs iterations (up to the cap) but never yields a wrong
+   "stable" verdict — at worst the run falls back to [Errors.Cycle]. *)
+
+type fp_entry = {
+  e_key : int;  (* packed (id, attr sym) *)
+  e_inst : Instance.t;
+  e_ix : int;
+  e_si : Schema.slot_info;
+  mutable e_computed : bool;  (* evaluated at least once this run *)
+}
+
+let fp_bottom = function
+  | Schema.Shape_bool -> Some (Value.Bool false)
+  | Schema.Shape_lattice { bottom; _ } -> Some bottom
+  | Schema.Shape_min | Schema.Shape_max | Schema.Shape_count | Schema.Shape_unbounded -> None
+
+(* Longest strictly-increasing chain a slot of this shape can climb:
+   the per-slot contribution to the static sweep bound.  Min/max chains
+   are bounded by the number of distinct values in the cycle. *)
+let fp_height ~n_cyclic = function
+  | Schema.Shape_bool | Schema.Shape_count -> 1
+  | Schema.Shape_lattice { height; _ } -> height
+  | Schema.Shape_min | Schema.Shape_max -> n_cyclic
+  | Schema.Shape_unbounded -> max_int
+
+let solve_fixpoint t ~max_iters frames waiters =
+  let start_ns = Clock.now_ns () in
+  (* Resolve every stuck frame to a live slot; a frame whose instance
+     vanished mid-run falls back to the cycle-error path. *)
+  let entries =
+    Hashtbl.fold
+      (fun key (frame : frame) acc ->
+        match acc with
+        | None -> None
+        | Some l -> (
+          match Store.get_opt t.store frame.f_id with
+          | None -> None
+          | Some inst ->
+            let si = slot_info inst frame.f_ix in
+            Some
+              ({ e_key = key; e_inst = inst; e_ix = frame.f_ix; e_si = si; e_computed = false }
+              :: l)))
+      frames (Some [])
+  in
+  match entries with
+  | None -> false
+  | Some entries ->
+    (* Deterministic sweep order. *)
+    let entries =
+      List.sort
+        (fun a b ->
+          if a.e_inst.Instance.id <> b.e_inst.Instance.id then
+            compare a.e_inst.Instance.id b.e_inst.Instance.id
+          else String.compare a.e_si.Schema.si_name b.e_si.Schema.si_name)
+        entries
+    in
+    let by_key = Hashtbl.create (2 * List.length entries) in
+    List.iter (fun e -> Hashtbl.replace by_key e.e_key e) entries;
+    (* Wait graph among stuck frames (waiter -> waited-on key): the
+       frames on its cycles must carry bounded shapes; the acyclic cone
+       stuck above them just re-evaluates until its inputs settle. *)
+    let deps : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+    let add_dep w k =
+      let prev = match Hashtbl.find_opt deps w with Some l -> l | None -> [] in
+      Hashtbl.replace deps w (k :: prev)
+    in
+    Hashtbl.iter
+      (fun key r ->
+        if Hashtbl.mem by_key key then
+          List.iter
+            (fun (w : frame) ->
+              let wkey = Symbol.pack w.f_id w.f_sym in
+              if Hashtbl.mem by_key wkey then add_dep wkey key)
+            !r)
+      waiters;
+    let on_cycle key =
+      let seen = Hashtbl.create 8 in
+      let rec go k =
+        List.exists
+          (fun k' ->
+            k' = key
+            || (not (Hashtbl.mem seen k')
+               &&
+               (Hashtbl.add seen k' ();
+                go k')))
+          (match Hashtbl.find_opt deps k with Some l -> l | None -> [])
+      in
+      go key
+    in
+    let cyclic : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+    List.iter (fun e -> if on_cycle e.e_key then Hashtbl.add cyclic e.e_key ()) entries;
+    let shape_of e =
+      Schema.rule_shape (schema t) ~type_name:e.e_inst.Instance.type_name
+        ~attr:e.e_si.Schema.si_name
+    in
+    let admissible =
+      List.for_all
+        (fun e ->
+          (not (Hashtbl.mem cyclic e.e_key))
+          || match shape_of e with Some s -> Schema.shape_bounded s | None -> false)
+        entries
+    in
+    if not admissible then false
+    else begin
+      let n_cyclic = Hashtbl.length cyclic in
+      (* Static bound: one settling sweep + one per lattice step any
+         cycle member can climb + one per stuck frame for the cone. *)
+      let static_bound =
+        List.fold_left
+          (fun acc e ->
+            if Hashtbl.mem cyclic e.e_key then
+              acc + (match shape_of e with Some s -> fp_height ~n_cyclic s | None -> 0)
+            else acc)
+          (1 + List.length entries)
+          entries
+      in
+      let cap = min max_iters static_bound in
+      List.iter
+        (fun e ->
+          if Hashtbl.mem cyclic e.e_key then
+            match shape_of e with
+            | Some s -> (
+              match fp_bottom s with
+              | Some b ->
+                (Instance.slot_ix e.e_inst e.e_ix).Instance.value <- b;
+                e.e_computed <- true
+              | None -> ())
+            | None -> ())
+        entries;
+      (* [None] = the slot belongs to this run and has not been
+         evaluated yet: its contribution is dropped from aggregates. *)
+      let fetch_opt self_id j jx =
+        let jinst = Store.get t.store j in
+        if j <> self_id then Store.touch t.store j;
+        let s = Instance.slot_ix jinst jx in
+        let jsi = slot_info jinst jx in
+        match Hashtbl.find_opt by_key (Symbol.pack j jsi.Schema.si_sym) with
+        | Some e -> if e.e_computed then Some s.Instance.value else None
+        | None ->
+          (match s.Instance.state with
+          | Instance.Up_to_date -> ()
+          | Instance.Out_of_date | Instance.In_progress -> (
+            match jsi.Schema.si_def.Schema.kind with
+            | Schema.Intrinsic default ->
+              s.Instance.value <- default;
+              s.Instance.state <- Instance.Up_to_date
+            | Schema.Derived _ -> ()));
+          Some s.Instance.value
+      in
+      let env_for (cr : Schema.compiled_rule) (inst : Instance.t) =
+        let srcs = cr.Schema.cr_sources in
+        let n = Array.length srcs in
+        let self_value b =
+          let rec find i =
+            if i >= n then
+              Errors.type_error "rule on %s reads undeclared source self.%s"
+                inst.Instance.type_name b
+            else
+              match srcs.(i) with
+              | Schema.C_self { s_name; s_slot } when String.equal s_name b -> (
+                match fetch_opt inst.Instance.id inst.Instance.id s_slot with
+                | Some v -> v
+                | None -> (Instance.slot_ix inst s_slot).Instance.value)
+              | _ -> find (i + 1)
+          in
+          find 0
+        in
+        let related_values r name =
+          let rec find i =
+            if i >= n then
+              Errors.type_error "rule on %s reads undeclared source %s.%s"
+                inst.Instance.type_name r name
+            else
+              match srcs.(i) with
+              | Schema.C_rel c when String.equal c.r_rel r && String.equal c.r_attr name ->
+                let usage = Store.usage t.store in
+                Instance.linked_ix inst c.r_link
+                |> List.filter_map (fun j ->
+                       if c.r_slot < 0 then
+                         Errors.unknown "type %s has no attribute %s" c.r_target
+                           (Symbol.name c.r_sym);
+                       Usage.cross_sym usage ~from_instance:inst.Instance.id
+                         ~rel_sym:c.r_rel_sym ~to_instance:j;
+                       fetch_opt inst.Instance.id j c.r_slot)
+              | _ -> find (i + 1)
+          in
+          find 0
+        in
+        { Schema.self_value; related_values }
+      in
+      let sweeps = ref 0 in
+      let stable = ref false in
+      let converged =
+        while (not !stable) && !sweeps < cap do
+          incr sweeps;
+          let changed = ref false in
+          List.iter
+            (fun e ->
+              Store.touch t.store e.e_inst.Instance.id;
+              let cr = rule_of_si e.e_inst e.e_si in
+              match cr.Schema.cr_rule.Schema.compute (env_for cr e.e_inst) with
+              | v ->
+                incr t.c_rule_evals;
+                let s = Instance.slot_ix e.e_inst e.e_ix in
+                if (not e.e_computed) || not (Value.equal v s.Instance.value) then
+                  changed := true;
+                e.e_computed <- true;
+                s.Instance.value <- v
+              | exception _ ->
+                (* A rule crashing this sweep (e.g. a virgin Null read of a
+                   cone slot whose inputs have not settled yet) is not
+                   fatal: the entry stays uncomputed and retries next
+                   sweep.  If it never succeeds, the cap expires and the
+                   caller reports a plain dependency cycle. *)
+                incr t.c_rule_evals)
+            entries;
+          if (not !changed) && List.for_all (fun e -> e.e_computed) entries then
+            stable := true
+        done;
+        !stable
+      in
+      if converged then begin
+        incr t.c_fixpoint_runs;
+        t.c_fixpoint_sweeps := !(t.c_fixpoint_sweeps) + !sweeps;
+        Histogram.observe t.h_fixpoint_iters (float_of_int !sweeps);
+        List.iter
+          (fun e ->
+            let s = Instance.slot_ix e.e_inst e.e_ix in
+            s.Instance.state <- Instance.Up_to_date;
+            Store.notify_write t.store e.e_inst.Instance.id e.e_si.Schema.si_name
+              s.Instance.value;
+            Hashtbl.remove t.pending_important e.e_key;
+            record_constraint_check t e.e_inst e.e_si s.Instance.value)
+          entries;
+        let tr = t.obs.Cactis_obs.Ctx.trace in
+        if Trace.enabled tr then
+          Trace.complete tr ~cat:"engine"
+            ~args:
+              [
+                ("frames", Trace.I (List.length entries));
+                ("cyclic", Trace.I n_cyclic);
+                ("sweeps", Trace.I !sweeps);
+              ]
+            ~start_ns "fixpoint"
+      end;
+      converged
+    end
+
 let run_eval_inner t roots =
   let sched = Sched.create t.sched t.store in
   let frames : (int, frame) Hashtbl.t = Hashtbl.create 32 in
@@ -560,17 +837,26 @@ let run_eval_inner t roots =
      value that can never arrive: a dependency cycle. *)
   let stuck = Hashtbl.fold (fun _ frame acc -> frame :: acc) frames [] in
   if stuck <> [] then begin
-    (* Restore the stuck slots so the database is not left in progress. *)
-    List.iter
-      (fun frame ->
-        match Store.get_opt t.store frame.f_id with
-        | Some inst ->
-          (Instance.slot_ix inst frame.f_ix).Instance.state <- Instance.Out_of_date
-        | None -> ())
-      stuck;
-    raise
-      (Errors.Cycle
-         (List.sort compare (List.map (fun f -> (f.f_id, Symbol.name f.f_sym)) stuck)))
+    let solved =
+      match t.fixpoint with
+      | Some max_iters -> solve_fixpoint t ~max_iters frames waiters
+      | None -> false
+    in
+    if not solved then begin
+      (* Restore the stuck slots so the database is not left in
+         progress.  (A failed fixed-point attempt may have clobbered
+         values with partial iterates; Out_of_date makes them dead.) *)
+      List.iter
+        (fun frame ->
+          match Store.get_opt t.store frame.f_id with
+          | Some inst ->
+            (Instance.slot_ix inst frame.f_ix).Instance.state <- Instance.Out_of_date
+          | None -> ())
+        stuck;
+      raise
+        (Errors.Cycle
+           (List.sort compare (List.map (fun f -> (f.f_id, Symbol.name f.f_sym)) stuck)))
+    end
   end
 
 (* Timed wrapper around one demand-evaluation wave.  The histogram is

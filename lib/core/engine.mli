@@ -107,6 +107,23 @@ val pending_important_count : t -> int
     out of date (bulk schema change, oracle resets). *)
 val invalidate_all : t -> unit
 
+(** {1 Fixed-point evaluation} *)
+
+(** [set_fixed_point ?max_iters t true] arms bounded fixed-point
+    evaluation of dependency cycles ([Far86]).  When armed, a stuck
+    evaluation wave whose every on-cycle attribute carries a bounded
+    {!Schema.rule_shape} is iterated Gauss-Seidel-style from its
+    lattice bottoms instead of raising {!Errors.Cycle}; iteration stops
+    at the first change-free sweep (a proven fixed point) and falls
+    back to the cycle error after at most [max_iters] sweeps (default
+    1000) or on any unbounded/undeclared on-cycle shape.  Sweep counts
+    feed the [fixpoint_runs]/[fixpoint_sweeps] counters and the
+    [fixpoint_iters] histogram. *)
+val set_fixed_point : ?max_iters:int -> t -> bool -> unit
+
+(** Currently configured sweep cap; [None] when the mode is off. *)
+val fixed_point : t -> int option
+
 (** {1 Observability} *)
 
 (** [set_profile t (Some p)] arms per-commit propagation profiling: the

@@ -14,6 +14,34 @@ type rule = {
   compute : env -> Value.t;
 }
 
+(* Monotone-lattice shape of a derived rule, the input of the [Far86]
+   convergence test: a dependency cycle whose every rule is monotone
+   over a bounded lattice reaches a fixed point under iteration.  The
+   shape is declarative metadata — compute functions are opaque
+   closures, so shapes are either inferred syntactically from DDL
+   expressions (Elaborate) or promised explicitly by an application
+   ([declare_rule_shape]).  An undeclared shape means "assume
+   divergent". *)
+type rule_shape =
+  | Shape_min  (* monotone decreasing toward the least contribution *)
+  | Shape_max  (* monotone increasing toward the greatest contribution *)
+  | Shape_bool  (* and/or/all/any closure over the two-point lattice *)
+  | Shape_count  (* structure-only: fixed while links are fixed *)
+  | Shape_lattice of { height : int; bottom : Value.t }
+      (* monotone over a declared lattice of this height, iterated up
+         from the given bottom element *)
+  | Shape_unbounded  (* e.g. sums: each iteration can keep growing *)
+
+let shape_name = function
+  | Shape_min -> "min"
+  | Shape_max -> "max"
+  | Shape_bool -> "bool"
+  | Shape_count -> "count"
+  | Shape_lattice { height; _ } -> Printf.sprintf "lattice(%d)" height
+  | Shape_unbounded -> "unbounded"
+
+let shape_bounded = function Shape_unbounded -> false | _ -> true
+
 type attr_kind =
   | Intrinsic of Value.t
   | Derived of rule
@@ -76,6 +104,14 @@ type t = {
   mutable layouts_version : int;
   mutable strict : bool;
   mutable validating : bool;  (* re-entrancy guard: the validator reads the schema *)
+  (* Declared rule shapes, keyed (type, attr); see {!rule_shape}. *)
+  shapes : (string * string, rule_shape) Hashtbl.t;
+  (* Incremental re-validation support: [Some l] means every mutation
+     since the last {e clean} validation was an [add_attr] of the listed
+     attributes, so a validator may restrict itself to dependency cones
+     through them; [None] demands a full pass.  Maintained by [bump]
+     (reset) / [add_attr] (append) / [validation_errors] (clear). *)
+  mutable touched : (string * string) list option;
 }
 
 and layout = {
@@ -146,9 +182,15 @@ let create () =
     layouts_version = -1;
     strict = false;
     validating = false;
+    shapes = Hashtbl.create 16;
+    touched = None;
   }
 
-let bump t = t.schema_version <- t.schema_version + 1
+let bump t =
+  t.schema_version <- t.schema_version + 1;
+  (* Arbitrary mutation: incremental re-validation is no longer sound.
+     [add_attr] restores its finer bookkeeping after calling us. *)
+  t.touched <- None
 
 let version t = t.schema_version
 
@@ -222,9 +264,17 @@ let add_attr t ~type_name (def : attr_def) =
       type_name def.attr_name
   | Derived rule, _ -> validate_sources t ~type_name rule.sources
   | Intrinsic _, None -> ());
+  let prev_touched = t.touched in
   Hashtbl.add td.attr_tbl def.attr_name def;
   td.attr_order <- def.attr_name :: td.attr_order;
-  bump t
+  bump t;
+  (* A fresh attribute only adds dependency edges through its own node:
+     a validator that already accepted the rest of the schema need only
+     re-examine cycles through the attributes added since. *)
+  t.touched <-
+    (match prev_touched with
+    | Some l -> Some ((type_name, def.attr_name) :: l)
+    | None -> None)
 
 let add_rel t ~type_name (def : rel_def) =
   let td = find_type t type_name in
@@ -307,6 +357,7 @@ let retract_attr t ~type_name name =
   td.attr_order <-
     retract_order (Printf.sprintf "attribute %s.%s" type_name name) name td.attr_order;
   Hashtbl.remove td.attr_tbl name;
+  Hashtbl.remove t.shapes (type_name, name);
   bump t
 
 let retract_rel t ~type_name name =
@@ -327,6 +378,9 @@ let retract_export t ~type_name ~rel:r ~export =
 let retract_type t name =
   t.type_order <- retract_order ("type " ^ name) name t.type_order;
   Hashtbl.remove t.types name;
+  Hashtbl.fold (fun ((tn, _) as k) _ acc -> if String.equal tn name then k :: acc else acc)
+    t.shapes []
+  |> List.iter (Hashtbl.remove t.shapes);
   (* The compiled layout must go too: [refresh_layouts] only recompiles
      layouts of declared types, so a stale survivor would keep serving
      lookups for a type that no longer exists.  A later re-declaration
@@ -371,6 +425,25 @@ let compile_rule_repr src =
        and call Elaborate.install_rule_compiler)"
       src
 
+(* ------------------------------------------------------------------ *)
+(* Rule shapes (convergence metadata).                                  *)
+
+let declare_rule_shape t ~type_name ~attr shape =
+  (* Metadata only: layouts do not depend on shapes, so no [bump]. *)
+  Hashtbl.replace t.shapes (type_name, attr) shape
+
+let rule_shape t ~type_name ~attr = Hashtbl.find_opt t.shapes (type_name, attr)
+
+(* Like the rule compiler, the shape classifier is registered by the DDL
+   front end (it inspects expression syntax).  Unlike the compiler it is
+   optional everywhere: an unclassifiable or unregistered rule simply
+   stays shapeless, which the convergence pass treats as divergent. *)
+let rule_classifier : (string -> rule_shape) option ref = ref None
+
+let set_rule_classifier f = rule_classifier := Some f
+
+let classify_rule_repr src = Option.map (fun f -> f src) !rule_classifier
+
 let resolve_export t ~type_name ~rel:r name =
   let td = find_type t type_name in
   match Hashtbl.find_opt td.exports (r, name) with
@@ -396,8 +469,15 @@ let validation_errors t =
     if t.validating then []
     else begin
       t.validating <- true;
-      Fun.protect ~finally:(fun () -> t.validating <- false) (fun () -> f t)
+      let msgs = Fun.protect ~finally:(fun () -> t.validating <- false) (fun () -> f t) in
+      (* A clean validation re-arms incremental re-validation: until the
+         next non-add_attr mutation, only cycles through newly added
+         attributes can appear. *)
+      if msgs = [] then t.touched <- Some [];
+      msgs
     end
+
+let touched_since_validation t = t.touched
 
 let validate t =
   match validation_errors t with

@@ -32,6 +32,34 @@ type rule = {
   compute : env -> Value.t;
 }
 
+(** Monotone-lattice shape of a derived rule — the input of the [Far86]
+    convergence test.  A dependency cycle whose every rule is monotone
+    over a bounded lattice converges under fixed-point iteration; the
+    analyzer classifies each potential cycle with these shapes and the
+    engine's opt-in fixed-point mode ({!Db.set_fixed_point}) trusts
+    only cycles whose every member carries a bounded shape.  Compute
+    functions are opaque closures, so shapes arrive separately: inferred
+    syntactically from DDL expressions, or promised explicitly via
+    {!declare_rule_shape}.  An undeclared shape means "assume
+    divergent". *)
+type rule_shape =
+  | Shape_min  (** monotone decreasing toward the least contribution *)
+  | Shape_max  (** monotone increasing toward the greatest contribution *)
+  | Shape_bool  (** and/or/all/any closure over the two-point lattice *)
+  | Shape_count  (** structure-only: fixed while links are fixed *)
+  | Shape_lattice of { height : int; bottom : Value.t }
+      (** monotone over a declared lattice of this height (e.g. subset
+          lattices: height = universe size), iterated up from [bottom]
+          (the value fixed-point mode seeds the slot with) *)
+  | Shape_unbounded  (** e.g. sums: each iteration can keep growing *)
+
+(** ["min"], ["lattice(12)"], ... — stable slugs for diagnostics and
+    JSON. *)
+val shape_name : rule_shape -> string
+
+(** Every shape but [Shape_unbounded]. *)
+val shape_bounded : rule_shape -> bool
+
 type attr_kind =
   | Intrinsic of Value.t  (** payload = default value for new instances *)
   | Derived of rule
@@ -267,6 +295,26 @@ val set_rule_compiler : (string -> rule) -> unit
     @raise Errors.Type_error when no compiler is registered. *)
 val compile_rule_repr : string -> rule
 
+(** {1 Rule shapes}
+
+    Convergence metadata for derived rules (see {!rule_shape}). *)
+
+(** [declare_rule_shape t ~type_name ~attr shape] records the shape of a
+    derived rule.  Pure metadata: never triggers a layout recompile. *)
+val declare_rule_shape : t -> type_name:string -> attr:string -> rule_shape -> unit
+
+val rule_shape : t -> type_name:string -> attr:string -> rule_shape option
+
+(** The DDL front end registers a syntactic shape classifier here
+    (expression source -> shape), mirroring {!set_rule_compiler}; used
+    by {!Db.add_attr} to classify rules arriving as logged expression
+    text. *)
+val set_rule_classifier : (string -> rule_shape) -> unit
+
+(** [None] when no classifier is registered (shapes stay undeclared,
+    which downstream analysis treats as divergent). *)
+val classify_rule_repr : string -> rule_shape option
+
 (** [resolve_export t ~type_name ~rel name] — the attribute actually
     transmitted when [name] is requested across the transmitter's [rel];
     [name] itself when no alias is declared (direct attribute access). *)
@@ -301,6 +349,17 @@ val validate : t -> unit
 val set_strict : t -> bool -> unit
 
 val strict : t -> bool
+
+(** Incremental re-validation support.  [Some l]: every mutation since
+    the last clean validation was an [add_attr] of the listed
+    [(type, attr)] pairs (newest first) — a new attribute only adds
+    dependency edges through its own node, so a validator that accepted
+    the pre-mutation schema may restrict its cycle check to components
+    containing a listed attribute.  [None]: arbitrary mutations
+    happened (or the schema was never validated clean) — full pass
+    required.  Cleared back to [Some []] by the next clean
+    validation. *)
+val touched_since_validation : t -> (string * string) list option
 
 (** [refresh t] forces a layout recompile if any DDL happened since the
     last one (a no-op otherwise).  In strict mode this re-runs the

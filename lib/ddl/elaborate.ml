@@ -26,6 +26,93 @@ let rec collect_sources expr acc =
 let sources expr = List.sort_uniq compare (collect_sources expr [])
 
 (* ------------------------------------------------------------------ *)
+(* Convergence-shape classification ([Far86])
+
+   A rule expression gets a {!Schema.rule_shape} by syntactic closure
+   analysis.  The point is soundness, not completeness: a shape other
+   than [Shape_unbounded] promises that on a dependency cycle the rule
+   is monotone over a bounded lattice, so Kleene/Gauss-Seidel iteration
+   from bottom reaches a fixed point.  Anything not obviously in one of
+   the closed fragments is conservatively unbounded. *)
+
+(* Structure-only: the value is a function of the link structure alone
+   (never of any attribute value), so on a cycle it is constant after
+   the first evaluation.  [count(rel.a)] is the archetype — it counts
+   related instances, whatever their values. *)
+let rec structure_only = function
+  | Ast.Lit _ -> true
+  | Ast.Self_attr _ | Ast.Rel_one _ -> false
+  | Ast.Rel_agg { agg = Ast.Count; default; _ } ->
+    (match default with Some d -> structure_only d | None -> true)
+  | Ast.Rel_agg _ -> false
+  | Ast.Unop (_, e) -> structure_only e
+  | Ast.Binop (_, a, b) -> structure_only a && structure_only b
+  | Ast.If (c, t, e) -> structure_only c && structure_only t && structure_only e
+  | Ast.Call (_, args) -> List.for_all structure_only args
+
+(* Monotone over the two-point boolean lattice (false below true):
+   atoms, all/any aggregation, and/or composition.  [not] and value
+   comparisons are excluded — they are not monotone in their inputs. *)
+let rec bool_closed e =
+  structure_only e
+  ||
+  match e with
+  | Ast.Lit (Value.Bool _) -> true
+  | Ast.Self_attr _ | Ast.Rel_one _ -> true
+  | Ast.Rel_agg { agg = Ast.All | Ast.Any; default; _ } ->
+    (match default with Some d -> bool_closed d | None -> true)
+  | Ast.Binop ((Ast.And | Ast.Or), a, b) -> bool_closed a && bool_closed b
+  | Ast.If (c, t, el) -> structure_only c && bool_closed t && bool_closed el
+  | _ -> false
+
+(* Max-closure: iterates only ever select among already-present values
+   (max aggregation, [later_of]), so chains are bounded by the number
+   of distinct values on the cycle.  Arithmetic is excluded: [max(...)
+   + 1] selects nothing and can climb forever. *)
+let rec max_closed e =
+  structure_only e
+  ||
+  match e with
+  | Ast.Lit _ -> true
+  | Ast.Self_attr _ | Ast.Rel_one _ -> true
+  | Ast.Rel_agg { agg = Ast.Max; default; _ } ->
+    (match default with Some d -> max_closed d | None -> true)
+  | Ast.Call ("later_of", args) -> List.for_all max_closed args
+  | Ast.If (c, t, el) -> structure_only c && max_closed t && max_closed el
+  | _ -> false
+
+let rec min_closed e =
+  structure_only e
+  ||
+  match e with
+  | Ast.Lit _ -> true
+  | Ast.Self_attr _ | Ast.Rel_one _ -> true
+  | Ast.Rel_agg { agg = Ast.Min; default; _ } ->
+    (match default with Some d -> min_closed d | None -> true)
+  | Ast.Call ("earlier_of", args) -> List.for_all min_closed args
+  | Ast.If (c, t, el) -> structure_only c && min_closed t && min_closed el
+  | _ -> false
+
+let shape_of_expr e =
+  if structure_only e then Schema.Shape_count
+  else if bool_closed e then Schema.Shape_bool
+  else if max_closed e then Schema.Shape_max
+  else if min_closed e then Schema.Shape_min
+  else Schema.Shape_unbounded
+
+(* Abstract per-evaluation cost: one unit per operator/read node.  The
+   cost pass multiplies this by fan-out bounds along the sources. *)
+let rec op_count = function
+  | Ast.Lit _ -> 0
+  | Ast.Self_attr _ | Ast.Rel_one _ -> 1
+  | Ast.Rel_agg { default; _ } ->
+    1 + (match default with Some d -> op_count d | None -> 0)
+  | Ast.Unop (_, e) -> 1 + op_count e
+  | Ast.Binop (_, a, b) -> 1 + op_count a + op_count b
+  | Ast.If (c, t, e) -> 1 + op_count c + op_count t + op_count e
+  | Ast.Call (_, args) -> List.fold_left (fun acc e -> acc + op_count e) 1 args
+
+(* ------------------------------------------------------------------ *)
 (* Evaluation                                                          *)
 
 let eval_binop op a b =
@@ -163,14 +250,21 @@ let extend sch (items : Ast.schema) =
         cl.Ast.cl_rels)
     classes;
   check_inverses sch items;
-  (* Pass 3: attributes, rules, constraints. *)
+  (* Pass 3: attributes, rules, constraints.  DDL-sourced rules also
+     carry their convergence shape into the schema's registry. *)
   List.iter
     (fun (cl : Ast.class_def) ->
       let tn = cl.Ast.cl_name in
       List.iter (fun d -> Schema.add_attr sch ~type_name:tn (elaborate_attr d)) cl.Ast.cl_attrs;
-      List.iter (fun d -> Schema.add_attr sch ~type_name:tn (elaborate_rule d)) cl.Ast.cl_rules;
       List.iter
-        (fun d -> Schema.add_attr sch ~type_name:tn (elaborate_constraint d))
+        (fun (d : Ast.rule_decl) ->
+          Schema.add_attr sch ~type_name:tn (elaborate_rule d);
+          Schema.declare_rule_shape sch ~type_name:tn ~attr:d.ru_name (shape_of_expr d.ru_expr))
+        cl.Ast.cl_rules;
+      List.iter
+        (fun (d : Ast.constraint_decl) ->
+          Schema.add_attr sch ~type_name:tn (elaborate_constraint d);
+          Schema.declare_rule_shape sch ~type_name:tn ~attr:d.cd_name (shape_of_expr d.cd_expr))
         cl.Ast.cl_constraints)
     classes;
   (* Pass 3b: transmission aliases (attributes now exist). *)
@@ -192,7 +286,15 @@ let extend sch (items : Ast.schema) =
           predicate = compile_rule su.Ast.su_predicate;
           extra_attrs =
             List.map elaborate_attr su.Ast.su_attrs @ List.map elaborate_rule su.Ast.su_rules;
-        })
+        };
+      Schema.declare_rule_shape sch ~type_name:su.Ast.su_parent
+        ~attr:(Schema.membership_attr su.Ast.su_name)
+        (shape_of_expr su.Ast.su_predicate);
+      List.iter
+        (fun (d : Ast.rule_decl) ->
+          Schema.declare_rule_shape sch ~type_name:su.Ast.su_parent ~attr:d.ru_name
+            (shape_of_expr d.ru_expr))
+        su.Ast.su_rules)
     subtypes
 
 (* Elaboration runs first so that structurally broken schemas keep
@@ -231,7 +333,13 @@ let install_rule_compiler () =
       | expr -> compile_rule expr
       | exception Parser.Error { line; col; message } ->
         Errors.type_error "cannot recompile logged rule expression %S: %d:%d: %s" src line col
-          message)
+          message);
+  (* Same front door for shapes: an expression-carrying rule (dynamic
+     [Db.add_attr ~expr], WAL replay) is classified through the parser. *)
+  Schema.set_rule_classifier (fun src ->
+      match Parser.parse_expr src with
+      | expr -> shape_of_expr expr
+      | exception Parser.Error _ -> Schema.Shape_unbounded)
 
 let () = install_rule_compiler ()
 

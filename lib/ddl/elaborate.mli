@@ -15,6 +15,19 @@ val sources : Ast.expr -> Cactis.Schema.source list
 (** [compile_rule expr] compiles a rule expression. *)
 val compile_rule : Ast.expr -> Cactis.Schema.rule
 
+(** [shape_of_expr expr] — syntactic convergence-shape classification
+    ([Far86]): detects the structure-only, boolean-monotone, max- and
+    min-closed fragments of the expression language; everything else is
+    {!Cactis.Schema.Shape_unbounded}.  Sound, not complete: a bounded
+    shape implies fixed-point convergence on a cycle, [Shape_unbounded]
+    implies nothing. *)
+val shape_of_expr : Ast.expr -> Cactis.Schema.rule_shape
+
+(** [op_count expr] — abstract cost of one evaluation: one unit per
+    operator or attribute-read node (the cost pass's per-evaluation
+    unit). *)
+val op_count : Ast.expr -> int
+
 (** [eval_expr env expr] evaluates an expression against an arbitrary
     environment (used by the ad-hoc {!Query} facility). *)
 val eval_expr : Cactis.Schema.env -> Ast.expr -> Cactis.Value.t

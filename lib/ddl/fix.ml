@@ -1,0 +1,114 @@
+module Diag = Cactis_analysis.Diag
+
+type directive =
+  | Drop_rule of { type_name : string; attr : string }
+  | Declare_attr of { type_name : string; attr : string; ty : Ast.value_type }
+
+let directive_to_string = function
+  | Drop_rule { type_name; attr } -> Printf.sprintf "drop-rule:%s.%s" type_name attr
+  | Declare_attr { type_name; attr; ty } ->
+    Printf.sprintf "declare-attr:%s.%s:%s" type_name attr (Ast.type_name ty)
+
+let value_type_of_name = function
+  | "int" -> Some Ast.T_int
+  | "float" -> Some Ast.T_float
+  | "bool" -> Some Ast.T_bool
+  | "string" -> Some Ast.T_string
+  | "time" -> Some Ast.T_time
+  | _ -> None
+
+let parse_directive s =
+  match String.index_opt s ':' with
+  | None -> None
+  | Some i -> (
+    let verb = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    let split_dot r =
+      match String.index_opt r '.' with
+      | None -> None
+      | Some j -> Some (String.sub r 0 j, String.sub r (j + 1) (String.length r - j - 1))
+    in
+    match verb with
+    | "drop-rule" -> (
+      match split_dot rest with
+      | Some (type_name, attr) when type_name <> "" && attr <> "" ->
+        Some (Drop_rule { type_name; attr })
+      | _ -> None)
+    | "declare-attr" -> (
+      match String.rindex_opt rest ':' with
+      | None -> None
+      | Some j -> (
+        let qual = String.sub rest 0 j in
+        let ty = String.sub rest (j + 1) (String.length rest - j - 1) in
+        match (split_dot qual, value_type_of_name ty) with
+        | Some (type_name, attr), Some ty when type_name <> "" && attr <> "" ->
+          Some (Declare_attr { type_name; attr; ty })
+        | _ -> None))
+    | _ -> None)
+
+(* Apply one directive; [None] when nothing in the AST matched (the
+   directive targets a type or rule this file does not declare). *)
+let apply items directive =
+  let changed = ref false in
+  let items =
+    List.map
+      (fun item ->
+        match (item, directive) with
+        | Ast.Class c, Drop_rule { type_name; attr } when c.Ast.cl_name = type_name ->
+          let keep (r : Ast.rule_decl) = r.Ast.ru_name <> attr in
+          if List.for_all keep c.Ast.cl_rules then item
+          else begin
+            changed := true;
+            Ast.Class { c with Ast.cl_rules = List.filter keep c.Ast.cl_rules }
+          end
+        | Ast.Subtype su, Drop_rule { type_name; attr } when su.Ast.su_name = type_name ->
+          let keep (r : Ast.rule_decl) = r.Ast.ru_name <> attr in
+          if List.for_all keep su.Ast.su_rules then item
+          else begin
+            changed := true;
+            Ast.Subtype { su with Ast.su_rules = List.filter keep su.Ast.su_rules }
+          end
+        | Ast.Class c, Declare_attr { type_name; attr; ty } when c.Ast.cl_name = type_name ->
+          let declared =
+            List.exists (fun (a : Ast.attr_decl) -> a.Ast.ad_name = attr) c.Ast.cl_attrs
+            || List.exists (fun (r : Ast.rule_decl) -> r.Ast.ru_name = attr) c.Ast.cl_rules
+          in
+          if declared then item
+          else begin
+            changed := true;
+            Ast.Class
+              {
+                c with
+                Ast.cl_attrs =
+                  c.Ast.cl_attrs @ [ { Ast.ad_name = attr; ad_type = ty; ad_default = None } ];
+              }
+          end
+        | _ -> item)
+      items
+  in
+  if !changed then Some items else None
+
+let fixes diags = List.filter_map (fun d -> d.Diag.fix) diags |> List.filter_map parse_directive
+
+let run ?(max_rounds = 8) ~lint items =
+  let applied = ref [] in
+  let rec go round items =
+    if round >= max_rounds then items
+    else
+      let directives = fixes (lint items) in
+      let items', progressed =
+        List.fold_left
+          (fun (items, progressed) d ->
+            match apply items d with
+            | Some items' ->
+              applied := d :: !applied;
+              (items', true)
+            | None -> (items, progressed))
+          (items, false) directives
+      in
+      (* Re-lint after each round: dropping a dead rule can orphan the
+         rules it read, surfacing a fresh crop of dead-attr fixes. *)
+      if progressed then go (round + 1) items' else items
+  in
+  let items = go 0 items in
+  (items, List.rev !applied)

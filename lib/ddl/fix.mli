@@ -1,0 +1,36 @@
+(** Machine-applicable lint fixes.
+
+    The analyzer attaches a [fix] directive to diagnostics it knows how
+    to repair mechanically ({!Cactis_analysis.Diag.t.fix}):
+
+    - [drop-rule:TYPE.ATTR] — delete a dead derived rule;
+    - [declare-attr:TYPE.ATTR:VALUETYPE] — declare a missing intrinsic
+      attribute (dangling transmission target).
+
+    [cactis lint --fix] parses these, patches the AST, and re-emits the
+    schema through {!Pretty} — so a fix round-trips through the parser
+    like hand-written DDL. *)
+
+type directive =
+  | Drop_rule of { type_name : string; attr : string }
+  | Declare_attr of { type_name : string; attr : string; ty : Ast.value_type }
+
+val parse_directive : string -> directive option
+val directive_to_string : directive -> string
+
+(** [apply items d] — [None] when the directive touched nothing (its
+    target type or rule is not declared in this file). *)
+val apply : Ast.schema -> directive -> Ast.schema option
+
+(** Fix directives carried by a diagnostic list, parse failures dropped. *)
+val fixes : Cactis_analysis.Diag.t list -> directive list
+
+(** [run ~lint items] applies fixes to a fixpoint: lint, apply every
+    directive, re-lint (dropping a dead rule can orphan the rules it
+    read), until a round applies nothing or [max_rounds] is hit.
+    Returns the patched AST and the directives applied, in order. *)
+val run :
+  ?max_rounds:int ->
+  lint:(Ast.schema -> Cactis_analysis.Diag.t list) ->
+  Ast.schema ->
+  Ast.schema * directive list

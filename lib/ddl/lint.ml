@@ -4,7 +4,14 @@ module Analyze = Cactis_analysis.Analyze
 module Schema = Cactis.Schema
 
 let attr_of_decl (d : Ast.attr_decl) =
-  { View.a_name = d.Ast.ad_name; a_intrinsic = true; a_constrained = false; a_sources = [] }
+  {
+    View.a_name = d.Ast.ad_name;
+    a_intrinsic = true;
+    a_constrained = false;
+    a_sources = [];
+    a_shape = None;
+    a_ops = 0;
+  }
 
 let attr_of_rule (d : Ast.rule_decl) =
   {
@@ -12,6 +19,8 @@ let attr_of_rule (d : Ast.rule_decl) =
     a_intrinsic = false;
     a_constrained = false;
     a_sources = Elaborate.sources d.Ast.ru_expr;
+    a_shape = Some (Elaborate.shape_of_expr d.Ast.ru_expr);
+    a_ops = Elaborate.op_count d.Ast.ru_expr;
   }
 
 let attr_of_constraint (d : Ast.constraint_decl) =
@@ -20,6 +29,8 @@ let attr_of_constraint (d : Ast.constraint_decl) =
     a_intrinsic = false;
     a_constrained = true;
     a_sources = Elaborate.sources d.Ast.cd_expr;
+    a_shape = Some (Elaborate.shape_of_expr d.Ast.cd_expr);
+    a_ops = Elaborate.op_count d.Ast.cd_expr;
   }
 
 let view_of_ast (items : Ast.schema) =
@@ -39,6 +50,8 @@ let view_of_ast (items : Ast.schema) =
                       a_intrinsic = false;
                       a_constrained = false;
                       a_sources = Elaborate.sources su.Ast.su_predicate;
+                      a_shape = Some (Elaborate.shape_of_expr su.Ast.su_predicate);
+                      a_ops = Elaborate.op_count su.Ast.su_predicate;
                     }
                     :: (List.map attr_of_decl su.Ast.su_attrs @ List.map attr_of_rule su.Ast.su_rules))
            in
@@ -52,7 +65,12 @@ let view_of_ast (items : Ast.schema) =
              t_rels =
                List.map
                  (fun (r : Ast.rel_decl) ->
-                   { View.r_name = r.Ast.rd_name; r_target = r.Ast.rd_target; r_inverse = r.Ast.rd_inverse })
+                   {
+                     View.r_name = r.Ast.rd_name;
+                     r_target = r.Ast.rd_target;
+                     r_inverse = r.Ast.rd_inverse;
+                     r_card = (match r.Ast.rd_card with `One -> Schema.One | `Multi -> Schema.Multi);
+                   })
                  cl.Ast.cl_rels;
              t_exports =
                List.map

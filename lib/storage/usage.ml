@@ -82,6 +82,12 @@ let crossings t =
       ({ from_instance = k.k_lo; rel = Symbol.name k.k_rel; to_instance = k.k_hi }, !r) :: acc)
     t.crossing_counts []
 
+let rel_totals t =
+  let totals = Hashtbl.create 16 in
+  Hashtbl.iter (fun k r -> let c = cell totals k.k_rel in c := !c + !r) t.crossing_counts;
+  Hashtbl.fold (fun sym r acc -> (Symbol.name sym, !r) :: acc) totals []
+  |> List.sort (fun (a, ca) (b, cb) -> match compare cb ca with 0 -> compare a b | c -> c)
+
 let forget_instance t id =
   if id < Array.length t.instance_counts then t.instance_counts.(id) <- 0;
   let stale =

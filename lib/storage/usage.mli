@@ -40,6 +40,11 @@ val instances : t -> (int * int) list
 (** All crossings ever recorded, with counts. *)
 val crossings : t -> (crossing * int) list
 
+(** Crossing counts rolled up per relationship name — the export the
+    cost analyzer and [cactis analyze --db] consume to rank hot
+    relationships.  Sorted by descending count, then name. *)
+val rel_totals : t -> (string * int) list
+
 (** [forget_instance t id] drops statistics mentioning [id]
     (instance deleted). *)
 val forget_instance : t -> int -> unit

@@ -476,6 +476,200 @@ let test_json_rendering () =
   Alcotest.(check bool) "has witness steps" true (contains "\"step\":\"succ\"");
   Alcotest.(check bool) "has code field" true (contains "\"code\":\"potential-cycle\"")
 
+(* ---- convergence classification ([Far86]) ---- *)
+
+(* Boolean closure over a one-way relationship: monotone over the
+   two-point lattice, so the cycle is provably convergent. *)
+let reachability_src =
+  base_class
+    "  relationships\n\
+    \    down : node multi socket inverse up;\n\
+    \    up : node multi plug inverse down;\n\
+    \  attributes\n\
+    \    marked : bool := false;\n\
+    \  rules\n\
+    \    reach = marked or any(up.reach default false);"
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_convergent_cycle_info () =
+  let ds = lint reachability_src in
+  Alcotest.(check (option string)) "convergent cycle is info" (Some "info")
+    (Option.map Diag.severity_name (severity_of "convergent-cycle" ds));
+  Alcotest.(check bool) "not reported as potential-cycle" false (has_code "potential-cycle" ds);
+  let d = List.hd (with_code "convergent-cycle" ds) in
+  Alcotest.(check bool) "witness non-empty" true (d.Diag.witness <> []);
+  Alcotest.(check bool) "shape summary names bool" true (contains ~sub:"bool" d.Diag.message);
+  Alcotest.(check bool) "hint mentions fixed-point mode" true
+    (match d.Diag.hint with Some h -> contains ~sub:"set_fixed_point" h | None -> false);
+  (* Strict linting accepts a provably convergent schema. *)
+  Alcotest.(check bool) "no warnings at all" false
+    (List.exists (fun d -> d.Diag.severity = Diag.Warning) ds)
+
+let test_divergent_culprit_named () =
+  (* Arithmetic in the cycle breaks every closure: the warning survives
+     and names the attribute that broke the proof. *)
+  let ds =
+    lint
+      (base_class
+         "  relationships\n\
+         \    down : node multi socket inverse up;\n\
+         \    up : node multi plug inverse down;\n\
+         \  attributes\n\
+         \    a : int;\n\
+         \  rules\n\
+         \    rx = a + sum(down.rx default 0);")
+  in
+  Alcotest.(check (option string)) "still a warning" (Some "warning")
+    (Option.map Diag.severity_name (severity_of "potential-cycle" ds));
+  let d = List.hd (with_code "potential-cycle" ds) in
+  Alcotest.(check bool) "explains the failed proof" true
+    (contains ~sub:"not provably convergent" d.Diag.message);
+  Alcotest.(check bool) "names the culprit" true (contains ~sub:"node.rx" d.Diag.message)
+
+(* ---- engine fixed-point mode over convergent cycles ---- *)
+
+let build_ring src n =
+  let sch = Cactis_ddl.Elaborate.schema (Cactis_ddl.Parser.parse_schema src) in
+  let db = Db.create sch in
+  let ids = Array.init n (fun _ -> Db.create_instance db "node") in
+  for i = 0 to n - 1 do
+    Db.link db ~from_id:ids.(i) ~rel:"down" ~to_id:ids.((i + 1) mod n)
+  done;
+  (db, ids)
+
+let test_fixed_point_solves_ring () =
+  let db, ids = build_ring reachability_src 4 in
+  (* Without the opt-in, cyclic data still raises. *)
+  (match Db.get db ~watch:false ids.(0) "reach" with
+  | _ -> Alcotest.fail "expected Errors.Cycle without fixed-point mode"
+  | exception Errors.Cycle _ -> ());
+  Db.set_fixed_point db true;
+  Alcotest.(check (option int)) "mode queryable" (Some 1000) (Db.fixed_point db);
+  (* Nothing marked: the least fixed point is all-false. *)
+  Array.iter
+    (fun id ->
+      Alcotest.(check bool) "unmarked ring is unreachable" false
+        (Value.as_bool (Db.get db ~watch:false id "reach")))
+    ids;
+  (* Marking one node floods the whole ring through the cycle. *)
+  Db.set db ids.(2) "marked" (Value.Bool true);
+  Array.iter
+    (fun id ->
+      Alcotest.(check bool) "mark floods the ring" true
+        (Value.as_bool (Db.get db ~watch:false id "reach")))
+    ids;
+  (* And back: clearing the mark re-converges to all-false. *)
+  Db.set db ids.(2) "marked" (Value.Bool false);
+  Alcotest.(check bool) "clearing re-converges" false
+    (Value.as_bool (Db.get db ~watch:false ids.(0) "reach"));
+  let c = Cactis_util.Counters.snapshot (Db.counters db) in
+  let get k = try List.assoc k c with Not_found -> 0 in
+  Alcotest.(check bool) "fixpoint_runs counted" true (get "fixpoint_runs" >= 2);
+  Alcotest.(check bool) "sweeps counted" true (get "fixpoint_sweeps" >= get "fixpoint_runs")
+
+let test_fixed_point_divergent_still_rejected () =
+  (* A sum cycle has no bounded shape: fixed-point mode must refuse it
+     rather than iterate forever. *)
+  let src =
+    base_class
+      "  relationships\n\
+      \    down : node multi socket inverse up;\n\
+      \    up : node multi plug inverse down;\n\
+      \  attributes\n\
+      \    a : int;\n\
+      \  rules\n\
+      \    reach = a + sum(down.reach default 0);"
+  in
+  let db, ids = build_ring src 3 in
+  Db.set_fixed_point db true;
+  (match Db.get db ~watch:false ids.(0) "reach" with
+  | _ -> Alcotest.fail "expected Errors.Cycle for a divergent cycle"
+  | exception Errors.Cycle _ -> ());
+  (* The failed attempt leaves no partial iterate behind: acyclic reads
+     of the same schema still work. *)
+  Db.unlink db ~from_id:ids.(2) ~rel:"down" ~to_id:ids.(0);
+  Alcotest.(check bool) "acyclic chain evaluates" true
+    (match Db.get db ~watch:false ids.(0) "reach" with Value.Int _ -> true | _ -> false)
+
+(* ---- machine-applicable fixes ---- *)
+
+module Fix = Cactis_ddl.Fix
+
+let fixable_src =
+  base_class
+    "  relationships\n\
+    \    down : node multi socket inverse up;\n\
+    \    up : node multi plug inverse down;\n\
+    \  attributes\n\
+    \    a : int;\n\
+    \  rules\n\
+    \    scratch = a * 2;\n\
+    \    total = a + sum(down.budget default 0);\n\
+    \  constraints\n\
+    \    sane = total >= 0 message \"negative\";"
+
+let test_fix_field_in_json () =
+  let ds = lint fixable_src in
+  let dead = List.hd (with_code "dead-attr" ds) in
+  Alcotest.(check (option string)) "dead-attr carries a drop-rule fix"
+    (Some "drop-rule:node.scratch") dead.Diag.fix;
+  let dangle = List.hd (with_code "dangling-transmission" ds) in
+  Alcotest.(check (option string)) "dangling-transmission carries a declare-attr fix"
+    (Some "declare-attr:node.budget:int") dangle.Diag.fix;
+  let json = Analyze.to_json ds in
+  Alcotest.(check bool) "fix field serialized" true
+    (contains ~sub:"\"fix\":\"drop-rule:node.scratch\"" json)
+
+let test_fix_run_to_clean () =
+  let lint_ast items = Lint.typecheck_diags items @ Lint.analyze_ast items in
+  let items = Cactis_ddl.Parser.parse_schema fixable_src in
+  let items', applied = Fix.run ~lint:lint_ast items in
+  Alcotest.(check (list string)) "both fixes applied"
+    [ "declare-attr:node.budget:int"; "drop-rule:node.scratch" ]
+    (List.sort compare (List.map Fix.directive_to_string applied));
+  (* The patched AST round-trips through the pretty-printer and parser
+     and re-lints clean of fixable findings. *)
+  let reparsed = Cactis_ddl.Parser.parse_schema (Cactis_ddl.Pretty.schema_to_string items') in
+  let ds = lint_ast reparsed in
+  Alcotest.(check bool) "no dead attrs left" false (has_code "dead-attr" ds);
+  Alcotest.(check bool) "no dangling transmissions left" false
+    (has_code "dangling-transmission" ds);
+  Alcotest.(check (list string)) "no errors left" []
+    (List.map Diag.to_string (Diag.errors ds))
+
+(* ---- incremental re-validation ---- *)
+
+let test_incremental_revalidation () =
+  let counters = Cactis_util.Counters.create () in
+  let get k = Cactis_util.Counters.get counters k in
+  Analyze.install ~counters ();
+  Fun.protect
+    ~finally:(fun () -> Analyze.install ())
+    (fun () ->
+      let sch = Schema.create () in
+      Schema.add_type sch "t";
+      Schema.add_attr sch ~type_name:"t" (Rule.intrinsic "a" (Value.Int 0));
+      Schema.validate sch;
+      Alcotest.(check int) "first validation is a full run" 1 (get "analysis_runs");
+      Schema.validate sch;
+      Alcotest.(check int) "untouched schema skips analysis" 1 (get "analysis_validation_skips");
+      Alcotest.(check int) "no extra full run on skip" 1 (get "analysis_runs");
+      (* add_attr after a clean validation: only the circularity pass
+         over the touched SCCs re-runs. *)
+      Schema.add_attr sch ~type_name:"t"
+        (Rule.derived "r" (Rule.map1 "a" (fun v -> v)));
+      Schema.validate sch;
+      Alcotest.(check int) "incremental revalidation" 1 (get "analysis_incremental_runs");
+      Alcotest.(check int) "full analysis not re-run" 1 (get "analysis_runs");
+      (* Any other mutation class resets to the full pipeline. *)
+      Schema.add_type sch "u";
+      Schema.validate sch;
+      Alcotest.(check int) "structural change forces a full run" 2 (get "analysis_runs"))
+
 (* ---- QCheck: static verdict vs dynamic behaviour ---- *)
 
 module G = Gen_schemas
@@ -545,6 +739,135 @@ let prop_witness_names_real_attrs =
                  | Some t -> Cactis_analysis.View.find_attr t n.Diag.n_attr <> None)
                d.Diag.witness))
 
+let prop_cost_bounds_dominate =
+  (* Soundness of the cost pass: every rule evaluation costs at least one
+     abstract op unit, and demand evaluation touches each slot of the
+     demanded attribute's cone at most once — so the measured rule_evals
+     delta of any single query is bounded by the static cumulative upper
+     bound of the demanded attribute. *)
+  QCheck.Test.make ~name:"static cost upper bounds dominate measured rule evals" ~count:60
+    (QCheck.make ~print:G.print_cfg G.gen)
+    (fun cfg ->
+      let src = G.schema_source ~cross:false cfg in
+      let sch =
+        Cactis_ddl.Elaborate.schema ~analyze:false (Cactis_ddl.Parser.parse_schema src)
+      in
+      let cost = Cactis_analysis.Cost.analyze_schema sch in
+      let hi_of tn attr =
+        match
+          List.find_opt
+            (fun (c : Cactis_analysis.Cost.attr_cost) ->
+              c.Cactis_analysis.Cost.ac_type = tn && c.Cactis_analysis.Cost.ac_attr = attr)
+            cost.Cactis_analysis.Cost.per_attr
+        with
+        | Some c -> c.Cactis_analysis.Cost.ac_cumulative.Cactis_analysis.Cost.hi
+        | None -> None
+      in
+      let db = Db.create sch in
+      let counters = Db.counters db in
+      let ids =
+        Array.init cfg.G.instances (fun i ->
+            Db.create_instance db (Printf.sprintf "k%d" (i mod cfg.G.classes)))
+      in
+      let ok = ref true in
+      Array.iter
+        (fun id ->
+          for r = 0 to cfg.G.rules - 1 do
+            let tn = Db.type_of db id in
+            let attr = Printf.sprintf "r%d" r in
+            let before = Cactis_util.Counters.get counters "rule_evals" in
+            ignore (Db.get db ~watch:false id attr);
+            let delta = Cactis_util.Counters.get counters "rule_evals" - before in
+            match hi_of tn attr with
+            | Some hi -> if float_of_int delta > hi then ok := false
+            | None ->
+              (* cross=false schemas never cross a relationship, so every
+                 cumulative bound must be finite. *)
+              ok := false
+          done)
+        ids;
+      !ok)
+
+(* Random boolean-closure schemas: every rule is and/or/any/all over
+   bool atoms, so every cyclic SCC must classify convergent, and the
+   engine — capped at exactly the static iteration bound — must reach a
+   fixed point on arbitrary cyclic instance graphs. *)
+let bool_schema_source cfg =
+  let rng = Rng.create (cfg.G.seed + 13) in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "object class node is\n";
+  Buffer.add_string buf
+    "  relationships\n    down : node multi socket inverse up;\n    up : node multi plug inverse down;\n";
+  Buffer.add_string buf "  attributes\n";
+  for a = 0 to cfg.G.intrinsics - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "    m%d : bool := %b;\n" a (Rng.chance rng 0.3))
+  done;
+  Buffer.add_string buf "  rules\n";
+  for r = 0 to cfg.G.rules - 1 do
+    let atom () =
+      match Rng.int rng 4 with
+      | 0 -> Printf.sprintf "m%d" (Rng.int rng cfg.G.intrinsics)
+      | 1 when r > 0 -> Printf.sprintf "b%d" (Rng.int rng r)
+      | 1 -> "false"
+      | 2 -> Printf.sprintf "any(down.b%d default false)" (Rng.int rng cfg.G.rules)
+      | _ -> Printf.sprintf "all(up.b%d default true)" (Rng.int rng cfg.G.rules)
+    in
+    let op = if Rng.bool rng then "or" else "and" in
+    Buffer.add_string buf (Printf.sprintf "    b%d = %s %s %s;\n" r (atom ()) op (atom ()))
+  done;
+  Buffer.add_string buf "end object;\n";
+  Buffer.contents buf
+
+let prop_convergent_bound_terminates =
+  QCheck.Test.make ~name:"convergent verdict => fixed point within the static bound" ~count:60
+    (QCheck.make ~print:G.print_cfg G.gen)
+    (fun cfg ->
+      let src = bool_schema_source cfg in
+      let items = Cactis_ddl.Parser.parse_schema src in
+      let v = Lint.view_of_ast items in
+      let g = Cactis_analysis.Depgraph.build v in
+      let sccs = Cactis_analysis.Depgraph.cyclic_sccs g in
+      let verdicts = List.map (Cactis_analysis.Fixpoint.classify v g) sccs in
+      if
+        not
+          (List.for_all
+             (function Cactis_analysis.Fixpoint.Convergent _ -> true | _ -> false)
+             verdicts)
+      then QCheck.Test.fail_reportf "bool-closure schema classified divergent:\n%s" src;
+      (* Sum of per-SCC bounds: one demand may entangle several SCCs. *)
+      let bound =
+        List.fold_left
+          (fun acc verdict ->
+            match
+              Cactis_analysis.Fixpoint.iteration_bound ~instances:cfg.G.instances verdict
+            with
+            | Some b -> acc + b
+            | None -> acc)
+          0 verdicts
+      in
+      let sch = Cactis_ddl.Elaborate.schema ~analyze:false items in
+      let db = Db.create sch in
+      if sccs <> [] then Db.set_fixed_point ~max_iters:bound db true;
+      let rng = Rng.create (cfg.G.seed + 29) in
+      let ids = Array.init cfg.G.instances (fun _ -> Db.create_instance db "node") in
+      for _ = 1 to cfg.G.instances * 2 do
+        let i = Rng.int rng cfg.G.instances and j = Rng.int rng cfg.G.instances in
+        if not (List.mem ids.(j) (Db.related db ids.(i) "down")) then
+          Db.link db ~from_id:ids.(i) ~rel:"down" ~to_id:ids.(j)
+      done;
+      let ok = ref true in
+      Array.iter
+        (fun id ->
+          for r = 0 to cfg.G.rules - 1 do
+            match Db.get db ~watch:false id (Printf.sprintf "b%d" r) with
+            | Value.Bool _ -> ()
+            | _ -> ok := false
+            | exception Errors.Cycle _ -> ok := false
+          done)
+        ids;
+      !ok)
+
 let () =
   Alcotest.run "cactis-analysis"
     [
@@ -587,12 +910,28 @@ let () =
           Alcotest.test_case "flowan flagged with real witness" `Quick
             test_flowan_flagged_with_witness;
         ] );
+      ( "convergence",
+        [
+          Alcotest.test_case "bool closure cycle is info" `Quick test_convergent_cycle_info;
+          Alcotest.test_case "divergent warning names culprit" `Quick
+            test_divergent_culprit_named;
+          Alcotest.test_case "fixed point solves a data ring" `Quick test_fixed_point_solves_ring;
+          Alcotest.test_case "divergent cycle still rejected" `Quick
+            test_fixed_point_divergent_still_rejected;
+        ] );
+      ( "fixes",
+        [
+          Alcotest.test_case "fix directives in diagnostics and JSON" `Quick
+            test_fix_field_in_json;
+          Alcotest.test_case "Fix.run reaches a clean schema" `Quick test_fix_run_to_clean;
+        ] );
       ( "hooks",
         [
           Alcotest.test_case "Schema.validate uses the analyzer" `Quick test_validate_hook;
           Alcotest.test_case "strict mode rejects bad DDL" `Quick test_strict_mode;
           Alcotest.test_case "Elaborate gates on errors" `Quick test_elaborate_gate;
           Alcotest.test_case "warnings still elaborate" `Quick test_warning_schemas_still_elaborate;
+          Alcotest.test_case "incremental revalidation" `Quick test_incremental_revalidation;
         ] );
       ( "observability",
         [
@@ -603,5 +942,7 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_clean_verdict_sound;
           QCheck_alcotest.to_alcotest prop_witness_names_real_attrs;
+          QCheck_alcotest.to_alcotest prop_cost_bounds_dominate;
+          QCheck_alcotest.to_alcotest prop_convergent_bound_terminates;
         ] );
     ]

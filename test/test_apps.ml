@@ -235,6 +235,42 @@ let test_while_cycle_detected () =
   | _ -> Alcotest.fail "expected cycle"
   | exception Errors.Cycle _ -> ()
 
+let test_while_fixed_point () =
+  (* [Far86] mode: the same While-loop CFG evaluates to the textbook
+     iterative-dataflow least fixed point instead of raising. *)
+  let p =
+    seq
+      (assign "i" "L1")
+      (seq
+         (Flowan.While
+            {
+              cond_uses = [ "i" ];
+              body = seq (assign ~uses:[ "i" ] "x" "L2") (assign ~uses:[ "i"; "x" ] "i" "L3");
+            })
+         (assign ~uses:[ "i" ] "r" "L4"))
+  in
+  let t = Flowan.analyze ~fixed_point:true ~exit_live:[ "r" ] p in
+  let by_label l = List.find (fun n -> Flowan.label t n = l) (Flowan.nodes t) in
+  let w = by_label "while" in
+  Alcotest.(check (list string)) "live into loop header" [ "i" ] (Flowan.live_in t w);
+  Alcotest.(check (list string)) "live out of loop header" [ "i" ] (Flowan.live_out t w);
+  Alcotest.(check (list string)) "live out of L2" [ "i"; "x" ] (Flowan.live_out t (by_label "L2"));
+  Alcotest.(check (list string)) "live out of L3" [ "i" ] (Flowan.live_out t (by_label "L3"));
+  Alcotest.(check (list string)) "defs reaching loop exit" [ "L1"; "L2"; "L3" ]
+    (Flowan.reaching_out t w);
+  Alcotest.(check (list string)) "defs reaching L4 exit" [ "L1"; "L2"; "L3"; "L4" ]
+    (Flowan.reaching_out t (by_label "L4"));
+  Alcotest.(check (list int)) "no dead assignments" [] (Flowan.dead_assignments t);
+  (* The iteration is observable: at least one fixed-point run ran. *)
+  let counters = Cactis_util.Counters.snapshot (Db.counters (Flowan.db t)) in
+  let runs = try List.assoc "fixpoint_runs" counters with Not_found -> 0 in
+  Alcotest.(check bool) "fixpoint_runs bumped" true (runs > 0);
+  (* Incrementality survives the loop: growing the exit-live set ripples
+     through the cyclic region to a new fixed point. *)
+  Db.set (Flowan.db t) (by_label "L2") "use" (Value.Arr [| Value.Str "i"; Value.Str "q" |]);
+  Alcotest.(check bool) "new use ripples into loop header" true
+    (List.mem "q" (Flowan.live_in t w))
+
 (* ------------------------------------------------------------------ *)
 (* Requirements traceability                                           *)
 
@@ -389,6 +425,7 @@ let () =
           Alcotest.test_case "while loop rejected statically" `Quick
             test_while_rejected_statically;
           Alcotest.test_case "while loop rejected" `Quick test_while_cycle_detected;
+          Alcotest.test_case "while loop fixed point" `Quick test_while_fixed_point;
         ] );
       ( "traceability",
         [
