@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build check test format-compat lint analyze bench bench-fast bench-json bench-persist bench-cluster bench-cluster-smoke bench-qps bench-qps-smoke bench-flight bench-flight-smoke bench-analyze bench-analyze-smoke stats trace examples clean
+.PHONY: all build check test format-compat lint analyze bench bench-fast bench-json bench-persist bench-cluster bench-cluster-smoke bench-qps bench-qps-smoke bench-flight bench-flight-smoke bench-analyze bench-analyze-smoke bench-repl bench-repl-smoke stats trace examples clean
 
 # Output path for the machine-readable experiment record; override with
 # `make bench-json BENCH_JSON=BENCH_1.json` to regenerate earlier runs.
@@ -116,6 +116,18 @@ bench-analyze:
 
 bench-analyze-smoke:
 	dune exec bench/main.exe -- --fast E19
+
+# WAL-shipping replication (E20): a writer ships its commit log to two
+# live followers plus a late follower that measures snapshot-bootstrap
+# catch-up; the gate requires byte-identical snapshot digests, a clean
+# integrity audit and zero sequence gaps on every replica.  The full
+# run records $(REPL_JSON); the smoke variant is the CI gate.
+REPL_JSON ?= BENCH_8.json
+bench-repl:
+	dune exec bench/main.exe -- E20 --json $(REPL_JSON)
+
+bench-repl-smoke:
+	dune exec bench/main.exe -- --fast E20
 
 # Run $(OBS_SCRIPT) and report counters, latency histograms and the last
 # commit's propagation profile (evaluated-at-most-once check included).

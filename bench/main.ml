@@ -1709,14 +1709,229 @@ let e19 () =
   print_endline "measured sweeps never exceed the static iteration bound"
 
 (* ================================================================== *)
+(* E20: WAL-shipping replication — follower lag and catch-up           *)
+
+module Repl_publisher = Cactis_repl.Publisher
+module Repl_follower = Cactis_repl.Follower
+module Integrity = Cactis.Integrity
+
+(* Writer child: OCB database + Persist + Publisher.  Populating before
+   attach forces a baseline checkpoint, so a fresh follower exercises
+   the documented bootstrap path (snapshot + log catch-up) rather than
+   replaying the populate.  After the paced commit burst — with one
+   mid-burst checkpoint, so live followers ride across a generation
+   mark — the writer announces its settled head and snapshot digest,
+   then keeps serving until SIGTERM. *)
+let repl_serve_main () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let stop = Atomic.make false in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> Atomic.set stop true));
+  let objects = child_int "--objects" 400 in
+  let commits = child_int "--commits" 1000 in
+  let seed = child_int "--seed" 7 in
+  let dir = temp_dir () in
+  let db = W.make_ocb_db () in
+  let ids = W.ocb_populate db (Rng.create seed) ~objects ~fanout:3 in
+  let p = Persist.attach ~sync_every:0 ~dir db in
+  let pub = Repl_publisher.start ~config:(Repl_publisher.config ~heartbeat_s:0.1 ()) p in
+  Printf.printf "READY port=%d\n%!" (Repl_publisher.port pub);
+  let rng = Rng.create (seed + 1) in
+  let n = Array.length ids in
+  for k = 1 to commits do
+    Db.with_txn db (fun () -> Db.set db ids.(Rng.int rng n) "payload" (int k));
+    if k = commits / 2 then Persist.checkpoint p;
+    (* Pace the burst so live followers measure real streaming lag
+       rather than one giant backlog flush. *)
+    if k mod 100 = 0 then Unix.sleepf 0.005
+  done;
+  (* The head gauge trails commits still in the publisher queue: wait
+     for it to stop moving before announcing it. *)
+  let rec settle last =
+    Unix.sleepf 0.1;
+    let h = Repl_publisher.head_seq pub in
+    if h <> last then settle h else h
+  in
+  let head = settle (Repl_publisher.head_seq pub) in
+  Printf.printf "DONE head=%d digest=%s\n%!" head
+    (Digest.to_hex (Digest.string (Snapshot.save_binary db)));
+  while not (Atomic.get stop) do
+    try Unix.sleepf 0.05 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  Repl_publisher.stop pub;
+  List.iter
+    (fun (k, v) ->
+      if String.length k >= 5 && String.sub k 0 5 = "repl." then
+        Printf.printf "STAT %s=%d\n" k v)
+    (Cactis_util.Counters.snapshot (Db.counters db));
+  Persist.close p;
+  rm_rf dir;
+  exit 0
+
+(* Follower child.  [--mode live] connects while the burst is running
+   and streams through it, stopping once synced against a head that has
+   stopped moving; [--mode late] connects after the burst and measures
+   pure catch-up time to at least [--min-head]. *)
+let repl_follow_main () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let port = child_int "--port" 0 in
+  let mode = child_arg "--mode" "live" in
+  let min_head = child_int "--min-head" (-1) in
+  let f =
+    Repl_follower.create
+      ~config:(Repl_follower.config ~heartbeat_timeout_s:5.0 ~check_every:64 ())
+      ~make_schema:W.ocb_schema ~host:"127.0.0.1" ~port ()
+  in
+  let t0 = Unix.gettimeofday () in
+  if mode = "late" then Repl_follower.run ~until_synced:true f
+  else begin
+    let d = Domain.spawn (fun () -> try Repl_follower.run f with _ -> ()) in
+    let deadline = t0 +. 120.0 in
+    let rec wait_stable stable_since last =
+      if Unix.gettimeofday () > deadline then failwith "repl-follow: no stable sync";
+      let h = Repl_follower.head_seq f in
+      let synced = h >= 0 && Repl_follower.applied_seq f >= h in
+      if not (synced && h = last && Unix.gettimeofday () -. stable_since >= 0.8) then begin
+        Unix.sleepf 0.05;
+        if synced && h = last then wait_stable stable_since last
+        else wait_stable (Unix.gettimeofday ()) h
+      end
+    in
+    wait_stable (Unix.gettimeofday ()) (-2);
+    Repl_follower.stop f;
+    Domain.join d
+  end;
+  let catchup_s = Unix.gettimeofday () -. t0 in
+  let fdb =
+    match Repl_follower.db f with Some db -> db | None -> failwith "repl-follow: no replica"
+  in
+  if min_head >= 0 && Repl_follower.applied_seq f < min_head then
+    failwith
+      (Printf.sprintf "repl-follow: applied %d short of writer head %d"
+         (Repl_follower.applied_seq f) min_head);
+  let lag =
+    List.find_opt
+      (fun (s : Cactis_obs.Histogram.stats) -> s.st_name = "repl.lag_s")
+      (Cactis_obs.Histogram.snapshot (Db.obs fdb).Cactis_obs.Ctx.hists)
+  in
+  let p50, p99 =
+    match lag with Some s -> (s.st_p50 *. 1e6, s.st_p99 *. 1e6) | None -> (0.0, 0.0)
+  in
+  let c name = Cactis_util.Counters.get (Db.counters fdb) name in
+  Printf.printf
+    "RESULT mode=%s catchup_s=%.3f lag_p50_us=%.0f lag_p99_us=%.0f records=%d bootstraps=%d \
+     gaps=%d integrity=%d digest=%s\n%!"
+    mode catchup_s p50 p99 (c "repl.records") (c "repl.bootstraps") (c "repl.gaps")
+    (List.length (Integrity.check fdb))
+    (Digest.to_hex (Digest.string (Snapshot.save_binary fdb)));
+  exit 0
+
+let e20 () =
+  R.section "E20" "WAL-shipping replication: follower lag and catch-up"
+    "scaling reads with replicas — a writer ships its commit log to read-only followers; \
+     convergence must be exact (binary-snapshot digests), streaming lag bounded, and a \
+     late follower's snapshot-bootstrap catch-up fast";
+  let objects = if !fast then 200 else 1000 in
+  let commits = if !fast then 600 else 4000 in
+  let assoc k l =
+    match List.assoc_opt k l with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "E20: missing %s in child line" k)
+  in
+  let writer =
+    Load.spawn
+      ~args:
+        [ "repl-serve"; "--objects"; string_of_int objects; "--commits";
+          string_of_int commits; "--seed"; "7" ]
+  in
+  let ready =
+    match Load.read_line ~timeout_s:120. writer with
+    | Some l -> Load.kv l
+    | None -> failwith "E20: writer exited before READY"
+  in
+  if assoc "_tag" ready <> "READY" then failwith "E20: bad writer handshake";
+  let port = assoc "port" ready in
+  (* Two live followers stream through the burst... *)
+  let live =
+    List.init 2 (fun _ -> Load.spawn ~args:[ "repl-follow"; "--port"; port; "--mode"; "live" ])
+  in
+  let done_kv =
+    let rec next () =
+      match Load.read_line ~timeout_s:300. writer with
+      | None -> failwith "E20: writer exited before DONE"
+      | Some l ->
+        let kv = Load.kv l in
+        if List.assoc_opt "_tag" kv = Some "DONE" then kv else next ()
+    in
+    next ()
+  in
+  let head = assoc "head" done_kv in
+  let wdigest = assoc "digest" done_kv in
+  (* ...and a late follower measures snapshot-bootstrap catch-up to the
+     writer's announced head. *)
+  let late =
+    Load.spawn ~args:[ "repl-follow"; "--port"; port; "--mode"; "late"; "--min-head"; head ]
+  in
+  let result c =
+    let lines, status = Load.wait c in
+    if status <> Unix.WEXITED 0 then failwith "E20: follower exited abnormally";
+    match
+      List.find_opt (fun l -> List.assoc_opt "_tag" (Load.kv l) = Some "RESULT") lines
+    with
+    | Some l -> Load.kv l
+    | None -> failwith "E20: follower printed no RESULT"
+  in
+  let results = List.map result (live @ [ late ]) in
+  let stat_lines, status = Load.terminate writer in
+  if status <> Unix.WEXITED 0 then failwith "E20: writer did not exit cleanly on SIGTERM";
+  let stats =
+    List.filter_map
+      (fun l ->
+        let kv = Load.kv l in
+        if List.assoc_opt "_tag" kv = Some "STAT" then
+          Some (List.filter (fun (k, _) -> k <> "_tag") kv)
+        else None)
+      stat_lines
+    |> List.concat
+  in
+  R.table
+    ~headers:
+      [ "follower"; "sync (s)"; "lag p50 (us)"; "lag p99 (us)"; "records"; "bootstraps";
+        "gaps"; "integrity"; "digest = writer" ]
+    (List.mapi
+       (fun i r ->
+         [
+           (if assoc "mode" r = "live" then Printf.sprintf "live %d" (i + 1)
+            else "late (catch-up)");
+           assoc "catchup_s" r; assoc "lag_p50_us" r; assoc "lag_p99_us" r;
+           assoc "records" r; assoc "bootstraps" r; assoc "gaps" r; assoc "integrity" r;
+           (if assoc "digest" r = wdigest then "yes" else "NO");
+         ])
+       results);
+  R.table ~headers:[ "writer stat"; "value" ]
+    (List.map (fun (k, v) -> [ k; v ]) (List.sort compare stats));
+  List.iter
+    (fun r ->
+      if assoc "digest" r <> wdigest then
+        failwith "E20 gate: a follower diverged from the writer's snapshot digest";
+      if assoc "integrity" r <> "0" then
+        failwith "E20 gate: a replica failed the integrity audit";
+      if assoc "gaps" r <> "0" then
+        failwith "E20 gate: a replica saw sequence gaps on a clean network")
+    results;
+  print_endline
+    "all replicas byte-identical to the writer (digest match); integrity clean; no gaps"
+
+(* ================================================================== *)
 
 let () =
-  (* Child roles for the E17 multi-process load driver run before
+  (* Child roles for the E17/E20 multi-process load drivers run before
      ordinary argument parsing (their argv is not experiment ids). *)
   if Array.length Sys.argv > 1 then begin
     match Sys.argv.(1) with
     | "qps-serve" -> qps_serve_main ()
     | "qps-client" -> qps_client_main ()
+    | "repl-serve" -> repl_serve_main ()
+    | "repl-follow" -> repl_follow_main ()
     | _ -> ()
   end;
   let json = ref false in
@@ -1745,7 +1960,7 @@ let () =
   let experiments =
     [
       ("F1", f1); ("F2", f2); ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5);
-      ("E6", e6); ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18); ("E19", e19); ("T", timing);
+      ("E6", e6); ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18); ("E19", e19); ("E20", e20); ("T", timing);
     ]
   in
   List.iter (fun (id, f) -> if wants id then f ()) experiments;

@@ -8,6 +8,9 @@
      analyze FILE.cactis            cost/convergence abstract interpretation (--db, --json)
      run     FILE.cactis SCRIPT     load a schema and execute a script
      serve   FILE.cactis            serve the database to TCP clients (parallel readers)
+                                    (--repl-port ships the WAL to follower replicas;
+                                     --follow makes this process a read-only replica)
+     replicate FILE.cactis          headless follower: mirror a writer, report lag/integrity
      stats   FILE.cactis SCRIPT     run a script, report counters/latencies/profile
      stats   --connect PORT         live counters/latencies of a running server (--watch)
      trace   FILE.cactis SCRIPT     run a script, export a Chrome trace JSON
@@ -30,6 +33,10 @@ module Histogram = Cactis_obs.Histogram
 module Profile = Cactis_obs.Profile
 module Server = Cactis_net.Server
 module Client = Cactis_net.Client
+module Publisher = Cactis_repl.Publisher
+module Follower = Cactis_repl.Follower
+module Repl_error = Cactis_repl.Repl_error
+module Repl_proto = Cactis_repl.Repl_proto
 module Flight = Cactis_obs.Flight
 module Metrics = Cactis_obs.Metrics
 module Watchdog = Cactis_obs.Watchdog
@@ -427,18 +434,71 @@ let trace_cmd schema_path script_path persist out show_output =
 
 (* ---- serve ---- *)
 
+let parse_hostport s =
+  match String.rindex_opt s ':' with
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let host = if host = "" then "127.0.0.1" else host in
+    match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+    | Some p -> (host, p)
+    | None ->
+      Printf.eprintf "error: bad HOST:PORT %S\n" s;
+      exit 1)
+  | None -> (
+    match int_of_string_opt s with
+    | Some p -> ("127.0.0.1", p)
+    | None ->
+      Printf.eprintf "error: bad HOST:PORT %S\n" s;
+      exit 1)
+
 let serve_cmd schema_path script_path port readers trace_sample persist metrics_port slow_ms
-    watchdog_interval flight_dir =
+    watchdog_interval flight_dir repl_port follow =
   handle_errors (fun () ->
       let src = read_file schema_path in
       (* Each reader replica needs its own schema (schemas are mutable
          and cannot cross domains): re-elaborate from source per call. *)
       let make_schema () = Cactis_ddl.Elaborate.load_string src in
-      let sch = make_schema () in
-      let p, db = open_script_db sch persist in
+      let follower =
+        match follow with
+        | None -> None
+        | Some upstream ->
+          if persist <> None || script_path <> None || repl_port <> None then begin
+            Printf.eprintf
+              "error: --follow is exclusive with --persist, --script and --repl-port (the \
+               replica's state comes from the writer)\n";
+            exit 1
+          end;
+          let fhost, fport = parse_hostport upstream in
+          (* Drift checks stay off: once the server starts, the replica
+             db belongs to its writer domain. *)
+          Some
+            (Follower.create
+               ~config:(Follower.config ~check_every:0 ())
+               ~make_schema ~host:fhost ~port:fport ())
+      in
+      let p, db =
+        match follower with
+        | Some f ->
+          Printf.printf "cactis: bootstrapping replica from %s ...\n%!" (Option.get follow);
+          (None, Follower.sync f)
+        | None -> open_script_db (make_schema ()) persist
+      in
       (match script_path with
       | Some s -> ignore (Script.run db (read_file s))
       | None -> ());
+      let publisher =
+        match repl_port with
+        | None -> None
+        | Some rp -> (
+          match p with
+          | None ->
+            Printf.eprintf "error: --repl-port requires --persist (the WAL is what is shipped)\n";
+            exit 1
+          | Some p ->
+            (* Before Server.start, so the server's delta broadcast
+               chains after the shipping hook. *)
+            Some (Publisher.start ~config:(Publisher.config ~port:rp ()) p))
+      in
       let watchdog =
         Option.map
           (fun s -> { Watchdog.default_config with Watchdog.wd_interval_s = s })
@@ -448,8 +508,21 @@ let serve_cmd schema_path script_path port readers trace_sample persist metrics_
         Server.start
           ~config:
             (Server.config ~port ~readers ~trace_sample ?metrics_port ~slow_ms ?watchdog
-               ?flight_dir ())
+               ?flight_dir ~read_only:(follower <> None) ())
           ~make_schema db
+      in
+      (* Replica mode: shipped records now route through the server's
+         writer domain, so the master and its reader replicas advance
+         together. *)
+      let follower_domain =
+        Option.map
+          (fun f ->
+            Follower.set_apply f (Some (fun record -> ignore (Server.inject server record)));
+            Domain.spawn (fun () ->
+                try Follower.run f
+                with e ->
+                  Printf.eprintf "cactis: replication stopped: %s\n%!" (Repl_error.to_string e)))
+          follower
       in
       Printf.printf "cactis: serving on 127.0.0.1:%d  (%d reader domain%s, version %d)\n"
         (Server.port server) readers
@@ -457,6 +530,18 @@ let serve_cmd schema_path script_path port readers trace_sample persist metrics_
         (Server.published_version server);
       (match Server.metrics_port server with
       | Some mp -> Printf.printf "cactis: metrics:     curl http://127.0.0.1:%d/metrics\n" mp
+      | None -> ());
+      (match publisher with
+      | Some pub ->
+        Printf.printf
+          "cactis: shipping WAL on 127.0.0.1:%d  (replicate with: cactis serve %s --follow \
+           127.0.0.1:%d)\n"
+          (Publisher.port pub) schema_path (Publisher.port pub)
+      | None -> ());
+      (match follower with
+      | Some _ ->
+        Printf.printf "cactis: read-only replica of %s (commits are refused here)\n"
+          (Option.get follow)
       | None -> ());
       Printf.printf "cactis: live stats:  cactis stats --connect %d --watch\n" (Server.port server);
       Printf.printf "cactis: stop with Ctrl-C\n%!";
@@ -479,6 +564,9 @@ let serve_cmd schema_path script_path port readers trace_sample persist metrics_
         try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
       done;
       Printf.printf "\ncactis: shutting down (version %d)\n%!" (Server.published_version server);
+      (match follower with Some f -> Follower.stop f | None -> ());
+      (match follower_domain with Some d -> Domain.join d | None -> ());
+      (match publisher with Some pub -> Publisher.stop pub | None -> ());
       Server.stop server;
       (match p with Some p -> Persist.close p | None -> ());
       List.iter
@@ -897,10 +985,129 @@ let serve_t =
             "Write flight-recorder dumps (domain crash, watchdog trip, SIGQUIT/SIGUSR2) to \
              $(docv); analyze them with $(b,cactis doctor).")
   in
+  let repl_port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "repl-port" ] ~docv:"PORT"
+          ~doc:
+            "Ship the write-ahead log to follower replicas on loopback at $(docv) (0: \
+             ephemeral, printed at startup).  Requires $(b,--persist).")
+  in
+  let follow_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "follow" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Run as a read-only replica of the writer shipping its WAL at $(docv): bootstrap \
+             from its snapshot, stream its log, refuse client commits.")
+  in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const serve_cmd $ schema_arg $ script_arg $ port_arg $ readers_arg $ sample_arg
-      $ persist_opt_arg $ metrics_port_arg $ slow_ms_arg $ watchdog_arg $ flight_dir_arg)
+      $ persist_opt_arg $ metrics_port_arg $ slow_ms_arg $ watchdog_arg $ flight_dir_arg
+      $ repl_port_arg $ follow_arg)
+
+let replicate_cmd schema_path from until_synced check_every lag_every =
+  handle_errors (fun () ->
+      let src = read_file schema_path in
+      let make_schema () = Cactis_ddl.Elaborate.load_string src in
+      let host, port = parse_hostport from in
+      let f =
+        Follower.create ~config:(Follower.config ~check_every ()) ~make_schema ~host ~port ()
+      in
+      let handler = Sys.Signal_handle (fun _ -> Follower.stop f) in
+      Sys.set_signal Sys.sigint handler;
+      Sys.set_signal Sys.sigterm handler;
+      Printf.printf "cactis: replicating from %s:%d%s\n%!" host port
+        (if until_synced then " (until synced)" else "");
+      (* A progress line every [lag_every] seconds, from a domain of its
+         own so the streaming thread never waits on stdout. *)
+      let progress_stop = Atomic.make false in
+      let progress =
+        if lag_every <= 0.0 then None
+        else
+          Some
+            (Domain.spawn (fun () ->
+                 while not (Atomic.get progress_stop) do
+                   Unix.sleepf lag_every;
+                   if not (Atomic.get progress_stop) then
+                     Printf.printf "cactis: replica %s applied_seq=%d head_seq=%d lag=%d\n%!"
+                       (Repl_proto.cursor_to_string (Follower.cursor f))
+                       (Follower.applied_seq f) (Follower.head_seq f)
+                       (max 0 (Follower.head_seq f - Follower.applied_seq f))
+                 done))
+      in
+      let finish () =
+        Atomic.set progress_stop true;
+        match progress with Some d -> Domain.join d | None -> ()
+      in
+      (try Follower.run ~until_synced f
+       with e ->
+         finish ();
+         Printf.eprintf "cactis: replication failed: %s\n" (Repl_error.to_string e);
+         exit 1);
+      finish ();
+      match Follower.db f with
+      | None ->
+        Printf.eprintf "cactis: stopped before any data arrived\n";
+        exit 1
+      | Some db ->
+        let violations = Cactis.Integrity.check db in
+        Printf.printf
+          "cactis: replica %s applied_seq=%d head_seq=%d synced=%b integrity=%s instances=%d\n"
+          (Repl_proto.cursor_to_string (Follower.cursor f))
+          (Follower.applied_seq f) (Follower.head_seq f) (Follower.synced f)
+          (if violations = [] then "clean" else "VIOLATED")
+          (List.length (Db.instance_ids db));
+        List.iter
+          (fun (n, v) ->
+            if String.length n >= 5 && String.sub n 0 5 = "repl." then
+              Printf.printf "  %-28s %d\n" n v)
+          (Counters.snapshot (Db.counters db));
+        if violations <> [] then begin
+          List.iter (fun v -> Printf.eprintf "  violation: %s\n" v) violations;
+          exit 1
+        end)
+
+let replicate_t =
+  let doc =
+    "Maintain a live read-only replica of a $(b,cactis serve --repl-port) writer: bootstrap \
+     from its checkpoint snapshot, stream its write-ahead log, verify integrity, report lag.  \
+     With $(b,--until-synced), exit once the replica has caught up (CI smoke tests build on \
+     this)."
+  in
+  let from_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "from" ] ~docv:"HOST:PORT" ~doc:"The writer's replication endpoint.")
+  in
+  let until_synced_arg =
+    Arg.(
+      value & flag
+      & info [ "until-synced" ]
+          ~doc:"Exit (successfully) as soon as the replica has applied the writer's head.")
+  in
+  let check_every_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "check-every" ] ~docv:"N"
+          ~doc:
+            "Run the structural integrity checker every $(docv) applied batches — the drift \
+             detector (0 disables; default 8).")
+  in
+  let lag_every_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "lag-every" ] ~docv:"SECS"
+          ~doc:"Print a lag progress line every $(docv) seconds (0 disables).")
+  in
+  Cmd.v (Cmd.info "replicate" ~doc)
+    Term.(
+      const replicate_cmd $ schema_arg $ from_arg $ until_synced_arg $ check_every_arg
+      $ lag_every_arg)
 
 let trace_t =
   let doc =
@@ -1040,8 +1247,8 @@ let main =
   Cmd.group
     (Cmd.info "cactis" ~version:"1.0.0" ~doc)
     [
-      check_t; fmt_t; lint_t; analyze_t; run_t; repl_t; serve_t; stats_t; trace_t; save_t;
-      recover_t; log_t; doctor_t; metrics_lint_t; demo_t;
+      check_t; fmt_t; lint_t; analyze_t; run_t; repl_t; serve_t; replicate_t; stats_t; trace_t;
+      save_t; recover_t; log_t; doctor_t; metrics_lint_t; demo_t;
     ]
 
 let () =

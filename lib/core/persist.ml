@@ -12,6 +12,7 @@ type t = {
   auto_checkpoint : int;  (* WAL bytes that trigger a checkpoint; 0 = never *)
   mutable generation : int;  (* checkpoint generation on disk *)
   mutable cp_base : int;  (* appended_bytes at the last checkpoint *)
+  mutable wal_base : int;  (* records already in the log when the writer opened *)
   mutable replayed : int;
   mutable torn : bool;
   mutable closed : bool;
@@ -64,6 +65,26 @@ let dir t = t.dir
 let replayed t = t.replayed
 let recovered_torn t = t.torn
 let generation t = t.generation
+let snapshot_path t = snapshot_file t.dir
+let wal_path t = wal_file t.dir
+
+(* Records in the log since the last checkpoint: position [n] of
+   generation [generation t] — the replication cursor.  [wal_base]
+   covers records that predate this writer (recovery replayed them);
+   [Wal.reset] zeroes the writer's own count, so checkpoint also
+   clears the base. *)
+let wal_records t = t.wal_base + Wal.appends_since_reset t.wal
+
+(* The checkpoint currently on disk, decoded past its CSNP1 header:
+   (generation, schema version, Snapshot.save_binary payload).  What a
+   replication publisher serves to a bootstrapping follower — the file
+   is only replaced atomically, so reading it races nothing. *)
+let read_checkpoint t =
+  let sf = snapshot_file t.dir in
+  if not (Sys.file_exists sf) then None
+  else
+    let generation, payload = decode_snapshot sf (read_file sf) in
+    Some (generation, Snapshot.binary_schema_version payload, payload)
 
 (* WAL frame bytes appended since the last checkpoint — the O(delta)
    commit cost the experiments measure.  [cp_base] is negative right
@@ -89,6 +110,7 @@ let checkpoint t =
   Wal.reset t.wal ~generation ~schema_version:(Db.schema_step_count t.db);
   t.generation <- generation;
   t.cp_base <- Wal.appended_bytes t.wal;
+  t.wal_base <- 0;
   Cactis_obs.Flight.record Cactis_obs.Flight.Checkpoint ~a:generation
     ~b:(Db.schema_step_count t.db);
   Counters.incr (Db.counters t.db) "checkpoints";
@@ -139,6 +161,7 @@ let attach ?(sync_every = 1) ?(auto_checkpoint = 0) ~dir db =
       auto_checkpoint;
       generation;
       cp_base = 0;
+      wal_base = List.length existing.Wal.records;
       replayed = 0;
       torn = false;
       closed = false;
@@ -216,6 +239,7 @@ let recover ?strategy ?sched ?block_capacity ?buffer_capacity ?(sync_every = 1)
       auto_checkpoint;
       generation = snap_gen;
       cp_base = (if stale then Wal.appended_bytes wal else -(max 0 (valid_end - data_start)));
+      wal_base = List.length records;
       replayed = List.length records;
       torn = torn && not stale;
       closed = false;

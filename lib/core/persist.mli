@@ -74,6 +74,30 @@ val recovered_torn : t -> bool
 (** Checkpoint generation currently on disk (0 before any checkpoint). *)
 val generation : t -> int
 
+(** Records currently in the log — position [wal_records t] of
+    generation [generation t] is the replication cursor: the state a
+    log-shipping follower that has applied this many records since the
+    last checkpoint holds.  Zero right after {!attach} or
+    {!checkpoint}; {!recover} starts it at the number of records
+    replayed. *)
+val wal_records : t -> int
+
+(** Paths of the two on-disk artifacts ([snapshot.bin], [wal.log])
+    inside the persistence directory — exposed for the replication
+    publisher, which serves the checkpoint file to bootstrapping
+    followers and seeds its record backlog from the log. *)
+val snapshot_path : t -> string
+
+val wal_path : t -> string
+
+(** The checkpoint currently on disk, decoded past its header:
+    [(generation, schema_version, snapshot_payload)] where the payload
+    is {!Snapshot.save_binary} bytes.  [None] before any checkpoint.
+    Safe to call concurrently with commits — the file is only ever
+    replaced atomically.
+    @raise Errors.Type_error on a corrupt checkpoint header. *)
+val read_checkpoint : t -> (int * int * string) option
+
 (** [checkpoint t] writes a fresh binary snapshot (atomic replace,
     stamped with the next generation) and then resets the log under the
     same generation — recovery afterwards replays nothing, and a crash

@@ -26,10 +26,11 @@ type config = {
   cfg_slowlog_sink : (string -> unit) option;  (* default: one line to stderr *)
   cfg_watchdog : Watchdog.config option;
   cfg_flight_dir : string option;  (* where crash/watchdog flight dumps land *)
+  cfg_read_only : bool;  (* replica mode: refuse client commits *)
 }
 
 let config ?(port = 0) ?(readers = 1) ?(trace_sample = 64) ?(backlog = 64) ?metrics_port
-    ?(slow_ms = 100.0) ?slowlog_sink ?watchdog ?flight_dir () =
+    ?(slow_ms = 100.0) ?slowlog_sink ?watchdog ?flight_dir ?(read_only = false) () =
   if readers < 1 then invalid_arg "Server.config: readers must be >= 1";
   {
     cfg_port = port;
@@ -41,6 +42,7 @@ let config ?(port = 0) ?(readers = 1) ?(trace_sample = 64) ?(backlog = 64) ?metr
     cfg_slowlog_sink = slowlog_sink;
     cfg_watchdog = watchdog;
     cfg_flight_dir = flight_dir;
+    cfg_read_only = read_only;
   }
 
 (* A connection is read only by the front end; responses are written by
@@ -60,9 +62,21 @@ type job = {
   j_start_ns : int64;
 }
 
+(* A replicated record handed to the writer domain from outside the
+   client protocol (the WAL-shipping follower).  The injecting thread
+   blocks on [f_state] so it observes the published version — and any
+   replay failure — synchronously. *)
+type feed = {
+  f_record : string;  (* encoded delta, as shipped / as logged *)
+  f_mu : Mutex.t;
+  f_cond : Condition.t;
+  mutable f_state : (int, exn) result option;
+}
+
 type msg =
   | Apply of int * string  (* version, encoded delta *)
   | Serve of job
+  | Feed of feed
   | Quit
 
 type queue = {
@@ -242,6 +256,26 @@ let writer_loop t db =
     | Serve job ->
       writer_serve t db job;
       loop ()
+    | Feed f ->
+      (* Replicated records bypass the commit hook by construction
+         ([replay_delta] never re-logs), so the reader broadcast that
+         normally rides the hook happens explicitly here. *)
+      let result =
+        try
+          Db.replay_delta db (Codec.decode_delta f.f_record);
+          Engine.propagate (Db.engine db);
+          let v = Atomic.get t.published + 1 in
+          Array.iter (fun q -> push q (Apply (v, f.f_record))) t.reader_qs;
+          Atomic.set t.published v;
+          Counters.incr t.ctrs "server.repl_applied";
+          Ok v
+        with e -> Error e
+      in
+      Mutex.lock f.f_mu;
+      f.f_state <- Some result;
+      Condition.signal f.f_cond;
+      Mutex.unlock f.f_mu;
+      loop ()
   in
   loop ()
 
@@ -321,6 +355,7 @@ let reader_loop t master_snapshot make_schema =
       if job_min_version job <= !applied then reader_serve t replica ~applied:!applied job
       else deferred := job :: !deferred;
       loop q
+    | Feed _ -> loop q  (* writer-queue only *)
   in
   loop
 
@@ -406,6 +441,12 @@ let dispatch t conn payload =
     | Proto.Stats -> send_resp t conn env (stats_reply t) ~verb:"stats" ~start_ns
     | Proto.Metrics ->
       send_resp t conn env (Proto.Metrics_reply (metrics_body t)) ~verb:"metrics" ~start_ns
+    | Proto.Commit _ when t.cfg.cfg_read_only ->
+      Counters.incr t.ctrs "server.read_only_rejects";
+      send_resp t conn env
+        (Proto.Error
+           { code = Proto.E_protocol; message = "read-only replica: commits go to the writer" })
+        ~verb:"commit" ~start_ns
     | Proto.Open_session | Proto.Commit _ -> push t.writer_q (Serve job)
     | Proto.Read { min_version; instance; _ } ->
       check_version min_version (fun () ->
@@ -669,6 +710,21 @@ let start ?(config = config ()) ~make_schema db =
   in
   t.domains <- (frontend_domain :: writer_domain :: reader_domains);
   t
+
+let inject t record =
+  let f =
+    { f_record = record; f_mu = Mutex.create (); f_cond = Condition.create (); f_state = None }
+  in
+  push t.writer_q (Feed f);
+  Mutex.lock f.f_mu;
+  while f.f_state = None do
+    Condition.wait f.f_cond f.f_mu
+  done;
+  Mutex.unlock f.f_mu;
+  match f.f_state with
+  | Some (Ok v) -> v
+  | Some (Error e) -> raise e
+  | None -> assert false
 
 let dump_flight t ~reason = flight_dump t reason
 

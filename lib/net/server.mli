@@ -54,7 +54,10 @@ type config
     [slowlog_sink] redirects its JSON lines (default: stderr, prefixed
     [cactis-slowop ]).  [watchdog] enables the latency/error watchdog.
     [flight_dir] is where crash/watchdog flight dumps are written;
-    without it dumps are skipped (stderr still reports the crash). *)
+    without it dumps are skipped (stderr still reports the crash).
+    [read_only] makes this a replica front end: client [Commit]s are
+    refused with a typed protocol error ("read-only replica"); state
+    changes arrive only through {!inject}. *)
 val config :
   ?port:int ->
   ?readers:int ->
@@ -65,6 +68,7 @@ val config :
   ?slowlog_sink:(string -> unit) ->
   ?watchdog:Cactis_obs.Watchdog.config ->
   ?flight_dir:string ->
+  ?read_only:bool ->
   unit ->
   config
 
@@ -90,6 +94,15 @@ val readers : t -> int
 
 (** Highest committed (and broadcast) version. *)
 val published_version : t -> int
+
+(** [inject t record] — apply an encoded delta (the WAL / wire record
+    format) through the writer domain, exactly as a replicated record:
+    replayed unlogged into the master, broadcast to every reader, and
+    assigned the next published version (returned).  Blocks the caller
+    until the writer has applied it; a replay failure re-raises here.
+    This is how a read-only replica server stays fed by a
+    {!Cactis_repl.Follower}. *)
+val inject : t -> string -> int
 
 (** Server-side request/connection counters (names under [server.]). *)
 val counters : t -> Cactis_util.Counters.t

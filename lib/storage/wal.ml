@@ -165,6 +165,7 @@ type writer = {
   sync_every : int;  (* fsync after this many appends; 0 = only explicit *)
   mutable pending : int;  (* appends since the last fsync *)
   mutable appends : int;
+  mutable since_reset : int;  (* appends since open or the last reset *)
   mutable appended_bytes : int;  (* frame bytes written through this writer *)
   obs : Cactis_obs.Ctx.t;
   h_append : Cactis_obs.Histogram.h;
@@ -200,6 +201,7 @@ let open_writer ?(sync_every = 1) ?(generation = 0) ?(schema_version = 0) ?trunc
       sync_every;
       pending = 0;
       appends = 0;
+      since_reset = 0;
       appended_bytes = 0;
       obs;
       h_append = Cactis_obs.Histogram.cell obs.Cactis_obs.Ctx.hists "wal_append";
@@ -222,6 +224,7 @@ let append w payload =
   output_bytes w.oc frame;
   output_string w.oc payload;
   w.appends <- w.appends + 1;
+  w.since_reset <- w.since_reset + 1;
   w.appended_bytes <- w.appended_bytes + 8 + plen;
   w.pending <- w.pending + 1;
   Cactis_obs.Flight.record Cactis_obs.Flight.Wal_append ~a:(8 + plen) ~b:w.appends;
@@ -252,7 +255,8 @@ let reset w ~generation ~schema_version =
   output_string w.oc (header ~generation ~schema_version);
   flush w.oc;
   Unix.fsync w.fd;
-  w.pending <- 0
+  w.pending <- 0;
+  w.since_reset <- 0
 
 let close w =
   fsync w;
@@ -260,6 +264,7 @@ let close w =
 
 let path w = w.path
 let appends w = w.appends
+let appends_since_reset w = w.since_reset
 let appended_bytes w = w.appended_bytes
 
 (* ------------------------------------------------------------------ *)

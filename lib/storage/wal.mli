@@ -84,6 +84,12 @@ val appends : writer -> int
 
 val appended_bytes : writer -> int
 
+(** Appends since this writer was opened or last {!reset} — the
+    record-level cursor replication uses: combined with the records
+    already on disk at open time it names "record [n] of generation
+    [g]", the position a log-shipping follower resumes from. *)
+val appends_since_reset : writer -> int
+
 (** CRC-32 (IEEE) of a string — exposed for tests and tools. *)
 val crc32 : string -> int32
 

@@ -1,0 +1,279 @@
+(* Fault-injection TCP proxy for the replication tests.
+
+   Sits between a Follower and a Publisher and mangles the
+   writer->follower byte stream in controlled ways: truncating at a
+   byte offset, flipping a byte, dropping everything after N frames
+   (silence, for heartbeat-timeout tests), duplicating or reordering
+   whole frames, stalling.  The follower->writer direction always
+   passes through untouched.
+
+   Faults are consumed one per accepted connection, in order; once the
+   list is exhausted every further connection passes clean — which is
+   exactly the shape reconnect-and-converge tests want: first contact
+   hits the fault, the retry sees an honest network. *)
+
+module Frame = Cactis_net.Frame
+
+type fault =
+  | Pass
+  | Truncate_after of int  (* forward N stream bytes, then cut both ways *)
+  | Corrupt_byte of int  (* XOR stream byte at offset N with 0x41 *)
+  | Drop_after_frames of int  (* forward N whole frames, then silence *)
+  | Duplicate_frame of int  (* send frame N twice *)
+  | Reorder_frames of int  (* swap frames N and N+1 *)
+  | Stall_after of int * float  (* after N bytes, stop forwarding for S seconds *)
+
+let fault_name = function
+  | Pass -> "pass"
+  | Truncate_after n -> Printf.sprintf "truncate@%d" n
+  | Corrupt_byte n -> Printf.sprintf "corrupt@%d" n
+  | Drop_after_frames n -> Printf.sprintf "drop-after-%d-frames" n
+  | Duplicate_frame n -> Printf.sprintf "dup-frame-%d" n
+  | Reorder_frames n -> Printf.sprintf "reorder-frames-%d" n
+  | Stall_after (n, s) -> Printf.sprintf "stall@%d(%gs)" n s
+
+type t = {
+  listen_fd : Unix.file_descr;
+  pport : int;
+  target_port : int;
+  faults_mu : Mutex.t;
+  mutable faults : fault list;
+  mutable served : int;  (* connections accepted *)
+  stop_flag : bool Atomic.t;
+  mutable domain : unit Domain.t option;
+  conns_mu : Mutex.t;
+  mutable live_fds : Unix.file_descr list;
+  mutable conn_domains : unit Domain.t list;
+}
+
+let port t = t.pport
+let served t = t.served
+
+(* Frame-granular faults parse the downstream with a Frame.decoder and
+   re-emit Frame.encode payloads — byte-identical framing, so a clean
+   frame passed through is indistinguishable from the original. *)
+type frame_mode = { mutable emitted : int; mutable held : string option }
+
+type conn_state = {
+  fault : fault;
+  mutable fwd_bytes : int;  (* server->client bytes forwarded *)
+  mutable cut : bool;  (* stop forwarding (and maybe close) *)
+  dec : Frame.decoder;
+  fm : frame_mode;
+  mutable stalled : bool;
+}
+
+let new_state fault =
+  {
+    fault;
+    fwd_bytes = 0;
+    cut = false;
+    dec = Frame.decoder ();
+    fm = { emitted = 0; held = None };
+    stalled = false;
+  }
+
+let write_all fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    match Unix.write_substring fd s !off (len - !off) with
+    | n -> off := !off + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+(* Byte-offset faults (truncate/corrupt/stall) act on the raw stream —
+   frame headers included — so they can hit a length prefix or a CRC
+   with equal probability, like a real half-written TCP segment. *)
+let transform_bytes st raw =
+  match st.fault with
+  | Truncate_after n ->
+    if st.fwd_bytes + String.length raw <= n then Some raw
+    else begin
+      st.cut <- true;
+      Some (String.sub raw 0 (max 0 (n - st.fwd_bytes)))
+    end
+  | Corrupt_byte n ->
+    if n >= st.fwd_bytes && n < st.fwd_bytes + String.length raw then begin
+      let b = Bytes.of_string raw in
+      let i = n - st.fwd_bytes in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x41));
+      Some (Bytes.to_string b)
+    end
+    else Some raw
+  | Stall_after (n, s) ->
+    if (not st.stalled) && st.fwd_bytes + String.length raw > n then begin
+      st.stalled <- true;
+      Unix.sleepf s
+    end;
+    Some raw
+  | Pass -> Some raw
+  | Drop_after_frames _ | Duplicate_frame _ | Reorder_frames _ ->
+    (* handled at frame granularity *)
+    Some raw
+
+let transform_frames st raw =
+  Frame.feed st.dec raw;
+  let out = Buffer.create (String.length raw) in
+  let emit payload = Buffer.add_string out (Frame.encode payload) in
+  let rec drain () =
+    match Frame.next st.dec with
+    | None -> ()
+    | Some payload ->
+      let i = st.fm.emitted in
+      st.fm.emitted <- i + 1;
+      (match st.fault with
+      | Drop_after_frames n -> if i < n then emit payload else st.cut <- true
+      | Duplicate_frame n ->
+        emit payload;
+        if i = n then emit payload
+      | Reorder_frames n ->
+        if i = n then st.fm.held <- Some payload
+        else begin
+          emit payload;
+          match st.fm.held with
+          | Some h when i = n + 1 ->
+            st.fm.held <- None;
+            emit h
+          | _ -> ()
+        end
+      | _ -> emit payload);
+      drain ()
+  in
+  drain ();
+  Buffer.contents out
+
+let is_frame_fault = function
+  | Drop_after_frames _ | Duplicate_frame _ | Reorder_frames _ -> true
+  | _ -> false
+
+(* One proxied connection: select over both sockets, forward bytes,
+   apply the fault downstream.  Runs on its own domain so a stalled or
+   half-dead connection never blocks the accept loop. *)
+let pump_connection st client_fd server_fd =
+  let buf = Bytes.create 65536 in
+  let open_both = ref true in
+  (* When Drop_after_frames has cut the downstream we keep the sockets
+     open (silence, not closure) but stop forwarding. *)
+  let hard_cut () = match st.fault with Truncate_after _ -> st.cut | _ -> false in
+  while !open_both do
+    match Unix.select [ client_fd; server_fd ] [] [] 0.25 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (Unix.EBADF, _, _) -> open_both := false
+    | readable, _, _ ->
+      List.iter
+        (fun fd ->
+          if !open_both && List.memq fd readable then
+            match Unix.read fd buf 0 (Bytes.length buf) with
+            | 0 -> open_both := false
+            | n -> (
+              let raw = Bytes.sub_string buf 0 n in
+              (* The peer may already have hung up (a follower that hit
+                 its heartbeat timeout mid-stall closes its socket);
+                 EPIPE here ends the connection, it must not escape the
+                 pump domain. *)
+              try
+                if fd == client_fd then write_all server_fd raw
+                else begin
+                  (if not st.cut then
+                     let out =
+                       if is_frame_fault st.fault then transform_frames st raw
+                       else match transform_bytes st raw with Some s -> s | None -> ""
+                     in
+                     if String.length out > 0 then write_all client_fd out;
+                     st.fwd_bytes <- st.fwd_bytes + String.length raw);
+                  if hard_cut () then open_both := false
+                end
+              with Unix.Unix_error _ -> open_both := false)
+            | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+              -> ()
+            | exception Unix.Unix_error (_, _, _) -> open_both := false)
+        [ client_fd; server_fd ]
+  done;
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) [ client_fd; server_fd ]
+
+let accept_loop t =
+  while not (Atomic.get t.stop_flag) do
+    match Unix.select [ t.listen_fd ] [] [] 0.2 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (Unix.EBADF, _, _) -> Atomic.set t.stop_flag true
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+      match Unix.accept t.listen_fd with
+      | exception Unix.Unix_error _ -> ()
+      | client_fd, _ ->
+        let fault =
+          Mutex.lock t.faults_mu;
+          let f = match t.faults with [] -> Pass | f :: rest -> t.faults <- rest; f in
+          t.served <- t.served + 1;
+          Mutex.unlock t.faults_mu;
+          f
+        in
+        (match
+           let server_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+           (try
+              Unix.connect server_fd
+                (Unix.ADDR_INET (Unix.inet_addr_loopback, t.target_port));
+              (try Unix.setsockopt server_fd Unix.TCP_NODELAY true
+               with Unix.Unix_error _ -> ());
+              (try Unix.setsockopt client_fd Unix.TCP_NODELAY true
+               with Unix.Unix_error _ -> ())
+            with e ->
+              (try Unix.close server_fd with Unix.Unix_error _ -> ());
+              raise e);
+           server_fd
+         with
+        | exception _ -> ( try Unix.close client_fd with Unix.Unix_error _ -> ())
+        | server_fd ->
+          let d =
+            Domain.spawn (fun () -> pump_connection (new_state fault) client_fd server_fd)
+          in
+          Mutex.lock t.conns_mu;
+          t.live_fds <- client_fd :: server_fd :: t.live_fds;
+          t.conn_domains <- d :: t.conn_domains;
+          Mutex.unlock t.conns_mu))
+  done
+
+let start ~target_port faults =
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen listen_fd 16;
+  let pport =
+    match Unix.getsockname listen_fd with Unix.ADDR_INET (_, p) -> p | _ -> assert false
+  in
+  let t =
+    {
+      listen_fd;
+      pport;
+      target_port;
+      faults_mu = Mutex.create ();
+      faults;
+      served = 0;
+      stop_flag = Atomic.make false;
+      domain = None;
+      conns_mu = Mutex.create ();
+      live_fds = [];
+      conn_domains = [];
+    }
+  in
+  t.domain <- Some (Domain.spawn (fun () -> accept_loop t));
+  t
+
+let stop t =
+  if not (Atomic.exchange t.stop_flag true) then begin
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (match t.domain with Some d -> Domain.join d | None -> ());
+    t.domain <- None;
+    Mutex.lock t.conns_mu;
+    let fds = t.live_fds and doms = t.conn_domains in
+    t.live_fds <- [];
+    t.conn_domains <- [];
+    Mutex.unlock t.conns_mu;
+    (* Shutdown (not close — the pump domain owns closing) breaks any
+       blocked transfer; then join so no domain outlives the proxy.
+       EBADF/ENOTCONN races with a pump that already closed are
+       expected and harmless. *)
+    List.iter (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()) fds;
+    List.iter Domain.join doms
+  end
